@@ -1,0 +1,104 @@
+//! Gaussian 3×3 low-pass filter (paper §6.1).
+//!
+//! The classic noise-reduction preprocessing filter. 3×3 binomial weights
+//! (1/16 · [1 2 1; 2 4 2; 1 2 1]), clamp-to-edge borders. Has data reuse
+//! across threads, so its best-practice baseline prefetches into local
+//! memory.
+
+use kp_core::{clamp_coord, StencilApp, Window};
+
+/// Binomial 3×3 weights scaled by 1/16.
+const W: [[f32; 3]; 3] = [
+    [1.0 / 16.0, 2.0 / 16.0, 1.0 / 16.0],
+    [2.0 / 16.0, 4.0 / 16.0, 2.0 / 16.0],
+    [1.0 / 16.0, 2.0 / 16.0, 1.0 / 16.0],
+];
+
+/// The Gaussian 3×3 filter application.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gaussian3;
+
+impl StencilApp for Gaussian3 {
+    fn name(&self) -> &str {
+        "gaussian"
+    }
+
+    fn halo(&self) -> usize {
+        1
+    }
+
+    fn compute(&self, win: &mut Window<'_, '_>) -> f32 {
+        let mut acc = 0.0;
+        for dy in -1..=1_i64 {
+            for dx in -1..=1_i64 {
+                acc += W[(dy + 1) as usize][(dx + 1) as usize] * win.at(dx, dy);
+            }
+        }
+        // 9 fused multiply-adds + store prep.
+        win.ops(12);
+        acc
+    }
+}
+
+/// CPU reference implementation (independent code path used to validate
+/// the kernel).
+pub fn reference(input: &[f32], width: usize, height: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; width * height];
+    for y in 0..height as i64 {
+        for x in 0..width as i64 {
+            let mut acc = 0.0;
+            for dy in -1..=1_i64 {
+                for dx in -1..=1_i64 {
+                    let sx = clamp_coord(x + dx, width);
+                    let sy = clamp_coord(y + dy, height);
+                    acc += W[(dy + 1) as usize][(dx + 1) as usize] * input[sy * width + sx];
+                }
+            }
+            out[y as usize * width + x as usize] = acc;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{assert_kernel_matches_reference, random_image};
+
+    #[test]
+    fn kernel_matches_cpu_reference() {
+        let (w, h) = (40, 24);
+        let img = random_image(w, h, 11);
+        assert_kernel_matches_reference(&Gaussian3, &img, None, w, h, |i, _| reference(i, w, h));
+    }
+
+    #[test]
+    fn preserves_constant_images() {
+        let out = reference(&vec![0.7f32; 64], 8, 8);
+        for v in out {
+            assert!((v - 0.7).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn smooths_an_impulse() {
+        // A centered impulse spreads by the binomial weights.
+        let mut img = vec![0.0f32; 25];
+        img[12] = 1.0; // center of 5x5
+        let out = reference(&img, 5, 5);
+        assert!((out[12] - 4.0 / 16.0).abs() < 1e-6);
+        assert!((out[11] - 2.0 / 16.0).abs() < 1e-6);
+        assert!((out[6] - 1.0 / 16.0).abs() < 1e-6);
+        // Energy is conserved away from borders.
+        let total: f32 = out.iter().sum();
+        assert!((total - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn halo_and_locality() {
+        assert_eq!(Gaussian3.halo(), 1);
+        assert!(Gaussian3.baseline_uses_local());
+        assert!(!Gaussian3.uses_aux());
+        assert_eq!(Gaussian3.name(), "gaussian");
+    }
+}

@@ -1,0 +1,245 @@
+//! Hotspot 2D transient thermal simulation (paper §6.1; Rodinia suite).
+//!
+//! Iteratively solves the heat equation on a chip die: each step updates
+//! every cell from its four neighbors (5-point stencil on the temperature
+//! grid), its own power dissipation (auxiliary input), and the ambient
+//! sink. One step is one kernel launch; the paper perforates the
+//! temperature loads with `Rows1` (§6.2).
+
+use kp_core::{clamp_coord, StencilApp, Window};
+
+/// Physical update coefficients of the explicit Euler step.
+///
+/// Values are chosen in the style of Rodinia's derivation (step/Cap and
+/// inverse thermal resistances) and satisfy the explicit-scheme stability
+/// bound `step_div_cap · (2·rx_inv + 2·ry_inv + rz_inv) < 1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HotspotParams {
+    /// `Δt / C`: simulation step over thermal capacitance.
+    pub step_div_cap: f32,
+    /// Inverse lateral resistance, x direction.
+    pub rx_inv: f32,
+    /// Inverse lateral resistance, y direction.
+    pub ry_inv: f32,
+    /// Inverse vertical resistance towards the heat sink.
+    pub rz_inv: f32,
+    /// Ambient (sink) temperature in Kelvin.
+    pub amb_temp: f32,
+}
+
+impl HotspotParams {
+    /// Rodinia-flavored default coefficients.
+    pub const fn rodinia() -> Self {
+        Self {
+            step_div_cap: 0.5,
+            rx_inv: 0.2,
+            ry_inv: 0.2,
+            rz_inv: 0.1,
+            amb_temp: 323.15,
+        }
+    }
+
+    /// Whether the explicit scheme is numerically stable.
+    pub fn is_stable(&self) -> bool {
+        self.step_div_cap * (2.0 * self.rx_inv + 2.0 * self.ry_inv + self.rz_inv) < 1.0
+    }
+}
+
+impl Default for HotspotParams {
+    fn default() -> Self {
+        Self::rodinia()
+    }
+}
+
+/// One explicit time step of the Hotspot thermal simulation.
+///
+/// Primary input: temperature grid (stencil). Auxiliary input: power grid
+/// (point read). Output: next temperature grid.
+#[derive(Debug, Clone, Copy)]
+pub struct Hotspot {
+    /// The update coefficients.
+    pub params: HotspotParams,
+}
+
+impl Hotspot {
+    /// Creates the app with Rodinia-flavored defaults.
+    pub const fn new() -> Self {
+        Self {
+            params: HotspotParams::rodinia(),
+        }
+    }
+
+    /// Creates the app with explicit coefficients.
+    pub const fn with_params(params: HotspotParams) -> Self {
+        Self { params }
+    }
+
+    fn step(&self, t: f32, tn: f32, ts: f32, te: f32, tw: f32, p: f32) -> f32 {
+        let q = &self.params;
+        let delta = q.step_div_cap
+            * (p + (te + tw - 2.0 * t) * q.rx_inv
+                + (tn + ts - 2.0 * t) * q.ry_inv
+                + (q.amb_temp - t) * q.rz_inv);
+        t + delta
+    }
+}
+
+impl Default for Hotspot {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StencilApp for Hotspot {
+    fn name(&self) -> &str {
+        "hotspot"
+    }
+
+    fn halo(&self) -> usize {
+        1
+    }
+
+    fn uses_aux(&self) -> bool {
+        true
+    }
+
+    fn compute(&self, win: &mut Window<'_, '_>) -> f32 {
+        let t = win.at(0, 0);
+        let tn = win.at(0, -1);
+        let ts = win.at(0, 1);
+        let te = win.at(1, 0);
+        let tw = win.at(-1, 0);
+        let p = win.aux_at(0, 0);
+        // 5-point stencil update: ~12 multiply-adds.
+        win.ops(12);
+        self.step(t, tn, ts, te, tw, p)
+    }
+}
+
+/// CPU reference: one explicit step over the whole grid.
+pub fn reference_step(
+    params: &HotspotParams,
+    temp: &[f32],
+    power: &[f32],
+    width: usize,
+    height: usize,
+) -> Vec<f32> {
+    let app = Hotspot::with_params(*params);
+    let mut out = vec![0.0f32; width * height];
+    for y in 0..height as i64 {
+        for x in 0..width as i64 {
+            let at = |dx: i64, dy: i64| -> f32 {
+                let sx = clamp_coord(x + dx, width);
+                let sy = clamp_coord(y + dy, height);
+                temp[sy * width + sx]
+            };
+            out[y as usize * width + x as usize] = app.step(
+                at(0, 0),
+                at(0, -1),
+                at(0, 1),
+                at(1, 0),
+                at(-1, 0),
+                power[y as usize * width + x as usize],
+            );
+        }
+    }
+    out
+}
+
+/// CPU reference: `steps` explicit iterations.
+pub fn reference(
+    params: &HotspotParams,
+    temp: &[f32],
+    power: &[f32],
+    width: usize,
+    height: usize,
+    steps: usize,
+) -> Vec<f32> {
+    let mut current = temp.to_vec();
+    for _ in 0..steps {
+        current = reference_step(params, &current, power, width, height);
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::assert_kernel_matches_reference;
+    use kp_data::hotspot::hotspot_input;
+
+    #[test]
+    fn default_params_are_stable() {
+        assert!(HotspotParams::rodinia().is_stable());
+        let unstable = HotspotParams {
+            step_div_cap: 2.0,
+            ..HotspotParams::rodinia()
+        };
+        assert!(!unstable.is_stable());
+    }
+
+    #[test]
+    fn kernel_matches_cpu_reference() {
+        let input = hotspot_input(32, 3);
+        let temp = input.temperature.as_slice().to_vec();
+        let power = input.power.as_slice().to_vec();
+        let params = HotspotParams::rodinia();
+        assert_kernel_matches_reference(&Hotspot::new(), &temp, Some(&power), 32, 32, |t, p| {
+            reference_step(&params, t, p.unwrap(), 32, 32)
+        });
+    }
+
+    #[test]
+    fn uniform_die_without_power_relaxes_to_ambient() {
+        let params = HotspotParams::rodinia();
+        let (w, h) = (16, 16);
+        let temp = vec![params.amb_temp + 20.0; w * h];
+        let power = vec![0.0f32; w * h];
+        let after = reference(&params, &temp, &power, w, h, 200);
+        for v in after {
+            assert!((v - params.amb_temp).abs() < 0.5, "did not relax: {v}");
+        }
+    }
+
+    #[test]
+    fn powered_cell_heats_up() {
+        let params = HotspotParams::rodinia();
+        let (w, h) = (16, 16);
+        let temp = vec![params.amb_temp; w * h];
+        let mut power = vec![0.0f32; w * h];
+        power[8 * w + 8] = 4.0;
+        let after = reference(&params, &temp, &power, w, h, 50);
+        assert!(after[8 * w + 8] > params.amb_temp + 5.0);
+        // Heat diffuses to the neighbor.
+        assert!(after[8 * w + 9] > params.amb_temp + 1.0);
+        // Far corner stays near ambient.
+        assert!((after[0] - params.amb_temp).abs() < 1.0);
+    }
+
+    #[test]
+    fn simulation_is_stable_over_many_steps() {
+        let params = HotspotParams::rodinia();
+        let input = hotspot_input(32, 7);
+        let after = reference(
+            &params,
+            input.temperature.as_slice(),
+            input.power.as_slice(),
+            32,
+            32,
+            500,
+        );
+        for v in after {
+            assert!(v.is_finite());
+            assert!((200.0..600.0).contains(&v), "diverged: {v}");
+        }
+    }
+
+    #[test]
+    fn app_properties() {
+        let app = Hotspot::new();
+        assert_eq!(app.halo(), 1);
+        assert!(app.uses_aux());
+        assert!(app.baseline_uses_local());
+        assert_eq!(app.name(), "hotspot");
+    }
+}

@@ -1,0 +1,68 @@
+//! Inversion (digital negative) filter (paper §6.1).
+//!
+//! The paper's "artificial benchmark to assess the performance of
+//! applications with 1×1 filter kernels": no data reuse across threads, so
+//! its best-practice baseline reads global memory directly — prefetching
+//! into local memory would only add overhead. Perforation still helps it
+//! (Fig. 10b shows 1.59×) because skipped rows are never read at all.
+
+use kp_core::{StencilApp, Window};
+
+/// The image-inversion application (`out = 1 - in`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Inversion;
+
+impl StencilApp for Inversion {
+    fn name(&self) -> &str {
+        "inversion"
+    }
+
+    fn halo(&self) -> usize {
+        0
+    }
+
+    fn baseline_uses_local(&self) -> bool {
+        // §6.3: "The accurate Inversion application does not use local
+        // memory as a prefetching step would increase runtime."
+        false
+    }
+
+    fn compute(&self, win: &mut Window<'_, '_>) -> f32 {
+        win.ops(1);
+        1.0 - win.at(0, 0)
+    }
+}
+
+/// CPU reference implementation.
+pub fn reference(input: &[f32]) -> Vec<f32> {
+    input.iter().map(|&v| 1.0 - v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{assert_kernel_matches_reference, random_image};
+
+    #[test]
+    fn kernel_matches_cpu_reference() {
+        let (w, h) = (33, 17);
+        let img = random_image(w, h, 5);
+        assert_kernel_matches_reference(&Inversion, &img, None, w, h, |i, _| reference(i));
+    }
+
+    #[test]
+    fn inversion_is_involutive() {
+        // Involutive up to one rounding step of `1.0 - v`.
+        let img = random_image(16, 16, 9);
+        for (a, b) in reference(&reference(&img)).iter().zip(&img) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn app_properties() {
+        assert_eq!(Inversion.halo(), 0);
+        assert!(!Inversion.baseline_uses_local());
+        assert_eq!(Inversion.name(), "inversion");
+    }
+}

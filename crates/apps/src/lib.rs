@@ -1,0 +1,57 @@
+//! # kp-apps — the kernel-perforation evaluation applications
+//!
+//! The six benchmarks of the paper's evaluation (Table 1), each implemented
+//! as a [`kp_core::StencilApp`] so that one kernel body serves the accurate
+//! global, accurate local-memory, perforated, and Paraprox variants:
+//!
+//! | App | Domain | Error metric | Halo |
+//! |---|---|---|---|
+//! | [`Gaussian3`] | Image processing | Mean relative error | 1 |
+//! | [`Median3`] | Medical imaging | Mean relative error | 1 |
+//! | [`Hotspot`] | Physics simulation | Mean relative error | 1 |
+//! | [`Inversion`] | Image processing | Mean relative error | 0 |
+//! | [`Sobel3`] | Image processing | Mean error | 1 |
+//! | [`Sobel5`] | Image processing | Mean error | 2 |
+//!
+//! Every app ships an independent CPU reference implementation; unit tests
+//! assert the simulated kernels match the references exactly. The
+//! [`suite`] module is the registry the benchmark harness iterates over.
+//!
+//! ## Example
+//!
+//! ```
+//! use kp_apps::suite;
+//! use kp_core::{run_app, ImageInput, RunSpec};
+//! use kp_gpu_sim::{Device, DeviceConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let entry = suite::by_name("gaussian").expect("registered app");
+//! let image = vec![0.25f32; 64 * 64];
+//! let input = ImageInput::new(&image, 64, 64)?;
+//! let mut dev = Device::new(DeviceConfig::firepro_w5100())?;
+//! let run = run_app(&mut dev, entry.app, &input,
+//!     &RunSpec::Perforated(entry.fig6_config((16, 16))))?;
+//! assert_eq!(run.output.len(), 64 * 64);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod gaussian;
+pub mod hotspot;
+pub mod inversion;
+pub mod median;
+pub mod sobel;
+pub mod suite;
+
+#[cfg(test)]
+pub(crate) mod testutil;
+
+pub use gaussian::Gaussian3;
+pub use hotspot::{Hotspot, HotspotParams};
+pub use inversion::Inversion;
+pub use median::{Median3, Median3Exact};
+pub use sobel::{Sobel3, Sobel5};
+pub use suite::{by_name, evaluation_apps, extension_apps, AppEntry, ParetoScheme};

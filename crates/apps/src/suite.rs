@@ -1,0 +1,227 @@
+//! The evaluation suite: registry of the paper's six applications
+//! (Table 1) with their domains, error metrics and Pareto-optimal
+//! perforation configurations (§6.2).
+
+use kp_core::{ApproxConfig, ErrorMetric, StencilApp};
+
+use crate::gaussian::Gaussian3;
+use crate::hotspot::Hotspot;
+use crate::inversion::Inversion;
+use crate::median::{Median3, Median3Exact};
+use crate::sobel::{Sobel3, Sobel5};
+
+/// Static app instances (the apps are stateless or const-constructible).
+static GAUSSIAN: Gaussian3 = Gaussian3;
+static INVERSION: Inversion = Inversion;
+static MEDIAN: Median3 = Median3;
+static MEDIAN_EXACT: Median3Exact = Median3Exact;
+static HOTSPOT: Hotspot = Hotspot::new();
+static SOBEL3: Sobel3 = Sobel3;
+static SOBEL5: Sobel5 = Sobel5;
+
+/// Which perforation scheme is Pareto-optimal for an app (paper §6.2:
+/// "For Hotspot and Inversion row scheme 1 was used. For the other
+/// applications stencil scheme was used.").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParetoScheme {
+    /// `Rows1:NN`.
+    Rows1,
+    /// `Stencil1:NN`.
+    Stencil1,
+}
+
+/// One row of Table 1 plus everything the harness needs to run the app.
+#[derive(Clone, Copy)]
+pub struct AppEntry {
+    /// Canonical lowercase name (`"gaussian"`, `"sobel5"`, …).
+    pub name: &'static str,
+    /// Application domain as listed in Table 1.
+    pub domain: &'static str,
+    /// Error metric as listed in Table 1.
+    pub metric: ErrorMetric,
+    /// The kernel body.
+    pub app: &'static (dyn StencilApp + Send + Sync),
+    /// Whether the app consumes the auxiliary input (Hotspot's power grid).
+    pub needs_aux: bool,
+    /// The Pareto-optimal scheme used for the Fig. 6 study.
+    pub pareto: ParetoScheme,
+}
+
+impl std::fmt::Debug for AppEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppEntry")
+            .field("name", &self.name)
+            .field("domain", &self.domain)
+            .field("metric", &self.metric)
+            .field("needs_aux", &self.needs_aux)
+            .field("pareto", &self.pareto)
+            .finish()
+    }
+}
+
+impl AppEntry {
+    /// The Fig. 6 Pareto-optimal configuration at the given work-group
+    /// size.
+    pub fn fig6_config(&self, group: (usize, usize)) -> ApproxConfig {
+        match self.pareto {
+            ParetoScheme::Rows1 => ApproxConfig::rows1_nn(group),
+            ParetoScheme::Stencil1 => ApproxConfig::stencil1_nn(group),
+        }
+    }
+}
+
+/// The paper's six evaluation applications, in Table 1 order
+/// (Sobel appears twice: 3×3 and 5×5 masks).
+pub fn evaluation_apps() -> Vec<AppEntry> {
+    vec![
+        AppEntry {
+            name: "gaussian",
+            domain: "Image processing",
+            metric: ErrorMetric::MeanRelative,
+            app: &GAUSSIAN,
+            needs_aux: false,
+            pareto: ParetoScheme::Stencil1,
+        },
+        AppEntry {
+            name: "median",
+            domain: "Medical imaging",
+            metric: ErrorMetric::MeanRelative,
+            app: &MEDIAN,
+            needs_aux: false,
+            pareto: ParetoScheme::Stencil1,
+        },
+        AppEntry {
+            name: "hotspot",
+            domain: "Physics simulation",
+            metric: ErrorMetric::MeanRelative,
+            app: &HOTSPOT,
+            needs_aux: true,
+            pareto: ParetoScheme::Rows1,
+        },
+        AppEntry {
+            name: "inversion",
+            domain: "Image processing",
+            metric: ErrorMetric::MeanRelative,
+            app: &INVERSION,
+            needs_aux: false,
+            pareto: ParetoScheme::Rows1,
+        },
+        AppEntry {
+            name: "sobel3",
+            domain: "Image processing",
+            metric: ErrorMetric::MeanAbsolute,
+            app: &SOBEL3,
+            needs_aux: false,
+            pareto: ParetoScheme::Stencil1,
+        },
+        AppEntry {
+            name: "sobel5",
+            domain: "Image processing",
+            metric: ErrorMetric::MeanAbsolute,
+            app: &SOBEL5,
+            needs_aux: false,
+            pareto: ParetoScheme::Stencil1,
+        },
+    ]
+}
+
+/// Extension apps beyond the paper's six (ablations).
+pub fn extension_apps() -> Vec<AppEntry> {
+    vec![AppEntry {
+        name: "median-exact",
+        domain: "Medical imaging",
+        metric: ErrorMetric::MeanRelative,
+        app: &MEDIAN_EXACT,
+        needs_aux: false,
+        pareto: ParetoScheme::Stencil1,
+    }]
+}
+
+/// Looks up an app (evaluation or extension) by its canonical name.
+pub fn by_name(name: &str) -> Option<AppEntry> {
+    evaluation_apps()
+        .into_iter()
+        .chain(extension_apps())
+        .find(|e| e.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_the_papers_six_apps() {
+        let apps = evaluation_apps();
+        assert_eq!(apps.len(), 6);
+        let names: Vec<&str> = apps.iter().map(|a| a.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "gaussian",
+                "median",
+                "hotspot",
+                "inversion",
+                "sobel3",
+                "sobel5"
+            ]
+        );
+    }
+
+    #[test]
+    fn table1_metrics_match_paper() {
+        for entry in evaluation_apps() {
+            let expect = match entry.name {
+                "sobel3" | "sobel5" => ErrorMetric::MeanAbsolute,
+                _ => ErrorMetric::MeanRelative,
+            };
+            assert_eq!(entry.metric, expect, "{}", entry.name);
+        }
+    }
+
+    #[test]
+    fn pareto_schemes_match_section_6_2() {
+        for entry in evaluation_apps() {
+            let expect = match entry.name {
+                "hotspot" | "inversion" => ParetoScheme::Rows1,
+                _ => ParetoScheme::Stencil1,
+            };
+            assert_eq!(entry.pareto, expect, "{}", entry.name);
+        }
+    }
+
+    #[test]
+    fn only_hotspot_needs_aux() {
+        for entry in evaluation_apps() {
+            assert_eq!(entry.needs_aux, entry.name == "hotspot");
+            assert_eq!(entry.app.uses_aux(), entry.needs_aux);
+        }
+    }
+
+    #[test]
+    fn fig6_configs_validate() {
+        for entry in evaluation_apps() {
+            let cfg = entry.fig6_config((16, 16));
+            assert!(cfg.validate(entry.app.halo()).is_ok(), "{}", entry.name);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("gaussian").is_some());
+        assert!(by_name("median-exact").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn app_names_match_registry_keys() {
+        for entry in evaluation_apps().into_iter().chain(extension_apps()) {
+            assert_eq!(entry.app.name(), entry.name);
+        }
+    }
+
+    #[test]
+    fn entry_debug_is_informative() {
+        let s = format!("{:?}", by_name("gaussian").unwrap());
+        assert!(s.contains("gaussian"));
+    }
+}

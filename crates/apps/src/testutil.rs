@@ -1,0 +1,76 @@
+//! Shared helpers for the app unit tests.
+
+use kp_core::{run_app, ImageInput, RunSpec, StencilApp};
+use kp_gpu_sim::{Device, DeviceConfig};
+
+/// Deterministic pseudo-random image in `[0, 1]` (xorshift-based; no rand
+/// dependency needed at this layer).
+pub fn random_image(width: usize, height: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..width * height)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 40) % 10_000) as f32 / 9_999.0
+        })
+        .collect()
+}
+
+/// Asserts that the accurate GPU kernels (global *and* local-memory
+/// variants) produce exactly the CPU reference.
+pub fn assert_kernel_matches_reference(
+    app: &dyn StencilApp,
+    input: &[f32],
+    aux: Option<&[f32]>,
+    width: usize,
+    height: usize,
+    reference: impl Fn(&[f32], Option<&[f32]>) -> Vec<f32>,
+) {
+    let expect = reference(input, aux);
+    assert_eq!(expect.len(), width * height, "reference has wrong size");
+
+    let mut dev = Device::new(DeviceConfig::firepro_w5100()).unwrap();
+    dev.set_profiling(false);
+    let image_input = ImageInput::with_aux(input, aux, width, height).unwrap();
+
+    for spec in [
+        RunSpec::AccurateGlobal { group: (16, 8) },
+        RunSpec::AccurateLocal { group: (16, 8) },
+    ] {
+        let run = run_app(&mut dev, app, &image_input, &spec).unwrap();
+        let mut worst = 0.0f32;
+        let mut worst_at = 0usize;
+        for (i, (a, b)) in run.output.iter().zip(&expect).enumerate() {
+            let d = (a - b).abs();
+            if d > worst {
+                worst = d;
+                worst_at = i;
+            }
+        }
+        assert!(
+            worst <= 1e-5,
+            "{} {:?}: worst diff {} at index {} (gpu {} vs cpu {})",
+            app.name(),
+            spec.label(),
+            worst,
+            worst_at,
+            run.output[worst_at],
+            expect[worst_at],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_image_is_deterministic_and_bounded() {
+        let a = random_image(8, 8, 1);
+        let b = random_image(8, 8, 1);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|v| (0.0..=1.0).contains(v)));
+        assert_ne!(a, random_image(8, 8, 2));
+    }
+}

@@ -1,0 +1,44 @@
+//! Per-application benchmarks: accurate baseline vs perforated kernel
+//! (simulated launches; regenerates the Fig. 6 speedup bars at small scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kp_apps::suite;
+use kp_bench::util::{run_once, timing_input_for, Ctx};
+use kp_core::{ApproxConfig, RunSpec};
+
+fn bench_apps(c: &mut Criterion) {
+    let mut ctx = Ctx::tiny();
+    ctx.timing_size = 128;
+    let group = (16, 16);
+    let mut g = c.benchmark_group("apps");
+    g.sample_size(10);
+    for entry in suite::evaluation_apps() {
+        let input = timing_input_for(&entry, &ctx);
+        g.bench_with_input(
+            BenchmarkId::new("baseline", entry.name),
+            &input,
+            |b, input| {
+                b.iter(|| run_once(&entry, input, &RunSpec::Baseline { group }, true).unwrap())
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("rows1_nn", entry.name),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    run_once(
+                        &entry,
+                        input,
+                        &RunSpec::Perforated(ApproxConfig::rows1_nn(group)),
+                        true,
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_apps);
+criterion_main!(benches);

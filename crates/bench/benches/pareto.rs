@@ -1,0 +1,18 @@
+//! Figure 10 benchmark: the Paraprox-vs-perforation Pareto scatter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kp_bench::experiments::fig10::pareto_points;
+use kp_bench::util::Ctx;
+
+fn bench_pareto(c: &mut Criterion) {
+    let ctx = Ctx::tiny();
+    let mut g = c.benchmark_group("fig10_pareto");
+    g.sample_size(10);
+    for app in ["gaussian", "median"] {
+        g.bench_function(app, |b| b.iter(|| pareto_points(app, &ctx)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pareto);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Reconstruction-technique benchmarks: NN vs LI host throughput over a
+//! perforated tile (the ablation behind the paper's §5.1 choice).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use kp_core::{reconstruct_element, PerforationScheme, Reconstruction, SkipLevel, TileGeometry};
+
+fn bench_reconstruction(c: &mut Criterion) {
+    let tile = TileGeometry::new(64, 64, 1);
+    let scheme = PerforationScheme::Rows(SkipLevel::Half);
+    let data: Vec<f32> = (0..tile.padded_len())
+        .map(|i| (i % 97) as f32 / 96.0)
+        .collect();
+    let mut g = c.benchmark_group("reconstruction");
+    g.throughput(Throughput::Elements(tile.padded_len() as u64));
+    for (label, recon) in [
+        ("nearest_neighbor", Reconstruction::NearestNeighbor),
+        ("linear_interpolation", Reconstruction::LinearInterpolation),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut acc = 0.0f32;
+                for py in 0..tile.padded_h() {
+                    for px in 0..tile.padded_w() {
+                        let (gx, gy) = tile.global_of((0, 0), px, py);
+                        if !scheme.loads(&tile, px, py, gx, gy) {
+                            let mut read = |x: usize, y: usize| data[tile.index(x, y)];
+                            let mut ops = |_| {};
+                            acc += reconstruct_element(
+                                &scheme,
+                                recon,
+                                &tile,
+                                (0, 0),
+                                px,
+                                py,
+                                &mut read,
+                                &mut ops,
+                            );
+                        }
+                    }
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_reconstruction);
+criterion_main!(benches);

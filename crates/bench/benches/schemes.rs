@@ -1,0 +1,18 @@
+//! Figure 8 benchmark: the four perforation-scheme configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kp_bench::experiments::fig8::scheme_points;
+use kp_bench::util::Ctx;
+
+fn bench_schemes(c: &mut Criterion) {
+    let ctx = Ctx::tiny();
+    let mut g = c.benchmark_group("fig8_schemes");
+    g.sample_size(10);
+    for app in ["gaussian", "inversion", "median"] {
+        g.bench_function(app, |b| b.iter(|| scheme_points(app, &ctx)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Substrate micro-benchmarks: host-side throughput of the simulator for
+//! the kernels that dominate the harness.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use kp_gpu_sim::{BufferId, Device, DeviceConfig, ItemCtx, Kernel, NdRange};
+
+struct Copy2D {
+    src: BufferId,
+    dst: BufferId,
+    width: usize,
+}
+
+impl Kernel for Copy2D {
+    fn name(&self) -> &str {
+        "copy2d"
+    }
+
+    fn run_phase(&self, _phase: usize, ctx: &mut ItemCtx<'_>) {
+        let x = ctx.global_id(0);
+        let y = ctx.global_id(1);
+        let v: f32 = ctx.read_global(self.src, y * self.width + x);
+        ctx.write_global(self.dst, y * self.width + x, v);
+        ctx.ops(1);
+    }
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let size = 256usize;
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements((size * size) as u64));
+    for profiling in [false, true] {
+        let label = if profiling {
+            "copy2d_profiled"
+        } else {
+            "copy2d_functional"
+        };
+        g.bench_function(label, |b| {
+            let mut dev = Device::new(DeviceConfig::firepro_w5100()).unwrap();
+            dev.set_profiling(profiling);
+            let data = vec![1.0f32; size * size];
+            let src = dev.create_buffer_from("src", &data).unwrap();
+            let dst = dev.create_buffer::<f32>("dst", size * size).unwrap();
+            let range = NdRange::new_2d((size, size), (16, 16)).unwrap();
+            b.iter(|| {
+                dev.launch(
+                    &Copy2D {
+                        src,
+                        dst,
+                        width: size,
+                    },
+                    range,
+                )
+                .unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Figure 9 benchmark: work-group shape sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kp_bench::experiments::fig9::shape_points;
+use kp_bench::util::Ctx;
+
+fn bench_workgroup(c: &mut Criterion) {
+    let mut ctx = Ctx::tiny();
+    ctx.timing_size = 128;
+    let mut g = c.benchmark_group("fig9_workgroup");
+    g.sample_size(10);
+    for app in ["gaussian", "inversion"] {
+        g.bench_function(app, |b| b.iter(|| shape_points(app, &ctx)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_workgroup);
+criterion_main!(benches);

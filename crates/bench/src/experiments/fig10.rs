@@ -1,0 +1,195 @@
+//! Figure 10: Pareto-optimal solutions — our perforation vs. Paraprox's
+//! output approximation.
+//!
+//! For Gaussian, Inversion and Median: speedup (x) vs. mean relative error
+//! (y) of the six Paraprox schemes (`Center/Rows/Cols` × levels 1, 2), the
+//! accurate kernel, and our `Stencil1:NN` / `Rows1:NN`. Speedups are
+//! normalized to the Paraprox baseline (the accurate global-memory kernel,
+//! the baseline Paraprox itself generates against). The paper's headline —
+//! our points reach similar speedups at a fraction of the error, and Cols
+//! is slower than Rows due to memory-layout misalignment — must reproduce.
+
+use crate::util::{parallel_map, pct, run_once, timing_input_for, Ctx, OwnedInput};
+use kp_apps::suite;
+use kp_core::paraprox::fig10_schemes;
+use kp_core::{pareto_front, ApproxConfig, RunSpec, TradeOff};
+use kp_data::synth;
+
+/// One point of the Fig. 10 scatter.
+#[derive(Debug, Clone)]
+pub struct ParetoPoint {
+    /// App name.
+    pub app: String,
+    /// Variant label.
+    pub label: String,
+    /// Speedup over the accurate global-memory baseline.
+    pub speedup: f64,
+    /// Error vs. the accurate output.
+    pub error: f64,
+    /// Whether the point is on the Pareto front.
+    pub optimal: bool,
+    /// Whether this is one of our perforation points (vs. Paraprox).
+    pub ours: bool,
+}
+
+/// The apps of Fig. 10.
+pub fn fig10_apps() -> Vec<&'static str> {
+    vec!["gaussian", "inversion", "median"]
+}
+
+/// Measures all Fig. 10 points for one app.
+///
+/// # Panics
+///
+/// Panics if a launch fails.
+pub fn pareto_points(app_name: &str, ctx: &Ctx) -> Vec<ParetoPoint> {
+    let entry = suite::by_name(app_name).expect("registered app");
+    let group = (16, 16);
+
+    let mut specs: Vec<(RunSpec, bool)> = vec![(RunSpec::AccurateGlobal { group }, false)];
+    for scheme in fig10_schemes() {
+        specs.push((RunSpec::Paraprox { scheme, group }, false));
+    }
+    if entry.app.halo() > 0 {
+        specs.push((RunSpec::Perforated(ApproxConfig::stencil1_nn(group)), true));
+    }
+    specs.push((RunSpec::Perforated(ApproxConfig::rows1_nn(group)), true));
+
+    let err_input = OwnedInput::from_image(
+        "scene",
+        &synth::scene(ctx.error_size, ctx.error_size, ctx.seed),
+    );
+    let reference = run_once(
+        &entry,
+        &err_input,
+        &RunSpec::AccurateGlobal { group },
+        false,
+    )
+    .expect("reference");
+    let timing = timing_input_for(&entry, ctx);
+    let baseline_seconds = run_once(&entry, &timing, &RunSpec::AccurateGlobal { group }, true)
+        .expect("baseline timing")
+        .report
+        .seconds;
+
+    let mut points: Vec<ParetoPoint> = parallel_map(&specs, |(spec, ours)| {
+        let err_run = run_once(&entry, &err_input, spec, false).expect("error run");
+        let time_run = run_once(&entry, &timing, spec, true).expect("timing run");
+        ParetoPoint {
+            app: app_name.to_owned(),
+            label: spec.label(),
+            speedup: baseline_seconds / time_run.report.seconds,
+            error: entry.metric.evaluate(&reference.output, &err_run.output),
+            optimal: false,
+            ours: *ours,
+        }
+    });
+
+    let trade_offs: Vec<TradeOff> = points
+        .iter()
+        .map(|p| TradeOff::new(p.speedup, p.error))
+        .collect();
+    for idx in pareto_front(&trade_offs) {
+        points[idx].optimal = true;
+    }
+    points
+}
+
+/// Regenerates Figure 10.
+pub fn run(ctx: &Ctx) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 10: Pareto-optimal solutions (speedup vs error, * = Pareto, + = ours)\n");
+    let mut rows = vec![vec![
+        "app".to_owned(),
+        "variant".to_owned(),
+        "speedup".to_owned(),
+        "error".to_owned(),
+        "pareto".to_owned(),
+        "ours".to_owned(),
+    ]];
+    for app in fig10_apps() {
+        let points = pareto_points(app, ctx);
+        out.push_str(&format!("  {app}:\n"));
+        for p in &points {
+            out.push_str(&format!(
+                "    {}{} {:<12} speedup {:>5.2}x   error {:>8}\n",
+                if p.optimal { '*' } else { ' ' },
+                if p.ours { '+' } else { ' ' },
+                p.label,
+                p.speedup,
+                pct(p.error)
+            ));
+            rows.push(vec![
+                p.app.clone(),
+                p.label.clone(),
+                p.speedup.to_string(),
+                p.error.to_string(),
+                p.optimal.to_string(),
+                p.ours.to_string(),
+            ]);
+        }
+        // Paper's headline comparison: our points vs the best Paraprox
+        // point of similar speed.
+        let ours_best = points
+            .iter()
+            .filter(|p| p.ours)
+            .max_by(|a, b| a.speedup.partial_cmp(&b.speedup).expect("speedup"));
+        let px_best = points
+            .iter()
+            .filter(|p| !p.ours && p.label != "AccurateGlobal")
+            .max_by(|a, b| a.speedup.partial_cmp(&b.speedup).expect("speedup"));
+        if let (Some(ours), Some(px)) = (ours_best, px_best) {
+            out.push_str(&format!(
+                "    ours {} at {:.2}x/{} vs Paraprox {} at {:.2}x/{}\n",
+                ours.label,
+                ours.speedup,
+                pct(ours.error),
+                px.label,
+                px.speedup,
+                pct(px.error)
+            ));
+        }
+    }
+    crate::util::write_csv(&ctx.out_path("fig10.csv"), &rows);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn our_points_have_much_lower_error_than_paraprox_rows() {
+        let ctx = Ctx::tiny();
+        let points = pareto_points("gaussian", &ctx);
+        let ours = points.iter().find(|p| p.label == "Rows1:NN").unwrap();
+        let px = points.iter().find(|p| p.label == "PxRows1").unwrap();
+        assert!(
+            ours.error < px.error,
+            "ours {} vs paraprox {}",
+            ours.error,
+            px.error
+        );
+    }
+
+    #[test]
+    fn accurate_baseline_is_the_unit_point() {
+        let ctx = Ctx::tiny();
+        let points = pareto_points("inversion", &ctx);
+        let acc = points.iter().find(|p| p.label == "AccurateGlobal").unwrap();
+        assert!((acc.speedup - 1.0).abs() < 1e-9);
+        assert_eq!(acc.error, 0.0);
+        assert!(acc.optimal, "the accurate point always sits on the front");
+    }
+
+    #[test]
+    fn pareto_front_is_nonempty_and_contains_ours() {
+        let ctx = Ctx::tiny();
+        let points = pareto_points("median", &ctx);
+        assert!(points.iter().any(|p| p.optimal));
+        assert!(
+            points.iter().any(|p| p.optimal && p.ours),
+            "ours on the front"
+        );
+    }
+}

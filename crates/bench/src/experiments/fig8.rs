@@ -1,0 +1,132 @@
+//! Figure 8: perforation schemes with different parameters — runtime vs.
+//! mean relative error for `Rows1:NN`, `Rows2:NN`, `Rows1:LI` and
+//! `Stencil1:NN` on Gaussian, Inversion and Median.
+
+use crate::util::{parallel_map, pct, run_once, timing_input_for, Ctx, OwnedInput};
+use kp_apps::suite;
+use kp_core::{fig8_specs, RunSpec};
+use kp_data::synth;
+
+/// One measured point of Fig. 8.
+#[derive(Debug, Clone)]
+pub struct SchemePoint {
+    /// App name.
+    pub app: String,
+    /// Configuration label (`Rows1:NN`, …).
+    pub label: String,
+    /// Simulated runtime in milliseconds (timing-size input).
+    pub runtime_ms: f64,
+    /// Error vs. the accurate output (error-size photo input).
+    pub error: f64,
+}
+
+/// The apps of Fig. 8.
+pub fn fig8_apps() -> Vec<&'static str> {
+    vec!["gaussian", "inversion", "median"]
+}
+
+/// Measures all Fig. 8 points for one app.
+///
+/// # Panics
+///
+/// Panics if a launch fails.
+pub fn scheme_points(app_name: &str, ctx: &Ctx) -> Vec<SchemePoint> {
+    let entry = suite::by_name(app_name).expect("registered app");
+    let group = (16, 16);
+    let specs = fig8_specs(group, entry.app.halo());
+
+    let err_input = OwnedInput::from_image(
+        "scene",
+        &synth::scene(ctx.error_size, ctx.error_size, ctx.seed),
+    );
+    let reference = run_once(
+        &entry,
+        &err_input,
+        &RunSpec::AccurateGlobal { group },
+        false,
+    )
+    .expect("reference");
+    let timing = timing_input_for(&entry, ctx);
+
+    parallel_map(&specs, |spec| {
+        let err_run = run_once(&entry, &err_input, spec, false).expect("error run");
+        let time_run = run_once(&entry, &timing, spec, true).expect("timing run");
+        SchemePoint {
+            app: app_name.to_owned(),
+            label: spec.label(),
+            runtime_ms: time_run.report.millis(),
+            error: entry.metric.evaluate(&reference.output, &err_run.output),
+        }
+    })
+}
+
+/// Regenerates Figure 8.
+pub fn run(ctx: &Ctx) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 8: perforation schemes with different parameters\n");
+    let mut rows = vec![vec![
+        "app".to_owned(),
+        "config".to_owned(),
+        "runtime_ms".to_owned(),
+        "error".to_owned(),
+    ]];
+    for app in fig8_apps() {
+        let points = scheme_points(app, ctx);
+        out.push_str(&format!("  {app}:\n"));
+        for p in &points {
+            out.push_str(&format!(
+                "    {:<12} runtime {:>8.3} ms   error {:>7}\n",
+                p.label,
+                p.runtime_ms,
+                pct(p.error)
+            ));
+            rows.push(vec![
+                p.app.clone(),
+                p.label.clone(),
+                p.runtime_ms.to_string(),
+                p.error.to_string(),
+            ]);
+        }
+        // The paper's observations for this figure.
+        let get = |label: &str| points.iter().find(|p| p.label == label);
+        if let (Some(nn), Some(li)) = (get("Rows1:NN"), get("Rows1:LI")) {
+            out.push_str(&format!(
+                "    LI reduces error by {:.0}% vs NN at {:+.1}% runtime\n",
+                (1.0 - li.error / nn.error.max(1e-12)) * 100.0,
+                (li.runtime_ms / nn.runtime_ms - 1.0) * 100.0
+            ));
+        }
+        if let Some(st) = get("Stencil1:NN") {
+            out.push_str(&format!(
+                "    Stencil1 error {} (paper: < 1%)\n",
+                pct(st.error)
+            ));
+        }
+    }
+    crate::util::write_csv(&ctx.out_path("fig8.csv"), &rows);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_error_ordering_holds() {
+        let ctx = Ctx::tiny();
+        let points = scheme_points("gaussian", &ctx);
+        let get = |label: &str| points.iter().find(|p| p.label == label).unwrap();
+        // Paper: LI < NN; Rows1 < Rows2; Stencil smallest.
+        assert!(get("Rows1:LI").error <= get("Rows1:NN").error);
+        assert!(get("Rows1:NN").error <= get("Rows2:NN").error);
+        assert!(get("Stencil1:NN").error <= get("Rows1:NN").error);
+    }
+
+    #[test]
+    fn inversion_has_no_stencil_point() {
+        let ctx = Ctx::tiny();
+        let points = scheme_points("inversion", &ctx);
+        assert_eq!(points.len(), 3);
+        assert!(points.iter().all(|p| p.label != "Stencil1:NN"));
+    }
+}

@@ -1,0 +1,161 @@
+//! Figure 9: local work-group size tuning.
+//!
+//! Runtime of the accurate baseline and the `Rows1`/`Stencil1` perforated
+//! kernels across ten work-group shapes from tall-skinny `(2,128)` to
+//! wide-flat `(128,2)`. The paper's two observations must reproduce:
+//! configurations with `x ≥ y` align better with the memory interface, and
+//! the optimal shape differs between the baseline and the approximated
+//! kernels.
+
+use crate::util::{parallel_map, run_once, timing_input_for, Ctx};
+use kp_apps::suite;
+use kp_core::{fig9_shapes, ApproxConfig, RunSpec};
+
+/// Measured runtimes (ms) for one work-group shape.
+#[derive(Debug, Clone)]
+pub struct ShapePoint {
+    /// Work-group shape `(x, y)`.
+    pub shape: (usize, usize),
+    /// Accurate baseline runtime.
+    pub baseline_ms: f64,
+    /// `Rows1:NN` runtime.
+    pub rows1_ms: f64,
+    /// `Stencil1:NN` runtime (None for halo-0 apps).
+    pub stencil_ms: Option<f64>,
+}
+
+/// The apps of Fig. 9.
+pub fn fig9_apps() -> Vec<&'static str> {
+    vec!["gaussian", "inversion", "median"]
+}
+
+/// Measures all shapes for one app.
+///
+/// # Panics
+///
+/// Panics if a launch fails.
+pub fn shape_points(app_name: &str, ctx: &Ctx) -> Vec<ShapePoint> {
+    let entry = suite::by_name(app_name).expect("registered app");
+    let timing = timing_input_for(&entry, ctx);
+    let shapes: Vec<(usize, usize)> = fig9_shapes()
+        .into_iter()
+        .filter(|&(x, y)| x <= ctx.timing_size && y <= ctx.timing_size)
+        .collect();
+    parallel_map(&shapes, |&shape| {
+        let baseline = run_once(&entry, &timing, &RunSpec::Baseline { group: shape }, true)
+            .expect("baseline run");
+        let rows1 = run_once(
+            &entry,
+            &timing,
+            &RunSpec::Perforated(ApproxConfig::rows1_nn(shape)),
+            true,
+        )
+        .expect("rows1 run");
+        let stencil = (entry.app.halo() > 0).then(|| {
+            run_once(
+                &entry,
+                &timing,
+                &RunSpec::Perforated(ApproxConfig::stencil1_nn(shape)),
+                true,
+            )
+            .expect("stencil run")
+            .report
+            .millis()
+        });
+        ShapePoint {
+            shape,
+            baseline_ms: baseline.report.millis(),
+            rows1_ms: rows1.report.millis(),
+            stencil_ms: stencil,
+        }
+    })
+}
+
+/// Regenerates Figure 9.
+pub fn run(ctx: &Ctx) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 9: local work-group size tuning (runtime, ms)\n");
+    let mut rows = vec![vec![
+        "app".to_owned(),
+        "shape_x".to_owned(),
+        "shape_y".to_owned(),
+        "baseline_ms".to_owned(),
+        "rows1_ms".to_owned(),
+        "stencil_ms".to_owned(),
+    ]];
+    for app in fig9_apps() {
+        let points = shape_points(app, ctx);
+        out.push_str(&format!(
+            "  {app}: {:>8} {:>10} {:>10} {:>10}\n",
+            "shape", "baseline", "rows1", "stencil1"
+        ));
+        for p in &points {
+            out.push_str(&format!(
+                "  {:>9} {:>10.3} {:>10.3} {:>10}\n",
+                format!("{}x{}", p.shape.0, p.shape.1),
+                p.baseline_ms,
+                p.rows1_ms,
+                p.stencil_ms.map_or("--".to_owned(), |v| format!("{v:.3}")),
+            ));
+            rows.push(vec![
+                app.to_owned(),
+                p.shape.0.to_string(),
+                p.shape.1.to_string(),
+                p.baseline_ms.to_string(),
+                p.rows1_ms.to_string(),
+                p.stencil_ms.map_or(String::new(), |v| v.to_string()),
+            ]);
+        }
+        let best_base = points
+            .iter()
+            .min_by(|a, b| a.baseline_ms.partial_cmp(&b.baseline_ms).expect("ms"))
+            .expect("nonempty");
+        let best_rows = points
+            .iter()
+            .min_by(|a, b| a.rows1_ms.partial_cmp(&b.rows1_ms).expect("ms"))
+            .expect("nonempty");
+        out.push_str(&format!(
+            "    best baseline shape {}x{} | best Rows1 shape {}x{}{}\n",
+            best_base.shape.0,
+            best_base.shape.1,
+            best_rows.shape.0,
+            best_rows.shape.1,
+            if best_base.shape != best_rows.shape {
+                "  (differs, as in the paper)"
+            } else {
+                ""
+            }
+        ));
+    }
+    crate::util::write_csv(&ctx.out_path("fig9.csv"), &rows);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wide_groups_beat_tall_groups() {
+        let mut ctx = Ctx::tiny();
+        ctx.timing_size = 128;
+        let points = shape_points("gaussian", &ctx);
+        let tall = points.iter().find(|p| p.shape == (2, 128)).unwrap();
+        let wide = points.iter().find(|p| p.shape == (128, 2)).unwrap();
+        assert!(
+            wide.baseline_ms < tall.baseline_ms,
+            "wide {} vs tall {}",
+            wide.baseline_ms,
+            tall.baseline_ms
+        );
+        assert!(wide.rows1_ms < tall.rows1_ms);
+    }
+
+    #[test]
+    fn inversion_has_no_stencil_column() {
+        let mut ctx = Ctx::tiny();
+        ctx.timing_size = 128;
+        let points = shape_points("inversion", &ctx);
+        assert!(points.iter().all(|p| p.stencil_ms.is_none()));
+    }
+}

@@ -1,0 +1,11 @@
+//! Experiment modules: one per table/figure of the paper.
+
+pub mod ablations;
+pub mod fig10;
+pub mod fig2;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod summary;
+pub mod table1;

@@ -1,0 +1,142 @@
+//! Headline summary: per-app speedup and error of the paper's chosen
+//! configurations, side by side with the numbers the paper reports.
+
+use crate::util::{pct, run_once, timing_input_for, Ctx, OwnedInput};
+use kp_apps::suite;
+use kp_core::{ApproxConfig, RunSpec};
+use kp_data::synth;
+
+/// The paper's Fig. 6 speedups, for the side-by-side column.
+fn paper_speedup(app: &str) -> f64 {
+    match app {
+        "gaussian" => 2.2,
+        "inversion" => 1.59,
+        "median" => 1.62,
+        "hotspot" => 1.98,
+        "sobel3" => 1.79,
+        "sobel5" => 3.05,
+        _ => f64::NAN,
+    }
+}
+
+/// One summary row.
+#[derive(Debug, Clone)]
+pub struct SummaryRow {
+    /// App name.
+    pub app: String,
+    /// Configuration measured.
+    pub config: String,
+    /// Measured speedup over the app's best-practice baseline.
+    pub speedup: f64,
+    /// Paper's reported speedup.
+    pub paper_speedup: f64,
+    /// Measured error on a photo-like input.
+    pub error: f64,
+}
+
+/// Measures the summary for all apps.
+///
+/// # Panics
+///
+/// Panics if a launch fails.
+pub fn summary_rows(ctx: &Ctx) -> Vec<SummaryRow> {
+    let group = (16, 16);
+    suite::evaluation_apps()
+        .iter()
+        .map(|entry| {
+            let config = ApproxConfig::rows1_nn(group);
+            let spec = RunSpec::Perforated(config);
+            let timing = timing_input_for(entry, ctx);
+            let baseline =
+                run_once(entry, &timing, &RunSpec::Baseline { group }, true).expect("baseline");
+            let perf = run_once(entry, &timing, &spec, true).expect("perforated");
+
+            let err_input = if entry.needs_aux {
+                timing.clone()
+            } else {
+                OwnedInput::from_image(
+                    "scene",
+                    &synth::scene(ctx.error_size, ctx.error_size, ctx.seed),
+                )
+            };
+            let reference = run_once(entry, &err_input, &RunSpec::AccurateGlobal { group }, false)
+                .expect("reference");
+            let err_run = run_once(entry, &err_input, &spec, false).expect("error run");
+
+            SummaryRow {
+                app: entry.name.to_owned(),
+                config: config.label(),
+                speedup: baseline.report.seconds / perf.report.seconds,
+                paper_speedup: paper_speedup(entry.name),
+                error: entry.metric.evaluate(&reference.output, &err_run.output),
+            }
+        })
+        .collect()
+}
+
+/// Regenerates the headline summary.
+pub fn run(ctx: &Ctx) -> String {
+    let rows = summary_rows(ctx);
+    let mut out = String::new();
+    out.push_str("Headline summary (perforated Rows1:NN vs best-practice baseline)\n");
+    out.push_str(&format!(
+        "{:<10} {:<10} {:>9} {:>14} {:>9}\n",
+        "app", "config", "speedup", "paper speedup", "error"
+    ));
+    let mut csv = vec![vec![
+        "app".to_owned(),
+        "config".to_owned(),
+        "speedup".to_owned(),
+        "paper_speedup".to_owned(),
+        "error".to_owned(),
+    ]];
+    for r in &rows {
+        out.push_str(&format!(
+            "{:<10} {:<10} {:>8.2}x {:>13.2}x {:>9}\n",
+            r.app,
+            r.config,
+            r.speedup,
+            r.paper_speedup,
+            pct(r.error)
+        ));
+        csv.push(vec![
+            r.app.clone(),
+            r.config.clone(),
+            r.speedup.to_string(),
+            r.paper_speedup.to_string(),
+            r.error.to_string(),
+        ]);
+    }
+    let mean_err = rows.iter().map(|r| r.error).sum::<f64>() / rows.len() as f64;
+    let (lo, hi) = rows.iter().fold((f64::MAX, 0.0f64), |(lo, hi), r| {
+        (lo.min(r.speedup), hi.max(r.speedup))
+    });
+    out.push_str(&format!(
+        "measured: speedups {lo:.2}x..{hi:.2}x, mean error {} | paper: 1.6x..3.05x, ~6%\n",
+        pct(mean_err)
+    ));
+    crate::util::write_csv(&ctx.out_path("summary.csv"), &csv);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_apps_speed_up() {
+        let ctx = Ctx::tiny();
+        let rows = summary_rows(&ctx);
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert!(r.speedup > 1.0, "{} did not speed up: {}", r.app, r.speedup);
+            assert!(r.error.is_finite());
+        }
+    }
+
+    #[test]
+    fn paper_numbers_are_wired() {
+        assert_eq!(paper_speedup("sobel5"), 3.05);
+        assert!(paper_speedup("unknown").is_nan());
+    }
+}

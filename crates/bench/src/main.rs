@@ -1,0 +1,104 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! Usage: repro [COMMAND] [--paper] [--out DIR]
+//!
+//! Commands:
+//!   table1    Table 1  — application inventory
+//!   fig2      Figure 2 — original / perforated / reconstructed images
+//!   fig6      Figure 6 — input sensitivity + speedups
+//!   fig7      Figure 7 — per-input error examples
+//!   fig8      Figure 8 — perforation scheme parameters
+//!   fig9      Figure 9 — work-group size tuning
+//!   fig10     Figure 10 — Pareto fronts vs Paraprox
+//!   summary   headline numbers vs the paper
+//!   ablations design-choice ablations (random scheme, reconstruction, median)
+//!   all       everything above (default)
+//!
+//! Options:
+//!   --paper   paper-scale inputs (1024², 100 images; slower)
+//!   --out DIR output directory for CSV/PGM artifacts (default: results)
+//! ```
+
+use kp_bench::experiments::{ablations, fig10, fig2, fig6, fig7, fig8, fig9, summary, table1};
+use kp_bench::Ctx;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = "all".to_owned();
+    let mut out_dir = "results".to_owned();
+    let mut paper = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--paper" => paper = true,
+            "--out" => {
+                out_dir = it
+                    .next()
+                    .unwrap_or_else(|| {
+                        eprintln!("--out needs a directory argument");
+                        std::process::exit(2);
+                    })
+                    .clone();
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown option '{flag}'");
+                std::process::exit(2);
+            }
+            name => cmd = name.to_owned(),
+        }
+    }
+
+    let ctx = if paper {
+        Ctx::paper(&out_dir)
+    } else {
+        Ctx::quick(&out_dir)
+    };
+    let run_one = |name: &str| -> String {
+        let started = std::time::Instant::now();
+        let text = match name {
+            "table1" => table1::run(&ctx),
+            "fig2" => fig2::run(&ctx),
+            "fig6" => fig6::run(&ctx),
+            "fig7" => fig7::run(&ctx),
+            "fig8" => fig8::run(&ctx),
+            "fig9" => fig9::run(&ctx),
+            "fig10" => fig10::run(&ctx),
+            "summary" => summary::run(&ctx),
+            "ablations" => ablations::run(&ctx),
+            other => {
+                eprintln!("unknown command '{other}' (see the module docs)");
+                std::process::exit(2);
+            }
+        };
+        println!("{text}");
+        eprintln!("[{name} done in {:.1?}]", started.elapsed());
+        text
+    };
+
+    if cmd == "all" {
+        let mut full = String::new();
+        for name in [
+            "table1",
+            "fig2",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig6",
+            "summary",
+            "ablations",
+        ] {
+            full.push_str(&run_one(name));
+            full.push('\n');
+        }
+        std::fs::write(ctx.out_path("report.txt"), &full).expect("write report");
+        eprintln!(
+            "full report written to {}",
+            ctx.out_path("report.txt").display()
+        );
+    } else {
+        let text = run_one(&cmd);
+        std::fs::write(ctx.out_path(&format!("{cmd}.txt")), &text).expect("write report");
+    }
+}

@@ -1,0 +1,222 @@
+//! Error-budget configuration selection.
+//!
+//! Paraprox ships a runtime helper that picks, at run time, the fastest
+//! kernel variant whose output quality meets a user-specified target. The
+//! paper's §7 sketches the same for kernel perforation: calibrate the
+//! candidate configurations on sample inputs, then deploy the fastest one
+//! within the error budget. This module implements that selection.
+
+use kp_gpu_sim::DeviceConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+use crate::metrics::ErrorMetric;
+use crate::pipeline::StencilApp;
+use crate::runner::{ImageInput, RunSpec};
+use crate::tuner::{sweep, SweepContext, SweepOutcome};
+
+/// Outcome of a budget-driven selection.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BudgetSelection {
+    /// Label of the chosen variant.
+    pub label: String,
+    /// Index of the chosen variant in the candidate list.
+    pub index: usize,
+    /// Mean error of the chosen variant over the calibration inputs.
+    pub mean_error: f64,
+    /// Speedup of the chosen variant (from the first calibration input).
+    pub speedup: f64,
+    /// Per-candidate mean errors (diagnostics).
+    pub candidate_errors: Vec<f64>,
+}
+
+/// Picks the fastest outcome whose error is within `budget`.
+///
+/// Returns `None` if no outcome meets the budget — callers should then fall
+/// back to the accurate kernel.
+pub fn best_under_budget<'a>(
+    outcomes: &'a [SweepOutcome],
+    budget: f64,
+) -> Option<&'a SweepOutcome> {
+    outcomes
+        .iter()
+        .filter(|o| o.error <= budget)
+        .max_by(|a, b| a.speedup.partial_cmp(&b.speedup).expect("NaN speedup"))
+}
+
+/// Calibrates `specs` over several sample inputs and picks the fastest
+/// variant whose *mean* error over the calibration set is within `budget`.
+///
+/// This mirrors Paraprox's tuning loop: error depends strongly on input
+/// data (paper §6.2), so calibrating on one image risks overfitting; the
+/// mean over a small set is the paper's implied procedure.
+///
+/// # Errors
+///
+/// Propagates sweep errors; returns [`CoreError::Input`] if
+/// `calibration_inputs` is empty.
+pub fn select_with_budget(
+    app: &dyn StencilApp,
+    calibration_inputs: &[ImageInput<'_>],
+    specs: &[RunSpec],
+    metric: ErrorMetric,
+    device: &DeviceConfig,
+    baseline: RunSpec,
+    budget: f64,
+) -> Result<Option<BudgetSelection>, CoreError> {
+    if calibration_inputs.is_empty() {
+        return Err(CoreError::Input("calibration set must not be empty".into()));
+    }
+    let mut error_sums = vec![0.0f64; specs.len()];
+    let mut speedups = vec![0.0f64; specs.len()];
+    for (k, input) in calibration_inputs.iter().enumerate() {
+        let ctx = SweepContext {
+            app,
+            input: *input,
+            metric,
+            device: device.clone(),
+            baseline,
+        };
+        let outcomes = sweep(&ctx, specs)?;
+        for (i, o) in outcomes.iter().enumerate() {
+            error_sums[i] += o.error;
+            if k == 0 {
+                speedups[i] = o.speedup;
+            }
+        }
+    }
+    let n = calibration_inputs.len() as f64;
+    let candidate_errors: Vec<f64> = error_sums.iter().map(|e| e / n).collect();
+
+    let chosen = candidate_errors
+        .iter()
+        .enumerate()
+        .filter(|(_, &e)| e <= budget)
+        .max_by(|(i, _), (j, _)| {
+            speedups[*i]
+                .partial_cmp(&speedups[*j])
+                .expect("NaN speedup")
+        })
+        .map(|(i, _)| i);
+
+    Ok(chosen.map(|index| BudgetSelection {
+        label: specs[index].label(),
+        index,
+        mean_error: candidate_errors[index],
+        speedup: speedups[index],
+        candidate_errors,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ApproxConfig;
+    use crate::pipeline::Window;
+    use crate::tuner::fig8_specs;
+
+    struct Blur;
+
+    impl StencilApp for Blur {
+        fn name(&self) -> &str {
+            "blur"
+        }
+
+        fn halo(&self) -> usize {
+            1
+        }
+
+        fn compute(&self, win: &mut Window<'_, '_>) -> f32 {
+            let mut acc = 0.0;
+            for dy in -1..=1 {
+                for dx in -1..=1 {
+                    acc += win.at(dx, dy);
+                }
+            }
+            win.ops(9);
+            acc / 9.0
+        }
+    }
+
+    fn mk_outcome(label: &str, speedup: f64, error: f64) -> SweepOutcome {
+        SweepOutcome {
+            label: label.into(),
+            group: (16, 16),
+            seconds: 1.0 / speedup,
+            speedup,
+            error,
+            read_transactions: 0,
+        }
+    }
+
+    #[test]
+    fn best_under_budget_picks_fastest_within() {
+        let outcomes = vec![
+            mk_outcome("slow-accurate", 1.1, 0.001),
+            mk_outcome("fast-sloppy", 3.0, 0.2),
+            mk_outcome("medium", 2.0, 0.04),
+        ];
+        let best = best_under_budget(&outcomes, 0.05).unwrap();
+        assert_eq!(best.label, "medium");
+    }
+
+    #[test]
+    fn best_under_budget_none_when_unreachable() {
+        let outcomes = vec![mk_outcome("sloppy", 3.0, 0.5)];
+        assert!(best_under_budget(&outcomes, 0.01).is_none());
+    }
+
+    #[test]
+    fn select_with_budget_end_to_end() {
+        let (w, h) = (32, 32);
+        let img_a: Vec<f32> = (0..w * h).map(|i| ((i % 7) as f32) / 7.0).collect();
+        let img_b: Vec<f32> = (0..w * h).map(|i| ((i % 13) as f32) / 13.0).collect();
+        let inputs = [
+            ImageInput::new(&img_a, w, h).unwrap(),
+            ImageInput::new(&img_b, w, h).unwrap(),
+        ];
+        let specs = fig8_specs((16, 16), 1);
+        let selection = select_with_budget(
+            &Blur,
+            &inputs,
+            &specs,
+            ErrorMetric::MeanRelative,
+            &DeviceConfig::firepro_w5100(),
+            RunSpec::Baseline { group: (16, 16) },
+            // Generous budget: every config qualifies; the fastest wins.
+            1.0,
+        )
+        .unwrap()
+        .expect("selection within budget");
+        assert_eq!(selection.candidate_errors.len(), specs.len());
+        assert!(selection.speedup >= 1.0);
+        // With a zero budget nothing qualifies (perforation always errs on
+        // a high-frequency pattern).
+        let none = select_with_budget(
+            &Blur,
+            &inputs,
+            &specs,
+            ErrorMetric::MeanRelative,
+            &DeviceConfig::firepro_w5100(),
+            RunSpec::Baseline { group: (16, 16) },
+            0.0,
+        )
+        .unwrap();
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn select_rejects_empty_calibration_set() {
+        let specs = [RunSpec::Perforated(ApproxConfig::rows1_nn((16, 16)))];
+        let err = select_with_budget(
+            &Blur,
+            &[],
+            &specs,
+            ErrorMetric::MeanRelative,
+            &DeviceConfig::firepro_w5100(),
+            RunSpec::Baseline { group: (16, 16) },
+            0.1,
+        );
+        assert!(err.is_err());
+    }
+}

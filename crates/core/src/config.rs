@@ -1,0 +1,194 @@
+//! Approximation configurations: scheme × reconstruction × work-group size.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+use crate::reconstruction::Reconstruction;
+use crate::scheme::{PerforationScheme, SkipLevel};
+use crate::tile::TileGeometry;
+
+/// A complete perforation configuration for one kernel launch.
+///
+/// The paper's named configurations are available as constructors, e.g.
+/// [`ApproxConfig::rows1_nn`] for "perforate every other row, reconstruct
+/// with nearest-neighbor interpolation".
+///
+/// # Examples
+///
+/// ```
+/// use kp_core::ApproxConfig;
+///
+/// let cfg = ApproxConfig::rows1_li((16, 16));
+/// assert_eq!(cfg.label(), "Rows1:LI");
+/// assert!(cfg.validate(1).is_ok());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ApproxConfig {
+    /// Which tile elements are loaded from global memory.
+    pub scheme: PerforationScheme,
+    /// How skipped elements are filled in local memory.
+    pub reconstruction: Reconstruction,
+    /// Work-group (tile) size `(x, y)`.
+    pub group: (usize, usize),
+}
+
+impl ApproxConfig {
+    /// The accurate local-memory configuration (no perforation).
+    pub fn accurate(group: (usize, usize)) -> Self {
+        Self {
+            scheme: PerforationScheme::None,
+            reconstruction: Reconstruction::None,
+            group,
+        }
+    }
+
+    /// `Rows1:NN` — skip every other row, nearest-neighbor reconstruction.
+    pub fn rows1_nn(group: (usize, usize)) -> Self {
+        Self {
+            scheme: PerforationScheme::Rows(SkipLevel::Half),
+            reconstruction: Reconstruction::NearestNeighbor,
+            group,
+        }
+    }
+
+    /// `Rows2:NN` — skip 3 of 4 rows, nearest-neighbor reconstruction.
+    pub fn rows2_nn(group: (usize, usize)) -> Self {
+        Self {
+            scheme: PerforationScheme::Rows(SkipLevel::ThreeQuarters),
+            reconstruction: Reconstruction::NearestNeighbor,
+            group,
+        }
+    }
+
+    /// `Rows1:LI` — skip every other row, linear interpolation.
+    pub fn rows1_li(group: (usize, usize)) -> Self {
+        Self {
+            scheme: PerforationScheme::Rows(SkipLevel::Half),
+            reconstruction: Reconstruction::LinearInterpolation,
+            group,
+        }
+    }
+
+    /// `Cols1:NN` — skip every other column, nearest-neighbor.
+    pub fn cols1_nn(group: (usize, usize)) -> Self {
+        Self {
+            scheme: PerforationScheme::Columns(SkipLevel::Half),
+            reconstruction: Reconstruction::NearestNeighbor,
+            group,
+        }
+    }
+
+    /// `Stencil1:NN` — skip the halo ring, nearest-neighbor.
+    pub fn stencil1_nn(group: (usize, usize)) -> Self {
+        Self {
+            scheme: PerforationScheme::Stencil,
+            reconstruction: Reconstruction::NearestNeighbor,
+            group,
+        }
+    }
+
+    /// Compact label in the paper's notation, e.g. `"Rows1:NN"`.
+    /// The accurate configuration is labeled `"Accurate"`.
+    pub fn label(&self) -> String {
+        if !self.scheme.perforates() {
+            return "Accurate".to_owned();
+        }
+        format!("{}:{}", self.scheme, self.reconstruction)
+    }
+
+    /// The tile geometry induced by this configuration for a stencil of
+    /// radius `halo`.
+    pub fn tile(&self, halo: usize) -> TileGeometry {
+        TileGeometry::new(self.group.0, self.group.1, halo)
+    }
+
+    /// Validates the configuration for an application with the given
+    /// stencil radius.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::IllegalConfig`] for scheme/tile mismatches
+    /// (see [`PerforationScheme::validate`]) or scheme/reconstruction
+    /// mismatches (see [`Reconstruction::validate`]), and for empty work
+    /// groups.
+    pub fn validate(&self, halo: usize) -> Result<(), CoreError> {
+        if self.group.0 == 0 || self.group.1 == 0 {
+            return Err(CoreError::IllegalConfig(format!(
+                "work group must be non-empty, got {:?}",
+                self.group
+            )));
+        }
+        let tile = self.tile(halo);
+        self.scheme.validate(&tile)?;
+        if self.scheme.perforates() {
+            self.reconstruction.validate(&self.scheme)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for ApproxConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} @ {}x{}", self.label(), self.group.0, self.group.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(ApproxConfig::rows1_nn((16, 16)).label(), "Rows1:NN");
+        assert_eq!(ApproxConfig::rows2_nn((16, 16)).label(), "Rows2:NN");
+        assert_eq!(ApproxConfig::rows1_li((16, 16)).label(), "Rows1:LI");
+        assert_eq!(ApproxConfig::stencil1_nn((16, 16)).label(), "Stencil1:NN");
+        assert_eq!(ApproxConfig::cols1_nn((16, 16)).label(), "Cols1:NN");
+        assert_eq!(ApproxConfig::accurate((16, 16)).label(), "Accurate");
+    }
+
+    #[test]
+    fn display_includes_group() {
+        let c = ApproxConfig::rows1_nn((32, 8));
+        assert_eq!(c.to_string(), "Rows1:NN @ 32x8");
+    }
+
+    #[test]
+    fn stencil_invalid_without_halo() {
+        assert!(ApproxConfig::stencil1_nn((16, 16)).validate(0).is_err());
+        assert!(ApproxConfig::stencil1_nn((16, 16)).validate(1).is_ok());
+    }
+
+    #[test]
+    fn li_invalid_with_stencil() {
+        let cfg = ApproxConfig {
+            scheme: PerforationScheme::Stencil,
+            reconstruction: Reconstruction::LinearInterpolation,
+            group: (16, 16),
+        };
+        assert!(cfg.validate(1).is_err());
+    }
+
+    #[test]
+    fn empty_group_rejected() {
+        let cfg = ApproxConfig::rows1_nn((0, 16));
+        assert!(cfg.validate(1).is_err());
+    }
+
+    #[test]
+    fn accurate_with_any_reconstruction_is_valid() {
+        // Reconstruction is irrelevant when nothing is perforated.
+        let cfg = ApproxConfig {
+            scheme: PerforationScheme::None,
+            reconstruction: Reconstruction::LinearInterpolation,
+            group: (8, 8),
+        };
+        assert!(cfg.validate(0).is_ok());
+    }
+
+    #[test]
+    fn tile_uses_group_and_halo() {
+        let t = ApproxConfig::rows1_nn((32, 8)).tile(2);
+        assert_eq!((t.tile_w, t.tile_h, t.halo), (32, 8, 2));
+    }
+}

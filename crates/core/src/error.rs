@@ -1,0 +1,63 @@
+//! Error types for the perforation library.
+
+use kp_gpu_sim::SimError;
+
+/// Errors returned by the perforation pipeline, tuner and helpers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The underlying simulated device reported an error.
+    Sim(SimError),
+    /// A scheme/reconstruction/geometry combination is not legal
+    /// (e.g. `Stencil` on an app without a halo, see the paper §6.4).
+    IllegalConfig(String),
+    /// Host-side input data is inconsistent (wrong length, zero size, …).
+    Input(String),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Sim(e) => write!(f, "device error: {e}"),
+            CoreError::IllegalConfig(msg) => write!(f, "illegal configuration: {msg}"),
+            CoreError::Input(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for CoreError {
+    fn from(e: SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CoreError::IllegalConfig("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(CoreError::Input("y".into()).to_string().contains("y"));
+        let e = CoreError::from(SimError::Launch("z".into()));
+        assert!(e.to_string().contains("z"));
+    }
+
+    #[test]
+    fn sim_error_has_source() {
+        use std::error::Error;
+        let e = CoreError::from(SimError::Launch("z".into()));
+        assert!(e.source().is_some());
+        assert!(CoreError::Input("i".into()).source().is_none());
+    }
+}

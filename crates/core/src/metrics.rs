@@ -1,0 +1,327 @@
+//! Error metrics (paper §6.1, Table 1).
+//!
+//! The paper reports the **mean relative error** (MRE) for Gaussian,
+//! Median, Hotspot and Inversion, and the **mean (absolute) error** for
+//! Sobel3/Sobel5 whose outputs are frequently (near-)zero, where a relative
+//! metric degenerates. Both metrics plus common auxiliaries (RMSE, PSNR,
+//! max error) and box-plot summaries for Fig. 6 are implemented here.
+
+use serde::{Deserialize, Serialize};
+
+/// Denominator guard for the mean relative error: reference magnitudes
+/// below this are clamped up to it, preventing division blow-ups near
+/// zero (the issue that made the paper switch metrics for Sobel).
+pub const MRE_EPSILON: f32 = 1e-2;
+
+/// Which error metric an application reports (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ErrorMetric {
+    /// Mean relative error, `mean(|ref − test| / max(|ref|, ε))`.
+    MeanRelative,
+    /// Mean absolute error, `mean(|ref − test|)`.
+    MeanAbsolute,
+}
+
+impl ErrorMetric {
+    /// Evaluates the metric over a reference/test pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths or are empty.
+    pub fn evaluate(&self, reference: &[f32], test: &[f32]) -> f64 {
+        match self {
+            ErrorMetric::MeanRelative => mean_relative_error(reference, test),
+            ErrorMetric::MeanAbsolute => mean_absolute_error(reference, test),
+        }
+    }
+
+    /// Human-readable name as used in Table 1.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ErrorMetric::MeanRelative => "Mean relative error",
+            ErrorMetric::MeanAbsolute => "Mean error",
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorMetric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+fn check_pair(reference: &[f32], test: &[f32]) {
+    assert_eq!(
+        reference.len(),
+        test.len(),
+        "reference and test must have the same length"
+    );
+    assert!(
+        !reference.is_empty(),
+        "error metrics need at least one element"
+    );
+}
+
+/// Mean relative error with an ε-guarded denominator:
+/// `mean(|r − t| / max(|r|, ε))`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn mean_relative_error(reference: &[f32], test: &[f32]) -> f64 {
+    check_pair(reference, test);
+    let sum: f64 = reference
+        .iter()
+        .zip(test)
+        .map(|(&r, &t)| (f64::from(r) - f64::from(t)).abs() / f64::from(r.abs().max(MRE_EPSILON)))
+        .sum();
+    sum / reference.len() as f64
+}
+
+/// Mean absolute error `mean(|r − t|)`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn mean_absolute_error(reference: &[f32], test: &[f32]) -> f64 {
+    check_pair(reference, test);
+    let sum: f64 = reference
+        .iter()
+        .zip(test)
+        .map(|(&r, &t)| (f64::from(r) - f64::from(t)).abs())
+        .sum();
+    sum / reference.len() as f64
+}
+
+/// Root-mean-square error.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn rmse(reference: &[f32], test: &[f32]) -> f64 {
+    check_pair(reference, test);
+    let sum: f64 = reference
+        .iter()
+        .zip(test)
+        .map(|(&r, &t)| {
+            let d = f64::from(r) - f64::from(t);
+            d * d
+        })
+        .sum();
+    (sum / reference.len() as f64).sqrt()
+}
+
+/// Peak signal-to-noise ratio in dB for signals with the given peak value
+/// (1.0 for normalized grayscale). Returns `f64::INFINITY` for identical
+/// inputs.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn psnr(reference: &[f32], test: &[f32], peak: f32) -> f64 {
+    let e = rmse(reference, test);
+    if e == 0.0 {
+        return f64::INFINITY;
+    }
+    20.0 * (f64::from(peak) / e).log10()
+}
+
+/// Largest absolute difference.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn max_abs_error(reference: &[f32], test: &[f32]) -> f64 {
+    check_pair(reference, test);
+    reference
+        .iter()
+        .zip(test)
+        .map(|(&r, &t)| (f64::from(r) - f64::from(t)).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Five-number summary (plus mean) of an error sample — the box-and-whisker
+/// data behind the paper's Fig. 6.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Distribution {
+    /// Minimum value.
+    pub min: f64,
+    /// First quartile (25th percentile).
+    pub q1: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// Third quartile (75th percentile).
+    pub q3: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample count.
+    pub count: usize,
+}
+
+impl Distribution {
+    /// Summarizes a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn from_values(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot summarize an empty sample");
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in error sample"));
+        let q = |p: f64| -> f64 {
+            // Linear interpolation between closest ranks (type-7 quantile).
+            let h = p * (sorted.len() as f64 - 1.0);
+            let lo = h.floor() as usize;
+            let hi = h.ceil() as usize;
+            if lo == hi {
+                sorted[lo]
+            } else {
+                sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+            }
+        };
+        Self {
+            min: sorted[0],
+            q1: q(0.25),
+            median: q(0.5),
+            q3: q(0.75),
+            max: *sorted.last().expect("nonempty"),
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            count: sorted.len(),
+        }
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+impl std::fmt::Display for Distribution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "min {:.4} | q1 {:.4} | med {:.4} | q3 {:.4} | max {:.4} (mean {:.4}, n={})",
+            self.min, self.q1, self.median, self.q3, self.max, self.mean, self.count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_signals_have_zero_error() {
+        let a = [1.0f32, 2.0, 3.0];
+        assert_eq!(mean_relative_error(&a, &a), 0.0);
+        assert_eq!(mean_absolute_error(&a, &a), 0.0);
+        assert_eq!(rmse(&a, &a), 0.0);
+        assert_eq!(max_abs_error(&a, &a), 0.0);
+        assert_eq!(psnr(&a, &a, 1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn mre_is_relative() {
+        let r = [10.0f32, 100.0];
+        let t = [11.0f32, 110.0];
+        // Both elements are 10% off -> MRE 0.1 regardless of magnitude.
+        assert!((mean_relative_error(&r, &t) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mre_guards_near_zero_references() {
+        let r = [0.0f32];
+        let t = [0.005f32];
+        // Without the guard this would be infinite; with ε=1e-2 it is 0.5.
+        assert!((mean_relative_error(&r, &t) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mae_is_absolute() {
+        let r = [0.0f32, 1.0];
+        let t = [0.5f32, 0.5];
+        assert!((mean_absolute_error(&r, &t) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rmse_penalizes_outliers_more_than_mae() {
+        let r = [0.0f32; 4];
+        let t = [0.0f32, 0.0, 0.0, 1.0];
+        assert!(rmse(&r, &t) > mean_absolute_error(&r, &t));
+    }
+
+    #[test]
+    fn psnr_of_known_noise() {
+        let r = [0.0f32; 100];
+        let t = [0.1f32; 100];
+        // RMSE = 0.1, peak 1.0 -> 20 dB (up to f32 rounding of 0.1).
+        assert!((psnr(&r, &t, 1.0) - 20.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn max_error_finds_the_peak() {
+        let r = [1.0f32, 2.0, 3.0];
+        let t = [1.0f32, 4.5, 3.0];
+        assert!((max_abs_error(&r, &t) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn mismatched_lengths_panic() {
+        let _ = mean_absolute_error(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_inputs_panic() {
+        let _ = mean_absolute_error(&[], &[]);
+    }
+
+    #[test]
+    fn metric_enum_dispatches() {
+        let r = [2.0f32];
+        let t = [1.0f32];
+        assert!((ErrorMetric::MeanRelative.evaluate(&r, &t) - 0.5).abs() < 1e-9);
+        assert!((ErrorMetric::MeanAbsolute.evaluate(&r, &t) - 1.0).abs() < 1e-9);
+        assert_eq!(ErrorMetric::MeanRelative.to_string(), "Mean relative error");
+    }
+
+    #[test]
+    fn distribution_of_uniform_ramp() {
+        let values: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        let d = Distribution::from_values(&values);
+        assert_eq!(d.min, 0.0);
+        assert_eq!(d.max, 100.0);
+        assert_eq!(d.median, 50.0);
+        assert_eq!(d.q1, 25.0);
+        assert_eq!(d.q3, 75.0);
+        assert_eq!(d.mean, 50.0);
+        assert_eq!(d.count, 101);
+        assert_eq!(d.iqr(), 50.0);
+    }
+
+    #[test]
+    fn distribution_single_value() {
+        let d = Distribution::from_values(&[3.5]);
+        assert_eq!(d.min, 3.5);
+        assert_eq!(d.q1, 3.5);
+        assert_eq!(d.median, 3.5);
+        assert_eq!(d.max, 3.5);
+    }
+
+    #[test]
+    fn distribution_interpolates_quartiles() {
+        let d = Distribution::from_values(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((d.q1 - 1.75).abs() < 1e-12);
+        assert!((d.median - 2.5).abs() < 1e-12);
+        assert!((d.q3 - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distribution_display() {
+        let d = Distribution::from_values(&[1.0, 2.0]);
+        assert!(d.to_string().contains("med"));
+    }
+}

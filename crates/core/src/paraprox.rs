@@ -1,0 +1,341 @@
+//! Paraprox-style output approximation (the paper's comparison baseline,
+//! §4.3, Fig. 3).
+//!
+//! Paraprox approximates the *output*: it computes a subset of output
+//! elements and copies each computed value to its skipped neighbors. The
+//! generated kernels do not use local memory — the paper's §5 explains why
+//! that caps their benefit when a good baseline already prefetches: the
+//! computed elements still need every input element, so global traffic
+//! barely drops, only compute does.
+//!
+//! Schemes (Fig. 3): **Rows** computes one row per band and copies it up and
+//! down; **Cols** mirrors that horizontally; **Center** computes the center
+//! of a block and copies it to all neighbors. Level 1 approximates 2
+//! rows/columns per band (3-wide bands), level 2 approximates 4 (5-wide
+//! bands).
+
+use kp_gpu_sim::{ItemCtx, Kernel, NdRange, NdRangeError};
+use serde::{Deserialize, Serialize};
+
+use crate::pipeline::{ImageBinding, StencilApp};
+use crate::tile::clamp_coord;
+
+/// Aggressiveness of the output approximation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ParaproxLevel {
+    /// Approximate 2 rows/columns per computed one (3-wide bands) —
+    /// the points labeled "1" in Fig. 10.
+    One,
+    /// Approximate 4 rows/columns per computed one (5-wide bands) —
+    /// the points labeled "2" in Fig. 10.
+    Two,
+}
+
+impl ParaproxLevel {
+    /// Band width: computed element plus approximated neighbors per axis.
+    pub fn band(self) -> usize {
+        match self {
+            ParaproxLevel::One => 3,
+            ParaproxLevel::Two => 5,
+        }
+    }
+
+    /// Offset of the computed element within its band.
+    pub fn center(self) -> usize {
+        self.band() / 2
+    }
+
+    /// Numeric level (1 or 2), as annotated in the paper's plots.
+    pub fn number(self) -> u8 {
+        match self {
+            ParaproxLevel::One => 1,
+            ParaproxLevel::Two => 2,
+        }
+    }
+}
+
+/// A Paraprox output-approximation scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ParaproxScheme {
+    /// Compute one row per band, copy to the band's other rows (Fig. 3a).
+    Rows(ParaproxLevel),
+    /// Compute one column per band, copy sideways (Fig. 3b).
+    Cols(ParaproxLevel),
+    /// Compute the center of each band×band block, copy to the whole
+    /// block (Fig. 3c) — the most aggressive scheme.
+    Center(ParaproxLevel),
+}
+
+impl ParaproxScheme {
+    /// Output elements produced per computed element.
+    pub fn amplification(&self) -> usize {
+        match self {
+            ParaproxScheme::Rows(l) | ParaproxScheme::Cols(l) => l.band(),
+            ParaproxScheme::Center(l) => l.band() * l.band(),
+        }
+    }
+
+    /// Step sizes `(x, y)` between computed elements.
+    pub fn steps(&self) -> (usize, usize) {
+        match self {
+            ParaproxScheme::Rows(l) => (1, l.band()),
+            ParaproxScheme::Cols(l) => (l.band(), 1),
+            ParaproxScheme::Center(l) => (l.band(), l.band()),
+        }
+    }
+
+    /// The reduced launch geometry covering a `width × height` image with
+    /// work groups of `group` (global sizes are padded up to group
+    /// multiples; the kernel guards the remainder).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NdRangeError`] for empty group dimensions.
+    pub fn launch_range(
+        &self,
+        width: usize,
+        height: usize,
+        group: (usize, usize),
+    ) -> Result<NdRange, NdRangeError> {
+        let (sx, sy) = self.steps();
+        let nx = width.div_ceil(sx);
+        let ny = height.div_ceil(sy);
+        let gx = nx.div_ceil(group.0) * group.0;
+        let gy = ny.div_ceil(group.1) * group.1;
+        NdRange::new_2d((gx, gy), group)
+    }
+}
+
+impl std::fmt::Display for ParaproxScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParaproxScheme::Rows(l) => write!(f, "PxRows{}", l.number()),
+            ParaproxScheme::Cols(l) => write!(f, "PxCols{}", l.number()),
+            ParaproxScheme::Center(l) => write!(f, "PxCenter{}", l.number()),
+        }
+    }
+}
+
+/// Output-approximation kernel: each work item computes one element and
+/// broadcasts it to its band.
+#[derive(Debug)]
+pub struct ParaproxKernel<'a, A: ?Sized> {
+    app: &'a A,
+    img: ImageBinding,
+    scheme: ParaproxScheme,
+}
+
+impl<'a, A: StencilApp + ?Sized> ParaproxKernel<'a, A> {
+    /// Wraps `app` with the given output-approximation scheme.
+    pub fn new(app: &'a A, img: ImageBinding, scheme: ParaproxScheme) -> Self {
+        Self { app, img, scheme }
+    }
+
+    /// The scheme this kernel applies.
+    pub fn scheme(&self) -> ParaproxScheme {
+        self.scheme
+    }
+}
+
+impl<A: StencilApp + ?Sized> Kernel for ParaproxKernel<'_, A> {
+    fn name(&self) -> &str {
+        self.app.name()
+    }
+
+    fn run_phase(&self, _phase: usize, ctx: &mut ItemCtx<'_>) {
+        let (sx, sy) = self.scheme.steps();
+        let base_x = ctx.global_id(0) * sx;
+        let base_y = ctx.global_id(1) * sy;
+        let (w, h) = (self.img.width, self.img.height);
+        if base_x >= w || base_y >= h {
+            return;
+        }
+        // Compute at the band center, clamped into the image for the
+        // remainder bands at the bottom/right edges.
+        let (cx_off, cy_off) = match self.scheme {
+            ParaproxScheme::Rows(l) => (0, l.center()),
+            ParaproxScheme::Cols(l) => (l.center(), 0),
+            ParaproxScheme::Center(l) => (l.center(), l.center()),
+        };
+        let cx = clamp_coord((base_x + cx_off) as i64, w);
+        let cy = clamp_coord((base_y + cy_off) as i64, h);
+        let v = compute_at(self.app, ctx, &self.img, cx, cy);
+        // Broadcast to the whole band (clamped to the image).
+        for dy in 0..sy {
+            for dx in 0..sx {
+                let x = base_x + dx;
+                let y = base_y + dy;
+                if x < w && y < h {
+                    ctx.write_global(self.img.output, y * w + x, v);
+                    ctx.ops(1);
+                }
+            }
+        }
+    }
+}
+
+/// Runs the app's compute body once at `(cx, cy)` against global memory.
+fn compute_at<A: StencilApp + ?Sized>(
+    app: &A,
+    ctx: &mut ItemCtx<'_>,
+    img: &ImageBinding,
+    cx: usize,
+    cy: usize,
+) -> f32 {
+    crate::pipeline::compute_with_global_window(app, ctx, img, cx, cy)
+}
+
+/// All six Paraprox comparison points of Fig. 10.
+pub fn fig10_schemes() -> Vec<ParaproxScheme> {
+    vec![
+        ParaproxScheme::Center(ParaproxLevel::One),
+        ParaproxScheme::Center(ParaproxLevel::Two),
+        ParaproxScheme::Rows(ParaproxLevel::One),
+        ParaproxScheme::Rows(ParaproxLevel::Two),
+        ParaproxScheme::Cols(ParaproxLevel::One),
+        ParaproxScheme::Cols(ParaproxLevel::Two),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Window;
+    use kp_gpu_sim::{Device, DeviceConfig};
+
+    struct Identity;
+
+    impl StencilApp for Identity {
+        fn name(&self) -> &str {
+            "identity"
+        }
+
+        fn halo(&self) -> usize {
+            0
+        }
+
+        fn compute(&self, win: &mut Window<'_, '_>) -> f32 {
+            win.ops(1);
+            win.at(0, 0)
+        }
+    }
+
+    fn run(scheme: ParaproxScheme, data: &[f32], w: usize, h: usize) -> Vec<f32> {
+        let mut dev = Device::new(DeviceConfig::firepro_w5100()).unwrap();
+        let input = dev.create_buffer_from("in", data).unwrap();
+        let output = dev.create_buffer::<f32>("out", w * h).unwrap();
+        let img = ImageBinding {
+            input,
+            aux: None,
+            output,
+            width: w,
+            height: h,
+        };
+        let kernel = ParaproxKernel::new(&Identity, img, scheme);
+        let range = scheme.launch_range(w, h, (8, 8)).unwrap();
+        dev.launch(&kernel, range).unwrap();
+        dev.read_buffer::<f32>(output).unwrap()
+    }
+
+    #[test]
+    fn levels_and_bands() {
+        assert_eq!(ParaproxLevel::One.band(), 3);
+        assert_eq!(ParaproxLevel::Two.band(), 5);
+        assert_eq!(ParaproxLevel::One.center(), 1);
+        assert_eq!(ParaproxLevel::Two.center(), 2);
+        assert_eq!(ParaproxScheme::Rows(ParaproxLevel::One).amplification(), 3);
+        assert_eq!(
+            ParaproxScheme::Center(ParaproxLevel::Two).amplification(),
+            25
+        );
+    }
+
+    #[test]
+    fn rows_scheme_copies_band_center() {
+        let (w, h) = (8, 9);
+        let data: Vec<f32> = (0..w * h).map(|i| (i / w) as f32).collect();
+        let out = run(ParaproxScheme::Rows(ParaproxLevel::One), &data, w, h);
+        // Every band of 3 rows carries the center row's value.
+        for y in 0..h {
+            let band_center = (y / 3) * 3 + 1;
+            for x in 0..w {
+                assert_eq!(out[y * w + x], band_center as f32, "y={y} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn cols_scheme_copies_band_center() {
+        let (w, h) = (9, 4);
+        let data: Vec<f32> = (0..w * h).map(|i| (i % w) as f32).collect();
+        let out = run(ParaproxScheme::Cols(ParaproxLevel::One), &data, w, h);
+        for y in 0..h {
+            for x in 0..w {
+                let band_center = (x / 3) * 3 + 1;
+                assert_eq!(out[y * w + x], band_center as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn center_scheme_fills_blocks() {
+        let (w, h) = (6, 6);
+        let data: Vec<f32> = (0..w * h).map(|i| i as f32).collect();
+        let out = run(ParaproxScheme::Center(ParaproxLevel::One), &data, w, h);
+        for y in 0..h {
+            for x in 0..w {
+                let cx = (x / 3) * 3 + 1;
+                let cy = (y / 3) * 3 + 1;
+                assert_eq!(out[y * w + x], (cy * w + cx) as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn remainder_bands_are_covered() {
+        // Height not a multiple of the band: the last partial band must
+        // still be written, computed from a clamped center.
+        let (w, h) = (4, 7);
+        let data: Vec<f32> = (0..w * h).map(|i| (i / w) as f32).collect();
+        let out = run(ParaproxScheme::Rows(ParaproxLevel::One), &data, w, h);
+        for x in 0..w {
+            assert_eq!(out[6 * w + x], 6.0); // band 2 center row clamped to 6? center=7 -> clamp 6
+        }
+        assert!(out.iter().all(|v| !v.is_nan()));
+    }
+
+    #[test]
+    fn level_two_bands_are_five_wide() {
+        let (w, h) = (4, 10);
+        let data: Vec<f32> = (0..w * h).map(|i| (i / w) as f32).collect();
+        let out = run(ParaproxScheme::Rows(ParaproxLevel::Two), &data, w, h);
+        for y in 0..5 {
+            assert_eq!(out[y * w], 2.0);
+        }
+        for y in 5..10 {
+            assert_eq!(out[y * w], 7.0);
+        }
+    }
+
+    #[test]
+    fn launch_range_reduces_thread_count() {
+        let s = ParaproxScheme::Rows(ParaproxLevel::One);
+        let r = s.launch_range(1024, 1024, (16, 16)).unwrap();
+        assert_eq!(r.global_size(0), 1024);
+        // ceil(1024/3) = 342 padded up to 352 (next multiple of 16).
+        assert_eq!(r.global_size(1), 352);
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(
+            ParaproxScheme::Rows(ParaproxLevel::One).to_string(),
+            "PxRows1"
+        );
+        assert_eq!(
+            ParaproxScheme::Center(ParaproxLevel::Two).to_string(),
+            "PxCenter2"
+        );
+        assert_eq!(fig10_schemes().len(), 6);
+    }
+}

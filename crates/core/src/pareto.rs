@@ -1,0 +1,118 @@
+//! Pareto-front extraction over (speedup, error) points (paper §6.4,
+//! Fig. 10).
+//!
+//! A configuration is Pareto-optimal if no other configuration is at least
+//! as fast *and* at least as accurate, with strict improvement in at least
+//! one of the two.
+
+/// A 2D trade-off point: higher `speedup` is better, lower `error` is
+/// better.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TradeOff {
+    /// Speedup over the accurate baseline (higher is better).
+    pub speedup: f64,
+    /// Output error (lower is better).
+    pub error: f64,
+}
+
+impl TradeOff {
+    /// Creates a trade-off point.
+    pub fn new(speedup: f64, error: f64) -> Self {
+        Self { speedup, error }
+    }
+
+    /// Whether `self` dominates `other` (no worse in both axes, strictly
+    /// better in at least one).
+    pub fn dominates(&self, other: &TradeOff) -> bool {
+        self.speedup >= other.speedup
+            && self.error <= other.error
+            && (self.speedup > other.speedup || self.error < other.error)
+    }
+}
+
+/// Returns the indices of the Pareto-optimal points, sorted by increasing
+/// speedup. Duplicate points are all kept (none dominates its twin).
+pub fn pareto_front(points: &[TradeOff]) -> Vec<usize> {
+    let mut front: Vec<usize> = (0..points.len())
+        .filter(|&i| {
+            !points
+                .iter()
+                .enumerate()
+                .any(|(j, q)| j != i && q.dominates(&points[i]))
+        })
+        .collect();
+    front.sort_by(|&a, &b| {
+        points[a]
+            .speedup
+            .partial_cmp(&points[b].speedup)
+            .expect("NaN speedup")
+            .then(
+                points[a]
+                    .error
+                    .partial_cmp(&points[b].error)
+                    .expect("NaN error"),
+            )
+    });
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_point_is_optimal() {
+        let pts = [TradeOff::new(1.0, 0.1)];
+        assert_eq!(pareto_front(&pts), vec![0]);
+    }
+
+    #[test]
+    fn dominated_point_is_dropped() {
+        let pts = [
+            TradeOff::new(2.0, 0.01), // dominates the next one
+            TradeOff::new(1.5, 0.05),
+        ];
+        assert_eq!(pareto_front(&pts), vec![0]);
+    }
+
+    #[test]
+    fn incomparable_points_are_both_kept() {
+        let pts = [
+            TradeOff::new(2.0, 0.05), // faster but less accurate
+            TradeOff::new(1.5, 0.01), // slower but more accurate
+        ];
+        assert_eq!(pareto_front(&pts), vec![1, 0]);
+    }
+
+    #[test]
+    fn classic_staircase() {
+        let pts = [
+            TradeOff::new(1.0, 0.00), // accurate
+            TradeOff::new(1.3, 0.02),
+            TradeOff::new(1.2, 0.03), // dominated by the previous one
+            TradeOff::new(2.0, 0.05),
+            TradeOff::new(1.9, 0.20), // dominated
+        ];
+        assert_eq!(pareto_front(&pts), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn duplicates_are_kept() {
+        let pts = [TradeOff::new(1.5, 0.1), TradeOff::new(1.5, 0.1)];
+        assert_eq!(pareto_front(&pts), vec![0, 1]);
+    }
+
+    #[test]
+    fn dominance_is_strict_somewhere() {
+        let a = TradeOff::new(1.0, 0.1);
+        assert!(!a.dominates(&a));
+        assert!(TradeOff::new(1.0, 0.05).dominates(&a));
+        assert!(TradeOff::new(1.1, 0.1).dominates(&a));
+        assert!(!TradeOff::new(1.1, 0.2).dominates(&a));
+    }
+
+    #[test]
+    fn empty_input_empty_front() {
+        assert!(pareto_front(&[]).is_empty());
+    }
+}

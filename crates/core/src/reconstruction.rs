@@ -1,0 +1,495 @@
+//! Local-memory data reconstruction (paper §5).
+//!
+//! After the perforated load, the skipped tile elements hold no data. The
+//! reconstruction phase fills them *in local memory* from the sparse set of
+//! loaded neighbors. The paper compares two techniques:
+//!
+//! * **nearest-neighbor** — copy the closest loaded value, and
+//! * **linear interpolation** — distance-weighted blend of the loaded
+//!   values on both sides; where only one side exists (tile borders,
+//!   stencil halos) it falls back to nearest-neighbor.
+//!
+//! Reconstruction is a pure function of the tile contents, expressed over a
+//! `read(px, py)` callback so it can run both inside the simulator (backed
+//! by local memory, costing local accesses) and in host tests (backed by a
+//! plain array).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+use crate::scheme::PerforationScheme;
+use crate::tile::TileGeometry;
+
+/// The reconstruction technique applied after the perforated load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Reconstruction {
+    /// Leave skipped elements as zero. This reproduces the "black lines"
+    /// of the paper's Fig. 2b and exists for demonstration and ablation;
+    /// real configurations use one of the other techniques.
+    None,
+    /// Copy the nearest loaded value (`NN`).
+    NearestNeighbor,
+    /// Distance-weighted linear interpolation between the nearest loaded
+    /// values on both sides (`LI`); nearest-neighbor at borders.
+    LinearInterpolation,
+}
+
+impl Reconstruction {
+    /// Validates the combination of scheme and reconstruction.
+    ///
+    /// # Errors
+    ///
+    /// Linear interpolation needs loaded elements on *both* sides of every
+    /// skipped element, which only row/column schemes guarantee; `LI` with
+    /// `Stencil` or `Random` is rejected (the paper runs `Stencil1:NN`
+    /// only, §6.3).
+    pub fn validate(&self, scheme: &PerforationScheme) -> Result<(), CoreError> {
+        match (self, scheme) {
+            (
+                Reconstruction::LinearInterpolation,
+                PerforationScheme::Stencil | PerforationScheme::Random { .. },
+            ) => Err(CoreError::IllegalConfig(format!(
+                "linear interpolation is undefined for the {scheme} scheme; use NN"
+            ))),
+            _ => Ok(()),
+        }
+    }
+}
+
+impl std::fmt::Display for Reconstruction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Reconstruction::None => write!(f, "Raw"),
+            Reconstruction::NearestNeighbor => write!(f, "NN"),
+            Reconstruction::LinearInterpolation => write!(f, "LI"),
+        }
+    }
+}
+
+/// Search limit for the random scheme's nearest-neighbor ring search.
+const RANDOM_SEARCH_RADIUS: i64 = 4;
+
+/// Reconstructs the value of the skipped element at padded coordinate
+/// `(px, py)` of the tile owned by work group `group`.
+///
+/// `read` returns the tile value at a padded coordinate (loaded elements
+/// only are meaningful); `ops` receives the ALU operation count charged to
+/// the reconstructing work item.
+///
+/// Returns `0.0` if no loaded neighbor exists within reach (cannot happen
+/// for validated scheme/tile combinations).
+pub fn reconstruct_element(
+    scheme: &PerforationScheme,
+    recon: Reconstruction,
+    tile: &TileGeometry,
+    group: (usize, usize),
+    px: usize,
+    py: usize,
+    read: &mut dyn FnMut(usize, usize) -> f32,
+    ops: &mut dyn FnMut(u64),
+) -> f32 {
+    match recon {
+        Reconstruction::None => 0.0,
+        Reconstruction::NearestNeighbor => nearest_neighbor(scheme, tile, group, px, py, read, ops),
+        Reconstruction::LinearInterpolation => {
+            linear_interpolation(scheme, tile, group, px, py, read, ops)
+        }
+    }
+}
+
+fn is_loaded(
+    scheme: &PerforationScheme,
+    tile: &TileGeometry,
+    group: (usize, usize),
+    px: usize,
+    py: usize,
+) -> bool {
+    let (gx, gy) = tile.global_of(group, px, py);
+    scheme.loads(tile, px, py, gx, gy)
+}
+
+/// Finds the nearest loaded row above/below `(px, py)` (for row schemes) in
+/// the tile. Returns `(coord, distance)`.
+fn nearest_loaded_axis(
+    scheme: &PerforationScheme,
+    tile: &TileGeometry,
+    group: (usize, usize),
+    px: usize,
+    py: usize,
+    vertical: bool,
+    direction: i64,
+) -> Option<(usize, usize)> {
+    let limit = if vertical {
+        tile.padded_h()
+    } else {
+        tile.padded_w()
+    };
+    let start = if vertical { py as i64 } else { px as i64 };
+    let mut pos = start + direction;
+    while (0..limit as i64).contains(&pos) {
+        let (cx, cy) = if vertical {
+            (px, pos as usize)
+        } else {
+            (pos as usize, py)
+        };
+        if is_loaded(scheme, tile, group, cx, cy) {
+            return Some((pos as usize, pos.abs_diff(start) as usize));
+        }
+        pos += direction;
+    }
+    None
+}
+
+fn nearest_neighbor(
+    scheme: &PerforationScheme,
+    tile: &TileGeometry,
+    group: (usize, usize),
+    px: usize,
+    py: usize,
+    read: &mut dyn FnMut(usize, usize) -> f32,
+    ops: &mut dyn FnMut(u64),
+) -> f32 {
+    match scheme {
+        PerforationScheme::None => read(px, py),
+        PerforationScheme::Rows(_) => {
+            let up = nearest_loaded_axis(scheme, tile, group, px, py, true, -1);
+            let down = nearest_loaded_axis(scheme, tile, group, px, py, true, 1);
+            ops(2);
+            match (up, down) {
+                (Some((u, du)), Some((d, dd))) => {
+                    // Tie-break upward: deterministic and matches the
+                    // "copy from the row above" convention.
+                    if du <= dd {
+                        read(px, u)
+                    } else {
+                        read(px, d)
+                    }
+                }
+                (Some((u, _)), None) => read(px, u),
+                (None, Some((d, _))) => read(px, d),
+                (None, None) => 0.0,
+            }
+        }
+        PerforationScheme::Columns(_) => {
+            let left = nearest_loaded_axis(scheme, tile, group, px, py, false, -1);
+            let right = nearest_loaded_axis(scheme, tile, group, px, py, false, 1);
+            ops(2);
+            match (left, right) {
+                (Some((l, dl)), Some((r, dr))) => {
+                    if dl <= dr {
+                        read(l, py)
+                    } else {
+                        read(r, py)
+                    }
+                }
+                (Some((l, _)), None) => read(l, py),
+                (None, Some((r, _))) => read(r, py),
+                (None, None) => 0.0,
+            }
+        }
+        PerforationScheme::Stencil => {
+            // Halo elements copy the nearest interior element (clamp into
+            // the interior rectangle).
+            let cx = px.clamp(tile.halo, tile.halo + tile.tile_w - 1);
+            let cy = py.clamp(tile.halo, tile.halo + tile.tile_h - 1);
+            ops(2);
+            read(cx, cy)
+        }
+        PerforationScheme::Random { .. } => {
+            // Ring search outward in Chebyshev distance; deterministic
+            // scan order within each ring.
+            for r in 1..=RANDOM_SEARCH_RADIUS {
+                for dy in -r..=r {
+                    for dx in -r..=r {
+                        if dx.abs().max(dy.abs()) != r {
+                            continue;
+                        }
+                        let nx = px as i64 + dx;
+                        let ny = py as i64 + dy;
+                        if nx < 0
+                            || ny < 0
+                            || nx >= tile.padded_w() as i64
+                            || ny >= tile.padded_h() as i64
+                        {
+                            continue;
+                        }
+                        ops(1);
+                        if is_loaded(scheme, tile, group, nx as usize, ny as usize) {
+                            return read(nx as usize, ny as usize);
+                        }
+                    }
+                }
+            }
+            0.0
+        }
+    }
+}
+
+fn linear_interpolation(
+    scheme: &PerforationScheme,
+    tile: &TileGeometry,
+    group: (usize, usize),
+    px: usize,
+    py: usize,
+    read: &mut dyn FnMut(usize, usize) -> f32,
+    ops: &mut dyn FnMut(u64),
+) -> f32 {
+    let axis = match scheme {
+        PerforationScheme::Rows(_) => true,
+        PerforationScheme::Columns(_) => false,
+        // LI is undefined for the other schemes (validate() rejects them);
+        // fall back to NN so the function still totals.
+        _ => return nearest_neighbor(scheme, tile, group, px, py, read, ops),
+    };
+    let before = nearest_loaded_axis(scheme, tile, group, px, py, axis, -1);
+    let after = nearest_loaded_axis(scheme, tile, group, px, py, axis, 1);
+    match (before, after) {
+        (Some((b, db)), Some((a, da))) => {
+            let (vb, va) = if axis {
+                (read(px, b), read(px, a))
+            } else {
+                (read(b, py), read(a, py))
+            };
+            ops(4);
+            // Weight each side by the distance to the *other* side.
+            let total = (db + da) as f32;
+            (vb * da as f32 + va * db as f32) / total
+        }
+        (Some((b, _)), None) => {
+            ops(2);
+            if axis {
+                read(px, b)
+            } else {
+                read(b, py)
+            }
+        }
+        (None, Some((a, _))) => {
+            ops(2);
+            if axis {
+                read(px, a)
+            } else {
+                read(a, py)
+            }
+        }
+        (None, None) => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::SkipLevel;
+
+    /// Builds a tile array where loaded elements carry `f(gx, gy)` and
+    /// skipped elements are poisoned, then reconstructs every skipped
+    /// element.
+    fn run_reconstruction(
+        tile: &TileGeometry,
+        scheme: &PerforationScheme,
+        recon: Reconstruction,
+        f: impl Fn(i64, i64) -> f32,
+    ) -> Vec<f32> {
+        let group = (0, 0);
+        let mut data = vec![f32::NAN; tile.padded_len()];
+        for py in 0..tile.padded_h() {
+            for px in 0..tile.padded_w() {
+                let (gx, gy) = tile.global_of(group, px, py);
+                if scheme.loads(tile, px, py, gx, gy) {
+                    data[tile.index(px, py)] = f(gx, gy);
+                }
+            }
+        }
+        let snapshot = data.clone();
+        let mut op_count = 0u64;
+        for py in 0..tile.padded_h() {
+            for px in 0..tile.padded_w() {
+                let (gx, gy) = tile.global_of(group, px, py);
+                if !scheme.loads(tile, px, py, gx, gy) {
+                    let mut read = |x: usize, y: usize| snapshot[tile.index(x, y)];
+                    let mut ops = |n: u64| op_count += n;
+                    data[tile.index(px, py)] = reconstruct_element(
+                        scheme, recon, tile, group, px, py, &mut read, &mut ops,
+                    );
+                }
+            }
+        }
+        assert!(op_count > 0 || !scheme.perforates() || recon == Reconstruction::None);
+        data
+    }
+
+    #[test]
+    fn nn_rows_copies_adjacent_row() {
+        let tile = TileGeometry::new(8, 8, 1);
+        let scheme = PerforationScheme::Rows(SkipLevel::Half);
+        let data = run_reconstruction(&tile, &scheme, Reconstruction::NearestNeighbor, |_, gy| {
+            gy as f32
+        });
+        for py in 0..tile.padded_h() {
+            for px in 0..tile.padded_w() {
+                let v = data[tile.index(px, py)];
+                let (_, gy) = tile.global_of((0, 0), px, py);
+                assert!(!v.is_nan());
+                // NN from distance 1: value differs from true row index by at most 1.
+                assert!((v - gy as f32).abs() <= 1.0, "py={py} v={v} gy={gy}");
+            }
+        }
+    }
+
+    #[test]
+    fn li_rows_exact_on_linear_ramp() {
+        // A vertically linear signal is reconstructed *exactly* by LI
+        // whenever both neighbors exist.
+        let tile = TileGeometry::new(8, 8, 1);
+        let scheme = PerforationScheme::Rows(SkipLevel::Half);
+        let data = run_reconstruction(
+            &tile,
+            &scheme,
+            Reconstruction::LinearInterpolation,
+            |_, gy| 3.0 * gy as f32 + 1.0,
+        );
+        for py in 1..tile.padded_h() - 1 {
+            for px in 0..tile.padded_w() {
+                let (_, gy) = tile.global_of((0, 0), px, py);
+                let expect = 3.0 * gy as f32 + 1.0;
+                let got = data[tile.index(px, py)];
+                assert!(
+                    (got - expect).abs() < 1e-4,
+                    "py={py} got={got} expect={expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn li_rows2_exact_on_linear_ramp_interior() {
+        let tile = TileGeometry::new(8, 8, 2);
+        let scheme = PerforationScheme::Rows(SkipLevel::ThreeQuarters);
+        let data = run_reconstruction(
+            &tile,
+            &scheme,
+            Reconstruction::LinearInterpolation,
+            |_, gy| -2.0 * gy as f32,
+        );
+        // Rows loaded at gy % 4 == 0; interior skipped rows have both
+        // neighbors inside the tile whenever a loaded row exists on both
+        // sides.
+        for py in 0..tile.padded_h() {
+            let (_, gy) = tile.global_of((0, 0), 0, py);
+            let has_above = (0..py).any(|y| {
+                let (_, g) = tile.global_of((0, 0), 0, y);
+                g.rem_euclid(4) == 0
+            });
+            let has_below = (py + 1..tile.padded_h()).any(|y| {
+                let (_, g) = tile.global_of((0, 0), 0, y);
+                g.rem_euclid(4) == 0
+            });
+            if gy.rem_euclid(4) != 0 && has_above && has_below {
+                let got = data[tile.index(3, py)];
+                let expect = -2.0 * gy as f32;
+                assert!(
+                    (got - expect).abs() < 1e-4,
+                    "py={py} got={got} expect={expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nn_columns_copies_adjacent_column() {
+        let tile = TileGeometry::new(8, 8, 1);
+        let scheme = PerforationScheme::Columns(SkipLevel::Half);
+        let data = run_reconstruction(&tile, &scheme, Reconstruction::NearestNeighbor, |gx, _| {
+            gx as f32
+        });
+        for idx in 0..tile.padded_len() {
+            let (px, py) = tile.coords(idx);
+            let (gx, _) = tile.global_of((0, 0), px, py);
+            let v = data[idx];
+            assert!((v - gx as f32).abs() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn stencil_halo_copies_nearest_interior() {
+        let tile = TileGeometry::new(4, 4, 1);
+        let scheme = PerforationScheme::Stencil;
+        let data = run_reconstruction(&tile, &scheme, Reconstruction::NearestNeighbor, |gx, gy| {
+            (10 * gy + gx) as f32
+        });
+        // Top-left halo corner copies the interior corner (global (0,0)).
+        assert_eq!(data[tile.index(0, 0)], 0.0);
+        // Top halo above interior column 2 copies global (2, 0) -> 2.
+        assert_eq!(data[tile.index(3, 0)], 2.0);
+        // Right halo next to interior row 1 copies global (3, 1) -> 13.
+        assert_eq!(data[tile.index(5, 2)], 13.0);
+    }
+
+    #[test]
+    fn random_reconstruction_fills_everything() {
+        let tile = TileGeometry::new(8, 8, 1);
+        let scheme = PerforationScheme::Random {
+            keep_fraction: 0.5,
+            seed: 3,
+        };
+        let data = run_reconstruction(&tile, &scheme, Reconstruction::NearestNeighbor, |gx, gy| {
+            (gx + gy) as f32
+        });
+        assert!(data.iter().all(|v| !v.is_nan()));
+    }
+
+    #[test]
+    fn recon_none_zeroes_missing() {
+        let tile = TileGeometry::new(4, 4, 0);
+        let scheme = PerforationScheme::Rows(SkipLevel::Half);
+        let data = run_reconstruction(&tile, &scheme, Reconstruction::None, |_, _| 7.0);
+        for py in 0..tile.padded_h() {
+            let (_, gy) = tile.global_of((0, 0), 0, py);
+            let expect = if gy.rem_euclid(2) == 0 { 7.0 } else { 0.0 };
+            assert_eq!(data[tile.index(2, py)], expect);
+        }
+    }
+
+    #[test]
+    fn reconstruction_stays_within_value_range() {
+        // NN and LI are convex combinations: they can never produce values
+        // outside [min, max] of the loaded data.
+        let tile = TileGeometry::new(8, 8, 1);
+        for recon in [
+            Reconstruction::NearestNeighbor,
+            Reconstruction::LinearInterpolation,
+        ] {
+            let scheme = PerforationScheme::Rows(SkipLevel::ThreeQuarters);
+            let data = run_reconstruction(&tile, &scheme, recon, |gx, gy| {
+                (gx * 31 + gy * 17).rem_euclid(101) as f32 / 100.0
+            });
+            for &v in &data {
+                assert!((0.0..=1.0).contains(&v), "out of range: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn li_validation_rejects_stencil_and_random() {
+        let li = Reconstruction::LinearInterpolation;
+        assert!(li.validate(&PerforationScheme::Stencil).is_err());
+        assert!(li
+            .validate(&PerforationScheme::Random {
+                keep_fraction: 0.5,
+                seed: 0
+            })
+            .is_err());
+        assert!(li
+            .validate(&PerforationScheme::Rows(SkipLevel::Half))
+            .is_ok());
+        assert!(Reconstruction::NearestNeighbor
+            .validate(&PerforationScheme::Stencil)
+            .is_ok());
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(Reconstruction::NearestNeighbor.to_string(), "NN");
+        assert_eq!(Reconstruction::LinearInterpolation.to_string(), "LI");
+        assert_eq!(Reconstruction::None.to_string(), "Raw");
+    }
+}

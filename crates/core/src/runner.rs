@@ -1,0 +1,448 @@
+//! End-to-end execution: allocate buffers, build the requested kernel
+//! variant, launch, and collect output + report.
+//!
+//! This is the glue the tuner, the error-budget helper, the benchmark
+//! harness and the examples all share.
+
+use kp_gpu_sim::{Device, LaunchReport, NdRange};
+
+use crate::config::ApproxConfig;
+use crate::error::CoreError;
+use crate::paraprox::{ParaproxKernel, ParaproxScheme};
+use crate::pipeline::{
+    AccurateGlobalKernel, AccurateLocalKernel, ImageBinding, PerforatedKernel, StencilApp,
+};
+
+/// One input to an application: a row-major `f32` image plus an optional
+/// same-shaped auxiliary image (e.g. Hotspot's power grid).
+#[derive(Debug, Clone, Copy)]
+pub struct ImageInput<'a> {
+    /// Primary input, `width × height`, row-major.
+    pub data: &'a [f32],
+    /// Optional auxiliary input of identical shape.
+    pub aux: Option<&'a [f32]>,
+    /// Width in elements.
+    pub width: usize,
+    /// Height in rows.
+    pub height: usize,
+}
+
+impl<'a> ImageInput<'a> {
+    /// Creates and validates an input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Input`] if sizes are zero or slice lengths do
+    /// not match `width × height`.
+    pub fn new(data: &'a [f32], width: usize, height: usize) -> Result<Self, CoreError> {
+        Self::with_aux(data, None, width, height)
+    }
+
+    /// Creates an input with an auxiliary buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Input`] if sizes are zero or any slice length
+    /// does not match `width × height`.
+    pub fn with_aux(
+        data: &'a [f32],
+        aux: Option<&'a [f32]>,
+        width: usize,
+        height: usize,
+    ) -> Result<Self, CoreError> {
+        if width == 0 || height == 0 {
+            return Err(CoreError::Input(format!(
+                "image dimensions must be non-zero, got {width}x{height}"
+            )));
+        }
+        if data.len() != width * height {
+            return Err(CoreError::Input(format!(
+                "image data has {} elements, expected {}",
+                data.len(),
+                width * height
+            )));
+        }
+        if let Some(aux) = aux {
+            if aux.len() != width * height {
+                return Err(CoreError::Input(format!(
+                    "aux data has {} elements, expected {}",
+                    aux.len(),
+                    width * height
+                )));
+            }
+        }
+        Ok(Self {
+            data,
+            aux,
+            width,
+            height,
+        })
+    }
+}
+
+/// Which kernel variant to execute.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RunSpec {
+    /// Accurate, window read from global memory.
+    AccurateGlobal {
+        /// Work-group size.
+        group: (usize, usize),
+    },
+    /// Accurate with cooperative local-memory prefetch.
+    AccurateLocal {
+        /// Work-group size.
+        group: (usize, usize),
+    },
+    /// The app's best-practice accurate baseline:
+    /// [`StencilApp::baseline_uses_local`] picks global or local.
+    Baseline {
+        /// Work-group size.
+        group: (usize, usize),
+    },
+    /// The paper's perforated pipeline.
+    Perforated(ApproxConfig),
+    /// Paraprox output approximation (comparison baseline).
+    Paraprox {
+        /// Output-approximation scheme.
+        scheme: ParaproxScheme,
+        /// Work-group size.
+        group: (usize, usize),
+    },
+}
+
+impl RunSpec {
+    /// Short label for tables (`"Accurate"`, `"Rows1:NN"`, `"PxRows1"`, …).
+    pub fn label(&self) -> String {
+        match self {
+            RunSpec::AccurateGlobal { .. } => "AccurateGlobal".to_owned(),
+            RunSpec::AccurateLocal { .. } => "AccurateLocal".to_owned(),
+            RunSpec::Baseline { .. } => "Baseline".to_owned(),
+            RunSpec::Perforated(cfg) => cfg.label(),
+            RunSpec::Paraprox { scheme, .. } => scheme.to_string(),
+        }
+    }
+
+    /// The work-group size this spec launches with.
+    pub fn group(&self) -> (usize, usize) {
+        match *self {
+            RunSpec::AccurateGlobal { group }
+            | RunSpec::AccurateLocal { group }
+            | RunSpec::Baseline { group }
+            | RunSpec::Paraprox { group, .. } => group,
+            RunSpec::Perforated(cfg) => cfg.group,
+        }
+    }
+}
+
+/// Output and performance report of one run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The output image (`width × height`, row-major).
+    pub output: Vec<f32>,
+    /// The simulator's launch report.
+    pub report: LaunchReport,
+}
+
+/// Full-image launch geometry: global sizes padded up to group multiples
+/// (kernels guard the remainder).
+fn image_range(width: usize, height: usize, group: (usize, usize)) -> Result<NdRange, CoreError> {
+    let gx = width.div_ceil(group.0) * group.0;
+    let gy = height.div_ceil(group.1) * group.1;
+    NdRange::new_2d((gx, gy), group).map_err(|e| CoreError::Sim(e.into()))
+}
+
+/// Executes one variant of `app` on `input` using `dev`.
+///
+/// Buffers are allocated on entry and released before returning, so a
+/// single device can serve arbitrarily many runs.
+///
+/// # Errors
+///
+/// Propagates simulator errors ([`CoreError::Sim`]) and configuration
+/// errors ([`CoreError::IllegalConfig`]).
+pub fn run_app(
+    dev: &mut Device,
+    app: &dyn StencilApp,
+    input: &ImageInput<'_>,
+    spec: &RunSpec,
+) -> Result<RunResult, CoreError> {
+    let n = input.width * input.height;
+    let in_buf = dev.create_buffer_from("input", input.data)?;
+    let aux_buf = match input.aux {
+        Some(aux) => Some(dev.create_buffer_from("aux", aux)?),
+        None => None,
+    };
+    let out_buf = dev.create_buffer::<f32>("output", n)?;
+    let img = ImageBinding {
+        input: in_buf,
+        aux: aux_buf,
+        output: out_buf,
+        width: input.width,
+        height: input.height,
+    };
+
+    let result = launch_spec(dev, app, &img, spec);
+
+    // Release buffers regardless of launch outcome.
+    let _ = dev.release_buffer(in_buf);
+    if let Some(aux) = aux_buf {
+        let _ = dev.release_buffer(aux);
+    }
+    let outcome = match result {
+        Ok((output, report)) => Ok(RunResult { output, report }),
+        Err(e) => Err(e),
+    };
+    let _ = dev.release_buffer(out_buf);
+    outcome
+}
+
+fn launch_spec(
+    dev: &mut Device,
+    app: &dyn StencilApp,
+    img: &ImageBinding,
+    spec: &RunSpec,
+) -> Result<(Vec<f32>, LaunchReport), CoreError> {
+    let report = match *spec {
+        RunSpec::AccurateGlobal { group } => {
+            let range = image_range(img.width, img.height, group)?;
+            dev.launch(&AccurateGlobalKernel::new(app, *img), range)?
+        }
+        RunSpec::AccurateLocal { group } => {
+            let range = image_range(img.width, img.height, group)?;
+            dev.launch(&AccurateLocalKernel::new(app, *img, group), range)?
+        }
+        RunSpec::Baseline { group } => {
+            let range = image_range(img.width, img.height, group)?;
+            if app.baseline_uses_local() {
+                dev.launch(&AccurateLocalKernel::new(app, *img, group), range)?
+            } else {
+                dev.launch(&AccurateGlobalKernel::new(app, *img), range)?
+            }
+        }
+        RunSpec::Perforated(config) => {
+            let range = image_range(img.width, img.height, config.group)?;
+            let kernel = PerforatedKernel::new(app, *img, config)?;
+            dev.launch(&kernel, range)?
+        }
+        RunSpec::Paraprox { scheme, group } => {
+            let range = scheme
+                .launch_range(img.width, img.height, group)
+                .map_err(|e| CoreError::Sim(e.into()))?;
+            dev.launch(&ParaproxKernel::new(app, *img, scheme), range)?
+        }
+    };
+    let output = dev.read_buffer::<f32>(img.output)?;
+    Ok((output, report))
+}
+
+/// Runs `iterations` ping-pong steps of an iterative solver (e.g. Hotspot):
+/// the output of step *k* becomes the primary input of step *k+1*; the
+/// auxiliary input stays fixed. Returns the final output and the combined
+/// report.
+///
+/// # Errors
+///
+/// As [`run_app`]; additionally [`CoreError::Input`] if `iterations == 0`.
+pub fn run_iterative(
+    dev: &mut Device,
+    app: &dyn StencilApp,
+    input: &ImageInput<'_>,
+    spec: &RunSpec,
+    iterations: usize,
+) -> Result<RunResult, CoreError> {
+    if iterations == 0 {
+        return Err(CoreError::Input("iterations must be >= 1".into()));
+    }
+    let mut current: Vec<f32> = input.data.to_vec();
+    let mut reports = Vec::with_capacity(iterations);
+    for _ in 0..iterations {
+        let step_input = ImageInput {
+            data: &current,
+            aux: input.aux,
+            width: input.width,
+            height: input.height,
+        };
+        let r = run_app(dev, app, &step_input, spec)?;
+        current = r.output;
+        reports.push(r.report);
+    }
+    Ok(RunResult {
+        output: current,
+        report: LaunchReport::combine(reports.iter()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paraprox::ParaproxLevel;
+    use crate::pipeline::Window;
+    use kp_gpu_sim::DeviceConfig;
+
+    struct Blur;
+
+    impl StencilApp for Blur {
+        fn name(&self) -> &str {
+            "blur"
+        }
+
+        fn halo(&self) -> usize {
+            1
+        }
+
+        fn compute(&self, win: &mut Window<'_, '_>) -> f32 {
+            let mut acc = 0.0;
+            for dy in -1..=1 {
+                for dx in -1..=1 {
+                    acc += win.at(dx, dy);
+                }
+            }
+            win.ops(9);
+            acc / 9.0
+        }
+    }
+
+    struct Decay;
+
+    impl StencilApp for Decay {
+        fn name(&self) -> &str {
+            "decay"
+        }
+
+        fn halo(&self) -> usize {
+            0
+        }
+
+        fn baseline_uses_local(&self) -> bool {
+            false
+        }
+
+        fn compute(&self, win: &mut Window<'_, '_>) -> f32 {
+            win.ops(1);
+            win.at(0, 0) * 0.5
+        }
+    }
+
+    fn dev() -> Device {
+        Device::new(DeviceConfig::firepro_w5100()).unwrap()
+    }
+
+    fn image(w: usize, h: usize) -> Vec<f32> {
+        (0..w * h).map(|i| ((i * 31) % 97) as f32 / 96.0).collect()
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(ImageInput::new(&[1.0; 6], 3, 2).is_ok());
+        assert!(ImageInput::new(&[1.0; 5], 3, 2).is_err());
+        assert!(ImageInput::new(&[], 0, 0).is_err());
+        assert!(ImageInput::with_aux(&[1.0; 6], Some(&[1.0; 5]), 3, 2).is_err());
+    }
+
+    #[test]
+    fn all_specs_run_and_release_buffers() {
+        let (w, h) = (32, 32);
+        let data = image(w, h);
+        let input = ImageInput::new(&data, w, h).unwrap();
+        let mut device = dev();
+        let used_before = device.used_global_bytes();
+        let specs = [
+            RunSpec::AccurateGlobal { group: (16, 16) },
+            RunSpec::AccurateLocal { group: (16, 16) },
+            RunSpec::Baseline { group: (16, 16) },
+            RunSpec::Perforated(ApproxConfig::rows1_nn((16, 16))),
+            RunSpec::Perforated(ApproxConfig::stencil1_nn((16, 16))),
+            RunSpec::Paraprox {
+                scheme: ParaproxScheme::Rows(ParaproxLevel::One),
+                group: (16, 16),
+            },
+        ];
+        for spec in &specs {
+            let r = run_app(&mut device, &Blur, &input, spec).unwrap();
+            assert_eq!(r.output.len(), w * h);
+            assert!(r.report.seconds > 0.0, "{}", spec.label());
+        }
+        assert_eq!(device.used_global_bytes(), used_before);
+    }
+
+    #[test]
+    fn non_divisible_image_is_padded_and_guarded() {
+        let (w, h) = (33, 17); // not multiples of 16
+        let data = image(w, h);
+        let input = ImageInput::new(&data, w, h).unwrap();
+        let mut device = dev();
+        let a = run_app(
+            &mut device,
+            &Blur,
+            &input,
+            &RunSpec::AccurateGlobal { group: (16, 16) },
+        )
+        .unwrap();
+        let b = run_app(
+            &mut device,
+            &Blur,
+            &input,
+            &RunSpec::AccurateLocal { group: (16, 16) },
+        )
+        .unwrap();
+        assert_eq!(a.output, b.output);
+    }
+
+    #[test]
+    fn baseline_dispatches_on_app_preference() {
+        let (w, h) = (32, 32);
+        let data = image(w, h);
+        let input = ImageInput::new(&data, w, h).unwrap();
+        let mut device = dev();
+        // Blur's baseline uses local memory: its launch has 2 phases.
+        let blur = run_app(
+            &mut device,
+            &Blur,
+            &input,
+            &RunSpec::Baseline { group: (16, 16) },
+        )
+        .unwrap();
+        assert_eq!(blur.report.phases, 2);
+        // Decay's baseline is global: a single phase.
+        let decay = run_app(
+            &mut device,
+            &Decay,
+            &input,
+            &RunSpec::Baseline { group: (16, 16) },
+        )
+        .unwrap();
+        assert_eq!(decay.report.phases, 1);
+    }
+
+    #[test]
+    fn run_iterative_pingpongs() {
+        let (w, h) = (16, 16);
+        let data = vec![1.0f32; w * h];
+        let input = ImageInput::new(&data, w, h).unwrap();
+        let mut device = dev();
+        let spec = RunSpec::AccurateGlobal { group: (16, 16) };
+        let r = run_iterative(&mut device, &Decay, &input, &spec, 3).unwrap();
+        // 1.0 * 0.5^3 = 0.125 everywhere.
+        assert!(r.output.iter().all(|&v| (v - 0.125).abs() < 1e-6));
+        assert_eq!(r.report.groups, 3);
+        assert!(run_iterative(&mut device, &Decay, &input, &spec, 0).is_err());
+    }
+
+    #[test]
+    fn spec_labels() {
+        assert_eq!(
+            RunSpec::Perforated(ApproxConfig::rows1_nn((16, 16))).label(),
+            "Rows1:NN"
+        );
+        assert_eq!(
+            RunSpec::Paraprox {
+                scheme: ParaproxScheme::Center(ParaproxLevel::One),
+                group: (8, 8)
+            }
+            .label(),
+            "PxCenter1"
+        );
+        assert_eq!(RunSpec::Baseline { group: (1, 1) }.label(), "Baseline");
+        assert_eq!(RunSpec::Baseline { group: (4, 2) }.group(), (4, 2));
+    }
+}

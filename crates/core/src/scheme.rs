@@ -1,0 +1,383 @@
+//! Input perforation schemes (paper §4.3–§4.4).
+//!
+//! A perforation scheme decides which elements of a work-group tile are
+//! *loaded* from global memory and which are *skipped* (to be filled in by
+//! the reconstruction phase). Schemes must respect the memory architecture:
+//! skipping whole rows removes whole coalesced transactions, while skipping
+//! scattered elements saves nothing because the surrounding line is fetched
+//! anyway — this is why the paper's schemes are row-shaped and why the
+//! random scheme (implemented here for completeness) buys accuracy but no
+//! bandwidth.
+//!
+//! Row/column schemes are keyed on *global* coordinates so that the pattern
+//! of adjacent work groups lines up ("the schemes match each other", §4.4).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+use crate::tile::TileGeometry;
+
+/// How aggressively rows/columns are skipped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SkipLevel {
+    /// Skip every other row/column — `Rows1`/`Cols1` in the paper: 1/2 of
+    /// the data is loaded.
+    Half,
+    /// Skip 3 out of 4 rows/columns — `Rows2`/`Cols2`: 1/4 is loaded.
+    ThreeQuarters,
+}
+
+impl SkipLevel {
+    /// Period of the skip pattern (2 or 4).
+    pub fn period(self) -> i64 {
+        match self {
+            SkipLevel::Half => 2,
+            SkipLevel::ThreeQuarters => 4,
+        }
+    }
+
+    /// Maximum distance from a skipped row/column to its nearest loaded
+    /// neighbor (1 for `Half`, 2 for `ThreeQuarters`).
+    pub fn max_gap(self) -> usize {
+        match self {
+            SkipLevel::Half => 1,
+            SkipLevel::ThreeQuarters => 2,
+        }
+    }
+}
+
+/// An input perforation scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PerforationScheme {
+    /// Load everything (the accurate local-memory baseline).
+    None,
+    /// Skip rows of the tile ([`SkipLevel::Half`] = `Rows1`, Fig. 4a;
+    /// [`SkipLevel::ThreeQuarters`] = `Rows2`, Fig. 4b).
+    Rows(SkipLevel),
+    /// Skip columns of the tile. Misaligned with the row-major memory
+    /// layout, so it saves little bandwidth (paper §6.4: "Cols becomes
+    /// slower").
+    Columns(SkipLevel),
+    /// Load only the tile interior and skip the entire halo ring
+    /// (`Stencil1`, Fig. 5). Requires a stencil app (`halo ≥ 1`).
+    Stencil,
+    /// Skip pseudo-random elements, keeping `keep_fraction` of them.
+    /// Statistically ideal error spreading but interferes with coalescing
+    /// (§4.4), so it reconstructs well and accelerates nothing.
+    Random {
+        /// Fraction of elements loaded, in `(0, 1]`.
+        keep_fraction: f64,
+        /// Seed decorrelating the pattern between runs.
+        seed: u64,
+    },
+}
+
+/// SplitMix64: cheap, high-quality stateless hash for the random scheme.
+fn hash_coord(gx: i64, gy: i64, seed: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add((gx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add((gy as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(0x94D0_49BB_1331_11EB);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl PerforationScheme {
+    /// Whether the element at padded tile coordinate `(px, py)` — whose
+    /// (unclamped) global coordinate is `(gx, gy)` — is loaded from global
+    /// memory.
+    pub fn loads(&self, tile: &TileGeometry, px: usize, py: usize, gx: i64, gy: i64) -> bool {
+        match *self {
+            PerforationScheme::None => true,
+            PerforationScheme::Rows(level) => gy.rem_euclid(level.period()) == 0,
+            PerforationScheme::Columns(level) => gx.rem_euclid(level.period()) == 0,
+            PerforationScheme::Stencil => tile.is_interior(px, py),
+            PerforationScheme::Random {
+                keep_fraction,
+                seed,
+            } => {
+                let h = hash_coord(gx, gy, seed);
+                (h as f64 / u64::MAX as f64) < keep_fraction
+            }
+        }
+    }
+
+    /// Exact fraction of the padded tile loaded for the work group at
+    /// `group` (the row/column pattern is global, so edge groups can differ
+    /// slightly from interior ones).
+    pub fn fraction_loaded(&self, tile: &TileGeometry, group: (usize, usize)) -> f64 {
+        let mut loaded = 0usize;
+        for py in 0..tile.padded_h() {
+            for px in 0..tile.padded_w() {
+                let (gx, gy) = tile.global_of(group, px, py);
+                if self.loads(tile, px, py, gx, gy) {
+                    loaded += 1;
+                }
+            }
+        }
+        loaded as f64 / tile.padded_len() as f64
+    }
+
+    /// Validates the scheme against a tile geometry.
+    ///
+    /// # Errors
+    ///
+    /// * `Stencil` needs `halo ≥ 1` — with no halo it loads everything and
+    ///   perforates nothing (the paper notes it "cannot be used" for the
+    ///   1×1 Inversion kernel, §6.4).
+    /// * Row/column schemes need at least one loadable row/column in every
+    ///   tile (`padded_h/w ≥ 2`).
+    /// * `Random` needs `keep_fraction ∈ (0, 1]`.
+    pub fn validate(&self, tile: &TileGeometry) -> Result<(), CoreError> {
+        match *self {
+            PerforationScheme::None => Ok(()),
+            PerforationScheme::Rows(_) => {
+                if tile.padded_h() < 2 {
+                    Err(CoreError::IllegalConfig(format!(
+                        "row perforation needs a tile at least 2 rows high, got {}",
+                        tile.padded_h()
+                    )))
+                } else {
+                    Ok(())
+                }
+            }
+            PerforationScheme::Columns(_) => {
+                if tile.padded_w() < 2 {
+                    Err(CoreError::IllegalConfig(format!(
+                        "column perforation needs a tile at least 2 columns wide, got {}",
+                        tile.padded_w()
+                    )))
+                } else {
+                    Ok(())
+                }
+            }
+            PerforationScheme::Stencil => {
+                if tile.halo == 0 {
+                    Err(CoreError::IllegalConfig(
+                        "stencil perforation needs a stencil app (halo >= 1); \
+                         with a 1x1 kernel it would load everything"
+                            .into(),
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+            PerforationScheme::Random { keep_fraction, .. } => {
+                if keep_fraction > 0.0 && keep_fraction <= 1.0 {
+                    Ok(())
+                } else {
+                    Err(CoreError::IllegalConfig(format!(
+                        "random perforation keep_fraction must be in (0, 1], got {keep_fraction}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// True if the scheme actually skips anything.
+    pub fn perforates(&self) -> bool {
+        !matches!(self, PerforationScheme::None)
+    }
+}
+
+impl std::fmt::Display for PerforationScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            PerforationScheme::None => write!(f, "Accurate"),
+            PerforationScheme::Rows(SkipLevel::Half) => write!(f, "Rows1"),
+            PerforationScheme::Rows(SkipLevel::ThreeQuarters) => write!(f, "Rows2"),
+            PerforationScheme::Columns(SkipLevel::Half) => write!(f, "Cols1"),
+            PerforationScheme::Columns(SkipLevel::ThreeQuarters) => write!(f, "Cols2"),
+            PerforationScheme::Stencil => write!(f, "Stencil1"),
+            PerforationScheme::Random { keep_fraction, .. } => {
+                write!(f, "Random({keep_fraction:.2})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tile() -> TileGeometry {
+        TileGeometry::new(16, 16, 1)
+    }
+
+    #[test]
+    fn none_loads_everything() {
+        let t = tile();
+        assert!((PerforationScheme::None.fraction_loaded(&t, (0, 0)) - 1.0).abs() < 1e-12);
+        assert!(!PerforationScheme::None.perforates());
+    }
+
+    #[test]
+    fn rows1_loads_even_global_rows() {
+        let t = tile();
+        let s = PerforationScheme::Rows(SkipLevel::Half);
+        for py in 0..t.padded_h() {
+            let (gx, gy) = t.global_of((0, 0), 0, py);
+            assert_eq!(s.loads(&t, 0, py, gx, gy), gy.rem_euclid(2) == 0, "py={py}");
+        }
+    }
+
+    #[test]
+    fn rows1_loads_about_half() {
+        let t = tile();
+        let f = PerforationScheme::Rows(SkipLevel::Half).fraction_loaded(&t, (0, 0));
+        assert!((0.4..=0.6).contains(&f), "fraction {f}");
+    }
+
+    #[test]
+    fn rows2_loads_about_a_quarter() {
+        let t = tile();
+        let f = PerforationScheme::Rows(SkipLevel::ThreeQuarters).fraction_loaded(&t, (0, 0));
+        assert!((0.2..=0.3).contains(&f), "fraction {f}");
+    }
+
+    #[test]
+    fn rows_pattern_is_consistent_across_groups() {
+        // The same global row must be loaded (or not) regardless of which
+        // group's tile covers it — the paper's "schemes match each other".
+        let t = tile();
+        let s = PerforationScheme::Rows(SkipLevel::Half);
+        // Global row 16 is py=17 in group (0,0) (origin -1) and py=1 in
+        // group (0,1) (origin 15).
+        let (gx0, gy0) = t.global_of((0, 0), 5, 17);
+        let (gx1, gy1) = t.global_of((0, 1), 5, 1);
+        assert_eq!(gy0, 16);
+        assert_eq!(gy1, 16);
+        assert_eq!(s.loads(&t, 5, 17, gx0, gy0), s.loads(&t, 5, 1, gx1, gy1));
+    }
+
+    #[test]
+    fn columns_mirror_rows() {
+        let t = tile();
+        let s = PerforationScheme::Columns(SkipLevel::Half);
+        for px in 0..t.padded_w() {
+            let (gx, gy) = t.global_of((0, 0), px, 0);
+            assert_eq!(s.loads(&t, px, 0, gx, gy), gx.rem_euclid(2) == 0);
+        }
+    }
+
+    #[test]
+    fn stencil_loads_exactly_the_interior() {
+        let t = tile();
+        let s = PerforationScheme::Stencil;
+        let mut loaded = 0;
+        for py in 0..t.padded_h() {
+            for px in 0..t.padded_w() {
+                let (gx, gy) = t.global_of((0, 0), px, py);
+                if s.loads(&t, px, py, gx, gy) {
+                    assert!(t.is_interior(px, py));
+                    loaded += 1;
+                }
+            }
+        }
+        assert_eq!(loaded, 16 * 16);
+    }
+
+    #[test]
+    fn random_fraction_tracks_parameter() {
+        let t = TileGeometry::new(64, 64, 1);
+        for keep in [0.25, 0.5, 0.9] {
+            let s = PerforationScheme::Random {
+                keep_fraction: keep,
+                seed: 7,
+            };
+            let f = s.fraction_loaded(&t, (0, 0));
+            assert!((f - keep).abs() < 0.05, "keep={keep} got {f}");
+        }
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        let t = tile();
+        let s = PerforationScheme::Random {
+            keep_fraction: 0.5,
+            seed: 42,
+        };
+        let a: Vec<bool> = (0..t.padded_len())
+            .map(|i| {
+                let (px, py) = t.coords(i);
+                let (gx, gy) = t.global_of((0, 0), px, py);
+                s.loads(&t, px, py, gx, gy)
+            })
+            .collect();
+        let b: Vec<bool> = (0..t.padded_len())
+            .map(|i| {
+                let (px, py) = t.coords(i);
+                let (gx, gy) = t.global_of((0, 0), px, py);
+                s.loads(&t, px, py, gx, gy)
+            })
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn negative_global_coords_follow_parity() {
+        let t = tile();
+        let s = PerforationScheme::Rows(SkipLevel::Half);
+        // Row -1 (top halo of the first tile) is odd -> skipped.
+        assert!(!s.loads(&t, 0, 0, -1, -1));
+        // Row -2 would be even -> loaded.
+        assert!(s.loads(&t, 0, 0, 0, -2));
+    }
+
+    #[test]
+    fn stencil_requires_halo() {
+        let flat = TileGeometry::new(16, 16, 0);
+        assert!(PerforationScheme::Stencil.validate(&flat).is_err());
+        assert!(PerforationScheme::Stencil.validate(&tile()).is_ok());
+    }
+
+    #[test]
+    fn random_fraction_validated() {
+        let t = tile();
+        assert!(PerforationScheme::Random {
+            keep_fraction: 0.0,
+            seed: 0
+        }
+        .validate(&t)
+        .is_err());
+        assert!(PerforationScheme::Random {
+            keep_fraction: 1.5,
+            seed: 0
+        }
+        .validate(&t)
+        .is_err());
+        assert!(PerforationScheme::Random {
+            keep_fraction: 0.5,
+            seed: 0
+        }
+        .validate(&t)
+        .is_ok());
+    }
+
+    #[test]
+    fn display_matches_paper_labels() {
+        assert_eq!(
+            PerforationScheme::Rows(SkipLevel::Half).to_string(),
+            "Rows1"
+        );
+        assert_eq!(
+            PerforationScheme::Rows(SkipLevel::ThreeQuarters).to_string(),
+            "Rows2"
+        );
+        assert_eq!(
+            PerforationScheme::Columns(SkipLevel::Half).to_string(),
+            "Cols1"
+        );
+        assert_eq!(PerforationScheme::Stencil.to_string(), "Stencil1");
+        assert_eq!(PerforationScheme::None.to_string(), "Accurate");
+    }
+
+    #[test]
+    fn skip_level_gaps() {
+        assert_eq!(SkipLevel::Half.period(), 2);
+        assert_eq!(SkipLevel::Half.max_gap(), 1);
+        assert_eq!(SkipLevel::ThreeQuarters.period(), 4);
+        assert_eq!(SkipLevel::ThreeQuarters.max_gap(), 2);
+    }
+}

@@ -1,0 +1,186 @@
+//! Work-group tile geometry.
+//!
+//! A 2D kernel with a stencil of radius `halo` needs, for a work group of
+//! `tile_w × tile_h` output elements, an input *tile* of
+//! `(tile_w + 2·halo) × (tile_h + 2·halo)` elements — the group's outputs
+//! plus the surrounding halo ring (paper §4.4, Fig. 5). This module owns
+//! the coordinate algebra between
+//!
+//! * **padded coordinates** `(px, py)` in `[0, padded_w) × [0, padded_h)`
+//!   indexing the local-memory tile, and
+//! * **global coordinates** of the image, where the tile's origin is the
+//!   group origin shifted left/up by `halo`.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one work-group tile including its halo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TileGeometry {
+    /// Work-group width (output elements per row).
+    pub tile_w: usize,
+    /// Work-group height (output rows).
+    pub tile_h: usize,
+    /// Stencil radius: rows/columns of extra input on each side.
+    pub halo: usize,
+}
+
+impl TileGeometry {
+    /// Creates a tile geometry for a `tile_w × tile_h` work group and a
+    /// stencil radius of `halo`.
+    pub fn new(tile_w: usize, tile_h: usize, halo: usize) -> Self {
+        Self {
+            tile_w,
+            tile_h,
+            halo,
+        }
+    }
+
+    /// Width of the padded tile (`tile_w + 2·halo`).
+    pub fn padded_w(&self) -> usize {
+        self.tile_w + 2 * self.halo
+    }
+
+    /// Height of the padded tile (`tile_h + 2·halo`).
+    pub fn padded_h(&self) -> usize {
+        self.tile_h + 2 * self.halo
+    }
+
+    /// Number of elements in the padded tile.
+    pub fn padded_len(&self) -> usize {
+        self.padded_w() * self.padded_h()
+    }
+
+    /// Flat local-memory index of padded coordinate `(px, py)`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if the coordinate is outside the padded tile.
+    pub fn index(&self, px: usize, py: usize) -> usize {
+        debug_assert!(px < self.padded_w() && py < self.padded_h());
+        py * self.padded_w() + px
+    }
+
+    /// Splits a flat padded index back into `(px, py)`.
+    pub fn coords(&self, idx: usize) -> (usize, usize) {
+        (idx % self.padded_w(), idx / self.padded_w())
+    }
+
+    /// Global coordinate (possibly out of image bounds, for edge tiles) of
+    /// padded coordinate `(px, py)` for the work group at
+    /// `(group_x, group_y)`.
+    pub fn global_of(&self, group: (usize, usize), px: usize, py: usize) -> (i64, i64) {
+        let gx = (group.0 * self.tile_w + px) as i64 - self.halo as i64;
+        let gy = (group.1 * self.tile_h + py) as i64 - self.halo as i64;
+        (gx, gy)
+    }
+
+    /// Padded coordinate of the element computed by the work item with
+    /// local id `(lx, ly)` — the tile interior starts at `(halo, halo)`.
+    pub fn interior_of(&self, lx: usize, ly: usize) -> (usize, usize) {
+        (lx + self.halo, ly + self.halo)
+    }
+
+    /// Whether padded coordinate `(px, py)` lies in the interior (i.e. is
+    /// one of the group's own output positions, not halo).
+    pub fn is_interior(&self, px: usize, py: usize) -> bool {
+        px >= self.halo
+            && px < self.halo + self.tile_w
+            && py >= self.halo
+            && py < self.halo + self.tile_h
+    }
+
+    /// Local-memory bytes needed for one `f32` tile.
+    pub fn bytes_f32(&self) -> usize {
+        self.padded_len() * 4
+    }
+}
+
+/// Clamps a possibly out-of-bounds global coordinate to the image
+/// (clamp-to-edge addressing, the standard sampler behaviour for image
+/// filters).
+pub fn clamp_coord(v: i64, size: usize) -> usize {
+    v.clamp(0, size as i64 - 1) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padded_dimensions() {
+        let t = TileGeometry::new(16, 16, 1);
+        assert_eq!(t.padded_w(), 18);
+        assert_eq!(t.padded_h(), 18);
+        assert_eq!(t.padded_len(), 324);
+        assert_eq!(t.bytes_f32(), 1296);
+    }
+
+    #[test]
+    fn no_halo_tile_is_group_sized() {
+        let t = TileGeometry::new(8, 4, 0);
+        assert_eq!(t.padded_w(), 8);
+        assert_eq!(t.padded_h(), 4);
+    }
+
+    #[test]
+    fn index_coords_roundtrip() {
+        let t = TileGeometry::new(5, 3, 2);
+        for idx in 0..t.padded_len() {
+            let (px, py) = t.coords(idx);
+            assert_eq!(t.index(px, py), idx);
+        }
+    }
+
+    #[test]
+    fn global_of_shifts_by_halo() {
+        let t = TileGeometry::new(16, 16, 1);
+        // First group's padded origin is (-1, -1).
+        assert_eq!(t.global_of((0, 0), 0, 0), (-1, -1));
+        // Interior origin maps to the group origin.
+        assert_eq!(t.global_of((0, 0), 1, 1), (0, 0));
+        // Second group in x starts 16 to the right.
+        assert_eq!(t.global_of((1, 0), 1, 1), (16, 0));
+    }
+
+    #[test]
+    fn interior_predicate_matches_interior_of() {
+        let t = TileGeometry::new(4, 4, 2);
+        for ly in 0..4 {
+            for lx in 0..4 {
+                let (px, py) = t.interior_of(lx, ly);
+                assert!(t.is_interior(px, py));
+            }
+        }
+        assert!(!t.is_interior(0, 0));
+        assert!(!t.is_interior(1, 3));
+        assert!(!t.is_interior(6, 3));
+    }
+
+    #[test]
+    fn adjacent_groups_tile_the_plane() {
+        // The interiors of adjacent groups must partition global space.
+        let t = TileGeometry::new(8, 8, 1);
+        let mut seen = std::collections::HashSet::new();
+        for group_y in 0..2 {
+            for group_x in 0..2 {
+                for ly in 0..8 {
+                    for lx in 0..8 {
+                        let (px, py) = t.interior_of(lx, ly);
+                        let g = t.global_of((group_x, group_y), px, py);
+                        assert!(seen.insert(g), "duplicate global coord {g:?}");
+                    }
+                }
+            }
+        }
+        assert_eq!(seen.len(), 16 * 16);
+    }
+
+    #[test]
+    fn clamp_coord_clamps() {
+        assert_eq!(clamp_coord(-3, 10), 0);
+        assert_eq!(clamp_coord(0, 10), 0);
+        assert_eq!(clamp_coord(9, 10), 9);
+        assert_eq!(clamp_coord(10, 10), 9);
+        assert_eq!(clamp_coord(100, 10), 9);
+    }
+}

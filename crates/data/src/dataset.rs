@@ -1,0 +1,210 @@
+//! The 100-image evaluation dataset (substitute for the paper's USC-SIPI
+//! misc + pattern subset, §6.2).
+
+use crate::image::Image;
+use crate::synth;
+
+/// Input class, mirroring the paper's qualitative categories (Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Flat or near-flat images — sub-percent perforation error.
+    Flat,
+    /// Smooth natural images ("countryside") — the median error class.
+    Smooth,
+    /// Photo-like images with mid/high detail.
+    Photo,
+    /// Geometric shapes and documents: flat areas with sharp edges.
+    Graphic,
+    /// High-frequency patterns — the adversarial class.
+    Pattern,
+}
+
+impl std::fmt::Display for Category {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Category::Flat => "flat",
+            Category::Smooth => "smooth",
+            Category::Photo => "photo",
+            Category::Graphic => "graphic",
+            Category::Pattern => "pattern",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One dataset entry.
+#[derive(Debug, Clone)]
+pub struct DatasetImage {
+    /// Stable name, e.g. `"smooth_07"`.
+    pub name: String,
+    /// Input class.
+    pub category: Category,
+    /// The pixels.
+    pub image: Image,
+}
+
+/// Generates the standard evaluation dataset: `count` images of
+/// `size × size` pixels spanning the paper's input spectrum
+/// (deterministic in `seed`).
+///
+/// Class mix approximates USC-SIPI misc+pattern: 8% flat, 30% smooth,
+/// 27% photo, 20% graphic, 15% pattern.
+pub fn standard_dataset(count: usize, size: usize, seed: u64) -> Vec<DatasetImage> {
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let s = seed.wrapping_mul(1_000_003).wrapping_add(i as u64);
+        let slot = (i * 100) / count.max(1);
+        let (category, image) = match slot {
+            0..=7 => (
+                Category::Flat,
+                synth::flat(size, size, 0.1 + 0.8 * (i as f32 / count.max(1) as f32)),
+            ),
+            8..=37 => (Category::Smooth, pick_smooth(size, s, i)),
+            38..=64 => (Category::Photo, pick_photo(size, s, i)),
+            65..=84 => (Category::Graphic, pick_graphic(size, s, i)),
+            _ => (Category::Pattern, pick_pattern(size, s, i)),
+        };
+        out.push(DatasetImage {
+            name: format!("{category}_{i:03}"),
+            category,
+            image,
+        });
+    }
+    out
+}
+
+fn pick_smooth(size: usize, seed: u64, i: usize) -> Image {
+    match i % 3 {
+        0 => synth::countryside(size, size, seed),
+        1 => synth::gradient(size, size, i % 2 == 0),
+        _ => {
+            let mut img = synth::countryside(size, size, seed);
+            // Mild blur-like flattening: average with a vertical gradient.
+            let grad = synth::gradient(size, size, true);
+            for (v, g) in img.as_mut_slice().iter_mut().zip(grad.as_slice()) {
+                *v = 0.7 * *v + 0.3 * g;
+            }
+            img
+        }
+    }
+}
+
+fn pick_photo(size: usize, seed: u64, i: usize) -> Image {
+    match i % 3 {
+        0 => synth::photo_like(size, size, seed),
+        1 => synth::noisy_photo(size, size, seed),
+        _ => synth::corrupted_scan(size, size, seed),
+    }
+}
+
+fn pick_graphic(size: usize, seed: u64, i: usize) -> Image {
+    match i % 2 {
+        0 => synth::shapes(size, size, seed),
+        _ => synth::text_like(size, size, seed),
+    }
+}
+
+fn pick_pattern(size: usize, seed: u64, i: usize) -> Image {
+    let _ = seed;
+    match i % 4 {
+        0 => synth::checkerboard(size, size, 2 + i % 3),
+        1 => synth::stripes(size, size, 4 + (i % 3) * 2, false),
+        2 => synth::stripes(size, size, 4 + (i % 3) * 2, true),
+        _ => synth::zone_plate(size, size),
+    }
+}
+
+/// Returns one representative image per category, used by the Fig. 7
+/// error-vs-input demonstration (`flat`, `smooth`, `pattern`).
+pub fn fig7_examples(size: usize, seed: u64) -> [DatasetImage; 3] {
+    [
+        DatasetImage {
+            name: "flat_example".into(),
+            category: Category::Flat,
+            image: synth::shapes(size, size, seed),
+        },
+        DatasetImage {
+            name: "countryside_example".into(),
+            category: Category::Smooth,
+            image: synth::photo_like(size, size, seed.wrapping_add(1)),
+        },
+        DatasetImage {
+            name: "pattern_example".into(),
+            category: Category::Pattern,
+            // Odd-period structure: even-period patterns alias perfectly
+            // with the row-parity perforation and reconstruct for free.
+            image: synth::checkerboard(size, size, 3),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_has_requested_count_and_size() {
+        let ds = standard_dataset(100, 32, 7);
+        assert_eq!(ds.len(), 100);
+        for d in &ds {
+            assert_eq!(d.image.width(), 32);
+            assert_eq!(d.image.height(), 32);
+        }
+    }
+
+    #[test]
+    fn dataset_covers_all_categories() {
+        let ds = standard_dataset(100, 16, 7);
+        for cat in [
+            Category::Flat,
+            Category::Smooth,
+            Category::Photo,
+            Category::Graphic,
+            Category::Pattern,
+        ] {
+            assert!(
+                ds.iter().any(|d| d.category == cat),
+                "missing category {cat}"
+            );
+        }
+    }
+
+    #[test]
+    fn dataset_is_deterministic() {
+        let a = standard_dataset(20, 16, 3);
+        let b = standard_dataset(20, 16, 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.image, y.image);
+        }
+    }
+
+    #[test]
+    fn dataset_seeds_differ() {
+        let a = standard_dataset(20, 16, 3);
+        let b = standard_dataset(20, 16, 4);
+        assert!(a.iter().zip(&b).any(|(x, y)| x.image != y.image));
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let ds = standard_dataset(50, 16, 1);
+        let mut names: Vec<_> = ds.iter().map(|d| d.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 50);
+    }
+
+    #[test]
+    fn fig7_examples_span_frequencies() {
+        let [a, b, c] = fig7_examples(32, 5);
+        assert!(a.image.frequency_score() < c.image.frequency_score());
+        assert!(b.image.frequency_score() < c.image.frequency_score());
+    }
+
+    #[test]
+    fn small_counts_still_work() {
+        let ds = standard_dataset(3, 8, 2);
+        assert_eq!(ds.len(), 3);
+    }
+}

@@ -1,0 +1,82 @@
+//! Error type for data loading and generation.
+
+/// Errors from image construction, generation and PGM I/O.
+#[derive(Debug)]
+pub enum DataError {
+    /// Dimensions and data length disagree.
+    SizeMismatch {
+        /// Expected element count (`width × height`).
+        expected: usize,
+        /// Actual element count provided.
+        actual: usize,
+    },
+    /// Dimensions are zero or otherwise unusable.
+    BadDimensions {
+        /// Requested width.
+        width: usize,
+        /// Requested height.
+        height: usize,
+    },
+    /// A PGM file failed to parse.
+    Parse(String),
+    /// An underlying I/O error.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for DataError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DataError::SizeMismatch { expected, actual } => {
+                write!(f, "image data has {actual} elements, expected {expected}")
+            }
+            DataError::BadDimensions { width, height } => {
+                write!(f, "invalid image dimensions {width}x{height}")
+            }
+            DataError::Parse(msg) => write!(f, "invalid PGM data: {msg}"),
+            DataError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(DataError::SizeMismatch {
+            expected: 4,
+            actual: 3
+        }
+        .to_string()
+        .contains("expected 4"));
+        assert!(DataError::BadDimensions {
+            width: 0,
+            height: 5
+        }
+        .to_string()
+        .contains("0x5"));
+        assert!(DataError::Parse("bad magic".into())
+            .to_string()
+            .contains("bad magic"));
+        let io = DataError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(io.to_string().contains("gone"));
+        use std::error::Error;
+        assert!(io.source().is_some());
+    }
+}

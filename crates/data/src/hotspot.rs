@@ -1,0 +1,130 @@
+//! Rodinia-style Hotspot inputs (substitute for the `hotspot` data sets
+//! shipped with the Rodinia benchmark suite, §6.1).
+//!
+//! Hotspot consumes two square matrices: an initial **temperature** grid
+//! (Kelvin, near ambient) and a **power** density grid (Watts, spiky —
+//! functional units dissipate, whitespace does not). The Rodinia generator
+//! produces these from a synthetic floorplan; we do the same with seeded
+//! random rectangular "units".
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::image::Image;
+use crate::noise::fbm;
+
+/// Ambient temperature in Kelvin (Rodinia's `amb_temp`).
+pub const AMBIENT_K: f32 = 323.15; // 50°C, as in hotspot's sources
+
+/// One Hotspot input pair.
+#[derive(Debug, Clone)]
+pub struct HotspotInput {
+    /// Grid side length (`size × size` matrices).
+    pub size: usize,
+    /// Initial temperature grid in Kelvin.
+    pub temperature: Image,
+    /// Power density grid in Watts.
+    pub power: Image,
+}
+
+/// Generates a Hotspot input of the given size, deterministically from
+/// `seed`.
+///
+/// Temperature: ambient plus smooth ±5 K variation (chips are nearly
+/// isothermal at steady state). Power: zero background with 6–14 random
+/// rectangular units dissipating 0.5–8 W-scale densities, plus a mild
+/// leakage floor — matching the structure (not the exact values) of the
+/// Rodinia inputs.
+pub fn hotspot_input(size: usize, seed: u64) -> HotspotInput {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let temperature = Image::from_fn(size, size, |x, y| {
+        AMBIENT_K + 10.0 * (fbm(x as f32, y as f32, size as f32 / 3.0, 3, 0.5, seed) - 0.5)
+    });
+
+    let mut power = Image::from_fn(size, size, |_, _| 0.001);
+    let units = rng.gen_range(6..=14);
+    for _ in 0..units {
+        let w = rng.gen_range(size / 16..size / 3).max(1);
+        let h = rng.gen_range(size / 16..size / 3).max(1);
+        let x0 = rng.gen_range(0..size.saturating_sub(w).max(1));
+        let y0 = rng.gen_range(0..size.saturating_sub(h).max(1));
+        let density: f32 = rng.gen_range(0.5..8.0);
+        for y in y0..(y0 + h).min(size) {
+            for x in x0..(x0 + w).min(size) {
+                power.set(x, y, density);
+            }
+        }
+    }
+    HotspotInput {
+        size,
+        temperature,
+        power,
+    }
+}
+
+/// The eight input sizes used for the Hotspot rows of Fig. 6 ("8 different
+/// input data sets, that differ in their size").
+pub fn fig6_sizes() -> [usize; 8] {
+    [64, 128, 192, 256, 384, 512, 768, 1024]
+}
+
+/// Generates all eight Fig. 6 Hotspot inputs.
+pub fn fig6_inputs(seed: u64) -> Vec<HotspotInput> {
+    fig6_sizes()
+        .iter()
+        .enumerate()
+        .map(|(i, &size)| hotspot_input(size, seed.wrapping_add(i as u64)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn input_shapes_match() {
+        let input = hotspot_input(64, 1);
+        assert_eq!(input.size, 64);
+        assert_eq!(input.temperature.width(), 64);
+        assert_eq!(input.power.height(), 64);
+    }
+
+    #[test]
+    fn temperature_is_near_ambient() {
+        let input = hotspot_input(128, 2);
+        let (min, max) = input.temperature.min_max();
+        assert!(min > AMBIENT_K - 10.0, "min {min}");
+        assert!(max < AMBIENT_K + 10.0, "max {max}");
+    }
+
+    #[test]
+    fn power_is_sparse_and_positive() {
+        let input = hotspot_input(128, 3);
+        let (min, max) = input.power.min_max();
+        assert!(min >= 0.0);
+        assert!(max >= 0.5, "no hot units generated, max {max}");
+        // Most of the die is background.
+        let hot = input.power.as_slice().iter().filter(|&&v| v > 0.1).count();
+        assert!(hot < input.power.len(), "die entirely hot");
+        assert!(hot > 0, "no hot pixels");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = hotspot_input(64, 9);
+        let b = hotspot_input(64, 9);
+        assert_eq!(a.temperature, b.temperature);
+        assert_eq!(a.power, b.power);
+    }
+
+    #[test]
+    fn fig6_inputs_cover_eight_sizes() {
+        let inputs = fig6_inputs(1);
+        assert_eq!(inputs.len(), 8);
+        let sizes: Vec<usize> = inputs.iter().map(|i| i.size).collect();
+        assert_eq!(sizes, fig6_sizes().to_vec());
+        // Strictly increasing.
+        assert!(sizes.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,284 @@
+//! Grayscale `f32` images, row-major, nominally in `[0, 1]`.
+
+use crate::error::DataError;
+
+/// A row-major grayscale image with `f32` samples.
+///
+/// # Examples
+///
+/// ```
+/// use kp_data::Image;
+///
+/// let mut img = Image::new(4, 2);
+/// img.set(3, 1, 0.5);
+/// assert_eq!(img.get(3, 1), 0.5);
+/// assert_eq!(img.as_slice().len(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    data: Vec<f32>,
+}
+
+impl Image {
+    /// Creates a zero-filled image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be non-zero");
+        Self {
+            width,
+            height,
+            data: vec![0.0; width * height],
+        }
+    }
+
+    /// Wraps existing row-major data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::BadDimensions`] for zero sizes and
+    /// [`DataError::SizeMismatch`] if `data.len() != width * height`.
+    pub fn from_vec(width: usize, height: usize, data: Vec<f32>) -> Result<Self, DataError> {
+        if width == 0 || height == 0 {
+            return Err(DataError::BadDimensions { width, height });
+        }
+        if data.len() != width * height {
+            return Err(DataError::SizeMismatch {
+                expected: width * height,
+                actual: data.len(),
+            });
+        }
+        Ok(Self {
+            width,
+            height,
+            data,
+        })
+    }
+
+    /// Builds an image by evaluating `f(x, y)` at every pixel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut img = Image::new(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                img.data[y * width + x] = f(x, y);
+            }
+        }
+        img
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of pixels.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Always false (images are non-empty by construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Sample at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    pub fn get(&self, x: usize, y: usize) -> f32 {
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
+        self.data[y * self.width + x]
+    }
+
+    /// Writes the sample at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    pub fn set(&mut self, x: usize, y: usize, v: f32) {
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
+        self.data[y * self.width + x] = v;
+    }
+
+    /// The raw row-major samples.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the raw samples.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the image, returning its samples.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Minimum and maximum sample.
+    pub fn min_max(&self) -> (f32, f32) {
+        let mut min = f32::INFINITY;
+        let mut max = f32::NEG_INFINITY;
+        for &v in &self.data {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        (min, max)
+    }
+
+    /// Mean sample value.
+    pub fn mean(&self) -> f64 {
+        self.data.iter().map(|&v| f64::from(v)).sum::<f64>() / self.data.len() as f64
+    }
+
+    /// Rescales samples linearly into `[0, 1]`. Constant images become 0.5.
+    pub fn normalize(&mut self) {
+        let (min, max) = self.min_max();
+        if (max - min).abs() < f32::EPSILON {
+            self.data.iter_mut().for_each(|v| *v = 0.5);
+            return;
+        }
+        let scale = 1.0 / (max - min);
+        self.data.iter_mut().for_each(|v| *v = (*v - min) * scale);
+    }
+
+    /// Clamps every sample into `[lo, hi]`.
+    pub fn clamp(&mut self, lo: f32, hi: f32) {
+        self.data.iter_mut().for_each(|v| *v = v.clamp(lo, hi));
+    }
+
+    /// Applies `f` to every sample in place.
+    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
+        self.data.iter_mut().for_each(|v| *v = f(*v));
+    }
+
+    /// A rough measure of high-frequency content: mean absolute horizontal
+    /// plus vertical gradient. Flat images score 0; checkerboards score
+    /// near the value range. Used to sort the synthetic dataset into the
+    /// paper's low/medium/high-frequency input classes.
+    pub fn frequency_score(&self) -> f64 {
+        let mut acc = 0.0f64;
+        let mut n = 0u64;
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let v = f64::from(self.get(x, y));
+                if x + 1 < self.width {
+                    acc += (f64::from(self.get(x + 1, y)) - v).abs();
+                    n += 1;
+                }
+                if y + 1 < self.height {
+                    acc += (f64::from(self.get(x, y + 1)) - v).abs();
+                    n += 1;
+                }
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            acc / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let img = Image::from_fn(3, 2, |x, y| (x + 10 * y) as f32);
+        assert_eq!(img.width(), 3);
+        assert_eq!(img.height(), 2);
+        assert_eq!(img.len(), 6);
+        assert!(!img.is_empty());
+        assert_eq!(img.get(2, 1), 12.0);
+        assert_eq!(img.as_slice()[5], 12.0);
+    }
+
+    #[test]
+    fn from_vec_validates() {
+        assert!(Image::from_vec(2, 2, vec![0.0; 4]).is_ok());
+        assert!(matches!(
+            Image::from_vec(2, 2, vec![0.0; 5]),
+            Err(DataError::SizeMismatch { .. })
+        ));
+        assert!(matches!(
+            Image::from_vec(0, 2, vec![]),
+            Err(DataError::BadDimensions { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let img = Image::new(2, 2);
+        let _ = img.get(2, 0);
+    }
+
+    #[test]
+    fn min_max_and_mean() {
+        let img = Image::from_vec(2, 2, vec![0.0, 1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(img.min_max(), (0.0, 3.0));
+        assert!((img.mean() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_rescales() {
+        let mut img = Image::from_vec(2, 2, vec![2.0, 4.0, 6.0, 10.0]).unwrap();
+        img.normalize();
+        assert_eq!(img.min_max(), (0.0, 1.0));
+        assert_eq!(img.get(1, 0), 0.25);
+    }
+
+    #[test]
+    fn normalize_constant_image() {
+        let mut img = Image::from_vec(2, 1, vec![7.0, 7.0]).unwrap();
+        img.normalize();
+        assert_eq!(img.as_slice(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn clamp_and_map() {
+        let mut img = Image::from_vec(3, 1, vec![-1.0, 0.5, 2.0]).unwrap();
+        img.clamp(0.0, 1.0);
+        assert_eq!(img.as_slice(), &[0.0, 0.5, 1.0]);
+        img.map_in_place(|v| 1.0 - v);
+        assert_eq!(img.as_slice(), &[1.0, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn frequency_score_orders_flat_smooth_pattern() {
+        let flat = Image::from_fn(16, 16, |_, _| 0.5);
+        let smooth = Image::from_fn(16, 16, |x, _| x as f32 / 16.0);
+        let checker = Image::from_fn(16, 16, |x, y| ((x + y) % 2) as f32);
+        assert_eq!(flat.frequency_score(), 0.0);
+        assert!(smooth.frequency_score() > 0.0);
+        assert!(checker.frequency_score() > smooth.frequency_score());
+    }
+
+    #[test]
+    fn into_vec_roundtrip() {
+        let img = Image::from_vec(2, 1, vec![1.0, 2.0]).unwrap();
+        assert_eq!(img.clone().into_vec(), vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,43 @@
+//! # kp-data — synthetic input-data substrate
+//!
+//! The paper evaluates on 100 grayscale images from the USC-SIPI database
+//! (misc + pattern catalogues) and on Rodinia's Hotspot inputs — neither of
+//! which can be redistributed here. This crate generates *seeded synthetic
+//! equivalents* spanning the same spatial-frequency spectrum, which is the
+//! property the paper's error analysis actually depends on (§6.2: "the
+//! amount of error introduced by our approach can differ by orders of
+//! magnitude depending on the input").
+//!
+//! * [`synth`] — flat, gradient, countryside (fBm), photo-like, pattern
+//!   (checkerboard/stripes/zone plate), document and shape images;
+//! * [`dataset`] — the standard 100-image evaluation set and the Fig. 7
+//!   examples;
+//! * [`hotspot`] — Rodinia-style temperature/power input pairs;
+//! * [`noise`] — value noise, salt-and-pepper and Gaussian degradations;
+//! * [`pgm`] — PGM I/O for dumping figure images.
+//!
+//! ## Example
+//!
+//! ```
+//! use kp_data::{dataset, Image};
+//!
+//! let images = dataset::standard_dataset(10, 64, 42);
+//! assert_eq!(images.len(), 10);
+//! let flat: &Image = &images[0].image;
+//! assert!(flat.frequency_score() < 0.01);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error;
+mod image;
+
+pub mod dataset;
+pub mod hotspot;
+pub mod noise;
+pub mod pgm;
+pub mod synth;
+
+pub use error::DataError;
+pub use image::Image;

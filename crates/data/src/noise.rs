@@ -1,0 +1,180 @@
+//! Noise primitives: seeded value noise (fBm) and degradations
+//! (salt-and-pepper, Gaussian) used to synthesize photo-like inputs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::image::Image;
+
+/// Deterministic lattice hash in `[0, 1)` (SplitMix64 finalizer).
+fn lattice(ix: i64, iy: i64, seed: u64) -> f32 {
+    let mut z = seed
+        .wrapping_add((ix as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add((iy as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 40) as f32 / (1u64 << 24) as f32
+}
+
+fn smoothstep(t: f32) -> f32 {
+    t * t * (3.0 - 2.0 * t)
+}
+
+/// Single-octave value noise at continuous coordinates, smoothly
+/// interpolating a seeded random lattice with cell size `scale` pixels.
+pub fn value_noise(x: f32, y: f32, scale: f32, seed: u64) -> f32 {
+    let fx = x / scale;
+    let fy = y / scale;
+    let ix = fx.floor() as i64;
+    let iy = fy.floor() as i64;
+    let tx = smoothstep(fx - ix as f32);
+    let ty = smoothstep(fy - iy as f32);
+    let v00 = lattice(ix, iy, seed);
+    let v10 = lattice(ix + 1, iy, seed);
+    let v01 = lattice(ix, iy + 1, seed);
+    let v11 = lattice(ix + 1, iy + 1, seed);
+    let a = v00 + (v10 - v00) * tx;
+    let b = v01 + (v11 - v01) * tx;
+    a + (b - a) * ty
+}
+
+/// Fractional Brownian motion: `octaves` octaves of value noise, each at
+/// double frequency and `gain` amplitude of the previous one. Output is
+/// normalized to roughly `[0, 1]`.
+pub fn fbm(x: f32, y: f32, base_scale: f32, octaves: u32, gain: f32, seed: u64) -> f32 {
+    let mut amplitude = 1.0f32;
+    let mut scale = base_scale;
+    let mut acc = 0.0f32;
+    let mut norm = 0.0f32;
+    for o in 0..octaves {
+        acc += amplitude * value_noise(x, y, scale.max(1.0), seed.wrapping_add(o as u64 * 7919));
+        norm += amplitude;
+        amplitude *= gain;
+        scale *= 0.5;
+    }
+    acc / norm
+}
+
+/// Replaces a `density` fraction of pixels with full black or full white —
+/// the "salt-and-pepper" degradation the Median filter targets (§6.1).
+pub fn add_salt_pepper(img: &mut Image, density: f64, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (w, h) = (img.width(), img.height());
+    for y in 0..h {
+        for x in 0..w {
+            if rng.gen::<f64>() < density {
+                let v = if rng.gen::<bool>() { 1.0 } else { 0.0 };
+                img.set(x, y, v);
+            }
+        }
+    }
+}
+
+/// Adds zero-mean Gaussian noise with standard deviation `sigma`
+/// (Box–Muller transform), clamping the result into `[0, 1]`.
+pub fn add_gaussian_noise(img: &mut Image, sigma: f32, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (w, h) = (img.width(), img.height());
+    for y in 0..h {
+        for x in 0..w {
+            let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = rng.gen();
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            let v = img.get(x, y) + sigma * z as f32;
+            img.set(x, y, v.clamp(0.0, 1.0));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_noise_is_deterministic_and_bounded() {
+        for i in 0..100 {
+            let x = i as f32 * 1.7;
+            let v1 = value_noise(x, x * 0.3, 16.0, 42);
+            let v2 = value_noise(x, x * 0.3, 16.0, 42);
+            assert_eq!(v1, v2);
+            assert!((0.0..=1.0).contains(&v1), "noise out of range: {v1}");
+        }
+    }
+
+    #[test]
+    fn value_noise_changes_with_seed() {
+        let a = value_noise(10.3, 4.2, 8.0, 1);
+        let b = value_noise(10.3, 4.2, 8.0, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn value_noise_is_smooth() {
+        // Neighboring samples at a large scale differ by very little.
+        let scale = 64.0;
+        for i in 0..50 {
+            let x = i as f32;
+            let d = (value_noise(x, 7.0, scale, 9) - value_noise(x + 1.0, 7.0, scale, 9)).abs();
+            assert!(d < 0.1, "noise too rough: {d}");
+        }
+    }
+
+    #[test]
+    fn fbm_bounded_and_rougher_with_octaves() {
+        let mut d1 = 0.0f32;
+        let mut d4 = 0.0f32;
+        for i in 0..200 {
+            let x = i as f32;
+            let a1 = fbm(x, 3.0, 64.0, 1, 0.5, 5);
+            let b1 = fbm(x + 1.0, 3.0, 64.0, 1, 0.5, 5);
+            let a4 = fbm(x, 3.0, 64.0, 4, 0.5, 5);
+            let b4 = fbm(x + 1.0, 3.0, 64.0, 4, 0.5, 5);
+            assert!((0.0..=1.0).contains(&a1));
+            assert!((0.0..=1.0).contains(&a4));
+            d1 += (a1 - b1).abs();
+            d4 += (a4 - b4).abs();
+        }
+        assert!(d4 > d1, "more octaves should add high-frequency detail");
+    }
+
+    #[test]
+    fn salt_pepper_density_is_respected() {
+        let mut img = Image::from_fn(64, 64, |_, _| 0.5);
+        add_salt_pepper(&mut img, 0.1, 3);
+        let extreme = img
+            .as_slice()
+            .iter()
+            .filter(|&&v| v == 0.0 || v == 1.0)
+            .count();
+        let frac = extreme as f64 / img.len() as f64;
+        assert!((frac - 0.1).abs() < 0.03, "got {frac}");
+    }
+
+    #[test]
+    fn salt_pepper_is_deterministic() {
+        let mut a = Image::from_fn(32, 32, |_, _| 0.5);
+        let mut b = Image::from_fn(32, 32, |_, _| 0.5);
+        add_salt_pepper(&mut a, 0.05, 11);
+        add_salt_pepper(&mut b, 0.05, 11);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gaussian_noise_statistics() {
+        let mut img = Image::from_fn(128, 128, |_, _| 0.5);
+        add_gaussian_noise(&mut img, 0.05, 17);
+        let mean = img.mean();
+        assert!((mean - 0.5).abs() < 0.01, "mean drifted to {mean}");
+        let (min, max) = img.min_max();
+        assert!(min >= 0.0 && max <= 1.0);
+        // Standard deviation near 0.05.
+        let var: f64 = img
+            .as_slice()
+            .iter()
+            .map(|&v| (f64::from(v) - mean).powi(2))
+            .sum::<f64>()
+            / img.len() as f64;
+        assert!((var.sqrt() - 0.05).abs() < 0.01, "sigma {}", var.sqrt());
+    }
+}

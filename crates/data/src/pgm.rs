@@ -1,0 +1,219 @@
+//! Minimal PGM (portable graymap) reader/writer.
+//!
+//! Used by the harness to dump the Fig. 2 original/perforated/reconstructed
+//! images and the Fig. 7 example inputs in a format any image viewer opens.
+//! Supports binary `P5` (written) and both `P2`/`P5` (read), 8-bit only.
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::error::DataError;
+use crate::image::Image;
+
+/// Writes an image as binary PGM (`P5`, maxval 255). Samples are clamped
+/// into `[0, 1]` and quantized to 8 bits.
+///
+/// # Errors
+///
+/// Returns [`DataError::Io`] on filesystem errors.
+pub fn write_pgm(img: &Image, path: &Path) -> Result<(), DataError> {
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write_pgm_to(img, &mut file)
+}
+
+/// Writes an image as binary PGM to any writer.
+///
+/// # Errors
+///
+/// Returns [`DataError::Io`] on write errors.
+pub fn write_pgm_to<W: Write>(img: &Image, mut out: W) -> Result<(), DataError> {
+    writeln!(out, "P5")?;
+    writeln!(out, "# kernel-perforation dump")?;
+    writeln!(out, "{} {}", img.width(), img.height())?;
+    writeln!(out, "255")?;
+    let bytes: Vec<u8> = img
+        .as_slice()
+        .iter()
+        .map(|&v| (v.clamp(0.0, 1.0) * 255.0).round() as u8)
+        .collect();
+    out.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Reads a `P2` (ASCII) or `P5` (binary) PGM image, normalizing samples by
+/// the file's maxval into `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns [`DataError::Parse`] for malformed files and [`DataError::Io`]
+/// for filesystem errors.
+pub fn read_pgm(path: &Path) -> Result<Image, DataError> {
+    let data = std::fs::read(path)?;
+    read_pgm_from(&data[..])
+}
+
+/// Reads a PGM image from any reader.
+///
+/// # Errors
+///
+/// As [`read_pgm`].
+pub fn read_pgm_from<R: Read>(mut input: R) -> Result<Image, DataError> {
+    let mut data = Vec::new();
+    input.read_to_end(&mut data)?;
+    let mut cursor = &data[..];
+
+    let magic = next_token(&mut cursor)?;
+    let binary = match magic.as_str() {
+        "P5" => true,
+        "P2" => false,
+        other => return Err(DataError::Parse(format!("unsupported magic '{other}'"))),
+    };
+    let width: usize = parse_number(&next_token(&mut cursor)?)?;
+    let height: usize = parse_number(&next_token(&mut cursor)?)?;
+    let maxval: usize = parse_number(&next_token(&mut cursor)?)?;
+    if width == 0 || height == 0 {
+        return Err(DataError::BadDimensions { width, height });
+    }
+    if maxval == 0 || maxval > 255 {
+        return Err(DataError::Parse(format!("unsupported maxval {maxval}")));
+    }
+    let scale = 1.0 / maxval as f32;
+    let n = width * height;
+    let mut samples = Vec::with_capacity(n);
+    if binary {
+        // Exactly one whitespace byte separates the header from the raster.
+        if cursor.len() < n {
+            return Err(DataError::Parse(format!(
+                "raster truncated: need {n} bytes, have {}",
+                cursor.len()
+            )));
+        }
+        samples.extend(cursor[..n].iter().map(|&b| b as f32 * scale));
+    } else {
+        for _ in 0..n {
+            let tok = next_token(&mut cursor)?;
+            let v: usize = parse_number(&tok)?;
+            samples.push(v as f32 * scale);
+        }
+    }
+    Image::from_vec(width, height, samples)
+}
+
+/// Reads the next whitespace-delimited token, skipping `#` comment lines.
+/// For binary PGM this is only used in the header, which is ASCII.
+fn next_token(cursor: &mut &[u8]) -> Result<String, DataError> {
+    loop {
+        // Skip whitespace.
+        while let Some((&b, rest)) = cursor.split_first() {
+            if b.is_ascii_whitespace() {
+                *cursor = rest;
+            } else {
+                break;
+            }
+        }
+        if cursor.first() == Some(&b'#') {
+            // Comment until end of line.
+            match cursor.iter().position(|&b| b == b'\n') {
+                Some(nl) => *cursor = &cursor[nl + 1..],
+                None => *cursor = &[],
+            }
+            continue;
+        }
+        break;
+    }
+    if cursor.is_empty() {
+        return Err(DataError::Parse("unexpected end of file".into()));
+    }
+    let end = cursor
+        .iter()
+        .position(|b| b.is_ascii_whitespace())
+        .unwrap_or(cursor.len());
+    let tok = String::from_utf8_lossy(&cursor[..end]).into_owned();
+    // Consume the token and exactly one trailing whitespace byte if present
+    // (required so the binary raster is not eaten as "whitespace").
+    let consumed = (end + 1).min(cursor.len());
+    *cursor = &cursor[consumed..];
+    Ok(tok)
+}
+
+fn parse_number(tok: &str) -> Result<usize, DataError> {
+    tok.parse()
+        .map_err(|_| DataError::Parse(format!("expected a number, got '{tok}'")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_roundtrip() {
+        let img = Image::from_fn(5, 3, |x, y| (x as f32 + y as f32 * 5.0) / 14.0);
+        let mut buf = Vec::new();
+        write_pgm_to(&img, &mut buf).unwrap();
+        let back = read_pgm_from(&buf[..]).unwrap();
+        assert_eq!(back.width(), 5);
+        assert_eq!(back.height(), 3);
+        for (a, b) in img.as_slice().iter().zip(back.as_slice()) {
+            assert!((a - b).abs() < 1.0 / 255.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn ascii_pgm_parses() {
+        let text = b"P2\n# comment\n3 2\n255\n0 128 255\n64 32 16\n";
+        let img = read_pgm_from(&text[..]).unwrap();
+        assert_eq!(img.width(), 3);
+        assert_eq!(img.height(), 2);
+        assert!((img.get(1, 0) - 128.0 / 255.0).abs() < 1e-6);
+        assert!((img.get(2, 1) - 16.0 / 255.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let text = b"P6\n1 1\n255\n\xff";
+        assert!(matches!(read_pgm_from(&text[..]), Err(DataError::Parse(_))));
+    }
+
+    #[test]
+    fn rejects_truncated_raster() {
+        let text = b"P5\n4 4\n255\nabc";
+        assert!(matches!(read_pgm_from(&text[..]), Err(DataError::Parse(_))));
+    }
+
+    #[test]
+    fn rejects_bad_maxval() {
+        let text = b"P2\n1 1\n70000\n1\n";
+        assert!(matches!(read_pgm_from(&text[..]), Err(DataError::Parse(_))));
+    }
+
+    #[test]
+    fn rejects_zero_dimensions() {
+        let text = b"P2\n0 4\n255\n";
+        assert!(matches!(
+            read_pgm_from(&text[..]),
+            Err(DataError::BadDimensions { .. })
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("kp_pgm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.pgm");
+        let img = Image::from_fn(8, 8, |x, y| ((x * y) % 7) as f32 / 6.0);
+        write_pgm(&img, &path).unwrap();
+        let back = read_pgm(&path).unwrap();
+        assert_eq!(back.width(), 8);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn values_clamped_on_write() {
+        let img = Image::from_vec(2, 1, vec![-0.5, 1.5]).unwrap();
+        let mut buf = Vec::new();
+        write_pgm_to(&img, &mut buf).unwrap();
+        let back = read_pgm_from(&buf[..]).unwrap();
+        assert_eq!(back.get(0, 0), 0.0);
+        assert_eq!(back.get(1, 0), 1.0);
+    }
+}

@@ -1,0 +1,304 @@
+//! Synthetic image generators — the substitute for the USC-SIPI "misc" and
+//! "pattern" catalogues used in the paper (§6.2, Fig. 6/7).
+//!
+//! The paper's finding is that perforation error tracks the *spatial
+//! frequency* of the input: flat or smooth images reconstruct almost
+//! perfectly, natural "countryside" photographs sit in the middle, and
+//! high-frequency pattern images (stripes, checkerboards, zone plates)
+//! perforate badly. The generators here span exactly that spectrum,
+//! deterministically from a seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::image::Image;
+use crate::noise::{add_gaussian_noise, add_salt_pepper, fbm};
+
+/// Uniform image of the given value.
+pub fn flat(width: usize, height: usize, value: f32) -> Image {
+    Image::from_fn(width, height, |_, _| value)
+}
+
+/// Linear luminance ramp; `vertical` selects the gradient axis.
+pub fn gradient(width: usize, height: usize, vertical: bool) -> Image {
+    Image::from_fn(width, height, |x, y| {
+        if vertical {
+            y as f32 / (height.max(2) - 1) as f32
+        } else {
+            x as f32 / (width.max(2) - 1) as f32
+        }
+    })
+}
+
+/// Smooth "countryside" image: fractional Brownian motion with octaves
+/// down to the pixel scale plus mild sensor noise — like rolling hills
+/// photographed on real film (the paper's Fig. 7b class). Natural
+/// photographs carry pixel-level texture and quantization noise (the
+/// paper's §1 points at exactly this), which is what makes row perforation
+/// visible in the error.
+pub fn countryside(width: usize, height: usize, seed: u64) -> Image {
+    let base = width.max(height) as f32 / 8.0;
+    let octaves = (base.log2().ceil() as u32 + 1).clamp(4, 12);
+    let mut img = Image::from_fn(width, height, |x, y| {
+        fbm(x as f32, y as f32, base, octaves, 0.55, seed)
+    });
+    img.normalize();
+    add_gaussian_noise(&mut img, 0.015, seed.wrapping_add(101));
+    img
+}
+
+/// Detailed photo-like image: fBm down to pixel-scale texture, a soft
+/// vignette and sensor noise — stands in for the USC-SIPI "misc"
+/// photographs.
+pub fn photo_like(width: usize, height: usize, seed: u64) -> Image {
+    let base = width.max(height) as f32 / 16.0;
+    let octaves = (base.log2().ceil() as u32 + 1).clamp(4, 12);
+    let mut img = Image::from_fn(width, height, |x, y| {
+        let coarse = fbm(x as f32, y as f32, base, octaves, 0.6, seed);
+        let cx = x as f32 / width as f32 - 0.5;
+        let cy = y as f32 / height as f32 - 0.5;
+        let vignette = 1.0 - 0.5 * (cx * cx + cy * cy);
+        coarse * vignette
+    });
+    img.normalize();
+    add_gaussian_noise(&mut img, 0.02, seed.wrapping_add(103));
+    img
+}
+
+/// Checkerboard with `cell`-pixel squares — the harshest input for
+/// row-perforation (pure high frequency, Fig. 7c class). Levels are
+/// photographic midtones (0.15 / 0.85) rather than pure black/white:
+/// USC-SIPI pattern images are *photographs* of patterns, and midtone
+/// levels also keep the mean-relative-error metric well-conditioned.
+pub fn checkerboard(width: usize, height: usize, cell: usize) -> Image {
+    let cell = cell.max(1);
+    Image::from_fn(width, height, |x, y| {
+        if ((x / cell) + (y / cell)) % 2 == 0 {
+            0.15
+        } else {
+            0.85
+        }
+    })
+}
+
+/// Horizontal or vertical stripes with the given period in pixels.
+/// Horizontal stripes (varying along y) are adversarial for row
+/// perforation; vertical ones are nearly free.
+pub fn stripes(width: usize, height: usize, period: usize, vertical: bool) -> Image {
+    let period = period.max(2);
+    Image::from_fn(width, height, |x, y| {
+        let c = if vertical { x } else { y };
+        if (c / (period / 2)) % 2 == 0 {
+            0.15
+        } else {
+            0.85
+        }
+    })
+}
+
+/// Zone plate: `sin(r²)` chirp whose local frequency grows from the center
+/// outward — sweeps every spatial frequency in one image.
+pub fn zone_plate(width: usize, height: usize) -> Image {
+    let km = 0.7 * std::f32::consts::PI;
+    let (cw, ch) = (width as f32 / 2.0, height as f32 / 2.0);
+    let rm = cw.min(ch);
+    Image::from_fn(width, height, |x, y| {
+        let dx = (x as f32 - cw) / rm;
+        let dy = (y as f32 - ch) / rm;
+        let r2 = dx * dx + dy * dy;
+        0.5 + 0.35 * (km * rm * r2).cos()
+    })
+}
+
+/// Document-like image: dark "text" strokes on a light background, made of
+/// seeded random short horizontal runs on a line grid.
+pub fn text_like(width: usize, height: usize, seed: u64) -> Image {
+    let mut img = flat(width, height, 0.92);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let line_height = 12.max(height / 48);
+    let glyph_h = line_height * 2 / 3;
+    let mut y = line_height / 2;
+    while y + glyph_h < height {
+        let mut x = rng.gen_range(2..width / 8 + 3);
+        while x + 3 < width {
+            let run: usize = rng.gen_range(2..9);
+            let gap: usize = rng.gen_range(1..5);
+            if rng.gen::<f64>() < 0.85 {
+                for dy in 0..glyph_h {
+                    for dx in 0..run.min(width - x - 1) {
+                        let shade = 0.12 + 0.15 * rng.gen::<f32>();
+                        img.set(x + dx, y + dy, shade);
+                    }
+                }
+            }
+            x += run + gap;
+        }
+        y += line_height;
+    }
+    img
+}
+
+/// Geometric test card: seeded random rectangles and discs of distinct
+/// gray levels over a mid background — large flat areas with sharp edges
+/// (the paper's Fig. 7a class scores tiny errors on these).
+pub fn shapes(width: usize, height: usize, seed: u64) -> Image {
+    let mut img = flat(width, height, 0.5);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let count = 6 + (seed % 7) as usize;
+    for _ in 0..count {
+        let shade: f32 = rng.gen_range(0.1..0.95);
+        let cx = rng.gen_range(0..width);
+        let cy = rng.gen_range(0..height);
+        let rw = rng.gen_range(width / 16..width / 3);
+        let rh = rng.gen_range(height / 16..height / 3);
+        if rng.gen::<bool>() {
+            // Rectangle.
+            for y in cy.saturating_sub(rh / 2)..(cy + rh / 2).min(height) {
+                for x in cx.saturating_sub(rw / 2)..(cx + rw / 2).min(width) {
+                    img.set(x, y, shade);
+                }
+            }
+        } else {
+            // Disc.
+            let r = (rw.min(rh) / 2).max(2) as i64;
+            for dy in -r..=r {
+                for dx in -r..=r {
+                    if dx * dx + dy * dy <= r * r {
+                        let x = cx as i64 + dx;
+                        let y = cy as i64 + dy;
+                        if x >= 0 && y >= 0 && (x as usize) < width && (y as usize) < height {
+                            img.set(x as usize, y as usize, shade);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    img
+}
+
+/// A natural scene: smooth fBm background with solid objects (sharp
+/// edges) and faint sensor noise — the closest stand-in for a USC-SIPI
+/// photograph: structure dominates, noise seasons. Edge content is what
+/// separates input-side perforation (reconstruct, then filter smooths the
+/// displacement) from Paraprox's output copying (displaces *filtered*
+/// edges), so this is the canonical comparison input.
+pub fn scene(width: usize, height: usize, seed: u64) -> Image {
+    let background = countryside(width, height, seed);
+    let objects = shapes(width, height, seed.wrapping_add(7));
+    let mut img = Image::from_fn(width, height, |x, y| {
+        0.45 * background.get(x, y) + 0.55 * objects.get(x, y)
+    });
+    add_gaussian_noise(&mut img, 0.008, seed.wrapping_add(9));
+    img
+}
+
+/// A noisy photo: [`photo_like`] plus Gaussian sensor noise — exercises the
+/// Gaussian filter's actual use case.
+pub fn noisy_photo(width: usize, height: usize, seed: u64) -> Image {
+    let mut img = photo_like(width, height, seed);
+    add_gaussian_noise(&mut img, 0.03, seed.wrapping_add(1));
+    img
+}
+
+/// A corrupted scan: [`shapes`] plus salt-and-pepper noise — the Median
+/// filter's target workload.
+pub fn corrupted_scan(width: usize, height: usize, seed: u64) -> Image {
+    let mut img = shapes(width, height, seed);
+    add_salt_pepper(&mut img, 0.02, seed.wrapping_add(2));
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W: usize = 64;
+    const H: usize = 64;
+
+    #[test]
+    fn all_generators_produce_unit_range() {
+        let imgs = [
+            flat(W, H, 0.3),
+            gradient(W, H, true),
+            gradient(W, H, false),
+            countryside(W, H, 1),
+            photo_like(W, H, 2),
+            checkerboard(W, H, 4),
+            stripes(W, H, 8, true),
+            stripes(W, H, 8, false),
+            zone_plate(W, H),
+            text_like(W, H, 3),
+            shapes(W, H, 4),
+            noisy_photo(W, H, 5),
+            corrupted_scan(W, H, 6),
+        ];
+        for (i, img) in imgs.iter().enumerate() {
+            let (min, max) = img.min_max();
+            assert!(
+                min >= 0.0 && max <= 1.0,
+                "generator {i}: range [{min}, {max}]"
+            );
+            assert_eq!(img.width(), W);
+            assert_eq!(img.height(), H);
+        }
+    }
+
+    #[test]
+    fn scene_mixes_edges_and_smoothness() {
+        let img = scene(W, H, 3);
+        let (min, max) = img.min_max();
+        assert!(min >= 0.0 && max <= 1.0);
+        let f = img.frequency_score();
+        let smooth = countryside(W, H, 3).frequency_score();
+        let checker = checkerboard(W, H, 1).frequency_score();
+        assert!(f < checker);
+        assert!(f > 0.0 && smooth > 0.0);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(countryside(W, H, 9), countryside(W, H, 9));
+        assert_eq!(text_like(W, H, 9), text_like(W, H, 9));
+        assert_eq!(shapes(W, H, 9), shapes(W, H, 9));
+        assert_ne!(countryside(W, H, 9), countryside(W, H, 10));
+    }
+
+    #[test]
+    fn frequency_spectrum_matches_paper_classes() {
+        // flat < countryside < checkerboard in high-frequency content —
+        // the ordering behind Fig. 7's 0.12% / 5% / 19% error examples.
+        let f = flat(W, H, 0.5).frequency_score();
+        let c = countryside(W, H, 3).frequency_score();
+        let p = checkerboard(W, H, 1).frequency_score();
+        assert!(f < c, "flat {f} !< countryside {c}");
+        assert!(c < p, "countryside {c} !< checkerboard {p}");
+    }
+
+    #[test]
+    fn horizontal_stripes_vary_along_y() {
+        let img = stripes(W, H, 4, false);
+        assert_eq!(img.get(0, 0), img.get(W - 1, 0));
+        assert_ne!(img.get(0, 0), img.get(0, 2));
+    }
+
+    #[test]
+    fn vertical_stripes_vary_along_x() {
+        let img = stripes(W, H, 4, true);
+        assert_eq!(img.get(0, 0), img.get(0, H - 1));
+        assert_ne!(img.get(0, 0), img.get(2, 0));
+    }
+
+    #[test]
+    fn zone_plate_center_is_bright() {
+        // Amplitude 0.35 around 0.5: the center peaks at 0.85.
+        let img = zone_plate(W, H);
+        assert!(img.get(W / 2, H / 2) > 0.8);
+    }
+
+    #[test]
+    fn text_like_is_mostly_light() {
+        let img = text_like(W, H, 7);
+        assert!(img.mean() > 0.5);
+    }
+}

@@ -1,0 +1,210 @@
+//! Global-memory buffers.
+//!
+//! Buffers live in the simulated device's global memory. They are typed at
+//! the API level via the [`Scalar`] trait but stored uniformly as 64-bit
+//! bit patterns so that one arena can hold `f32`, `i32` and `u8` buffers.
+//! Byte-level addresses (element index × element size) are what the
+//! coalescing model in [`crate::coalesce`] consumes.
+
+use std::fmt;
+
+/// Element types storable in simulated device memory.
+///
+/// The trait is sealed: the memory model needs to know the byte width of
+/// every element kind, so only the built-in scalar types implement it.
+pub trait Scalar: Copy + Default + PartialEq + fmt::Debug + sealed::Sealed + 'static {
+    /// The runtime tag for this element type.
+    const KIND: ElemKind;
+
+    /// Converts the value to a uniform 64-bit bit pattern.
+    fn to_bits64(self) -> u64;
+
+    /// Recovers the value from a 64-bit bit pattern produced by
+    /// [`Scalar::to_bits64`].
+    fn from_bits64(bits: u64) -> Self;
+}
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for f32 {}
+    impl Sealed for i32 {}
+    impl Sealed for u8 {}
+}
+
+impl Scalar for f32 {
+    const KIND: ElemKind = ElemKind::F32;
+
+    fn to_bits64(self) -> u64 {
+        u64::from(self.to_bits())
+    }
+
+    fn from_bits64(bits: u64) -> Self {
+        f32::from_bits(bits as u32)
+    }
+}
+
+impl Scalar for i32 {
+    const KIND: ElemKind = ElemKind::I32;
+
+    fn to_bits64(self) -> u64 {
+        u64::from(self as u32)
+    }
+
+    fn from_bits64(bits: u64) -> Self {
+        bits as u32 as i32
+    }
+}
+
+impl Scalar for u8 {
+    const KIND: ElemKind = ElemKind::U8;
+
+    fn to_bits64(self) -> u64 {
+        u64::from(self)
+    }
+
+    fn from_bits64(bits: u64) -> Self {
+        bits as u8
+    }
+}
+
+/// Runtime tag describing the element type of a buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ElemKind {
+    /// 32-bit IEEE-754 float.
+    F32,
+    /// 32-bit signed integer.
+    I32,
+    /// 8-bit unsigned integer.
+    U8,
+}
+
+impl ElemKind {
+    /// Size of one element of this kind, in bytes.
+    pub fn bytes(self) -> usize {
+        match self {
+            ElemKind::F32 | ElemKind::I32 => 4,
+            ElemKind::U8 => 1,
+        }
+    }
+
+    /// Lower-case OpenCL-style name of the type.
+    pub fn name(self) -> &'static str {
+        match self {
+            ElemKind::F32 => "float",
+            ElemKind::I32 => "int",
+            ElemKind::U8 => "uchar",
+        }
+    }
+}
+
+impl fmt::Display for ElemKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Opaque handle to a buffer in a device's global memory.
+///
+/// Handles are only meaningful for the [`crate::Device`] that created them;
+/// using one on a different device is detected at access time and reported
+/// as a kernel fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BufferId(pub(crate) u32);
+
+impl BufferId {
+    /// Raw index of the buffer inside its device. Stable for the lifetime
+    /// of the device; exposed for logging and debugging.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BufferId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "buf#{}", self.0)
+    }
+}
+
+/// The untyped storage behind one buffer.
+#[derive(Debug, Clone)]
+pub(crate) struct RawBuffer {
+    pub kind: ElemKind,
+    pub data: Vec<u64>,
+    /// Starting byte address of this buffer in the flat global address
+    /// space. Used so that distinct buffers never share a coalescing block.
+    pub base_addr: u64,
+    pub label: String,
+}
+
+impl RawBuffer {
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn byte_len(&self) -> usize {
+        self.data.len() * self.kind.bytes()
+    }
+
+    /// Byte address of element `idx` in the device's flat address space.
+    pub fn elem_addr(&self, idx: usize) -> u64 {
+        self.base_addr + (idx * self.kind.bytes()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_roundtrips_through_bits() {
+        for v in [0.0_f32, -1.5, 3.25e7, f32::MIN_POSITIVE, -0.0] {
+            assert_eq!(f32::from_bits64(v.to_bits64()).to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn nan_roundtrips_through_bits() {
+        let v = f32::NAN;
+        assert!(f32::from_bits64(v.to_bits64()).is_nan());
+    }
+
+    #[test]
+    fn i32_roundtrips_through_bits() {
+        for v in [0_i32, -1, i32::MAX, i32::MIN, 42] {
+            assert_eq!(i32::from_bits64(v.to_bits64()), v);
+        }
+    }
+
+    #[test]
+    fn u8_roundtrips_through_bits() {
+        for v in [0_u8, 1, 127, 255] {
+            assert_eq!(u8::from_bits64(v.to_bits64()), v);
+        }
+    }
+
+    #[test]
+    fn elem_kind_sizes() {
+        assert_eq!(ElemKind::F32.bytes(), 4);
+        assert_eq!(ElemKind::I32.bytes(), 4);
+        assert_eq!(ElemKind::U8.bytes(), 1);
+    }
+
+    #[test]
+    fn elem_addr_offsets_by_kind() {
+        let raw = RawBuffer {
+            kind: ElemKind::F32,
+            data: vec![0; 8],
+            base_addr: 1024,
+            label: String::new(),
+        };
+        assert_eq!(raw.elem_addr(0), 1024);
+        assert_eq!(raw.elem_addr(3), 1024 + 12);
+        assert_eq!(raw.byte_len(), 32);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(BufferId(7).to_string(), "buf#7");
+        assert_eq!(ElemKind::F32.to_string(), "float");
+    }
+}

@@ -1,0 +1,314 @@
+//! Global-memory coalescing model.
+//!
+//! GPUs service global-memory requests at the granularity of aligned
+//! transactions (64 B on GCN-class hardware). All lanes of a wavefront that
+//! touch the same aligned block in the same phase share one transaction;
+//! scattered or misaligned accesses burn extra transactions and waste
+//! bandwidth on bytes nobody asked for. This module counts exactly that:
+//! unique `(wavefront, direction, block)` triples per work-group phase.
+//!
+//! Two tiers are tracked:
+//!
+//! * **L1 transactions** — unique `(granule, direction, block)` triples,
+//!   where a granule is a quarter-wavefront (16 lanes on GCN). This models
+//!   cache-port bandwidth: even an L1 hit costs an access cycle.
+//! * **DRAM transactions** — unique `(direction, block)` pairs per work
+//!   group, modeling the off-chip footprint after the per-CU cache has
+//!   collapsed re-reads across wavefronts of the group.
+//!
+//! This is the mechanism behind most of the paper's observations:
+//! * skipping tile rows halves the number of blocks touched (Rows1),
+//! * halo rows/columns are misaligned and therefore disproportionately
+//!   expensive, which is why the Stencil scheme pays off (§4.4),
+//! * tall-skinny work groups request tiny slivers of many blocks, which is
+//!   why work-group geometry matters (Fig. 9).
+
+/// Direction of a global memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// Load from global memory.
+    Read,
+    /// Store to global memory.
+    Write,
+}
+
+/// Accumulates the global accesses of one work group within one phase and
+/// reduces them to transaction counts.
+#[derive(Debug, Default)]
+pub struct CoalesceTracker {
+    /// Packed keys: `granule << 41 | seq << 31 | dir << 30 | block`.
+    keys: Vec<u64>,
+    /// Total bytes the kernel actually requested (elements × size).
+    pub bytes_requested: u64,
+    /// Number of element-granular read accesses.
+    pub element_reads: u64,
+    /// Number of element-granular write accesses.
+    pub element_writes: u64,
+}
+
+const DIR_SHIFT: u32 = 30;
+const SEQ_SHIFT: u32 = 31;
+const GRANULE_SHIFT: u32 = 41;
+const BLOCK_MASK: u64 = (1 << DIR_SHIFT) - 1;
+/// Mask keeping only `dir | block` (the DRAM-tier key).
+const DRAM_MASK: u64 = (1 << SEQ_SHIFT) - 1;
+
+/// Result of collapsing one phase's accesses into transactions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoalesceSummary {
+    /// Unique L1 (per-granule) read transactions in this phase.
+    pub read_transactions: u64,
+    /// Unique L1 (per-granule) write transactions in this phase.
+    pub write_transactions: u64,
+    /// Unique DRAM (per-group) read transactions in this phase.
+    pub dram_read_transactions: u64,
+    /// Unique DRAM (per-group) write transactions in this phase.
+    pub dram_write_transactions: u64,
+    /// Bytes requested by kernel code (useful payload).
+    pub bytes_requested: u64,
+    /// Element-granular read count.
+    pub element_reads: u64,
+    /// Element-granular write count.
+    pub element_writes: u64,
+}
+
+impl CoalesceSummary {
+    /// Total L1 transactions (reads + writes).
+    pub fn transactions(&self) -> u64 {
+        self.read_transactions + self.write_transactions
+    }
+
+    /// Total DRAM transactions (reads + writes).
+    pub fn dram_transactions(&self) -> u64 {
+        self.dram_read_transactions + self.dram_write_transactions
+    }
+
+    /// Bytes moved off-chip: `dram transactions × transaction_bytes`.
+    pub fn bytes_transferred(&self, transaction_bytes: usize) -> u64 {
+        self.dram_transactions() * transaction_bytes as u64
+    }
+
+    /// Bytes fetched from DRAM but never requested by any lane (bandwidth
+    /// waste). Re-reads of the same element can make the requested figure
+    /// exceed the transferred one, in which case waste is zero.
+    pub fn wasted_bytes(&self, transaction_bytes: usize) -> u64 {
+        self.bytes_transferred(transaction_bytes)
+            .saturating_sub(self.bytes_requested)
+    }
+}
+
+impl CoalesceTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an access of `bytes` bytes at flat device address `addr` by
+    /// a lane of coalescing granule `granule`, issued as the lane's
+    /// `seq`-th global-memory instruction of the phase. Lanes only share a
+    /// transaction when the *same instruction* of the *same granule*
+    /// touches the same block — scattered multi-store patterns (e.g.
+    /// Paraprox's center-scheme output copies) therefore pay per
+    /// instruction, as on hardware.
+    ///
+    /// An access spanning a block boundary touches every covered block
+    /// (possible for multi-byte elements at the edge of a block).
+    pub fn record(
+        &mut self,
+        granule: u32,
+        seq: u32,
+        dir: Dir,
+        addr: u64,
+        bytes: u32,
+        txn_bytes: u64,
+    ) {
+        debug_assert!(txn_bytes.is_power_of_two());
+        let first = addr / txn_bytes;
+        let last = (addr + u64::from(bytes) - 1) / txn_bytes;
+        let dir_bit = match dir {
+            Dir::Read => 0u64,
+            Dir::Write => 1u64,
+        };
+        let seq = u64::from(seq) & 0x3FF; // 10 bits; wraps for huge loops
+        for block in first..=last {
+            debug_assert!(block <= BLOCK_MASK, "address space exhausted");
+            self.keys.push(
+                (u64::from(granule) << GRANULE_SHIFT)
+                    | (seq << SEQ_SHIFT)
+                    | (dir_bit << DIR_SHIFT)
+                    | block,
+            );
+        }
+        self.bytes_requested += u64::from(bytes);
+        match dir {
+            Dir::Read => self.element_reads += 1,
+            Dir::Write => self.element_writes += 1,
+        }
+    }
+
+    /// Collapses recorded accesses into unique transactions and resets the
+    /// tracker for the next phase.
+    pub fn finish_phase(&mut self) -> CoalesceSummary {
+        self.keys.sort_unstable();
+        let mut read_transactions = 0u64;
+        let mut write_transactions = 0u64;
+        let mut prev = None;
+        for &k in &self.keys {
+            if prev == Some(k) {
+                continue;
+            }
+            prev = Some(k);
+            if (k >> DIR_SHIFT) & 1 == 0 {
+                read_transactions += 1;
+            } else {
+                write_transactions += 1;
+            }
+        }
+        // DRAM tier: strip granule and instruction ids, dedup
+        // (direction, block) pairs across the whole group.
+        let mut dram_read_transactions = 0u64;
+        let mut dram_write_transactions = 0u64;
+        for k in self.keys.iter_mut() {
+            *k &= DRAM_MASK; // keep dir|block only
+        }
+        self.keys.sort_unstable();
+        let mut prev = None;
+        for &k in &self.keys {
+            if prev == Some(k) {
+                continue;
+            }
+            prev = Some(k);
+            if (k >> DIR_SHIFT) & 1 == 0 {
+                dram_read_transactions += 1;
+            } else {
+                dram_write_transactions += 1;
+            }
+        }
+        let summary = CoalesceSummary {
+            read_transactions,
+            write_transactions,
+            dram_read_transactions,
+            dram_write_transactions,
+            bytes_requested: self.bytes_requested,
+            element_reads: self.element_reads,
+            element_writes: self.element_writes,
+        };
+        self.keys.clear();
+        self.bytes_requested = 0;
+        self.element_reads = 0;
+        self.element_writes = 0;
+        summary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TXN: u64 = 64;
+
+    #[test]
+    fn contiguous_row_coalesces_into_one_transaction() {
+        let mut t = CoalesceTracker::new();
+        // 16 f32 elements starting at an aligned address: exactly 64 bytes.
+        for i in 0..16u64 {
+            t.record(0, 0, Dir::Read, i * 4, 4, TXN);
+        }
+        let s = t.finish_phase();
+        assert_eq!(s.read_transactions, 1);
+        assert_eq!(s.write_transactions, 0);
+        assert_eq!(s.bytes_requested, 64);
+        assert_eq!(s.wasted_bytes(64), 0);
+    }
+
+    #[test]
+    fn misaligned_row_spans_two_transactions() {
+        let mut t = CoalesceTracker::new();
+        // Same 16 elements but starting 8 bytes into a block (halo-style).
+        for i in 0..16u64 {
+            t.record(0, 0, Dir::Read, 8 + i * 4, 4, TXN);
+        }
+        let s = t.finish_phase();
+        assert_eq!(s.read_transactions, 2);
+        assert_eq!(s.wasted_bytes(64), 128 - 64);
+    }
+
+    #[test]
+    fn strided_column_burns_one_transaction_per_element() {
+        let mut t = CoalesceTracker::new();
+        // A column in a 1024-wide f32 image: stride 4096 bytes.
+        for i in 0..8u64 {
+            t.record(0, 0, Dir::Read, i * 4096, 4, TXN);
+        }
+        let s = t.finish_phase();
+        assert_eq!(s.read_transactions, 8);
+        assert_eq!(s.wasted_bytes(64), 8 * 64 - 8 * 4);
+    }
+
+    #[test]
+    fn reads_and_writes_counted_separately() {
+        let mut t = CoalesceTracker::new();
+        t.record(0, 0, Dir::Read, 0, 4, TXN);
+        t.record(0, 0, Dir::Write, 0, 4, TXN);
+        let s = t.finish_phase();
+        assert_eq!(s.read_transactions, 1);
+        assert_eq!(s.write_transactions, 1);
+        assert_eq!(s.transactions(), 2);
+        assert_eq!(s.dram_read_transactions, 1);
+        assert_eq!(s.dram_write_transactions, 1);
+        assert_eq!(s.dram_transactions(), 2);
+    }
+
+    #[test]
+    fn different_granules_do_not_share_l1_transactions() {
+        let mut t = CoalesceTracker::new();
+        t.record(0, 0, Dir::Read, 0, 4, TXN);
+        t.record(1, 0, Dir::Read, 0, 4, TXN);
+        let s = t.finish_phase();
+        assert_eq!(s.read_transactions, 2);
+        // ... but they do share the DRAM transaction (cached per group).
+        assert_eq!(s.dram_read_transactions, 1);
+    }
+
+    #[test]
+    fn element_spanning_block_boundary_touches_both() {
+        let mut t = CoalesceTracker::new();
+        t.record(0, 0, Dir::Read, 62, 4, TXN);
+        let s = t.finish_phase();
+        assert_eq!(s.read_transactions, 2);
+    }
+
+    #[test]
+    fn duplicate_accesses_collapse() {
+        let mut t = CoalesceTracker::new();
+        for _ in 0..100 {
+            t.record(0, 0, Dir::Read, 4, 4, TXN);
+        }
+        let s = t.finish_phase();
+        assert_eq!(s.read_transactions, 1);
+        assert_eq!(s.element_reads, 100);
+        // Re-reads mean requested >> transferred; waste saturates at zero.
+        assert_eq!(s.wasted_bytes(64), 0);
+    }
+
+    #[test]
+    fn different_instructions_do_not_share_l1_transactions() {
+        let mut t = CoalesceTracker::new();
+        // Same granule, same block, but two different store instructions
+        // (e.g. a scattered multi-store): two L1 transactions, one DRAM.
+        t.record(0, 0, Dir::Write, 0, 4, TXN);
+        t.record(0, 1, Dir::Write, 4, 4, TXN);
+        let s = t.finish_phase();
+        assert_eq!(s.write_transactions, 2);
+        assert_eq!(s.dram_write_transactions, 1);
+    }
+
+    #[test]
+    fn finish_phase_resets_state() {
+        let mut t = CoalesceTracker::new();
+        t.record(0, 0, Dir::Read, 0, 4, TXN);
+        let _ = t.finish_phase();
+        let s = t.finish_phase();
+        assert_eq!(s, CoalesceSummary::default());
+    }
+}

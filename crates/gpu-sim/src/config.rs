@@ -1,0 +1,253 @@
+//! Device configuration: the architectural parameters of the simulated GPU.
+//!
+//! The timing model in [`crate::timing`] is analytic: it converts memory
+//! transaction counts, local-memory traffic and ALU operation counts into
+//! cycles using the parameters defined here. The default preset,
+//! [`DeviceConfig::firepro_w5100`], approximates the AMD FirePro W5100
+//! (GCN 1.1, 4 CUs… the real card has 12 CUs @ 930 MHz; we keep the
+//! parameters in that family) used in the paper's evaluation.
+
+use serde::{Deserialize, Serialize};
+
+/// Architectural parameters of a simulated GPU device.
+///
+/// All latency/throughput values are in clock cycles. The model only cares
+/// about *ratios* (global vs. local vs. ALU), so the absolute values do not
+/// need to match any datasheet exactly; they are chosen so that the
+/// memory-bound/compute-bound crossover matches GCN-class hardware.
+///
+/// # Examples
+///
+/// ```
+/// use kp_gpu_sim::DeviceConfig;
+///
+/// let cfg = DeviceConfig::firepro_w5100();
+/// assert_eq!(cfg.wavefront_size, 64);
+/// assert!(cfg.local_mem_bytes >= 32 * 1024);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    /// Human-readable device name (reported in launch reports).
+    pub name: String,
+    /// Number of compute units (CUs). Work groups are distributed across CUs.
+    pub compute_units: usize,
+    /// SIMD execution width: threads per wavefront (AMD) / warp (NVIDIA).
+    pub wavefront_size: usize,
+    /// Maximum number of work items in one work group.
+    pub max_work_group_size: usize,
+    /// Local (shared) memory available per work group, in bytes.
+    pub local_mem_bytes: usize,
+    /// Total global memory, in bytes. Buffer allocation fails beyond this.
+    pub global_mem_bytes: usize,
+    /// Global memory transaction granularity in bytes (cache-line sized
+    /// coalescing window; 64 B on GCN).
+    pub transaction_bytes: usize,
+    /// Issue cost of one DRAM transaction (per-group unique block), in
+    /// cycles. This is the off-chip bandwidth term.
+    pub global_issue_cycles: u64,
+    /// Issue cost of one L1 transaction (per-granule unique block), in
+    /// cycles. Models cache-port bandwidth: re-reads served by the cache
+    /// still occupy the pipeline.
+    pub l1_issue_cycles: u64,
+    /// Relative cost of a write transaction vs. a read (writes are
+    /// fire-and-forget on GPUs: no lane waits for them, only bandwidth is
+    /// consumed, so they are cheaper than reads).
+    pub global_write_cost_factor: f64,
+    /// Lanes per memory-coalescing granule. GCN issues memory requests per
+    /// 16-lane quarter-wavefront, so lanes of different quarters never
+    /// share a transaction even within one wavefront.
+    pub coalesce_width: usize,
+    /// Raw global-memory latency in cycles (mostly hidden by multithreading;
+    /// only the `(1 - latency_hiding)` fraction is charged per phase).
+    pub global_latency_cycles: u64,
+    /// Fraction of the global latency hidden by wavefront interleaving,
+    /// in `[0, 1]`.
+    pub latency_hiding: f64,
+    /// Cost of one local-memory access step per wavefront, in cycles.
+    pub local_issue_cycles: u64,
+    /// Number of local memory banks (bank conflicts serialize accesses).
+    pub local_banks: usize,
+    /// Cycles per ALU op per wavefront (GCN executes a 64-lane wavefront on
+    /// a 16-lane SIMD over 4 cycles, hence the default of 4).
+    pub alu_cycles_per_op: u64,
+    /// Fixed cost of a work-group barrier, in cycles.
+    pub barrier_cycles: u64,
+    /// Fixed per-work-group scheduling overhead, in cycles.
+    pub group_dispatch_cycles: u64,
+    /// Maximum wavefronts resident per CU (occupancy cap).
+    pub max_waves_per_cu: usize,
+    /// Maximum work groups resident per CU (occupancy cap).
+    pub max_groups_per_cu: usize,
+    /// Core clock in MHz, used to convert cycles to seconds.
+    pub clock_mhz: f64,
+}
+
+impl DeviceConfig {
+    /// Preset approximating the AMD FirePro W5100 used in the paper.
+    ///
+    /// GCN 1.1 ("Bonaire"): 12 CUs, 64-wide wavefronts, 32 KiB LDS per
+    /// work group, 64 B memory transactions, 930 MHz.
+    pub fn firepro_w5100() -> Self {
+        Self {
+            name: "AMD FirePro W5100 (simulated)".to_owned(),
+            compute_units: 12,
+            wavefront_size: 64,
+            max_work_group_size: 256,
+            local_mem_bytes: 32 * 1024,
+            global_mem_bytes: 3_500_000_000,
+            transaction_bytes: 64,
+            global_issue_cycles: 48,
+            l1_issue_cycles: 8,
+            global_write_cost_factor: 0.35,
+            coalesce_width: 16,
+            global_latency_cycles: 400,
+            latency_hiding: 0.95,
+            local_issue_cycles: 1,
+            local_banks: 32,
+            alu_cycles_per_op: 2,
+            barrier_cycles: 8,
+            group_dispatch_cycles: 32,
+            max_waves_per_cu: 40,
+            max_groups_per_cu: 16,
+            clock_mhz: 930.0,
+        }
+    }
+
+    /// A tiny configuration for unit tests: 1 CU, 4-wide wavefronts,
+    /// 256 B transactions disabled down to 16 B so that small test grids
+    /// produce interesting transaction counts.
+    pub fn test_tiny() -> Self {
+        Self {
+            name: "test-tiny".to_owned(),
+            compute_units: 1,
+            wavefront_size: 4,
+            max_work_group_size: 64,
+            local_mem_bytes: 4 * 1024,
+            global_mem_bytes: 64 * 1024 * 1024,
+            transaction_bytes: 16,
+            global_issue_cycles: 32,
+            l1_issue_cycles: 0,
+            global_write_cost_factor: 1.0,
+            coalesce_width: 4,
+            global_latency_cycles: 400,
+            latency_hiding: 0.95,
+            local_issue_cycles: 2,
+            local_banks: 8,
+            alu_cycles_per_op: 4,
+            barrier_cycles: 16,
+            group_dispatch_cycles: 64,
+            max_waves_per_cu: 40,
+            max_groups_per_cu: 16,
+            clock_mhz: 1000.0,
+        }
+    }
+
+    /// Validates internal consistency of the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// constraint (zero-sized wavefronts, non-power-of-two transaction
+    /// size, hiding factor outside `[0, 1]`, …).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.compute_units == 0 {
+            return Err("compute_units must be > 0".into());
+        }
+        if self.wavefront_size == 0 {
+            return Err("wavefront_size must be > 0".into());
+        }
+        if self.max_work_group_size == 0 {
+            return Err("max_work_group_size must be > 0".into());
+        }
+        if self.transaction_bytes == 0 || !self.transaction_bytes.is_power_of_two() {
+            return Err(format!(
+                "transaction_bytes must be a power of two, got {}",
+                self.transaction_bytes
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.latency_hiding) {
+            return Err(format!(
+                "latency_hiding must be in [0, 1], got {}",
+                self.latency_hiding
+            ));
+        }
+        if self.local_banks == 0 {
+            return Err("local_banks must be > 0".into());
+        }
+        if self.coalesce_width == 0 {
+            return Err("coalesce_width must be > 0".into());
+        }
+        if !(0.0..=1.0).contains(&self.global_write_cost_factor) {
+            return Err(format!(
+                "global_write_cost_factor must be in [0, 1], got {}",
+                self.global_write_cost_factor
+            ));
+        }
+        if self.clock_mhz <= 0.0 {
+            return Err(format!("clock_mhz must be > 0, got {}", self.clock_mhz));
+        }
+        Ok(())
+    }
+
+    /// Converts a cycle count into seconds at this device's clock.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_mhz * 1.0e6)
+    }
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self::firepro_w5100()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn w5100_preset_is_valid() {
+        DeviceConfig::firepro_w5100().validate().unwrap();
+    }
+
+    #[test]
+    fn test_tiny_preset_is_valid() {
+        DeviceConfig::test_tiny().validate().unwrap();
+    }
+
+    #[test]
+    fn default_is_w5100() {
+        assert_eq!(DeviceConfig::default(), DeviceConfig::firepro_w5100());
+    }
+
+    #[test]
+    fn rejects_zero_compute_units() {
+        let mut cfg = DeviceConfig::test_tiny();
+        cfg.compute_units = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_transactions() {
+        let mut cfg = DeviceConfig::test_tiny();
+        cfg.transaction_bytes = 48;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_hiding() {
+        let mut cfg = DeviceConfig::test_tiny();
+        cfg.latency_hiding = 1.5;
+        assert!(cfg.validate().is_err());
+        cfg.latency_hiding = -0.1;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn cycles_to_seconds_uses_clock() {
+        let mut cfg = DeviceConfig::test_tiny();
+        cfg.clock_mhz = 1000.0; // 1 GHz -> 1 cycle == 1 ns
+        let s = cfg.cycles_to_seconds(1_000_000_000);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+}

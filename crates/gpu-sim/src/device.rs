@@ -1,0 +1,927 @@
+//! The simulated device: buffer lifecycle and the launch loop.
+
+use crate::buffer::{BufferId, ElemKind, RawBuffer, Scalar};
+use crate::config::DeviceConfig;
+use crate::error::SimError;
+use crate::kernel::{FaultLog, ItemCtx, Kernel, PhaseProfile};
+use crate::local::LocalArena;
+use crate::ndrange::NdRange;
+use crate::stats::{LaunchReport, LaunchStats, TimingBreakdown};
+use crate::timing;
+
+/// A simulated GPU device.
+///
+/// Owns global-memory buffers and executes [`Kernel`]s over [`NdRange`]s.
+/// Execution is deterministic: work groups run in row-major order, work
+/// items within a group run in row-major order within each phase, and a
+/// barrier separates phases. Functional results are therefore exactly
+/// reproducible across runs and platforms.
+///
+/// # Examples
+///
+/// See [`Kernel`] for an end-to-end example.
+#[derive(Debug)]
+pub struct Device {
+    cfg: DeviceConfig,
+    bufs: Vec<Option<RawBuffer>>,
+    next_addr: u64,
+    used_bytes: usize,
+    profiling: bool,
+}
+
+impl Device {
+    /// Creates a device with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] if the configuration is inconsistent.
+    pub fn new(cfg: DeviceConfig) -> Result<Self, SimError> {
+        cfg.validate().map_err(SimError::Config)?;
+        Ok(Self {
+            cfg,
+            bufs: Vec::new(),
+            next_addr: 0,
+            used_bytes: 0,
+            profiling: true,
+        })
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    /// Enables or disables profiling. With profiling off, launches skip
+    /// transaction/bank/op accounting and the report contains zeros for
+    /// stats and timing — useful when only the functional result matters
+    /// (error measurements are roughly twice as fast).
+    pub fn set_profiling(&mut self, enabled: bool) {
+        self.profiling = enabled;
+    }
+
+    /// Whether profiling is currently enabled.
+    pub fn profiling(&self) -> bool {
+        self.profiling
+    }
+
+    /// Bytes of global memory currently allocated.
+    pub fn used_global_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Allocates an uninitialized (zeroed) buffer of `len` elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfMemory`] if the allocation would exceed the
+    /// device's global memory.
+    pub fn create_buffer<T: Scalar>(
+        &mut self,
+        label: &str,
+        len: usize,
+    ) -> Result<BufferId, SimError> {
+        self.alloc(T::KIND, label, vec![0u64; len])
+    }
+
+    /// Allocates a buffer initialized from host data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfMemory`] if the allocation would exceed the
+    /// device's global memory.
+    pub fn create_buffer_from<T: Scalar>(
+        &mut self,
+        label: &str,
+        data: &[T],
+    ) -> Result<BufferId, SimError> {
+        self.alloc(T::KIND, label, data.iter().map(|v| v.to_bits64()).collect())
+    }
+
+    fn alloc(&mut self, kind: ElemKind, label: &str, data: Vec<u64>) -> Result<BufferId, SimError> {
+        let bytes = data.len() * kind.bytes();
+        let available = self.cfg.global_mem_bytes.saturating_sub(self.used_bytes);
+        if bytes > available {
+            return Err(SimError::OutOfMemory {
+                requested: bytes,
+                available,
+            });
+        }
+        // Align each buffer to a transaction boundary so two buffers never
+        // share a coalescing block.
+        let txn = self.cfg.transaction_bytes as u64;
+        let base_addr = self.next_addr.div_ceil(txn) * txn;
+        self.next_addr = base_addr + bytes as u64;
+        self.used_bytes += bytes;
+        let id = BufferId(self.bufs.len() as u32);
+        self.bufs.push(Some(RawBuffer {
+            kind,
+            data,
+            base_addr,
+            label: label.to_owned(),
+        }));
+        Ok(id)
+    }
+
+    /// Releases a buffer, making its bytes available again. The handle
+    /// becomes invalid; later use is an error (host) or fault (kernel).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownBuffer`] if the handle is invalid.
+    pub fn release_buffer(&mut self, id: BufferId) -> Result<(), SimError> {
+        let slot = self
+            .bufs
+            .get_mut(id.index())
+            .ok_or(SimError::UnknownBuffer(id))?;
+        match slot.take() {
+            Some(raw) => {
+                self.used_bytes -= raw.byte_len();
+                Ok(())
+            }
+            None => Err(SimError::UnknownBuffer(id)),
+        }
+    }
+
+    fn raw(&self, id: BufferId) -> Result<&RawBuffer, SimError> {
+        self.bufs
+            .get(id.index())
+            .and_then(Option::as_ref)
+            .ok_or(SimError::UnknownBuffer(id))
+    }
+
+    /// Number of elements in a buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownBuffer`] if the handle is invalid.
+    pub fn buffer_len(&self, id: BufferId) -> Result<usize, SimError> {
+        Ok(self.raw(id)?.len())
+    }
+
+    /// Element kind of a buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownBuffer`] if the handle is invalid.
+    pub fn buffer_kind(&self, id: BufferId) -> Result<ElemKind, SimError> {
+        Ok(self.raw(id)?.kind)
+    }
+
+    /// The label given to a buffer at creation time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownBuffer`] if the handle is invalid.
+    pub fn buffer_label(&self, id: BufferId) -> Result<&str, SimError> {
+        Ok(&self.raw(id)?.label)
+    }
+
+    /// Copies a buffer's contents to the host.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownBuffer`] or [`SimError::BufferKind`].
+    pub fn read_buffer<T: Scalar>(&self, id: BufferId) -> Result<Vec<T>, SimError> {
+        let raw = self.raw(id)?;
+        if raw.kind != T::KIND {
+            return Err(SimError::BufferKind {
+                buffer: id,
+                expected: T::KIND,
+                actual: raw.kind,
+            });
+        }
+        Ok(raw.data.iter().map(|&b| T::from_bits64(b)).collect())
+    }
+
+    /// Overwrites a buffer's contents from the host.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownBuffer`], [`SimError::BufferKind`] or
+    /// [`SimError::SizeMismatch`].
+    pub fn write_buffer<T: Scalar>(&mut self, id: BufferId, data: &[T]) -> Result<(), SimError> {
+        let raw = self
+            .bufs
+            .get_mut(id.index())
+            .and_then(Option::as_mut)
+            .ok_or(SimError::UnknownBuffer(id))?;
+        if raw.kind != T::KIND {
+            return Err(SimError::BufferKind {
+                buffer: id,
+                expected: T::KIND,
+                actual: raw.kind,
+            });
+        }
+        if raw.data.len() != data.len() {
+            return Err(SimError::SizeMismatch {
+                buffer: id,
+                buffer_len: raw.data.len(),
+                data_len: data.len(),
+            });
+        }
+        for (slot, v) in raw.data.iter_mut().zip(data) {
+            *slot = v.to_bits64();
+        }
+        Ok(())
+    }
+
+    /// Copies the contents of buffer `src` into buffer `dst` (device-side
+    /// `clEnqueueCopyBuffer` equivalent; not charged by the timing model).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownBuffer`], [`SimError::BufferKind`] or
+    /// [`SimError::SizeMismatch`].
+    pub fn copy_buffer(&mut self, src: BufferId, dst: BufferId) -> Result<(), SimError> {
+        let src_raw = self.raw(src)?;
+        let (kind, data) = (src_raw.kind, src_raw.data.clone());
+        let dst_raw = self
+            .bufs
+            .get_mut(dst.index())
+            .and_then(Option::as_mut)
+            .ok_or(SimError::UnknownBuffer(dst))?;
+        if dst_raw.kind != kind {
+            return Err(SimError::BufferKind {
+                buffer: dst,
+                expected: kind,
+                actual: dst_raw.kind,
+            });
+        }
+        if dst_raw.data.len() != data.len() {
+            return Err(SimError::SizeMismatch {
+                buffer: dst,
+                buffer_len: dst_raw.data.len(),
+                data_len: data.len(),
+            });
+        }
+        dst_raw.data = data;
+        Ok(())
+    }
+
+    fn validate_launch(
+        &self,
+        name: &str,
+        phases: usize,
+        range: &NdRange,
+        local_bytes: usize,
+    ) -> Result<(), SimError> {
+        if range.group_size_total() > self.cfg.max_work_group_size {
+            return Err(SimError::Launch(format!(
+                "work group of {} items exceeds device limit {}",
+                range.group_size_total(),
+                self.cfg.max_work_group_size
+            )));
+        }
+        if local_bytes > self.cfg.local_mem_bytes {
+            return Err(SimError::Launch(format!(
+                "kernel '{name}' uses {local_bytes} bytes of local memory, device limit is {}",
+                self.cfg.local_mem_bytes
+            )));
+        }
+        if phases == 0 {
+            return Err(SimError::Launch(format!(
+                "kernel '{name}' declares zero phases"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Executes a kernel over the given range and returns its report.
+    ///
+    /// Functional effects (buffer writes) are applied in deterministic
+    /// order. With profiling enabled the report carries full transaction /
+    /// bank / timing accounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Launch`] for geometry or resource violations and
+    /// [`SimError::KernelFaults`] if kernel code performed invalid accesses
+    /// (buffers may be partially written in that case).
+    pub fn launch<K: Kernel + ?Sized>(
+        &mut self,
+        kernel: &K,
+        range: NdRange,
+    ) -> Result<LaunchReport, SimError> {
+        let specs = kernel.local_buffers();
+        let mut arena = LocalArena::new(&specs);
+        let local_bytes = arena.total_bytes();
+        let phases = kernel.phases();
+        self.validate_launch(kernel.name(), phases, &range, local_bytes)?;
+        let group_size = range.group_size_total();
+        let occ = timing::occupancy(&self.cfg, group_size, local_bytes);
+        let mut profile = self
+            .profiling
+            .then(|| PhaseProfile::new(occ.waves_per_group));
+
+        let mut stats = LaunchStats::default();
+        let mut breakdown = TimingBreakdown::default();
+        let mut faults = FaultLog::default();
+
+        let group_coords: Vec<[usize; 3]> = range.group_coords().collect();
+        let local_coords: Vec<[usize; 3]> = range.local_coords().collect();
+        let wf_of: Vec<u32> = local_coords
+            .iter()
+            .map(|&c| (range.flatten_local(c) / self.cfg.wavefront_size) as u32)
+            .collect();
+        // Memory coalescing granule (quarter-wavefront on GCN).
+        let granule_of: Vec<u32> = local_coords
+            .iter()
+            .map(|&c| (range.flatten_local(c) / self.cfg.coalesce_width) as u32)
+            .collect();
+
+        for &group in &group_coords {
+            arena.reset();
+            let mut group_cycles = self.cfg.group_dispatch_cycles;
+            for phase in 0..phases {
+                if let Some(p) = profile.as_mut() {
+                    p.reset_phase();
+                }
+                for (li, &local) in local_coords.iter().enumerate() {
+                    let mut ctx = ItemCtx {
+                        range: &range,
+                        cfg: &self.cfg,
+                        group,
+                        local,
+                        phase,
+                        wavefront: wf_of[li],
+                        granule: granule_of[li],
+                        bufs: &mut self.bufs,
+                        arena: &mut arena,
+                        profile: profile.as_mut(),
+                        faults: &mut faults,
+                        local_seq: 0,
+                        global_seq: 0,
+                        item_ops: 0,
+                    };
+                    kernel.run_phase(phase, &mut ctx);
+                    let item_ops = ctx.item_ops;
+                    if let Some(p) = profile.as_mut() {
+                        let wf = wf_of[li] as usize;
+                        p.wf_max_ops[wf] = p.wf_max_ops[wf].max(item_ops);
+                    }
+                }
+                if let Some(p) = profile.as_mut() {
+                    let mem = p.coalesce.finish_phase();
+                    let banks = p.banks.finish_phase();
+                    let cost = timing::phase_cost(&self.cfg, &mem, &banks, &p.wf_max_ops);
+                    stats.global_read_transactions += mem.read_transactions;
+                    stats.global_write_transactions += mem.write_transactions;
+                    stats.dram_read_transactions += mem.dram_read_transactions;
+                    stats.dram_write_transactions += mem.dram_write_transactions;
+                    stats.global_bytes_requested += mem.bytes_requested;
+                    stats.global_bytes_transferred +=
+                        mem.bytes_transferred(self.cfg.transaction_bytes);
+                    stats.global_element_reads += mem.element_reads;
+                    stats.global_element_writes += mem.element_writes;
+                    stats.local_accesses += banks.accesses;
+                    stats.local_steps += banks.steps;
+                    stats.local_conflict_steps += banks.conflict_steps();
+                    stats.alu_ops += p.wf_max_ops.iter().sum::<u64>();
+                    breakdown.memory_cycles += cost.memory_cycles;
+                    breakdown.compute_cycles += cost.alu_cycles + cost.local_cycles;
+                    group_cycles += cost.critical_path();
+                }
+            }
+            let barriers = self.cfg.barrier_cycles * (phases as u64 - 1);
+            breakdown.overhead_cycles += barriers + self.cfg.group_dispatch_cycles;
+            group_cycles += barriers;
+            breakdown.group_cycles_total += group_cycles;
+        }
+        stats.uninit_local_reads = arena.uninit_reads;
+
+        if self.profiling {
+            breakdown.device_cycles =
+                timing::device_cycles(&self.cfg, &occ, breakdown.group_cycles_total);
+        } else {
+            // Without profiling no memory/ALU accounting happened, so a
+            // partial cycle count would be misleading; report zero time.
+            breakdown = TimingBreakdown::default();
+        }
+
+        if !faults.is_empty() {
+            return Err(SimError::KernelFaults {
+                kernel: kernel.name().to_owned(),
+                faults: faults.faults,
+                total: faults.total,
+            });
+        }
+
+        let mut report = LaunchReport {
+            kernel: kernel.name().to_owned(),
+            groups: group_coords.len(),
+            phases,
+            profiled: self.profiling,
+            stats,
+            timing: breakdown,
+            occupancy: occ,
+            seconds: 0.0,
+        };
+        report.finalize(&self.cfg);
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local::{LocalId, LocalSpec};
+
+    struct Copy1D {
+        src: BufferId,
+        dst: BufferId,
+    }
+
+    impl Kernel for Copy1D {
+        fn name(&self) -> &str {
+            "copy1d"
+        }
+
+        fn run_phase(&self, _phase: usize, ctx: &mut ItemCtx<'_>) {
+            let i = ctx.global_id(0);
+            let v: f32 = ctx.read_global(self.src, i);
+            ctx.write_global(self.dst, i, v);
+            ctx.ops(1);
+        }
+    }
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::test_tiny()).unwrap()
+    }
+
+    #[test]
+    fn buffer_roundtrip() {
+        let mut dev = device();
+        let data = vec![1.0f32, 2.0, 3.0];
+        let id = dev.create_buffer_from("x", &data).unwrap();
+        assert_eq!(dev.read_buffer::<f32>(id).unwrap(), data);
+        assert_eq!(dev.buffer_len(id).unwrap(), 3);
+        assert_eq!(dev.buffer_kind(id).unwrap(), ElemKind::F32);
+    }
+
+    #[test]
+    fn buffer_kind_checked_on_host_reads() {
+        let mut dev = device();
+        let id = dev.create_buffer_from("x", &[1.0f32]).unwrap();
+        assert!(matches!(
+            dev.read_buffer::<i32>(id),
+            Err(SimError::BufferKind { .. })
+        ));
+    }
+
+    #[test]
+    fn write_buffer_checks_length() {
+        let mut dev = device();
+        let id = dev.create_buffer::<f32>("x", 4).unwrap();
+        assert!(matches!(
+            dev.write_buffer(id, &[1.0f32; 3]),
+            Err(SimError::SizeMismatch { .. })
+        ));
+        dev.write_buffer(id, &[9.0f32; 4]).unwrap();
+        assert_eq!(dev.read_buffer::<f32>(id).unwrap(), vec![9.0; 4]);
+    }
+
+    #[test]
+    fn out_of_memory_is_reported() {
+        let mut dev = device();
+        let too_big = dev.config().global_mem_bytes / 4 + 1;
+        assert!(matches!(
+            dev.create_buffer::<f32>("big", too_big),
+            Err(SimError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn release_buffer_reclaims_capacity() {
+        let mut dev = device();
+        let id = dev.create_buffer::<f32>("x", 1024).unwrap();
+        let used = dev.used_global_bytes();
+        dev.release_buffer(id).unwrap();
+        assert_eq!(dev.used_global_bytes(), used - 4096);
+        assert!(matches!(
+            dev.read_buffer::<f32>(id),
+            Err(SimError::UnknownBuffer(_))
+        ));
+        assert!(matches!(
+            dev.release_buffer(id),
+            Err(SimError::UnknownBuffer(_))
+        ));
+    }
+
+    #[test]
+    fn copy_buffer_copies() {
+        let mut dev = device();
+        let a = dev.create_buffer_from("a", &[1.0f32, 2.0]).unwrap();
+        let b = dev.create_buffer::<f32>("b", 2).unwrap();
+        dev.copy_buffer(a, b).unwrap();
+        assert_eq!(dev.read_buffer::<f32>(b).unwrap(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn launch_copies_data_functionally() {
+        let mut dev = device();
+        let data: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        let src = dev.create_buffer_from("src", &data).unwrap();
+        let dst = dev.create_buffer::<f32>("dst", 64).unwrap();
+        let report = dev
+            .launch(&Copy1D { src, dst }, NdRange::new_1d(64, 16).unwrap())
+            .unwrap();
+        assert_eq!(dev.read_buffer::<f32>(dst).unwrap(), data);
+        assert_eq!(report.groups, 4);
+        assert!(report.profiled);
+        assert!(report.timing.device_cycles > 0);
+        assert!(report.seconds > 0.0);
+        // 64 contiguous f32 = 256 bytes = 16 txn-bytes blocks of 16 bytes,
+        // per wavefront of 4 items one block read and one written.
+        assert_eq!(report.stats.global_element_reads, 64);
+        assert_eq!(report.stats.global_element_writes, 64);
+        assert_eq!(report.stats.global_read_transactions, 16);
+        assert_eq!(report.stats.global_write_transactions, 16);
+    }
+
+    #[test]
+    fn profiling_off_skips_stats_but_keeps_function() {
+        let mut dev = device();
+        dev.set_profiling(false);
+        assert!(!dev.profiling());
+        let data = vec![3.0f32; 16];
+        let src = dev.create_buffer_from("src", &data).unwrap();
+        let dst = dev.create_buffer::<f32>("dst", 16).unwrap();
+        let report = dev
+            .launch(&Copy1D { src, dst }, NdRange::new_1d(16, 4).unwrap())
+            .unwrap();
+        assert_eq!(dev.read_buffer::<f32>(dst).unwrap(), data);
+        assert!(!report.profiled);
+        assert_eq!(report.stats.global_read_transactions, 0);
+        assert_eq!(report.timing.device_cycles, 0);
+    }
+
+    #[test]
+    fn oversized_work_group_rejected() {
+        let mut dev = device();
+        let src = dev.create_buffer::<f32>("src", 256).unwrap();
+        let dst = dev.create_buffer::<f32>("dst", 256).unwrap();
+        let err = dev
+            .launch(&Copy1D { src, dst }, NdRange::new_1d(256, 128).unwrap())
+            .unwrap_err();
+        assert!(matches!(err, SimError::Launch(_)));
+    }
+
+    struct LocalHog;
+
+    impl Kernel for LocalHog {
+        fn name(&self) -> &str {
+            "local-hog"
+        }
+
+        fn local_buffers(&self) -> Vec<LocalSpec> {
+            vec![LocalSpec::new(ElemKind::F32, 1 << 20)]
+        }
+
+        fn run_phase(&self, _phase: usize, _ctx: &mut ItemCtx<'_>) {}
+    }
+
+    #[test]
+    fn local_memory_overflow_rejected() {
+        let mut dev = device();
+        let err = dev
+            .launch(&LocalHog, NdRange::new_1d(4, 4).unwrap())
+            .unwrap_err();
+        assert!(matches!(err, SimError::Launch(_)));
+    }
+
+    struct OobKernel {
+        buf: BufferId,
+    }
+
+    impl Kernel for OobKernel {
+        fn name(&self) -> &str {
+            "oob"
+        }
+
+        fn run_phase(&self, _phase: usize, ctx: &mut ItemCtx<'_>) {
+            let i = ctx.global_id(0);
+            // Off-by-one: reads one element past the end on the last item.
+            let v: f32 = ctx.read_global(self.buf, i + 1);
+            ctx.write_global(self.buf, i, v);
+        }
+    }
+
+    #[test]
+    fn kernel_faults_surface_as_errors() {
+        let mut dev = device();
+        let buf = dev.create_buffer::<f32>("b", 8).unwrap();
+        let err = dev
+            .launch(&OobKernel { buf }, NdRange::new_1d(8, 4).unwrap())
+            .unwrap_err();
+        match err {
+            SimError::KernelFaults {
+                kernel,
+                faults,
+                total,
+            } => {
+                assert_eq!(kernel, "oob");
+                assert_eq!(total, 1);
+                assert_eq!(faults.len(), 1);
+            }
+            other => panic!("expected KernelFaults, got {other:?}"),
+        }
+    }
+
+    struct TwoPhase {
+        buf: BufferId,
+        tile: LocalId,
+    }
+
+    impl Kernel for TwoPhase {
+        fn name(&self) -> &str {
+            "two-phase"
+        }
+
+        fn phases(&self) -> usize {
+            2
+        }
+
+        fn local_buffers(&self) -> Vec<LocalSpec> {
+            vec![LocalSpec::new(ElemKind::F32, 4)]
+        }
+
+        fn run_phase(&self, phase: usize, ctx: &mut ItemCtx<'_>) {
+            let li = ctx.local_id(0);
+            match phase {
+                0 => {
+                    let v: f32 = ctx.read_global(self.buf, ctx.global_id(0));
+                    ctx.write_local(self.tile, li, v);
+                }
+                _ => {
+                    // Read the neighbor written by another item in phase 0:
+                    // only correct if the barrier separated the phases.
+                    let v: f32 = ctx.read_local(self.tile, (li + 1) % 4);
+                    ctx.write_global(self.buf, ctx.global_id(0), v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn phases_act_as_barriers() {
+        let mut dev = device();
+        let buf = dev
+            .create_buffer_from("b", &[10.0f32, 20.0, 30.0, 40.0])
+            .unwrap();
+        let kernel = TwoPhase {
+            buf,
+            tile: LocalId(0),
+        };
+        let report = dev.launch(&kernel, NdRange::new_1d(4, 4).unwrap()).unwrap();
+        assert_eq!(
+            dev.read_buffer::<f32>(buf).unwrap(),
+            vec![20.0, 30.0, 40.0, 10.0]
+        );
+        assert_eq!(report.phases, 2);
+        assert_eq!(report.stats.uninit_local_reads, 0);
+        assert_eq!(report.stats.local_accesses, 8);
+    }
+
+    #[test]
+    fn determinism_identical_reports() {
+        let run = || {
+            let mut dev = device();
+            let data: Vec<f32> = (0..256).map(|i| (i * 7 % 13) as f32).collect();
+            let src = dev.create_buffer_from("src", &data).unwrap();
+            let dst = dev.create_buffer::<f32>("dst", 256).unwrap();
+            let r = dev
+                .launch(&Copy1D { src, dst }, NdRange::new_1d(256, 16).unwrap())
+                .unwrap();
+            (r, dev.read_buffer::<f32>(dst).unwrap())
+        };
+        let (r1, d1) = run();
+        let (r2, d2) = run();
+        assert_eq!(r1, r2);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn rejects_invalid_config() {
+        let mut cfg = DeviceConfig::test_tiny();
+        cfg.compute_units = 0;
+        assert!(matches!(Device::new(cfg), Err(SimError::Config(_))));
+    }
+
+    #[test]
+    fn rejects_zero_phase_kernel() {
+        struct NoPhases;
+        impl Kernel for NoPhases {
+            fn name(&self) -> &str {
+                "none"
+            }
+            fn phases(&self) -> usize {
+                0
+            }
+            fn run_phase(&self, _: usize, _: &mut ItemCtx<'_>) {}
+        }
+        let mut dev = device();
+        assert!(matches!(
+            dev.launch(&NoPhases, NdRange::new_1d(4, 4).unwrap()),
+            Err(SimError::Launch(_))
+        ));
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::local::LocalSpec;
+
+    fn device() -> Device {
+        Device::new(DeviceConfig::test_tiny()).unwrap()
+    }
+
+    struct Fill3D {
+        dst: BufferId,
+        dims: (usize, usize, usize),
+    }
+
+    impl Kernel for Fill3D {
+        fn name(&self) -> &str {
+            "fill3d"
+        }
+
+        fn run_phase(&self, _phase: usize, ctx: &mut ItemCtx<'_>) {
+            let (x, y, z) = (ctx.global_id(0), ctx.global_id(1), ctx.global_id(2));
+            let (w, h, _) = self.dims;
+            let idx = (z * h + y) * w + x;
+            ctx.write_global(self.dst, idx, (x + 10 * y + 100 * z) as i32);
+        }
+    }
+
+    #[test]
+    fn three_dimensional_ranges_execute() {
+        let mut dev = device();
+        let (w, h, d) = (4, 4, 2);
+        let dst = dev.create_buffer::<i32>("dst", w * h * d).unwrap();
+        let kernel = Fill3D {
+            dst,
+            dims: (w, h, d),
+        };
+        let range = NdRange::new(3, [w, h, d], [2, 2, 1]).unwrap();
+        let report = dev.launch(&kernel, range).unwrap();
+        assert_eq!(report.groups, 2 * 2 * 2);
+        let out = dev.read_buffer::<i32>(dst).unwrap();
+        assert_eq!(out[0], 0);
+        assert_eq!(out[(h + 2) * w + 3], 3 + 20 + 100);
+    }
+
+    struct MixedTypes {
+        floats: BufferId,
+        ints: BufferId,
+        bytes: BufferId,
+    }
+
+    impl Kernel for MixedTypes {
+        fn name(&self) -> &str {
+            "mixed"
+        }
+
+        fn run_phase(&self, _phase: usize, ctx: &mut ItemCtx<'_>) {
+            let i = ctx.global_id(0);
+            let f: f32 = ctx.read_global(self.floats, i);
+            let n: i32 = ctx.read_global(self.ints, i);
+            let b: u8 = ctx.read_global(self.bytes, i);
+            ctx.write_global(self.floats, i, f + n as f32 + b as f32);
+        }
+    }
+
+    #[test]
+    fn kernels_can_mix_buffer_element_types() {
+        let mut dev = device();
+        let floats = dev.create_buffer_from("f", &[0.5f32; 8]).unwrap();
+        let ints = dev.create_buffer_from("i", &[2i32; 8]).unwrap();
+        let bytes = dev.create_buffer_from("b", &[3u8; 8]).unwrap();
+        dev.launch(
+            &MixedTypes {
+                floats,
+                ints,
+                bytes,
+            },
+            NdRange::new_1d(8, 4).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(dev.read_buffer::<f32>(floats).unwrap(), vec![5.5; 8]);
+        // u8 elements occupy one byte each: 8 bytes requested from that
+        // buffer in total.
+        assert_eq!(dev.buffer_kind(bytes).unwrap(), ElemKind::U8);
+    }
+
+    struct WrongTypeKernel {
+        buf: BufferId,
+    }
+
+    impl Kernel for WrongTypeKernel {
+        fn name(&self) -> &str {
+            "wrong-type"
+        }
+
+        fn run_phase(&self, _phase: usize, ctx: &mut ItemCtx<'_>) {
+            // Buffer holds f32; reading i32 must fault.
+            let _: i32 = ctx.read_global(self.buf, ctx.global_id(0));
+        }
+    }
+
+    #[test]
+    fn kind_mismatch_inside_kernel_faults() {
+        let mut dev = device();
+        let buf = dev.create_buffer_from("f", &[1.0f32; 4]).unwrap();
+        let err = dev
+            .launch(&WrongTypeKernel { buf }, NdRange::new_1d(4, 4).unwrap())
+            .unwrap_err();
+        match err {
+            SimError::KernelFaults { faults, .. } => {
+                assert!(matches!(
+                    faults[0].kind,
+                    crate::kernel::FaultKind::BufferKindMismatch { .. }
+                ));
+            }
+            other => panic!("expected faults, got {other:?}"),
+        }
+    }
+
+    struct LocalWrongType;
+
+    impl Kernel for LocalWrongType {
+        fn name(&self) -> &str {
+            "local-wrong-type"
+        }
+
+        fn local_buffers(&self) -> Vec<LocalSpec> {
+            vec![LocalSpec::new(ElemKind::F32, 8)]
+        }
+
+        fn run_phase(&self, _phase: usize, ctx: &mut ItemCtx<'_>) {
+            ctx.write_local::<i32>(crate::LocalId(0), 0, 7);
+            let _: f32 = ctx.read_local(crate::LocalId(1), 0);
+        }
+    }
+
+    #[test]
+    fn local_misuse_faults() {
+        let mut dev = device();
+        let err = dev
+            .launch(&LocalWrongType, NdRange::new_1d(1, 1).unwrap())
+            .unwrap_err();
+        match err {
+            SimError::KernelFaults { total, .. } => assert_eq!(total, 2),
+            other => panic!("expected faults, got {other:?}"),
+        }
+    }
+
+    struct Noop;
+
+    impl Kernel for Noop {
+        fn name(&self) -> &str {
+            "noop"
+        }
+
+        fn run_phase(&self, _: usize, _: &mut ItemCtx<'_>) {}
+    }
+
+    #[test]
+    fn occupancy_reported_in_launch() {
+        let mut dev = device();
+        let report = dev.launch(&Noop, NdRange::new_1d(64, 16).unwrap()).unwrap();
+        // 16 items / 4-wide wavefronts = 4 waves per group.
+        assert_eq!(report.occupancy.waves_per_group, 4);
+        assert!(report.occupancy.groups_per_cu >= 1);
+        assert_eq!(report.occupancy.local_bytes_per_group, 0);
+    }
+
+    #[test]
+    fn copy_buffer_rejects_kind_and_size_mismatches() {
+        let mut dev = device();
+        let f = dev.create_buffer_from("f", &[1.0f32; 4]).unwrap();
+        let i = dev.create_buffer_from("i", &[1i32; 4]).unwrap();
+        let small = dev.create_buffer::<f32>("s", 2).unwrap();
+        assert!(matches!(
+            dev.copy_buffer(f, i),
+            Err(SimError::BufferKind { .. })
+        ));
+        assert!(matches!(
+            dev.copy_buffer(f, small),
+            Err(SimError::SizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn buffer_labels_are_kept() {
+        let mut dev = device();
+        let id = dev.create_buffer::<f32>("my-label", 1).unwrap();
+        assert_eq!(dev.buffer_label(id).unwrap(), "my-label");
+    }
+
+    #[test]
+    fn overhead_cycles_accumulate_per_group() {
+        let mut dev = device();
+        let r1 = dev.launch(&Noop, NdRange::new_1d(16, 16).unwrap()).unwrap();
+        let r4 = dev.launch(&Noop, NdRange::new_1d(64, 16).unwrap()).unwrap();
+        assert_eq!(r4.timing.overhead_cycles, 4 * r1.timing.overhead_cycles);
+    }
+}

@@ -1,0 +1,172 @@
+//! Error types for the simulator.
+
+use crate::buffer::{BufferId, ElemKind};
+use crate::kernel::Fault;
+use crate::ndrange::NdRangeError;
+
+/// Errors returned by [`crate::Device`] operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The device configuration is inconsistent.
+    Config(String),
+    /// The launch geometry is invalid.
+    NdRange(NdRangeError),
+    /// The launch violates a device limit (work-group size, local memory).
+    Launch(String),
+    /// A host-side buffer operation referenced an unknown handle.
+    UnknownBuffer(BufferId),
+    /// A host-side buffer operation used the wrong element type.
+    BufferKind {
+        /// The offending buffer.
+        buffer: BufferId,
+        /// Kind the caller asked for.
+        expected: ElemKind,
+        /// Kind the buffer actually holds.
+        actual: ElemKind,
+    },
+    /// A host-side write had the wrong length.
+    SizeMismatch {
+        /// The offending buffer.
+        buffer: BufferId,
+        /// Length of the buffer.
+        buffer_len: usize,
+        /// Length of the host data.
+        data_len: usize,
+    },
+    /// Allocation would exceed the device's global memory.
+    OutOfMemory {
+        /// Bytes requested by the allocation.
+        requested: usize,
+        /// Bytes still available.
+        available: usize,
+    },
+    /// Kernel code performed invalid accesses during a launch. Buffers may
+    /// have been partially written.
+    KernelFaults {
+        /// Kernel name.
+        kernel: String,
+        /// First few faults (bounded log).
+        faults: Vec<Fault>,
+        /// Total number of faults, possibly larger than `faults.len()`.
+        total: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Config(msg) => write!(f, "invalid device configuration: {msg}"),
+            SimError::NdRange(e) => write!(f, "invalid ndrange: {e}"),
+            SimError::Launch(msg) => write!(f, "invalid launch: {msg}"),
+            SimError::UnknownBuffer(id) => write!(f, "unknown buffer {id}"),
+            SimError::BufferKind { buffer, expected, actual } => write!(
+                f,
+                "buffer {buffer} holds {actual} elements, not {expected}"
+            ),
+            SimError::SizeMismatch { buffer, buffer_len, data_len } => write!(
+                f,
+                "buffer {buffer} has {buffer_len} elements but host data has {data_len}"
+            ),
+            SimError::OutOfMemory { requested, available } => write!(
+                f,
+                "allocation of {requested} bytes exceeds available global memory ({available} bytes)"
+            ),
+            SimError::KernelFaults { kernel, faults, total } => {
+                write!(f, "kernel '{kernel}' raised {total} fault(s)")?;
+                if let Some(first) = faults.first() {
+                    write!(f, "; first: {first}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::NdRange(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NdRangeError> for SimError {
+    fn from(e: NdRangeError) -> Self {
+        SimError::NdRange(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::FaultKind;
+
+    #[test]
+    fn display_variants_are_nonempty() {
+        let errs: Vec<SimError> = vec![
+            SimError::Config("x".into()),
+            SimError::NdRange(NdRangeError::BadDims(0)),
+            SimError::Launch("y".into()),
+            SimError::UnknownBuffer(BufferId(1)),
+            SimError::BufferKind {
+                buffer: BufferId(0),
+                expected: ElemKind::F32,
+                actual: ElemKind::I32,
+            },
+            SimError::SizeMismatch {
+                buffer: BufferId(0),
+                buffer_len: 4,
+                data_len: 5,
+            },
+            SimError::OutOfMemory {
+                requested: 100,
+                available: 10,
+            },
+            SimError::KernelFaults {
+                kernel: "k".into(),
+                faults: vec![Fault {
+                    kind: FaultKind::UnknownBuffer {
+                        buffer: BufferId(9),
+                    },
+                    group: [0; 3],
+                    local: [0; 3],
+                    phase: 0,
+                }],
+                total: 3,
+            },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn ndrange_error_converts() {
+        let e: SimError = NdRangeError::BadDims(7).into();
+        assert!(matches!(e, SimError::NdRange(_)));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn kernel_faults_display_includes_first_fault() {
+        let e = SimError::KernelFaults {
+            kernel: "gauss".into(),
+            faults: vec![Fault {
+                kind: FaultKind::GlobalOutOfBounds {
+                    buffer: BufferId(0),
+                    index: 4,
+                    len: 4,
+                },
+                group: [0; 3],
+                local: [0; 3],
+                phase: 0,
+            }],
+            total: 1,
+        };
+        let s = e.to_string();
+        assert!(s.contains("gauss"));
+        assert!(s.contains("out of bounds"));
+    }
+}

@@ -1,0 +1,532 @@
+//! The kernel programming model: phase kernels and the work-item context.
+//!
+//! OpenCL kernels synchronize work groups with `barrier(CLK_LOCAL_MEM_FENCE)`.
+//! An interpreter cannot suspend a work item mid-function without coroutines,
+//! so the simulator uses the *phase kernel* model: a kernel declares how many
+//! barrier-separated phases it has, and the scheduler runs phase `p` for
+//! every work item of a group before advancing to phase `p + 1`. This is
+//! exactly the structure of the paper's perforation pipeline:
+//!
+//! * phase 0 — data perforation: cooperative (sparse) load into local memory,
+//! * phase 1 — data reconstruction in local memory,
+//! * phase 2 — original kernel body reading from local memory.
+
+use crate::buffer::{BufferId, ElemKind, RawBuffer, Scalar};
+use crate::coalesce::{CoalesceTracker, Dir};
+use crate::config::DeviceConfig;
+use crate::local::{BankTracker, LocalArena, LocalId, LocalSpec};
+use crate::ndrange::NdRange;
+
+/// A simulated GPU kernel.
+///
+/// Implementations hold their buffer handles as struct fields (there is no
+/// positional argument binding). `run_phase` is called once per work item
+/// per phase, in deterministic row-major order.
+///
+/// # Examples
+///
+/// ```
+/// use kp_gpu_sim::{Device, DeviceConfig, ItemCtx, Kernel, NdRange, BufferId};
+///
+/// struct Scale { src: BufferId, dst: BufferId, factor: f32 }
+///
+/// impl Kernel for Scale {
+///     fn name(&self) -> &str { "scale" }
+///     fn run_phase(&self, _phase: usize, ctx: &mut ItemCtx<'_>) {
+///         let i = ctx.global_id(0);
+///         let v: f32 = ctx.read_global(self.src, i);
+///         ctx.write_global(self.dst, i, v * self.factor);
+///         ctx.ops(1);
+///     }
+/// }
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut dev = Device::new(DeviceConfig::test_tiny())?;
+/// let src = dev.create_buffer_from("src", &[1.0f32, 2.0, 3.0, 4.0])?;
+/// let dst = dev.create_buffer::<f32>("dst", 4)?;
+/// let kernel = Scale { src, dst, factor: 2.0 };
+/// dev.launch(&kernel, NdRange::new_1d(4, 4)?)?;
+/// assert_eq!(dev.read_buffer::<f32>(dst)?, vec![2.0, 4.0, 6.0, 8.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub trait Kernel {
+    /// Kernel name, used in reports and fault messages.
+    fn name(&self) -> &str;
+
+    /// Number of barrier-separated phases (≥ 1). Defaults to 1.
+    fn phases(&self) -> usize {
+        1
+    }
+
+    /// Local-memory arrays required per work group. Defaults to none.
+    fn local_buffers(&self) -> Vec<LocalSpec> {
+        Vec::new()
+    }
+
+    /// Executes one phase for one work item.
+    fn run_phase(&self, phase: usize, ctx: &mut ItemCtx<'_>);
+}
+
+/// What went wrong inside a kernel. Faulting accesses return
+/// `Default::default()` so execution can continue and collect more faults.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Access to a buffer handle this device never created (or released).
+    UnknownBuffer {
+        /// The offending handle.
+        buffer: BufferId,
+    },
+    /// Element type of the access does not match the buffer.
+    BufferKindMismatch {
+        /// The offending handle.
+        buffer: BufferId,
+        /// Kind the kernel asked for.
+        expected: ElemKind,
+        /// Kind the buffer actually holds.
+        actual: ElemKind,
+    },
+    /// Out-of-bounds global access.
+    GlobalOutOfBounds {
+        /// The offending handle.
+        buffer: BufferId,
+        /// Index the kernel accessed.
+        index: usize,
+        /// Length of the buffer.
+        len: usize,
+    },
+    /// Access to an undeclared local array.
+    UnknownLocal {
+        /// The offending handle.
+        local: LocalId,
+    },
+    /// Element type of the access does not match the local array.
+    LocalKindMismatch {
+        /// The offending handle.
+        local: LocalId,
+        /// Kind the kernel asked for.
+        expected: ElemKind,
+        /// Kind the array actually holds.
+        actual: ElemKind,
+    },
+    /// Out-of-bounds local access.
+    LocalOutOfBounds {
+        /// The offending handle.
+        local: LocalId,
+        /// Index the kernel accessed.
+        index: usize,
+        /// Length of the array.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::UnknownBuffer { buffer } => write!(f, "unknown buffer {buffer}"),
+            FaultKind::BufferKindMismatch {
+                buffer,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "buffer {buffer} holds {actual} elements but was accessed as {expected}"
+            ),
+            FaultKind::GlobalOutOfBounds { buffer, index, len } => {
+                write!(
+                    f,
+                    "global access to {buffer}[{index}] out of bounds (len {len})"
+                )
+            }
+            FaultKind::UnknownLocal { local } => {
+                write!(f, "unknown local array #{}", local.0)
+            }
+            FaultKind::LocalKindMismatch {
+                local,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "local array #{} holds {actual} elements but was accessed as {expected}",
+                local.0
+            ),
+            FaultKind::LocalOutOfBounds { local, index, len } => write!(
+                f,
+                "local access to #{}[{index}] out of bounds (len {len})",
+                local.0
+            ),
+        }
+    }
+}
+
+/// A fault with the coordinates of the offending work item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fault {
+    /// The fault category and parameters.
+    pub kind: FaultKind,
+    /// Work-group coordinate.
+    pub group: [usize; 3],
+    /// Local work-item coordinate within the group.
+    pub local: [usize; 3],
+    /// Phase in which the fault occurred.
+    pub phase: usize,
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} (group {:?}, item {:?}, phase {})",
+            self.kind, self.group, self.local, self.phase
+        )
+    }
+}
+
+/// Bounded log of kernel faults for one launch.
+#[derive(Debug, Default)]
+pub(crate) struct FaultLog {
+    pub faults: Vec<Fault>,
+    pub total: usize,
+}
+
+impl FaultLog {
+    const LIMIT: usize = 16;
+
+    pub fn push(&mut self, fault: Fault) {
+        self.total += 1;
+        if self.faults.len() < Self::LIMIT {
+            self.faults.push(fault);
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+}
+
+/// Per-phase profiling accumulators (only allocated when profiling is on).
+#[derive(Debug)]
+pub(crate) struct PhaseProfile {
+    pub coalesce: CoalesceTracker,
+    pub banks: BankTracker,
+    /// Per-wavefront maximum of per-lane op counts in the current phase.
+    pub wf_max_ops: Vec<u64>,
+}
+
+impl PhaseProfile {
+    pub fn new(waves_per_group: usize) -> Self {
+        Self {
+            coalesce: CoalesceTracker::new(),
+            banks: BankTracker::new(),
+            wf_max_ops: vec![0; waves_per_group],
+        }
+    }
+
+    pub fn reset_phase(&mut self) {
+        self.wf_max_ops.iter_mut().for_each(|v| *v = 0);
+    }
+}
+
+/// Execution context handed to a kernel for one work item in one phase.
+///
+/// All accessors are infallible from the kernel's perspective: invalid
+/// accesses are recorded as [`Fault`]s (surfaced as an error when the launch
+/// finishes) and reads return `Default::default()`.
+pub struct ItemCtx<'a> {
+    pub(crate) range: &'a NdRange,
+    pub(crate) cfg: &'a DeviceConfig,
+    pub(crate) group: [usize; 3],
+    pub(crate) local: [usize; 3],
+    pub(crate) phase: usize,
+    pub(crate) wavefront: u32,
+    /// Memory coalescing granule id (quarter-wavefront on GCN-class
+    /// configurations).
+    pub(crate) granule: u32,
+    pub(crate) bufs: &'a mut [Option<RawBuffer>],
+    pub(crate) arena: &'a mut LocalArena,
+    pub(crate) profile: Option<&'a mut PhaseProfile>,
+    pub(crate) faults: &'a mut FaultLog,
+    pub(crate) local_seq: u32,
+    pub(crate) global_seq: u32,
+    pub(crate) item_ops: u64,
+}
+
+impl std::fmt::Debug for ItemCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ItemCtx")
+            .field("group", &self.group)
+            .field("local", &self.local)
+            .field("phase", &self.phase)
+            .field("wavefront", &self.wavefront)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> ItemCtx<'a> {
+    /// Global work-item id in dimension `d` (OpenCL `get_global_id`).
+    pub fn global_id(&self, d: usize) -> usize {
+        self.group.get(d).copied().unwrap_or(0) * self.range.local_size(d)
+            + self.local.get(d).copied().unwrap_or(0)
+    }
+
+    /// Local work-item id in dimension `d` (OpenCL `get_local_id`).
+    pub fn local_id(&self, d: usize) -> usize {
+        self.local.get(d).copied().unwrap_or(0)
+    }
+
+    /// Work-group id in dimension `d` (OpenCL `get_group_id`).
+    pub fn group_id(&self, d: usize) -> usize {
+        self.group.get(d).copied().unwrap_or(0)
+    }
+
+    /// Global size in dimension `d` (OpenCL `get_global_size`).
+    pub fn global_size(&self, d: usize) -> usize {
+        self.range.global_size(d)
+    }
+
+    /// Local (work-group) size in dimension `d` (OpenCL `get_local_size`).
+    pub fn local_size(&self, d: usize) -> usize {
+        self.range.local_size(d)
+    }
+
+    /// Number of work groups in dimension `d` (OpenCL `get_num_groups`).
+    pub fn num_groups(&self, d: usize) -> usize {
+        self.range.num_groups(d)
+    }
+
+    /// Flat index of this work item within its group (dimension 0 fastest).
+    pub fn flat_local_id(&self) -> usize {
+        self.range.flatten_local(self.local)
+    }
+
+    /// Total number of work items in the group.
+    pub fn group_size(&self) -> usize {
+        self.range.group_size_total()
+    }
+
+    /// The current phase index.
+    pub fn phase(&self) -> usize {
+        self.phase
+    }
+
+    fn fault(&mut self, kind: FaultKind) {
+        self.faults.push(Fault {
+            kind,
+            group: self.group,
+            local: self.local,
+            phase: self.phase,
+        });
+    }
+
+    /// Reads one element from a global buffer.
+    ///
+    /// Faults (recorded, returns default): unknown buffer, element-kind
+    /// mismatch, out-of-bounds index.
+    pub fn read_global<T: Scalar>(&mut self, buffer: BufferId, index: usize) -> T {
+        match self.global_access(buffer, index, T::KIND, Dir::Read) {
+            Some(slot) => T::from_bits64(slot),
+            None => T::default(),
+        }
+    }
+
+    /// Writes one element to a global buffer. Faults as
+    /// [`ItemCtx::read_global`].
+    pub fn write_global<T: Scalar>(&mut self, buffer: BufferId, index: usize, value: T) {
+        let bits = value.to_bits64();
+        if let Some(buf) = self.check_global(buffer, index, T::KIND, Dir::Write) {
+            self.bufs[buf].as_mut().expect("checked").data[index] = bits;
+        }
+    }
+
+    fn global_access(
+        &mut self,
+        buffer: BufferId,
+        index: usize,
+        kind: ElemKind,
+        dir: Dir,
+    ) -> Option<u64> {
+        let slot = self.check_global(buffer, index, kind, dir)?;
+        Some(self.bufs[slot].as_ref().expect("checked").data[index])
+    }
+
+    /// Validates the access, records it for profiling, and returns the
+    /// buffer slot index if valid.
+    fn check_global(
+        &mut self,
+        buffer: BufferId,
+        index: usize,
+        kind: ElemKind,
+        dir: Dir,
+    ) -> Option<usize> {
+        let slot = buffer.index();
+        let raw = match self.bufs.get(slot).and_then(Option::as_ref) {
+            Some(raw) => raw,
+            None => {
+                self.fault(FaultKind::UnknownBuffer { buffer });
+                return None;
+            }
+        };
+        if raw.kind != kind {
+            let actual = raw.kind;
+            self.fault(FaultKind::BufferKindMismatch {
+                buffer,
+                expected: kind,
+                actual,
+            });
+            return None;
+        }
+        if index >= raw.len() {
+            let len = raw.len();
+            self.fault(FaultKind::GlobalOutOfBounds { buffer, index, len });
+            return None;
+        }
+        let addr = raw.elem_addr(index);
+        let bytes = raw.kind.bytes() as u32;
+        let (granule, txn) = (self.granule, self.cfg.transaction_bytes as u64);
+        let seq = self.global_seq;
+        self.global_seq += 1;
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.coalesce.record(granule, seq, dir, addr, bytes, txn);
+        }
+        Some(slot)
+    }
+
+    /// Reads one element from a local array.
+    ///
+    /// Faults (recorded, returns default): undeclared array, element-kind
+    /// mismatch, out-of-bounds index.
+    pub fn read_local<T: Scalar>(&mut self, local: LocalId, index: usize) -> T {
+        if !self.check_local(local, index, T::KIND) {
+            return T::default();
+        }
+        self.record_local(local, index);
+        T::from_bits64(self.arena.read(local, index).expect("checked"))
+    }
+
+    /// Writes one element to a local array. Faults as
+    /// [`ItemCtx::read_local`].
+    pub fn write_local<T: Scalar>(&mut self, local: LocalId, index: usize, value: T) {
+        if !self.check_local(local, index, T::KIND) {
+            return;
+        }
+        self.record_local(local, index);
+        self.arena
+            .write(local, index, value.to_bits64())
+            .expect("checked");
+    }
+
+    fn check_local(&mut self, local: LocalId, index: usize, kind: ElemKind) -> bool {
+        let spec = match self.arena.spec(local) {
+            Some(spec) => spec,
+            None => {
+                self.fault(FaultKind::UnknownLocal { local });
+                return false;
+            }
+        };
+        if spec.kind != kind {
+            self.fault(FaultKind::LocalKindMismatch {
+                local,
+                expected: kind,
+                actual: spec.kind,
+            });
+            return false;
+        }
+        if index >= spec.len {
+            self.fault(FaultKind::LocalOutOfBounds {
+                local,
+                index,
+                len: spec.len,
+            });
+            return false;
+        }
+        true
+    }
+
+    fn record_local(&mut self, local: LocalId, index: usize) {
+        let word = self.arena.word_addr(local, index);
+        let seq = self.local_seq;
+        self.local_seq += 1;
+        let (wf, banks) = (self.wavefront, self.cfg.local_banks as u64);
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.banks.record(wf, seq, word, banks);
+        }
+    }
+
+    /// Reports `n` ALU operations executed by this work item. The timing
+    /// model charges each wavefront the maximum op count among its lanes
+    /// (SIMD lockstep), so divergent lanes slow their whole wavefront.
+    pub fn ops(&mut self, n: u64) {
+        self.item_ops += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_log_caps_stored_faults() {
+        let mut log = FaultLog::default();
+        for i in 0..100 {
+            log.push(Fault {
+                kind: FaultKind::GlobalOutOfBounds {
+                    buffer: BufferId(0),
+                    index: i,
+                    len: 1,
+                },
+                group: [0; 3],
+                local: [0; 3],
+                phase: 0,
+            });
+        }
+        assert_eq!(log.total, 100);
+        assert_eq!(log.faults.len(), 16);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn fault_display_is_informative() {
+        let f = Fault {
+            kind: FaultKind::GlobalOutOfBounds {
+                buffer: BufferId(2),
+                index: 9,
+                len: 4,
+            },
+            group: [1, 0, 0],
+            local: [3, 0, 0],
+            phase: 1,
+        };
+        let s = f.to_string();
+        assert!(s.contains("buf#2"), "{s}");
+        assert!(s.contains("out of bounds"), "{s}");
+        assert!(s.contains("phase 1"), "{s}");
+    }
+
+    #[test]
+    fn fault_kind_display_variants() {
+        let cases: Vec<FaultKind> = vec![
+            FaultKind::UnknownBuffer {
+                buffer: BufferId(0),
+            },
+            FaultKind::BufferKindMismatch {
+                buffer: BufferId(0),
+                expected: ElemKind::F32,
+                actual: ElemKind::I32,
+            },
+            FaultKind::UnknownLocal { local: LocalId(3) },
+            FaultKind::LocalKindMismatch {
+                local: LocalId(1),
+                expected: ElemKind::I32,
+                actual: ElemKind::F32,
+            },
+            FaultKind::LocalOutOfBounds {
+                local: LocalId(0),
+                index: 8,
+                len: 8,
+            },
+        ];
+        for kind in cases {
+            assert!(!kind.to_string().is_empty());
+        }
+    }
+}

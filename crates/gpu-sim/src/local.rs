@@ -1,0 +1,325 @@
+//! Local (shared) memory: per-work-group scratchpad with bank accounting.
+//!
+//! Local memory is the centerpiece of the paper: the perforation pipeline
+//! loads a sparse subset of the input tile into local memory, reconstructs
+//! the missing elements there, and then runs the kernel body against the
+//! reconstructed tile. Local memory is modeled as a banked scratchpad:
+//! within one access step of a wavefront, lanes hitting different words in
+//! the *same* bank serialize, while lanes reading the same word broadcast.
+
+use crate::buffer::ElemKind;
+
+/// Declaration of one local-memory array required by a kernel.
+///
+/// The simulator allocates one instance per work group (conceptually; the
+/// arena is reused across groups since groups execute sequentially).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalSpec {
+    /// Element type of the array.
+    pub kind: ElemKind,
+    /// Number of elements.
+    pub len: usize,
+}
+
+impl LocalSpec {
+    /// Creates a spec for `len` elements of kind `kind`.
+    pub fn new(kind: ElemKind, len: usize) -> Self {
+        Self { kind, len }
+    }
+
+    /// Size of the array in bytes.
+    pub fn bytes(&self) -> usize {
+        self.len * self.kind.bytes()
+    }
+}
+
+/// Handle to a local array declared by the running kernel.
+///
+/// The handle is the positional index of the array in
+/// [`crate::Kernel::local_buffers`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LocalId(pub usize);
+
+/// Backing storage for the local arrays of the currently executing group.
+#[derive(Debug)]
+pub(crate) struct LocalArena {
+    specs: Vec<LocalSpec>,
+    data: Vec<Vec<u64>>,
+    written: Vec<Vec<bool>>,
+    /// Word offset of each array in the flat banked address space, in
+    /// 4-byte words (banking granularity).
+    word_base: Vec<u64>,
+    pub uninit_reads: u64,
+}
+
+impl LocalArena {
+    pub fn new(specs: &[LocalSpec]) -> Self {
+        let mut word_base = Vec::with_capacity(specs.len());
+        let mut base = 0u64;
+        for s in specs {
+            word_base.push(base);
+            base += s.bytes().div_ceil(4) as u64;
+        }
+        Self {
+            specs: specs.to_vec(),
+            data: specs.iter().map(|s| vec![0; s.len]).collect(),
+            written: specs.iter().map(|s| vec![false; s.len]).collect(),
+            word_base,
+            uninit_reads: 0,
+        }
+    }
+
+    /// Total bytes of local memory used by the kernel (drives occupancy).
+    pub fn total_bytes(&self) -> usize {
+        self.specs.iter().map(LocalSpec::bytes).sum()
+    }
+
+    /// Resets contents between work groups. OpenCL local memory is
+    /// uninitialized at group start; we zero it and track "written" bits so
+    /// reads of never-written elements can be surfaced as a statistic.
+    pub fn reset(&mut self) {
+        for arr in &mut self.data {
+            arr.iter_mut().for_each(|v| *v = 0);
+        }
+        for w in &mut self.written {
+            w.iter_mut().for_each(|v| *v = false);
+        }
+    }
+
+    pub fn spec(&self, id: LocalId) -> Option<LocalSpec> {
+        self.specs.get(id.0).copied()
+    }
+
+    pub fn read(&mut self, id: LocalId, idx: usize) -> Option<u64> {
+        let arr = self.data.get(id.0)?;
+        let v = *arr.get(idx)?;
+        if !self.written[id.0][idx] {
+            self.uninit_reads += 1;
+        }
+        Some(v)
+    }
+
+    pub fn write(&mut self, id: LocalId, idx: usize, bits: u64) -> Option<()> {
+        let arr = self.data.get_mut(id.0)?;
+        let slot = arr.get_mut(idx)?;
+        *slot = bits;
+        self.written[id.0][idx] = true;
+        Some(())
+    }
+
+    /// Flat word address of element `idx` of array `id`, for banking.
+    pub fn word_addr(&self, id: LocalId, idx: usize) -> u64 {
+        let byte = (idx * self.specs[id.0].kind.bytes()) as u64;
+        self.word_base[id.0] + byte / 4
+    }
+}
+
+/// Records local-memory accesses of one work group within one phase and
+/// computes the serialized access-step count including bank conflicts.
+///
+/// Lanes of a wavefront are aligned by their access sequence number: the
+/// k-th local access of every lane forms one hardware access step. Within a
+/// step, the cost factor is the maximum number of *distinct words* mapped
+/// to any single bank (same-word accesses broadcast for reads; we apply the
+/// broadcast rule uniformly, which is the common case in the perforation
+/// kernels where conflicts come from strided tile columns).
+#[derive(Debug, Default)]
+pub struct BankTracker {
+    /// Packed entries: (wavefront << 32 | seq, bank, word).
+    entries: Vec<(u64, u32, u64)>,
+    /// Total element accesses (reads + writes).
+    pub accesses: u64,
+}
+
+/// Bank-conflict reduction of one phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BankSummary {
+    /// Number of serialized access steps after conflict expansion.
+    pub steps: u64,
+    /// Steps that would have been needed with zero conflicts.
+    pub ideal_steps: u64,
+    /// Element accesses in this phase.
+    pub accesses: u64,
+}
+
+impl BankSummary {
+    /// Extra steps caused purely by bank conflicts.
+    pub fn conflict_steps(&self) -> u64 {
+        self.steps.saturating_sub(self.ideal_steps)
+    }
+}
+
+impl BankTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the `seq`-th local access of a lane in `wavefront` touching
+    /// flat word address `word` given `banks` local banks.
+    pub fn record(&mut self, wavefront: u32, seq: u32, word: u64, banks: u64) {
+        let bank = (word % banks) as u32;
+        self.entries
+            .push(((u64::from(wavefront) << 32) | u64::from(seq), bank, word));
+        self.accesses += 1;
+    }
+
+    /// Collapses the phase into serialized step counts and resets.
+    pub fn finish_phase(&mut self) -> BankSummary {
+        self.entries.sort_unstable();
+        let mut steps = 0u64;
+        let mut ideal_steps = 0u64;
+        let mut i = 0;
+        while i < self.entries.len() {
+            let step_key = self.entries[i].0;
+            let mut j = i;
+            while j < self.entries.len() && self.entries[j].0 == step_key {
+                j += 1;
+            }
+            // Within one step: count distinct words per bank.
+            let mut slice: Vec<(u32, u64)> =
+                self.entries[i..j].iter().map(|&(_, b, w)| (b, w)).collect();
+            slice.sort_unstable();
+            slice.dedup();
+            let mut worst = 1u64;
+            let mut k = 0;
+            while k < slice.len() {
+                let bank = slice[k].0;
+                let mut m = k;
+                while m < slice.len() && slice[m].0 == bank {
+                    m += 1;
+                }
+                worst = worst.max((m - k) as u64);
+                k = m;
+            }
+            steps += worst;
+            ideal_steps += 1;
+            i = j;
+        }
+        let summary = BankSummary {
+            steps,
+            ideal_steps,
+            accesses: self.accesses,
+        };
+        self.entries.clear();
+        self.accesses = 0;
+        summary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_spec_bytes() {
+        assert_eq!(LocalSpec::new(ElemKind::F32, 100).bytes(), 400);
+        assert_eq!(LocalSpec::new(ElemKind::U8, 100).bytes(), 100);
+    }
+
+    #[test]
+    fn arena_read_write_roundtrip() {
+        let mut a = LocalArena::new(&[LocalSpec::new(ElemKind::F32, 8)]);
+        a.write(LocalId(0), 3, 42).unwrap();
+        assert_eq!(a.read(LocalId(0), 3), Some(42));
+        assert_eq!(a.uninit_reads, 0);
+    }
+
+    #[test]
+    fn arena_counts_uninitialized_reads() {
+        let mut a = LocalArena::new(&[LocalSpec::new(ElemKind::F32, 8)]);
+        let _ = a.read(LocalId(0), 0);
+        assert_eq!(a.uninit_reads, 1);
+    }
+
+    #[test]
+    fn arena_reset_clears_written_bits() {
+        let mut a = LocalArena::new(&[LocalSpec::new(ElemKind::F32, 4)]);
+        a.write(LocalId(0), 0, 7).unwrap();
+        a.reset();
+        assert_eq!(a.read(LocalId(0), 0), Some(0));
+        assert_eq!(a.uninit_reads, 1);
+    }
+
+    #[test]
+    fn arena_out_of_bounds_is_none() {
+        let mut a = LocalArena::new(&[LocalSpec::new(ElemKind::F32, 4)]);
+        assert!(a.read(LocalId(0), 4).is_none());
+        assert!(a.read(LocalId(1), 0).is_none());
+        assert!(a.write(LocalId(0), 10, 0).is_none());
+    }
+
+    #[test]
+    fn word_addresses_are_disjoint_across_arrays() {
+        let a = LocalArena::new(&[
+            LocalSpec::new(ElemKind::F32, 4),
+            LocalSpec::new(ElemKind::F32, 4),
+        ]);
+        assert_eq!(a.word_addr(LocalId(0), 3), 3);
+        assert_eq!(a.word_addr(LocalId(1), 0), 4);
+    }
+
+    #[test]
+    fn conflict_free_step_costs_one() {
+        let mut t = BankTracker::new();
+        // 4 lanes hit 4 consecutive words -> 4 different banks.
+        for lane_word in 0..4u64 {
+            t.record(0, 0, lane_word, 8);
+        }
+        let s = t.finish_phase();
+        assert_eq!(s.steps, 1);
+        assert_eq!(s.ideal_steps, 1);
+        assert_eq!(s.conflict_steps(), 0);
+    }
+
+    #[test]
+    fn same_word_broadcasts() {
+        let mut t = BankTracker::new();
+        for _ in 0..4 {
+            t.record(0, 0, 5, 8);
+        }
+        let s = t.finish_phase();
+        assert_eq!(s.steps, 1);
+    }
+
+    #[test]
+    fn stride_equal_to_banks_serializes() {
+        let mut t = BankTracker::new();
+        // 4 lanes, stride 8 words with 8 banks: all map to bank 0.
+        for lane in 0..4u64 {
+            t.record(0, 0, lane * 8, 8);
+        }
+        let s = t.finish_phase();
+        assert_eq!(s.steps, 4);
+        assert_eq!(s.conflict_steps(), 3);
+    }
+
+    #[test]
+    fn separate_seq_numbers_are_separate_steps() {
+        let mut t = BankTracker::new();
+        t.record(0, 0, 0, 8);
+        t.record(0, 1, 8, 8); // same bank, different step: no conflict
+        let s = t.finish_phase();
+        assert_eq!(s.steps, 2);
+        assert_eq!(s.ideal_steps, 2);
+    }
+
+    #[test]
+    fn different_wavefronts_do_not_conflict() {
+        let mut t = BankTracker::new();
+        t.record(0, 0, 0, 8);
+        t.record(1, 0, 8, 8);
+        let s = t.finish_phase();
+        assert_eq!(s.steps, 2);
+        assert_eq!(s.ideal_steps, 2);
+    }
+
+    #[test]
+    fn finish_phase_resets() {
+        let mut t = BankTracker::new();
+        t.record(0, 0, 0, 8);
+        let _ = t.finish_phase();
+        let s = t.finish_phase();
+        assert_eq!(s, BankSummary::default());
+    }
+}

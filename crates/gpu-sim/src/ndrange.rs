@@ -1,0 +1,277 @@
+//! NDRange geometry: global/local sizes, work-group and work-item
+//! coordinates, in up to three dimensions (OpenCL semantics).
+
+use std::fmt;
+
+/// Up to three dimensions of global and local work sizes.
+///
+/// As in OpenCL 1.x, every global size must be a multiple of the
+/// corresponding local size; [`NdRange::new`] enforces this.
+///
+/// # Examples
+///
+/// ```
+/// use kp_gpu_sim::NdRange;
+///
+/// let r = NdRange::new_2d((1024, 1024), (16, 16)).unwrap();
+/// assert_eq!(r.num_groups_total(), 64 * 64);
+/// assert_eq!(r.group_size_total(), 256);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NdRange {
+    dims: usize,
+    global: [usize; 3],
+    local: [usize; 3],
+}
+
+/// Error produced when an [`NdRange`] is geometrically invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NdRangeError {
+    /// Number of dimensions outside `1..=3`.
+    BadDims(usize),
+    /// A size component was zero.
+    ZeroSize {
+        /// The offending dimension.
+        dim: usize,
+    },
+    /// `global[dim]` is not a multiple of `local[dim]`.
+    NotDivisible {
+        /// The offending dimension.
+        dim: usize,
+        /// Global size in that dimension.
+        global: usize,
+        /// Local size in that dimension.
+        local: usize,
+    },
+}
+
+impl fmt::Display for NdRangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NdRangeError::BadDims(d) => write!(f, "ndrange dimensions must be 1..=3, got {d}"),
+            NdRangeError::ZeroSize { dim } => write!(f, "ndrange size in dimension {dim} is zero"),
+            NdRangeError::NotDivisible { dim, global, local } => write!(
+                f,
+                "global size {global} not divisible by local size {local} in dimension {dim}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NdRangeError {}
+
+impl NdRange {
+    /// Creates an NDRange with explicit dimension count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NdRangeError`] if `dims` is not in `1..=3`, any used size
+    /// component is zero, or a global size is not divisible by the local
+    /// size (OpenCL 1.x uniform work-group requirement).
+    pub fn new(dims: usize, global: [usize; 3], local: [usize; 3]) -> Result<Self, NdRangeError> {
+        if !(1..=3).contains(&dims) {
+            return Err(NdRangeError::BadDims(dims));
+        }
+        let mut g = [1usize; 3];
+        let mut l = [1usize; 3];
+        for d in 0..dims {
+            if global[d] == 0 || local[d] == 0 {
+                return Err(NdRangeError::ZeroSize { dim: d });
+            }
+            if global[d] % local[d] != 0 {
+                return Err(NdRangeError::NotDivisible {
+                    dim: d,
+                    global: global[d],
+                    local: local[d],
+                });
+            }
+            g[d] = global[d];
+            l[d] = local[d];
+        }
+        Ok(Self {
+            dims,
+            global: g,
+            local: l,
+        })
+    }
+
+    /// Convenience constructor for a 1D range.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NdRange::new`].
+    pub fn new_1d(global: usize, local: usize) -> Result<Self, NdRangeError> {
+        Self::new(1, [global, 1, 1], [local, 1, 1])
+    }
+
+    /// Convenience constructor for a 2D range.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NdRange::new`].
+    pub fn new_2d(global: (usize, usize), local: (usize, usize)) -> Result<Self, NdRangeError> {
+        Self::new(2, [global.0, global.1, 1], [local.0, local.1, 1])
+    }
+
+    /// Number of dimensions (1, 2 or 3).
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Global size in dimension `d` (1 for unused dimensions).
+    pub fn global_size(&self, d: usize) -> usize {
+        self.global.get(d).copied().unwrap_or(1)
+    }
+
+    /// Local (work-group) size in dimension `d` (1 for unused dimensions).
+    pub fn local_size(&self, d: usize) -> usize {
+        self.local.get(d).copied().unwrap_or(1)
+    }
+
+    /// Number of work groups in dimension `d`.
+    pub fn num_groups(&self, d: usize) -> usize {
+        self.global_size(d) / self.local_size(d)
+    }
+
+    /// Total number of work items in one work group.
+    pub fn group_size_total(&self) -> usize {
+        self.local.iter().product()
+    }
+
+    /// Total number of work groups in the launch.
+    pub fn num_groups_total(&self) -> usize {
+        (0..3).map(|d| self.num_groups(d)).product()
+    }
+
+    /// Total number of work items in the launch.
+    pub fn global_size_total(&self) -> usize {
+        self.global.iter().product()
+    }
+
+    /// Iterates over all work-group coordinates in row-major order
+    /// (dimension 0 fastest), matching the simulator's deterministic
+    /// execution order.
+    pub fn group_coords(&self) -> impl Iterator<Item = [usize; 3]> + '_ {
+        let (gx, gy, gz) = (self.num_groups(0), self.num_groups(1), self.num_groups(2));
+        (0..gz).flat_map(move |z| (0..gy).flat_map(move |y| (0..gx).map(move |x| [x, y, z])))
+    }
+
+    /// Iterates over all local work-item coordinates of one group in
+    /// row-major order (dimension 0 fastest).
+    pub fn local_coords(&self) -> impl Iterator<Item = [usize; 3]> + '_ {
+        let (lx, ly, lz) = (self.local_size(0), self.local_size(1), self.local_size(2));
+        (0..lz).flat_map(move |z| (0..ly).flat_map(move |y| (0..lx).map(move |x| [x, y, z])))
+    }
+
+    /// Flat (linearized) index of a local coordinate within its work group,
+    /// dimension 0 fastest. This is the index used to assign work items to
+    /// wavefronts, mirroring how hardware linearizes work groups.
+    pub fn flatten_local(&self, local: [usize; 3]) -> usize {
+        local[0] + self.local_size(0) * (local[1] + self.local_size(1) * local[2])
+    }
+}
+
+impl fmt::Display for NdRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.dims {
+            1 => write!(f, "global {} / local {}", self.global[0], self.local[0]),
+            2 => write!(
+                f,
+                "global {}x{} / local {}x{}",
+                self.global[0], self.global[1], self.local[0], self.local[1]
+            ),
+            _ => write!(
+                f,
+                "global {}x{}x{} / local {}x{}x{}",
+                self.global[0],
+                self.global[1],
+                self.global[2],
+                self.local[0],
+                self.local[1],
+                self.local[2]
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_2d_geometry() {
+        let r = NdRange::new_2d((64, 32), (16, 8)).unwrap();
+        assert_eq!(r.dims(), 2);
+        assert_eq!(r.num_groups(0), 4);
+        assert_eq!(r.num_groups(1), 4);
+        assert_eq!(r.num_groups_total(), 16);
+        assert_eq!(r.group_size_total(), 128);
+        assert_eq!(r.global_size_total(), 2048);
+    }
+
+    #[test]
+    fn unused_dimensions_are_one() {
+        let r = NdRange::new_1d(100, 10).unwrap();
+        assert_eq!(r.global_size(1), 1);
+        assert_eq!(r.local_size(2), 1);
+        assert_eq!(r.num_groups(1), 1);
+    }
+
+    #[test]
+    fn rejects_indivisible() {
+        let err = NdRange::new_2d((100, 100), (16, 10)).unwrap_err();
+        assert_eq!(
+            err,
+            NdRangeError::NotDivisible {
+                dim: 0,
+                global: 100,
+                local: 16
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_zero_sizes() {
+        assert!(matches!(
+            NdRange::new_1d(0, 1),
+            Err(NdRangeError::ZeroSize { dim: 0 })
+        ));
+        assert!(matches!(
+            NdRange::new_1d(16, 0),
+            Err(NdRangeError::ZeroSize { dim: 0 })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_dims() {
+        assert!(matches!(
+            NdRange::new(0, [1, 1, 1], [1, 1, 1]),
+            Err(NdRangeError::BadDims(0))
+        ));
+        assert!(matches!(
+            NdRange::new(4, [1, 1, 1], [1, 1, 1]),
+            Err(NdRangeError::BadDims(4))
+        ));
+    }
+
+    #[test]
+    fn group_coords_are_row_major_and_complete() {
+        let r = NdRange::new_2d((4, 4), (2, 2)).unwrap();
+        let coords: Vec<_> = r.group_coords().collect();
+        assert_eq!(coords, vec![[0, 0, 0], [1, 0, 0], [0, 1, 0], [1, 1, 0]]);
+    }
+
+    #[test]
+    fn local_coords_match_flatten() {
+        let r = NdRange::new_2d((8, 8), (4, 2)).unwrap();
+        for (i, c) in r.local_coords().enumerate() {
+            assert_eq!(r.flatten_local(c), i);
+        }
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let r = NdRange::new_2d((64, 32), (16, 8)).unwrap();
+        assert_eq!(r.to_string(), "global 64x32 / local 16x8");
+    }
+}

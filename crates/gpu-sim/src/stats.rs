@@ -1,0 +1,250 @@
+//! Launch reports: everything the timing model and the experiment harness
+//! need to know about one kernel execution.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::DeviceConfig;
+
+/// Aggregated memory/compute statistics of one launch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LaunchStats {
+    /// L1 (per-granule) read transactions across all groups and phases.
+    pub global_read_transactions: u64,
+    /// L1 (per-granule) write transactions.
+    pub global_write_transactions: u64,
+    /// DRAM (per-group footprint) read transactions.
+    pub dram_read_transactions: u64,
+    /// DRAM (per-group footprint) write transactions.
+    pub dram_write_transactions: u64,
+    /// Bytes requested by kernel code (element loads/stores × size).
+    pub global_bytes_requested: u64,
+    /// Bytes moved over the memory bus (transactions × transaction size).
+    pub global_bytes_transferred: u64,
+    /// Element-granular global reads.
+    pub global_element_reads: u64,
+    /// Element-granular global writes.
+    pub global_element_writes: u64,
+    /// Element-granular local-memory accesses (reads + writes).
+    pub local_accesses: u64,
+    /// Serialized local access steps (includes conflict expansion).
+    pub local_steps: u64,
+    /// Extra local steps caused by bank conflicts.
+    pub local_conflict_steps: u64,
+    /// Total ALU operations reported by kernel code.
+    pub alu_ops: u64,
+    /// Reads of local memory elements never written in the current group.
+    pub uninit_local_reads: u64,
+}
+
+impl LaunchStats {
+    /// Total global transactions (reads + writes).
+    pub fn global_transactions(&self) -> u64 {
+        self.global_read_transactions + self.global_write_transactions
+    }
+
+    /// Fraction of transferred bytes that no lane requested, in `[0, 1]`.
+    /// Zero when nothing was transferred.
+    pub fn waste_ratio(&self) -> f64 {
+        if self.global_bytes_transferred == 0 {
+            return 0.0;
+        }
+        let wasted = self
+            .global_bytes_transferred
+            .saturating_sub(self.global_bytes_requested);
+        wasted as f64 / self.global_bytes_transferred as f64
+    }
+
+    pub(crate) fn accumulate(&mut self, other: &LaunchStats) {
+        self.global_read_transactions += other.global_read_transactions;
+        self.global_write_transactions += other.global_write_transactions;
+        self.dram_read_transactions += other.dram_read_transactions;
+        self.dram_write_transactions += other.dram_write_transactions;
+        self.global_bytes_requested += other.global_bytes_requested;
+        self.global_bytes_transferred += other.global_bytes_transferred;
+        self.global_element_reads += other.global_element_reads;
+        self.global_element_writes += other.global_element_writes;
+        self.local_accesses += other.local_accesses;
+        self.local_steps += other.local_steps;
+        self.local_conflict_steps += other.local_conflict_steps;
+        self.alu_ops += other.alu_ops;
+        self.uninit_local_reads += other.uninit_local_reads;
+    }
+}
+
+/// Cycle breakdown of one launch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimingBreakdown {
+    /// Cycles spent in global-memory-bound portions (summed over groups).
+    pub memory_cycles: u64,
+    /// Cycles spent in ALU + local-memory portions (summed over groups).
+    pub compute_cycles: u64,
+    /// Barrier and dispatch overhead cycles (summed over groups).
+    pub overhead_cycles: u64,
+    /// Per-group serialized cycles before device-level parallelism
+    /// (sum over all groups of each group's critical path).
+    pub group_cycles_total: u64,
+    /// Final device cycles after dividing by compute-unit parallelism.
+    pub device_cycles: u64,
+}
+
+/// Occupancy figures derived from the kernel's resource usage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Occupancy {
+    /// Wavefronts per work group.
+    pub waves_per_group: usize,
+    /// Concurrent work groups per compute unit.
+    pub groups_per_cu: usize,
+    /// Local memory bytes used per work group.
+    pub local_bytes_per_group: usize,
+}
+
+impl Default for Occupancy {
+    fn default() -> Self {
+        Self {
+            waves_per_group: 1,
+            groups_per_cu: 1,
+            local_bytes_per_group: 0,
+        }
+    }
+}
+
+/// Full report of one kernel launch: functional side effects live in the
+/// device's buffers; this captures the performance model's view.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LaunchReport {
+    /// Kernel name as reported by [`crate::Kernel::name`].
+    pub kernel: String,
+    /// Number of work groups executed.
+    pub groups: usize,
+    /// Number of barrier-separated phases.
+    pub phases: usize,
+    /// Whether profiling (transaction/bank tracking) was enabled. When
+    /// false the stats and timing fields are zero.
+    pub profiled: bool,
+    /// Aggregated statistics.
+    pub stats: LaunchStats,
+    /// Cycle accounting.
+    pub timing: TimingBreakdown,
+    /// Occupancy snapshot.
+    pub occupancy: Occupancy,
+    /// Simulated wall-clock seconds for the launch.
+    pub seconds: f64,
+}
+
+impl LaunchReport {
+    pub(crate) fn finalize(&mut self, cfg: &DeviceConfig) {
+        self.seconds = cfg.cycles_to_seconds(self.timing.device_cycles);
+    }
+
+    /// Simulated execution time in milliseconds.
+    pub fn millis(&self) -> f64 {
+        self.seconds * 1e3
+    }
+
+    /// Combines several launches (e.g. iterative solvers that launch one
+    /// kernel per step) into a single aggregate report.
+    pub fn combine<'a>(reports: impl IntoIterator<Item = &'a LaunchReport>) -> LaunchReport {
+        let mut out: Option<LaunchReport> = None;
+        for r in reports {
+            match &mut out {
+                None => out = Some(r.clone()),
+                Some(acc) => {
+                    acc.groups += r.groups;
+                    acc.stats.accumulate(&r.stats);
+                    acc.timing.memory_cycles += r.timing.memory_cycles;
+                    acc.timing.compute_cycles += r.timing.compute_cycles;
+                    acc.timing.overhead_cycles += r.timing.overhead_cycles;
+                    acc.timing.group_cycles_total += r.timing.group_cycles_total;
+                    acc.timing.device_cycles += r.timing.device_cycles;
+                    acc.seconds += r.seconds;
+                    acc.profiled &= r.profiled;
+                }
+            }
+        }
+        out.unwrap_or_else(|| LaunchReport {
+            kernel: "<empty>".to_owned(),
+            groups: 0,
+            phases: 0,
+            profiled: false,
+            stats: LaunchStats::default(),
+            timing: TimingBreakdown::default(),
+            occupancy: Occupancy::default(),
+            seconds: 0.0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cycles: u64) -> LaunchReport {
+        LaunchReport {
+            kernel: "k".into(),
+            groups: 2,
+            phases: 1,
+            profiled: true,
+            stats: LaunchStats {
+                alu_ops: 10,
+                ..Default::default()
+            },
+            timing: TimingBreakdown {
+                device_cycles: cycles,
+                ..Default::default()
+            },
+            occupancy: Occupancy::default(),
+            seconds: 0.0,
+        }
+    }
+
+    #[test]
+    fn waste_ratio_zero_when_idle() {
+        assert_eq!(LaunchStats::default().waste_ratio(), 0.0);
+    }
+
+    #[test]
+    fn waste_ratio_computed() {
+        let s = LaunchStats {
+            global_bytes_transferred: 200,
+            global_bytes_requested: 150,
+            ..Default::default()
+        };
+        assert!((s.waste_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn waste_ratio_clamps_on_rereads() {
+        let s = LaunchStats {
+            global_bytes_transferred: 100,
+            global_bytes_requested: 400,
+            ..Default::default()
+        };
+        assert_eq!(s.waste_ratio(), 0.0);
+    }
+
+    #[test]
+    fn combine_sums_cycles_and_stats() {
+        let a = report(100);
+        let b = report(250);
+        let c = LaunchReport::combine([&a, &b]);
+        assert_eq!(c.timing.device_cycles, 350);
+        assert_eq!(c.groups, 4);
+        assert_eq!(c.stats.alu_ops, 20);
+    }
+
+    #[test]
+    fn combine_empty_is_identity() {
+        let c = LaunchReport::combine([]);
+        assert_eq!(c.groups, 0);
+        assert_eq!(c.seconds, 0.0);
+    }
+
+    #[test]
+    fn finalize_converts_cycles() {
+        let cfg = DeviceConfig::test_tiny(); // 1000 MHz
+        let mut r = report(1_000_000);
+        r.finalize(&cfg);
+        assert!((r.seconds - 1e-3).abs() < 1e-12);
+        assert!((r.millis() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,231 @@
+//! Analytic timing model.
+//!
+//! The model is a per-phase roofline: inside one barrier-delimited phase a
+//! work group's memory pipeline and ALU pipeline overlap, so the phase
+//! costs `max(memory, alu + local)` cycles. Phases are serialized by
+//! barriers. Device time divides the summed group time by the number of
+//! groups that execute concurrently (compute units × occupancy).
+//!
+//! The absolute constants live in [`DeviceConfig`]; only ratios matter for
+//! the paper's results (speedups are *relative* to a baseline run on the
+//! same model).
+
+use crate::coalesce::CoalesceSummary;
+use crate::config::DeviceConfig;
+use crate::local::BankSummary;
+use crate::stats::Occupancy;
+
+/// Cost of one phase of one work group.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseCost {
+    /// Cycles on the global-memory pipeline.
+    pub memory_cycles: u64,
+    /// Cycles on the ALU pipeline.
+    pub alu_cycles: u64,
+    /// Cycles on the local-memory pipeline.
+    pub local_cycles: u64,
+}
+
+impl PhaseCost {
+    /// The phase's contribution to the group's critical path:
+    /// memory overlaps with ALU + local memory.
+    pub fn critical_path(&self) -> u64 {
+        self.memory_cycles.max(self.alu_cycles + self.local_cycles)
+    }
+}
+
+/// Computes the cost of one phase from its access summaries.
+///
+/// `wf_max_ops` is the per-wavefront maximum of per-lane ALU op counts:
+/// SIMD execution runs at the pace of the slowest lane (this is where
+/// data-dependent divergence, e.g. in the median's selection network,
+/// shows up).
+pub fn phase_cost(
+    cfg: &DeviceConfig,
+    mem: &CoalesceSummary,
+    banks: &BankSummary,
+    wf_max_ops: &[u64],
+) -> PhaseCost {
+    let transactions = mem.transactions();
+    let dram_weighted = mem.dram_read_transactions as f64
+        + mem.dram_write_transactions as f64 * cfg.global_write_cost_factor;
+    let l1_weighted =
+        mem.read_transactions as f64 + mem.write_transactions as f64 * cfg.global_write_cost_factor;
+    let mut memory_cycles = (dram_weighted * cfg.global_issue_cycles as f64
+        + l1_weighted * cfg.l1_issue_cycles as f64)
+        .round() as u64;
+    if transactions > 0 {
+        let exposed = (cfg.global_latency_cycles as f64 * (1.0 - cfg.latency_hiding)).round();
+        memory_cycles += exposed as u64;
+    }
+    let alu_cycles: u64 = wf_max_ops
+        .iter()
+        .map(|&ops| ops * cfg.alu_cycles_per_op)
+        .sum();
+    let local_cycles = banks.steps * cfg.local_issue_cycles;
+    PhaseCost {
+        memory_cycles,
+        alu_cycles,
+        local_cycles,
+    }
+}
+
+/// Computes occupancy: how many groups run concurrently per compute unit,
+/// limited by local-memory capacity and resident-wavefront caps.
+pub fn occupancy(cfg: &DeviceConfig, group_size: usize, local_bytes: usize) -> Occupancy {
+    let waves_per_group = group_size.div_ceil(cfg.wavefront_size).max(1);
+    let by_waves = (cfg.max_waves_per_cu / waves_per_group).max(1);
+    let by_lds = cfg
+        .local_mem_bytes
+        .checked_div(local_bytes)
+        .map_or(cfg.max_groups_per_cu, |n| n.max(1));
+    let groups_per_cu = by_waves.min(by_lds).min(cfg.max_groups_per_cu).max(1);
+    Occupancy {
+        waves_per_group,
+        groups_per_cu,
+        local_bytes_per_group: local_bytes,
+    }
+}
+
+/// Converts the total serialized group cycles into device cycles given the
+/// machine's group-level parallelism.
+///
+/// The device executes `compute_units × groups_per_cu` groups concurrently;
+/// with thousands of uniform groups the steady-state throughput model
+/// `total / parallelism` is accurate to within one group's latency.
+pub fn device_cycles(cfg: &DeviceConfig, occ: &Occupancy, group_cycles_total: u64) -> u64 {
+    let parallelism = (cfg.compute_units * occ.groups_per_cu).max(1) as u64;
+    group_cycles_total.div_ceil(parallelism)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DeviceConfig {
+        DeviceConfig::test_tiny()
+    }
+
+    #[test]
+    fn phase_cost_zero_for_idle_phase() {
+        let c = phase_cost(
+            &cfg(),
+            &CoalesceSummary::default(),
+            &BankSummary::default(),
+            &[],
+        );
+        assert_eq!(c, PhaseCost::default());
+        assert_eq!(c.critical_path(), 0);
+    }
+
+    #[test]
+    fn memory_cycles_scale_with_transactions() {
+        let mem1 = CoalesceSummary {
+            read_transactions: 10,
+            dram_read_transactions: 10,
+            ..Default::default()
+        };
+        let mem2 = CoalesceSummary {
+            read_transactions: 20,
+            dram_read_transactions: 20,
+            ..Default::default()
+        };
+        let c1 = phase_cost(&cfg(), &mem1, &BankSummary::default(), &[]);
+        let c2 = phase_cost(&cfg(), &mem2, &BankSummary::default(), &[]);
+        // Both pay the same exposed latency; the issue cost doubles.
+        let issue = cfg().global_issue_cycles;
+        assert_eq!(c2.memory_cycles - c1.memory_cycles, 10 * issue);
+    }
+
+    #[test]
+    fn exposed_latency_charged_once_per_phase() {
+        let mem = CoalesceSummary {
+            read_transactions: 1,
+            dram_read_transactions: 1,
+            ..Default::default()
+        };
+        let c = phase_cost(&cfg(), &mem, &BankSummary::default(), &[]);
+        let exposed =
+            (cfg().global_latency_cycles as f64 * (1.0 - cfg().latency_hiding)).round() as u64;
+        assert_eq!(c.memory_cycles, cfg().global_issue_cycles + exposed);
+    }
+
+    #[test]
+    fn alu_uses_wavefront_maxima() {
+        let c = phase_cost(
+            &cfg(),
+            &CoalesceSummary::default(),
+            &BankSummary::default(),
+            &[10, 3],
+        );
+        assert_eq!(c.alu_cycles, 13 * cfg().alu_cycles_per_op);
+    }
+
+    #[test]
+    fn critical_path_takes_roofline_max() {
+        let a = PhaseCost {
+            memory_cycles: 100,
+            alu_cycles: 30,
+            local_cycles: 20,
+        };
+        assert_eq!(a.critical_path(), 100);
+        let b = PhaseCost {
+            memory_cycles: 40,
+            alu_cycles: 30,
+            local_cycles: 20,
+        };
+        assert_eq!(b.critical_path(), 50);
+    }
+
+    #[test]
+    fn occupancy_limited_by_local_memory() {
+        let cfg = cfg(); // 4 KiB local memory
+        let occ = occupancy(&cfg, 16, 2048);
+        assert_eq!(occ.groups_per_cu, 2);
+        let occ = occupancy(&cfg, 16, 4096);
+        assert_eq!(occ.groups_per_cu, 1);
+    }
+
+    #[test]
+    fn occupancy_without_local_memory_hits_group_cap() {
+        let cfg = cfg();
+        let occ = occupancy(&cfg, 4, 0);
+        assert_eq!(occ.groups_per_cu, cfg.max_groups_per_cu);
+    }
+
+    #[test]
+    fn occupancy_limited_by_waves() {
+        let cfg = cfg(); // wavefront 4, max 40 waves/cu
+        let occ = occupancy(&cfg, 64, 0); // 16 waves per group
+        assert_eq!(occ.waves_per_group, 16);
+        assert_eq!(occ.groups_per_cu, 2);
+    }
+
+    #[test]
+    fn occupancy_never_zero_even_when_oversubscribed() {
+        let cfg = cfg();
+        let occ = occupancy(&cfg, 64, cfg.local_mem_bytes * 2);
+        assert_eq!(occ.groups_per_cu, 1);
+    }
+
+    #[test]
+    fn device_cycles_divide_by_parallelism() {
+        let cfg = cfg(); // 1 CU
+        let occ = Occupancy {
+            waves_per_group: 1,
+            groups_per_cu: 4,
+            local_bytes_per_group: 0,
+        };
+        assert_eq!(device_cycles(&cfg, &occ, 400), 100);
+        assert_eq!(device_cycles(&cfg, &occ, 401), 101);
+    }
+
+    #[test]
+    fn more_local_memory_means_fewer_concurrent_groups_and_more_time() {
+        let cfg = cfg();
+        let small = occupancy(&cfg, 16, 512);
+        let big = occupancy(&cfg, 16, 2048);
+        assert!(small.groups_per_cu > big.groups_per_cu);
+        assert!(device_cycles(&cfg, &small, 10_000) <= device_cycles(&cfg, &big, 10_000));
+    }
+}

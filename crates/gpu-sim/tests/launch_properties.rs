@@ -1,0 +1,133 @@
+//! Launch-level property tests: invariants of the simulator that must hold
+//! for *any* kernel and geometry, not just the perforation pipeline.
+
+use kp_gpu_sim::{BufferId, Device, DeviceConfig, ItemCtx, Kernel, NdRange};
+use proptest::prelude::*;
+
+/// Reads `reads_per_item` elements (strided) and writes one.
+struct Worker {
+    src: BufferId,
+    dst: BufferId,
+    n: usize,
+    reads_per_item: usize,
+    ops_per_item: u64,
+}
+
+impl Kernel for Worker {
+    fn name(&self) -> &str {
+        "worker"
+    }
+
+    fn run_phase(&self, _phase: usize, ctx: &mut ItemCtx<'_>) {
+        let i = ctx.global_id(0);
+        let mut acc = 0.0f32;
+        for k in 0..self.reads_per_item {
+            let idx = (i + k * 7) % self.n;
+            acc += ctx.read_global::<f32>(self.src, idx);
+        }
+        ctx.ops(self.ops_per_item);
+        ctx.write_global(self.dst, i, acc);
+    }
+}
+
+fn run(n: usize, local: usize, reads: usize, ops: u64) -> kp_gpu_sim::LaunchReport {
+    let mut dev = Device::new(DeviceConfig::firepro_w5100()).unwrap();
+    let data: Vec<f32> = (0..n).map(|i| i as f32).collect();
+    let src = dev.create_buffer_from("src", &data).unwrap();
+    let dst = dev.create_buffer::<f32>("dst", n).unwrap();
+    let kernel = Worker {
+        src,
+        dst,
+        n,
+        reads_per_item: reads,
+        ops_per_item: ops,
+    };
+    dev.launch(&kernel, NdRange::new_1d(n, local).unwrap())
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Transaction counts are bounded by element accesses; DRAM by L1;
+    /// cycles are positive; seconds follow cycles.
+    #[test]
+    fn report_invariants(
+        groups in 1usize..8,
+        local_pow in 2u32..6, // local size 4..32
+        reads in 1usize..6,
+        ops in 0u64..64,
+    ) {
+        let local = 1usize << local_pow;
+        let n = groups * local;
+        let r = run(n, local, reads, ops);
+        prop_assert_eq!(r.groups, groups);
+        prop_assert_eq!(r.stats.global_element_reads, (n * reads) as u64);
+        prop_assert_eq!(r.stats.global_element_writes, n as u64);
+        prop_assert!(r.stats.global_read_transactions <= r.stats.global_element_reads);
+        prop_assert!(r.stats.dram_read_transactions <= r.stats.global_read_transactions);
+        prop_assert!(r.stats.dram_read_transactions >= 1);
+        prop_assert!(r.timing.device_cycles > 0);
+        prop_assert!(r.seconds > 0.0);
+        prop_assert!(r.timing.group_cycles_total >= r.timing.device_cycles);
+    }
+
+    /// More reads per item never make the launch faster (monotonicity of
+    /// the timing model in memory work).
+    #[test]
+    fn more_reads_never_faster(
+        groups in 1usize..6,
+        reads in 1usize..5,
+    ) {
+        let local = 16;
+        let n = groups * local;
+        let fewer = run(n, local, reads, 8);
+        let more = run(n, local, reads + 1, 8);
+        prop_assert!(
+            more.timing.device_cycles >= fewer.timing.device_cycles,
+            "{} reads: {} cycles, {} reads: {} cycles",
+            reads, fewer.timing.device_cycles, reads + 1, more.timing.device_cycles
+        );
+    }
+
+    /// More ALU ops never make the launch faster.
+    #[test]
+    fn more_ops_never_faster(groups in 1usize..6, ops in 0u64..128) {
+        let local = 16;
+        let n = groups * local;
+        let fewer = run(n, local, 2, ops);
+        let more = run(n, local, 2, ops + 64);
+        prop_assert!(more.timing.device_cycles >= fewer.timing.device_cycles);
+    }
+
+    /// Doubling the grid never reduces total device time, and per-group
+    /// serialized work scales exactly linearly (homogeneous groups).
+    #[test]
+    fn work_scales_with_grid(groups in 1usize..5) {
+        let local = 16;
+        let one = run(groups * local, local, 3, 8);
+        let two = run(2 * groups * local, local, 3, 8);
+        prop_assert!(two.timing.device_cycles >= one.timing.device_cycles);
+        prop_assert!(two.stats.global_element_reads == 2 * one.stats.global_element_reads);
+    }
+
+    /// Functional output is independent of the work-group size.
+    #[test]
+    fn outputs_independent_of_group_size(local_pow in 2u32..7) {
+        let n = 256;
+        let local = 1usize << local_pow;
+        let outputs: Vec<Vec<f32>> = [16usize, local]
+            .iter()
+            .map(|&l| {
+                let mut dev = Device::new(DeviceConfig::firepro_w5100()).unwrap();
+                let data: Vec<f32> = (0..n).map(|i| (i % 13) as f32).collect();
+                let src = dev.create_buffer_from("src", &data).unwrap();
+                let dst = dev.create_buffer::<f32>("dst", n).unwrap();
+                let kernel = Worker { src, dst, n, reads_per_item: 3, ops_per_item: 4 };
+                dev.launch(&kernel, NdRange::new_1d(n, l).unwrap()).unwrap();
+                dev.read_buffer::<f32>(dst).unwrap()
+            })
+            .collect();
+        prop_assert_eq!(&outputs[0], &outputs[1]);
+    }
+}

@@ -1,0 +1,464 @@
+//! Stencil-access analysis.
+//!
+//! Infers, from a kernel's AST, everything the perforation pass needs:
+//! which parameter is the stencil *input* buffer, which is the *output*,
+//! which scalars are the image width/height, which variables hold the
+//! work-item coordinates, and the stencil window (set of constant offsets)
+//! — hence the halo.
+//!
+//! Recognized access shape (the canonical form of hand-written 2D image
+//! kernels, with or without clamp-to-edge):
+//!
+//! ```text
+//! input[(y + CY) * width + (x + CX)]
+//! input[clamp(y + CY, 0, height - 1) * width + clamp(x + CX, 0, width - 1)]
+//! ```
+//!
+//! where `x`/`y` are variables initialized from `get_global_id(0)`/`(1)`.
+
+use crate::ast::{BinOp, Expr, KernelDef, ParamTy, ScalarTy, Stmt};
+use crate::error::IrError;
+
+/// Result of analyzing a kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StencilInfo {
+    /// The perforated input buffer parameter.
+    pub input: String,
+    /// The output buffer parameter (first non-const global pointer stored
+    /// through).
+    pub output: String,
+    /// Width parameter name.
+    pub width: String,
+    /// Height parameter name (inferred from clamps or `y < height` guards).
+    pub height: String,
+    /// Variable holding `get_global_id(0)`.
+    pub x_var: String,
+    /// Variable holding `get_global_id(1)`.
+    pub y_var: String,
+    /// Constant window offsets `(dx, dy)` with which `input` is read.
+    pub offsets: Vec<(i64, i64)>,
+}
+
+impl StencilInfo {
+    /// Stencil radius: the maximum absolute offset in either axis.
+    pub fn halo(&self) -> usize {
+        self.offsets
+            .iter()
+            .map(|&(dx, dy)| dx.unsigned_abs().max(dy.unsigned_abs()) as usize)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Analyzes a kernel for the perforation pass.
+///
+/// # Errors
+///
+/// Returns [`IrError::Transform`] when the kernel does not match the
+/// recognized shape (no gid variables, no decomposable input reads, …).
+pub fn analyze(kernel: &KernelDef) -> Result<StencilInfo, IrError> {
+    // 1. gid variables from top-level declarations.
+    let mut x_var = None;
+    let mut y_var = None;
+    for stmt in &kernel.body {
+        if let Stmt::Decl {
+            name,
+            init: Expr::Call { name: f, args },
+            ..
+        } = stmt
+        {
+            if f == "get_global_id" {
+                match args.first() {
+                    Some(Expr::IntLit(0)) => x_var = Some(name.clone()),
+                    Some(Expr::IntLit(1)) => y_var = Some(name.clone()),
+                    _ => {}
+                }
+            }
+        }
+    }
+    let x_var = x_var.ok_or_else(|| {
+        IrError::Transform("no variable initialized from get_global_id(0)".into())
+    })?;
+    let y_var = y_var.ok_or_else(|| {
+        IrError::Transform("no variable initialized from get_global_id(1)".into())
+    })?;
+
+    // 2. Output: the non-const global pointer that is stored through.
+    let mut output = None;
+    visit_stmts(&kernel.body, &mut |s| {
+        if let Stmt::Store { base, .. } = s {
+            if output.is_none()
+                && matches!(
+                    kernel.param(base).map(|p| p.ty),
+                    Some(ParamTy::GlobalPtr {
+                        is_const: false,
+                        ..
+                    })
+                )
+            {
+                output = Some(base.clone());
+            }
+        }
+    });
+    let output =
+        output.ok_or_else(|| IrError::Transform("kernel never stores to a buffer".into()))?;
+
+    // 3. Collect decomposable reads per const input buffer.
+    let int_params: Vec<String> = kernel
+        .params
+        .iter()
+        .filter(|p| p.ty == ParamTy::Scalar(ScalarTy::Int))
+        .map(|p| p.name.clone())
+        .collect();
+    let mut candidates: std::collections::BTreeMap<
+        String,
+        (Vec<(i64, i64)>, Option<String>, Option<String>),
+    > = std::collections::BTreeMap::new();
+    let mut failed: Option<String> = None;
+    visit_exprs(&kernel.body, &mut |e| {
+        if let Expr::Index { base, index } = e {
+            let Some(param) = kernel.param(base) else {
+                return;
+            };
+            if !matches!(param.ty, ParamTy::GlobalPtr { .. }) {
+                return;
+            }
+            match decompose_index(index, &x_var, &y_var, &int_params) {
+                Some(d) => {
+                    let entry = candidates.entry(base.clone()).or_default();
+                    if !entry.0.contains(&(d.dx, d.dy)) {
+                        entry.0.push((d.dx, d.dy));
+                    }
+                    if entry.1.is_none() {
+                        entry.1 = Some(d.width);
+                    }
+                    if entry.2.is_none() {
+                        entry.2 = d.height;
+                    }
+                }
+                None => {
+                    if base != &output {
+                        failed = Some(base.clone());
+                    }
+                }
+            }
+        }
+    });
+    if let Some(base) = failed {
+        return Err(IrError::Transform(format!(
+            "read of '{base}' does not match the canonical stencil form \
+             input[(y + c) * width + (x + c)]"
+        )));
+    }
+
+    // The input is the buffer read with the widest window (ties: the one
+    // with most offsets); pointwise aux buffers stay global.
+    let (input, (offsets, width, height_opt)) = candidates
+        .into_iter()
+        .filter(|(name, _)| name != &output)
+        .max_by_key(|(_, (offs, _, _))| {
+            let halo = offs
+                .iter()
+                .map(|&(dx, dy)| dx.abs().max(dy.abs()))
+                .max()
+                .unwrap_or(0);
+            (halo, offs.len())
+        })
+        .ok_or_else(|| IrError::Transform("no stencil input buffer found".into()))?;
+    let width =
+        width.ok_or_else(|| IrError::Transform("could not infer the width parameter".into()))?;
+
+    // 4. Height: from clamp decomposition or from a `y </>= height` guard.
+    let height = match height_opt.or_else(|| find_height_guard(kernel, &y_var, &width)) {
+        Some(h) => h,
+        None => {
+            return Err(IrError::Transform(
+                "could not infer the height parameter (no clamp or guard on y)".into(),
+            ))
+        }
+    };
+
+    Ok(StencilInfo {
+        input,
+        output,
+        width,
+        height,
+        x_var,
+        y_var,
+        offsets,
+    })
+}
+
+/// Decomposes an index for the rewrite step, returning `(dx, dy)`.
+pub(crate) fn decompose_for_rewrite(
+    index: &Expr,
+    x_var: &str,
+    y_var: &str,
+    int_params: &[String],
+) -> Option<(i64, i64)> {
+    decompose_index(index, x_var, y_var, int_params).map(|d| (d.dx, d.dy))
+}
+
+/// A decomposed 2D index.
+struct Decomposed {
+    dx: i64,
+    dy: i64,
+    width: String,
+    height: Option<String>,
+}
+
+/// Matches `YE * width + XE` and decomposes both axes.
+fn decompose_index(
+    index: &Expr,
+    x_var: &str,
+    y_var: &str,
+    int_params: &[String],
+) -> Option<Decomposed> {
+    let Expr::Bin {
+        op: BinOp::Add,
+        lhs,
+        rhs,
+    } = index
+    else {
+        return None;
+    };
+    let Expr::Bin {
+        op: BinOp::Mul,
+        lhs: ye,
+        rhs: w,
+    } = &**lhs
+    else {
+        return None;
+    };
+    let Expr::Var(width) = &**w else { return None };
+    if !int_params.contains(width) {
+        return None;
+    }
+    let (dy, height) = decompose_axis(ye, y_var)?;
+    let (dx, _wclamp) = decompose_axis(rhs, x_var)?;
+    Some(Decomposed {
+        dx,
+        dy,
+        width: width.clone(),
+        height,
+    })
+}
+
+/// Matches `v`, `v + c`, `v - c` or `clamp(v ± c, 0, bound - 1)`; returns
+/// the constant offset and the clamp bound parameter if present.
+fn decompose_axis(e: &Expr, var: &str) -> Option<(i64, Option<String>)> {
+    match e {
+        Expr::Var(name) if name == var => Some((0, None)),
+        Expr::Bin {
+            op: BinOp::Add,
+            lhs,
+            rhs,
+        } => match (&**lhs, &**rhs) {
+            (Expr::Var(name), Expr::IntLit(c)) if name == var => Some((*c, None)),
+            (Expr::IntLit(c), Expr::Var(name)) if name == var => Some((*c, None)),
+            _ => None,
+        },
+        Expr::Bin {
+            op: BinOp::Sub,
+            lhs,
+            rhs,
+        } => match (&**lhs, &**rhs) {
+            (Expr::Var(name), Expr::IntLit(c)) if name == var => Some((-c, None)),
+            _ => None,
+        },
+        Expr::Call { name, args } if name == "clamp" && args.len() == 3 => {
+            let (off, _) = decompose_axis(&args[0], var)?;
+            // Bound must be `B - 1`.
+            let Expr::Bin {
+                op: BinOp::Sub,
+                lhs,
+                rhs,
+            } = &args[2]
+            else {
+                return None;
+            };
+            let (Expr::Var(bound), Expr::IntLit(1)) = (&**lhs, &**rhs) else {
+                return None;
+            };
+            Some((off, Some(bound.clone())))
+        }
+        _ => None,
+    }
+}
+
+/// Finds a `y < H` / `y >= H` guard comparing the gid-y variable against an
+/// int parameter other than the width.
+fn find_height_guard(kernel: &KernelDef, y_var: &str, width: &str) -> Option<String> {
+    let mut found = None;
+    visit_exprs(&kernel.body, &mut |e| {
+        if let Expr::Bin { op, lhs, rhs } = e {
+            if matches!(op, BinOp::Lt | BinOp::Ge | BinOp::Le | BinOp::Gt) {
+                if let (Expr::Var(l), Expr::Var(r)) = (&**lhs, &**rhs) {
+                    if l == y_var && r != width && found.is_none() {
+                        found = Some(r.clone());
+                    }
+                }
+            }
+        }
+    });
+    found
+}
+
+fn visit_stmts(stmts: &[Stmt], f: &mut impl FnMut(&Stmt)) {
+    for s in stmts {
+        f(s);
+        match s {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                visit_stmts(then_body, f);
+                visit_stmts(else_body, f);
+            }
+            Stmt::For {
+                init, step, body, ..
+            } => {
+                f(init);
+                f(step);
+                visit_stmts(body, f);
+            }
+            Stmt::While { body, .. } => visit_stmts(body, f),
+            _ => {}
+        }
+    }
+}
+
+fn visit_exprs(stmts: &[Stmt], f: &mut impl FnMut(&Expr)) {
+    fn walk(e: &Expr, f: &mut impl FnMut(&Expr)) {
+        f(e);
+        match e {
+            Expr::Bin { lhs, rhs, .. } => {
+                walk(lhs, f);
+                walk(rhs, f);
+            }
+            Expr::Un { expr, .. } => walk(expr, f),
+            Expr::Index { index, .. } => walk(index, f),
+            Expr::Call { args, .. } => args.iter().for_each(|a| walk(a, f)),
+            _ => {}
+        }
+    }
+    visit_stmts(stmts, &mut |s| match s {
+        Stmt::Decl { init, .. } => walk(init, f),
+        Stmt::Assign { value, .. } => walk(value, f),
+        Stmt::Store { index, value, .. } => {
+            walk(index, f);
+            walk(value, f);
+        }
+        Stmt::If { cond, .. } | Stmt::While { cond, .. } => walk(cond, f),
+        Stmt::For { cond, .. } => walk(cond, f),
+        Stmt::LocalDecl { len, .. } => walk(len, f),
+        _ => {}
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn analyze_src(src: &str) -> Result<StencilInfo, IrError> {
+        let prog = parse(src).unwrap();
+        analyze(&prog.kernels[0])
+    }
+
+    const BLUR: &str = "kernel blur(global const float* in, global float* out,
+                                    int width, int height) {
+        int x = get_global_id(0);
+        int y = get_global_id(1);
+        if (x >= width || y >= height) { return; }
+        float acc = in[clamp(y - 1, 0, height - 1) * width + clamp(x, 0, width - 1)]
+                  + in[clamp(y, 0, height - 1) * width + clamp(x - 1, 0, width - 1)]
+                  + in[clamp(y, 0, height - 1) * width + clamp(x + 1, 0, width - 1)]
+                  + in[clamp(y + 1, 0, height - 1) * width + clamp(x, 0, width - 1)];
+        out[y * width + x] = acc / 4.0;
+    }";
+
+    #[test]
+    fn analyzes_clamped_cross_stencil() {
+        let info = analyze_src(BLUR).unwrap();
+        assert_eq!(info.input, "in");
+        assert_eq!(info.output, "out");
+        assert_eq!(info.width, "width");
+        assert_eq!(info.height, "height");
+        assert_eq!(info.x_var, "x");
+        assert_eq!(info.y_var, "y");
+        assert_eq!(info.halo(), 1);
+        assert_eq!(info.offsets.len(), 4);
+        assert!(info.offsets.contains(&(0, -1)));
+        assert!(info.offsets.contains(&(1, 0)));
+    }
+
+    #[test]
+    fn analyzes_unclamped_pointwise_kernel() {
+        let info = analyze_src(
+            "kernel invert(global const float* in, global float* out, int w, int h) {
+                 int x = get_global_id(0);
+                 int y = get_global_id(1);
+                 if (x >= w || y >= h) { return; }
+                 out[y * w + x] = 1.0 - in[y * w + x];
+             }",
+        )
+        .unwrap();
+        assert_eq!(info.halo(), 0);
+        assert_eq!(info.offsets, vec![(0, 0)]);
+        assert_eq!(info.width, "w");
+        assert_eq!(info.height, "h");
+    }
+
+    #[test]
+    fn picks_the_stencil_buffer_over_pointwise_aux() {
+        let info = analyze_src(
+            "kernel hs(global const float* temp, global const float* power,
+                       global float* out, int w, int h) {
+                 int x = get_global_id(0);
+                 int y = get_global_id(1);
+                 if (x >= w || y >= h) { return; }
+                 float t = temp[clamp(y - 1, 0, h - 1) * w + clamp(x, 0, w - 1)]
+                         + temp[clamp(y + 1, 0, h - 1) * w + clamp(x, 0, w - 1)];
+                 float p = power[y * w + x];
+                 out[y * w + x] = t + p;
+             }",
+        )
+        .unwrap();
+        assert_eq!(info.input, "temp");
+    }
+
+    #[test]
+    fn rejects_kernels_without_gid() {
+        let e = analyze_src("kernel k(global float* out) { out[0] = 1.0; }").unwrap_err();
+        assert!(e.to_string().contains("get_global_id"));
+    }
+
+    #[test]
+    fn rejects_undecomposable_reads() {
+        let e = analyze_src(
+            "kernel k(global const float* in, global float* out, int w, int h) {
+                 int x = get_global_id(0);
+                 int y = get_global_id(1);
+                 if (y >= h) { return; }
+                 out[y * w + x] = in[x * x + y];
+             }",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("canonical"), "{e}");
+    }
+
+    #[test]
+    fn rejects_kernels_without_store() {
+        let e = analyze_src(
+            "kernel k(global const float* in, int w, int h) {
+                 int x = get_global_id(0);
+                 int y = get_global_id(1);
+                 float v = in[y * w + x];
+             }",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("store"));
+    }
+}

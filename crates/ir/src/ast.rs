@@ -1,0 +1,403 @@
+//! Abstract syntax of PerfCL kernels.
+
+use crate::token::Loc;
+
+/// Scalar types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarTy {
+    /// 32-bit float.
+    Float,
+    /// 32-bit signed int (modeled as i64 in the interpreter, stored as i32).
+    Int,
+    /// Boolean.
+    Bool,
+}
+
+impl std::fmt::Display for ScalarTy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScalarTy::Float => write!(f, "float"),
+            ScalarTy::Int => write!(f, "int"),
+            ScalarTy::Bool => write!(f, "bool"),
+        }
+    }
+}
+
+/// Types of kernel parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamTy {
+    /// A scalar passed by value.
+    Scalar(ScalarTy),
+    /// A pointer to global memory.
+    GlobalPtr {
+        /// Pointee type.
+        elem: ScalarTy,
+        /// Whether declared `const` (read-only).
+        is_const: bool,
+    },
+}
+
+impl std::fmt::Display for ParamTy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamTy::Scalar(t) => write!(f, "{t}"),
+            ParamTy::GlobalPtr { elem, is_const } => {
+                if *is_const {
+                    write!(f, "global const {elem}*")
+                } else {
+                    write!(f, "global {elem}*")
+                }
+            }
+        }
+    }
+}
+
+/// A kernel parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type.
+    pub ty: ParamTy,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+impl BinOp {
+    /// Operator spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not.
+    Not,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f32),
+    /// Boolean literal.
+    BoolLit(bool),
+    /// Variable or parameter reference.
+    Var(String),
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Unary operation.
+    Un {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Indexed read: `buf[idx]` (global pointer or local array).
+    Index {
+        /// Buffer or array name.
+        base: String,
+        /// Element index.
+        index: Box<Expr>,
+    },
+    /// Builtin or intrinsic call: `get_global_id(0)`, `clamp(x, lo, hi)`…
+    Call {
+        /// Function name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for binary expressions.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// Convenience constructor for variable references.
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(name.to_owned())
+    }
+
+    /// Convenience constructor for calls.
+    pub fn call(name: &str, args: Vec<Expr>) -> Expr {
+        Expr::Call {
+            name: name.to_owned(),
+            args,
+        }
+    }
+
+    /// Convenience constructor for indexing.
+    pub fn index(base: &str, index: Expr) -> Expr {
+        Expr::Index {
+            base: base.to_owned(),
+            index: Box::new(index),
+        }
+    }
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Variable declaration with initializer: `int x = e;`
+    Decl {
+        /// Declared type.
+        ty: ScalarTy,
+        /// Variable name.
+        name: String,
+        /// Initializer.
+        init: Expr,
+    },
+    /// Local-memory array declaration: `local float tile[324];`
+    LocalDecl {
+        /// Element type.
+        elem: ScalarTy,
+        /// Array name.
+        name: String,
+        /// Element count (must fold to a constant given scalar args).
+        len: Expr,
+    },
+    /// Assignment to a variable: `x = e;`
+    Assign {
+        /// Target variable.
+        name: String,
+        /// Value.
+        value: Expr,
+    },
+    /// Store through a pointer or into a local array: `buf[i] = e;`
+    Store {
+        /// Buffer or array name.
+        base: String,
+        /// Element index.
+        index: Expr,
+        /// Value.
+        value: Expr,
+    },
+    /// Conditional.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_body: Vec<Stmt>,
+        /// Else branch (possibly empty).
+        else_body: Vec<Stmt>,
+    },
+    /// C-style for loop: `for (init; cond; step) body`.
+    For {
+        /// Loop variable initializer (a declaration or assignment).
+        init: Box<Stmt>,
+        /// Continuation condition.
+        cond: Expr,
+        /// Step statement (an assignment).
+        step: Box<Stmt>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// While loop.
+    While {
+        /// Continuation condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// Work-group barrier; only legal at the top level of a kernel body.
+    Barrier,
+    /// Early exit of the current work item (for guards).
+    Return,
+}
+
+/// A kernel definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelDef {
+    /// Kernel name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source location of the definition.
+    pub loc: Loc,
+}
+
+impl KernelDef {
+    /// Looks up a parameter by name.
+    pub fn param(&self, name: &str) -> Option<&Param> {
+        self.params.iter().find(|p| p.name == name)
+    }
+
+    /// Splits the top-level body at `barrier();` statements into phases.
+    /// A body without barriers is a single phase.
+    pub fn phases(&self) -> Vec<&[Stmt]> {
+        let mut phases = Vec::new();
+        let mut start = 0;
+        for (i, stmt) in self.body.iter().enumerate() {
+            if matches!(stmt, Stmt::Barrier) {
+                phases.push(&self.body[start..i]);
+                start = i + 1;
+            }
+        }
+        phases.push(&self.body[start..]);
+        phases
+    }
+}
+
+/// A parsed program (one or more kernels).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// The kernels, in source order.
+    pub kernels: Vec<KernelDef>,
+}
+
+impl Program {
+    /// Looks up a kernel by name.
+    pub fn kernel(&self, name: &str) -> Option<&KernelDef> {
+        self.kernels.iter().find(|k| k.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_builders() {
+        let e = Expr::bin(BinOp::Add, Expr::var("x"), Expr::IntLit(1));
+        assert!(matches!(e, Expr::Bin { op: BinOp::Add, .. }));
+        assert_eq!(Expr::var("y"), Expr::Var("y".into()));
+        assert!(matches!(Expr::call("min", vec![]), Expr::Call { .. }));
+        assert!(matches!(
+            Expr::index("buf", Expr::IntLit(0)),
+            Expr::Index { .. }
+        ));
+    }
+
+    #[test]
+    fn binop_symbols() {
+        assert_eq!(BinOp::Add.symbol(), "+");
+        assert_eq!(BinOp::Le.symbol(), "<=");
+        assert_eq!(BinOp::And.symbol(), "&&");
+    }
+
+    #[test]
+    fn phases_split_at_barriers() {
+        let k = KernelDef {
+            name: "k".into(),
+            params: vec![],
+            body: vec![
+                Stmt::Return,
+                Stmt::Barrier,
+                Stmt::Return,
+                Stmt::Return,
+                Stmt::Barrier,
+                Stmt::Return,
+            ],
+            loc: Loc::start(),
+        };
+        let phases = k.phases();
+        assert_eq!(phases.len(), 3);
+        assert_eq!(phases[0].len(), 1);
+        assert_eq!(phases[1].len(), 2);
+        assert_eq!(phases[2].len(), 1);
+    }
+
+    #[test]
+    fn phases_without_barriers_is_single() {
+        let k = KernelDef {
+            name: "k".into(),
+            params: vec![],
+            body: vec![Stmt::Return],
+            loc: Loc::start(),
+        };
+        assert_eq!(k.phases().len(), 1);
+    }
+
+    #[test]
+    fn param_lookup() {
+        let k = KernelDef {
+            name: "k".into(),
+            params: vec![Param {
+                name: "w".into(),
+                ty: ParamTy::Scalar(ScalarTy::Int),
+            }],
+            body: vec![],
+            loc: Loc::start(),
+        };
+        assert!(k.param("w").is_some());
+        assert!(k.param("h").is_none());
+    }
+
+    #[test]
+    fn display_types() {
+        assert_eq!(ScalarTy::Float.to_string(), "float");
+        assert_eq!(
+            ParamTy::GlobalPtr {
+                elem: ScalarTy::Float,
+                is_const: true
+            }
+            .to_string(),
+            "global const float*"
+        );
+        assert_eq!(ParamTy::Scalar(ScalarTy::Int).to_string(), "int");
+    }
+}

@@ -1,0 +1,221 @@
+//! Builtin functions of the PerfCL language.
+
+use crate::ast::ScalarTy;
+
+/// The builtin functions a kernel may call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Builtin {
+    /// `get_global_id(dim)`
+    GlobalId,
+    /// `get_local_id(dim)`
+    LocalId,
+    /// `get_group_id(dim)`
+    GroupId,
+    /// `get_global_size(dim)`
+    GlobalSize,
+    /// `get_local_size(dim)`
+    LocalSize,
+    /// `get_num_groups(dim)`
+    NumGroups,
+    /// `min(a, b)` — numeric, polymorphic.
+    Min,
+    /// `max(a, b)` — numeric, polymorphic.
+    Max,
+    /// `clamp(x, lo, hi)` — numeric, polymorphic.
+    Clamp,
+    /// `sqrt(x)` — float.
+    Sqrt,
+    /// `fabs(x)` — float.
+    Fabs,
+    /// `abs(x)` — int.
+    Abs,
+    /// `floor(x)` — float.
+    Floor,
+    /// `exp(x)` — float.
+    Exp,
+    /// `log(x)` — float.
+    Log,
+    /// `sin(x)` — float.
+    Sin,
+    /// `cos(x)` — float.
+    Cos,
+    /// `pow(x, y)` — float.
+    Pow,
+    /// `float(x)` — conversion to float.
+    ToFloat,
+    /// `int(x)` — conversion to int (truncating).
+    ToInt,
+}
+
+impl Builtin {
+    /// Resolves a call name to a builtin.
+    pub fn from_name(name: &str) -> Option<Builtin> {
+        Some(match name {
+            "get_global_id" => Builtin::GlobalId,
+            "get_local_id" => Builtin::LocalId,
+            "get_group_id" => Builtin::GroupId,
+            "get_global_size" => Builtin::GlobalSize,
+            "get_local_size" => Builtin::LocalSize,
+            "get_num_groups" => Builtin::NumGroups,
+            "min" => Builtin::Min,
+            "max" => Builtin::Max,
+            "clamp" => Builtin::Clamp,
+            "sqrt" => Builtin::Sqrt,
+            "fabs" => Builtin::Fabs,
+            "abs" => Builtin::Abs,
+            "floor" => Builtin::Floor,
+            "exp" => Builtin::Exp,
+            "log" => Builtin::Log,
+            "sin" => Builtin::Sin,
+            "cos" => Builtin::Cos,
+            "pow" => Builtin::Pow,
+            "float" => Builtin::ToFloat,
+            "int" => Builtin::ToInt,
+            _ => return None,
+        })
+    }
+
+    /// Number of arguments the builtin takes.
+    pub fn arity(self) -> usize {
+        match self {
+            Builtin::GlobalId
+            | Builtin::LocalId
+            | Builtin::GroupId
+            | Builtin::GlobalSize
+            | Builtin::LocalSize
+            | Builtin::NumGroups
+            | Builtin::Sqrt
+            | Builtin::Fabs
+            | Builtin::Abs
+            | Builtin::Floor
+            | Builtin::Exp
+            | Builtin::Log
+            | Builtin::Sin
+            | Builtin::Cos
+            | Builtin::ToFloat
+            | Builtin::ToInt => 1,
+            Builtin::Min | Builtin::Max | Builtin::Pow => 2,
+            Builtin::Clamp => 3,
+        }
+    }
+
+    /// Result type given the argument types (after checking). `None` means
+    /// the argument types are invalid for this builtin.
+    pub fn result_ty(self, args: &[ScalarTy]) -> Option<ScalarTy> {
+        if args.len() != self.arity() {
+            return None;
+        }
+        let all_numeric = args
+            .iter()
+            .all(|t| matches!(t, ScalarTy::Int | ScalarTy::Float));
+        match self {
+            Builtin::GlobalId
+            | Builtin::LocalId
+            | Builtin::GroupId
+            | Builtin::GlobalSize
+            | Builtin::LocalSize
+            | Builtin::NumGroups => (args[0] == ScalarTy::Int).then_some(ScalarTy::Int),
+            Builtin::Min | Builtin::Max | Builtin::Clamp => {
+                if !all_numeric {
+                    return None;
+                }
+                if args.iter().any(|&t| t == ScalarTy::Float) {
+                    Some(ScalarTy::Float)
+                } else {
+                    Some(ScalarTy::Int)
+                }
+            }
+            Builtin::Sqrt
+            | Builtin::Fabs
+            | Builtin::Floor
+            | Builtin::Exp
+            | Builtin::Log
+            | Builtin::Sin
+            | Builtin::Cos => all_numeric.then_some(ScalarTy::Float),
+            Builtin::Pow => all_numeric.then_some(ScalarTy::Float),
+            Builtin::Abs => (args[0] == ScalarTy::Int).then_some(ScalarTy::Int),
+            Builtin::ToFloat => all_numeric.then_some(ScalarTy::Float),
+            Builtin::ToInt => all_numeric.then_some(ScalarTy::Int),
+        }
+    }
+
+    /// ALU cost charged per evaluation (transcendental functions map to
+    /// the GPU's special function unit and cost more than one op).
+    pub fn op_cost(self) -> u64 {
+        match self {
+            Builtin::Sqrt | Builtin::Exp | Builtin::Log | Builtin::Sin | Builtin::Cos => 4,
+            Builtin::Pow => 8,
+            Builtin::Min
+            | Builtin::Max
+            | Builtin::Fabs
+            | Builtin::Abs
+            | Builtin::Floor
+            | Builtin::ToFloat
+            | Builtin::ToInt => 1,
+            Builtin::Clamp => 2,
+            _ => 0, // id queries are free (register reads)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_known_names() {
+        assert_eq!(Builtin::from_name("get_global_id"), Some(Builtin::GlobalId));
+        assert_eq!(Builtin::from_name("clamp"), Some(Builtin::Clamp));
+        assert_eq!(Builtin::from_name("nope"), None);
+    }
+
+    #[test]
+    fn arities() {
+        assert_eq!(Builtin::Clamp.arity(), 3);
+        assert_eq!(Builtin::Min.arity(), 2);
+        assert_eq!(Builtin::Sqrt.arity(), 1);
+    }
+
+    #[test]
+    fn polymorphic_min_promotes_to_float() {
+        assert_eq!(
+            Builtin::Min.result_ty(&[ScalarTy::Int, ScalarTy::Int]),
+            Some(ScalarTy::Int)
+        );
+        assert_eq!(
+            Builtin::Min.result_ty(&[ScalarTy::Int, ScalarTy::Float]),
+            Some(ScalarTy::Float)
+        );
+    }
+
+    #[test]
+    fn id_queries_require_int_dim() {
+        assert_eq!(
+            Builtin::GlobalId.result_ty(&[ScalarTy::Int]),
+            Some(ScalarTy::Int)
+        );
+        assert_eq!(Builtin::GlobalId.result_ty(&[ScalarTy::Float]), None);
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        assert_eq!(Builtin::Sqrt.result_ty(&[]), None);
+        assert_eq!(Builtin::Clamp.result_ty(&[ScalarTy::Int; 2]), None);
+    }
+
+    #[test]
+    fn bool_args_rejected_for_math() {
+        assert_eq!(Builtin::Sqrt.result_ty(&[ScalarTy::Bool]), None);
+        assert_eq!(
+            Builtin::Min.result_ty(&[ScalarTy::Bool, ScalarTy::Int]),
+            None
+        );
+    }
+
+    #[test]
+    fn op_costs_ordered() {
+        assert!(Builtin::Pow.op_cost() > Builtin::Sqrt.op_cost());
+        assert!(Builtin::Sqrt.op_cost() > Builtin::Min.op_cost());
+        assert_eq!(Builtin::GlobalId.op_cost(), 0);
+    }
+}

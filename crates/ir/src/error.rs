@@ -1,0 +1,83 @@
+//! Compiler and runtime errors of the PerfCL toolchain.
+
+use crate::token::Loc;
+
+/// Errors from lexing, parsing, type checking, transformation or binding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrError {
+    /// A lexical error (bad character, malformed number).
+    Lex {
+        /// Where it happened.
+        loc: Loc,
+        /// What went wrong.
+        msg: String,
+    },
+    /// A syntax error.
+    Parse {
+        /// Where it happened.
+        loc: Loc,
+        /// What went wrong.
+        msg: String,
+    },
+    /// A type error.
+    Type {
+        /// Where it happened (best effort).
+        loc: Loc,
+        /// What went wrong.
+        msg: String,
+    },
+    /// The perforation pass could not transform the kernel.
+    Transform(String),
+    /// Kernel argument binding failed (missing/duplicate/mistyped args).
+    Binding(String),
+    /// A runtime evaluation error inside the interpreter.
+    Eval(String),
+}
+
+impl std::fmt::Display for IrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IrError::Lex { loc, msg } => write!(f, "lex error at {loc}: {msg}"),
+            IrError::Parse { loc, msg } => write!(f, "parse error at {loc}: {msg}"),
+            IrError::Type { loc, msg } => write!(f, "type error at {loc}: {msg}"),
+            IrError::Transform(msg) => write!(f, "perforation pass error: {msg}"),
+            IrError::Binding(msg) => write!(f, "argument binding error: {msg}"),
+            IrError::Eval(msg) => write!(f, "evaluation error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let loc = Loc { line: 2, col: 5 };
+        assert!(IrError::Lex {
+            loc,
+            msg: "x".into()
+        }
+        .to_string()
+        .contains("2:5"));
+        assert!(IrError::Parse {
+            loc,
+            msg: "y".into()
+        }
+        .to_string()
+        .contains("parse"));
+        assert!(IrError::Type {
+            loc,
+            msg: "z".into()
+        }
+        .to_string()
+        .contains("type"));
+        assert!(IrError::Transform("t".into())
+            .to_string()
+            .contains("perforation"));
+        assert!(IrError::Binding("b".into()).to_string().contains("binding"));
+        assert!(IrError::Eval("e".into()).to_string().contains("evaluation"));
+    }
+}

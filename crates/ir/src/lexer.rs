@@ -1,0 +1,339 @@
+//! Lexer for PerfCL source text.
+
+use crate::error::IrError;
+use crate::token::{Loc, Spanned, Tok};
+
+/// Tokenizes PerfCL source.
+///
+/// # Errors
+///
+/// Returns [`IrError::Lex`] on unexpected characters or malformed numeric
+/// literals.
+///
+/// # Examples
+///
+/// ```
+/// use kp_ir::lexer::lex;
+///
+/// let toks = lex("int x = 42;")?;
+/// assert_eq!(toks.len(), 6); // int, x, =, 42, ;, eof
+/// # Ok::<(), kp_ir::IrError>(())
+/// ```
+pub fn lex(src: &str) -> Result<Vec<Spanned>, IrError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! push {
+        ($tok:expr, $loc:expr) => {
+            out.push(Spanned {
+                tok: $tok,
+                loc: $loc,
+            })
+        };
+    }
+
+    while i < bytes.len() {
+        let loc = Loc { line, col };
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comment.
+                i += 2;
+                col += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(IrError::Lex {
+                            loc,
+                            msg: "unterminated block comment".into(),
+                        });
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        col += 2;
+                        break;
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len() && bytes[i] == b'.' {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    is_float = true;
+                    i += 1;
+                    if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+                        i += 1;
+                    }
+                    if i >= bytes.len() || !bytes[i].is_ascii_digit() {
+                        return Err(IrError::Lex {
+                            loc,
+                            msg: "malformed exponent".into(),
+                        });
+                    }
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                // Optional f suffix.
+                if i < bytes.len() && (bytes[i] == b'f' || bytes[i] == b'F') {
+                    is_float = true;
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let text_no_suffix = text.trim_end_matches(['f', 'F']);
+                if is_float {
+                    let v: f32 = text_no_suffix.parse().map_err(|_| IrError::Lex {
+                        loc,
+                        msg: format!("malformed float literal '{text}'"),
+                    })?;
+                    push!(Tok::Float(v), loc);
+                } else {
+                    let v: i64 = text_no_suffix.parse().map_err(|_| IrError::Lex {
+                        loc,
+                        msg: format!("malformed int literal '{text}'"),
+                    })?;
+                    push!(Tok::Int(v), loc);
+                }
+                col += (i - start) as u32;
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let tok = match word {
+                    "kernel" | "__kernel" => Tok::Kernel,
+                    "global" | "__global" => Tok::Global,
+                    "local" | "__local" => Tok::Local,
+                    "const" => Tok::Const,
+                    "float" => Tok::FloatTy,
+                    "int" => Tok::IntTy,
+                    "bool" => Tok::BoolTy,
+                    "void" => Tok::Void,
+                    "if" => Tok::If,
+                    "else" => Tok::Else,
+                    "for" => Tok::For,
+                    "while" => Tok::While,
+                    "return" => Tok::Return,
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    _ => Tok::Ident(word.to_owned()),
+                };
+                push!(tok, loc);
+                col += (i - start) as u32;
+            }
+            _ => {
+                let two = if i + 1 < bytes.len() {
+                    &src[i..i + 2]
+                } else {
+                    ""
+                };
+                let (tok, len) = match two {
+                    "==" => (Tok::Eq, 2),
+                    "!=" => (Tok::Ne, 2),
+                    "<=" => (Tok::Le, 2),
+                    ">=" => (Tok::Ge, 2),
+                    "&&" => (Tok::AndAnd, 2),
+                    "||" => (Tok::OrOr, 2),
+                    _ => {
+                        let tok = match c {
+                            '(' => Tok::LParen,
+                            ')' => Tok::RParen,
+                            '{' => Tok::LBrace,
+                            '}' => Tok::RBrace,
+                            '[' => Tok::LBracket,
+                            ']' => Tok::RBracket,
+                            ',' => Tok::Comma,
+                            ';' => Tok::Semi,
+                            '*' => Tok::Star,
+                            '/' => Tok::Slash,
+                            '%' => Tok::Percent,
+                            '+' => Tok::Plus,
+                            '-' => Tok::Minus,
+                            '=' => Tok::Assign,
+                            '<' => Tok::Lt,
+                            '>' => Tok::Gt,
+                            '!' => Tok::Not,
+                            other => {
+                                return Err(IrError::Lex {
+                                    loc,
+                                    msg: format!("unexpected character '{other}'"),
+                                })
+                            }
+                        };
+                        (tok, 1)
+                    }
+                };
+                push!(tok, loc);
+                i += len;
+                col += len as u32;
+            }
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        loc: Loc { line, col },
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            toks("kernel foo global local const"),
+            vec![
+                Tok::Kernel,
+                Tok::Ident("foo".into()),
+                Tok::Global,
+                Tok::Local,
+                Tok::Const,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_opencl_underscore_keywords() {
+        assert_eq!(
+            toks("__kernel __global __local"),
+            vec![Tok::Kernel, Tok::Global, Tok::Local, Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            toks("42 3.5 1e3 2.5e-2 7f"),
+            vec![
+                Tok::Int(42),
+                Tok::Float(3.5),
+                Tok::Float(1000.0),
+                Tok::Float(0.025),
+                Tok::Float(7.0),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            toks("== != <= >= && || < > ! = + - * / %"),
+            vec![
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Le,
+                Tok::Ge,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Not,
+                Tok::Assign,
+                Tok::Plus,
+                Tok::Minus,
+                Tok::Star,
+                Tok::Slash,
+                Tok::Percent,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        let src = "a // line comment\n b /* block\n comment */ c";
+        assert_eq!(
+            toks(src),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_locations() {
+        let spanned = lex("a\n  b").unwrap();
+        assert_eq!(spanned[0].loc, Loc { line: 1, col: 1 });
+        assert_eq!(spanned[1].loc, Loc { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn rejects_bad_characters() {
+        assert!(matches!(lex("a @ b"), Err(IrError::Lex { .. })));
+    }
+
+    #[test]
+    fn rejects_unterminated_block_comment() {
+        assert!(matches!(lex("/* open"), Err(IrError::Lex { .. })));
+    }
+
+    #[test]
+    fn rejects_malformed_exponent() {
+        assert!(matches!(lex("1e+"), Err(IrError::Lex { .. })));
+    }
+
+    #[test]
+    fn punctuation_roundtrip() {
+        assert_eq!(
+            toks("( ) { } [ ] , ;"),
+            vec![
+                Tok::LParen,
+                Tok::RParen,
+                Tok::LBrace,
+                Tok::RBrace,
+                Tok::LBracket,
+                Tok::RBracket,
+                Tok::Comma,
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+}

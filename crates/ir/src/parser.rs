@@ -1,0 +1,686 @@
+//! Recursive-descent parser for PerfCL.
+
+use crate::ast::{BinOp, Expr, KernelDef, Param, ParamTy, Program, ScalarTy, Stmt, UnOp};
+use crate::error::IrError;
+use crate::lexer::lex;
+use crate::token::{Loc, Spanned, Tok};
+
+/// Parses a PerfCL program.
+///
+/// # Errors
+///
+/// Returns [`IrError::Lex`] or [`IrError::Parse`] with a source location.
+///
+/// # Examples
+///
+/// ```
+/// use kp_ir::parser::parse;
+///
+/// let prog = parse(
+///     "kernel copy(global const float* src, global float* dst, int n) {
+///          int i = get_global_id(0);
+///          if (i < n) { dst[i] = src[i]; }
+///      }",
+/// )?;
+/// assert_eq!(prog.kernels[0].name, "copy");
+/// # Ok::<(), kp_ir::IrError>(())
+/// ```
+pub fn parse(src: &str) -> Result<Program, IrError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut kernels = Vec::new();
+    while !p.at(&Tok::Eof) {
+        kernels.push(p.kernel()?);
+    }
+    if kernels.is_empty() {
+        return Err(IrError::Parse {
+            loc: Loc::start(),
+            msg: "expected at least one kernel".into(),
+        });
+    }
+    Ok(Program { kernels })
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn loc(&self) -> Loc {
+        self.toks[self.pos].loc
+    }
+
+    fn at(&self, tok: &Tok) -> bool {
+        self.peek() == tok
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.at(tok) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &Tok) -> Result<(), IrError> {
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            Err(IrError::Parse {
+                loc: self.loc(),
+                msg: format!("expected '{tok}', found '{}'", self.peek()),
+            })
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, IrError> {
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => Err(IrError::Parse {
+                loc: self.loc(),
+                msg: format!("expected identifier, found '{other}'"),
+            }),
+        }
+    }
+
+    fn scalar_ty(&mut self) -> Result<ScalarTy, IrError> {
+        let ty = match self.peek() {
+            Tok::FloatTy => ScalarTy::Float,
+            Tok::IntTy => ScalarTy::Int,
+            Tok::BoolTy => ScalarTy::Bool,
+            other => {
+                return Err(IrError::Parse {
+                    loc: self.loc(),
+                    msg: format!("expected a type, found '{other}'"),
+                })
+            }
+        };
+        self.bump();
+        Ok(ty)
+    }
+
+    fn kernel(&mut self) -> Result<KernelDef, IrError> {
+        let loc = self.loc();
+        // Optional `void` return type before `kernel` is not supported;
+        // OpenCL order is `kernel void name(...)`.
+        self.expect(&Tok::Kernel)?;
+        let _ = self.eat(&Tok::Void);
+        let name = self.ident()?;
+        self.expect(&Tok::LParen)?;
+        let mut params = Vec::new();
+        if !self.at(&Tok::RParen) {
+            loop {
+                params.push(self.param()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        let body = self.block()?;
+        Ok(KernelDef {
+            name,
+            params,
+            body,
+            loc,
+        })
+    }
+
+    fn param(&mut self) -> Result<Param, IrError> {
+        if self.eat(&Tok::Global) {
+            let is_const = self.eat(&Tok::Const);
+            let elem = self.scalar_ty()?;
+            self.expect(&Tok::Star)?;
+            let name = self.ident()?;
+            Ok(Param {
+                name,
+                ty: ParamTy::GlobalPtr { elem, is_const },
+            })
+        } else if self.eat(&Tok::Const) {
+            // `const global float*` order also appears in the wild.
+            self.expect(&Tok::Global)?;
+            let elem = self.scalar_ty()?;
+            self.expect(&Tok::Star)?;
+            let name = self.ident()?;
+            Ok(Param {
+                name,
+                ty: ParamTy::GlobalPtr {
+                    elem,
+                    is_const: true,
+                },
+            })
+        } else {
+            let ty = self.scalar_ty()?;
+            let name = self.ident()?;
+            Ok(Param {
+                name,
+                ty: ParamTy::Scalar(ty),
+            })
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, IrError> {
+        self.expect(&Tok::LBrace)?;
+        let mut body = Vec::new();
+        while !self.at(&Tok::RBrace) {
+            if self.at(&Tok::Eof) {
+                return Err(IrError::Parse {
+                    loc: self.loc(),
+                    msg: "unclosed block".into(),
+                });
+            }
+            body.push(self.stmt()?);
+        }
+        self.expect(&Tok::RBrace)?;
+        Ok(body)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, IrError> {
+        match self.peek().clone() {
+            Tok::Local => {
+                self.bump();
+                let elem = self.scalar_ty()?;
+                let name = self.ident()?;
+                self.expect(&Tok::LBracket)?;
+                let len = self.expr()?;
+                self.expect(&Tok::RBracket)?;
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::LocalDecl { elem, name, len })
+            }
+            Tok::FloatTy | Tok::IntTy | Tok::BoolTy => {
+                let ty = self.scalar_ty()?;
+                let name = self.ident()?;
+                self.expect(&Tok::Assign)?;
+                let init = self.expr()?;
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Decl { ty, name, init })
+            }
+            Tok::If => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                let then_body = self.block_or_single()?;
+                let else_body = if self.eat(&Tok::Else) {
+                    self.block_or_single()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                })
+            }
+            Tok::For => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let init = Box::new(self.simple_stmt_no_semi()?);
+                self.expect(&Tok::Semi)?;
+                let cond = self.expr()?;
+                self.expect(&Tok::Semi)?;
+                let step = Box::new(self.simple_stmt_no_semi()?);
+                self.expect(&Tok::RParen)?;
+                let body = self.block_or_single()?;
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                })
+            }
+            Tok::While => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                let body = self.block_or_single()?;
+                Ok(Stmt::While { cond, body })
+            }
+            Tok::Return => {
+                self.bump();
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Return)
+            }
+            Tok::Ident(name) if name == "barrier" => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                // Accept an optional fence-flag identifier for OpenCL
+                // compatibility (e.g. CLK_LOCAL_MEM_FENCE).
+                if let Tok::Ident(_) = self.peek() {
+                    self.bump();
+                }
+                self.expect(&Tok::RParen)?;
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Barrier)
+            }
+            _ => {
+                let s = self.simple_stmt_no_semi()?;
+                self.expect(&Tok::Semi)?;
+                Ok(s)
+            }
+        }
+    }
+
+    /// Assignment / store / declaration without the trailing semicolon
+    /// (used in `for` headers and as a fallback statement).
+    fn simple_stmt_no_semi(&mut self) -> Result<Stmt, IrError> {
+        if matches!(self.peek(), Tok::FloatTy | Tok::IntTy | Tok::BoolTy) {
+            let ty = self.scalar_ty()?;
+            let name = self.ident()?;
+            self.expect(&Tok::Assign)?;
+            let init = self.expr()?;
+            return Ok(Stmt::Decl { ty, name, init });
+        }
+        let name = self.ident()?;
+        if self.eat(&Tok::LBracket) {
+            let index = self.expr()?;
+            self.expect(&Tok::RBracket)?;
+            self.expect(&Tok::Assign)?;
+            let value = self.expr()?;
+            Ok(Stmt::Store {
+                base: name,
+                index,
+                value,
+            })
+        } else {
+            self.expect(&Tok::Assign)?;
+            let value = self.expr()?;
+            Ok(Stmt::Assign { name, value })
+        }
+    }
+
+    fn block_or_single(&mut self) -> Result<Vec<Stmt>, IrError> {
+        if self.at(&Tok::LBrace) {
+            self.block()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    // Expression precedence climbing.
+    fn expr(&mut self) -> Result<Expr, IrError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, IrError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&Tok::OrOr) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::bin(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, IrError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat(&Tok::AndAnd) {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::bin(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, IrError> {
+        let mut lhs = self.add_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Eq => BinOp::Eq,
+                Tok::Ne => BinOp::Ne,
+                Tok::Lt => BinOp::Lt,
+                Tok::Le => BinOp::Le,
+                Tok::Gt => BinOp::Gt,
+                Tok::Ge => BinOp::Ge,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.add_expr()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, IrError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, IrError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Rem,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, IrError> {
+        if self.eat(&Tok::Minus) {
+            let e = self.unary_expr()?;
+            return Ok(Expr::Un {
+                op: UnOp::Neg,
+                expr: Box::new(e),
+            });
+        }
+        if self.eat(&Tok::Not) {
+            let e = self.unary_expr()?;
+            return Ok(Expr::Un {
+                op: UnOp::Not,
+                expr: Box::new(e),
+            });
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, IrError> {
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::IntLit(v))
+            }
+            Tok::Float(v) => {
+                self.bump();
+                Ok(Expr::FloatLit(v))
+            }
+            Tok::True => {
+                self.bump();
+                Ok(Expr::BoolLit(true))
+            }
+            Tok::False => {
+                self.bump();
+                Ok(Expr::BoolLit(false))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            // Conversion casts spelled like calls: float(x), int(x).
+            Tok::FloatTy | Tok::IntTy => {
+                let name = if self.at(&Tok::FloatTy) {
+                    "float"
+                } else {
+                    "int"
+                };
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let arg = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(Expr::Call {
+                    name: name.to_owned(),
+                    args: vec![arg],
+                })
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if self.eat(&Tok::LParen) {
+                    let mut args = Vec::new();
+                    if !self.at(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Tok::RParen)?;
+                    Ok(Expr::Call { name, args })
+                } else if self.eat(&Tok::LBracket) {
+                    let index = self.expr()?;
+                    self.expect(&Tok::RBracket)?;
+                    Ok(Expr::Index {
+                        base: name,
+                        index: Box::new(index),
+                    })
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => Err(IrError::Parse {
+                loc: self.loc(),
+                msg: format!("expected expression, found '{other}'"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(src: &str) -> Program {
+        parse(src).unwrap_or_else(|e| panic!("parse failed: {e}\nsource:\n{src}"))
+    }
+
+    #[test]
+    fn parses_minimal_kernel() {
+        let p = parse_ok("kernel k() { return; }");
+        assert_eq!(p.kernels.len(), 1);
+        assert_eq!(p.kernels[0].name, "k");
+        assert_eq!(p.kernels[0].body, vec![Stmt::Return]);
+    }
+
+    #[test]
+    fn parses_opencl_style_signature() {
+        let p = parse_ok(
+            "__kernel void blur(__global const float* in, __global float* out, int w) { return; }",
+        );
+        let k = &p.kernels[0];
+        assert_eq!(k.params.len(), 3);
+        assert_eq!(
+            k.params[0].ty,
+            ParamTy::GlobalPtr {
+                elem: ScalarTy::Float,
+                is_const: true
+            }
+        );
+        assert_eq!(
+            k.params[1].ty,
+            ParamTy::GlobalPtr {
+                elem: ScalarTy::Float,
+                is_const: false
+            }
+        );
+        assert_eq!(k.params[2].ty, ParamTy::Scalar(ScalarTy::Int));
+    }
+
+    #[test]
+    fn parses_declarations_and_assignments() {
+        let p = parse_ok(
+            "kernel k(global float* buf) {
+                 int x = get_global_id(0);
+                 float v = 1.5;
+                 v = v * 2.0;
+                 buf[x] = v;
+             }",
+        );
+        let body = &p.kernels[0].body;
+        assert!(matches!(
+            body[0],
+            Stmt::Decl {
+                ty: ScalarTy::Int,
+                ..
+            }
+        ));
+        assert!(matches!(
+            body[1],
+            Stmt::Decl {
+                ty: ScalarTy::Float,
+                ..
+            }
+        ));
+        assert!(matches!(body[2], Stmt::Assign { .. }));
+        assert!(matches!(body[3], Stmt::Store { .. }));
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let p = parse_ok(
+            "kernel k(int n) {
+                 int acc = 0;
+                 for (int i = 0; i < n; i = i + 1) {
+                     if (i % 2 == 0) { acc = acc + i; } else { acc = acc - 1; }
+                 }
+                 while (acc > 10) { acc = acc - 10; }
+             }",
+        );
+        let body = &p.kernels[0].body;
+        assert!(matches!(body[1], Stmt::For { .. }));
+        assert!(matches!(body[2], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn parses_barrier_with_and_without_flags() {
+        let p = parse_ok(
+            "kernel k() {
+                 barrier();
+                 barrier(CLK_LOCAL_MEM_FENCE);
+             }",
+        );
+        assert_eq!(p.kernels[0].body, vec![Stmt::Barrier, Stmt::Barrier]);
+        assert_eq!(p.kernels[0].phases().len(), 3);
+    }
+
+    #[test]
+    fn parses_local_declaration() {
+        let p = parse_ok("kernel k() { local float tile[324]; }");
+        assert!(matches!(
+            p.kernels[0].body[0],
+            Stmt::LocalDecl {
+                elem: ScalarTy::Float,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse_ok("kernel k(int a, int b, int c) { int x = a + b * c; }");
+        let Stmt::Decl { init, .. } = &p.kernels[0].body[0] else {
+            panic!()
+        };
+        // a + (b * c)
+        let Expr::Bin {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = init
+        else {
+            panic!("{init:?}")
+        };
+        assert!(matches!(**rhs, Expr::Bin { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn precedence_cmp_over_logic() {
+        let p = parse_ok("kernel k(int a) { bool b = a < 1 && a > -1 || false; }");
+        let Stmt::Decl { init, .. } = &p.kernels[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(init, Expr::Bin { op: BinOp::Or, .. }));
+    }
+
+    #[test]
+    fn unary_operators_nest() {
+        let p = parse_ok("kernel k(int a) { int x = - - a; bool b = !!true; }");
+        let Stmt::Decl { init, .. } = &p.kernels[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(init, Expr::Un { op: UnOp::Neg, .. }));
+    }
+
+    #[test]
+    fn single_statement_bodies_allowed() {
+        let p = parse_ok("kernel k(int a) { if (a > 0) a = 0; else a = 1; }");
+        let Stmt::If {
+            then_body,
+            else_body,
+            ..
+        } = &p.kernels[0].body[0]
+        else {
+            panic!()
+        };
+        assert_eq!(then_body.len(), 1);
+        assert_eq!(else_body.len(), 1);
+    }
+
+    #[test]
+    fn multiple_kernels() {
+        let p = parse_ok("kernel a() { return; } kernel b() { return; }");
+        assert_eq!(p.kernels.len(), 2);
+        assert!(p.kernel("a").is_some());
+        assert!(p.kernel("b").is_some());
+        assert!(p.kernel("c").is_none());
+    }
+
+    #[test]
+    fn parses_conversion_casts() {
+        let p = parse_ok("kernel k(int a) { float f = float(a); int i = int(f); }");
+        let Stmt::Decl { init, .. } = &p.kernels[0].body[0] else {
+            panic!()
+        };
+        assert_eq!(init, &Expr::call("float", vec![Expr::var("a")]));
+    }
+
+    #[test]
+    fn error_on_missing_paren() {
+        let err = parse("kernel k( { }").unwrap_err();
+        assert!(matches!(err, IrError::Parse { .. }), "{err}");
+    }
+
+    #[test]
+    fn error_on_unclosed_block() {
+        assert!(matches!(
+            parse("kernel k() { return;"),
+            Err(IrError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn error_on_empty_program() {
+        assert!(matches!(parse("   "), Err(IrError::Parse { .. })));
+    }
+
+    #[test]
+    fn error_on_garbage_expression() {
+        assert!(matches!(
+            parse("kernel k() { int x = ; }"),
+            Err(IrError::Parse { .. })
+        ));
+    }
+}

@@ -1,0 +1,221 @@
+//! Pretty-printer: AST back to PerfCL source.
+//!
+//! The printer's output re-parses to the same AST (round-trip property,
+//! tested here and by proptests), which is what makes the perforation
+//! pass's generated kernels inspectable and diffable.
+
+use crate::ast::{Expr, KernelDef, Param, Program, Stmt, UnOp};
+
+/// Prints a whole program.
+pub fn print_program(p: &Program) -> String {
+    p.kernels
+        .iter()
+        .map(print_kernel)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Prints one kernel definition.
+pub fn print_kernel(k: &KernelDef) -> String {
+    let params = k
+        .params
+        .iter()
+        .map(|Param { name, ty }| format!("{ty} {name}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let mut out = format!("kernel {}({}) {{\n", k.name, params);
+    for s in &k.body {
+        print_stmt(s, 1, &mut out);
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_stmt(s: &Stmt, level: usize, out: &mut String) {
+    indent(level, out);
+    match s {
+        Stmt::Decl { ty, name, init } => {
+            out.push_str(&format!("{ty} {name} = {};\n", print_expr(init)));
+        }
+        Stmt::LocalDecl { elem, name, len } => {
+            out.push_str(&format!("local {elem} {name}[{}];\n", print_expr(len)));
+        }
+        Stmt::Assign { name, value } => {
+            out.push_str(&format!("{name} = {};\n", print_expr(value)));
+        }
+        Stmt::Store { base, index, value } => {
+            out.push_str(&format!(
+                "{base}[{}] = {};\n",
+                print_expr(index),
+                print_expr(value)
+            ));
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            out.push_str(&format!("if ({}) {{\n", print_expr(cond)));
+            for s in then_body {
+                print_stmt(s, level + 1, out);
+            }
+            indent(level, out);
+            if else_body.is_empty() {
+                out.push_str("}\n");
+            } else {
+                out.push_str("} else {\n");
+                for s in else_body {
+                    print_stmt(s, level + 1, out);
+                }
+                indent(level, out);
+                out.push_str("}\n");
+            }
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            let mut init_s = String::new();
+            print_stmt(init, 0, &mut init_s);
+            let mut step_s = String::new();
+            print_stmt(step, 0, &mut step_s);
+            out.push_str(&format!(
+                "for ({}; {}; {}) {{\n",
+                init_s.trim_end().trim_end_matches(';'),
+                print_expr(cond),
+                step_s.trim_end().trim_end_matches(';')
+            ));
+            for s in body {
+                print_stmt(s, level + 1, out);
+            }
+            indent(level, out);
+            out.push_str("}\n");
+        }
+        Stmt::While { cond, body } => {
+            out.push_str(&format!("while ({}) {{\n", print_expr(cond)));
+            for s in body {
+                print_stmt(s, level + 1, out);
+            }
+            indent(level, out);
+            out.push_str("}\n");
+        }
+        Stmt::Barrier => out.push_str("barrier();\n"),
+        Stmt::Return => out.push_str("return;\n"),
+    }
+}
+
+/// Prints an expression (fully parenthesized compounds, so precedence
+/// never needs re-deriving).
+pub fn print_expr(e: &Expr) -> String {
+    match e {
+        Expr::IntLit(v) => v.to_string(),
+        Expr::FloatLit(v) => {
+            let s = format!("{v}");
+            // Keep float literals lexable as floats.
+            if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        Expr::BoolLit(b) => b.to_string(),
+        Expr::Var(name) => name.clone(),
+        Expr::Bin { op, lhs, rhs } => {
+            format!("({} {} {})", print_expr(lhs), op.symbol(), print_expr(rhs))
+        }
+        Expr::Un { op, expr } => match op {
+            UnOp::Neg => format!("(-{})", print_expr(expr)),
+            UnOp::Not => format!("(!{})", print_expr(expr)),
+        },
+        Expr::Index { base, index } => format!("{base}[{}]", print_expr(index)),
+        Expr::Call { name, args } => {
+            let args = args.iter().map(print_expr).collect::<Vec<_>>().join(", ");
+            format!("{name}({args})")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn roundtrip(src: &str) {
+        let p1 = parse(src).unwrap();
+        let printed = print_program(&p1);
+        let p2 = parse(&printed)
+            .unwrap_or_else(|e| panic!("printed source does not re-parse: {e}\n{printed}"));
+        // Compare modulo source locations.
+        assert_eq!(p1.kernels.len(), p2.kernels.len());
+        for (a, b) in p1.kernels.iter().zip(&p2.kernels) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.params, b.params);
+            assert_eq!(a.body, b.body, "bodies differ after roundtrip:\n{printed}");
+        }
+    }
+
+    #[test]
+    fn roundtrips_simple_kernel() {
+        roundtrip(
+            "kernel k(global const float* a, global float* b, int n) {
+                       int i = get_global_id(0);
+                       if (i < n) { b[i] = a[i] * 2.0; }
+                   }",
+        );
+    }
+
+    #[test]
+    fn roundtrips_control_flow() {
+        roundtrip(
+            "kernel k(int n) {
+                 int acc = 0;
+                 for (int i = 0; i < n; i = i + 1) {
+                     if (i % 2 == 0) { acc = acc + i; } else { acc = acc - 1; }
+                 }
+                 while (acc > 10 && n < 100 || false) { acc = acc - 10; }
+                 return;
+             }",
+        );
+    }
+
+    #[test]
+    fn roundtrips_local_and_barrier() {
+        roundtrip(
+            "kernel k(global float* b) {
+                 local float tile[4 * 9];
+                 int li = get_local_id(0);
+                 tile[li] = b[li];
+                 barrier();
+                 b[li] = tile[3 - li];
+             }",
+        );
+    }
+
+    #[test]
+    fn roundtrips_negative_and_not() {
+        roundtrip("kernel k(int a) { int x = -a + -3; bool b = !(a > 0); }");
+    }
+
+    #[test]
+    fn float_literals_stay_floats() {
+        roundtrip("kernel k(global float* b) { b[0] = 2.0 * 0.5; b[1] = 1.5e3; }");
+        assert_eq!(print_expr(&Expr::FloatLit(2.0)), "2.0");
+        assert_eq!(print_expr(&Expr::FloatLit(0.25)), "0.25");
+    }
+
+    #[test]
+    fn precedence_is_preserved_by_parens() {
+        let p = parse("kernel k(int a, int b, int c) { int x = (a + b) * c; }").unwrap();
+        let printed = print_program(&p);
+        let p2 = parse(&printed).unwrap();
+        assert_eq!(p.kernels[0].body, p2.kernels[0].body);
+    }
+}

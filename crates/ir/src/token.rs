@@ -1,0 +1,195 @@
+//! Tokens of the PerfCL kernel language (an OpenCL C subset).
+
+/// Source location (1-based line and column) for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Loc {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Loc {
+    /// Location of the start of a source file.
+    pub fn start() -> Self {
+        Self { line: 1, col: 1 }
+    }
+}
+
+impl std::fmt::Display for Loc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    // Literals and identifiers.
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f32),
+    /// Identifier.
+    Ident(String),
+
+    // Keywords.
+    /// `kernel`
+    Kernel,
+    /// `global`
+    Global,
+    /// `local`
+    Local,
+    /// `const`
+    Const,
+    /// `float`
+    FloatTy,
+    /// `int`
+    IntTy,
+    /// `bool`
+    BoolTy,
+    /// `void`
+    Void,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `for`
+    For,
+    /// `while`
+    While,
+    /// `return`
+    Return,
+    /// `true`
+    True,
+    /// `false`
+    False,
+
+    // Punctuation and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `=`
+    Assign,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Not,
+
+    /// End of input.
+    Eof,
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Float(v) => write!(f, "{v}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Kernel => write!(f, "kernel"),
+            Tok::Global => write!(f, "global"),
+            Tok::Local => write!(f, "local"),
+            Tok::Const => write!(f, "const"),
+            Tok::FloatTy => write!(f, "float"),
+            Tok::IntTy => write!(f, "int"),
+            Tok::BoolTy => write!(f, "bool"),
+            Tok::Void => write!(f, "void"),
+            Tok::If => write!(f, "if"),
+            Tok::Else => write!(f, "else"),
+            Tok::For => write!(f, "for"),
+            Tok::While => write!(f, "while"),
+            Tok::Return => write!(f, "return"),
+            Tok::True => write!(f, "true"),
+            Tok::False => write!(f, "false"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::Comma => write!(f, ","),
+            Tok::Semi => write!(f, ";"),
+            Tok::Star => write!(f, "*"),
+            Tok::Slash => write!(f, "/"),
+            Tok::Percent => write!(f, "%"),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Assign => write!(f, "="),
+            Tok::Eq => write!(f, "=="),
+            Tok::Ne => write!(f, "!="),
+            Tok::Lt => write!(f, "<"),
+            Tok::Le => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Ge => write!(f, ">="),
+            Tok::AndAnd => write!(f, "&&"),
+            Tok::OrOr => write!(f, "||"),
+            Tok::Not => write!(f, "!"),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token paired with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub loc: Loc,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loc_displays() {
+        assert_eq!(Loc { line: 3, col: 7 }.to_string(), "3:7");
+        assert_eq!(Loc::start().to_string(), "1:1");
+    }
+
+    #[test]
+    fn token_display_samples() {
+        assert_eq!(Tok::Kernel.to_string(), "kernel");
+        assert_eq!(Tok::Le.to_string(), "<=");
+        assert_eq!(Tok::Ident("abc".into()).to_string(), "abc");
+        assert_eq!(Tok::Int(-3).to_string(), "-3");
+    }
+}

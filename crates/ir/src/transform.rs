@@ -1,0 +1,1021 @@
+//! The automatic local memory-aware perforation pass (paper §7's
+//! "fully automatic compiler-based framework").
+//!
+//! Given a kernel in the canonical stencil form (see [`crate::analysis`]),
+//! the pass generates a new kernel implementing the paper's three-phase
+//! pipeline:
+//!
+//! 1. **data perforation** — a cooperative, scheme-filtered load of the
+//!    work-group tile into a generated `local` array,
+//! 2. **data reconstruction** — scheme/technique-specific filling of the
+//!    skipped elements in local memory,
+//! 3. **kernel execution** — the original body with every read of the
+//!    input buffer rewritten to the reconstructed tile.
+//!
+//! The generated source is ordinary PerfCL: it pretty-prints, re-parses,
+//! type-checks and runs on the simulator like hand-written code, and its
+//! semantics match the hand-built `kp-core` pipeline kernels element for
+//! element (tie-breaking included), which the integration tests assert.
+
+use crate::analysis::{analyze, StencilInfo};
+use crate::ast::{BinOp, Expr, KernelDef, ScalarTy, Stmt};
+use crate::error::IrError;
+
+/// Perforation schemes supported by the code generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IrScheme {
+    /// Skip every other row (`Rows1`).
+    RowsHalf,
+    /// Skip 3 of 4 rows (`Rows2`).
+    RowsQuarter,
+    /// Skip every other column (`Cols1`).
+    ColsHalf,
+    /// Skip the halo ring (`Stencil1`); requires `halo ≥ 1`.
+    Stencil,
+}
+
+/// Reconstruction techniques supported by the code generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IrRecon {
+    /// Nearest neighbor.
+    NearestNeighbor,
+    /// Linear interpolation (rows/cols schemes only).
+    LinearInterpolation,
+}
+
+/// Options of one pass invocation. The pass specializes the kernel for a
+/// fixed work-group size (as a real specializing compiler would); launches
+/// must use the same size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassConfig {
+    /// Perforation scheme to apply.
+    pub scheme: IrScheme,
+    /// Reconstruction technique.
+    pub reconstruction: IrRecon,
+    /// Work-group width the kernel is specialized for.
+    pub tile_w: usize,
+    /// Work-group height the kernel is specialized for.
+    pub tile_h: usize,
+}
+
+/// Applies the perforation pass to a kernel.
+///
+/// # Errors
+///
+/// Returns [`IrError::Transform`] if the kernel does not match the
+/// canonical stencil shape, uses reserved `__`-prefixed names, or the
+/// scheme/reconstruction combination is invalid (e.g. `Stencil` on a
+/// halo-0 kernel, LI with `Stencil`).
+pub fn perforate_kernel(kernel: &KernelDef, cfg: &PassConfig) -> Result<KernelDef, IrError> {
+    let info = analyze(kernel)?;
+    let halo = info.halo();
+
+    if cfg.tile_w == 0 || cfg.tile_h == 0 {
+        return Err(IrError::Transform(
+            "tile dimensions must be non-zero".into(),
+        ));
+    }
+    match cfg.scheme {
+        IrScheme::Stencil if halo == 0 => {
+            return Err(IrError::Transform(
+                "the stencil scheme needs a stencil kernel (halo >= 1)".into(),
+            ))
+        }
+        IrScheme::RowsQuarter if cfg.tile_h + 2 * halo < 4 => {
+            return Err(IrError::Transform(
+                "Rows2 needs a tile at least 4 rows high".into(),
+            ))
+        }
+        _ => {}
+    }
+    if cfg.reconstruction == IrRecon::LinearInterpolation && cfg.scheme == IrScheme::Stencil {
+        return Err(IrError::Transform(
+            "linear interpolation is undefined for the stencil scheme; use NN".into(),
+        ));
+    }
+    if uses_reserved_names(kernel) {
+        return Err(IrError::Transform(
+            "kernel uses reserved '__'-prefixed identifiers".into(),
+        ));
+    }
+
+    let pw = (cfg.tile_w + 2 * halo) as i64;
+    let ph = (cfg.tile_h + 2 * halo) as i64;
+    let plen = pw * ph;
+    let group_size = (cfg.tile_w * cfg.tile_h) as i64;
+    let g = Gen {
+        info: &info,
+        cfg: *cfg,
+        halo: halo as i64,
+        pw,
+        ph,
+        plen,
+        group_size,
+    };
+
+    let mut body = Vec::new();
+    // local float __tile[PLEN];
+    body.push(Stmt::LocalDecl {
+        elem: ScalarTy::Float,
+        name: "__tile".into(),
+        len: Expr::IntLit(plen),
+    });
+    body.push(decl_int(
+        "__lx",
+        Expr::call("get_local_id", vec![Expr::IntLit(0)]),
+    ));
+    body.push(decl_int(
+        "__ly",
+        Expr::call("get_local_id", vec![Expr::IntLit(1)]),
+    ));
+    body.push(decl_int(
+        "__flat",
+        Expr::bin(
+            BinOp::Add,
+            Expr::bin(
+                BinOp::Mul,
+                Expr::var("__ly"),
+                Expr::IntLit(cfg.tile_w as i64),
+            ),
+            Expr::var("__lx"),
+        ),
+    ));
+
+    // Phase (Ia): perforated cooperative load.
+    body.push(g.stride_loop("__k", g.load_body()));
+    body.push(Stmt::Barrier);
+    // Phase (Ib): reconstruction.
+    body.push(g.stride_loop("__r", g.recon_body()));
+    body.push(Stmt::Barrier);
+    // Phase (II): original body with input reads rewritten to the tile.
+    let mut compute = kernel.body.clone();
+    rewrite_stmts(&mut compute, &g)?;
+    body.extend(compute);
+
+    Ok(KernelDef {
+        name: format!("{}_perforated", kernel.name),
+        params: kernel.params.clone(),
+        body,
+        loc: kernel.loc,
+    })
+}
+
+struct Gen<'i> {
+    info: &'i StencilInfo,
+    cfg: PassConfig,
+    halo: i64,
+    pw: i64,
+    ph: i64,
+    plen: i64,
+    group_size: i64,
+}
+
+fn decl_int(name: &str, init: Expr) -> Stmt {
+    Stmt::Decl {
+        ty: ScalarTy::Int,
+        name: name.to_owned(),
+        init,
+    }
+}
+
+impl Gen<'_> {
+    /// `int VAR = __flat; while (VAR < PLEN) { <coords>; BODY; VAR += GS; }`
+    fn stride_loop(&self, var: &str, mut inner: Vec<Stmt>) -> Stmt {
+        let mut body = vec![
+            decl_int(
+                "__px",
+                Expr::bin(BinOp::Rem, Expr::var(var), Expr::IntLit(self.pw)),
+            ),
+            decl_int(
+                "__py",
+                Expr::bin(BinOp::Div, Expr::var(var), Expr::IntLit(self.pw)),
+            ),
+            decl_int(
+                "__gx",
+                Expr::bin(
+                    BinOp::Sub,
+                    Expr::bin(
+                        BinOp::Add,
+                        Expr::bin(
+                            BinOp::Mul,
+                            Expr::call("get_group_id", vec![Expr::IntLit(0)]),
+                            Expr::IntLit(self.cfg.tile_w as i64),
+                        ),
+                        Expr::var("__px"),
+                    ),
+                    Expr::IntLit(self.halo),
+                ),
+            ),
+            decl_int(
+                "__gy",
+                Expr::bin(
+                    BinOp::Sub,
+                    Expr::bin(
+                        BinOp::Add,
+                        Expr::bin(
+                            BinOp::Mul,
+                            Expr::call("get_group_id", vec![Expr::IntLit(1)]),
+                            Expr::IntLit(self.cfg.tile_h as i64),
+                        ),
+                        Expr::var("__py"),
+                    ),
+                    Expr::IntLit(self.halo),
+                ),
+            ),
+        ];
+        body.append(&mut inner);
+        Stmt::For {
+            init: Box::new(decl_int(var, Expr::var("__flat"))),
+            cond: Expr::bin(BinOp::Lt, Expr::var(var), Expr::IntLit(self.plen)),
+            step: Box::new(Stmt::Assign {
+                name: var.to_owned(),
+                value: Expr::bin(BinOp::Add, Expr::var(var), Expr::IntLit(self.group_size)),
+            }),
+            body,
+        }
+    }
+
+    /// The scheme's "is loaded" predicate over `__gx`/`__gy`/`__px`/`__py`.
+    fn loads_pred(&self) -> Expr {
+        match self.cfg.scheme {
+            IrScheme::RowsHalf => Expr::bin(
+                BinOp::Eq,
+                Expr::bin(BinOp::Rem, Expr::var("__gy"), Expr::IntLit(2)),
+                Expr::IntLit(0),
+            ),
+            IrScheme::RowsQuarter => Expr::bin(
+                BinOp::Eq,
+                Expr::bin(BinOp::Rem, Expr::var("__gy"), Expr::IntLit(4)),
+                Expr::IntLit(0),
+            ),
+            IrScheme::ColsHalf => Expr::bin(
+                BinOp::Eq,
+                Expr::bin(BinOp::Rem, Expr::var("__gx"), Expr::IntLit(2)),
+                Expr::IntLit(0),
+            ),
+            IrScheme::Stencil => {
+                let in_range = |v: &str, lo: i64, hi: i64| {
+                    Expr::bin(
+                        BinOp::And,
+                        Expr::bin(BinOp::Ge, Expr::var(v), Expr::IntLit(lo)),
+                        Expr::bin(BinOp::Lt, Expr::var(v), Expr::IntLit(hi)),
+                    )
+                };
+                Expr::bin(
+                    BinOp::And,
+                    in_range("__px", self.halo, self.halo + self.cfg.tile_w as i64),
+                    in_range("__py", self.halo, self.halo + self.cfg.tile_h as i64),
+                )
+            }
+        }
+    }
+
+    /// Load-phase inner statements.
+    fn load_body(&self) -> Vec<Stmt> {
+        // __tile[__k] = input[clamp(__gy,0,h-1) * width + clamp(__gx,0,w-1)];
+        let gidx = Expr::bin(
+            BinOp::Add,
+            Expr::bin(
+                BinOp::Mul,
+                Expr::call(
+                    "clamp",
+                    vec![
+                        Expr::var("__gy"),
+                        Expr::IntLit(0),
+                        Expr::bin(BinOp::Sub, Expr::var(&self.info.height), Expr::IntLit(1)),
+                    ],
+                ),
+                Expr::var(&self.info.width),
+            ),
+            Expr::call(
+                "clamp",
+                vec![
+                    Expr::var("__gx"),
+                    Expr::IntLit(0),
+                    Expr::bin(BinOp::Sub, Expr::var(&self.info.width), Expr::IntLit(1)),
+                ],
+            ),
+        );
+        vec![Stmt::If {
+            cond: self.loads_pred(),
+            then_body: vec![Stmt::Store {
+                base: "__tile".into(),
+                index: Expr::var("__k"),
+                value: Expr::index(&self.info.input, gidx),
+            }],
+            else_body: vec![],
+        }]
+    }
+
+    /// `__tile[AY * PW + AX]`
+    fn tile_at(&self, ax: Expr, ay: Expr) -> Expr {
+        Expr::index(
+            "__tile",
+            Expr::bin(
+                BinOp::Add,
+                Expr::bin(BinOp::Mul, ay, Expr::IntLit(self.pw)),
+                ax,
+            ),
+        )
+    }
+
+    /// Reconstruction-phase inner statements.
+    fn recon_body(&self) -> Vec<Stmt> {
+        let store_from = |src_x: Expr, src_y: Expr| Stmt::Store {
+            base: "__tile".into(),
+            index: Expr::var("__r"),
+            value: self.tile_at(src_x, src_y),
+        };
+        let recon: Vec<Stmt> = match (self.cfg.scheme, self.cfg.reconstruction) {
+            (IrScheme::RowsHalf, IrRecon::NearestNeighbor) => vec![
+                // Prefer the row above (matches the library's tie-break).
+                decl_int(
+                    "__src",
+                    Expr::bin(BinOp::Sub, Expr::var("__py"), Expr::IntLit(1)),
+                ),
+                Stmt::If {
+                    cond: Expr::bin(BinOp::Lt, Expr::var("__src"), Expr::IntLit(0)),
+                    then_body: vec![Stmt::Assign {
+                        name: "__src".into(),
+                        value: Expr::bin(BinOp::Add, Expr::var("__py"), Expr::IntLit(1)),
+                    }],
+                    else_body: vec![],
+                },
+                store_from(Expr::var("__px"), Expr::var("__src")),
+            ],
+            (IrScheme::RowsHalf, IrRecon::LinearInterpolation) => {
+                let up = self.tile_at(
+                    Expr::var("__px"),
+                    Expr::bin(BinOp::Sub, Expr::var("__py"), Expr::IntLit(1)),
+                );
+                let dn = self.tile_at(
+                    Expr::var("__px"),
+                    Expr::bin(BinOp::Add, Expr::var("__py"), Expr::IntLit(1)),
+                );
+                vec![Stmt::If {
+                    cond: Expr::bin(
+                        BinOp::Lt,
+                        Expr::bin(BinOp::Sub, Expr::var("__py"), Expr::IntLit(1)),
+                        Expr::IntLit(0),
+                    ),
+                    then_body: vec![store_from(
+                        Expr::var("__px"),
+                        Expr::bin(BinOp::Add, Expr::var("__py"), Expr::IntLit(1)),
+                    )],
+                    else_body: vec![Stmt::If {
+                        cond: Expr::bin(
+                            BinOp::Ge,
+                            Expr::bin(BinOp::Add, Expr::var("__py"), Expr::IntLit(1)),
+                            Expr::IntLit(self.ph),
+                        ),
+                        then_body: vec![store_from(
+                            Expr::var("__px"),
+                            Expr::bin(BinOp::Sub, Expr::var("__py"), Expr::IntLit(1)),
+                        )],
+                        else_body: vec![Stmt::Store {
+                            base: "__tile".into(),
+                            index: Expr::var("__r"),
+                            value: Expr::bin(
+                                BinOp::Mul,
+                                Expr::bin(BinOp::Add, up, dn),
+                                Expr::FloatLit(0.5),
+                            ),
+                        }],
+                    }],
+                }]
+            }
+            (IrScheme::RowsQuarter, IrRecon::NearestNeighbor) => vec![
+                // Distance to the loaded row above: d = ((gy % 4) + 4) % 4.
+                decl_int(
+                    "__d",
+                    Expr::bin(
+                        BinOp::Rem,
+                        Expr::bin(
+                            BinOp::Add,
+                            Expr::bin(BinOp::Rem, Expr::var("__gy"), Expr::IntLit(4)),
+                            Expr::IntLit(4),
+                        ),
+                        Expr::IntLit(4),
+                    ),
+                ),
+                decl_int(
+                    "__src",
+                    Expr::bin(BinOp::Sub, Expr::var("__py"), Expr::var("__d")),
+                ),
+                // d == 3: the row below (distance 1) is nearer.
+                Stmt::If {
+                    cond: Expr::bin(BinOp::Eq, Expr::var("__d"), Expr::IntLit(3)),
+                    then_body: vec![Stmt::Assign {
+                        name: "__src".into(),
+                        value: Expr::bin(BinOp::Add, Expr::var("__py"), Expr::IntLit(1)),
+                    }],
+                    else_body: vec![],
+                },
+                // Border fallbacks.
+                Stmt::If {
+                    cond: Expr::bin(BinOp::Lt, Expr::var("__src"), Expr::IntLit(0)),
+                    then_body: vec![Stmt::Assign {
+                        name: "__src".into(),
+                        value: Expr::bin(
+                            BinOp::Add,
+                            Expr::var("__py"),
+                            Expr::bin(BinOp::Sub, Expr::IntLit(4), Expr::var("__d")),
+                        ),
+                    }],
+                    else_body: vec![],
+                },
+                Stmt::If {
+                    cond: Expr::bin(BinOp::Ge, Expr::var("__src"), Expr::IntLit(self.ph)),
+                    then_body: vec![Stmt::Assign {
+                        name: "__src".into(),
+                        value: Expr::bin(BinOp::Sub, Expr::var("__py"), Expr::var("__d")),
+                    }],
+                    else_body: vec![],
+                },
+                store_from(Expr::var("__px"), Expr::var("__src")),
+            ],
+            (IrScheme::ColsHalf, IrRecon::NearestNeighbor) => vec![
+                decl_int(
+                    "__src",
+                    Expr::bin(BinOp::Sub, Expr::var("__px"), Expr::IntLit(1)),
+                ),
+                Stmt::If {
+                    cond: Expr::bin(BinOp::Lt, Expr::var("__src"), Expr::IntLit(0)),
+                    then_body: vec![Stmt::Assign {
+                        name: "__src".into(),
+                        value: Expr::bin(BinOp::Add, Expr::var("__px"), Expr::IntLit(1)),
+                    }],
+                    else_body: vec![],
+                },
+                store_from(Expr::var("__src"), Expr::var("__py")),
+            ],
+            (IrScheme::ColsHalf, IrRecon::LinearInterpolation) => {
+                let left = self.tile_at(
+                    Expr::bin(BinOp::Sub, Expr::var("__px"), Expr::IntLit(1)),
+                    Expr::var("__py"),
+                );
+                let right = self.tile_at(
+                    Expr::bin(BinOp::Add, Expr::var("__px"), Expr::IntLit(1)),
+                    Expr::var("__py"),
+                );
+                vec![Stmt::If {
+                    cond: Expr::bin(
+                        BinOp::Lt,
+                        Expr::bin(BinOp::Sub, Expr::var("__px"), Expr::IntLit(1)),
+                        Expr::IntLit(0),
+                    ),
+                    then_body: vec![store_from(
+                        Expr::bin(BinOp::Add, Expr::var("__px"), Expr::IntLit(1)),
+                        Expr::var("__py"),
+                    )],
+                    else_body: vec![Stmt::If {
+                        cond: Expr::bin(
+                            BinOp::Ge,
+                            Expr::bin(BinOp::Add, Expr::var("__px"), Expr::IntLit(1)),
+                            Expr::IntLit(self.pw),
+                        ),
+                        then_body: vec![store_from(
+                            Expr::bin(BinOp::Sub, Expr::var("__px"), Expr::IntLit(1)),
+                            Expr::var("__py"),
+                        )],
+                        else_body: vec![Stmt::Store {
+                            base: "__tile".into(),
+                            index: Expr::var("__r"),
+                            value: Expr::bin(
+                                BinOp::Mul,
+                                Expr::bin(BinOp::Add, left, right),
+                                Expr::FloatLit(0.5),
+                            ),
+                        }],
+                    }],
+                }]
+            }
+            (IrScheme::Stencil, _) => vec![
+                decl_int(
+                    "__cx",
+                    Expr::call(
+                        "clamp",
+                        vec![
+                            Expr::var("__px"),
+                            Expr::IntLit(self.halo),
+                            Expr::IntLit(self.halo + self.cfg.tile_w as i64 - 1),
+                        ],
+                    ),
+                ),
+                decl_int(
+                    "__cy",
+                    Expr::call(
+                        "clamp",
+                        vec![
+                            Expr::var("__py"),
+                            Expr::IntLit(self.halo),
+                            Expr::IntLit(self.halo + self.cfg.tile_h as i64 - 1),
+                        ],
+                    ),
+                ),
+                store_from(Expr::var("__cx"), Expr::var("__cy")),
+            ],
+            (IrScheme::RowsQuarter, IrRecon::LinearInterpolation) => {
+                // Weighted interpolation between the loaded rows at
+                // distances d (above) and 4-d (below); borders fall back.
+                let wu = |d: Expr| {
+                    Expr::bin(
+                        BinOp::Div,
+                        Expr::bin(
+                            BinOp::Sub,
+                            Expr::FloatLit(4.0),
+                            Expr::call("float", vec![d]),
+                        ),
+                        Expr::FloatLit(4.0),
+                    )
+                };
+                let up_row = Expr::bin(BinOp::Sub, Expr::var("__py"), Expr::var("__d"));
+                let dn_row = Expr::bin(
+                    BinOp::Add,
+                    Expr::var("__py"),
+                    Expr::bin(BinOp::Sub, Expr::IntLit(4), Expr::var("__d")),
+                );
+                let up = self.tile_at(Expr::var("__px"), up_row.clone());
+                let dn = self.tile_at(Expr::var("__px"), dn_row.clone());
+                vec![
+                    decl_int(
+                        "__d",
+                        Expr::bin(
+                            BinOp::Rem,
+                            Expr::bin(
+                                BinOp::Add,
+                                Expr::bin(BinOp::Rem, Expr::var("__gy"), Expr::IntLit(4)),
+                                Expr::IntLit(4),
+                            ),
+                            Expr::IntLit(4),
+                        ),
+                    ),
+                    Stmt::If {
+                        cond: Expr::bin(BinOp::Lt, up_row.clone(), Expr::IntLit(0)),
+                        then_body: vec![store_from(Expr::var("__px"), dn_row.clone())],
+                        else_body: vec![Stmt::If {
+                            cond: Expr::bin(BinOp::Ge, dn_row, Expr::IntLit(self.ph)),
+                            then_body: vec![store_from(Expr::var("__px"), up_row)],
+                            else_body: vec![Stmt::Store {
+                                base: "__tile".into(),
+                                index: Expr::var("__r"),
+                                value: Expr::bin(
+                                    BinOp::Add,
+                                    Expr::bin(BinOp::Mul, up, wu(Expr::var("__d"))),
+                                    Expr::bin(
+                                        BinOp::Mul,
+                                        dn,
+                                        Expr::bin(
+                                            BinOp::Div,
+                                            Expr::call("float", vec![Expr::var("__d")]),
+                                            Expr::FloatLit(4.0),
+                                        ),
+                                    ),
+                                ),
+                            }],
+                        }],
+                    },
+                ]
+            }
+        };
+        vec![Stmt::If {
+            cond: Expr::Un {
+                op: crate::ast::UnOp::Not,
+                expr: Box::new(self.loads_pred()),
+            },
+            then_body: recon,
+            else_body: vec![],
+        }]
+    }
+}
+
+/// Rewrites reads of the input buffer to tile reads in the compute phase.
+fn rewrite_stmts(stmts: &mut [Stmt], g: &Gen<'_>) -> Result<(), IrError> {
+    for s in stmts {
+        match s {
+            Stmt::Decl { init, .. } => rewrite_expr(init, g)?,
+            Stmt::Assign { value, .. } => rewrite_expr(value, g)?,
+            Stmt::Store { index, value, .. } => {
+                rewrite_expr(index, g)?;
+                rewrite_expr(value, g)?;
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                rewrite_expr(cond, g)?;
+                rewrite_stmts(then_body, g)?;
+                rewrite_stmts(else_body, g)?;
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                rewrite_stmts(std::slice::from_mut(init), g)?;
+                rewrite_expr(cond, g)?;
+                rewrite_stmts(std::slice::from_mut(step), g)?;
+                rewrite_stmts(body, g)?;
+            }
+            Stmt::While { cond, body } => {
+                rewrite_expr(cond, g)?;
+                rewrite_stmts(body, g)?;
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+fn rewrite_expr(e: &mut Expr, g: &Gen<'_>) -> Result<(), IrError> {
+    // Recurse first.
+    match e {
+        Expr::Bin { lhs, rhs, .. } => {
+            rewrite_expr(lhs, g)?;
+            rewrite_expr(rhs, g)?;
+        }
+        Expr::Un { expr, .. } => rewrite_expr(expr, g)?,
+        Expr::Call { args, .. } => {
+            for a in args {
+                rewrite_expr(a, g)?;
+            }
+        }
+        Expr::Index { base, index } if *base != g.info.input => rewrite_expr(index, g)?,
+        _ => {}
+    }
+    if let Expr::Index { base, index } = e {
+        if *base == g.info.input {
+            let int_params = vec![g.info.width.clone()];
+            let d = crate::analysis::decompose_for_rewrite(
+                index,
+                &g.info.x_var,
+                &g.info.y_var,
+                &int_params,
+            )
+            .ok_or_else(|| {
+                IrError::Transform(format!(
+                    "read of '{}' in the compute phase does not decompose",
+                    g.info.input
+                ))
+            })?;
+            let tx = Expr::bin(BinOp::Add, Expr::var("__lx"), Expr::IntLit(g.halo + d.0));
+            let ty = Expr::bin(BinOp::Add, Expr::var("__ly"), Expr::IntLit(g.halo + d.1));
+            *e = Expr::index(
+                "__tile",
+                Expr::bin(
+                    BinOp::Add,
+                    Expr::bin(BinOp::Mul, ty, Expr::IntLit(g.pw)),
+                    tx,
+                ),
+            );
+        }
+    }
+    Ok(())
+}
+
+fn uses_reserved_names(kernel: &KernelDef) -> bool {
+    fn expr_uses(e: &Expr) -> bool {
+        match e {
+            Expr::Var(n) => n.starts_with("__"),
+            Expr::Bin { lhs, rhs, .. } => expr_uses(lhs) || expr_uses(rhs),
+            Expr::Un { expr, .. } => expr_uses(expr),
+            Expr::Index { base, index } => base.starts_with("__") || expr_uses(index),
+            Expr::Call { args, .. } => args.iter().any(expr_uses),
+            _ => false,
+        }
+    }
+    fn stmt_uses(s: &Stmt) -> bool {
+        match s {
+            Stmt::Decl { name, init, .. } => name.starts_with("__") || expr_uses(init),
+            Stmt::LocalDecl { name, len, .. } => name.starts_with("__") || expr_uses(len),
+            Stmt::Assign { name, value } => name.starts_with("__") || expr_uses(value),
+            Stmt::Store { base, index, value } => {
+                base.starts_with("__") || expr_uses(index) || expr_uses(value)
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                expr_uses(cond)
+                    || then_body.iter().any(stmt_uses)
+                    || else_body.iter().any(stmt_uses)
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                stmt_uses(init) || expr_uses(cond) || stmt_uses(step) || body.iter().any(stmt_uses)
+            }
+            Stmt::While { cond, body } => expr_uses(cond) || body.iter().any(stmt_uses),
+            _ => false,
+        }
+    }
+    kernel.params.iter().any(|p| p.name.starts_with("__")) || kernel.body.iter().any(stmt_uses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{ArgValue, IrKernel};
+    use crate::parser::parse;
+    use crate::pretty::print_kernel;
+    use kp_gpu_sim::{Device, DeviceConfig, NdRange};
+
+    const BLUR: &str = "kernel blur(global const float* in, global float* out,
+                                    int width, int height) {
+        int x = get_global_id(0);
+        int y = get_global_id(1);
+        if (x >= width || y >= height) { return; }
+        float acc = in[clamp(y - 1, 0, height - 1) * width + clamp(x - 1, 0, width - 1)]
+                  + in[clamp(y - 1, 0, height - 1) * width + clamp(x, 0, width - 1)]
+                  + in[clamp(y - 1, 0, height - 1) * width + clamp(x + 1, 0, width - 1)]
+                  + in[clamp(y, 0, height - 1) * width + clamp(x - 1, 0, width - 1)]
+                  + in[y * width + x]
+                  + in[clamp(y, 0, height - 1) * width + clamp(x + 1, 0, width - 1)]
+                  + in[clamp(y + 1, 0, height - 1) * width + clamp(x - 1, 0, width - 1)]
+                  + in[clamp(y + 1, 0, height - 1) * width + clamp(x, 0, width - 1)]
+                  + in[clamp(y + 1, 0, height - 1) * width + clamp(x + 1, 0, width - 1)];
+        out[y * width + x] = acc / 9.0;
+    }";
+
+    const INVERT: &str = "kernel invert(global const float* in, global float* out,
+                                        int width, int height) {
+        int x = get_global_id(0);
+        int y = get_global_id(1);
+        if (x >= width || y >= height) { return; }
+        out[y * width + x] = 1.0 - in[y * width + x];
+    }";
+
+    fn cfg(scheme: IrScheme, recon: IrRecon) -> PassConfig {
+        PassConfig {
+            scheme,
+            reconstruction: recon,
+            tile_w: 8,
+            tile_h: 8,
+        }
+    }
+
+    /// Runs `src` (accurate) and its perforated version on the same input,
+    /// returning (accurate, perforated, perforated report).
+    fn run_pair(
+        src: &str,
+        pass: &PassConfig,
+        w: usize,
+        h: usize,
+        data: &[f32],
+    ) -> (Vec<f32>, Vec<f32>, kp_gpu_sim::LaunchReport) {
+        let prog = parse(src).unwrap();
+        let perforated = perforate_kernel(&prog.kernels[0], pass).unwrap();
+
+        let mut dev = Device::new(DeviceConfig::firepro_w5100()).unwrap();
+        let input = dev.create_buffer_from("in", data).unwrap();
+        let out_a = dev.create_buffer::<f32>("out_a", w * h).unwrap();
+        let out_p = dev.create_buffer::<f32>("out_p", w * h).unwrap();
+        let args_a = [
+            ("in", ArgValue::Buffer(input)),
+            ("out", ArgValue::Buffer(out_a)),
+            ("width", ArgValue::Int(w as i64)),
+            ("height", ArgValue::Int(h as i64)),
+        ];
+        let args_p = [
+            ("in", ArgValue::Buffer(input)),
+            ("out", ArgValue::Buffer(out_p)),
+            ("width", ArgValue::Int(w as i64)),
+            ("height", ArgValue::Int(h as i64)),
+        ];
+        let range = NdRange::new_2d((w, h), (pass.tile_w, pass.tile_h)).unwrap();
+
+        let acc = IrKernel::new(prog.kernels[0].clone(), &args_a).unwrap();
+        dev.launch(&acc, range).unwrap();
+        assert!(acc.take_runtime_error().is_none());
+
+        let perf = IrKernel::new(perforated, &args_p).unwrap();
+        let report = dev.launch(&perf, range).unwrap();
+        assert!(perf.take_runtime_error().is_none());
+
+        (
+            dev.read_buffer::<f32>(out_a).unwrap(),
+            dev.read_buffer::<f32>(out_p).unwrap(),
+            report,
+        )
+    }
+
+    fn test_image(w: usize, h: usize) -> Vec<f32> {
+        (0..w * h)
+            .map(|i| {
+                let (x, y) = (i % w, i / w);
+                0.5 + 0.3 * ((x as f32 * 0.37).sin() * (y as f32 * 0.23).cos())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn generated_kernel_roundtrips_and_typechecks() {
+        let prog = parse(BLUR).unwrap();
+        let out = perforate_kernel(
+            &prog.kernels[0],
+            &cfg(IrScheme::RowsHalf, IrRecon::NearestNeighbor),
+        )
+        .unwrap();
+        assert_eq!(out.name, "blur_perforated");
+        assert_eq!(out.phases().len(), 3);
+        let printed = print_kernel(&out);
+        let reparsed = parse(&printed).unwrap();
+        crate::typeck::check(&reparsed.kernels[0]).unwrap();
+        assert!(printed.contains("local float __tile[100];"), "{printed}");
+    }
+
+    #[test]
+    fn perforated_blur_close_to_accurate_and_cheaper() {
+        let (w, h) = (32, 32);
+        let data = test_image(w, h);
+        let pass = cfg(IrScheme::RowsHalf, IrRecon::NearestNeighbor);
+        let (acc, perf, report) = run_pair(BLUR, &pass, w, h, &data);
+        let mre: f32 = acc
+            .iter()
+            .zip(&perf)
+            .map(|(a, p)| (a - p).abs() / a.abs().max(1e-2))
+            .sum::<f32>()
+            / acc.len() as f32;
+        assert!(mre < 0.05, "perforated blur MRE too high: {mre}");
+        assert!(mre > 0.0, "perforation should not be exact on a wavy image");
+        // Fewer DRAM reads than an accurate tile would need.
+        assert!(report.stats.dram_read_transactions > 0);
+    }
+
+    #[test]
+    fn stencil_scheme_keeps_interior_exact() {
+        let (w, h) = (32, 32);
+        let data = test_image(w, h);
+        let pass = cfg(IrScheme::Stencil, IrRecon::NearestNeighbor);
+        let (acc, perf, _) = run_pair(BLUR, &pass, w, h, &data);
+        // Outputs whose 3x3 window stays inside the tile interior are
+        // bit-exact; only halo-adjacent outputs differ.
+        let tile = 8;
+        for y in 0..h {
+            for x in 0..w {
+                let on_tile_edge =
+                    x % tile == 0 || x % tile == tile - 1 || y % tile == 0 || y % tile == tile - 1;
+                if !on_tile_edge {
+                    assert_eq!(acc[y * w + x], perf[y * w + x], "interior ({x},{y})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rows_li_exact_on_vertical_ramp() {
+        let (w, h) = (16, 16);
+        let data: Vec<f32> = (0..w * h).map(|i| (i / w) as f32).collect();
+        let pass = cfg(IrScheme::RowsHalf, IrRecon::LinearInterpolation);
+        let (_, perf, _) = run_pair(INVERT, &pass, w, h, &data);
+        // invert(ramp): loaded rows exact; interpolated rows exact except
+        // at tile borders where NN fallback applies.
+        for y in 1..h - 1 {
+            if y % 8 != 0 && y % 8 != 7 {
+                for x in 0..w {
+                    let expect = 1.0 - y as f32;
+                    assert!(
+                        (perf[y * w + x] - expect).abs() < 1e-5,
+                        "({x},{y}): {} vs {expect}",
+                        perf[y * w + x]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cols_scheme_mirrors_rows() {
+        let (w, h) = (16, 16);
+        let data: Vec<f32> = (0..w * h).map(|i| (i % w) as f32).collect();
+        let pass = cfg(IrScheme::ColsHalf, IrRecon::NearestNeighbor);
+        let (_, perf, _) = run_pair(INVERT, &pass, w, h, &data);
+        // Odd columns copy their left neighbor: value x-1.
+        for y in 0..h {
+            for x in (1..w).step_by(2) {
+                let expect = 1.0 - (x - 1) as f32;
+                assert_eq!(perf[y * w + x], expect, "({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn rows_quarter_loads_every_fourth_row() {
+        let (w, h) = (16, 16);
+        let data: Vec<f32> = (0..w * h).map(|i| (i / w) as f32).collect();
+        let pass = cfg(IrScheme::RowsQuarter, IrRecon::NearestNeighbor);
+        let (_, perf, _) = run_pair(INVERT, &pass, w, h, &data);
+        // Loaded rows (y % 4 == 0) are exact.
+        for y in (0..h).step_by(4) {
+            for x in 0..w {
+                assert_eq!(perf[y * w + x], 1.0 - y as f32);
+            }
+        }
+        // Skipped rows carry a loaded row's value (multiple of 4).
+        for y in 0..h {
+            let val = 1.0 - perf[y * w];
+            assert_eq!(val as usize % 4, 0, "row {y} reconstructed from row {val}");
+        }
+    }
+
+    #[test]
+    fn pass_rejects_bad_configurations() {
+        let prog = parse(INVERT).unwrap();
+        // Stencil on a pointwise kernel.
+        assert!(matches!(
+            perforate_kernel(
+                &prog.kernels[0],
+                &cfg(IrScheme::Stencil, IrRecon::NearestNeighbor)
+            ),
+            Err(IrError::Transform(_))
+        ));
+        // LI with stencil.
+        let blur = parse(BLUR).unwrap();
+        assert!(matches!(
+            perforate_kernel(
+                &blur.kernels[0],
+                &cfg(IrScheme::Stencil, IrRecon::LinearInterpolation)
+            ),
+            Err(IrError::Transform(_))
+        ));
+        // Zero tile.
+        assert!(perforate_kernel(
+            &blur.kernels[0],
+            &PassConfig {
+                scheme: IrScheme::RowsHalf,
+                reconstruction: IrRecon::NearestNeighbor,
+                tile_w: 0,
+                tile_h: 8
+            }
+        )
+        .is_err());
+        // Rows2 on a too-flat tile.
+        assert!(perforate_kernel(
+            &prog.kernels[0],
+            &PassConfig {
+                scheme: IrScheme::RowsQuarter,
+                reconstruction: IrRecon::NearestNeighbor,
+                tile_w: 16,
+                tile_h: 2
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn pass_rejects_reserved_names() {
+        let prog = parse(
+            "kernel k(global const float* in, global float* out, int w, int h) {
+                 int x = get_global_id(0);
+                 int y = get_global_id(1);
+                 int __evil = 0;
+                 if (y >= h) { return; }
+                 out[y * w + x] = in[y * w + x];
+             }",
+        )
+        .unwrap();
+        let err = perforate_kernel(
+            &prog.kernels[0],
+            &cfg(IrScheme::RowsHalf, IrRecon::NearestNeighbor),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("reserved"));
+    }
+
+    #[test]
+    fn perforated_kernel_reduces_dram_reads_vs_accurate() {
+        let (w, h) = (32, 32);
+        let data = test_image(w, h);
+        let prog = parse(INVERT).unwrap();
+        let pass = cfg(IrScheme::RowsHalf, IrRecon::NearestNeighbor);
+        let perforated = perforate_kernel(&prog.kernels[0], &pass).unwrap();
+
+        let mut dev = Device::new(DeviceConfig::firepro_w5100()).unwrap();
+        let input = dev.create_buffer_from("in", &data).unwrap();
+        let out = dev.create_buffer::<f32>("out", w * h).unwrap();
+        let args = [
+            ("in", ArgValue::Buffer(input)),
+            ("out", ArgValue::Buffer(out)),
+            ("width", ArgValue::Int(w as i64)),
+            ("height", ArgValue::Int(h as i64)),
+        ];
+        let range = NdRange::new_2d((w, h), (8, 8)).unwrap();
+        let acc = IrKernel::new(prog.kernels[0].clone(), &args).unwrap();
+        let r_acc = dev.launch(&acc, range).unwrap();
+        let perf = IrKernel::new(perforated, &args).unwrap();
+        let r_perf = dev.launch(&perf, range).unwrap();
+        assert!(
+            r_perf.stats.dram_read_transactions < r_acc.stats.dram_read_transactions,
+            "perforated {} vs accurate {}",
+            r_perf.stats.dram_read_transactions,
+            r_acc.stats.dram_read_transactions
+        );
+        assert!(r_perf.timing.device_cycles < r_acc.timing.device_cycles);
+    }
+}

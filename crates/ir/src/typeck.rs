@@ -1,0 +1,465 @@
+//! Type checker for PerfCL kernels.
+//!
+//! Checks a [`KernelDef`] against OpenCL-like typing rules: implicit
+//! `int → float` promotion in arithmetic and assignments, `%` on ints
+//! only, boolean conditions, read-only `const` pointers, local arrays
+//! declared at kernel scope, barriers only at the top level.
+
+use std::collections::HashMap;
+
+use crate::ast::{BinOp, Expr, KernelDef, ParamTy, ScalarTy, Stmt, UnOp};
+use crate::builtins::Builtin;
+use crate::error::IrError;
+use crate::token::Loc;
+
+/// What a name refers to during checking.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum NameTy {
+    Scalar(ScalarTy),
+    GlobalPtr { elem: ScalarTy, is_const: bool },
+    LocalArray(ScalarTy),
+}
+
+/// Type information produced by checking (local array declarations in
+/// order, for the interpreter's local-buffer layout).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckedInfo {
+    /// `(name, element type)` of each `local` array, in declaration order.
+    pub local_arrays: Vec<(String, ScalarTy)>,
+}
+
+struct Checker<'k> {
+    kernel: &'k KernelDef,
+    scopes: Vec<HashMap<String, NameTy>>,
+    local_arrays: Vec<(String, ScalarTy)>,
+}
+
+/// Type-checks a kernel.
+///
+/// # Errors
+///
+/// Returns [`IrError::Type`] describing the first violation.
+pub fn check(kernel: &KernelDef) -> Result<CheckedInfo, IrError> {
+    let mut c = Checker {
+        kernel,
+        scopes: vec![HashMap::new()],
+        local_arrays: Vec::new(),
+    };
+    for p in &kernel.params {
+        let ty = match p.ty {
+            ParamTy::Scalar(t) => NameTy::Scalar(t),
+            ParamTy::GlobalPtr { elem, is_const } => NameTy::GlobalPtr { elem, is_const },
+        };
+        if c.scopes[0].insert(p.name.clone(), ty).is_some() {
+            return Err(c.err(format!("duplicate parameter '{}'", p.name)));
+        }
+    }
+    c.check_stmts(&kernel.body, true)?;
+    Ok(CheckedInfo {
+        local_arrays: c.local_arrays,
+    })
+}
+
+impl Checker<'_> {
+    fn err(&self, msg: String) -> IrError {
+        IrError::Type {
+            loc: self.kernel.loc,
+            msg,
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Option<NameTy> {
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+    }
+
+    fn declare(&mut self, name: &str, ty: NameTy) -> Result<(), IrError> {
+        let scope = self.scopes.last_mut().expect("scope stack never empty");
+        if scope.insert(name.to_owned(), ty).is_some() {
+            return Err(IrError::Type {
+                loc: self.kernel.loc,
+                msg: format!("redeclaration of '{name}' in the same scope"),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_stmts(&mut self, stmts: &[Stmt], top_level: bool) -> Result<(), IrError> {
+        for stmt in stmts {
+            self.check_stmt(stmt, top_level)?;
+        }
+        Ok(())
+    }
+
+    fn check_block(&mut self, stmts: &[Stmt]) -> Result<(), IrError> {
+        self.scopes.push(HashMap::new());
+        let r = self.check_stmts(stmts, false);
+        self.scopes.pop();
+        r
+    }
+
+    fn check_stmt(&mut self, stmt: &Stmt, top_level: bool) -> Result<(), IrError> {
+        match stmt {
+            Stmt::Decl { ty, name, init } => {
+                let init_ty = self.expr_ty(init)?;
+                self.coerce(init_ty, *ty, "initializer")?;
+                self.declare(name, NameTy::Scalar(*ty))
+            }
+            Stmt::LocalDecl { elem, name, len } => {
+                if !top_level {
+                    return Err(self.err(format!(
+                        "local array '{name}' must be declared at kernel scope"
+                    )));
+                }
+                let len_ty = self.expr_ty(len)?;
+                if len_ty != ScalarTy::Int {
+                    return Err(self.err(format!("local array '{name}' length must be int")));
+                }
+                self.local_arrays.push((name.clone(), *elem));
+                self.declare(name, NameTy::LocalArray(*elem))
+            }
+            Stmt::Assign { name, value } => {
+                let Some(target) = self.lookup(name) else {
+                    return Err(self.err(format!("assignment to undeclared variable '{name}'")));
+                };
+                let NameTy::Scalar(target_ty) = target else {
+                    return Err(self.err(format!("cannot assign to buffer '{name}'")));
+                };
+                let value_ty = self.expr_ty(value)?;
+                self.coerce(value_ty, target_ty, "assignment")
+            }
+            Stmt::Store { base, index, value } => {
+                let elem = match self.lookup(base) {
+                    Some(NameTy::GlobalPtr { elem, is_const }) => {
+                        if is_const {
+                            return Err(
+                                self.err(format!("cannot store through const pointer '{base}'"))
+                            );
+                        }
+                        elem
+                    }
+                    Some(NameTy::LocalArray(elem)) => elem,
+                    Some(NameTy::Scalar(_)) => {
+                        return Err(self.err(format!("'{base}' is not indexable")))
+                    }
+                    None => return Err(self.err(format!("unknown buffer '{base}'"))),
+                };
+                if self.expr_ty(index)? != ScalarTy::Int {
+                    return Err(self.err(format!("index into '{base}' must be int")));
+                }
+                let value_ty = self.expr_ty(value)?;
+                self.coerce(value_ty, elem, "store")
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                self.require_bool(cond, "if condition")?;
+                self.check_block(then_body)?;
+                self.check_block(else_body)
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                self.scopes.push(HashMap::new());
+                let r = (|| {
+                    self.check_stmt(init, false)?;
+                    self.require_bool(cond, "for condition")?;
+                    self.check_stmt(step, false)?;
+                    self.check_stmts(body, false)
+                })();
+                self.scopes.pop();
+                r
+            }
+            Stmt::While { cond, body } => {
+                self.require_bool(cond, "while condition")?;
+                self.check_block(body)
+            }
+            Stmt::Barrier => {
+                if top_level {
+                    Ok(())
+                } else {
+                    Err(self
+                        .err("barrier() is only allowed at the top level of a kernel body".into()))
+                }
+            }
+            Stmt::Return => Ok(()),
+        }
+    }
+
+    fn require_bool(&mut self, e: &Expr, what: &str) -> Result<(), IrError> {
+        let t = self.expr_ty(e)?;
+        if t != ScalarTy::Bool {
+            return Err(self.err(format!("{what} must be bool, found {t}")));
+        }
+        Ok(())
+    }
+
+    fn coerce(&self, from: ScalarTy, to: ScalarTy, what: &str) -> Result<(), IrError> {
+        let ok = from == to || (from == ScalarTy::Int && to == ScalarTy::Float);
+        if ok {
+            Ok(())
+        } else {
+            Err(self.err(format!("{what}: cannot convert {from} to {to}")))
+        }
+    }
+
+    fn expr_ty(&mut self, e: &Expr) -> Result<ScalarTy, IrError> {
+        match e {
+            Expr::IntLit(_) => Ok(ScalarTy::Int),
+            Expr::FloatLit(_) => Ok(ScalarTy::Float),
+            Expr::BoolLit(_) => Ok(ScalarTy::Bool),
+            Expr::Var(name) => match self.lookup(name) {
+                Some(NameTy::Scalar(t)) => Ok(t),
+                Some(_) => Err(self.err(format!("'{name}' is a buffer, not a scalar"))),
+                None => Err(self.err(format!("unknown variable '{name}'"))),
+            },
+            Expr::Un { op, expr } => {
+                let t = self.expr_ty(expr)?;
+                match op {
+                    UnOp::Neg => {
+                        if matches!(t, ScalarTy::Int | ScalarTy::Float) {
+                            Ok(t)
+                        } else {
+                            Err(self.err("negation needs a numeric operand".into()))
+                        }
+                    }
+                    UnOp::Not => {
+                        if t == ScalarTy::Bool {
+                            Ok(ScalarTy::Bool)
+                        } else {
+                            Err(self.err("! needs a bool operand".into()))
+                        }
+                    }
+                }
+            }
+            Expr::Bin { op, lhs, rhs } => {
+                let lt = self.expr_ty(lhs)?;
+                let rt = self.expr_ty(rhs)?;
+                let numeric = |t: ScalarTy| matches!(t, ScalarTy::Int | ScalarTy::Float);
+                match op {
+                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+                        if !numeric(lt) || !numeric(rt) {
+                            return Err(self.err(format!(
+                                "operator '{}' needs numeric operands, found {lt} and {rt}",
+                                op.symbol()
+                            )));
+                        }
+                        if lt == ScalarTy::Float || rt == ScalarTy::Float {
+                            Ok(ScalarTy::Float)
+                        } else {
+                            Ok(ScalarTy::Int)
+                        }
+                    }
+                    BinOp::Rem => {
+                        if lt == ScalarTy::Int && rt == ScalarTy::Int {
+                            Ok(ScalarTy::Int)
+                        } else {
+                            Err(self.err("% needs int operands".into()))
+                        }
+                    }
+                    BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                        if numeric(lt) && numeric(rt) {
+                            Ok(ScalarTy::Bool)
+                        } else if lt == ScalarTy::Bool
+                            && rt == ScalarTy::Bool
+                            && matches!(op, BinOp::Eq | BinOp::Ne)
+                        {
+                            Ok(ScalarTy::Bool)
+                        } else {
+                            Err(self.err(format!(
+                                "operator '{}' cannot compare {lt} and {rt}",
+                                op.symbol()
+                            )))
+                        }
+                    }
+                    BinOp::And | BinOp::Or => {
+                        if lt == ScalarTy::Bool && rt == ScalarTy::Bool {
+                            Ok(ScalarTy::Bool)
+                        } else {
+                            Err(self.err(format!("operator '{}' needs bool operands", op.symbol())))
+                        }
+                    }
+                }
+            }
+            Expr::Index { base, index } => {
+                let elem = match self.lookup(base) {
+                    Some(NameTy::GlobalPtr { elem, .. }) => elem,
+                    Some(NameTy::LocalArray(elem)) => elem,
+                    Some(NameTy::Scalar(_)) => {
+                        return Err(self.err(format!("'{base}' is not indexable")))
+                    }
+                    None => return Err(self.err(format!("unknown buffer '{base}'"))),
+                };
+                if self.expr_ty(index)? != ScalarTy::Int {
+                    return Err(self.err(format!("index into '{base}' must be int")));
+                }
+                Ok(elem)
+            }
+            Expr::Call { name, args } => {
+                let Some(builtin) = Builtin::from_name(name) else {
+                    return Err(self.err(format!("unknown function '{name}'")));
+                };
+                let arg_tys = args
+                    .iter()
+                    .map(|a| self.expr_ty(a))
+                    .collect::<Result<Vec<_>, _>>()?;
+                builtin.result_ty(&arg_tys).ok_or_else(|| {
+                    self.err(format!(
+                        "invalid arguments to '{name}': ({})",
+                        arg_tys
+                            .iter()
+                            .map(ToString::to_string)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ))
+                })
+            }
+        }
+    }
+}
+
+/// Convenience: parse + check a single-kernel program.
+///
+/// # Errors
+///
+/// Propagates lex, parse and type errors.
+pub fn check_source(src: &str) -> Result<(KernelDef, CheckedInfo), IrError> {
+    let prog = crate::parser::parse(src)?;
+    let kernel = prog.kernels.into_iter().next().ok_or(IrError::Parse {
+        loc: Loc::start(),
+        msg: "expected a kernel".into(),
+    })?;
+    let info = check(&kernel)?;
+    Ok((kernel, info))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(src: &str) {
+        check_source(src).unwrap_or_else(|e| panic!("expected well-typed: {e}\n{src}"));
+    }
+
+    fn bad(src: &str) -> IrError {
+        match check_source(src) {
+            Ok(_) => panic!("expected type error:\n{src}"),
+            Err(e) => e,
+        }
+    }
+
+    #[test]
+    fn accepts_the_canonical_copy_kernel() {
+        ok(
+            "kernel copy(global const float* src, global float* dst, int n) {
+               int i = get_global_id(0);
+               if (i < n) { dst[i] = src[i]; }
+           }",
+        );
+    }
+
+    #[test]
+    fn int_promotes_to_float() {
+        ok("kernel k(global float* out) {
+               float v = 1;
+               v = v + 2;
+               out[0] = v * 3;
+           }");
+    }
+
+    #[test]
+    fn float_does_not_demote_to_int() {
+        let e = bad("kernel k() { int x = 1.5; }");
+        assert!(e.to_string().contains("cannot convert"));
+    }
+
+    #[test]
+    fn rem_requires_ints() {
+        bad("kernel k() { float x = 1.0 % 2.0; }");
+    }
+
+    #[test]
+    fn conditions_must_be_bool() {
+        bad("kernel k() { if (1) { return; } }");
+        bad("kernel k() { while (0.5) { return; } }");
+        ok("kernel k() { if (1 < 2) { return; } }");
+    }
+
+    #[test]
+    fn const_pointers_are_read_only() {
+        let e = bad("kernel k(global const float* b) { b[0] = 1.0; }");
+        assert!(e.to_string().contains("const"));
+    }
+
+    #[test]
+    fn stores_typecheck_elem() {
+        bad("kernel k(global int* b) { b[0] = 1.5; }");
+        ok("kernel k(global float* b) { b[0] = 1; }");
+    }
+
+    #[test]
+    fn unknown_names_are_errors() {
+        bad("kernel k() { int x = y; }");
+        bad("kernel k() { nothere[0] = 1.0; }");
+        bad("kernel k() { int x = mystery(1); }");
+    }
+
+    #[test]
+    fn scoping_rules() {
+        // Inner declarations do not leak.
+        bad("kernel k() { if (true) { int x = 1; } int y = x; }");
+        // Shadowing in an inner scope is fine.
+        ok("kernel k() { int x = 1; if (true) { int x = 2; x = 3; } x = 4; }");
+        // Redeclaration in the same scope is not.
+        bad("kernel k() { int x = 1; int x = 2; }");
+        // For-loop variable scoped to the loop.
+        bad("kernel k() { for (int i = 0; i < 3; i = i + 1) { } i = 1; }");
+    }
+
+    #[test]
+    fn local_arrays_only_at_top_level() {
+        ok("kernel k() { local float t[16]; }");
+        bad("kernel k() { if (true) { local float t[16]; } }");
+    }
+
+    #[test]
+    fn barriers_only_at_top_level() {
+        ok("kernel k() { barrier(); }");
+        let e = bad("kernel k() { if (true) { barrier(); } }");
+        assert!(e.to_string().contains("barrier"));
+    }
+
+    #[test]
+    fn builtin_signatures_checked() {
+        bad("kernel k() { int x = get_global_id(1.0); }");
+        bad("kernel k() { float x = clamp(1.0, 2.0); }");
+        ok("kernel k() { float x = clamp(1.0, 0.0, 2.0); int y = clamp(1, 0, 2); }");
+    }
+
+    #[test]
+    fn logical_ops_require_bool() {
+        bad("kernel k(int a) { bool b = a && true; }");
+        ok("kernel k(int a) { bool b = a > 0 && true; }");
+    }
+
+    #[test]
+    fn checked_info_lists_local_arrays_in_order() {
+        let (_, info) = check_source("kernel k() { local float a[4]; local int b[8]; }").unwrap();
+        assert_eq!(
+            info.local_arrays,
+            vec![
+                ("a".to_owned(), ScalarTy::Float),
+                ("b".to_owned(), ScalarTy::Int)
+            ]
+        );
+    }
+
+    #[test]
+    fn duplicate_params_rejected() {
+        bad("kernel k(int a, int a) { return; }");
+    }
+}

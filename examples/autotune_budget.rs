@@ -1,0 +1,64 @@
+//! Error-budget autotuning: calibrate every perforation configuration on a
+//! handful of sample images, then deploy the fastest one whose *mean*
+//! calibration error stays within the user's budget — the runtime-helper
+//! loop the paper inherits from Paraprox, at three budgets.
+//!
+//! ```sh
+//! cargo run --release --example autotune_budget
+//! ```
+
+use kernel_perforation::apps::Gaussian3;
+use kernel_perforation::core::{
+    select_with_budget, ApproxConfig, ErrorMetric, ImageInput, RunSpec,
+};
+use kernel_perforation::data::synth;
+use kernel_perforation::gpu_sim::DeviceConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let size = 256;
+    // Calibration set: one smooth, one detailed, one adversarial image.
+    let calib_images = [
+        synth::countryside(size, size, 1),
+        synth::photo_like(size, size, 2),
+        synth::stripes(size, size, 6, false),
+    ];
+    let calibration: Vec<ImageInput<'_>> = calib_images
+        .iter()
+        .map(|img| ImageInput::new(img.as_slice(), size, size))
+        .collect::<Result<_, _>>()?;
+
+    let group = (16, 16);
+    let specs = vec![
+        RunSpec::Perforated(ApproxConfig::stencil1_nn(group)),
+        RunSpec::Perforated(ApproxConfig::rows1_li(group)),
+        RunSpec::Perforated(ApproxConfig::rows1_nn(group)),
+        RunSpec::Perforated(ApproxConfig::rows2_nn(group)),
+    ];
+
+    for budget in [0.005, 0.03, 0.10] {
+        let selection = select_with_budget(
+            &Gaussian3,
+            &calibration,
+            &specs,
+            ErrorMetric::MeanRelative,
+            &DeviceConfig::firepro_w5100(),
+            RunSpec::Baseline { group },
+            budget,
+        )?;
+        match selection {
+            Some(s) => println!(
+                "budget {:>5.1}% -> {:<12} (speedup {:.2}x, calibrated error {:.3}%)",
+                budget * 100.0,
+                s.label,
+                s.speedup,
+                s.mean_error * 100.0
+            ),
+            None => println!(
+                "budget {:>5.1}% -> no perforated configuration qualifies; stay accurate",
+                budget * 100.0
+            ),
+        }
+    }
+    println!("\n(tighter budgets pick conservative schemes; looser ones buy more speed)");
+    Ok(())
+}

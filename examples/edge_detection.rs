@@ -1,0 +1,67 @@
+//! Edge detection under an error budget: run the Sobel 5×5 operator with
+//! every perforation configuration, then let the budget helper pick the
+//! fastest one below a 2 % mean error — the Paraprox-style runtime-tuning
+//! story from the paper's §7, applied to its best-case app (3.05×).
+//!
+//! ```sh
+//! cargo run --release --example edge_detection
+//! ```
+
+use kernel_perforation::apps::Sobel5;
+use kernel_perforation::core::{
+    best_under_budget, sweep, ApproxConfig, ErrorMetric, ImageInput, RunSpec, SweepContext,
+};
+use kernel_perforation::data::{pgm, synth};
+use kernel_perforation::gpu_sim::DeviceConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let size = 512;
+    let image = synth::photo_like(size, size, 21);
+    let input = ImageInput::new(image.as_slice(), size, size)?;
+
+    let ctx = SweepContext {
+        app: &Sobel5,
+        input,
+        metric: ErrorMetric::MeanAbsolute,
+        device: DeviceConfig::firepro_w5100(),
+        baseline: RunSpec::Baseline { group: (16, 16) },
+    };
+    let group = (16, 16);
+    let specs = vec![
+        RunSpec::Perforated(ApproxConfig::rows1_nn(group)),
+        RunSpec::Perforated(ApproxConfig::rows1_li(group)),
+        RunSpec::Perforated(ApproxConfig::rows2_nn(group)),
+        RunSpec::Perforated(ApproxConfig::cols1_nn(group)),
+        RunSpec::Perforated(ApproxConfig::stencil1_nn(group)),
+    ];
+    let outcomes = sweep(&ctx, &specs)?;
+
+    println!("Sobel5 configurations (vs accurate baseline):");
+    for o in &outcomes {
+        println!(
+            "  {:<12} speedup {:.2}x  mean error {:.3}%",
+            o.label,
+            o.speedup,
+            o.error * 100.0
+        );
+    }
+
+    let budget = 0.02;
+    match best_under_budget(&outcomes, budget) {
+        Some(best) => println!(
+            "\nwithin a {:.0}% budget the tuner picks {} ({:.2}x, {:.3}%)",
+            budget * 100.0,
+            best.label,
+            best.speedup,
+            best.error * 100.0
+        ),
+        None => println!("\nno configuration meets the {budget} budget"),
+    }
+
+    // Dump the input so the edges can be eyeballed against fig2-style dumps.
+    let out = std::path::Path::new("results");
+    std::fs::create_dir_all(out)?;
+    pgm::write_pgm(&image, &out.join("edge_detection_input.pgm"))?;
+    println!("input written to results/edge_detection_input.pgm");
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Medical-imaging denoise: a salt-and-pepper-corrupted scan cleaned by
+//! the Median filter (Table 1's "medical imaging" row), accurate vs
+//! perforated. The point: the *filter quality* (PSNR vs the clean scan)
+//! barely moves under perforation even though the filter runs 1.5–2×
+//! faster — the application-level view of "inherent resilience".
+//!
+//! ```sh
+//! cargo run --release --example medical_denoise
+//! ```
+
+use kernel_perforation::apps::Median3;
+use kernel_perforation::core::{psnr, run_app, ApproxConfig, ImageInput, RunSpec};
+use kernel_perforation::data::{noise, pgm, synth};
+use kernel_perforation::gpu_sim::{Device, DeviceConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let size = 512;
+    // Ground truth "anatomy" and its corrupted acquisition.
+    let clean = synth::shapes(size, size, 33);
+    let mut noisy = clean.clone();
+    noise::add_salt_pepper(&mut noisy, 0.03, 34);
+
+    let input = ImageInput::new(noisy.as_slice(), size, size)?;
+    let mut dev = Device::new(DeviceConfig::firepro_w5100())?;
+
+    let accurate = run_app(
+        &mut dev,
+        &Median3,
+        &input,
+        &RunSpec::Baseline { group: (16, 16) },
+    )?;
+    let perforated = run_app(
+        &mut dev,
+        &Median3,
+        &input,
+        &RunSpec::Perforated(ApproxConfig::stencil1_nn((16, 16))),
+    )?;
+
+    let psnr_noisy = psnr(clean.as_slice(), noisy.as_slice(), 1.0);
+    let psnr_accurate = psnr(clean.as_slice(), &accurate.output, 1.0);
+    let psnr_perforated = psnr(clean.as_slice(), &perforated.output, 1.0);
+    let speedup = accurate.report.seconds / perforated.report.seconds;
+
+    println!("corrupted scan:        PSNR {psnr_noisy:6.2} dB vs ground truth");
+    println!(
+        "accurate median:       PSNR {psnr_accurate:6.2} dB   ({:.3} ms)",
+        accurate.report.millis()
+    );
+    println!(
+        "perforated median:     PSNR {psnr_perforated:6.2} dB   ({:.3} ms, {speedup:.2}x)",
+        perforated.report.millis()
+    );
+    println!(
+        "denoising quality kept: {:.2} of {:.2} dB gained",
+        psnr_perforated - psnr_noisy,
+        psnr_accurate - psnr_noisy
+    );
+
+    let out = std::path::Path::new("results");
+    std::fs::create_dir_all(out)?;
+    pgm::write_pgm(&noisy, &out.join("denoise_noisy.pgm"))?;
+    let denoised = kernel_perforation::data::Image::from_vec(size, size, perforated.output)?;
+    pgm::write_pgm(&denoised, &out.join("denoise_perforated.pgm"))?;
+    println!("images written to results/denoise_*.pgm");
+    Ok(())
+}

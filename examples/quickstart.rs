@@ -1,0 +1,82 @@
+//! Quickstart: define a perforatable kernel, run it accurately and
+//! perforated, compare speed and error.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use kernel_perforation::core::{run_app, ApproxConfig, ImageInput, RunSpec, StencilApp, Window};
+use kernel_perforation::data::synth;
+use kernel_perforation::gpu_sim::{Device, DeviceConfig};
+
+/// A 3×3 box blur: the smallest interesting stencil app. One `compute`
+/// body serves the accurate, perforated and Paraprox kernel variants.
+struct BoxBlur;
+
+impl StencilApp for BoxBlur {
+    fn name(&self) -> &str {
+        "box-blur"
+    }
+
+    fn halo(&self) -> usize {
+        1
+    }
+
+    fn compute(&self, win: &mut Window<'_, '_>) -> f32 {
+        let mut acc = 0.0;
+        for dy in -1..=1 {
+            for dx in -1..=1 {
+                acc += win.at(dx, dy);
+            }
+        }
+        win.ops(10);
+        acc / 9.0
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A photo-like 512x512 input from the synthetic dataset substrate.
+    let size = 512;
+    let image = synth::photo_like(size, size, 7);
+    let input = ImageInput::new(image.as_slice(), size, size)?;
+
+    // The simulated GPU (AMD FirePro W5100-class, as in the paper).
+    let mut dev = Device::new(DeviceConfig::firepro_w5100())?;
+
+    // Accurate baseline: cooperative local-memory prefetch + compute.
+    let baseline = run_app(
+        &mut dev,
+        &BoxBlur,
+        &input,
+        &RunSpec::Baseline { group: (16, 16) },
+    )?;
+
+    println!("accurate baseline: {:.3} ms", baseline.report.millis());
+    println!(
+        "  DRAM reads {}  L1 reads {}  ALU ops {}",
+        baseline.report.stats.dram_read_transactions,
+        baseline.report.stats.global_read_transactions,
+        baseline.report.stats.alu_ops,
+    );
+
+    // Perforated variants: skip loads, reconstruct in local memory.
+    for config in [
+        ApproxConfig::rows1_nn((16, 16)),
+        ApproxConfig::rows1_li((16, 16)),
+        ApproxConfig::rows2_nn((16, 16)),
+        ApproxConfig::stencil1_nn((16, 16)),
+    ] {
+        let run = run_app(&mut dev, &BoxBlur, &input, &RunSpec::Perforated(config))?;
+        let speedup = baseline.report.seconds / run.report.seconds;
+        let mre = kernel_perforation::core::mean_relative_error(&baseline.output, &run.output);
+        println!(
+            "{:<12} {:.3} ms  speedup {:.2}x  error {:.2}%  (DRAM reads {})",
+            config.label(),
+            run.report.millis(),
+            speedup,
+            mre * 100.0,
+            run.report.stats.dram_read_transactions,
+        );
+    }
+    Ok(())
+}

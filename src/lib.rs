@@ -1,0 +1,51 @@
+//! # kernel-perforation — local memory-aware kernel perforation in Rust
+//!
+//! A complete, self-contained reproduction of *"Local Memory-Aware Kernel
+//! Perforation"* (Maier, Cosenza, Juurlink — CGO 2018,
+//! [10.1145/3168814](https://doi.org/10.1145/3168814)): an approximate-
+//! computing technique that accelerates GPU kernels by skipping part of
+//! their global-memory loads and reconstructing the skipped data in fast
+//! local memory.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`gpu_sim`] | deterministic OpenCL-style GPU simulator (execution + timing model) |
+//! | [`core`] | the paper's contribution: schemes, reconstruction, pipeline, tuner, Paraprox baseline |
+//! | [`apps`] | the six evaluation applications (Gaussian, Median, Hotspot, Inversion, Sobel3/5) |
+//! | [`data`] | synthetic input-data substrate (images, Hotspot grids, PGM I/O) |
+//! | [`ir`] | PerfCL kernel language + the automatic perforation compiler pass |
+//!
+//! ## End-to-end example
+//!
+//! ```
+//! use kernel_perforation::core::{run_app, ApproxConfig, ImageInput, RunSpec};
+//! use kernel_perforation::gpu_sim::{Device, DeviceConfig};
+//! use kernel_perforation::{apps, data};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let entry = apps::by_name("gaussian").expect("registered");
+//! let image = data::synth::photo_like(128, 128, 42);
+//! let input = ImageInput::new(image.as_slice(), 128, 128)?;
+//! let mut dev = Device::new(DeviceConfig::firepro_w5100())?;
+//!
+//! let baseline = run_app(&mut dev, entry.app, &input, &RunSpec::Baseline { group: (16, 16) })?;
+//! let perforated = run_app(&mut dev, entry.app, &input,
+//!     &RunSpec::Perforated(ApproxConfig::rows1_nn((16, 16))))?;
+//!
+//! let speedup = baseline.report.seconds / perforated.report.seconds;
+//! let error = entry.metric.evaluate(&baseline.output, &perforated.output);
+//! assert!(speedup > 1.3, "speedup {speedup}");
+//! assert!(error < 0.10, "error {error}");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use kp_apps as apps;
+pub use kp_core as core;
+pub use kp_data as data;
+pub use kp_gpu_sim as gpu_sim;
+pub use kp_ir as ir;

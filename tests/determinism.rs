@@ -1,0 +1,122 @@
+//! Determinism and resource-hygiene guarantees of the full stack.
+
+use kernel_perforation::apps::suite;
+use kernel_perforation::core::{run_app, ApproxConfig, ImageInput, RunSpec};
+use kernel_perforation::data::synth;
+use kernel_perforation::gpu_sim::{Device, DeviceConfig};
+
+/// Identical runs produce bit-identical outputs *and* identical reports —
+/// across fresh devices and across reuse of one device.
+#[test]
+fn launches_are_fully_deterministic() {
+    let (w, h) = (96, 64);
+    let img = synth::scene(w, h, 5);
+    let input = ImageInput::new(img.as_slice(), w, h).unwrap();
+    let entry = suite::by_name("gaussian").unwrap();
+    let spec = RunSpec::Perforated(ApproxConfig::rows1_li((16, 16)));
+
+    let run = || {
+        let mut dev = Device::new(DeviceConfig::firepro_w5100()).unwrap();
+        run_app(&mut dev, entry.app, &input, &spec).unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.output, b.output);
+    assert_eq!(a.report, b.report);
+
+    // Same device, repeated runs.
+    let mut dev = Device::new(DeviceConfig::firepro_w5100()).unwrap();
+    let c = run_app(&mut dev, entry.app, &input, &spec).unwrap();
+    let d = run_app(&mut dev, entry.app, &input, &spec).unwrap();
+    assert_eq!(c.output, d.output);
+    assert_eq!(c.report.timing, d.report.timing);
+    assert_eq!(a.output, c.output);
+}
+
+/// Hundreds of runs on one device leak no global memory (buffers released).
+#[test]
+fn repeated_runs_do_not_leak_device_memory() {
+    let (w, h) = (32, 32);
+    let img = synth::flat(w, h, 0.5);
+    let input = ImageInput::new(img.as_slice(), w, h).unwrap();
+    let entry = suite::by_name("inversion").unwrap();
+    let mut dev = Device::new(DeviceConfig::firepro_w5100()).unwrap();
+    dev.set_profiling(false);
+    let baseline_bytes = dev.used_global_bytes();
+    for i in 0..200 {
+        let spec = if i % 2 == 0 {
+            RunSpec::Baseline { group: (16, 16) }
+        } else {
+            RunSpec::Perforated(ApproxConfig::rows1_nn((16, 16)))
+        };
+        run_app(&mut dev, entry.app, &input, &spec).unwrap();
+        assert_eq!(
+            dev.used_global_bytes(),
+            baseline_bytes,
+            "leak at iteration {i}"
+        );
+    }
+}
+
+/// Profiling on/off changes reports but never functional results.
+#[test]
+fn profiling_does_not_affect_results() {
+    let (w, h) = (64, 48);
+    let img = synth::photo_like(w, h, 6);
+    let input = ImageInput::new(img.as_slice(), w, h).unwrap();
+    for entry in suite::evaluation_apps().iter().filter(|e| !e.needs_aux) {
+        let spec = RunSpec::Perforated(ApproxConfig::rows1_nn((16, 16)));
+        let mut dev_on = Device::new(DeviceConfig::firepro_w5100()).unwrap();
+        let mut dev_off = Device::new(DeviceConfig::firepro_w5100()).unwrap();
+        dev_off.set_profiling(false);
+        let on = run_app(&mut dev_on, entry.app, &input, &spec).unwrap();
+        let off = run_app(&mut dev_off, entry.app, &input, &spec).unwrap();
+        assert_eq!(on.output, off.output, "{}", entry.name);
+        assert!(on.report.profiled);
+        assert!(!off.report.profiled);
+        assert_eq!(off.report.timing.device_cycles, 0);
+    }
+}
+
+/// The error and the timing decompose: error depends on the input, timing
+/// does not (paper §6.2: "the speedup only depends on the selected
+/// approximation scheme").
+#[test]
+fn timing_is_input_independent() {
+    let (w, h) = (64, 64);
+    let entry = suite::by_name("gaussian").unwrap();
+    let spec = RunSpec::Perforated(ApproxConfig::rows1_nn((16, 16)));
+    let mut cycles = Vec::new();
+    for seed in [1, 2, 3] {
+        let img = synth::photo_like(w, h, seed);
+        let input = ImageInput::new(img.as_slice(), w, h).unwrap();
+        let mut dev = Device::new(DeviceConfig::firepro_w5100()).unwrap();
+        let run = run_app(&mut dev, entry.app, &input, &spec).unwrap();
+        cycles.push(run.report.timing.device_cycles);
+    }
+    assert_eq!(cycles[0], cycles[1]);
+    assert_eq!(cycles[1], cycles[2]);
+}
+
+/// Median is the exception: its comparator ops are data independent (it is
+/// branchless), so even the compute-heavy app keeps input-independent
+/// timing — matching the paper's observation.
+#[test]
+fn median_timing_is_also_input_independent() {
+    let (w, h) = (64, 64);
+    let entry = suite::by_name("median").unwrap();
+    let spec = RunSpec::Baseline { group: (16, 16) };
+    let mut cycles = Vec::new();
+    for img in [
+        synth::flat(w, h, 0.2),
+        synth::checkerboard(w, h, 1),
+        synth::corrupted_scan(w, h, 9),
+    ] {
+        let input = ImageInput::new(img.as_slice(), w, h).unwrap();
+        let mut dev = Device::new(DeviceConfig::firepro_w5100()).unwrap();
+        let run = run_app(&mut dev, entry.app, &input, &spec).unwrap();
+        cycles.push(run.report.timing.device_cycles);
+    }
+    assert_eq!(cycles[0], cycles[1]);
+    assert_eq!(cycles[1], cycles[2]);
+}

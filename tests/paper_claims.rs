@@ -1,0 +1,372 @@
+//! Small-scale assertions of the paper's qualitative claims — the same
+//! shapes the full `repro` harness regenerates, checked in CI sizes.
+
+use kernel_perforation::apps::{self, suite};
+use kernel_perforation::core::paraprox::{ParaproxLevel, ParaproxScheme};
+use kernel_perforation::core::{
+    pareto_outcomes, run_app, sweep, ApproxConfig, ErrorMetric, ImageInput, RunSpec, SweepContext,
+};
+use kernel_perforation::data::{hotspot, synth};
+use kernel_perforation::gpu_sim::{Device, DeviceConfig};
+
+fn device() -> Device {
+    Device::new(DeviceConfig::firepro_w5100()).unwrap()
+}
+
+const SIZE: usize = 128;
+
+fn photo() -> kernel_perforation::data::Image {
+    synth::photo_like(SIZE, SIZE, 77)
+}
+
+/// §6: "our approach is able to accelerate the execution of a variety of
+/// applications" — every app in Table 1 speeds up under Rows1:NN.
+#[test]
+fn every_app_speeds_up() {
+    let mut dev = device();
+    let img = photo();
+    let hs = hotspot::hotspot_input(SIZE, 3);
+    for entry in suite::evaluation_apps() {
+        let (data, aux);
+        if entry.needs_aux {
+            data = hs.temperature.as_slice().to_vec();
+            aux = Some(hs.power.as_slice().to_vec());
+        } else {
+            data = img.as_slice().to_vec();
+            aux = None;
+        }
+        let input = ImageInput::with_aux(&data, aux.as_deref(), SIZE, SIZE).unwrap();
+        let baseline = run_app(
+            &mut dev,
+            entry.app,
+            &input,
+            &RunSpec::Baseline { group: (16, 16) },
+        )
+        .unwrap();
+        let perforated = run_app(
+            &mut dev,
+            entry.app,
+            &input,
+            &RunSpec::Perforated(ApproxConfig::rows1_nn((16, 16))),
+        )
+        .unwrap();
+        let speedup = baseline.report.seconds / perforated.report.seconds;
+        assert!(speedup > 1.25, "{}: speedup only {speedup:.2}", entry.name);
+        let err = entry.metric.evaluate(&baseline.output, &perforated.output);
+        assert!(err < 0.10, "{}: error {err:.4} too large", entry.name);
+    }
+}
+
+/// Fig. 8: error ordering LI < NN, Rows1 < Rows2; Stencil1 smallest; and
+/// the Rows variants' runtimes stay within ~15 % of each other.
+#[test]
+fn fig8_orderings_hold_for_gaussian() {
+    let img = photo();
+    let ctx = SweepContext {
+        app: apps::by_name("gaussian").unwrap().app,
+        input: ImageInput::new(img.as_slice(), SIZE, SIZE).unwrap(),
+        metric: ErrorMetric::MeanRelative,
+        device: DeviceConfig::firepro_w5100(),
+        baseline: RunSpec::Baseline { group: (16, 16) },
+    };
+    let specs = kernel_perforation::core::fig8_specs((16, 16), 1);
+    let outcomes = sweep(&ctx, &specs).unwrap();
+    let get = |l: &str| outcomes.iter().find(|o| o.label == l).unwrap();
+    assert!(get("Rows1:LI").error < get("Rows1:NN").error);
+    assert!(get("Rows1:NN").error < get("Rows2:NN").error);
+    assert!(get("Stencil1:NN").error < get("Rows1:NN").error);
+    let t_nn = get("Rows1:NN").seconds;
+    let t_li = get("Rows1:LI").seconds;
+    assert!(
+        (t_li - t_nn).abs() / t_nn < 0.15,
+        "LI should cost about the same as NN: {t_nn} vs {t_li}"
+    );
+}
+
+/// Fig. 10's headline: at comparable speedups, our input perforation has a
+/// fraction of Paraprox's error (output approximation copies whole rows).
+#[test]
+fn ours_beats_paraprox_on_error() {
+    // Edge-dominated content (the USC-SIPI regime): output copying
+    // displaces filtered edges, input reconstruction lets the filter
+    // smooth the displacement.
+    let img = synth::scene(SIZE, SIZE, 77);
+    let entry = apps::by_name("gaussian").unwrap();
+    let ctx = SweepContext {
+        app: entry.app,
+        input: ImageInput::new(img.as_slice(), SIZE, SIZE).unwrap(),
+        metric: ErrorMetric::MeanRelative,
+        device: DeviceConfig::firepro_w5100(),
+        baseline: RunSpec::AccurateGlobal { group: (16, 16) },
+    };
+    let specs = vec![
+        RunSpec::Perforated(ApproxConfig::rows1_nn((16, 16))),
+        RunSpec::Perforated(ApproxConfig::rows1_li((16, 16))),
+        RunSpec::Paraprox {
+            scheme: ParaproxScheme::Rows(ParaproxLevel::One),
+            group: (16, 16),
+        },
+    ];
+    let outcomes = sweep(&ctx, &specs).unwrap();
+    let ours_nn = &outcomes[0];
+    let ours_li = &outcomes[1];
+    let px = &outcomes[2];
+    // NN already beats Paraprox; the Pareto configuration (LI) beats it
+    // clearly, at essentially the same runtime as NN.
+    assert!(
+        ours_nn.error < px.error,
+        "ours NN {:.4} should beat Paraprox {:.4}",
+        ours_nn.error,
+        px.error
+    );
+    assert!(
+        ours_li.error < px.error * 0.75,
+        "ours LI {:.4} should be well below Paraprox {:.4}",
+        ours_li.error,
+        px.error
+    );
+}
+
+/// §6.4: "Cols becomes slower, which is explained by the improper alignment
+/// of column-shaped perforation and memory data layout."
+#[test]
+fn paraprox_cols_is_slower_than_rows_on_inversion() {
+    let img = photo();
+    let entry = apps::by_name("inversion").unwrap();
+    let ctx = SweepContext {
+        app: entry.app,
+        input: ImageInput::new(img.as_slice(), SIZE, SIZE).unwrap(),
+        metric: ErrorMetric::MeanRelative,
+        device: DeviceConfig::firepro_w5100(),
+        baseline: RunSpec::AccurateGlobal { group: (16, 16) },
+    };
+    let specs = vec![
+        RunSpec::Paraprox {
+            scheme: ParaproxScheme::Rows(ParaproxLevel::One),
+            group: (16, 16),
+        },
+        RunSpec::Paraprox {
+            scheme: ParaproxScheme::Cols(ParaproxLevel::One),
+            group: (16, 16),
+        },
+    ];
+    let outcomes = sweep(&ctx, &specs).unwrap();
+    assert!(
+        outcomes[1].seconds > outcomes[0].seconds * 1.3,
+        "Cols ({}s) should be much slower than Rows ({}s)",
+        outcomes[1].seconds,
+        outcomes[0].seconds
+    );
+}
+
+/// Fig. 9: wide work groups beat tall ones (memory-interface alignment) for
+/// baseline *and* perforated kernels.
+#[test]
+fn wide_work_groups_beat_tall_ones() {
+    let mut dev = device();
+    let img = photo();
+    let input = ImageInput::new(img.as_slice(), SIZE, SIZE).unwrap();
+    let entry = apps::by_name("gaussian").unwrap();
+    let time = |dev: &mut Device, spec: &RunSpec| {
+        run_app(dev, entry.app, &input, spec)
+            .unwrap()
+            .report
+            .seconds
+    };
+    let tall_base = time(&mut dev, &RunSpec::Baseline { group: (2, 128) });
+    let wide_base = time(&mut dev, &RunSpec::Baseline { group: (64, 4) });
+    assert!(
+        wide_base < tall_base * 0.6,
+        "baseline: wide {wide_base} vs tall {tall_base}"
+    );
+    let tall_perf = time(
+        &mut dev,
+        &RunSpec::Perforated(ApproxConfig::rows1_nn((2, 128))),
+    );
+    let wide_perf = time(
+        &mut dev,
+        &RunSpec::Perforated(ApproxConfig::rows1_nn((64, 4))),
+    );
+    assert!(
+        wide_perf < tall_perf * 0.6,
+        "perforated: wide {wide_perf} vs tall {tall_perf}"
+    );
+}
+
+/// §6.2 / Fig. 7: error tracks input frequency across three classes.
+#[test]
+fn error_tracks_input_frequency() {
+    let mut dev = device();
+    dev.set_profiling(false);
+    let entry = apps::by_name("median").unwrap();
+    let flat = synth::shapes(SIZE, SIZE, 1);
+    let smooth = synth::countryside(SIZE, SIZE, 2);
+    let pattern = synth::checkerboard(SIZE, SIZE, 3);
+    let mut errs = Vec::new();
+    for img in [&flat, &smooth, &pattern] {
+        let input = ImageInput::new(img.as_slice(), SIZE, SIZE).unwrap();
+        let acc = run_app(
+            &mut dev,
+            entry.app,
+            &input,
+            &RunSpec::AccurateGlobal { group: (16, 16) },
+        )
+        .unwrap();
+        let perf = run_app(
+            &mut dev,
+            entry.app,
+            &input,
+            &RunSpec::Perforated(ApproxConfig::rows1_nn((16, 16))),
+        )
+        .unwrap();
+        errs.push(entry.metric.evaluate(&acc.output, &perf.output));
+    }
+    assert!(errs[0] < errs[1], "flat {} !< smooth {}", errs[0], errs[1]);
+    assert!(
+        errs[1] < errs[2],
+        "smooth {} !< pattern {}",
+        errs[1],
+        errs[2]
+    );
+    // "differ by orders of magnitude depending on the input"
+    assert!(errs[2] > errs[0] * 50.0, "spread too small: {errs:?}");
+}
+
+/// Fig. 10: at least one of our configurations sits on the Pareto front.
+#[test]
+fn our_configs_reach_the_pareto_front() {
+    let img = photo();
+    let entry = apps::by_name("gaussian").unwrap();
+    let ctx = SweepContext {
+        app: entry.app,
+        input: ImageInput::new(img.as_slice(), SIZE, SIZE).unwrap(),
+        metric: ErrorMetric::MeanRelative,
+        device: DeviceConfig::firepro_w5100(),
+        baseline: RunSpec::AccurateGlobal { group: (16, 16) },
+    };
+    let mut specs = vec![RunSpec::Perforated(ApproxConfig::stencil1_nn((16, 16)))];
+    for scheme in kernel_perforation::core::paraprox::fig10_schemes() {
+        specs.push(RunSpec::Paraprox {
+            scheme,
+            group: (16, 16),
+        });
+    }
+    let outcomes = sweep(&ctx, &specs).unwrap();
+    let front = pareto_outcomes(&outcomes);
+    assert!(
+        front.contains(&0),
+        "Stencil1:NN should be Pareto-optimal: {outcomes:#?}"
+    );
+}
+
+/// Hotspot's error variance is tiny across input sizes (§6.2: "the variance
+/// of the error is very small").
+#[test]
+fn hotspot_errors_are_small_across_sizes() {
+    let mut dev = device();
+    dev.set_profiling(false);
+    let entry = apps::by_name("hotspot").unwrap();
+    for size in [64, 96, 128] {
+        let hs = hotspot::hotspot_input(size, 5);
+        let input = ImageInput::with_aux(
+            hs.temperature.as_slice(),
+            Some(hs.power.as_slice()),
+            size,
+            size,
+        )
+        .unwrap();
+        let acc = run_app(
+            &mut dev,
+            entry.app,
+            &input,
+            &RunSpec::AccurateGlobal { group: (16, 16) },
+        )
+        .unwrap();
+        let perf = run_app(
+            &mut dev,
+            entry.app,
+            &input,
+            &RunSpec::Perforated(ApproxConfig::rows1_nn((16, 16))),
+        )
+        .unwrap();
+        let err = entry.metric.evaluate(&acc.output, &perf.output);
+        assert!(err < 0.001, "hotspot {size}: error {err}");
+    }
+}
+
+/// Iterative solvers recompose perforation error every step; for smooth
+/// thermal fields it stays bounded instead of compounding (the mechanism
+/// behind Hotspot's tiny Fig. 6 errors).
+#[test]
+fn iterative_hotspot_error_stays_bounded() {
+    use kernel_perforation::core::run_iterative;
+    let size = 64;
+    let hs = hotspot::hotspot_input(size, 9);
+    let input = ImageInput::with_aux(
+        hs.temperature.as_slice(),
+        Some(hs.power.as_slice()),
+        size,
+        size,
+    )
+    .unwrap();
+    let entry = apps::by_name("hotspot").unwrap();
+    let mut dev = device();
+    dev.set_profiling(false);
+    let spec_acc = RunSpec::AccurateGlobal { group: (16, 16) };
+    let spec_perf = RunSpec::Perforated(ApproxConfig::rows1_nn((16, 16)));
+    let mut prev_err = 0.0f64;
+    for steps in [5, 20, 60] {
+        let acc = run_iterative(&mut dev, entry.app, &input, &spec_acc, steps).unwrap();
+        let perf = run_iterative(&mut dev, entry.app, &input, &spec_perf, steps).unwrap();
+        let err = entry.metric.evaluate(&acc.output, &perf.output);
+        // Error grows sub-linearly with steps (bounded by diffusion), far
+        // from compounding exponentially.
+        assert!(err < 0.05, "{steps} steps: error {err}");
+        assert!(
+            err < prev_err + 0.02,
+            "error explodes between steps: {prev_err} -> {err}"
+        );
+        prev_err = err;
+    }
+}
+
+/// The error-budget helper composes with the suite: a strict budget keeps
+/// the accurate kernel, a loose one picks a perforated configuration.
+#[test]
+fn budget_selection_behaves_monotonically() {
+    use kernel_perforation::core::{select_with_budget, ErrorMetric};
+    let img = synth::scene(SIZE, SIZE, 3);
+    let calibration = [ImageInput::new(img.as_slice(), SIZE, SIZE).unwrap()];
+    let entry = apps::by_name("gaussian").unwrap();
+    let specs = vec![
+        RunSpec::Perforated(ApproxConfig::rows1_nn((16, 16))),
+        RunSpec::Perforated(ApproxConfig::rows2_nn((16, 16))),
+    ];
+    let strict = select_with_budget(
+        entry.app,
+        &calibration,
+        &specs,
+        ErrorMetric::MeanRelative,
+        &DeviceConfig::firepro_w5100(),
+        RunSpec::Baseline { group: (16, 16) },
+        1e-9,
+    )
+    .unwrap();
+    assert!(
+        strict.is_none(),
+        "nothing should fit an (almost) zero budget"
+    );
+    let loose = select_with_budget(
+        entry.app,
+        &calibration,
+        &specs,
+        ErrorMetric::MeanRelative,
+        &DeviceConfig::firepro_w5100(),
+        RunSpec::Baseline { group: (16, 16) },
+        0.5,
+    )
+    .unwrap()
+    .expect("a loose budget admits a config");
+    // Rows2 is the faster of the two and fits the loose budget.
+    assert_eq!(loose.label, "Rows2:NN");
+}
