@@ -207,7 +207,7 @@ mod tests {
         // statistics).
         let w = [0.9, 0.1, 0.5, 0.3, 0.8, 0.2, 0.7, 0.4, 0.6];
         let m = median_of_medians(&w);
-        assert!(m >= 0.1 && m <= 0.9);
+        assert!((0.1..=0.9).contains(&m));
     }
 
     #[test]

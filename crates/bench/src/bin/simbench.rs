@@ -1,0 +1,184 @@
+//! `simbench` — launch-engine throughput benchmark.
+//!
+//! Measures the simulator's host-side launch-loop throughput (work groups
+//! simulated per wall-clock second) on a Fig. 8-style workload — the four
+//! perforation-scheme variants of the Gaussian app — once on the serial
+//! reference path and once per worker-thread count on the parallel engine,
+//! and writes the results as machine-readable JSON so the performance
+//! trajectory is tracked across PRs.
+//!
+//! ```text
+//! Usage: simbench [--out FILE] [--size N] [--reps N]
+//!
+//! Options:
+//!   --out FILE  output path (default: BENCH_simulator.json)
+//!   --size N    square image side length (default: 256)
+//!   --reps N    repetitions per configuration; best rep is kept (default: 3)
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use kp_apps::suite;
+use kp_core::{fig8_specs, run_app, ImageInput, RunSpec};
+use kp_gpu_sim::{Device, DeviceConfig};
+
+struct Measurement {
+    threads: usize,
+    seconds: f64,
+    groups: usize,
+}
+
+impl Measurement {
+    fn groups_per_sec(&self) -> f64 {
+        self.groups as f64 / self.seconds
+    }
+}
+
+/// Runs the fig8 workload once at the given engine parallelism and returns
+/// (wall seconds, groups simulated).
+fn run_workload(
+    app: &kp_apps::AppEntry,
+    data: &[f32],
+    size: usize,
+    specs: &[RunSpec],
+    parallelism: usize,
+) -> (f64, usize) {
+    let mut cfg = DeviceConfig::firepro_w5100();
+    cfg.parallelism = parallelism;
+    let mut dev = Device::new(cfg).unwrap();
+    let input = ImageInput::new(data, size, size).unwrap();
+    let started = Instant::now();
+    let mut groups = 0usize;
+    for spec in specs {
+        let result = run_app(&mut dev, app.app, &input, spec).expect("workload run failed");
+        groups += result.report.groups;
+    }
+    (started.elapsed().as_secs_f64(), groups)
+}
+
+fn measure(
+    app: &kp_apps::AppEntry,
+    data: &[f32],
+    size: usize,
+    specs: &[RunSpec],
+    parallelism: usize,
+    reps: usize,
+) -> Measurement {
+    let mut best: Option<(f64, usize)> = None;
+    for _ in 0..reps {
+        let (seconds, groups) = run_workload(app, data, size, specs, parallelism);
+        if best.is_none_or(|(b, _)| seconds < b) {
+            best = Some((seconds, groups));
+        }
+    }
+    let (seconds, groups) = best.unwrap();
+    Measurement {
+        threads: parallelism,
+        seconds,
+        groups,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = "BENCH_simulator.json".to_owned();
+    let mut size = 256usize;
+    let mut reps = 3usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut grab = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{name} needs an argument");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match a.as_str() {
+            "--out" => out = grab("--out"),
+            "--size" => size = grab("--size").parse().expect("--size must be a number"),
+            "--reps" => reps = grab("--reps").parse().expect("--reps must be a number"),
+            other => {
+                eprintln!("unknown option '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let app = suite::by_name("gaussian").expect("gaussian registered");
+    let image = kp_data::synth::photo_like(size, size, 0x5EED);
+    let data = image.as_slice().to_vec();
+    let specs = fig8_specs((16, 16), app.app.halo());
+
+    eprintln!(
+        "simbench: fig8-style sweep, gaussian {size}x{size}, {} specs, host cores: {cores}",
+        specs.len()
+    );
+
+    // Serial reference: the engine at parallelism 1 degenerates to the
+    // legacy group-at-a-time path (identical semantics and results).
+    let serial = measure(&app, &data, size, &specs, 1, reps);
+    eprintln!(
+        "  serial          : {:8.3} s  ({:9.0} groups/s)",
+        serial.seconds,
+        serial.groups_per_sec()
+    );
+
+    let mut thread_counts = vec![1usize, 2, 4, 8];
+    if !thread_counts.contains(&cores) {
+        thread_counts.push(cores);
+    }
+    let parallel: Vec<Measurement> = thread_counts
+        .iter()
+        .map(|&t| {
+            let m = measure(&app, &data, size, &specs, t, reps);
+            eprintln!(
+                "  {:2} thread(s)    : {:8.3} s  ({:9.0} groups/s, {:.2}x)",
+                t,
+                m.seconds,
+                m.groups_per_sec(),
+                serial.seconds / m.seconds
+            );
+            m
+        })
+        .collect();
+
+    // Hand-rolled JSON (the workspace is offline; no serializer crates).
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"launch-engine fig8-style sweep\",");
+    let _ = writeln!(json, "  \"app\": \"gaussian\",");
+    let _ = writeln!(json, "  \"image_size\": {size},");
+    let _ = writeln!(json, "  \"specs\": {},", specs.len());
+    let _ = writeln!(json, "  \"host_cores\": {cores},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(
+        json,
+        "  \"serial\": {{ \"seconds\": {:.6}, \"groups\": {}, \"groups_per_sec\": {:.1} }},",
+        serial.seconds,
+        serial.groups,
+        serial.groups_per_sec()
+    );
+    json.push_str("  \"parallel\": [\n");
+    for (i, m) in parallel.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{ \"threads\": {}, \"seconds\": {:.6}, \"groups\": {}, \
+             \"groups_per_sec\": {:.1}, \"speedup_vs_serial\": {:.3} }}",
+            m.threads,
+            m.seconds,
+            m.groups,
+            m.groups_per_sec(),
+            serial.seconds / m.seconds
+        );
+        json.push_str(if i + 1 < parallel.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out, &json).expect("write benchmark json");
+    eprintln!("wrote {out}");
+}

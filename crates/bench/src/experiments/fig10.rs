@@ -9,7 +9,7 @@
 //! our points reach similar speedups at a fraction of the error, and Cols
 //! is slower than Rows due to memory-layout misalignment — must reproduce.
 
-use crate::util::{parallel_map, pct, run_once, timing_input_for, Ctx, OwnedInput};
+use crate::util::{parallel_map, pct, run_once, run_once_at, timing_input_for, Ctx, OwnedInput};
 use kp_apps::suite;
 use kp_core::paraprox::fig10_schemes;
 use kp_core::{pareto_front, ApproxConfig, RunSpec, TradeOff};
@@ -59,18 +59,20 @@ pub fn pareto_points(app_name: &str, ctx: &Ctx) -> Vec<ParetoPoint> {
         "scene",
         &synth::scene(ctx.error_size, ctx.error_size, ctx.seed),
     );
-    let reference = run_once(
+    let reference = run_once_at(
         &entry,
         &err_input,
         &RunSpec::AccurateGlobal { group },
         false,
+        0,
     )
     .expect("reference");
     let timing = timing_input_for(&entry, ctx);
-    let baseline_seconds = run_once(&entry, &timing, &RunSpec::AccurateGlobal { group }, true)
-        .expect("baseline timing")
-        .report
-        .seconds;
+    let baseline_seconds =
+        run_once_at(&entry, &timing, &RunSpec::AccurateGlobal { group }, true, 0)
+            .expect("baseline timing")
+            .report
+            .seconds;
 
     let mut points: Vec<ParetoPoint> = parallel_map(&specs, |(spec, ours)| {
         let err_run = run_once(&entry, &err_input, spec, false).expect("error run");

@@ -9,7 +9,7 @@
 //! and the row scheme is the one whose error actually *varies* with input
 //! frequency, which is the figure's point.
 
-use crate::util::{inputs_for, parallel_map, pct, run_once, timing_input_for, Ctx};
+use crate::util::{inputs_for, parallel_map, pct, run_once, run_once_at, timing_input_for, Ctx};
 use kp_apps::suite;
 use kp_core::{ApproxConfig, Distribution, RunSpec};
 
@@ -49,9 +49,9 @@ pub fn app_sensitivity(app_name: &str, ctx: &Ctx) -> AppSensitivity {
     let errors = Distribution::from_values(&per_input.iter().map(|(_, e)| *e).collect::<Vec<_>>());
 
     let timing = timing_input_for(&entry, ctx);
-    let baseline =
-        run_once(&entry, &timing, &RunSpec::Baseline { group }, true).expect("baseline timing");
-    let perf = run_once(&entry, &timing, &spec, true).expect("perforated timing");
+    let baseline = run_once_at(&entry, &timing, &RunSpec::Baseline { group }, true, 0)
+        .expect("baseline timing");
+    let perf = run_once_at(&entry, &timing, &spec, true, 0).expect("perforated timing");
     let speedup = baseline.report.seconds / perf.report.seconds;
 
     AppSensitivity {

@@ -1,7 +1,7 @@
 //! Headline summary: per-app speedup and error of the paper's chosen
 //! configurations, side by side with the numbers the paper reports.
 
-use crate::util::{pct, run_once, timing_input_for, Ctx, OwnedInput};
+use crate::util::{pct, run_once_at, timing_input_for, Ctx, OwnedInput};
 use kp_apps::suite;
 use kp_core::{ApproxConfig, RunSpec};
 use kp_data::synth;
@@ -47,9 +47,9 @@ pub fn summary_rows(ctx: &Ctx) -> Vec<SummaryRow> {
             let config = ApproxConfig::rows1_nn(group);
             let spec = RunSpec::Perforated(config);
             let timing = timing_input_for(entry, ctx);
-            let baseline =
-                run_once(entry, &timing, &RunSpec::Baseline { group }, true).expect("baseline");
-            let perf = run_once(entry, &timing, &spec, true).expect("perforated");
+            let baseline = run_once_at(entry, &timing, &RunSpec::Baseline { group }, true, 0)
+                .expect("baseline");
+            let perf = run_once_at(entry, &timing, &spec, true, 0).expect("perforated");
 
             let err_input = if entry.needs_aux {
                 timing.clone()
@@ -59,9 +59,15 @@ pub fn summary_rows(ctx: &Ctx) -> Vec<SummaryRow> {
                     &synth::scene(ctx.error_size, ctx.error_size, ctx.seed),
                 )
             };
-            let reference = run_once(entry, &err_input, &RunSpec::AccurateGlobal { group }, false)
-                .expect("reference");
-            let err_run = run_once(entry, &err_input, &spec, false).expect("error run");
+            let reference = run_once_at(
+                entry,
+                &err_input,
+                &RunSpec::AccurateGlobal { group },
+                false,
+                0,
+            )
+            .expect("reference");
+            let err_run = run_once_at(entry, &err_input, &spec, false, 0).expect("error run");
 
             SummaryRow {
                 app: entry.name.to_owned(),

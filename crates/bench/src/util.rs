@@ -9,7 +9,6 @@ use kp_core::{run_app, CoreError, ImageInput, RunResult, RunSpec};
 use kp_data::hotspot::HotspotInput;
 use kp_data::Image;
 use kp_gpu_sim::{Device, DeviceConfig};
-use parking_lot::Mutex;
 
 /// Harness-wide settings.
 #[derive(Debug, Clone)]
@@ -158,7 +157,30 @@ pub fn run_once(
     spec: &RunSpec,
     profiling: bool,
 ) -> Result<RunResult, CoreError> {
-    let mut dev = Device::new(DeviceConfig::firepro_w5100())?;
+    // Most experiments call run_once from parallel_map (one worker per
+    // core), where in-launch parallelism must stay at 1 or every worker
+    // would spawn its own engine pool and oversubscribe the host.
+    // Sequential call sites that want engine parallelism use run_once_at.
+    run_once_at(entry, input, spec, profiling, 1)
+}
+
+/// As [`run_once`] with an explicit launch-engine thread count
+/// (`0` = all cores) — for sequential call sites that should let the
+/// engine use the whole host.
+///
+/// # Errors
+///
+/// Propagates runner errors.
+pub fn run_once_at(
+    entry: &AppEntry,
+    input: &OwnedInput,
+    spec: &RunSpec,
+    profiling: bool,
+    parallelism: usize,
+) -> Result<RunResult, CoreError> {
+    let mut cfg = DeviceConfig::firepro_w5100();
+    cfg.parallelism = parallelism;
+    let mut dev = Device::new(cfg)?;
     dev.set_profiling(profiling);
     run_app(&mut dev, entry.app, &input.as_input(), spec)
 }
@@ -171,33 +193,7 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
-    let next: Mutex<usize> = Mutex::new(0);
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(items.len().max(1));
-    crossbeam::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|_| loop {
-                let idx = {
-                    let mut n = next.lock();
-                    if *n >= items.len() {
-                        break;
-                    }
-                    let i = *n;
-                    *n += 1;
-                    i
-                };
-                let r = f(&items[idx]);
-                results.lock().push((idx, r));
-            });
-        }
-    })
-    .expect("parallel worker panicked");
-    let mut collected = results.into_inner();
-    collected.sort_by_key(|(i, _)| *i);
-    collected.into_iter().map(|(_, r)| r).collect()
+    kp_core::parallel_ordered_map(items, 0, |_, item| f(item))
 }
 
 /// Writes rows as CSV (first row should be the header).

@@ -34,10 +34,7 @@ pub struct BudgetSelection {
 ///
 /// Returns `None` if no outcome meets the budget — callers should then fall
 /// back to the accurate kernel.
-pub fn best_under_budget<'a>(
-    outcomes: &'a [SweepOutcome],
-    budget: f64,
-) -> Option<&'a SweepOutcome> {
+pub fn best_under_budget(outcomes: &[SweepOutcome], budget: f64) -> Option<&SweepOutcome> {
     outcomes
         .iter()
         .filter(|o| o.error <= budget)

@@ -69,6 +69,7 @@ mod scheme;
 mod tile;
 mod tuner;
 
+pub mod par;
 pub mod paraprox;
 pub mod pipeline;
 
@@ -79,6 +80,7 @@ pub use metrics::{
     max_abs_error, mean_absolute_error, mean_relative_error, psnr, rmse, Distribution, ErrorMetric,
     MRE_EPSILON,
 };
+pub use par::{parallel_ordered_map, resolve_threads};
 pub use pareto::{pareto_front, TradeOff};
 pub use pipeline::{
     AccurateGlobalKernel, AccurateLocalKernel, ImageBinding, PerforatedKernel, StencilApp, Window,

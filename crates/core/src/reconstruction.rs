@@ -78,6 +78,7 @@ const RANDOM_SEARCH_RADIUS: i64 = 4;
 ///
 /// Returns `0.0` if no loaded neighbor exists within reach (cannot happen
 /// for validated scheme/tile combinations).
+#[allow(clippy::too_many_arguments)] // mirrors the kernel-side call shape
 pub fn reconstruct_element(
     scheme: &PerforationScheme,
     recon: Reconstruction,
@@ -401,10 +402,9 @@ mod tests {
         let data = run_reconstruction(&tile, &scheme, Reconstruction::NearestNeighbor, |gx, _| {
             gx as f32
         });
-        for idx in 0..tile.padded_len() {
+        for (idx, &v) in data.iter().enumerate().take(tile.padded_len()) {
             let (px, py) = tile.coords(idx);
             let (gx, _) = tile.global_of((0, 0), px, py);
-            let v = data[idx];
             assert!((v - gx as f32).abs() <= 1.0);
         }
     }

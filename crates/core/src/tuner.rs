@@ -6,11 +6,14 @@
 //! output), and reports speedups relative to a chosen baseline variant.
 //! Variants are evaluated in parallel on per-thread devices — functional
 //! results are deterministic, so parallelism cannot change any number.
+//! The worker plumbing lives in [`crate::par`]; each variant's launches
+//! run with in-launch parallelism pinned to 1 so the sweep, not the
+//! simulator, saturates the cores.
 
-use crossbeam::thread;
 use kp_gpu_sim::{Device, DeviceConfig};
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+
+use crate::par::parallel_ordered_map;
 
 use crate::config::ApproxConfig;
 use crate::error::CoreError;
@@ -96,37 +99,15 @@ pub fn sweep(ctx: &SweepContext<'_>, specs: &[RunSpec]) -> Result<Vec<SweepOutco
         .report
         .seconds;
 
-    let results: Mutex<Vec<(usize, Result<SweepOutcome, CoreError>)>> =
-        Mutex::new(Vec::with_capacity(specs.len()));
-    let next: Mutex<usize> = Mutex::new(0);
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(specs.len().max(1));
-
-    thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|_| loop {
-                let idx = {
-                    let mut n = next.lock();
-                    if *n >= specs.len() {
-                        break;
-                    }
-                    let i = *n;
-                    *n += 1;
-                    i
-                };
-                let spec = &specs[idx];
-                let outcome = evaluate_one(ctx, &reference, baseline_seconds, spec);
-                results.lock().push((idx, outcome));
-            });
-        }
+    // One sweep worker per core regardless of the context's in-launch
+    // parallelism knob: the two widths are independent (a config pinning
+    // launches to one thread for reproducibility must not serialize the
+    // sweep itself).
+    parallel_ordered_map(specs, 0, |_, spec| {
+        evaluate_one(ctx, &reference, baseline_seconds, spec)
     })
-    .expect("sweep worker panicked");
-
-    let mut collected = results.into_inner();
-    collected.sort_by_key(|(i, _)| *i);
-    collected.into_iter().map(|(_, r)| r).collect()
+    .into_iter()
+    .collect()
 }
 
 fn evaluate_one(
@@ -135,7 +116,11 @@ fn evaluate_one(
     baseline_seconds: f64,
     spec: &RunSpec,
 ) -> Result<SweepOutcome, CoreError> {
-    let mut dev = Device::new(ctx.device.clone())?;
+    // One device per evaluation; launches stay single-threaded because the
+    // sweep itself runs one worker per core.
+    let mut cfg = ctx.device.clone();
+    cfg.parallelism = 1;
+    let mut dev = Device::new(cfg)?;
     let run = run_app(&mut dev, ctx.app, &ctx.input, spec)?;
     let error = ctx.metric.evaluate(reference, &run.output);
     let seconds = run.report.seconds;

@@ -76,7 +76,7 @@ pub fn standard_dataset(count: usize, size: usize, seed: u64) -> Vec<DatasetImag
 fn pick_smooth(size: usize, seed: u64, i: usize) -> Image {
     match i % 3 {
         0 => synth::countryside(size, size, seed),
-        1 => synth::gradient(size, size, i % 2 == 0),
+        1 => synth::gradient(size, size, i.is_multiple_of(2)),
         _ => {
             let mut img = synth::countryside(size, size, seed);
             // Mild blur-like flattening: average with a vertical gradient.

@@ -73,7 +73,7 @@ pub fn photo_like(width: usize, height: usize, seed: u64) -> Image {
 pub fn checkerboard(width: usize, height: usize, cell: usize) -> Image {
     let cell = cell.max(1);
     Image::from_fn(width, height, |x, y| {
-        if ((x / cell) + (y / cell)) % 2 == 0 {
+        if ((x / cell) + (y / cell)).is_multiple_of(2) {
             0.15
         } else {
             0.85
@@ -88,7 +88,7 @@ pub fn stripes(width: usize, height: usize, period: usize, vertical: bool) -> Im
     let period = period.max(2);
     Image::from_fn(width, height, |x, y| {
         let c = if vertical { x } else { y };
-        if (c / (period / 2)) % 2 == 0 {
+        if (c / (period / 2)).is_multiple_of(2) {
             0.15
         } else {
             0.85

@@ -80,6 +80,13 @@ pub struct DeviceConfig {
     pub max_groups_per_cu: usize,
     /// Core clock in MHz, used to convert cycles to seconds.
     pub clock_mhz: f64,
+    /// Host threads used by the parallel launch engine to execute work
+    /// groups: `0` = one per available core, `1` = single-threaded, `n` =
+    /// exactly `n` workers. For kernels whose groups are independent
+    /// within one launch (the OpenCL contract), functional results and
+    /// reports are identical for every value (see the crate-level
+    /// "Execution model" docs).
+    pub parallelism: usize,
 }
 
 impl DeviceConfig {
@@ -110,6 +117,7 @@ impl DeviceConfig {
             max_waves_per_cu: 40,
             max_groups_per_cu: 16,
             clock_mhz: 930.0,
+            parallelism: 0,
         }
     }
 
@@ -139,6 +147,7 @@ impl DeviceConfig {
             max_waves_per_cu: 40,
             max_groups_per_cu: 16,
             clock_mhz: 1000.0,
+            parallelism: 1,
         }
     }
 

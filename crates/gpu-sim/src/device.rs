@@ -1,21 +1,30 @@
-//! The simulated device: buffer lifecycle and the launch loop.
+//! The simulated device: buffer lifecycle and the launch frontends.
+//!
+//! The execution machinery itself lives in [`crate::engine`]; this module
+//! owns the buffers and exposes the two launch entry points:
+//!
+//! * [`Device::launch`] — the parallel deterministic engine (default),
+//! * [`Device::launch_serial`] — the legacy one-group-at-a-time path, kept
+//!   for differential testing and for kernels that cannot be shared across
+//!   threads.
 
 use crate::buffer::{BufferId, ElemKind, RawBuffer, Scalar};
 use crate::config::DeviceConfig;
+use crate::engine::{resolve_parallelism, GroupOutcome, PlanCache, WorkerScratch};
 use crate::error::SimError;
-use crate::kernel::{FaultLog, ItemCtx, Kernel, PhaseProfile};
-use crate::local::LocalArena;
+use crate::kernel::{FaultLog, Kernel};
+use crate::local::LocalSpec;
 use crate::ndrange::NdRange;
-use crate::stats::{LaunchReport, LaunchStats, TimingBreakdown};
+use crate::stats::{LaunchReport, LaunchStats, Occupancy, TimingBreakdown};
 use crate::timing;
 
 /// A simulated GPU device.
 ///
 /// Owns global-memory buffers and executes [`Kernel`]s over [`NdRange`]s.
-/// Execution is deterministic: work groups run in row-major order, work
-/// items within a group run in row-major order within each phase, and a
-/// barrier separates phases. Functional results are therefore exactly
-/// reproducible across runs and platforms.
+/// Execution is deterministic: results are bit-identical across runs,
+/// platforms and worker-thread counts (work groups execute against a
+/// global-memory snapshot and their writes are applied in row-major group
+/// order; see the crate-level "Execution model" documentation).
 ///
 /// # Examples
 ///
@@ -27,6 +36,7 @@ pub struct Device {
     next_addr: u64,
     used_bytes: usize,
     profiling: bool,
+    plans: PlanCache,
 }
 
 impl Device {
@@ -43,7 +53,17 @@ impl Device {
             next_addr: 0,
             used_bytes: 0,
             profiling: true,
+            plans: PlanCache::default(),
         })
+    }
+
+    /// Sets the number of worker threads the launch engine uses for work
+    /// groups (`0` = one per available core). For kernels whose groups are
+    /// independent within one launch — the OpenCL contract, see the
+    /// crate-level "Execution model" docs — results are identical for
+    /// every value; only wall-clock time changes.
+    pub fn set_parallelism(&mut self, threads: usize) {
+        self.cfg.parallelism = threads;
     }
 
     /// The device configuration.
@@ -98,6 +118,25 @@ impl Device {
     }
 
     fn alloc(&mut self, kind: ElemKind, label: &str, data: Vec<u64>) -> Result<BufferId, SimError> {
+        // The launch engine packs element indices into 32 bits (write-log
+        // entries); cap per-buffer length so that packing can never
+        // truncate, whatever global_mem_bytes a custom config allows.
+        if u32::try_from(data.len()).is_err() {
+            return Err(SimError::Launch(format!(
+                "buffer '{label}' has {} elements; the device supports at most {} per buffer",
+                data.len(),
+                u32::MAX
+            )));
+        }
+        // Slots are packed into 24 bits alongside the 40-bit element index
+        // in write-log keys, and released slots are never reused, so cap
+        // the lifetime allocation count symmetrically.
+        if self.bufs.len() >= (1 << 24) {
+            return Err(SimError::Launch(format!(
+                "buffer '{label}' exceeds the device's lifetime limit of {} allocations",
+                1 << 24
+            )));
+        }
         let bytes = data.len() * kind.bytes();
         let available = self.cfg.global_mem_bytes.saturating_sub(self.used_bytes);
         if bytes > available {
@@ -286,115 +325,61 @@ impl Device {
         Ok(())
     }
 
-    /// Executes a kernel over the given range and returns its report.
-    ///
-    /// Functional effects (buffer writes) are applied in deterministic
-    /// order. With profiling enabled the report carries full transaction /
-    /// bank / timing accounting.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SimError::Launch`] for geometry or resource violations and
-    /// [`SimError::KernelFaults`] if kernel code performed invalid accesses
-    /// (buffers may be partially written in that case).
-    pub fn launch<K: Kernel + ?Sized>(
+    /// Validates a launch and computes its shared setup.
+    fn prepare_launch<K: Kernel + ?Sized>(
         &mut self,
         kernel: &K,
         range: NdRange,
-    ) -> Result<LaunchReport, SimError> {
-        let specs = kernel.local_buffers();
-        let mut arena = LocalArena::new(&specs);
-        let local_bytes = arena.total_bytes();
+    ) -> Result<LaunchSetup, SimError> {
+        let local_specs = kernel.local_buffers();
+        let local_bytes = local_specs.iter().map(LocalSpec::bytes).sum();
         let phases = kernel.phases();
         self.validate_launch(kernel.name(), phases, &range, local_bytes)?;
-        let group_size = range.group_size_total();
-        let occ = timing::occupancy(&self.cfg, group_size, local_bytes);
-        let mut profile = self
-            .profiling
-            .then(|| PhaseProfile::new(occ.waves_per_group));
+        let occ = timing::occupancy(&self.cfg, range.group_size_total(), local_bytes);
+        Ok(LaunchSetup {
+            local_specs,
+            phases,
+            occ,
+        })
+    }
 
+    /// Folds per-group outcomes (visited in row-major group order) into the
+    /// final report, or the fault error. Write application is the caller's
+    /// business — the serial frontend applies after every group, the
+    /// parallel one after all of them.
+    fn reduce_outcomes<K: Kernel + ?Sized>(
+        &self,
+        kernel: &K,
+        range: NdRange,
+        setup: &LaunchSetup,
+        outcomes: impl IntoIterator<Item = GroupOutcome>,
+    ) -> Result<LaunchReport, SimError> {
         let mut stats = LaunchStats::default();
         let mut breakdown = TimingBreakdown::default();
         let mut faults = FaultLog::default();
-
-        let group_coords: Vec<[usize; 3]> = range.group_coords().collect();
-        let local_coords: Vec<[usize; 3]> = range.local_coords().collect();
-        let wf_of: Vec<u32> = local_coords
-            .iter()
-            .map(|&c| (range.flatten_local(c) / self.cfg.wavefront_size) as u32)
-            .collect();
-        // Memory coalescing granule (quarter-wavefront on GCN).
-        let granule_of: Vec<u32> = local_coords
-            .iter()
-            .map(|&c| (range.flatten_local(c) / self.cfg.coalesce_width) as u32)
-            .collect();
-
-        for &group in &group_coords {
-            arena.reset();
-            let mut group_cycles = self.cfg.group_dispatch_cycles;
-            for phase in 0..phases {
-                if let Some(p) = profile.as_mut() {
-                    p.reset_phase();
-                }
-                for (li, &local) in local_coords.iter().enumerate() {
-                    let mut ctx = ItemCtx {
-                        range: &range,
-                        cfg: &self.cfg,
-                        group,
-                        local,
-                        phase,
-                        wavefront: wf_of[li],
-                        granule: granule_of[li],
-                        bufs: &mut self.bufs,
-                        arena: &mut arena,
-                        profile: profile.as_mut(),
-                        faults: &mut faults,
-                        local_seq: 0,
-                        global_seq: 0,
-                        item_ops: 0,
-                    };
-                    kernel.run_phase(phase, &mut ctx);
-                    let item_ops = ctx.item_ops;
-                    if let Some(p) = profile.as_mut() {
-                        let wf = wf_of[li] as usize;
-                        p.wf_max_ops[wf] = p.wf_max_ops[wf].max(item_ops);
-                    }
-                }
-                if let Some(p) = profile.as_mut() {
-                    let mem = p.coalesce.finish_phase();
-                    let banks = p.banks.finish_phase();
-                    let cost = timing::phase_cost(&self.cfg, &mem, &banks, &p.wf_max_ops);
-                    stats.global_read_transactions += mem.read_transactions;
-                    stats.global_write_transactions += mem.write_transactions;
-                    stats.dram_read_transactions += mem.dram_read_transactions;
-                    stats.dram_write_transactions += mem.dram_write_transactions;
-                    stats.global_bytes_requested += mem.bytes_requested;
-                    stats.global_bytes_transferred +=
-                        mem.bytes_transferred(self.cfg.transaction_bytes);
-                    stats.global_element_reads += mem.element_reads;
-                    stats.global_element_writes += mem.element_writes;
-                    stats.local_accesses += banks.accesses;
-                    stats.local_steps += banks.steps;
-                    stats.local_conflict_steps += banks.conflict_steps();
-                    stats.alu_ops += p.wf_max_ops.iter().sum::<u64>();
-                    breakdown.memory_cycles += cost.memory_cycles;
-                    breakdown.compute_cycles += cost.alu_cycles + cost.local_cycles;
-                    group_cycles += cost.critical_path();
-                }
-            }
-            let barriers = self.cfg.barrier_cycles * (phases as u64 - 1);
-            breakdown.overhead_cycles += barriers + self.cfg.group_dispatch_cycles;
-            group_cycles += barriers;
-            breakdown.group_cycles_total += group_cycles;
+        let mut groups = 0usize;
+        for outcome in outcomes {
+            groups += 1;
+            stats.accumulate(&outcome.stats);
+            breakdown.memory_cycles += outcome.timing.memory_cycles;
+            breakdown.compute_cycles += outcome.timing.compute_cycles;
+            breakdown.overhead_cycles += outcome.timing.overhead_cycles;
+            breakdown.group_cycles_total += outcome.timing.group_cycles_total;
+            faults.merge(outcome.faults);
         }
-        stats.uninit_local_reads = arena.uninit_reads;
+        debug_assert_eq!(groups, range.num_groups_total());
 
         if self.profiling {
             breakdown.device_cycles =
-                timing::device_cycles(&self.cfg, &occ, breakdown.group_cycles_total);
+                timing::device_cycles(&self.cfg, &setup.occ, breakdown.group_cycles_total);
         } else {
             // Without profiling no memory/ALU accounting happened, so a
-            // partial cycle count would be misleading; report zero time.
+            // partial cycle count would be misleading; report zero time —
+            // but keep the uninitialized-read counter, which is a
+            // correctness signal tracked independently of profiling.
+            let uninit = stats.uninit_local_reads;
+            stats = LaunchStats::default();
+            stats.uninit_local_reads = uninit;
             breakdown = TimingBreakdown::default();
         }
 
@@ -408,22 +393,161 @@ impl Device {
 
         let mut report = LaunchReport {
             kernel: kernel.name().to_owned(),
-            groups: group_coords.len(),
-            phases,
+            groups,
+            phases: setup.phases,
             profiled: self.profiling,
             stats,
             timing: breakdown,
-            occupancy: occ,
+            occupancy: setup.occ,
             seconds: 0.0,
         };
         report.finalize(&self.cfg);
         Ok(report)
     }
+
+    /// Executes a kernel over the given range and returns its report.
+    ///
+    /// Work groups execute on the parallel launch engine: sharded across
+    /// up to [`DeviceConfig::parallelism`] scoped worker threads, each
+    /// group running against a read-only snapshot of global memory with
+    /// its stores logged and applied in row-major group order afterwards.
+    /// Results — buffers, statistics, timing, faults — are bit-identical
+    /// for every thread count, provided groups are independent within one
+    /// launch (no group reads what another group wrote during the same
+    /// launch; OpenCL makes the same demand of real kernels). With one
+    /// worker the engine degenerates to [`Device::launch_serial`]
+    /// semantics exactly.
+    ///
+    /// With profiling enabled the report carries full transaction / bank /
+    /// timing accounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Launch`] for geometry or resource violations and
+    /// [`SimError::KernelFaults`] if kernel code performed invalid accesses
+    /// (buffers may be partially written in that case).
+    pub fn launch<K: Kernel + Sync + ?Sized>(
+        &mut self,
+        kernel: &K,
+        range: NdRange,
+    ) -> Result<LaunchReport, SimError> {
+        let setup = self.prepare_launch(kernel, range)?;
+        let plan = self.plans.get(&self.cfg, range);
+        let workers = resolve_parallelism(self.cfg.parallelism).min(plan.group_coords.len());
+        if workers <= 1 {
+            return self.run_groups_serially(kernel, range, &setup);
+        }
+
+        // Contiguous shards keep the group -> worker assignment, and thus
+        // every worker-local accumulation, independent of scheduling.
+        let groups = &plan.group_coords;
+        let chunk = groups.len().div_ceil(workers);
+        let (cfg, bufs, profiling) = (&self.cfg, &self.bufs, self.profiling);
+        let phases = setup.phases;
+        let mut outcomes: Vec<Vec<GroupOutcome>> = std::thread::scope(|s| {
+            let handles: Vec<_> = groups
+                .chunks(chunk)
+                .map(|shard| {
+                    let plan = &plan;
+                    let local_specs = &setup.local_specs;
+                    s.spawn(move || {
+                        let mut scratch =
+                            WorkerScratch::new(local_specs, setup.occ.waves_per_group, profiling);
+                        shard
+                            .iter()
+                            .map(|&group| {
+                                crate::engine::run_group(
+                                    kernel,
+                                    phases,
+                                    cfg,
+                                    plan,
+                                    bufs,
+                                    group,
+                                    &mut scratch,
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("launch worker panicked"))
+                .collect()
+        });
+
+        // Apply every group's writes in row-major group order: identical
+        // replay order to the serial path for independent groups.
+        for outcome in outcomes.iter_mut().flatten() {
+            crate::engine::apply_writes(&std::mem::take(&mut outcome.writes), &mut self.bufs);
+        }
+        self.reduce_outcomes(kernel, range, &setup, outcomes.into_iter().flatten())
+    }
+
+    /// Executes a kernel one work group at a time on the calling thread.
+    ///
+    /// Semantics match pre-engine serial execution exactly: each group's
+    /// writes are applied to global memory before the next group runs, so
+    /// even (non-deterministic on real hardware) cross-group dependencies
+    /// observe the row-major order. Kept as the differential-testing
+    /// reference for [`Device::launch`] and for kernels that are not
+    /// [`Sync`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Device::launch`].
+    pub fn launch_serial<K: Kernel + ?Sized>(
+        &mut self,
+        kernel: &K,
+        range: NdRange,
+    ) -> Result<LaunchReport, SimError> {
+        let setup = self.prepare_launch(kernel, range)?;
+        self.run_groups_serially(kernel, range, &setup)
+    }
+
+    /// Shared single-threaded driver: run each group, apply its writes
+    /// immediately, collect its outcome.
+    fn run_groups_serially<K: Kernel + ?Sized>(
+        &mut self,
+        kernel: &K,
+        range: NdRange,
+        setup: &LaunchSetup,
+    ) -> Result<LaunchReport, SimError> {
+        let plan = self.plans.get(&self.cfg, range);
+        let mut scratch = WorkerScratch::new(
+            &setup.local_specs,
+            setup.occ.waves_per_group,
+            self.profiling,
+        );
+        let mut outcomes = Vec::with_capacity(plan.group_coords.len());
+        for &group in &plan.group_coords {
+            let mut outcome = crate::engine::run_group(
+                kernel,
+                setup.phases,
+                &self.cfg,
+                &plan,
+                &self.bufs,
+                group,
+                &mut scratch,
+            );
+            crate::engine::apply_writes(&std::mem::take(&mut outcome.writes), &mut self.bufs);
+            outcomes.push(outcome);
+        }
+        self.reduce_outcomes(kernel, range, setup, outcomes)
+    }
+}
+
+/// Validated, precomputed launch parameters shared by both frontends.
+struct LaunchSetup {
+    local_specs: Vec<crate::local::LocalSpec>,
+    phases: usize,
+    occ: Occupancy,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernel::ItemCtx;
     use crate::local::{LocalId, LocalSpec};
 
     struct Copy1D {
@@ -730,6 +854,7 @@ mod tests {
 #[cfg(test)]
 mod more_tests {
     use super::*;
+    use crate::kernel::ItemCtx;
     use crate::local::LocalSpec;
 
     fn device() -> Device {
@@ -915,6 +1040,66 @@ mod more_tests {
         let mut dev = device();
         let id = dev.create_buffer::<f32>("my-label", 1).unwrap();
         assert_eq!(dev.buffer_label(id).unwrap(), "my-label");
+    }
+
+    /// Regression: each group reads local memory it never wrote, and the
+    /// counter must accumulate across groups — surviving the arena reset
+    /// between groups on one worker and the per-group arenas of parallel
+    /// shards alike.
+    struct UninitReader {
+        reads_per_item: usize,
+    }
+
+    impl Kernel for UninitReader {
+        fn name(&self) -> &str {
+            "uninit-reader"
+        }
+
+        fn local_buffers(&self) -> Vec<LocalSpec> {
+            vec![LocalSpec::new(ElemKind::F32, 16)]
+        }
+
+        fn run_phase(&self, _phase: usize, ctx: &mut ItemCtx<'_>) {
+            for k in 0..self.reads_per_item {
+                let _: f32 = ctx.read_local(crate::LocalId(0), (ctx.local_id(0) + k) % 16);
+            }
+        }
+    }
+
+    #[test]
+    fn uninit_local_reads_accumulate_across_groups() {
+        let mut dev = device();
+        // 2 groups x 4 items x 3 reads, all of never-written elements.
+        let report = dev
+            .launch(
+                &UninitReader { reads_per_item: 3 },
+                NdRange::new_1d(8, 4).unwrap(),
+            )
+            .unwrap();
+        assert_eq!(report.groups, 2);
+        assert_eq!(report.stats.uninit_local_reads, 2 * 4 * 3);
+    }
+
+    #[test]
+    fn uninit_local_reads_survive_parallel_sharding_and_profiling_off() {
+        let run = |parallelism: usize, profiling: bool| {
+            let mut cfg = DeviceConfig::test_tiny();
+            cfg.parallelism = parallelism;
+            let mut dev = Device::new(cfg).unwrap();
+            dev.set_profiling(profiling);
+            dev.launch(
+                &UninitReader { reads_per_item: 2 },
+                NdRange::new_1d(16, 4).unwrap(),
+            )
+            .unwrap()
+            .stats
+            .uninit_local_reads
+        };
+        for parallelism in [1, 2, 4] {
+            for profiling in [true, false] {
+                assert_eq!(run(parallelism, profiling), 4 * 4 * 2, "p={parallelism}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,408 @@
+//! The parallel deterministic launch engine.
+//!
+//! Work groups are independent between barriers: each owns its local-memory
+//! arena, and inter-group communication through global memory within one
+//! launch is undefined behavior on real hardware (OpenCL gives no ordering
+//! between groups). The engine exploits exactly that freedom:
+//!
+//! * every group executes against a **read-only snapshot** of global
+//!   memory, recording its stores into a per-group [`WriteLog`] (reads
+//!   observe the group's own earlier writes through the log's overlay,
+//!   preserving intra-group read-after-write),
+//! * groups are sharded across scoped worker threads in contiguous chunks,
+//! * write logs, statistics, cycle accounting and fault logs are reduced
+//!   **in row-major group order**, so the result is bit-identical no matter
+//!   how many workers ran.
+//!
+//! The geometry of a launch (group/item coordinate lists, wavefront and
+//! coalescing-granule assignments) is immutable per [`NdRange`] and device
+//! configuration; [`LaunchPlan`] captures it once and `Device` caches plans
+//! keyed on the range, so sweeps re-launching the same geometry skip the
+//! setup entirely.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
+
+use crate::buffer::RawBuffer;
+use crate::config::DeviceConfig;
+use crate::kernel::{FaultLog, ItemCtx, Kernel, PhaseProfile};
+use crate::local::LocalArena;
+use crate::ndrange::NdRange;
+use crate::stats::{LaunchStats, TimingBreakdown};
+use crate::timing;
+
+/// Precomputed per-launch geometry, cached per [`NdRange`].
+#[derive(Debug)]
+pub(crate) struct LaunchPlan {
+    pub range: NdRange,
+    /// All work-group coordinates in row-major order.
+    pub group_coords: Vec<[usize; 3]>,
+    /// All local work-item coordinates of one group in row-major order.
+    pub local_coords: Vec<[usize; 3]>,
+    /// Wavefront id of each local item (index-aligned with `local_coords`).
+    pub wf_of: Vec<u32>,
+    /// Memory coalescing granule of each local item (quarter-wavefront on
+    /// GCN-class configurations).
+    pub granule_of: Vec<u32>,
+}
+
+impl LaunchPlan {
+    pub fn new(cfg: &DeviceConfig, range: NdRange) -> Self {
+        let group_coords: Vec<[usize; 3]> = range.group_coords().collect();
+        let local_coords: Vec<[usize; 3]> = range.local_coords().collect();
+        let wf_of: Vec<u32> = local_coords
+            .iter()
+            .map(|&c| (range.flatten_local(c) / cfg.wavefront_size) as u32)
+            .collect();
+        let granule_of: Vec<u32> = local_coords
+            .iter()
+            .map(|&c| (range.flatten_local(c) / cfg.coalesce_width) as u32)
+            .collect();
+        Self {
+            range,
+            group_coords,
+            local_coords,
+            wf_of,
+            granule_of,
+        }
+    }
+}
+
+/// Small bounded cache of launch plans. The device configuration is fixed
+/// for the lifetime of a `Device`, so the range alone is the key.
+#[derive(Debug, Default)]
+pub(crate) struct PlanCache {
+    plans: HashMap<NdRange, Arc<LaunchPlan>>,
+}
+
+impl PlanCache {
+    /// A sweep touches a handful of geometries; anything past this is
+    /// pathological and we just start over rather than tracking LRU order.
+    const CAPACITY: usize = 64;
+
+    pub fn get(&mut self, cfg: &DeviceConfig, range: NdRange) -> Arc<LaunchPlan> {
+        if let Some(plan) = self.plans.get(&range) {
+            return Arc::clone(plan);
+        }
+        if self.plans.len() >= Self::CAPACITY {
+            self.plans.clear();
+        }
+        let plan = Arc::new(LaunchPlan::new(cfg, range));
+        self.plans.insert(range, Arc::clone(&plan));
+        plan
+    }
+}
+
+/// Multiply-shift hasher for the write-log overlay keys (pre-mixed u64
+/// keys; SipHash would dominate the read path).
+#[derive(Debug, Default)]
+pub(crate) struct FxHasher64 {
+    state: u64,
+}
+
+impl Hasher for FxHasher64 {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = (self.state ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.state = (self.state ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.state ^= self.state >> 32;
+    }
+}
+
+/// One logged global-memory store. Kept at 16 bytes — a big launch holds
+/// one entry per store until the logs are replayed, so entry size bounds
+/// the engine's transient memory. `u32` element indices are sufficient:
+/// the largest allocatable buffer (whole global memory as single bytes)
+/// stays below 2^32 elements.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct WriteEntry {
+    /// Buffer slot index (validated at record time).
+    pub slot: u32,
+    /// Element index within the buffer.
+    pub index: u32,
+    /// Stored bit pattern.
+    pub bits: u64,
+}
+
+/// Per-group log of global-memory stores with an overlay index.
+///
+/// Stores append to `entries` in program order (replaying them in order
+/// reproduces serial last-write-wins semantics exactly) and update the
+/// overlay map so later reads by the *same group* observe them. `dirty`
+/// tracks which buffer slots have any logged store, letting the hot read
+/// path skip the map probe for never-written buffers (the common case:
+/// stencil kernels read inputs and write a disjoint output).
+#[derive(Debug, Default)]
+pub(crate) struct WriteLog {
+    entries: Vec<WriteEntry>,
+    overlay: HashMap<u64, u64, BuildHasherDefault<FxHasher64>>,
+    dirty: Vec<bool>,
+}
+
+impl WriteLog {
+    fn key(slot: u32, index: usize) -> u64 {
+        // Buffer count < 2^24 and element index < 2^40 (a 3.5 GB device
+        // holds < 2^30 four-byte elements), so the pair packs into 64 bits.
+        debug_assert!(index < (1 << 40), "element index exceeds packed key");
+        (u64::from(slot) << 40) | index as u64
+    }
+
+    /// Prepares the log for a group, sizing the dirty map to `nbufs`.
+    pub fn reset(&mut self, nbufs: usize) {
+        self.entries.clear();
+        self.overlay.clear();
+        self.dirty.clear();
+        self.dirty.resize(nbufs, false);
+    }
+
+    /// Records a store. Indices fit `u32` by construction: `Device::alloc`
+    /// rejects buffers with more than `u32::MAX` elements and stores are
+    /// bounds-checked against the buffer before being recorded.
+    pub fn record(&mut self, slot: usize, index: usize, bits: u64) {
+        let slot32 = slot as u32;
+        debug_assert!(u32::try_from(index).is_ok(), "element index exceeds u32");
+        self.entries.push(WriteEntry {
+            slot: slot32,
+            index: index as u32,
+            bits,
+        });
+        self.overlay.insert(Self::key(slot32, index), bits);
+        self.dirty[slot] = true;
+    }
+
+    /// The latest store to `(slot, index)`, if this group made one.
+    #[inline]
+    pub fn lookup(&self, slot: usize, index: usize) -> Option<u64> {
+        if !self.dirty[slot] {
+            return None;
+        }
+        self.overlay.get(&Self::key(slot as u32, index)).copied()
+    }
+
+    /// Moves the entries out (used to keep parallel group results alive
+    /// after their worker's scratch state is reused).
+    pub fn take_entries(&mut self) -> Vec<WriteEntry> {
+        std::mem::take(&mut self.entries)
+    }
+}
+
+/// Replays logged stores into the backing buffers, in program order (later
+/// entries overwrite earlier ones, reproducing serial last-write-wins).
+pub(crate) fn apply_writes(entries: &[WriteEntry], bufs: &mut [Option<RawBuffer>]) {
+    for e in entries {
+        bufs[e.slot as usize]
+            .as_mut()
+            .expect("write target validated at record time")
+            .data[e.index as usize] = e.bits;
+    }
+}
+
+/// Everything one group's execution produced, in reducible form.
+#[derive(Debug, Default)]
+pub(crate) struct GroupOutcome {
+    pub writes: Vec<WriteEntry>,
+    pub stats: LaunchStats,
+    pub timing: TimingBreakdown,
+    pub faults: FaultLog,
+}
+
+/// Per-worker scratch state, reused across the groups of one shard.
+pub(crate) struct WorkerScratch {
+    pub arena: LocalArena,
+    pub profile: Option<PhaseProfile>,
+    pub log: WriteLog,
+}
+
+impl WorkerScratch {
+    pub fn new(
+        kernel_locals: &[crate::local::LocalSpec],
+        waves_per_group: usize,
+        profiling: bool,
+    ) -> Self {
+        Self {
+            arena: LocalArena::new(kernel_locals),
+            profile: profiling.then(|| PhaseProfile::new(waves_per_group)),
+            log: WriteLog::default(),
+        }
+    }
+}
+
+/// Executes one work group against the global-memory snapshot `bufs`,
+/// returning its write log, statistics and cycle accounting.
+///
+/// This is the single execution path shared by the serial and parallel
+/// frontends in [`crate::Device`]: the only difference between them is
+/// *when* the returned write log is applied to the backing buffers.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_group<K: Kernel + ?Sized>(
+    kernel: &K,
+    phases: usize,
+    cfg: &DeviceConfig,
+    plan: &LaunchPlan,
+    bufs: &[Option<RawBuffer>],
+    group: [usize; 3],
+    scratch: &mut WorkerScratch,
+) -> GroupOutcome {
+    let mut stats = LaunchStats::default();
+    let mut breakdown = TimingBreakdown::default();
+    let mut faults = FaultLog::default();
+
+    scratch.arena.reset();
+    scratch.log.reset(bufs.len());
+    let mut group_cycles = cfg.group_dispatch_cycles;
+    for phase in 0..phases {
+        if let Some(p) = scratch.profile.as_mut() {
+            p.reset_phase();
+        }
+        for (li, &local) in plan.local_coords.iter().enumerate() {
+            let mut ctx = ItemCtx {
+                range: &plan.range,
+                cfg,
+                group,
+                local,
+                phase,
+                wavefront: plan.wf_of[li],
+                granule: plan.granule_of[li],
+                bufs,
+                writes: &mut scratch.log,
+                arena: &mut scratch.arena,
+                profile: scratch.profile.as_mut(),
+                faults: &mut faults,
+                local_seq: 0,
+                global_seq: 0,
+                item_ops: 0,
+            };
+            kernel.run_phase(phase, &mut ctx);
+            let item_ops = ctx.item_ops;
+            if let Some(p) = scratch.profile.as_mut() {
+                let wf = plan.wf_of[li] as usize;
+                p.wf_max_ops[wf] = p.wf_max_ops[wf].max(item_ops);
+            }
+        }
+        if let Some(p) = scratch.profile.as_mut() {
+            let mem = p.coalesce.finish_phase();
+            let banks = p.banks.finish_phase();
+            let cost = timing::phase_cost(cfg, &mem, &banks, &p.wf_max_ops);
+            stats.global_read_transactions += mem.read_transactions;
+            stats.global_write_transactions += mem.write_transactions;
+            stats.dram_read_transactions += mem.dram_read_transactions;
+            stats.dram_write_transactions += mem.dram_write_transactions;
+            stats.global_bytes_requested += mem.bytes_requested;
+            stats.global_bytes_transferred += mem.bytes_transferred(cfg.transaction_bytes);
+            stats.global_element_reads += mem.element_reads;
+            stats.global_element_writes += mem.element_writes;
+            stats.local_accesses += banks.accesses;
+            stats.local_steps += banks.steps;
+            stats.local_conflict_steps += banks.conflict_steps();
+            stats.alu_ops += p.wf_max_ops.iter().sum::<u64>();
+            breakdown.memory_cycles += cost.memory_cycles;
+            breakdown.compute_cycles += cost.alu_cycles + cost.local_cycles;
+            group_cycles += cost.critical_path();
+        }
+    }
+    let barriers = cfg.barrier_cycles * (phases as u64 - 1);
+    breakdown.overhead_cycles += barriers + cfg.group_dispatch_cycles;
+    group_cycles += barriers;
+    breakdown.group_cycles_total += group_cycles;
+    // Local memory tracks uninitialized reads independently of profiling
+    // (it is a correctness signal, not a performance counter).
+    stats.uninit_local_reads = scratch.arena.uninit_reads;
+
+    GroupOutcome {
+        writes: scratch.log.take_entries(),
+        stats,
+        timing: breakdown,
+        faults,
+    }
+}
+
+/// Resolves a parallelism knob to a concrete worker count
+/// (`0` = one per available core). Shared policy for the launch engine
+/// and host-side harnesses (`kp_core::par` delegates here).
+pub fn resolve_parallelism(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_log_overlay_reads_back_latest() {
+        let mut log = WriteLog::default();
+        log.reset(2);
+        assert_eq!(log.lookup(0, 3), None);
+        log.record(0, 3, 7);
+        log.record(0, 3, 9);
+        assert_eq!(log.lookup(0, 3), Some(9));
+        assert_eq!(log.lookup(0, 4), None);
+        assert_eq!(log.lookup(1, 3), None);
+    }
+
+    #[test]
+    fn write_log_reset_clears_state() {
+        let mut log = WriteLog::default();
+        log.reset(1);
+        log.record(0, 0, 1);
+        log.reset(1);
+        assert_eq!(log.lookup(0, 0), None);
+        assert!(log.take_entries().is_empty());
+    }
+
+    #[test]
+    fn write_log_apply_replays_in_order() {
+        let mut log = WriteLog::default();
+        log.reset(1);
+        log.record(0, 1, 11);
+        log.record(0, 1, 22); // later store wins
+        let mut bufs = vec![Some(RawBuffer {
+            kind: crate::buffer::ElemKind::F32,
+            data: vec![0; 4],
+            base_addr: 0,
+            label: String::new(),
+        })];
+        apply_writes(&log.take_entries(), &mut bufs);
+        assert_eq!(bufs[0].as_ref().unwrap().data[1], 22);
+    }
+
+    #[test]
+    fn plan_cache_reuses_plans() {
+        let cfg = DeviceConfig::test_tiny();
+        let mut cache = PlanCache::default();
+        let r = NdRange::new_1d(64, 16).unwrap();
+        let a = cache.get(&cfg, r);
+        let b = cache.get(&cfg, r);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.group_coords.len(), 4);
+        assert_eq!(a.local_coords.len(), 16);
+    }
+
+    #[test]
+    fn plan_assigns_wavefronts_row_major() {
+        let cfg = DeviceConfig::test_tiny(); // wavefront 4, granule 4
+        let plan = LaunchPlan::new(&cfg, NdRange::new_1d(16, 8).unwrap());
+        assert_eq!(plan.wf_of, vec![0, 0, 0, 0, 1, 1, 1, 1]);
+        assert_eq!(plan.granule_of, plan.wf_of);
+    }
+
+    #[test]
+    fn resolve_parallelism_zero_is_auto() {
+        assert!(resolve_parallelism(0) >= 1);
+        assert_eq!(resolve_parallelism(5), 5);
+    }
+}

@@ -14,6 +14,7 @@
 use crate::buffer::{BufferId, ElemKind, RawBuffer, Scalar};
 use crate::coalesce::{CoalesceTracker, Dir};
 use crate::config::DeviceConfig;
+use crate::engine::WriteLog;
 use crate::local::{BankTracker, LocalArena, LocalId, LocalSpec};
 use crate::ndrange::NdRange;
 
@@ -202,6 +203,18 @@ impl FaultLog {
     pub fn is_empty(&self) -> bool {
         self.total == 0
     }
+
+    /// Folds another log into this one, preserving the storage cap. Called
+    /// in row-major group order, this reproduces exactly the log a serial
+    /// execution would have built.
+    pub fn merge(&mut self, other: FaultLog) {
+        self.total += other.total;
+        for fault in other.faults {
+            if self.faults.len() < Self::LIMIT {
+                self.faults.push(fault);
+            }
+        }
+    }
 }
 
 /// Per-phase profiling accumulators (only allocated when profiling is on).
@@ -232,6 +245,12 @@ impl PhaseProfile {
 /// All accessors are infallible from the kernel's perspective: invalid
 /// accesses are recorded as [`Fault`]s (surfaced as an error when the launch
 /// finishes) and reads return `Default::default()`.
+///
+/// Global memory is a read-only snapshot plus the owning group's write
+/// log: stores go to the log, loads consult the log first (so a group
+/// always observes its own earlier writes) and fall back to the snapshot.
+/// This is what makes work groups executable in parallel without changing
+/// any result — see the crate-level "Execution model" documentation.
 pub struct ItemCtx<'a> {
     pub(crate) range: &'a NdRange,
     pub(crate) cfg: &'a DeviceConfig,
@@ -242,7 +261,8 @@ pub struct ItemCtx<'a> {
     /// Memory coalescing granule id (quarter-wavefront on GCN-class
     /// configurations).
     pub(crate) granule: u32,
-    pub(crate) bufs: &'a mut [Option<RawBuffer>],
+    pub(crate) bufs: &'a [Option<RawBuffer>],
+    pub(crate) writes: &'a mut WriteLog,
     pub(crate) arena: &'a mut LocalArena,
     pub(crate) profile: Option<&'a mut PhaseProfile>,
     pub(crate) faults: &'a mut FaultLog,
@@ -333,8 +353,8 @@ impl<'a> ItemCtx<'a> {
     /// [`ItemCtx::read_global`].
     pub fn write_global<T: Scalar>(&mut self, buffer: BufferId, index: usize, value: T) {
         let bits = value.to_bits64();
-        if let Some(buf) = self.check_global(buffer, index, T::KIND, Dir::Write) {
-            self.bufs[buf].as_mut().expect("checked").data[index] = bits;
+        if let Some(slot) = self.check_global(buffer, index, T::KIND, Dir::Write) {
+            self.writes.record(slot, index, bits);
         }
     }
 
@@ -346,7 +366,11 @@ impl<'a> ItemCtx<'a> {
         dir: Dir,
     ) -> Option<u64> {
         let slot = self.check_global(buffer, index, kind, dir)?;
-        Some(self.bufs[slot].as_ref().expect("checked").data[index])
+        // The group's own stores shadow the launch-entry snapshot.
+        Some(match self.writes.lookup(slot, index) {
+            Some(bits) => bits,
+            None => self.bufs[slot].as_ref().expect("checked").data[index],
+        })
     }
 
     /// Validates the access, records it for profiling, and returns the

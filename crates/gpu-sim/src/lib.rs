@@ -19,6 +19,44 @@
 //! from the memory system (fewer coalesced transactions when loads are
 //! perforated).
 //!
+//! ## Execution model: parallel but deterministic
+//!
+//! [`Device::launch`] runs work groups on a parallel engine while keeping
+//! every observable result — output buffers, statistics, cycle counts,
+//! fault logs — **bit-identical** across worker-thread counts, runs and
+//! platforms. The mechanism:
+//!
+//! 1. Every group executes against a **read-only snapshot** of global
+//!    memory taken at launch entry. Stores go into a per-group write log;
+//!    loads consult that log first, so a group always observes *its own*
+//!    earlier writes (intra-group read-after-write across phases and
+//!    items works exactly as in serial execution).
+//! 2. Groups are sharded over scoped worker threads in contiguous
+//!    row-major chunks; each worker owns its local-memory arena, profiling
+//!    trackers and fault log, so no state is shared between groups.
+//! 3. After all groups finish, write logs are **replayed in row-major
+//!    group order**, and statistics / cycles / faults are reduced in that
+//!    same order — the exact order serial execution produces.
+//!
+//! The contract this relies on is OpenCL's own: work groups of one launch
+//! must not communicate through global memory (there is no inter-group
+//! ordering on real hardware either). Kernels honoring that contract get
+//! identical results at any [`DeviceConfig::parallelism`] setting; the
+//! pathological exception — a group reading what *another group* wrote in
+//! the same launch — is only defined on the legacy reference path.
+//!
+//! [`Device::launch_serial`] keeps that legacy path alive: one group at a
+//! time, writes applied before the next group starts. It is the
+//! differential-testing reference (`tests/parallel_determinism.rs` asserts
+//! bit-equality against it at several thread counts) and the fallback for
+//! kernels that are not [`Sync`]. Setting `parallelism = 1` makes
+//! [`Device::launch`] degenerate to the same semantics.
+//!
+//! Launch geometry (group/item coordinate lists, wavefront and coalescing
+//! granule assignments) is precomputed once per [`NdRange`] and cached on
+//! the device, so parameter sweeps re-launching the same shape skip that
+//! setup entirely.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -54,6 +92,7 @@
 mod buffer;
 mod config;
 mod device;
+mod engine;
 mod error;
 mod kernel;
 mod ndrange;
@@ -66,6 +105,7 @@ pub mod timing;
 pub use buffer::{BufferId, ElemKind, Scalar};
 pub use config::DeviceConfig;
 pub use device::Device;
+pub use engine::resolve_parallelism;
 pub use error::SimError;
 pub use kernel::{Fault, FaultKind, ItemCtx, Kernel};
 pub use local::{LocalId, LocalSpec};

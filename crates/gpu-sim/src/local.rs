@@ -69,14 +69,13 @@ impl LocalArena {
         }
     }
 
-    /// Total bytes of local memory used by the kernel (drives occupancy).
-    pub fn total_bytes(&self) -> usize {
-        self.specs.iter().map(LocalSpec::bytes).sum()
-    }
-
     /// Resets contents between work groups. OpenCL local memory is
     /// uninitialized at group start; we zero it and track "written" bits so
-    /// reads of never-written elements can be surfaced as a statistic.
+    /// reads of never-written elements can be surfaced as a statistic. The
+    /// uninitialized-read counter restarts too: each group's launch
+    /// accounting reads it after the group finishes, so counts survive
+    /// arena reuse across groups (and across parallel shards, where every
+    /// worker owns its own arena).
     pub fn reset(&mut self) {
         for arr in &mut self.data {
             arr.iter_mut().for_each(|v| *v = 0);
@@ -84,6 +83,7 @@ impl LocalArena {
         for w in &mut self.written {
             w.iter_mut().for_each(|v| *v = false);
         }
+        self.uninit_reads = 0;
     }
 
     pub fn spec(&self, id: LocalId) -> Option<LocalSpec> {

@@ -78,7 +78,7 @@ impl NdRange {
             if global[d] == 0 || local[d] == 0 {
                 return Err(NdRangeError::ZeroSize { dim: d });
             }
-            if global[d] % local[d] != 0 {
+            if !global[d].is_multiple_of(local[d]) {
                 return Err(NdRangeError::NotDivisible {
                     dim: d,
                     global: global[d],

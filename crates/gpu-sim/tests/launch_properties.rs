@@ -1,8 +1,11 @@
 //! Launch-level property tests: invariants of the simulator that must hold
 //! for *any* kernel and geometry, not just the perforation pipeline.
+//!
+//! Properties are checked over deterministic parameter grids (the build
+//! environment is offline, so no `proptest`): every failing case is
+//! directly reproducible from the loop indices in the assertion message.
 
 use kp_gpu_sim::{BufferId, Device, DeviceConfig, ItemCtx, Kernel, NdRange};
-use proptest::prelude::*;
 
 /// Reads `reads_per_item` elements (strided) and writes one.
 struct Worker {
@@ -46,75 +49,99 @@ fn run(n: usize, local: usize, reads: usize, ops: u64) -> kp_gpu_sim::LaunchRepo
         .unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Transaction counts are bounded by element accesses; DRAM by L1;
-    /// cycles are positive; seconds follow cycles.
-    #[test]
-    fn report_invariants(
-        groups in 1usize..8,
-        local_pow in 2u32..6, // local size 4..32
-        reads in 1usize..6,
-        ops in 0u64..64,
-    ) {
-        let local = 1usize << local_pow;
-        let n = groups * local;
-        let r = run(n, local, reads, ops);
-        prop_assert_eq!(r.groups, groups);
-        prop_assert_eq!(r.stats.global_element_reads, (n * reads) as u64);
-        prop_assert_eq!(r.stats.global_element_writes, n as u64);
-        prop_assert!(r.stats.global_read_transactions <= r.stats.global_element_reads);
-        prop_assert!(r.stats.dram_read_transactions <= r.stats.global_read_transactions);
-        prop_assert!(r.stats.dram_read_transactions >= 1);
-        prop_assert!(r.timing.device_cycles > 0);
-        prop_assert!(r.seconds > 0.0);
-        prop_assert!(r.timing.group_cycles_total >= r.timing.device_cycles);
+/// Transaction counts are bounded by element accesses; DRAM by L1;
+/// cycles are positive; seconds follow cycles.
+#[test]
+fn report_invariants() {
+    for groups in [1usize, 2, 3, 5, 7] {
+        for local_pow in [2u32, 3, 5] {
+            for reads in [1usize, 3, 5] {
+                for ops in [0u64, 17, 63] {
+                    let local = 1usize << local_pow;
+                    let n = groups * local;
+                    let r = run(n, local, reads, ops);
+                    let case = format!("groups={groups} local={local} reads={reads} ops={ops}");
+                    assert_eq!(r.groups, groups, "{case}");
+                    assert_eq!(r.stats.global_element_reads, (n * reads) as u64, "{case}");
+                    assert_eq!(r.stats.global_element_writes, n as u64, "{case}");
+                    assert!(
+                        r.stats.global_read_transactions <= r.stats.global_element_reads,
+                        "{case}"
+                    );
+                    assert!(
+                        r.stats.dram_read_transactions <= r.stats.global_read_transactions,
+                        "{case}"
+                    );
+                    assert!(r.stats.dram_read_transactions >= 1, "{case}");
+                    assert!(r.timing.device_cycles > 0, "{case}");
+                    assert!(r.seconds > 0.0, "{case}");
+                    assert!(
+                        r.timing.group_cycles_total >= r.timing.device_cycles,
+                        "{case}"
+                    );
+                }
+            }
+        }
     }
+}
 
-    /// More reads per item never make the launch faster (monotonicity of
-    /// the timing model in memory work).
-    #[test]
-    fn more_reads_never_faster(
-        groups in 1usize..6,
-        reads in 1usize..5,
-    ) {
-        let local = 16;
-        let n = groups * local;
-        let fewer = run(n, local, reads, 8);
-        let more = run(n, local, reads + 1, 8);
-        prop_assert!(
-            more.timing.device_cycles >= fewer.timing.device_cycles,
-            "{} reads: {} cycles, {} reads: {} cycles",
-            reads, fewer.timing.device_cycles, reads + 1, more.timing.device_cycles
-        );
+/// More reads per item never make the launch faster (monotonicity of the
+/// timing model in memory work).
+#[test]
+fn more_reads_never_faster() {
+    for groups in [1usize, 2, 3, 5] {
+        for reads in [1usize, 2, 4] {
+            let local = 16;
+            let n = groups * local;
+            let fewer = run(n, local, reads, 8);
+            let more = run(n, local, reads + 1, 8);
+            assert!(
+                more.timing.device_cycles >= fewer.timing.device_cycles,
+                "{} reads: {} cycles, {} reads: {} cycles",
+                reads,
+                fewer.timing.device_cycles,
+                reads + 1,
+                more.timing.device_cycles
+            );
+        }
     }
+}
 
-    /// More ALU ops never make the launch faster.
-    #[test]
-    fn more_ops_never_faster(groups in 1usize..6, ops in 0u64..128) {
-        let local = 16;
-        let n = groups * local;
-        let fewer = run(n, local, 2, ops);
-        let more = run(n, local, 2, ops + 64);
-        prop_assert!(more.timing.device_cycles >= fewer.timing.device_cycles);
+/// More ALU ops never make the launch faster.
+#[test]
+fn more_ops_never_faster() {
+    for groups in [1usize, 2, 3, 5] {
+        for ops in [0u64, 5, 31, 127] {
+            let local = 16;
+            let n = groups * local;
+            let fewer = run(n, local, 2, ops);
+            let more = run(n, local, 2, ops + 64);
+            assert!(
+                more.timing.device_cycles >= fewer.timing.device_cycles,
+                "groups={groups} ops={ops}"
+            );
+        }
     }
+}
 
-    /// Doubling the grid never reduces total device time, and per-group
-    /// serialized work scales exactly linearly (homogeneous groups).
-    #[test]
-    fn work_scales_with_grid(groups in 1usize..5) {
+/// Doubling the grid never reduces total device time, and per-group
+/// serialized work scales exactly linearly (homogeneous groups).
+#[test]
+fn work_scales_with_grid() {
+    for groups in 1usize..5 {
         let local = 16;
         let one = run(groups * local, local, 3, 8);
         let two = run(2 * groups * local, local, 3, 8);
-        prop_assert!(two.timing.device_cycles >= one.timing.device_cycles);
-        prop_assert!(two.stats.global_element_reads == 2 * one.stats.global_element_reads);
+        assert!(two.timing.device_cycles >= one.timing.device_cycles);
+        assert!(two.stats.global_element_reads == 2 * one.stats.global_element_reads);
     }
+}
 
-    /// Functional output is independent of the work-group size.
-    #[test]
-    fn outputs_independent_of_group_size(local_pow in 2u32..7) {
-        let n = 256;
+/// Functional output is independent of the work-group size.
+#[test]
+fn outputs_independent_of_group_size() {
+    let n = 256;
+    for local_pow in 2u32..7 {
         let local = 1usize << local_pow;
         let outputs: Vec<Vec<f32>> = [16usize, local]
             .iter()
@@ -123,11 +150,17 @@ proptest! {
                 let data: Vec<f32> = (0..n).map(|i| (i % 13) as f32).collect();
                 let src = dev.create_buffer_from("src", &data).unwrap();
                 let dst = dev.create_buffer::<f32>("dst", n).unwrap();
-                let kernel = Worker { src, dst, n, reads_per_item: 3, ops_per_item: 4 };
+                let kernel = Worker {
+                    src,
+                    dst,
+                    n,
+                    reads_per_item: 3,
+                    ops_per_item: 4,
+                };
                 dev.launch(&kernel, NdRange::new_1d(n, l).unwrap()).unwrap();
                 dev.read_buffer::<f32>(dst).unwrap()
             })
             .collect();
-        prop_assert_eq!(&outputs[0], &outputs[1]);
+        assert_eq!(outputs[0], outputs[1], "local={local}");
     }
 }

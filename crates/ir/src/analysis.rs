@@ -110,10 +110,10 @@ pub fn analyze(kernel: &KernelDef) -> Result<StencilInfo, IrError> {
         .filter(|p| p.ty == ParamTy::Scalar(ScalarTy::Int))
         .map(|p| p.name.clone())
         .collect();
-    let mut candidates: std::collections::BTreeMap<
-        String,
-        (Vec<(i64, i64)>, Option<String>, Option<String>),
-    > = std::collections::BTreeMap::new();
+    // Per-buffer candidate info: offsets seen, width param, height param.
+    type CandidateInfo = (Vec<(i64, i64)>, Option<String>, Option<String>);
+    let mut candidates: std::collections::BTreeMap<String, CandidateInfo> =
+        std::collections::BTreeMap::new();
     let mut failed: Option<String> = None;
     visit_exprs(&kernel.body, &mut |e| {
         if let Expr::Index { base, index } = e {

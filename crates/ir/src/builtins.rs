@@ -119,7 +119,7 @@ impl Builtin {
                 if !all_numeric {
                     return None;
                 }
-                if args.iter().any(|&t| t == ScalarTy::Float) {
+                if args.contains(&ScalarTy::Float) {
                     Some(ScalarTy::Float)
                 } else {
                     Some(ScalarTy::Int)

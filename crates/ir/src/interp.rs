@@ -6,8 +6,8 @@
 //! through the simulator so functional results *and* performance accounting
 //! are identical to hand-written kernels.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 use kp_gpu_sim::{BufferId, ElemKind, ItemCtx, Kernel, LocalId, LocalSpec};
 
@@ -122,8 +122,15 @@ pub struct IrKernel {
     bindings: HashMap<String, Binding>,
     local_specs: Vec<LocalSpec>,
     phase_count: usize,
-    states: RefCell<Vec<ItemState>>,
-    runtime_error: RefCell<Option<IrError>>,
+    /// Per-item interpreter states of the groups currently in flight,
+    /// keyed by group coordinate. The launch engine may run several groups
+    /// concurrently (each on its own worker), so states live behind a
+    /// mutex; within one group items execute sequentially, so each entry
+    /// is only ever touched by one worker at a time.
+    states: Mutex<HashMap<[usize; 3], Vec<ItemState>>>,
+    /// First runtime error by row-major group order, stored with its
+    /// (reversed, so `Ord` compares z then y then x) group key.
+    runtime_error: Mutex<Option<([usize; 3], IrError)>>,
 }
 
 impl std::fmt::Debug for IrKernel {
@@ -233,8 +240,8 @@ impl IrKernel {
             bindings,
             local_specs,
             phase_count,
-            states: RefCell::new(Vec::new()),
-            runtime_error: RefCell::new(None),
+            states: Mutex::new(HashMap::new()),
+            runtime_error: Mutex::new(None),
         })
     }
 
@@ -244,14 +251,27 @@ impl IrKernel {
     }
 
     /// Takes the first runtime evaluation error of the last launch, if any
-    /// (e.g. integer division by zero). Launch results are unreliable when
-    /// this is `Some`.
+    /// (e.g. integer division by zero) — "first" in deterministic
+    /// row-major group order, independent of how many engine workers ran
+    /// the launch. Launch results are unreliable when this is `Some`.
     pub fn take_runtime_error(&self) -> Option<IrError> {
-        self.runtime_error.borrow_mut().take()
+        self.runtime_error
+            .lock()
+            .expect("interp state poisoned")
+            .take()
+            .map(|(_, e)| e)
     }
 
-    fn record_error(&self, e: IrError) {
-        self.runtime_error.borrow_mut().get_or_insert(e);
+    /// Keeps the error of the row-major-earliest group (not the first to
+    /// arrive by wall clock), so the reported error matches what serial
+    /// execution reports at any thread count.
+    fn record_error(&self, group: [usize; 3], e: IrError) {
+        let key = [group[2], group[1], group[0]]; // row-major: x fastest
+        let mut slot = self.runtime_error.lock().expect("interp state poisoned");
+        match slot.as_ref() {
+            Some((held, _)) if *held <= key => {}
+            _ => *slot = Some((key, e)),
+        }
     }
 }
 
@@ -308,16 +328,18 @@ impl Kernel for IrKernel {
     fn run_phase(&self, phase: usize, ctx: &mut ItemCtx<'_>) {
         let flat = ctx.flat_local_id();
         let group_size = ctx.group_size();
-        {
-            let mut states = self.states.borrow_mut();
+        let group = [ctx.group_id(0), ctx.group_id(1), ctx.group_id(2)];
+        let mut state = {
+            let mut map = self.states.lock().expect("interp state poisoned");
+            let states = map.entry(group).or_default();
             if states.len() < group_size {
                 states.resize(group_size, ItemState::default());
             }
             if phase == 0 {
                 states[flat] = ItemState::default();
             }
-        }
-        let mut state = std::mem::take(&mut self.states.borrow_mut()[flat]);
+            std::mem::take(&mut states[flat])
+        };
         if !state.returned {
             let phases = self.def.phases();
             let stmts = phases[phase];
@@ -326,12 +348,19 @@ impl Kernel for IrKernel {
                 Ok(Flow::Returned) => state.returned = true,
                 Ok(Flow::Normal) => {}
                 Err(e) => {
-                    self.record_error(e);
+                    self.record_error(group, e);
                     state.returned = true;
                 }
             }
         }
-        self.states.borrow_mut()[flat] = state;
+        let mut map = self.states.lock().expect("interp state poisoned");
+        if phase + 1 == self.phase_count && flat + 1 == group_size {
+            // Items run in row-major order within a group, so the last
+            // item of the last phase retires the whole group's states.
+            map.remove(&group);
+        } else {
+            map.get_mut(&group).expect("state inserted above")[flat] = state;
+        }
     }
 }
 

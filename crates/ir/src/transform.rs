@@ -113,13 +113,12 @@ pub fn perforate_kernel(kernel: &KernelDef, cfg: &PassConfig) -> Result<KernelDe
         group_size,
     };
 
-    let mut body = Vec::new();
     // local float __tile[PLEN];
-    body.push(Stmt::LocalDecl {
+    let mut body = vec![Stmt::LocalDecl {
         elem: ScalarTy::Float,
         name: "__tile".into(),
         len: Expr::IntLit(plen),
-    });
+    }];
     body.push(decl_int(
         "__lx",
         Expr::call("get_local_id", vec![Expr::IntLit(0)]),

@@ -262,12 +262,10 @@ impl Checker<'_> {
                         }
                     }
                     BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
-                        if numeric(lt) && numeric(rt) {
-                            Ok(ScalarTy::Bool)
-                        } else if lt == ScalarTy::Bool
+                        let bool_eq = lt == ScalarTy::Bool
                             && rt == ScalarTy::Bool
-                            && matches!(op, BinOp::Eq | BinOp::Ne)
-                        {
+                            && matches!(op, BinOp::Eq | BinOp::Ne);
+                        if (numeric(lt) && numeric(rt)) || bool_eq {
                             Ok(ScalarTy::Bool)
                         } else {
                             Err(self.err(format!(

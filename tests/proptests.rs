@@ -1,4 +1,9 @@
 //! Property-based tests over the core data structures and invariants.
+//!
+//! The build environment is offline, so instead of `proptest` these
+//! properties are checked over deterministic seeded sample sets: every
+//! case derives from a fixed-seed RNG, failures are exactly reproducible,
+//! and each property sees a few hundred distinct inputs.
 
 use kernel_perforation::core::{
     pareto_front, reconstruct_element, Distribution, PerforationScheme, Reconstruction, SkipLevel,
@@ -7,50 +12,54 @@ use kernel_perforation::core::{
 use kernel_perforation::data::{pgm, Image};
 use kernel_perforation::gpu_sim::coalesce::{CoalesceTracker, Dir};
 use kernel_perforation::gpu_sim::local::BankTracker;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn scheme_strategy() -> impl Strategy<Value = PerforationScheme> {
-    prop_oneof![
-        Just(PerforationScheme::Rows(SkipLevel::Half)),
-        Just(PerforationScheme::Rows(SkipLevel::ThreeQuarters)),
-        Just(PerforationScheme::Columns(SkipLevel::Half)),
-        Just(PerforationScheme::Columns(SkipLevel::ThreeQuarters)),
-        Just(PerforationScheme::Stencil),
-        (0.05f64..1.0, any::<u64>()).prop_map(|(keep_fraction, seed)| PerforationScheme::Random {
-            keep_fraction,
-            seed
-        }),
-    ]
+fn schemes(rng: &mut StdRng) -> PerforationScheme {
+    match rng.gen_range(0usize..6) {
+        0 => PerforationScheme::Rows(SkipLevel::Half),
+        1 => PerforationScheme::Rows(SkipLevel::ThreeQuarters),
+        2 => PerforationScheme::Columns(SkipLevel::Half),
+        3 => PerforationScheme::Columns(SkipLevel::ThreeQuarters),
+        4 => PerforationScheme::Stencil,
+        _ => PerforationScheme::Random {
+            keep_fraction: rng.gen_range(0.05f64..1.0),
+            seed: rng.gen(),
+        },
+    }
 }
 
-fn recon_strategy() -> impl Strategy<Value = Reconstruction> {
-    prop_oneof![
-        Just(Reconstruction::NearestNeighbor),
-        Just(Reconstruction::LinearInterpolation),
-    ]
+fn recons(rng: &mut StdRng) -> Reconstruction {
+    if rng.gen::<bool>() {
+        Reconstruction::NearestNeighbor
+    } else {
+        Reconstruction::LinearInterpolation
+    }
 }
 
-proptest! {
-    /// Reconstructed values are convex combinations of loaded values: they
-    /// never leave the value range of the loaded data.
-    #[test]
-    fn reconstruction_never_extrapolates(
-        scheme in scheme_strategy(),
-        recon in recon_strategy(),
-        tile_w in 2usize..12,
-        tile_h in 2usize..12,
-        halo in 0usize..3,
-        group_x in 0usize..4,
-        group_y in 0usize..4,
-        seed in any::<u64>(),
-    ) {
+/// Reconstructed values are convex combinations of loaded values: they
+/// never leave the value range of the loaded data, and never read an
+/// unloaded cell.
+#[test]
+fn reconstruction_never_extrapolates() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let mut checked = 0usize;
+    while checked < 300 {
+        let scheme = schemes(&mut rng);
+        let recon = recons(&mut rng);
+        let tile_w = rng.gen_range(2usize..12);
+        let tile_h = rng.gen_range(2usize..12);
+        let halo = rng.gen_range(0usize..3);
+        let group = (rng.gen_range(0usize..4), rng.gen_range(0usize..4));
+        let seed: u64 = rng.gen();
+
         // Skip combinations the library itself rejects.
         let tile = TileGeometry::new(tile_w, tile_h, halo);
-        prop_assume!(scheme.validate(&tile).is_ok());
-        prop_assume!(recon.validate(&scheme).is_ok());
+        if scheme.validate(&tile).is_err() || recon.validate(&scheme).is_err() {
+            continue;
+        }
 
         // Fill loaded cells with a seeded pattern in [0, 1].
-        let group = (group_x, group_y);
         let mut data = vec![f32::NAN; tile.padded_len()];
         let mut any_loaded = false;
         for py in 0..tile.padded_h() {
@@ -65,7 +74,10 @@ proptest! {
                 }
             }
         }
-        prop_assume!(any_loaded);
+        if !any_loaded {
+            continue;
+        }
+        checked += 1;
         let snapshot = data.clone();
         for py in 0..tile.padded_h() {
             for px in 0..tile.padded_w() {
@@ -78,78 +90,99 @@ proptest! {
                     );
                     // Reads of other skipped cells would return NaN; a
                     // correct reconstruction only ever reads loaded cells.
-                    prop_assert!(!v.is_nan(), "read an unloaded cell at ({px},{py})");
-                    prop_assert!((0.0..=1.0).contains(&v), "extrapolated: {v}");
+                    assert!(!v.is_nan(), "read an unloaded cell at ({px},{py})");
+                    assert!((0.0..=1.0).contains(&v), "extrapolated: {v}");
                 }
             }
         }
     }
+}
 
-    /// The fraction loaded by skip levels matches their nominal rate within
-    /// tile-boundary rounding.
-    #[test]
-    fn scheme_fraction_matches_level(
-        tile_w in 4usize..24,
-        tile_h in 4usize..24,
-        halo in 0usize..3,
-        group_x in 0usize..4,
-        group_y in 0usize..4,
-    ) {
+/// The fraction loaded by skip levels matches their nominal rate within
+/// tile-boundary rounding.
+#[test]
+fn scheme_fraction_matches_level() {
+    let mut rng = StdRng::seed_from_u64(0xFEED);
+    for _ in 0..300 {
+        let tile_w = rng.gen_range(4usize..24);
+        let tile_h = rng.gen_range(4usize..24);
+        let halo = rng.gen_range(0usize..3);
+        let group = (rng.gen_range(0usize..4), rng.gen_range(0usize..4));
         let tile = TileGeometry::new(tile_w, tile_h, halo);
-        let group = (group_x, group_y);
         let half = PerforationScheme::Rows(SkipLevel::Half).fraction_loaded(&tile, group);
         let quarter =
             PerforationScheme::Rows(SkipLevel::ThreeQuarters).fraction_loaded(&tile, group);
         let ph = tile.padded_h() as f64;
-        prop_assert!((half - 0.5).abs() <= 0.5 / ph + 1e-9);
-        prop_assert!((quarter - 0.25).abs() <= 0.75 / ph + 1e-9);
-        prop_assert!(quarter < half + 1e-9);
+        assert!((half - 0.5).abs() <= 0.5 / ph + 1e-9);
+        assert!((quarter - 0.25).abs() <= 0.75 / ph + 1e-9);
+        assert!(quarter < half + 1e-9);
     }
+}
 
-    /// Pareto front: nothing on the front is dominated; everything off the
-    /// front is dominated by someone on it.
-    #[test]
-    fn pareto_front_is_sound_and_complete(
-        points in prop::collection::vec((0.5f64..4.0, 0.0f64..0.5), 1..40)
-    ) {
-        let tos: Vec<TradeOff> =
-            points.iter().map(|&(s, e)| TradeOff::new(s, e)).collect();
+/// Pareto front: nothing on the front is dominated; everything off the
+/// front is dominated by someone on it.
+#[test]
+fn pareto_front_is_sound_and_complete() {
+    let mut rng = StdRng::seed_from_u64(0xABCD);
+    for _ in 0..200 {
+        let n = rng.gen_range(1usize..40);
+        let tos: Vec<TradeOff> = (0..n)
+            .map(|_| TradeOff::new(rng.gen_range(0.5f64..4.0), rng.gen_range(0.0f64..0.5)))
+            .collect();
         let front = pareto_front(&tos);
-        prop_assert!(!front.is_empty());
+        assert!(!front.is_empty());
         for &i in &front {
             for (j, q) in tos.iter().enumerate() {
                 if i != j {
-                    prop_assert!(!q.dominates(&tos[i]), "front point {i} dominated by {j}");
+                    assert!(!q.dominates(&tos[i]), "front point {i} dominated by {j}");
                 }
             }
         }
         for (i, p) in tos.iter().enumerate() {
             if !front.contains(&i) {
-                prop_assert!(
+                assert!(
                     front.iter().any(|&j| tos[j].dominates(p)),
                     "off-front point {i} not dominated"
                 );
             }
         }
     }
+}
 
-    /// Distribution summaries are ordered and bounded.
-    #[test]
-    fn distribution_is_ordered(values in prop::collection::vec(0.0f64..1.0, 1..200)) {
+/// Distribution summaries are ordered and bounded.
+#[test]
+fn distribution_is_ordered() {
+    let mut rng = StdRng::seed_from_u64(0xD157);
+    for _ in 0..200 {
+        let n = rng.gen_range(1usize..200);
+        let values: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0f64..1.0)).collect();
         let d = Distribution::from_values(&values);
-        prop_assert!(d.min <= d.q1 + 1e-12);
-        prop_assert!(d.q1 <= d.median + 1e-12);
-        prop_assert!(d.median <= d.q3 + 1e-12);
-        prop_assert!(d.q3 <= d.max + 1e-12);
-        prop_assert!(d.min - 1e-12 <= d.mean && d.mean <= d.max + 1e-12);
-        prop_assert_eq!(d.count, values.len());
+        assert!(d.min <= d.q1 + 1e-12);
+        assert!(d.q1 <= d.median + 1e-12);
+        assert!(d.median <= d.q3 + 1e-12);
+        assert!(d.q3 <= d.max + 1e-12);
+        assert!(d.min - 1e-12 <= d.mean && d.mean <= d.max + 1e-12);
+        assert_eq!(d.count, values.len());
     }
+}
 
-    /// Coalescing invariants: L1 transactions never exceed element count
-    /// (for non-spanning accesses), DRAM never exceeds L1, and both are
-    /// positive when anything was accessed.
-    #[test]
-    fn coalescing_bounds(accesses in prop::collection::vec((0u32..8, 0u64..4096, any::<bool>()), 1..300)) {
+/// Coalescing invariants: L1 transactions never exceed element count (for
+/// non-spanning accesses), DRAM never exceeds L1, and both are positive
+/// when anything was accessed.
+#[test]
+fn coalescing_bounds() {
+    let mut rng = StdRng::seed_from_u64(0xC0A1);
+    for _ in 0..200 {
+        let n = rng.gen_range(1usize..300);
+        let accesses: Vec<(u32, u64, bool)> = (0..n)
+            .map(|_| {
+                (
+                    rng.gen_range(0u32..8),
+                    rng.gen_range(0u64..4096),
+                    rng.gen::<bool>(),
+                )
+            })
+            .collect();
         let mut t = CoalesceTracker::new();
         for (i, &(granule, addr, is_write)) in accesses.iter().enumerate() {
             let dir = if is_write { Dir::Write } else { Dir::Read };
@@ -157,34 +190,49 @@ proptest! {
             t.record(granule, (i % 16) as u32, dir, addr * 4, 4, 64);
         }
         let s = t.finish_phase();
-        prop_assert!(s.transactions() >= 1);
-        prop_assert!(s.transactions() <= accesses.len() as u64);
-        prop_assert!(s.dram_transactions() <= s.transactions());
-        prop_assert!(s.dram_transactions() >= 1);
-        prop_assert_eq!(s.element_reads + s.element_writes, accesses.len() as u64);
+        assert!(s.transactions() >= 1);
+        assert!(s.transactions() <= accesses.len() as u64);
+        assert!(s.dram_transactions() <= s.transactions());
+        assert!(s.dram_transactions() >= 1);
+        assert_eq!(s.element_reads + s.element_writes, accesses.len() as u64);
     }
+}
 
-    /// Bank conflicts: serialized steps are at least the ideal steps and at
-    /// most the total access count.
-    #[test]
-    fn bank_steps_bounds(accesses in prop::collection::vec((0u32..4, 0u32..8, 0u64..512), 1..200)) {
+/// Bank conflicts: serialized steps are at least the ideal steps and at
+/// most the total access count.
+#[test]
+fn bank_steps_bounds() {
+    let mut rng = StdRng::seed_from_u64(0xBA2C);
+    for _ in 0..200 {
+        let n = rng.gen_range(1usize..200);
+        let accesses: Vec<(u32, u32, u64)> = (0..n)
+            .map(|_| {
+                (
+                    rng.gen_range(0u32..4),
+                    rng.gen_range(0u32..8),
+                    rng.gen_range(0u64..512),
+                )
+            })
+            .collect();
         let mut t = BankTracker::new();
         for &(wf, seq, word) in &accesses {
             t.record(wf, seq, word, 32);
         }
         let s = t.finish_phase();
-        prop_assert!(s.steps >= s.ideal_steps);
-        prop_assert!(s.steps <= s.accesses);
-        prop_assert_eq!(s.accesses, accesses.len() as u64);
+        assert!(s.steps >= s.ideal_steps);
+        assert!(s.steps <= s.accesses);
+        assert_eq!(s.accesses, accesses.len() as u64);
     }
+}
 
-    /// PGM roundtrip: 8-bit quantization is the only loss.
-    #[test]
-    fn pgm_roundtrip(
-        w in 1usize..24,
-        h in 1usize..24,
-        seed in any::<u64>(),
-    ) {
+/// PGM roundtrip: 8-bit quantization is the only loss.
+#[test]
+fn pgm_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x96A3);
+    for _ in 0..100 {
+        let w = rng.gen_range(1usize..24);
+        let h = rng.gen_range(1usize..24);
+        let seed: u64 = rng.gen();
         let img = Image::from_fn(w, h, |x, y| {
             let v = seed
                 .wrapping_mul(0x9E3779B97F4A7C15)
@@ -194,10 +242,10 @@ proptest! {
         let mut buf = Vec::new();
         pgm::write_pgm_to(&img, &mut buf).unwrap();
         let back = pgm::read_pgm_from(&buf[..]).unwrap();
-        prop_assert_eq!(back.width(), w);
-        prop_assert_eq!(back.height(), h);
+        assert_eq!(back.width(), w);
+        assert_eq!(back.height(), h);
         for (a, b) in img.as_slice().iter().zip(back.as_slice()) {
-            prop_assert!((a - b).abs() <= 0.5 / 255.0 + 1e-6);
+            assert!((a - b).abs() <= 0.5 / 255.0 + 1e-6);
         }
     }
 }
@@ -208,38 +256,44 @@ mod ir_roundtrip {
     use kernel_perforation::ir::ast::{BinOp, Expr};
     use kernel_perforation::ir::parser::parse;
     use kernel_perforation::ir::pretty::print_expr;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
-    fn expr_strategy() -> impl Strategy<Value = Expr> {
-        let leaf = prop_oneof![
-            (0i64..1000).prop_map(Expr::IntLit),
-            Just(Expr::var("a")),
-            Just(Expr::var("b")),
-        ];
-        leaf.prop_recursive(4, 32, 3, |inner| {
-            prop_oneof![
-                (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::bin(BinOp::Add, l, r)),
-                (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::bin(BinOp::Sub, l, r)),
-                (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::bin(BinOp::Mul, l, r)),
-                (inner.clone(), inner).prop_map(|(l, r)| Expr::bin(BinOp::Rem, l, r)),
-            ]
-        })
+    /// Builds a random expression with the given remaining recursion depth.
+    fn random_expr(rng: &mut StdRng, depth: usize) -> Expr {
+        if depth == 0 || rng.gen_range(0usize..4) == 0 {
+            return match rng.gen_range(0usize..3) {
+                0 => Expr::IntLit(rng.gen_range(0i64..1000)),
+                1 => Expr::var("a"),
+                _ => Expr::var("b"),
+            };
+        }
+        let op = match rng.gen_range(0usize..4) {
+            0 => BinOp::Add,
+            1 => BinOp::Sub,
+            2 => BinOp::Mul,
+            _ => BinOp::Rem,
+        };
+        let l = random_expr(rng, depth - 1);
+        let r = random_expr(rng, depth - 1);
+        Expr::bin(op, l, r)
     }
 
-    proptest! {
-        #[test]
-        fn expressions_roundtrip(e in expr_strategy()) {
+    #[test]
+    fn expressions_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(0x1234);
+        for _ in 0..200 {
+            let e = random_expr(&mut rng, 4);
             let src = format!(
                 "kernel k(int a, int b, global int* out) {{ out[0] = {}; }}",
                 print_expr(&e)
             );
             let prog = parse(&src).unwrap();
             let kernel = &prog.kernels[0];
-            let kernel_perforation::ir::ast::Stmt::Store { value, .. } = &kernel.body[0]
-            else {
+            let kernel_perforation::ir::ast::Stmt::Store { value, .. } = &kernel.body[0] else {
                 panic!("expected a store");
             };
-            prop_assert_eq!(value, &e);
+            assert_eq!(value, &e);
         }
     }
 }
