@@ -43,6 +43,7 @@ pub mod gaussian;
 pub mod hotspot;
 pub mod inversion;
 pub mod median;
+pub mod perfcl;
 pub mod sobel;
 pub mod suite;
 

@@ -1,27 +1,35 @@
 //! `simbench` — launch-engine throughput benchmark.
 //!
 //! Measures the simulator's host-side launch-loop throughput (work groups
-//! simulated per wall-clock second) on a Fig. 8-style workload — the four
-//! perforation-scheme variants of the Gaussian app — once on the serial
-//! reference path and once per worker-thread count on the parallel engine,
-//! and writes the results as machine-readable JSON so the performance
-//! trajectory is tracked across PRs.
+//! simulated per wall-clock second) on two workloads and writes the
+//! results as machine-readable JSON so the performance trajectory is
+//! tracked across PRs:
+//!
+//! * a Fig. 8-style sweep of the hand-written Gaussian app — once on the
+//!   serial reference path and once per worker-thread count on the
+//!   parallel engine;
+//! * the perforated PerfCL Gaussian kernel on the `kp-ir` toolchain, once
+//!   per execution mode — the tree-walking interpreter vs. the register
+//!   bytecode VM — recording the compiled-over-interpreted speedup.
 //!
 //! ```text
-//! Usage: simbench [--out FILE] [--size N] [--reps N]
+//! Usage: simbench [--out FILE] [--size N] [--reps N] [--check]
 //!
 //! Options:
 //!   --out FILE  output path (default: BENCH_simulator.json)
 //!   --size N    square image side length (default: 256)
 //!   --reps N    repetitions per configuration; best rep is kept (default: 3)
+//!   --check     exit non-zero if compiled IR throughput falls below the
+//!               interpreted throughput (CI regression gate)
 //! ```
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use kp_apps::suite;
+use kp_bench::util::{ir_gaussian_rows1, run_ir_gaussian};
 use kp_core::{fig8_specs, run_app, ImageInput, RunSpec};
-use kp_gpu_sim::{Device, DeviceConfig};
+use kp_gpu_sim::{Device, DeviceConfig, ExecMode};
 
 struct Measurement {
     threads: usize,
@@ -57,6 +65,19 @@ fn run_workload(
     (started.elapsed().as_secs_f64(), groups)
 }
 
+/// Runs a workload `reps` times and keeps the fastest repetition — the
+/// single rep policy shared by every measurement in this binary.
+fn best_of(reps: usize, mut run: impl FnMut() -> (f64, usize)) -> (f64, usize) {
+    let mut best: Option<(f64, usize)> = None;
+    for _ in 0..reps {
+        let (seconds, groups) = run();
+        if best.is_none_or(|(b, _)| seconds < b) {
+            best = Some((seconds, groups));
+        }
+    }
+    best.expect("reps >= 1")
+}
+
 fn measure(
     app: &kp_apps::AppEntry,
     data: &[f32],
@@ -65,16 +86,26 @@ fn measure(
     parallelism: usize,
     reps: usize,
 ) -> Measurement {
-    let mut best: Option<(f64, usize)> = None;
-    for _ in 0..reps {
-        let (seconds, groups) = run_workload(app, data, size, specs, parallelism);
-        if best.is_none_or(|(b, _)| seconds < b) {
-            best = Some((seconds, groups));
-        }
-    }
-    let (seconds, groups) = best.unwrap();
+    let (seconds, groups) = best_of(reps, || run_workload(app, data, size, specs, parallelism));
     Measurement {
         threads: parallelism,
+        seconds,
+        groups,
+    }
+}
+
+/// Best-of-`reps` measurement of the IR Gaussian workload at one
+/// execution mode.
+fn measure_ir(
+    def: &kp_ir::ast::KernelDef,
+    data: &[f32],
+    size: usize,
+    mode: ExecMode,
+    reps: usize,
+) -> Measurement {
+    let (seconds, groups) = best_of(reps, || run_ir_gaussian(def, data, size, (16, 16), mode));
+    Measurement {
+        threads: 1,
         seconds,
         groups,
     }
@@ -85,6 +116,7 @@ fn main() {
     let mut out = "BENCH_simulator.json".to_owned();
     let mut size = 256usize;
     let mut reps = 3usize;
+    let mut check = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut grab = |name: &str| {
@@ -99,12 +131,17 @@ fn main() {
             "--out" => out = grab("--out"),
             "--size" => size = grab("--size").parse().expect("--size must be a number"),
             "--reps" => reps = grab("--reps").parse().expect("--reps must be a number"),
+            "--check" => check = true,
             other => {
                 eprintln!("unknown option '{other}'");
                 std::process::exit(2);
             }
         }
     }
+    // The IR workload tiles the image with 16×16 work groups; the fig8
+    // sweep has no such constraint, so only the IR section's size is
+    // rounded (down, minimum one tile) rather than gating the whole run.
+    let ir_size = (size / 16).max(1) * 16;
 
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -147,6 +184,29 @@ fn main() {
         })
         .collect();
 
+    // IR-toolchain workload: the perforated PerfCL Gaussian, tree-walking
+    // interpreter vs. register bytecode VM (single engine worker each, so
+    // the ratio isolates executor throughput).
+    eprintln!(
+        "simbench: IR exec modes, perforated PerfCL gaussian {ir_size}x{ir_size}, Rows1:NN @ 16x16"
+    );
+    let ir_image = kp_data::synth::photo_like(ir_size, ir_size, 0x5EED);
+    let ir_data = ir_image.as_slice();
+    let ir_def = ir_gaussian_rows1((16, 16));
+    let interpreted = measure_ir(&ir_def, ir_data, ir_size, ExecMode::Interpreted, reps);
+    eprintln!(
+        "  interpreted     : {:8.3} s  ({:9.0} groups/s)",
+        interpreted.seconds,
+        interpreted.groups_per_sec()
+    );
+    let compiled = measure_ir(&ir_def, ir_data, ir_size, ExecMode::Compiled, reps);
+    let compiled_speedup = compiled.groups_per_sec() / interpreted.groups_per_sec();
+    eprintln!(
+        "  compiled        : {:8.3} s  ({:9.0} groups/s, {compiled_speedup:.2}x)",
+        compiled.seconds,
+        compiled.groups_per_sec(),
+    );
+
     // Hand-rolled JSON (the workspace is offline; no serializer crates).
     let mut json = String::new();
     json.push_str("{\n");
@@ -177,8 +237,38 @@ fn main() {
         );
         json.push_str(if i + 1 < parallel.len() { ",\n" } else { "\n" });
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str("  \"ir_exec_modes\": {\n");
+    let _ = writeln!(json, "    \"app\": \"gaussian\",");
+    let _ = writeln!(json, "    \"config\": \"Rows1:NN @ 16x16\",");
+    let _ = writeln!(json, "    \"image_size\": {ir_size},");
+    let _ = writeln!(
+        json,
+        "    \"interpreted\": {{ \"seconds\": {:.6}, \"groups\": {}, \"groups_per_sec\": {:.1} }},",
+        interpreted.seconds,
+        interpreted.groups,
+        interpreted.groups_per_sec()
+    );
+    let _ = writeln!(
+        json,
+        "    \"compiled\": {{ \"seconds\": {:.6}, \"groups\": {}, \"groups_per_sec\": {:.1} }},",
+        compiled.seconds,
+        compiled.groups,
+        compiled.groups_per_sec()
+    );
+    let _ = writeln!(json, "    \"compiled_speedup\": {compiled_speedup:.3}");
+    json.push_str("  }\n}\n");
 
     std::fs::write(&out, &json).expect("write benchmark json");
     eprintln!("wrote {out}");
+
+    if check && compiled_speedup < 1.0 {
+        eprintln!(
+            "check FAILED: compiled throughput ({:.0} groups/s) is below interpreted \
+             ({:.0} groups/s)",
+            compiled.groups_per_sec(),
+            interpreted.groups_per_sec()
+        );
+        std::process::exit(1);
+    }
 }

@@ -185,6 +185,77 @@ pub fn run_once_at(
     run_app(&mut dev, entry.app, &input.as_input(), spec)
 }
 
+/// The perforated PerfCL Gaussian kernel (`Rows1:NN`) specialized for
+/// `group` — the workload of simbench's interpreted-vs-compiled
+/// throughput measurement. Produced by the automatic perforation pass
+/// from the canonical PerfCL source, exactly as a sweep would.
+pub fn ir_gaussian_rows1(group: (usize, usize)) -> kp_ir::ast::KernelDef {
+    use kp_ir::transform::{perforate_kernel, IrRecon, IrScheme, PassConfig};
+    let prog = kp_ir::parser::parse(kp_apps::perfcl::GAUSSIAN_SRC).expect("gaussian parses");
+    perforate_kernel(
+        &prog.kernels[0],
+        &PassConfig {
+            scheme: IrScheme::RowsHalf,
+            reconstruction: IrRecon::NearestNeighbor,
+            tile_w: group.0,
+            tile_h: group.1,
+        },
+    )
+    .expect("gaussian perforates")
+}
+
+/// Runs the IR Gaussian workload once at the given execution mode on a
+/// single engine worker, returning (wall seconds, groups simulated).
+/// Kernel construction — and therefore bytecode compilation — happens
+/// outside the timed region: the benchmark measures executor throughput.
+///
+/// # Panics
+///
+/// Panics if `size` is not a multiple of the group extents or the launch
+/// fails (benchmark workloads are fixed and must succeed).
+pub fn run_ir_gaussian(
+    def: &kp_ir::ast::KernelDef,
+    data: &[f32],
+    size: usize,
+    group: (usize, usize),
+    mode: kp_gpu_sim::ExecMode,
+) -> (f64, usize) {
+    use kp_ir::{ArgValue, IrKernel};
+    assert_eq!(
+        size % group.0,
+        0,
+        "size must be a multiple of the tile width"
+    );
+    assert_eq!(
+        size % group.1,
+        0,
+        "size must be a multiple of the tile height"
+    );
+    let mut cfg = DeviceConfig::firepro_w5100();
+    cfg.parallelism = 1;
+    cfg.exec_mode = mode;
+    let mut dev = Device::new(cfg).expect("device config valid");
+    let in_buf = dev.create_buffer_from("in", data).expect("input fits");
+    let out_buf = dev
+        .create_buffer::<f32>("out", size * size)
+        .expect("output fits");
+    let kernel = IrKernel::new(
+        def.clone(),
+        &[
+            ("in", ArgValue::Buffer(in_buf)),
+            ("out", ArgValue::Buffer(out_buf)),
+            ("width", ArgValue::Int(size as i64)),
+            ("height", ArgValue::Int(size as i64)),
+        ],
+    )
+    .expect("kernel binds");
+    let range = kp_gpu_sim::NdRange::new_2d((size, size), group).expect("range valid");
+    let started = std::time::Instant::now();
+    let report = dev.launch(&kernel, range).expect("launch succeeds");
+    assert!(kernel.take_runtime_error().is_none());
+    (started.elapsed().as_secs_f64(), report.groups)
+}
+
 /// Applies `f` to every item of `items` in parallel (per-thread devices),
 /// preserving order. Panics in workers propagate.
 pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
@@ -247,6 +318,20 @@ mod tests {
         assert!(inputs.iter().all(|i| i.aux.is_some()));
         // Tiny ctx caps sizes at 64.
         assert!(inputs.iter().all(|i| i.size <= 64));
+    }
+
+    #[test]
+    fn ir_gaussian_workload_runs_in_both_modes() {
+        let def = ir_gaussian_rows1((8, 8));
+        let image = kp_data::synth::photo_like(32, 32, 7);
+        for mode in [
+            kp_gpu_sim::ExecMode::Compiled,
+            kp_gpu_sim::ExecMode::Interpreted,
+        ] {
+            let (seconds, groups) = run_ir_gaussian(&def, image.as_slice(), 32, (8, 8), mode);
+            assert_eq!(groups, 16, "{mode}");
+            assert!(seconds > 0.0, "{mode}");
+        }
     }
 
     #[test]

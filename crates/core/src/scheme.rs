@@ -73,6 +73,16 @@ pub enum PerforationScheme {
 }
 
 /// SplitMix64: cheap, high-quality stateless hash for the random scheme.
+///
+/// Halo coordinates of edge tiles can be negative; `gx as u64` / `gy as
+/// u64` deliberately sign-extend them into huge unsigned values. This is a
+/// documented, load-bearing choice: the mapping `i64 → u64` is a bijection,
+/// so every global coordinate — negative or not — hashes to one fixed,
+/// distinct stream value, and adjacent work groups sharing a halo column
+/// agree on whether it is loaded ("the schemes match each other", §4.4).
+/// The exact pattern, including negative coordinates, is pinned by the
+/// `random_pattern_is_pinned` test; changing this function invalidates
+/// every recorded error measurement that used the random scheme.
 fn hash_coord(gx: i64, gy: i64, seed: u64) -> u64 {
     let mut z = seed
         .wrapping_add((gx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
@@ -97,6 +107,13 @@ impl PerforationScheme {
                 keep_fraction,
                 seed,
             } => {
+                // `validate` permits keep_fraction == 1.0, which must load
+                // *everything*: the strict comparison below would still
+                // skip an element hashing to exactly u64::MAX, so full
+                // keep is short-circuited.
+                if keep_fraction >= 1.0 {
+                    return true;
+                }
                 let h = hash_coord(gx, gy, seed);
                 (h as f64 / u64::MAX as f64) < keep_fraction
             }
@@ -126,26 +143,34 @@ impl PerforationScheme {
     /// * `Stencil` needs `halo ≥ 1` — with no halo it loads everything and
     ///   perforates nothing (the paper notes it "cannot be used" for the
     ///   1×1 Inversion kernel, §6.4).
-    /// * Row/column schemes need at least one loadable row/column in every
-    ///   tile (`padded_h/w ≥ 2`).
+    /// * Row/column schemes need the padded tile extent to cover at least
+    ///   one loaded row/column **for the level's period**: loaded rows are
+    ///   `gy ≡ 0 (mod period)`, so a tile spanning fewer than `period`
+    ///   rows can fall entirely between them (e.g. a 3-row tile over
+    ///   `gy ∈ {4k+1, 4k+2, 4k+3}` under `Rows2`), leaving reconstruction
+    ///   with zero loaded neighbors.
     /// * `Random` needs `keep_fraction ∈ (0, 1]`.
     pub fn validate(&self, tile: &TileGeometry) -> Result<(), CoreError> {
         match *self {
             PerforationScheme::None => Ok(()),
-            PerforationScheme::Rows(_) => {
-                if tile.padded_h() < 2 {
+            PerforationScheme::Rows(level) => {
+                let need = level.period() as usize;
+                if tile.padded_h() < need {
                     Err(CoreError::IllegalConfig(format!(
-                        "row perforation needs a tile at least 2 rows high, got {}",
+                        "{self} perforation (period {need}) needs a tile at least {need} rows \
+                         high so every tile alignment contains a loaded row, got {}",
                         tile.padded_h()
                     )))
                 } else {
                     Ok(())
                 }
             }
-            PerforationScheme::Columns(_) => {
-                if tile.padded_w() < 2 {
+            PerforationScheme::Columns(level) => {
+                let need = level.period() as usize;
+                if tile.padded_w() < need {
                     Err(CoreError::IllegalConfig(format!(
-                        "column perforation needs a tile at least 2 columns wide, got {}",
+                        "{self} perforation (period {need}) needs a tile at least {need} columns \
+                         wide so every tile alignment contains a loaded column, got {}",
                         tile.padded_w()
                     )))
                 } else {
@@ -323,6 +348,105 @@ mod tests {
         assert!(!s.loads(&t, 0, 0, -1, -1));
         // Row -2 would be even -> loaded.
         assert!(s.loads(&t, 0, 0, 0, -2));
+    }
+
+    #[test]
+    fn row_and_column_validation_requires_full_period_coverage() {
+        // Loaded rows are gy ≡ 0 (mod period). A padded extent shorter
+        // than the period can fall entirely between them, producing a tile
+        // with ZERO loaded rows; validate must reject those geometries.
+        let rows1 = PerforationScheme::Rows(SkipLevel::Half);
+        let rows2 = PerforationScheme::Rows(SkipLevel::ThreeQuarters);
+        let cols2 = PerforationScheme::Columns(SkipLevel::ThreeQuarters);
+
+        // padded_h = 1 < 2: even Rows1 can miss every loaded row.
+        assert!(rows1.validate(&TileGeometry::new(16, 1, 0)).is_err());
+        assert!(rows1.validate(&TileGeometry::new(16, 2, 0)).is_ok());
+
+        // padded_h ∈ {2, 3} < 4: Rows2 used to pass validation here, yet a
+        // tile over gy ∈ {4k+1 .. 4k+3} contains no loaded row at all.
+        for tile_h in [2, 3] {
+            let t = TileGeometry::new(16, tile_h, 0);
+            assert!(rows2.validate(&t).is_err(), "tile_h={tile_h}");
+            // The hole this closes, demonstrated: alignment gy ∈ {1,2,3}.
+            if tile_h == 3 {
+                let loaded_in_group_row = |gy0: i64| {
+                    (0..t.padded_h() as i64).any(|dy| rows2.loads(&t, 0, dy as usize, 0, gy0 + dy))
+                };
+                assert!(loaded_in_group_row(0));
+                assert!(!loaded_in_group_row(1), "gy 1..3 holds no loaded row");
+            }
+        }
+        assert!(rows2.validate(&TileGeometry::new(16, 4, 0)).is_ok());
+        // Halo rows count towards the covered extent.
+        assert!(rows2.validate(&TileGeometry::new(16, 2, 1)).is_ok());
+
+        // Columns mirror rows on the other axis.
+        assert!(cols2.validate(&TileGeometry::new(3, 16, 0)).is_err());
+        assert!(cols2.validate(&TileGeometry::new(4, 16, 0)).is_ok());
+    }
+
+    #[test]
+    fn random_full_keep_loads_every_element() {
+        // keep_fraction = 1.0 is explicitly permitted by validate and must
+        // load everything — including any element whose hash lands on
+        // exactly u64::MAX, which the strict `< keep` comparison skipped.
+        let t = TileGeometry::new(32, 32, 2);
+        for seed in [0u64, 1, 42, u64::MAX] {
+            let s = PerforationScheme::Random {
+                keep_fraction: 1.0,
+                seed,
+            };
+            assert!(s.validate(&t).is_ok());
+            for group in [(0, 0), (3, 7)] {
+                assert_eq!(s.fraction_loaded(&t, group), 1.0, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_pattern_is_pinned() {
+        // Pins the exact random-scheme pattern — including the halo's
+        // negative global coordinates, which hash_coord deliberately
+        // sign-extends. If this snapshot changes, every recorded error
+        // measurement using the random scheme changes with it.
+        let t = TileGeometry::new(4, 4, 1);
+        let s = PerforationScheme::Random {
+            keep_fraction: 0.5,
+            seed: 0xC0FFEE,
+        };
+        let mut pattern = String::new();
+        for py in 0..t.padded_h() {
+            for px in 0..t.padded_w() {
+                let (gx, gy) = t.global_of((0, 0), px, py);
+                pattern.push(if s.loads(&t, px, py, gx, gy) {
+                    '#'
+                } else {
+                    '.'
+                });
+            }
+            pattern.push('\n');
+        }
+        let expected = "\
+#.....\n\
+#####.\n\
+.#.#.#\n\
+..#.#.\n\
+.#.##.\n\
+###...\n";
+        assert_eq!(pattern, expected);
+        // The same global coordinate loads identically from the adjacent
+        // group's halo (row -1 here is group (0,0)'s top halo; the same
+        // cells are group (0, -1)'s… unreachable, but group (1, 0) shares
+        // the gx = 3..4 columns).
+        let (gx, gy) = t.global_of((0, 0), 5, 2); // gx=4 — group 1's interior
+        let (gx2, gy2) = t.global_of((1, 0), 1, 2);
+        assert_eq!((gx, gy), (gx2, gy2));
+        assert_eq!(
+            s.loads(&t, 5, 2, gx, gy),
+            s.loads(&t, 1, 2, gx2, gy2),
+            "shared coordinate must agree across groups"
+        );
     }
 
     #[test]

@@ -9,6 +9,12 @@
 //! The worker plumbing lives in [`crate::par`]; each variant's launches
 //! run with in-launch parallelism pinned to 1 so the sweep, not the
 //! simulator, saturates the cores.
+//!
+//! Every per-variant device is cloned from the context's
+//! [`DeviceConfig`], so its [`kp_gpu_sim::ExecMode`] — compiled bytecode
+//! vs. tree-walking reference for IR-backed kernels — threads through the
+//! whole sweep unchanged; the two modes are bit-identical by contract, so
+//! switching it can only change sweep wall-clock time, never a result.
 
 use kp_gpu_sim::{Device, DeviceConfig};
 use serde::{Deserialize, Serialize};

@@ -1,0 +1,156 @@
+//! Seeded-deterministic coverage suite for the perforation-validation fix:
+//! every (scheme, tile) pair that `PerforationScheme::validate` accepts
+//! must leave at least one loaded element in every reconstruction
+//! neighborhood, at **every** tile alignment — the exact property whose
+//! violation used to produce tiles with zero loaded rows under
+//! `Rows2`/`Cols2`.
+//!
+//! The neighborhoods match `kp_core::reconstruction`: row schemes search
+//! the padded column of the skipped element, column schemes its padded
+//! row, and the stencil scheme clamps halo coordinates into the (always
+//! loaded) interior. The `Random` scheme is deliberately out of scope for
+//! the per-neighborhood guarantee — its ring search has an explicit `0.0`
+//! fallback because no validation can bound a hash pattern — but its
+//! `keep_fraction = 1.0` edge case (which `validate` explicitly permits)
+//! must load everything.
+
+use kp_core::{PerforationScheme, SkipLevel, TileGeometry};
+
+/// Deterministic schemes whose reconstruction neighborhoods are exact.
+fn deterministic_schemes() -> Vec<PerforationScheme> {
+    vec![
+        PerforationScheme::None,
+        PerforationScheme::Rows(SkipLevel::Half),
+        PerforationScheme::Rows(SkipLevel::ThreeQuarters),
+        PerforationScheme::Columns(SkipLevel::Half),
+        PerforationScheme::Columns(SkipLevel::ThreeQuarters),
+        PerforationScheme::Stencil,
+    ]
+}
+
+/// Every tile geometry the suite sweeps (work-group extents × halos,
+/// including the degenerate 1-wide/1-high shapes that used to slip
+/// through validation).
+fn tiles() -> Vec<TileGeometry> {
+    let mut tiles = Vec::new();
+    for &tile_w in &[1usize, 2, 3, 4, 5, 8, 16] {
+        for &tile_h in &[1usize, 2, 3, 4, 5, 8, 16] {
+            for &halo in &[0usize, 1, 2] {
+                tiles.push(TileGeometry::new(tile_w, tile_h, halo));
+            }
+        }
+    }
+    tiles
+}
+
+fn loads(
+    scheme: &PerforationScheme,
+    tile: &TileGeometry,
+    g: (usize, usize),
+    px: usize,
+    py: usize,
+) -> bool {
+    let (gx, gy) = tile.global_of(g, px, py);
+    scheme.loads(tile, px, py, gx, gy)
+}
+
+/// Group coordinates covering every period alignment (periods divide 4,
+/// so a 5×5 grid of groups hits each (gy mod 4, gx mod 4) combination for
+/// every tile extent).
+fn groups() -> Vec<(usize, usize)> {
+    let mut v = Vec::new();
+    for gy in 0..5 {
+        for gx in 0..5 {
+            v.push((gx, gy));
+        }
+    }
+    v
+}
+
+#[test]
+fn every_validated_pair_has_a_loaded_neighbor_in_every_neighborhood() {
+    for tile in tiles() {
+        for scheme in deterministic_schemes() {
+            if scheme.validate(&tile).is_err() {
+                continue;
+            }
+            for group in groups() {
+                for py in 0..tile.padded_h() {
+                    for px in 0..tile.padded_w() {
+                        if loads(&scheme, &tile, group, px, py) {
+                            continue;
+                        }
+                        // Skipped element: its reconstruction neighborhood
+                        // must contain a loaded element.
+                        let ok =
+                            match scheme {
+                                PerforationScheme::None => unreachable!("loads everything"),
+                                PerforationScheme::Rows(_) => (0..tile.padded_h())
+                                    .any(|y| loads(&scheme, &tile, group, px, y)),
+                                PerforationScheme::Columns(_) => (0..tile.padded_w())
+                                    .any(|x| loads(&scheme, &tile, group, x, py)),
+                                PerforationScheme::Stencil => {
+                                    let cx = px.clamp(tile.halo, tile.halo + tile.tile_w - 1);
+                                    let cy = py.clamp(tile.halo, tile.halo + tile.tile_h - 1);
+                                    loads(&scheme, &tile, group, cx, cy)
+                                }
+                                PerforationScheme::Random { .. } => unreachable!("not swept"),
+                            };
+                        assert!(
+                            ok,
+                            "{scheme} on {}x{} halo {} group {:?}: skipped ({px},{py}) \
+                             has no loaded neighbor",
+                            tile.tile_w, tile.tile_h, tile.halo, group
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn rejected_period_geometries_really_do_have_empty_alignments() {
+    // The validation is tight, not conservative: for every row/column
+    // geometry rejected because the padded extent is below the period,
+    // there exists a tile alignment with ZERO loaded rows/columns.
+    for tile in tiles() {
+        for level in [SkipLevel::Half, SkipLevel::ThreeQuarters] {
+            let period = level.period() as usize;
+            let rows = PerforationScheme::Rows(level);
+            if rows.validate(&tile).is_err() && tile.padded_h() < period {
+                // Alignment starting just past a loaded row misses all of
+                // them: gy ∈ [1, 1 + padded_h) ⊆ [1, period).
+                let empty =
+                    (0..tile.padded_h()).all(|dy| !rows.loads(&tile, 0, dy, 0, 1 + dy as i64));
+                assert!(
+                    empty,
+                    "{rows} rejected {}x{} halo {} but alignment gy=1 has loaded rows",
+                    tile.tile_w, tile.tile_h, tile.halo
+                );
+            }
+            let cols = PerforationScheme::Columns(level);
+            if cols.validate(&tile).is_err() && tile.padded_w() < period {
+                let empty =
+                    (0..tile.padded_w()).all(|dx| !cols.loads(&tile, dx, 0, 1 + dx as i64, 0));
+                assert!(empty);
+            }
+        }
+    }
+}
+
+#[test]
+fn random_full_keep_is_exactly_total_at_every_alignment() {
+    for tile in [TileGeometry::new(3, 3, 1), TileGeometry::new(16, 8, 2)] {
+        for seed in [0u64, 7, 0xDEAD_BEEF] {
+            let s = PerforationScheme::Random {
+                keep_fraction: 1.0,
+                seed,
+            };
+            assert!(s.validate(&tile).is_ok());
+            for group in groups() {
+                assert_eq!(s.fraction_loaded(&tile, group), 1.0);
+            }
+        }
+    }
+}

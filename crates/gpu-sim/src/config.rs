@@ -9,6 +9,35 @@
 
 use serde::{Deserialize, Serialize};
 
+/// How interpreter-backed kernels execute their phases.
+///
+/// The simulator itself runs any [`crate::Kernel`] implementation; this
+/// knob is advisory state for kernels that *have* more than one execution
+/// strategy (notably `kp-ir`'s `IrKernel`, which compiles its AST to a
+/// register bytecode at construction and keeps the tree-walking evaluator
+/// as a differential reference). Hand-written Rust kernels ignore it.
+///
+/// Both modes are required to produce bit-identical outputs, statistics
+/// and fault logs; `Interpreted` exists for differential testing and as
+/// the known-good reference when debugging the compiler.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExecMode {
+    /// Execute compiled register bytecode (the fast default).
+    #[default]
+    Compiled,
+    /// Re-walk the AST for every statement (slow reference path).
+    Interpreted,
+}
+
+impl std::fmt::Display for ExecMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecMode::Compiled => write!(f, "compiled"),
+            ExecMode::Interpreted => write!(f, "interpreted"),
+        }
+    }
+}
+
 /// Architectural parameters of a simulated GPU device.
 ///
 /// All latency/throughput values are in clock cycles. The model only cares
@@ -87,6 +116,10 @@ pub struct DeviceConfig {
     /// reports are identical for every value (see the crate-level
     /// "Execution model" docs).
     pub parallelism: usize,
+    /// Execution strategy for kernels that carry both a bytecode compiler
+    /// and a reference interpreter (see [`ExecMode`]). Both strategies are
+    /// bit-identical by contract; this selects speed vs. reference.
+    pub exec_mode: ExecMode,
 }
 
 impl DeviceConfig {
@@ -118,6 +151,7 @@ impl DeviceConfig {
             max_groups_per_cu: 16,
             clock_mhz: 930.0,
             parallelism: 0,
+            exec_mode: ExecMode::Compiled,
         }
     }
 
@@ -148,6 +182,7 @@ impl DeviceConfig {
             max_groups_per_cu: 16,
             clock_mhz: 1000.0,
             parallelism: 1,
+            exec_mode: ExecMode::Compiled,
         }
     }
 
@@ -250,6 +285,15 @@ mod tests {
         assert!(cfg.validate().is_err());
         cfg.latency_hiding = -0.1;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn exec_mode_defaults_to_compiled() {
+        assert_eq!(ExecMode::default(), ExecMode::Compiled);
+        assert_eq!(DeviceConfig::firepro_w5100().exec_mode, ExecMode::Compiled);
+        assert_eq!(DeviceConfig::test_tiny().exec_mode, ExecMode::Compiled);
+        assert_eq!(ExecMode::Compiled.to_string(), "compiled");
+        assert_eq!(ExecMode::Interpreted.to_string(), "interpreted");
     }
 
     #[test]

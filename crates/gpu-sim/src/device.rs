@@ -66,6 +66,14 @@ impl Device {
         self.cfg.parallelism = threads;
     }
 
+    /// Sets the execution strategy for kernels that carry both a bytecode
+    /// compiler and a reference interpreter (see [`crate::ExecMode`]).
+    /// Both strategies are bit-identical by contract; `Interpreted` is the
+    /// slow differential reference.
+    pub fn set_exec_mode(&mut self, mode: crate::ExecMode) {
+        self.cfg.exec_mode = mode;
+    }
+
     /// The device configuration.
     pub fn config(&self) -> &DeviceConfig {
         &self.cfg

@@ -329,6 +329,13 @@ impl<'a> ItemCtx<'a> {
         self.phase
     }
 
+    /// The device's execution strategy for kernels that have both a
+    /// compiled and an interpreted path (see [`crate::ExecMode`]). Kernels
+    /// with a single implementation are free to ignore it.
+    pub fn exec_mode(&self) -> crate::ExecMode {
+        self.cfg.exec_mode
+    }
+
     fn fault(&mut self, kind: FaultKind) {
         self.faults.push(Fault {
             kind,

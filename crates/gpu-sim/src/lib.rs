@@ -57,6 +57,22 @@
 //! the device, so parameter sweeps re-launching the same shape skip that
 //! setup entirely.
 //!
+//! ## Kernel execution: compile once, execute per item
+//!
+//! Hand-written Rust kernels are plain `run_phase` implementations and the
+//! engine calls them directly. Language-level kernels (the `kp-ir` crate's
+//! PerfCL interpreter) follow a **compile-then-execute** pipeline instead:
+//! at kernel construction the checked AST is lowered once to a flat
+//! register bytecode (resolved variable slots, pre-bound buffer handles
+//! and builtins, jump-target control flow), and `run_phase` then drives a
+//! tight-loop VM over that bytecode — no name lookups or tree walks on the
+//! per-item hot path. [`DeviceConfig::exec_mode`] (surfaced through
+//! [`ItemCtx::exec_mode`]) selects between the compiled VM and the
+//! original tree-walking evaluator, which is retained as a differential
+//! reference exactly like [`Device::launch_serial`] is for the parallel
+//! engine: both modes must produce bit-identical outputs, statistics and
+//! fault logs, and the cross-crate `vm_differential` suite asserts it.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -103,7 +119,7 @@ pub mod local;
 pub mod timing;
 
 pub use buffer::{BufferId, ElemKind, Scalar};
-pub use config::DeviceConfig;
+pub use config::{DeviceConfig, ExecMode};
 pub use device::Device;
 pub use engine::resolve_parallelism;
 pub use error::SimError;

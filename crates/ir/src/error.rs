@@ -30,6 +30,9 @@ pub enum IrError {
     Transform(String),
     /// Kernel argument binding failed (missing/duplicate/mistyped args).
     Binding(String),
+    /// Bytecode lowering failed (always indicates a bug: every kernel that
+    /// type-checks and binds must compile).
+    Compile(String),
     /// A runtime evaluation error inside the interpreter.
     Eval(String),
 }
@@ -42,6 +45,7 @@ impl std::fmt::Display for IrError {
             IrError::Type { loc, msg } => write!(f, "type error at {loc}: {msg}"),
             IrError::Transform(msg) => write!(f, "perforation pass error: {msg}"),
             IrError::Binding(msg) => write!(f, "argument binding error: {msg}"),
+            IrError::Compile(msg) => write!(f, "bytecode compile error: {msg}"),
             IrError::Eval(msg) => write!(f, "evaluation error: {msg}"),
         }
     }

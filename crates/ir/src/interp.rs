@@ -28,7 +28,8 @@ pub enum Value {
 }
 
 impl Value {
-    fn as_f32(self) -> f32 {
+    /// Numeric conversion to `f32` (OpenCL-style: bools become 0/1).
+    pub fn as_f32(self) -> f32 {
         match self {
             Value::Int(v) => v as f32,
             Value::Float(v) => v,
@@ -42,7 +43,8 @@ impl Value {
         }
     }
 
-    fn as_i64(self) -> i64 {
+    /// Numeric conversion to `i64` (floats truncate, bools become 0/1).
+    pub fn as_i64(self) -> i64 {
         match self {
             Value::Int(v) => v,
             Value::Float(v) => v as i64,
@@ -50,7 +52,8 @@ impl Value {
         }
     }
 
-    fn as_bool(self) -> bool {
+    /// Truthiness (non-zero numbers are true).
+    pub fn as_bool(self) -> bool {
         match self {
             Value::Bool(b) => b,
             Value::Int(v) => v != 0,
@@ -72,25 +75,40 @@ pub enum ArgValue {
 
 /// What a parameter name resolves to at run time.
 #[derive(Debug, Clone, Copy)]
-enum Binding {
+pub(crate) enum Binding {
     Scalar(Value),
     Buffer { id: BufferId, elem: ScalarTy },
     Local { id: LocalId, elem: ScalarTy },
 }
 
-/// Per-item interpreter state carried across phases.
+/// Per-item execution state carried across phases. Exactly one of the two
+/// storage forms is populated per launch, depending on the device's
+/// [`kp_gpu_sim::ExecMode`]: the tree-walking evaluator keeps named
+/// variables in `vars`, the bytecode VM keeps a flat register file in
+/// `regs` (slots resolved at compile time).
 #[derive(Debug, Default, Clone)]
 struct ItemState {
     vars: HashMap<String, Value>,
+    regs: Vec<Value>,
     returned: bool,
 }
 
-enum Flow {
+pub(crate) enum Flow {
     Normal,
     Returned,
 }
 
 /// An executable PerfCL kernel with bound arguments.
+///
+/// # Concurrency
+///
+/// `IrKernel` is [`Sync`] so one *launch* can shard its work groups over
+/// the engine's worker threads, which key the in-flight per-item states by
+/// group coordinate. That keying assumes a single launch in flight: do
+/// **not** launch the same `IrKernel` instance from several devices
+/// concurrently — overlapping group coordinates would interleave state in
+/// the shared map. Harnesses that evaluate variants in parallel construct
+/// one kernel per worker (binding is cheap; compilation is per kernel).
 ///
 /// # Examples
 ///
@@ -120,6 +138,10 @@ enum Flow {
 pub struct IrKernel {
     def: KernelDef,
     bindings: HashMap<String, Binding>,
+    /// The kernel body lowered to register bytecode at construction time
+    /// (see [`crate::bytecode`]); `run_phase` executes this unless the
+    /// device asks for the tree-walking reference evaluator.
+    compiled: crate::bytecode::CompiledKernel,
     local_specs: Vec<LocalSpec>,
     phase_count: usize,
     /// Per-item interpreter states of the groups currently in flight,
@@ -235,9 +257,11 @@ impl IrKernel {
         }
 
         let phase_count = def.phases().len();
+        let compiled = crate::compile::compile(&def, &bindings)?;
         Ok(Self {
             def,
             bindings,
+            compiled,
             local_specs,
             phase_count,
             states: Mutex::new(HashMap::new()),
@@ -248,6 +272,11 @@ impl IrKernel {
     /// The kernel's definition (e.g. for pretty-printing).
     pub fn def(&self) -> &KernelDef {
         &self.def
+    }
+
+    /// The register bytecode the kernel body was compiled to.
+    pub fn compiled(&self) -> &crate::bytecode::CompiledKernel {
+        &self.compiled
     }
 
     /// Takes the first runtime evaluation error of the last launch, if any
@@ -285,6 +314,10 @@ fn find_local_len<'a>(body: &'a [Stmt], name: &str) -> Option<&'a Expr> {
 
 /// Best-effort constant evaluation over integer literals and bound scalar
 /// parameters (used for local array sizes).
+///
+/// All arithmetic is checked: expressions that overflow `i64` (or divide
+/// by zero, including `i64::MIN / -1`) fold to `None` and surface as a
+/// binding error instead of panicking in debug builds.
 fn eval_const(e: &Expr, bindings: &HashMap<String, Binding>) -> Option<i64> {
     match e {
         Expr::IntLit(v) => Some(*v),
@@ -296,18 +329,18 @@ fn eval_const(e: &Expr, bindings: &HashMap<String, Binding>) -> Option<i64> {
             let l = eval_const(lhs, bindings)?;
             let r = eval_const(rhs, bindings)?;
             match op {
-                BinOp::Add => Some(l + r),
-                BinOp::Sub => Some(l - r),
-                BinOp::Mul => Some(l * r),
-                BinOp::Div => (r != 0).then(|| l / r),
-                BinOp::Rem => (r != 0).then(|| l % r),
+                BinOp::Add => l.checked_add(r),
+                BinOp::Sub => l.checked_sub(r),
+                BinOp::Mul => l.checked_mul(r),
+                BinOp::Div => l.checked_div(r),
+                BinOp::Rem => l.checked_rem(r),
                 _ => None,
             }
         }
         Expr::Un {
             op: UnOp::Neg,
             expr,
-        } => Some(-eval_const(expr, bindings)?),
+        } => eval_const(expr, bindings)?.checked_neg(),
         _ => None,
     }
 }
@@ -341,10 +374,22 @@ impl Kernel for IrKernel {
             std::mem::take(&mut states[flat])
         };
         if !state.returned {
-            let phases = self.def.phases();
-            let stmts = phases[phase];
-            let mut exec = Exec { kernel: self, ctx };
-            match exec.stmts(stmts, &mut state) {
+            let result = match ctx.exec_mode() {
+                kp_gpu_sim::ExecMode::Compiled => {
+                    if state.regs.len() != self.compiled.reg_count() {
+                        state.regs = self.compiled.fresh_regs();
+                    }
+                    crate::bytecode::execute_phase(&self.compiled, phase, &mut state.regs, ctx)
+                        .map_err(|msg| IrError::Eval(format!("{}: {msg}", self.def.name)))
+                }
+                kp_gpu_sim::ExecMode::Interpreted => {
+                    let phases = self.def.phases();
+                    let stmts = phases[phase];
+                    let mut exec = Exec { kernel: self, ctx };
+                    exec.stmts(stmts, &mut state)
+                }
+            };
+            match result {
                 Ok(Flow::Returned) => state.returned = true,
                 Ok(Flow::Normal) => {}
                 Err(e) => {
@@ -361,6 +406,185 @@ impl Kernel for IrKernel {
         } else {
             map.get_mut(&group).expect("state inserted above")[flat] = state;
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared evaluation primitives.
+//
+// The tree-walking evaluator below and the bytecode VM in
+// [`crate::bytecode`] both funnel every arithmetic operation, builtin and
+// memory access through these functions, so the two execution modes are
+// bit-identical by construction — there is exactly one implementation of
+// each semantic rule.
+// ---------------------------------------------------------------------
+
+/// Applies a unary operator. The only possible error, negating a bool, is
+/// unreachable for type-checked kernels.
+pub(crate) fn apply_un(op: UnOp, v: Value) -> Result<Value, &'static str> {
+    Ok(match op {
+        UnOp::Neg => match v {
+            Value::Int(x) => Value::Int(-x),
+            Value::Float(x) => Value::Float(-x),
+            Value::Bool(_) => return Err("negating a bool"),
+        },
+        UnOp::Not => Value::Bool(!v.as_bool()),
+    })
+}
+
+/// Applies a non-short-circuit binary operator with the interpreter's
+/// numeric promotion rules (any float operand switches to f32 arithmetic).
+///
+/// # Panics
+///
+/// `&&`/`||` must be lowered to control flow before reaching this point.
+pub(crate) fn apply_bin(op: BinOp, l: Value, r: Value) -> Result<Value, &'static str> {
+    let float_mode = matches!(l, Value::Float(_)) || matches!(r, Value::Float(_));
+    Ok(match op {
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+            if float_mode {
+                let (a, b) = (l.as_f32(), r.as_f32());
+                Value::Float(match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    _ => a / b,
+                })
+            } else {
+                let (a, b) = (l.as_i64(), r.as_i64());
+                match op {
+                    BinOp::Add => Value::Int(a + b),
+                    BinOp::Sub => Value::Int(a - b),
+                    BinOp::Mul => Value::Int(a * b),
+                    _ => {
+                        if b == 0 {
+                            return Err("integer division by zero");
+                        }
+                        Value::Int(a / b)
+                    }
+                }
+            }
+        }
+        BinOp::Rem => {
+            let (a, b) = (l.as_i64(), r.as_i64());
+            if b == 0 {
+                return Err("integer remainder by zero");
+            }
+            Value::Int(a % b)
+        }
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            let ord = if float_mode {
+                l.as_f32()
+                    .partial_cmp(&r.as_f32())
+                    .unwrap_or(std::cmp::Ordering::Greater)
+            } else {
+                l.as_i64().cmp(&r.as_i64())
+            };
+            let res = match op {
+                BinOp::Eq => ord == std::cmp::Ordering::Equal,
+                BinOp::Ne => ord != std::cmp::Ordering::Equal,
+                BinOp::Lt => ord == std::cmp::Ordering::Less,
+                BinOp::Le => ord != std::cmp::Ordering::Greater,
+                BinOp::Gt => ord == std::cmp::Ordering::Greater,
+                _ => ord != std::cmp::Ordering::Less,
+            };
+            Value::Bool(res)
+        }
+        BinOp::And | BinOp::Or => unreachable!("short-circuit operators lower to control flow"),
+    })
+}
+
+/// Reads one element of a global buffer (negative indices become the OOB
+/// sentinel and fault inside the simulator, returning the default value).
+pub(crate) fn load_global(ctx: &mut ItemCtx<'_>, id: BufferId, elem: ScalarTy, idx: i64) -> Value {
+    let uidx = usize::try_from(idx).unwrap_or(usize::MAX); // negative -> OOB fault
+    match elem {
+        ScalarTy::Float => Value::Float(ctx.read_global::<f32>(id, uidx)),
+        ScalarTy::Int => Value::Int(i64::from(ctx.read_global::<i32>(id, uidx))),
+        ScalarTy::Bool => Value::Bool(ctx.read_global::<u8>(id, uidx) != 0),
+    }
+}
+
+/// Writes one element of a global buffer (faults as [`load_global`]).
+pub(crate) fn store_global(
+    ctx: &mut ItemCtx<'_>,
+    id: BufferId,
+    elem: ScalarTy,
+    idx: i64,
+    v: Value,
+) {
+    let uidx = usize::try_from(idx).unwrap_or(usize::MAX); // negative -> OOB fault
+    match elem {
+        ScalarTy::Float => ctx.write_global(id, uidx, v.as_f32()),
+        ScalarTy::Int => ctx.write_global(id, uidx, v.as_i64() as i32),
+        ScalarTy::Bool => ctx.write_global(id, uidx, u8::from(v.as_bool())),
+    }
+}
+
+/// Reads one element of a local array (faults as [`load_global`]).
+pub(crate) fn load_local(ctx: &mut ItemCtx<'_>, id: LocalId, elem: ScalarTy, idx: i64) -> Value {
+    let uidx = usize::try_from(idx).unwrap_or(usize::MAX); // negative -> OOB fault
+    match elem {
+        ScalarTy::Float => Value::Float(ctx.read_local::<f32>(id, uidx)),
+        ScalarTy::Int => Value::Int(i64::from(ctx.read_local::<i32>(id, uidx))),
+        ScalarTy::Bool => Value::Bool(ctx.read_local::<u8>(id, uidx) != 0),
+    }
+}
+
+/// Writes one element of a local array (faults as [`load_global`]).
+pub(crate) fn store_local(ctx: &mut ItemCtx<'_>, id: LocalId, elem: ScalarTy, idx: i64, v: Value) {
+    let uidx = usize::try_from(idx).unwrap_or(usize::MAX); // negative -> OOB fault
+    match elem {
+        ScalarTy::Float => ctx.write_local(id, uidx, v.as_f32()),
+        ScalarTy::Int => ctx.write_local(id, uidx, v.as_i64() as i32),
+        ScalarTy::Bool => ctx.write_local(id, uidx, u8::from(v.as_bool())),
+    }
+}
+
+/// Evaluates a builtin call on already-evaluated arguments. The ALU cost
+/// ([`Builtin::op_cost`]) is charged by the caller.
+pub(crate) fn apply_builtin(ctx: &mut ItemCtx<'_>, b: Builtin, args: &[Value]) -> Value {
+    let dim = |v: Value| usize::try_from(v.as_i64()).unwrap_or(0);
+    let float_mode = args.iter().any(|v| matches!(v, Value::Float(_)));
+    match b {
+        Builtin::GlobalId => Value::Int(ctx.global_id(dim(args[0])) as i64),
+        Builtin::LocalId => Value::Int(ctx.local_id(dim(args[0])) as i64),
+        Builtin::GroupId => Value::Int(ctx.group_id(dim(args[0])) as i64),
+        Builtin::GlobalSize => Value::Int(ctx.global_size(dim(args[0])) as i64),
+        Builtin::LocalSize => Value::Int(ctx.local_size(dim(args[0])) as i64),
+        Builtin::NumGroups => Value::Int(ctx.num_groups(dim(args[0])) as i64),
+        Builtin::Min => {
+            if float_mode {
+                Value::Float(args[0].as_f32().min(args[1].as_f32()))
+            } else {
+                Value::Int(args[0].as_i64().min(args[1].as_i64()))
+            }
+        }
+        Builtin::Max => {
+            if float_mode {
+                Value::Float(args[0].as_f32().max(args[1].as_f32()))
+            } else {
+                Value::Int(args[0].as_i64().max(args[1].as_i64()))
+            }
+        }
+        Builtin::Clamp => {
+            if float_mode {
+                Value::Float(args[0].as_f32().clamp(args[1].as_f32(), args[2].as_f32()))
+            } else {
+                Value::Int(args[0].as_i64().clamp(args[1].as_i64(), args[2].as_i64()))
+            }
+        }
+        Builtin::Sqrt => Value::Float(args[0].as_f32().sqrt()),
+        Builtin::Fabs => Value::Float(args[0].as_f32().abs()),
+        Builtin::Abs => Value::Int(args[0].as_i64().abs()),
+        Builtin::Floor => Value::Float(args[0].as_f32().floor()),
+        Builtin::Exp => Value::Float(args[0].as_f32().exp()),
+        Builtin::Log => Value::Float(args[0].as_f32().ln()),
+        Builtin::Sin => Value::Float(args[0].as_f32().sin()),
+        Builtin::Cos => Value::Float(args[0].as_f32().cos()),
+        Builtin::Pow => Value::Float(args[0].as_f32().powf(args[1].as_f32())),
+        Builtin::ToFloat => Value::Float(args[0].as_f32()),
+        Builtin::ToInt => Value::Int(args[0].as_i64()),
     }
 }
 
@@ -415,24 +639,13 @@ impl Exec<'_, '_, '_> {
             Stmt::Store { base, index, value } => {
                 let idx = self.eval(index, state)?.as_i64();
                 let v = self.eval(value, state)?;
-                let uidx = usize::try_from(idx).unwrap_or(usize::MAX); // negative -> OOB fault
                 match self.kernel.bindings.get(base) {
                     Some(&Binding::Buffer { id, elem }) => {
-                        match elem {
-                            ScalarTy::Float => self.ctx.write_global(id, uidx, v.as_f32()),
-                            ScalarTy::Int => self.ctx.write_global(id, uidx, v.as_i64() as i32),
-                            ScalarTy::Bool => {
-                                self.ctx.write_global(id, uidx, u8::from(v.as_bool()))
-                            }
-                        }
+                        store_global(self.ctx, id, elem, idx, v);
                         Ok(Flow::Normal)
                     }
                     Some(&Binding::Local { id, elem }) => {
-                        match elem {
-                            ScalarTy::Float => self.ctx.write_local(id, uidx, v.as_f32()),
-                            ScalarTy::Int => self.ctx.write_local(id, uidx, v.as_i64() as i32),
-                            ScalarTy::Bool => self.ctx.write_local(id, uidx, u8::from(v.as_bool())),
-                        }
+                        store_local(self.ctx, id, elem, idx, v);
                         Ok(Flow::Normal)
                     }
                     _ => Err(self.err(format!("unknown buffer '{base}'"))),
@@ -517,14 +730,7 @@ impl Exec<'_, '_, '_> {
             Expr::Un { op, expr } => {
                 let v = self.eval(expr, state)?;
                 self.ctx.ops(1);
-                Ok(match op {
-                    UnOp::Neg => match v {
-                        Value::Int(x) => Value::Int(-x),
-                        Value::Float(x) => Value::Float(-x),
-                        Value::Bool(_) => return Err(self.err("negating a bool".into())),
-                    },
-                    UnOp::Not => Value::Bool(!v.as_bool()),
-                })
+                apply_un(*op, v).map_err(|msg| self.err(msg.into()))
             }
             Expr::Bin { op, lhs, rhs } => {
                 // Short-circuit logical operators.
@@ -549,78 +755,13 @@ impl Exec<'_, '_, '_> {
                 let l = self.eval(lhs, state)?;
                 let r = self.eval(rhs, state)?;
                 self.ctx.ops(1);
-                let float_mode = matches!(l, Value::Float(_)) || matches!(r, Value::Float(_));
-                Ok(match op {
-                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
-                        if float_mode {
-                            let (a, b) = (l.as_f32(), r.as_f32());
-                            Value::Float(match op {
-                                BinOp::Add => a + b,
-                                BinOp::Sub => a - b,
-                                BinOp::Mul => a * b,
-                                _ => a / b,
-                            })
-                        } else {
-                            let (a, b) = (l.as_i64(), r.as_i64());
-                            match op {
-                                BinOp::Add => Value::Int(a + b),
-                                BinOp::Sub => Value::Int(a - b),
-                                BinOp::Mul => Value::Int(a * b),
-                                _ => {
-                                    if b == 0 {
-                                        return Err(self.err("integer division by zero".into()));
-                                    }
-                                    Value::Int(a / b)
-                                }
-                            }
-                        }
-                    }
-                    BinOp::Rem => {
-                        let (a, b) = (l.as_i64(), r.as_i64());
-                        if b == 0 {
-                            return Err(self.err("integer remainder by zero".into()));
-                        }
-                        Value::Int(a % b)
-                    }
-                    BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
-                        let ord = if float_mode {
-                            l.as_f32()
-                                .partial_cmp(&r.as_f32())
-                                .unwrap_or(std::cmp::Ordering::Greater)
-                        } else {
-                            l.as_i64().cmp(&r.as_i64())
-                        };
-                        let res = match op {
-                            BinOp::Eq => ord == std::cmp::Ordering::Equal,
-                            BinOp::Ne => ord != std::cmp::Ordering::Equal,
-                            BinOp::Lt => ord == std::cmp::Ordering::Less,
-                            BinOp::Le => ord != std::cmp::Ordering::Greater,
-                            BinOp::Gt => ord == std::cmp::Ordering::Greater,
-                            _ => ord != std::cmp::Ordering::Less,
-                        };
-                        Value::Bool(res)
-                    }
-                    BinOp::And | BinOp::Or => unreachable!("handled above"),
-                })
+                apply_bin(*op, l, r).map_err(|msg| self.err(msg.into()))
             }
             Expr::Index { base, index } => {
                 let idx = self.eval(index, state)?.as_i64();
-                let uidx = usize::try_from(idx).unwrap_or(usize::MAX);
                 match self.kernel.bindings.get(base) {
-                    Some(&Binding::Buffer { id, elem }) => Ok(match elem {
-                        ScalarTy::Float => Value::Float(self.ctx.read_global::<f32>(id, uidx)),
-                        ScalarTy::Int => {
-                            Value::Int(i64::from(self.ctx.read_global::<i32>(id, uidx)))
-                        }
-                        ScalarTy::Bool => Value::Bool(self.ctx.read_global::<u8>(id, uidx) != 0),
-                    }),
-                    Some(&Binding::Local { id, elem }) => Ok(match elem {
-                        ScalarTy::Float => Value::Float(self.ctx.read_local::<f32>(id, uidx)),
-                        ScalarTy::Int => {
-                            Value::Int(i64::from(self.ctx.read_local::<i32>(id, uidx)))
-                        }
-                        ScalarTy::Bool => Value::Bool(self.ctx.read_local::<u8>(id, uidx) != 0),
-                    }),
+                    Some(&Binding::Buffer { id, elem }) => Ok(load_global(self.ctx, id, elem, idx)),
+                    Some(&Binding::Local { id, elem }) => Ok(load_local(self.ctx, id, elem, idx)),
                     _ => Err(self.err(format!("unknown buffer '{base}'"))),
                 }
             }
@@ -632,58 +773,15 @@ impl Exec<'_, '_, '_> {
                     vals.push(self.eval(a, state)?);
                 }
                 self.ctx.ops(builtin.op_cost());
-                self.call_builtin(builtin, &vals)
+                Ok(apply_builtin(self.ctx, builtin, &vals))
             }
         }
     }
-
-    fn call_builtin(&mut self, b: Builtin, args: &[Value]) -> Result<Value, IrError> {
-        let dim = |v: Value| usize::try_from(v.as_i64()).unwrap_or(0);
-        let float_mode = args.iter().any(|v| matches!(v, Value::Float(_)));
-        Ok(match b {
-            Builtin::GlobalId => Value::Int(self.ctx.global_id(dim(args[0])) as i64),
-            Builtin::LocalId => Value::Int(self.ctx.local_id(dim(args[0])) as i64),
-            Builtin::GroupId => Value::Int(self.ctx.group_id(dim(args[0])) as i64),
-            Builtin::GlobalSize => Value::Int(self.ctx.global_size(dim(args[0])) as i64),
-            Builtin::LocalSize => Value::Int(self.ctx.local_size(dim(args[0])) as i64),
-            Builtin::NumGroups => Value::Int(self.ctx.num_groups(dim(args[0])) as i64),
-            Builtin::Min => {
-                if float_mode {
-                    Value::Float(args[0].as_f32().min(args[1].as_f32()))
-                } else {
-                    Value::Int(args[0].as_i64().min(args[1].as_i64()))
-                }
-            }
-            Builtin::Max => {
-                if float_mode {
-                    Value::Float(args[0].as_f32().max(args[1].as_f32()))
-                } else {
-                    Value::Int(args[0].as_i64().max(args[1].as_i64()))
-                }
-            }
-            Builtin::Clamp => {
-                if float_mode {
-                    Value::Float(args[0].as_f32().clamp(args[1].as_f32(), args[2].as_f32()))
-                } else {
-                    Value::Int(args[0].as_i64().clamp(args[1].as_i64(), args[2].as_i64()))
-                }
-            }
-            Builtin::Sqrt => Value::Float(args[0].as_f32().sqrt()),
-            Builtin::Fabs => Value::Float(args[0].as_f32().abs()),
-            Builtin::Abs => Value::Int(args[0].as_i64().abs()),
-            Builtin::Floor => Value::Float(args[0].as_f32().floor()),
-            Builtin::Exp => Value::Float(args[0].as_f32().exp()),
-            Builtin::Log => Value::Float(args[0].as_f32().ln()),
-            Builtin::Sin => Value::Float(args[0].as_f32().sin()),
-            Builtin::Cos => Value::Float(args[0].as_f32().cos()),
-            Builtin::Pow => Value::Float(args[0].as_f32().powf(args[1].as_f32())),
-            Builtin::ToFloat => Value::Float(args[0].as_f32()),
-            Builtin::ToInt => Value::Int(args[0].as_i64()),
-        })
-    }
 }
 
-fn coerce(v: Value, ty: ScalarTy) -> Value {
+/// OpenCL-style implicit conversion: only `int → float` converts; every
+/// other (value, target) combination passes through unchanged.
+pub(crate) fn coerce(v: Value, ty: ScalarTy) -> Value {
     match (v, ty) {
         (Value::Int(x), ScalarTy::Float) => Value::Float(x as f32),
         _ => v,
@@ -837,6 +935,46 @@ mod tests {
             IrKernel::new(def, &[("zzz", ArgValue::Int(1))]),
             Err(IrError::Binding(_))
         ));
+    }
+
+    #[test]
+    fn local_length_const_eval_overflow_is_a_binding_error() {
+        // `i64::MIN / -1`, `i64::MIN % -1` and huge products used to panic
+        // in debug builds inside eval_const; they must fold to None and
+        // surface as a binding error instead.
+        let mut dev = device();
+        let dst = dev.create_buffer::<f32>("dst", 1).unwrap();
+        let cases = [
+            ("n / d", i64::MIN, -1),
+            ("n % d", i64::MIN, -1),
+            ("n * d", i64::MAX / 2, 3),
+            ("n + d", i64::MAX, 1),
+            ("n - d", i64::MIN, 1),
+            ("-(n + d)", i64::MIN, 0),
+            ("n / d", 4, 0), // plain division by zero folds to None too
+        ];
+        for (len_expr, n, d) in cases {
+            let src = format!(
+                "kernel k(global float* dst, int n, int d) {{
+                     local float t[{len_expr}];
+                     dst[0] = t[0];
+                 }}"
+            );
+            let def = crate::parser::parse(&src).unwrap().kernels.remove(0);
+            let err = IrKernel::new(
+                def,
+                &[
+                    ("dst", ArgValue::Buffer(dst)),
+                    ("n", ArgValue::Int(n)),
+                    ("d", ArgValue::Int(d)),
+                ],
+            )
+            .unwrap_err();
+            assert!(
+                matches!(err, IrError::Binding(_)),
+                "{len_expr}: expected binding error, got {err:?}"
+            );
+        }
     }
 
     #[test]

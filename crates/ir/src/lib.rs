@@ -47,6 +47,8 @@
 pub mod analysis;
 pub mod ast;
 pub mod builtins;
+pub mod bytecode;
+mod compile;
 mod error;
 mod interp;
 pub mod lexer;

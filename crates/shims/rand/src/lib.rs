@@ -123,7 +123,7 @@ macro_rules! impl_int_range {
             fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 let (start, end) = (*self.start(), *self.end());
                 assert!(start <= end, "cannot sample from an empty range");
-                let span = (end - start) as u64 + 1;
+                let span = ((end - start) as u64).wrapping_add(1);
                 if span == 0 {
                     // Full-width inclusive range.
                     return rng.next_u64() as $t;

@@ -1,0 +1,287 @@
+//! Bytecode-VM differential suite.
+//!
+//! The `kp-ir` interpreter compiles kernels to register bytecode at
+//! construction and keeps the tree-walking evaluator as the reference
+//! (`ExecMode::Interpreted`), mirroring how `launch_serial` is the
+//! reference for the parallel launch engine. This suite asserts the whole
+//! contract at once, app by app: **outputs (bit for bit), launch reports
+//! (statistics + timing), runtime errors and fault logs must be identical**
+//! across
+//!
+//! * both execution modes (compiled VM vs. tree walk), and
+//! * both launch frontends — serial reference and parallel engine at
+//!   worker counts 1, 2, 8 and auto —
+//!
+//! for the five PerfCL evaluation apps (accurate *and* perforated
+//! variants) plus dedicated fault/runtime-error kernels.
+
+use kernel_perforation::apps::perfcl::{self, PerfclApp};
+use kernel_perforation::data::synth;
+use kernel_perforation::gpu_sim::{
+    Device, DeviceConfig, ExecMode, LaunchReport, NdRange, SimError,
+};
+use kernel_perforation::ir::{
+    ast::KernelDef,
+    parser::parse,
+    transform::{perforate_kernel, IrRecon, IrScheme, PassConfig},
+    ArgValue, IrError, IrKernel,
+};
+
+/// How a case is launched.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Launch {
+    /// `Device::launch_serial` — the legacy one-group-at-a-time reference.
+    Serial,
+    /// `Device::launch` at the given worker count (0 = auto).
+    Parallel(usize),
+}
+
+/// The launch matrix every case runs under.
+const LAUNCHES: [Launch; 5] = [
+    Launch::Serial,
+    Launch::Parallel(1),
+    Launch::Parallel(2),
+    Launch::Parallel(8),
+    Launch::Parallel(0),
+];
+
+/// Everything observable from one launch, in comparable form.
+#[derive(Debug, Clone, PartialEq)]
+struct Outcome {
+    /// Output buffer as raw bits (exact equality, NaN-safe).
+    output_bits: Vec<u32>,
+    /// Full report (stats, timing, occupancy) on success.
+    report: Option<LaunchReport>,
+    /// Launch error (kernel faults keep their full logs), if any.
+    error: Option<SimError>,
+    /// First interpreter/VM runtime error, if any.
+    runtime_error: Option<IrError>,
+}
+
+/// Runs one kernel definition with standard bindings and returns the
+/// observable outcome.
+#[allow(clippy::too_many_arguments)] // mirrors the full case coordinates
+fn run_case(
+    def: &KernelDef,
+    app: &PerfclApp,
+    data: &[f32],
+    aux: &[f32],
+    (w, h): (usize, usize),
+    group: (usize, usize),
+    mode: ExecMode,
+    launch: Launch,
+) -> Outcome {
+    let mut cfg = DeviceConfig::firepro_w5100();
+    cfg.exec_mode = mode;
+    if let Launch::Parallel(threads) = launch {
+        cfg.parallelism = threads;
+    }
+    let mut dev = Device::new(cfg).unwrap();
+    let in_buf = dev.create_buffer_from("in", data).unwrap();
+    let out_buf = dev.create_buffer::<f32>("out", w * h).unwrap();
+    let mut args = vec![
+        ("in", ArgValue::Buffer(in_buf)),
+        ("out", ArgValue::Buffer(out_buf)),
+        ("width", ArgValue::Int(w as i64)),
+        ("height", ArgValue::Int(h as i64)),
+    ];
+    if app.needs_aux {
+        let aux_buf = dev.create_buffer_from("aux", aux).unwrap();
+        args.push(("aux", ArgValue::Buffer(aux_buf)));
+    }
+    for &(name, v) in app.extra_args {
+        args.push((name, ArgValue::Float(v)));
+    }
+    let kernel = IrKernel::new(def.clone(), &args).unwrap();
+
+    // Global size padded up to group multiples; the kernels guard.
+    let range = NdRange::new_2d(
+        (w.div_ceil(group.0) * group.0, h.div_ceil(group.1) * group.1),
+        group,
+    )
+    .unwrap();
+    let result = match launch {
+        Launch::Serial => dev.launch_serial(&kernel, range),
+        Launch::Parallel(_) => dev.launch(&kernel, range),
+    };
+    let (report, error) = match result {
+        Ok(r) => (Some(r), None),
+        Err(e) => (None, Some(e)),
+    };
+    Outcome {
+        output_bits: dev
+            .read_buffer::<f32>(out_buf)
+            .unwrap()
+            .into_iter()
+            .map(f32::to_bits)
+            .collect(),
+        report,
+        error,
+        runtime_error: kernel.take_runtime_error(),
+    }
+}
+
+/// Runs the full mode × launch matrix for one kernel definition and
+/// asserts every outcome equals the compiled-serial reference.
+fn assert_matrix_identical(
+    label: &str,
+    def: &KernelDef,
+    app: &PerfclApp,
+    (w, h): (usize, usize),
+    group: (usize, usize),
+) {
+    let data = synth::photo_like(w, h, 0x5EED).as_slice().to_vec();
+    let aux = synth::photo_like(w, h, 0xA0C).as_slice().to_vec();
+    let reference = run_case(
+        def,
+        app,
+        &data,
+        &aux,
+        (w, h),
+        group,
+        ExecMode::Compiled,
+        Launch::Serial,
+    );
+    for mode in [ExecMode::Compiled, ExecMode::Interpreted] {
+        for launch in LAUNCHES {
+            let outcome = run_case(def, app, &data, &aux, (w, h), group, mode, launch);
+            assert_eq!(
+                outcome, reference,
+                "{label}: {mode} / {launch:?} diverges from compiled serial"
+            );
+        }
+    }
+}
+
+#[test]
+fn accurate_apps_are_identical_across_modes_and_launches() {
+    // 44×33 is deliberately not a multiple of the group size, so the
+    // early-return guards execute on the padded border items.
+    for app in perfcl::evaluation_kernels() {
+        let def = parse(app.source).unwrap().kernels.remove(0);
+        assert_matrix_identical(
+            &format!("{} accurate", app.name),
+            &def,
+            &app,
+            (44, 33),
+            (8, 8),
+        );
+    }
+}
+
+#[test]
+fn perforated_apps_are_identical_across_modes_and_launches() {
+    // The perforation pass specializes kernels for a fixed tile, so the
+    // image divides the group exactly here (the pass's launch contract).
+    for app in perfcl::evaluation_kernels() {
+        let def = parse(app.source).unwrap().kernels.remove(0);
+        let pass = PassConfig {
+            scheme: IrScheme::RowsHalf,
+            reconstruction: IrRecon::NearestNeighbor,
+            tile_w: 8,
+            tile_h: 8,
+        };
+        let perforated = perforate_kernel(&def, &pass).unwrap();
+        assert_matrix_identical(
+            &format!("{} Rows1:NN", app.name),
+            &perforated,
+            &app,
+            (40, 24),
+            (8, 8),
+        );
+    }
+}
+
+#[test]
+fn linear_interpolation_variant_is_identical_too() {
+    // A second reconstruction exercises a different generated-code shape
+    // (two-sided distance weighting with division).
+    let app = perfcl::by_name("gaussian").unwrap();
+    let def = parse(app.source).unwrap().kernels.remove(0);
+    let pass = PassConfig {
+        scheme: IrScheme::RowsHalf,
+        reconstruction: IrRecon::LinearInterpolation,
+        tile_w: 8,
+        tile_h: 8,
+    };
+    let perforated = perforate_kernel(&def, &pass).unwrap();
+    assert_matrix_identical("gaussian Rows1:LI", &perforated, &app, (32, 24), (8, 8));
+}
+
+#[test]
+fn fault_logs_are_identical_across_modes_and_launches() {
+    // Every third item stores out of bounds: the launch fails with a
+    // capped fault log whose contents (and total) must not depend on the
+    // execution mode or worker count.
+    let app = PerfclApp {
+        name: "oob",
+        source: "",
+        halo: 0,
+        needs_aux: false,
+        extra_args: &[],
+    };
+    let src = "kernel oob(global const float* in, global float* out, int width, int height) {
+        int x = get_global_id(0);
+        int y = get_global_id(1);
+        if (x >= width || y >= height) { return; }
+        out[(y * width + x) * 3] = in[y * width + x];
+    }";
+    let def = parse(src).unwrap().kernels.remove(0);
+    assert_matrix_identical("oob faults", &def, &app, (24, 16), (8, 8));
+
+    // Sanity: the reference really does fault.
+    let data = synth::photo_like(24, 16, 1).as_slice().to_vec();
+    let outcome = run_case(
+        &def,
+        &app,
+        &data,
+        &data,
+        (24, 16),
+        (8, 8),
+        ExecMode::Compiled,
+        Launch::Serial,
+    );
+    match outcome.error {
+        Some(SimError::KernelFaults { total, faults, .. }) => {
+            assert!(total > 0);
+            assert!(!faults.is_empty());
+        }
+        other => panic!("expected kernel faults, got {other:?}"),
+    }
+}
+
+#[test]
+fn runtime_errors_are_identical_across_modes_and_launches() {
+    // Items whose x ≡ 3 (mod 7) divide by zero; the recorded error must be
+    // the row-major-earliest one in every configuration.
+    let app = PerfclApp {
+        name: "divz",
+        source: "",
+        halo: 0,
+        needs_aux: false,
+        extra_args: &[],
+    };
+    let src = "kernel divz(global const float* in, global float* out, int width, int height) {
+        int x = get_global_id(0);
+        int y = get_global_id(1);
+        if (x >= width || y >= height) { return; }
+        int d = x % 7 - 3;
+        out[y * width + x] = float(100 / d) + in[y * width + x];
+    }";
+    let def = parse(src).unwrap().kernels.remove(0);
+    assert_matrix_identical("div-by-zero", &def, &app, (24, 16), (8, 8));
+
+    let data = synth::photo_like(24, 16, 2).as_slice().to_vec();
+    let outcome = run_case(
+        &def,
+        &app,
+        &data,
+        &data,
+        (24, 16),
+        (8, 8),
+        ExecMode::Interpreted,
+        Launch::Parallel(2),
+    );
+    let err = outcome.runtime_error.expect("division must be reported");
+    assert!(err.to_string().contains("division by zero"), "{err}");
+}
