@@ -10,7 +10,10 @@
 //!   parallel engine;
 //! * the perforated PerfCL Gaussian kernel on the `kp-ir` toolchain, once
 //!   per execution mode — the tree-walking interpreter vs. the register
-//!   bytecode VM — recording the compiled-over-interpreted speedup.
+//!   bytecode VM — recording the compiled-over-interpreted speedup;
+//! * the same kernel at both bytecode optimization levels — as-lowered
+//!   (`O0`) vs. the full pass pipeline (`O2`) — recording the
+//!   optimized-over-unoptimized speedup in an `ir_optimizer` section.
 //!
 //! ```text
 //! Usage: simbench [--out FILE] [--size N] [--reps N] [--check]
@@ -20,7 +23,8 @@
 //!   --size N    square image side length (default: 256)
 //!   --reps N    repetitions per configuration; best rep is kept (default: 3)
 //!   --check     exit non-zero if compiled IR throughput falls below the
-//!               interpreted throughput (CI regression gate)
+//!               interpreted throughput, or optimized bytecode throughput
+//!               falls below unoptimized (CI regression gates)
 //! ```
 
 use std::fmt::Write as _;
@@ -29,7 +33,7 @@ use std::time::Instant;
 use kp_apps::suite;
 use kp_bench::util::{ir_gaussian_rows1, run_ir_gaussian};
 use kp_core::{fig8_specs, run_app, ImageInput, RunSpec};
-use kp_gpu_sim::{Device, DeviceConfig, ExecMode};
+use kp_gpu_sim::{Device, DeviceConfig, ExecMode, OptLevel};
 
 struct Measurement {
     threads: usize,
@@ -95,15 +99,18 @@ fn measure(
 }
 
 /// Best-of-`reps` measurement of the IR Gaussian workload at one
-/// execution mode.
+/// execution mode and optimization level.
 fn measure_ir(
     def: &kp_ir::ast::KernelDef,
     data: &[f32],
     size: usize,
     mode: ExecMode,
+    opt: OptLevel,
     reps: usize,
 ) -> Measurement {
-    let (seconds, groups) = best_of(reps, || run_ir_gaussian(def, data, size, (16, 16), mode));
+    let (seconds, groups) = best_of(reps, || {
+        run_ir_gaussian(def, data, size, (16, 16), mode, opt)
+    });
     Measurement {
         threads: 1,
         seconds,
@@ -193,18 +200,49 @@ fn main() {
     let ir_image = kp_data::synth::photo_like(ir_size, ir_size, 0x5EED);
     let ir_data = ir_image.as_slice();
     let ir_def = ir_gaussian_rows1((16, 16));
-    let interpreted = measure_ir(&ir_def, ir_data, ir_size, ExecMode::Interpreted, reps);
+    let interpreted = measure_ir(
+        &ir_def,
+        ir_data,
+        ir_size,
+        ExecMode::Interpreted,
+        OptLevel::Full,
+        reps,
+    );
     eprintln!(
         "  interpreted     : {:8.3} s  ({:9.0} groups/s)",
         interpreted.seconds,
         interpreted.groups_per_sec()
     );
-    let compiled = measure_ir(&ir_def, ir_data, ir_size, ExecMode::Compiled, reps);
+    let compiled = measure_ir(
+        &ir_def,
+        ir_data,
+        ir_size,
+        ExecMode::Compiled,
+        OptLevel::None,
+        reps,
+    );
     let compiled_speedup = compiled.groups_per_sec() / interpreted.groups_per_sec();
     eprintln!(
-        "  compiled        : {:8.3} s  ({:9.0} groups/s, {compiled_speedup:.2}x)",
+        "  compiled O0     : {:8.3} s  ({:9.0} groups/s, {compiled_speedup:.2}x)",
         compiled.seconds,
         compiled.groups_per_sec(),
+    );
+
+    // Optimizer workload: same kernel, as-lowered bytecode vs. the full
+    // pass pipeline (constant folding, CSE, DCE, ops coalescing).
+    let optimized = measure_ir(
+        &ir_def,
+        ir_data,
+        ir_size,
+        ExecMode::Compiled,
+        OptLevel::Full,
+        reps,
+    );
+    let optimized_speedup = optimized.groups_per_sec() / compiled.groups_per_sec();
+    eprintln!(
+        "  compiled O2     : {:8.3} s  ({:9.0} groups/s, {optimized_speedup:.2}x vs O0)",
+        optimized.seconds,
+        optimized.groups_per_sec(),
     );
 
     // Hand-rolled JSON (the workspace is offline; no serializer crates).
@@ -257,18 +295,54 @@ fn main() {
         compiled.groups_per_sec()
     );
     let _ = writeln!(json, "    \"compiled_speedup\": {compiled_speedup:.3}");
+    json.push_str("  },\n");
+    json.push_str("  \"ir_optimizer\": {\n");
+    let _ = writeln!(json, "    \"app\": \"gaussian\",");
+    let _ = writeln!(json, "    \"config\": \"Rows1:NN @ 16x16\",");
+    let _ = writeln!(json, "    \"image_size\": {ir_size},");
+    let _ = writeln!(json, "    \"host_cores\": {cores},");
+    let _ = writeln!(
+        json,
+        "    \"unoptimized\": {{ \"seconds\": {:.6}, \"groups\": {}, \"groups_per_sec\": {:.1} }},",
+        compiled.seconds,
+        compiled.groups,
+        compiled.groups_per_sec()
+    );
+    let _ = writeln!(
+        json,
+        "    \"optimized\": {{ \"seconds\": {:.6}, \"groups\": {}, \"groups_per_sec\": {:.1} }},",
+        optimized.seconds,
+        optimized.groups,
+        optimized.groups_per_sec()
+    );
+    let _ = writeln!(json, "    \"optimized_speedup\": {optimized_speedup:.3}");
     json.push_str("  }\n}\n");
 
     std::fs::write(&out, &json).expect("write benchmark json");
     eprintln!("wrote {out}");
 
-    if check && compiled_speedup < 1.0 {
-        eprintln!(
-            "check FAILED: compiled throughput ({:.0} groups/s) is below interpreted \
-             ({:.0} groups/s)",
-            compiled.groups_per_sec(),
-            interpreted.groups_per_sec()
-        );
-        std::process::exit(1);
+    if check {
+        let mut failed = false;
+        if compiled_speedup < 1.0 {
+            eprintln!(
+                "check FAILED: compiled throughput ({:.0} groups/s) is below interpreted \
+                 ({:.0} groups/s)",
+                compiled.groups_per_sec(),
+                interpreted.groups_per_sec()
+            );
+            failed = true;
+        }
+        if optimized_speedup < 1.0 {
+            eprintln!(
+                "check FAILED: optimized bytecode throughput ({:.0} groups/s) is below \
+                 unoptimized ({:.0} groups/s)",
+                optimized.groups_per_sec(),
+                compiled.groups_per_sec()
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
     }
 }

@@ -204,10 +204,11 @@ pub fn ir_gaussian_rows1(group: (usize, usize)) -> kp_ir::ast::KernelDef {
     .expect("gaussian perforates")
 }
 
-/// Runs the IR Gaussian workload once at the given execution mode on a
-/// single engine worker, returning (wall seconds, groups simulated).
-/// Kernel construction — and therefore bytecode compilation — happens
-/// outside the timed region: the benchmark measures executor throughput.
+/// Runs the IR Gaussian workload once at the given execution mode and
+/// optimization level on a single engine worker, returning (wall seconds,
+/// groups simulated). Kernel construction — and therefore bytecode
+/// compilation and optimization — happens outside the timed region: the
+/// benchmark measures executor throughput.
 ///
 /// # Panics
 ///
@@ -219,6 +220,7 @@ pub fn run_ir_gaussian(
     size: usize,
     group: (usize, usize),
     mode: kp_gpu_sim::ExecMode,
+    opt: kp_gpu_sim::OptLevel,
 ) -> (f64, usize) {
     use kp_ir::{ArgValue, IrKernel};
     assert_eq!(
@@ -234,6 +236,7 @@ pub fn run_ir_gaussian(
     let mut cfg = DeviceConfig::firepro_w5100();
     cfg.parallelism = 1;
     cfg.exec_mode = mode;
+    cfg.opt_level = opt;
     let mut dev = Device::new(cfg).expect("device config valid");
     let in_buf = dev.create_buffer_from("in", data).expect("input fits");
     let out_buf = dev
@@ -321,16 +324,20 @@ mod tests {
     }
 
     #[test]
-    fn ir_gaussian_workload_runs_in_both_modes() {
+    fn ir_gaussian_workload_runs_in_all_modes() {
         let def = ir_gaussian_rows1((8, 8));
         let image = kp_data::synth::photo_like(32, 32, 7);
-        for mode in [
-            kp_gpu_sim::ExecMode::Compiled,
-            kp_gpu_sim::ExecMode::Interpreted,
+        for (mode, opt) in [
+            (kp_gpu_sim::ExecMode::Compiled, kp_gpu_sim::OptLevel::Full),
+            (kp_gpu_sim::ExecMode::Compiled, kp_gpu_sim::OptLevel::None),
+            (
+                kp_gpu_sim::ExecMode::Interpreted,
+                kp_gpu_sim::OptLevel::Full,
+            ),
         ] {
-            let (seconds, groups) = run_ir_gaussian(&def, image.as_slice(), 32, (8, 8), mode);
-            assert_eq!(groups, 16, "{mode}");
-            assert!(seconds > 0.0, "{mode}");
+            let (seconds, groups) = run_ir_gaussian(&def, image.as_slice(), 32, (8, 8), mode, opt);
+            assert_eq!(groups, 16, "{mode}/{opt}");
+            assert!(seconds > 0.0, "{mode}/{opt}");
         }
     }
 

@@ -38,6 +38,37 @@ impl std::fmt::Display for ExecMode {
     }
 }
 
+/// How aggressively compiled bytecode is optimized before execution.
+///
+/// Like [`ExecMode`], this is advisory state for kernels that carry more
+/// than one compiled form (notably `kp-ir`'s `IrKernel`, which lowers its
+/// AST to naive bytecode and then runs an optimization pass pipeline over
+/// it). All levels are required to produce bit-identical outputs,
+/// statistics and fault logs — the optimizer may only remove *host-side*
+/// work, never change what the simulated GPU observably does. `None`
+/// exists for differential testing and as the known-good reference when
+/// debugging the optimizer, mirroring how [`ExecMode::Interpreted`]
+/// anchors the VM and `Device::launch_serial` anchors the parallel engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OptLevel {
+    /// Execute the bytecode exactly as lowered (reference).
+    None,
+    /// Run the full pass pipeline: constant folding, algebraic
+    /// simplification, common-subexpression elimination, dead-code and
+    /// dead-phase elimination, ALU-charge coalescing (the fast default).
+    #[default]
+    Full,
+}
+
+impl std::fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptLevel::None => write!(f, "O0"),
+            OptLevel::Full => write!(f, "O2"),
+        }
+    }
+}
+
 /// Architectural parameters of a simulated GPU device.
 ///
 /// All latency/throughput values are in clock cycles. The model only cares
@@ -120,6 +151,11 @@ pub struct DeviceConfig {
     /// and a reference interpreter (see [`ExecMode`]). Both strategies are
     /// bit-identical by contract; this selects speed vs. reference.
     pub exec_mode: ExecMode,
+    /// Bytecode optimization level for kernels that carry both an
+    /// optimized and an as-lowered compiled form (see [`OptLevel`]). All
+    /// levels are bit-identical by contract; this selects speed vs.
+    /// reference. Ignored when `exec_mode` is [`ExecMode::Interpreted`].
+    pub opt_level: OptLevel,
 }
 
 impl DeviceConfig {
@@ -152,6 +188,7 @@ impl DeviceConfig {
             clock_mhz: 930.0,
             parallelism: 0,
             exec_mode: ExecMode::Compiled,
+            opt_level: OptLevel::Full,
         }
     }
 
@@ -183,6 +220,7 @@ impl DeviceConfig {
             clock_mhz: 1000.0,
             parallelism: 1,
             exec_mode: ExecMode::Compiled,
+            opt_level: OptLevel::Full,
         }
     }
 
@@ -294,6 +332,15 @@ mod tests {
         assert_eq!(DeviceConfig::test_tiny().exec_mode, ExecMode::Compiled);
         assert_eq!(ExecMode::Compiled.to_string(), "compiled");
         assert_eq!(ExecMode::Interpreted.to_string(), "interpreted");
+    }
+
+    #[test]
+    fn opt_level_defaults_to_full() {
+        assert_eq!(OptLevel::default(), OptLevel::Full);
+        assert_eq!(DeviceConfig::firepro_w5100().opt_level, OptLevel::Full);
+        assert_eq!(DeviceConfig::test_tiny().opt_level, OptLevel::Full);
+        assert_eq!(OptLevel::None.to_string(), "O0");
+        assert_eq!(OptLevel::Full.to_string(), "O2");
     }
 
     #[test]

@@ -74,6 +74,14 @@ impl Device {
         self.cfg.exec_mode = mode;
     }
 
+    /// Sets the bytecode optimization level for kernels that carry both an
+    /// optimized and an as-lowered compiled form (see [`crate::OptLevel`]).
+    /// All levels are bit-identical by contract; `None` is the as-lowered
+    /// differential reference.
+    pub fn set_opt_level(&mut self, level: crate::OptLevel) {
+        self.cfg.opt_level = level;
+    }
+
     /// The device configuration.
     pub fn config(&self) -> &DeviceConfig {
         &self.cfg

@@ -26,7 +26,7 @@ use std::sync::Arc;
 
 use crate::buffer::RawBuffer;
 use crate::config::DeviceConfig;
-use crate::kernel::{FaultLog, ItemCtx, Kernel, PhaseProfile};
+use crate::kernel::{FaultLog, ItemCtx, Kernel, KernelScratch, PhaseProfile};
 use crate::local::LocalArena;
 use crate::ndrange::NdRange;
 use crate::stats::{LaunchStats, TimingBreakdown};
@@ -216,10 +216,17 @@ pub(crate) struct GroupOutcome {
 }
 
 /// Per-worker scratch state, reused across the groups of one shard.
+///
+/// `kernel` is the worker's [`KernelScratch`]: engine-owned storage that
+/// stateful kernels reach through [`ItemCtx::kernel_scratch`] instead of
+/// keeping (and locking) their own cross-thread state. Each worker owns
+/// exactly one, and a worker runs its groups to completion one at a time,
+/// so kernels can use it lock-free.
 pub(crate) struct WorkerScratch {
     pub arena: LocalArena,
     pub profile: Option<PhaseProfile>,
     pub log: WriteLog,
+    pub kernel: KernelScratch,
 }
 
 impl WorkerScratch {
@@ -232,6 +239,7 @@ impl WorkerScratch {
             arena: LocalArena::new(kernel_locals),
             profile: profiling.then(|| PhaseProfile::new(waves_per_group)),
             log: WriteLog::default(),
+            kernel: KernelScratch::default(),
         }
     }
 }
@@ -277,6 +285,7 @@ pub(crate) fn run_group<K: Kernel + ?Sized>(
                 arena: &mut scratch.arena,
                 profile: scratch.profile.as_mut(),
                 faults: &mut faults,
+                scratch: &mut scratch.kernel,
                 local_seq: 0,
                 global_seq: 0,
                 item_ops: 0,

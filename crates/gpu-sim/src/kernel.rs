@@ -11,6 +11,8 @@
 //! * phase 1 — data reconstruction in local memory,
 //! * phase 2 — original kernel body reading from local memory.
 
+use std::any::Any;
+
 use crate::buffer::{BufferId, ElemKind, RawBuffer, Scalar};
 use crate::coalesce::{CoalesceTracker, Dir};
 use crate::config::DeviceConfig;
@@ -217,6 +219,51 @@ impl FaultLog {
     }
 }
 
+/// Engine-owned, type-erased per-worker scratch storage for stateful
+/// kernels.
+///
+/// Kernels that carry per-item state across phases (the `kp-ir`
+/// interpreter's register files and variable maps, for example) used to
+/// keep that state behind a `Mutex` inside the kernel itself, which
+/// serialized every work item of every worker on one lock. Instead, the
+/// launch engine now owns one `KernelScratch` per worker thread, handed to
+/// the kernel through [`ItemCtx::kernel_scratch`]: the kernel stores
+/// whatever state type it needs with [`KernelScratch::get_or_default`] and
+/// the engine guarantees the **sequential-group contract** — one worker
+/// executes all items of all phases of a group before starting its next
+/// group, and no two workers ever share a scratch — so access is lock-free
+/// by construction.
+///
+/// The scratch persists across the groups (and launches) a worker
+/// executes; kernels must re-initialize whatever is per-group at
+/// `(phase 0, item)` time rather than assume a fresh value. Stateless
+/// hand-written kernels simply never touch it.
+#[derive(Default)]
+pub struct KernelScratch(Option<Box<dyn Any + Send>>);
+
+impl KernelScratch {
+    /// Returns the stored `T`, creating it via `Default` if the scratch is
+    /// empty or currently holds a different type (e.g. after the worker
+    /// ran a different kernel).
+    pub fn get_or_default<T: Any + Send + Default>(&mut self) -> &mut T {
+        if !matches!(&self.0, Some(b) if b.is::<T>()) {
+            self.0 = Some(Box::<T>::default());
+        }
+        self.0
+            .as_mut()
+            .and_then(|b| b.downcast_mut::<T>())
+            .expect("slot was just ensured to hold a T")
+    }
+}
+
+impl std::fmt::Debug for KernelScratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("KernelScratch")
+            .field(&self.0.as_ref().map(|_| "..."))
+            .finish()
+    }
+}
+
 /// Per-phase profiling accumulators (only allocated when profiling is on).
 #[derive(Debug)]
 pub(crate) struct PhaseProfile {
@@ -266,6 +313,7 @@ pub struct ItemCtx<'a> {
     pub(crate) arena: &'a mut LocalArena,
     pub(crate) profile: Option<&'a mut PhaseProfile>,
     pub(crate) faults: &'a mut FaultLog,
+    pub(crate) scratch: &'a mut KernelScratch,
     pub(crate) local_seq: u32,
     pub(crate) global_seq: u32,
     pub(crate) item_ops: u64,
@@ -334,6 +382,24 @@ impl<'a> ItemCtx<'a> {
     /// with a single implementation are free to ignore it.
     pub fn exec_mode(&self) -> crate::ExecMode {
         self.cfg.exec_mode
+    }
+
+    /// The device's bytecode optimization level for kernels that carry
+    /// both an optimized and an as-lowered compiled form (see
+    /// [`crate::OptLevel`]). Kernels without an optimizer are free to
+    /// ignore it.
+    pub fn opt_level(&self) -> crate::OptLevel {
+        self.cfg.opt_level
+    }
+
+    /// The engine-owned per-worker scratch store (see [`KernelScratch`]).
+    ///
+    /// The returned storage is private to the worker executing this item
+    /// and persists across the items, phases, groups and launches that
+    /// worker runs — reset whatever is per-group at `(phase 0, item)`
+    /// time.
+    pub fn kernel_scratch(&mut self) -> &mut KernelScratch {
+        self.scratch
     }
 
     fn fault(&mut self, kind: FaultKind) {
@@ -513,6 +579,18 @@ mod tests {
         assert_eq!(log.total, 100);
         assert_eq!(log.faults.len(), 16);
         assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn kernel_scratch_roundtrips_and_resets_on_type_change() {
+        let mut scratch = KernelScratch::default();
+        *scratch.get_or_default::<u32>() = 7;
+        assert_eq!(*scratch.get_or_default::<u32>(), 7);
+        // Asking for a different type replaces the stored value…
+        assert_eq!(*scratch.get_or_default::<String>(), String::new());
+        // …and the original type starts over from Default.
+        assert_eq!(*scratch.get_or_default::<u32>(), 0);
+        assert!(!format!("{scratch:?}").is_empty());
     }
 
     #[test]

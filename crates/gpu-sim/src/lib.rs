@@ -61,17 +61,28 @@
 //!
 //! Hand-written Rust kernels are plain `run_phase` implementations and the
 //! engine calls them directly. Language-level kernels (the `kp-ir` crate's
-//! PerfCL interpreter) follow a **compile-then-execute** pipeline instead:
-//! at kernel construction the checked AST is lowered once to a flat
-//! register bytecode (resolved variable slots, pre-bound buffer handles
-//! and builtins, jump-target control flow), and `run_phase` then drives a
-//! tight-loop VM over that bytecode — no name lookups or tree walks on the
-//! per-item hot path. [`DeviceConfig::exec_mode`] (surfaced through
-//! [`ItemCtx::exec_mode`]) selects between the compiled VM and the
-//! original tree-walking evaluator, which is retained as a differential
-//! reference exactly like [`Device::launch_serial`] is for the parallel
-//! engine: both modes must produce bit-identical outputs, statistics and
-//! fault logs, and the cross-crate `vm_differential` suite asserts it.
+//! PerfCL interpreter) follow a **compile-optimize-execute** pipeline
+//! instead: at kernel construction the checked AST is lowered once to a
+//! flat register bytecode (resolved variable slots, pre-bound buffer
+//! handles and builtins, jump-target control flow), an optimizer pass
+//! pipeline rewrites it (constant folding, CSE, dead-code/dead-phase
+//! elimination), and `run_phase` then drives a tight-loop VM over that
+//! bytecode — no name lookups or tree walks on the per-item hot path.
+//! Two knobs keep the slower strategies alive as differential
+//! references, exactly like [`Device::launch_serial`] is for the
+//! parallel engine: [`DeviceConfig::exec_mode`] (surfaced through
+//! [`ItemCtx::exec_mode`]) selects the original tree-walking evaluator,
+//! and [`DeviceConfig::opt_level`] ([`ItemCtx::opt_level`]) selects the
+//! as-lowered, unoptimized bytecode. All strategies must produce
+//! bit-identical outputs, statistics and fault logs, and the cross-crate
+//! `vm_differential` suite asserts it.
+//!
+//! Stateful kernels keep their per-item execution state in
+//! **engine-owned per-worker scratch** ([`KernelScratch`], reached via
+//! [`ItemCtx::kernel_scratch`]) rather than behind their own locks: the
+//! engine guarantees a worker runs all items of all phases of a group
+//! before its next group and never shares scratch between workers, so
+//! access is lock-free by construction at any worker count.
 //!
 //! ## Quick start
 //!
@@ -119,11 +130,11 @@ pub mod local;
 pub mod timing;
 
 pub use buffer::{BufferId, ElemKind, Scalar};
-pub use config::{DeviceConfig, ExecMode};
+pub use config::{DeviceConfig, ExecMode, OptLevel};
 pub use device::Device;
 pub use engine::resolve_parallelism;
 pub use error::SimError;
-pub use kernel::{Fault, FaultKind, ItemCtx, Kernel};
+pub use kernel::{Fault, FaultKind, ItemCtx, Kernel, KernelScratch};
 pub use local::{LocalId, LocalSpec};
 pub use ndrange::{NdRange, NdRangeError};
 pub use stats::{LaunchReport, LaunchStats, Occupancy, TimingBreakdown};

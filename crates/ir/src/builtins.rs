@@ -3,7 +3,7 @@
 use crate::ast::ScalarTy;
 
 /// The builtin functions a kernel may call.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Builtin {
     /// `get_global_id(dim)`
     GlobalId,

@@ -1,10 +1,10 @@
 //! Register bytecode for PerfCL kernels: the instruction set and the VM.
 //!
-//! The tree-walking evaluator in [`crate::interp`] re-resolves every
+//! The tree-walking evaluator in `crate::interp` re-resolves every
 //! variable name, buffer binding and builtin on every statement of every
 //! work item — fine for correctness, hopeless for sweep throughput. This
 //! module defines the flat, register-based instruction set that
-//! [`crate::compile`] lowers a checked kernel to **once** at
+//! `crate::compile` lowers a checked kernel to **once** at
 //! [`crate::IrKernel`] construction:
 //!
 //! * variables live in a per-item **register file** (`Vec<Value>`) with
@@ -25,7 +25,7 @@
 //!
 //! Every operation funnels through the same primitives as the tree walk
 //! (`apply_bin`, `apply_builtin`, the load/store converters in
-//! [`crate::interp`]), so the two execution modes produce bit-identical
+//! `crate::interp`), so the two execution modes produce bit-identical
 //! outputs, statistics and fault logs by construction — asserted app by
 //! app in the cross-crate `vm_differential` suite.
 
@@ -117,6 +117,33 @@ pub enum Inst {
         lhs: Reg,
         /// Right operand register.
         rhs: Reg,
+    },
+    /// Fused pair of dependent binary operations:
+    /// `m = regs[lhs] op1 regs[rhs]; regs[dst] = m op2 regs[other]` (or
+    /// `regs[other] op2 m` when `m_left` is false). Emitted only by the
+    /// optimizer's fusion pass, for adjacent [`Inst::Bin`] pairs whose
+    /// intermediate register dies immediately — the two operations are
+    /// applied through the same `apply_bin` primitive in the same
+    /// order, so results, errors and debug-overflow behavior are
+    /// bit-identical to the unfused sequence; only the dispatch cost is
+    /// halved. `other` is guaranteed distinct from the fused-away
+    /// intermediate register.
+    Bin2 {
+        /// First operator.
+        op1: BinOp,
+        /// Second operator.
+        op2: BinOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand of the first operation.
+        lhs: Reg,
+        /// Right operand of the first operation.
+        rhs: Reg,
+        /// The second operation's independent operand.
+        other: Reg,
+        /// Whether the intermediate result is the second operation's
+        /// *left* operand.
+        m_left: bool,
     },
     /// Charge `n` ALU operations to this work item (timing model).
     Ops {
@@ -219,15 +246,38 @@ pub enum Inst {
 
 /// A kernel lowered to register bytecode: one instruction sequence per
 /// barrier-separated phase plus the register-file layout.
+///
+/// The register file is layered: slots `0..first_temp` are **persistent**
+/// (named variables — one slot per distinct *name*, which is what gives
+/// shadowed re-declarations their write-through semantics — followed by
+/// loop guards) and live across phases like OpenCL private memory; slots
+/// `first_temp..reg_count` are **expression temporaries**, recycled per
+/// statement and never live across a statement boundary. The optimizer
+/// ([`crate::optimize`]) relies on exactly this layering: persistent slots
+/// are conservatively treated as live, temporaries are subject to
+/// dead-code elimination, and constant-pool slots it appends start at the
+/// original `reg_count`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompiledKernel {
     pub(crate) phases: Vec<Vec<Inst>>,
-    /// Total registers (named slots + loop guards + expression temps).
+    /// Total registers (named slots + loop guards + expression temps, plus
+    /// any constant-pool slots appended by the optimizer).
     pub(crate) reg_count: usize,
     /// Initial register file: scalar parameter slots hold their bound
     /// values, everything else starts as `Int(0)` (never read before
-    /// written — the type checker enforces declare-before-use).
+    /// written — the type checker enforces declare-before-use). The
+    /// optimizer's constant pool also lives here.
     pub(crate) reg_init: Vec<Value>,
+    /// First expression-temporary slot; everything below is persistent
+    /// (named variables, then loop guards).
+    pub(crate) first_temp: usize,
+    /// Number of leading register slots holding scalar parameters (their
+    /// `reg_init` entries are the bound argument values). Only these
+    /// slots can be *read before any write* at run time — the type
+    /// checker's declare-before-use rule guarantees it for every other
+    /// name — which is what lets the optimizer seed its register type
+    /// inference from `reg_init` for exactly these slots.
+    pub(crate) param_regs: usize,
 }
 
 impl CompiledKernel {
@@ -259,6 +309,15 @@ impl CompiledKernel {
     /// A fresh per-item register file (parameter slots pre-loaded).
     pub fn fresh_regs(&self) -> Vec<Value> {
         self.reg_init.clone()
+    }
+
+    /// First expression-temporary register slot. Slots below this index
+    /// are persistent across phases (named variables, then loop guards);
+    /// slots at or above it are statement-scoped temporaries (and, in
+    /// optimized kernels, constant-pool slots pre-loaded via
+    /// [`CompiledKernel::fresh_regs`]).
+    pub fn first_temp(&self) -> usize {
+        self.first_temp
     }
 }
 
@@ -304,6 +363,21 @@ pub(crate) fn execute_phase(
             Inst::Bin { op, dst, lhs, rhs } => {
                 regs[dst as usize] =
                     apply_bin(op, regs[lhs as usize], regs[rhs as usize]).map_err(str::to_owned)?;
+            }
+            Inst::Bin2 {
+                op1,
+                op2,
+                dst,
+                lhs,
+                rhs,
+                other,
+                m_left,
+            } => {
+                let m = apply_bin(op1, regs[lhs as usize], regs[rhs as usize])
+                    .map_err(str::to_owned)?;
+                let o = regs[other as usize];
+                let (a, b) = if m_left { (m, o) } else { (o, m) };
+                regs[dst as usize] = apply_bin(op2, a, b).map_err(str::to_owned)?;
             }
             Inst::Ops { n } => ctx.ops(n),
             Inst::LoadGlobal {

@@ -55,6 +55,7 @@ pub(crate) fn compile(
             reg_init.push(*v);
         }
     }
+    let param_regs = reg_init.len();
     let mut named_end = reg_init.len();
     let mut loop_count = 0usize;
     collect_names(&def.body, &mut slots, &mut named_end, &mut loop_count)?;
@@ -85,6 +86,8 @@ pub(crate) fn compile(
         phases,
         reg_count,
         reg_init,
+        first_temp: temps_base,
+        param_regs,
     })
 }
 

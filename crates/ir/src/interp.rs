@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 use std::sync::Mutex;
 
-use kp_gpu_sim::{BufferId, ElemKind, ItemCtx, Kernel, LocalId, LocalSpec};
+use kp_gpu_sim::{BufferId, ElemKind, ExecMode, ItemCtx, Kernel, LocalId, LocalSpec, OptLevel};
 
 use crate::ast::{BinOp, Expr, KernelDef, ParamTy, ScalarTy, Stmt, UnOp};
 use crate::builtins::Builtin;
@@ -83,14 +83,27 @@ pub(crate) enum Binding {
 
 /// Per-item execution state carried across phases. Exactly one of the two
 /// storage forms is populated per launch, depending on the device's
-/// [`kp_gpu_sim::ExecMode`]: the tree-walking evaluator keeps named
-/// variables in `vars`, the bytecode VM keeps a flat register file in
-/// `regs` (slots resolved at compile time).
+/// [`ExecMode`]: the tree-walking evaluator keeps named variables in
+/// `vars`, the bytecode VM keeps a flat register file in `regs` (slots
+/// resolved at compile time).
 #[derive(Debug, Default, Clone)]
 struct ItemState {
     vars: HashMap<String, Value>,
     regs: Vec<Value>,
     returned: bool,
+}
+
+/// The engine-scratch payload of one worker: per-item states of the work
+/// group that worker is currently executing. Lives in the launch engine's
+/// [`kp_gpu_sim::KernelScratch`] (one per worker thread), so no locking
+/// is ever needed — the engine guarantees a worker runs all items of all
+/// phases of a group before its next group, and workers never share
+/// scratch. Entries are re-initialized at `(phase 0, item)` time, which
+/// also makes the storage safely reusable across groups, launches and
+/// even different `IrKernel` instances.
+#[derive(Debug, Default)]
+struct GroupStates {
+    items: Vec<ItemState>,
 }
 
 pub(crate) enum Flow {
@@ -102,13 +115,27 @@ pub(crate) enum Flow {
 ///
 /// # Concurrency
 ///
-/// `IrKernel` is [`Sync`] so one *launch* can shard its work groups over
-/// the engine's worker threads, which key the in-flight per-item states by
-/// group coordinate. That keying assumes a single launch in flight: do
-/// **not** launch the same `IrKernel` instance from several devices
-/// concurrently — overlapping group coordinates would interleave state in
-/// the shared map. Harnesses that evaluate variants in parallel construct
-/// one kernel per worker (binding is cheap; compilation is per kernel).
+/// `IrKernel` is [`Sync`] and internally immutable during execution: all
+/// per-item interpreter state (register files, variable maps) lives in
+/// the launch engine's per-worker scratch
+/// ([`kp_gpu_sim::KernelScratch`]), not in the kernel, so work groups
+/// shard across worker threads without any locking and one instance can
+/// even be launched from several devices concurrently. The only shared
+/// mutable slot is the runtime-error report ([`IrKernel::take_runtime_error`],
+/// behind a mutex touched only on the error path) — concurrent launches
+/// would race for that one slot, so keep one kernel per device when you
+/// need per-launch error attribution.
+///
+/// # Execution strategies
+///
+/// At construction the checked AST is lowered to register bytecode
+/// (`crate::compile`) and that bytecode is run through the optimizer
+/// pass pipeline ([`crate::optimize`]). Which of the three forms executes
+/// is selected per launch by the device:
+/// [`kp_gpu_sim::ExecMode::Interpreted`] walks the AST (slow reference),
+/// [`kp_gpu_sim::OptLevel::None`] runs the as-lowered bytecode, and
+/// [`kp_gpu_sim::OptLevel::Full`] (the default) runs the optimized
+/// bytecode. All three are bit-identical by contract.
 ///
 /// # Examples
 ///
@@ -139,19 +166,21 @@ pub struct IrKernel {
     def: KernelDef,
     bindings: HashMap<String, Binding>,
     /// The kernel body lowered to register bytecode at construction time
-    /// (see [`crate::bytecode`]); `run_phase` executes this unless the
-    /// device asks for the tree-walking reference evaluator.
+    /// (see [`crate::bytecode`]), exactly as the compiler emitted it —
+    /// kept as the [`OptLevel::None`] differential reference.
     compiled: crate::bytecode::CompiledKernel,
+    /// `compiled` after the optimizer pass pipeline (see
+    /// [`crate::optimize`]); what `run_phase` executes at the default
+    /// [`OptLevel::Full`].
+    optimized: crate::bytecode::CompiledKernel,
+    /// What the optimizer did, for reporting and tests.
+    opt_stats: crate::optimize::OptStats,
     local_specs: Vec<LocalSpec>,
     phase_count: usize,
-    /// Per-item interpreter states of the groups currently in flight,
-    /// keyed by group coordinate. The launch engine may run several groups
-    /// concurrently (each on its own worker), so states live behind a
-    /// mutex; within one group items execute sequentially, so each entry
-    /// is only ever touched by one worker at a time.
-    states: Mutex<HashMap<[usize; 3], Vec<ItemState>>>,
     /// First runtime error by row-major group order, stored with its
-    /// (reversed, so `Ord` compares z then y then x) group key.
+    /// (reversed, so `Ord` compares z then y then x) group key. This is
+    /// the kernel's only shared mutable state; it is locked exclusively
+    /// on the (cold) error path.
     runtime_error: Mutex<Option<([usize; 3], IrError)>>,
 }
 
@@ -258,13 +287,15 @@ impl IrKernel {
 
         let phase_count = def.phases().len();
         let compiled = crate::compile::compile(&def, &bindings)?;
+        let (optimized, opt_stats) = crate::optimize::optimize(&compiled);
         Ok(Self {
             def,
             bindings,
             compiled,
+            optimized,
+            opt_stats,
             local_specs,
             phase_count,
-            states: Mutex::new(HashMap::new()),
             runtime_error: Mutex::new(None),
         })
     }
@@ -274,9 +305,21 @@ impl IrKernel {
         &self.def
     }
 
-    /// The register bytecode the kernel body was compiled to.
+    /// The register bytecode the kernel body was compiled to, exactly as
+    /// lowered (the [`OptLevel::None`] form).
     pub fn compiled(&self) -> &crate::bytecode::CompiledKernel {
         &self.compiled
+    }
+
+    /// The bytecode after the optimizer pass pipeline (the
+    /// [`OptLevel::Full`] form, executed by default).
+    pub fn optimized(&self) -> &crate::bytecode::CompiledKernel {
+        &self.optimized
+    }
+
+    /// Summary of what the optimizer changed in this kernel.
+    pub fn opt_stats(&self) -> crate::optimize::OptStats {
+        self.opt_stats
     }
 
     /// Takes the first runtime evaluation error of the last launch, if any
@@ -359,30 +402,52 @@ impl Kernel for IrKernel {
     }
 
     fn run_phase(&self, phase: usize, ctx: &mut ItemCtx<'_>) {
+        let mode = ctx.exec_mode();
+        let bytecode = match ctx.opt_level() {
+            OptLevel::Full => &self.optimized,
+            OptLevel::None => &self.compiled,
+        };
+        // Dead-phase elimination: a phase the optimizer emptied provably
+        // cannot touch memory, charge ops, fault, error or change item
+        // state, so skip it without even touching the scratch. Phase 0 is
+        // exempt — it must still reset the per-item state below.
+        if phase != 0 && mode == ExecMode::Compiled && bytecode.phase(phase).is_empty() {
+            return;
+        }
         let flat = ctx.flat_local_id();
         let group_size = ctx.group_size();
         let group = [ctx.group_id(0), ctx.group_id(1), ctx.group_id(2)];
-        let mut state = {
-            let mut map = self.states.lock().expect("interp state poisoned");
-            let states = map.entry(group).or_default();
-            if states.len() < group_size {
-                states.resize(group_size, ItemState::default());
+        // Per-item states live in the engine's per-worker scratch: the
+        // worker runs every item of every phase of a group before its
+        // next group, so this is exclusive access without a lock.
+        let states: &mut GroupStates = ctx.kernel_scratch().get_or_default();
+        if states.items.len() < group_size {
+            states.items.resize_with(group_size, ItemState::default);
+        }
+        let mut state = std::mem::take(&mut states.items[flat]);
+        if phase == 0 {
+            // Reset in place: the scratch may hold the previous group's
+            // (or launch's, or kernel's) state. Buffers are reused.
+            state.returned = false;
+            state.vars.clear();
+            match mode {
+                ExecMode::Compiled if state.regs.len() == bytecode.reg_count() => {
+                    state.regs.copy_from_slice(&bytecode.reg_init);
+                }
+                ExecMode::Compiled => state.regs = bytecode.fresh_regs(),
+                ExecMode::Interpreted => {}
             }
-            if phase == 0 {
-                states[flat] = ItemState::default();
-            }
-            std::mem::take(&mut states[flat])
-        };
+        }
         if !state.returned {
-            let result = match ctx.exec_mode() {
-                kp_gpu_sim::ExecMode::Compiled => {
-                    if state.regs.len() != self.compiled.reg_count() {
-                        state.regs = self.compiled.fresh_regs();
+            let result = match mode {
+                ExecMode::Compiled => {
+                    if state.regs.len() != bytecode.reg_count() {
+                        state.regs = bytecode.fresh_regs();
                     }
-                    crate::bytecode::execute_phase(&self.compiled, phase, &mut state.regs, ctx)
+                    crate::bytecode::execute_phase(bytecode, phase, &mut state.regs, ctx)
                         .map_err(|msg| IrError::Eval(format!("{}: {msg}", self.def.name)))
                 }
-                kp_gpu_sim::ExecMode::Interpreted => {
+                ExecMode::Interpreted => {
                     let phases = self.def.phases();
                     let stmts = phases[phase];
                     let mut exec = Exec { kernel: self, ctx };
@@ -398,14 +463,7 @@ impl Kernel for IrKernel {
                 }
             }
         }
-        let mut map = self.states.lock().expect("interp state poisoned");
-        if phase + 1 == self.phase_count && flat + 1 == group_size {
-            // Items run in row-major order within a group, so the last
-            // item of the last phase retires the whole group's states.
-            map.remove(&group);
-        } else {
-            map.get_mut(&group).expect("state inserted above")[flat] = state;
-        }
+        ctx.kernel_scratch().get_or_default::<GroupStates>().items[flat] = state;
     }
 }
 
@@ -1045,6 +1103,54 @@ mod tests {
         dev.launch(&kernel, NdRange::new_1d(1, 1).unwrap()).unwrap();
         let out = dev.read_buffer::<f32>(dst).unwrap();
         assert_eq!(out, vec![3.0, 2.0, 7.0, 1.0, 2.5, 1024.0]);
+    }
+
+    #[test]
+    fn one_kernel_can_launch_from_several_devices_concurrently() {
+        // All per-item state lives in engine-owned per-worker scratch, so
+        // a single IrKernel is safe to share across devices and threads —
+        // something the old kernel-held state map forbade.
+        // Buffer slot ids are allocation-ordered, so the first buffer of
+        // every fresh device resolves to the same handle the kernel was
+        // bound against.
+        let mut seed_dev = device();
+        let dst0 = seed_dev.create_buffer::<f32>("dst", 8).unwrap();
+        let kernel = IrKernel::from_source(
+            "kernel k(global float* dst, int n) {
+                 int i = get_global_id(0);
+                 int acc = 0;
+                 barrier();
+                 for (int j = 0; j <= i; j = j + 1) { acc = acc + j; }
+                 dst[i] = float(acc * n);
+             }",
+            &[
+                ("dst", crate::ArgValue::Buffer(dst0)),
+                ("n", crate::ArgValue::Int(2)),
+            ],
+        )
+        .unwrap();
+        let kernel = &kernel;
+        let outputs: Vec<Vec<f32>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(move || {
+                        let mut cfg = DeviceConfig::test_tiny();
+                        cfg.parallelism = 2;
+                        let mut dev = Device::new(cfg).unwrap();
+                        let dst = dev.create_buffer::<f32>("dst", 8).unwrap();
+                        assert_eq!(dst, dst0);
+                        dev.launch(kernel, NdRange::new_1d(8, 4).unwrap()).unwrap();
+                        dev.read_buffer::<f32>(dst).unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(kernel.take_runtime_error().is_none());
+        let expected: Vec<f32> = (0..8).map(|i| (i * (i + 1)) as f32).collect();
+        for out in outputs {
+            assert_eq!(out, expected);
+        }
     }
 
     #[test]

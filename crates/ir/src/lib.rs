@@ -11,7 +11,12 @@
 //! * an **interpreter** ([`IrKernel`]) that runs checked kernels on the
 //!   [`kp_gpu_sim`] simulator with exact OpenCL barrier semantics — IR
 //!   kernels and hand-written Rust kernels produce identical results *and*
-//!   identical performance counters;
+//!   identical performance counters. Kernels compile once to a register
+//!   [`bytecode`] at construction and run through the [`optimize`] pass
+//!   pipeline (constant folding, CSE, dead-code/dead-phase elimination);
+//!   the tree walk and the unoptimized bytecode are retained as
+//!   differential references selected by [`kp_gpu_sim::ExecMode`] and
+//!   [`kp_gpu_sim::OptLevel`];
 //! * a **stencil analysis** ([`analysis`]) that recognizes the canonical
 //!   2D image-kernel shape and infers the input buffer, window and halo;
 //! * the **perforation pass** ([`transform::perforate_kernel`]) that
@@ -52,6 +57,7 @@ mod compile;
 mod error;
 mod interp;
 pub mod lexer;
+pub mod optimize;
 pub mod parser;
 pub mod pretty;
 pub mod token;

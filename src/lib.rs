@@ -17,6 +17,9 @@
 //! | [`data`] | synthetic input-data substrate (images, Hotspot grids, PGM I/O) |
 //! | [`ir`] | PerfCL kernel language + the automatic perforation compiler pass |
 //!
+//! Architecture notes live in `docs/ARCHITECTURE.md`; the PerfCL
+//! bytecode instruction set is documented in `docs/BYTECODE.md`.
+//!
 //! ## End-to-end example
 //!
 //! ```
@@ -41,8 +44,52 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Compiled, optimized, and reference execution
+//!
+//! PerfCL kernels compile to register bytecode at construction and run
+//! through an optimizer pass pipeline (constant folding, CSE, dead-code
+//! and dead-phase elimination — see `docs/BYTECODE.md`). The device's
+//! [`gpu_sim::ExecMode`] and [`gpu_sim::OptLevel`] knobs select between
+//! the optimized bytecode (default), the as-lowered bytecode, and the
+//! tree-walking evaluator; all three are bit-identical by contract:
+//!
+//! ```
+//! use kernel_perforation::gpu_sim::{Device, DeviceConfig, NdRange, OptLevel};
+//! use kernel_perforation::ir::{ArgValue, IrKernel};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let src = "kernel scale(global const float* src, global float* dst, int w) {
+//!                int x = get_global_id(0);
+//!                dst[clamp(x, 0, w - 1)] = src[clamp(x, 0, w - 1)] * 2.0;
+//!            }";
+//!
+//! let run = |opt: OptLevel| -> Result<Vec<f32>, Box<dyn std::error::Error>> {
+//!     let mut cfg = DeviceConfig::test_tiny();
+//!     cfg.opt_level = opt;
+//!     let mut dev = Device::new(cfg)?;
+//!     let a = dev.create_buffer_from("src", &[1.0f32, 2.0, 3.0, 4.0])?;
+//!     let b = dev.create_buffer::<f32>("dst", 4)?;
+//!     let kernel = IrKernel::from_source(src, &[
+//!         ("src", ArgValue::Buffer(a)),
+//!         ("dst", ArgValue::Buffer(b)),
+//!         ("w", ArgValue::Int(4)),
+//!     ])?;
+//!     // The optimizer folded `w - 1` (a frozen parameter) and CSE'd the
+//!     // repeated clamp: fewer instructions, identical results.
+//!     assert!(kernel.optimized().len() < kernel.compiled().len());
+//!     assert!(kernel.opt_stats().cse_reused >= 1);
+//!     dev.launch(&kernel, NdRange::new_1d(4, 4)?)?;
+//!     Ok(dev.read_buffer::<f32>(b)?)
+//! };
+//!
+//! assert_eq!(run(OptLevel::Full)?, run(OptLevel::None)?);
+//! assert_eq!(run(OptLevel::Full)?, vec![2.0, 4.0, 6.0, 8.0]);
+//! # Ok(())
+//! # }
+//! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use kp_apps as apps;
 pub use kp_core as core;

@@ -1,14 +1,16 @@
 //! Bytecode-VM differential suite.
 //!
 //! The `kp-ir` interpreter compiles kernels to register bytecode at
-//! construction and keeps the tree-walking evaluator as the reference
-//! (`ExecMode::Interpreted`), mirroring how `launch_serial` is the
-//! reference for the parallel launch engine. This suite asserts the whole
-//! contract at once, app by app: **outputs (bit for bit), launch reports
-//! (statistics + timing), runtime errors and fault logs must be identical**
-//! across
+//! construction, runs the optimizer pass pipeline over it, and keeps both
+//! slower strategies as references: the tree-walking evaluator
+//! (`ExecMode::Interpreted`) and the as-lowered bytecode
+//! (`OptLevel::None`), mirroring how `launch_serial` is the reference for
+//! the parallel launch engine. This suite asserts the whole contract at
+//! once, app by app: **outputs (bit for bit), launch reports (statistics
+//! + timing), runtime errors and fault logs must be identical** across
 //!
-//! * both execution modes (compiled VM vs. tree walk), and
+//! * all three execution strategies — tree walk, unoptimized VM,
+//!   optimized VM — and
 //! * both launch frontends — serial reference and parallel engine at
 //!   worker counts 1, 2, 8 and auto —
 //!
@@ -18,7 +20,7 @@
 use kernel_perforation::apps::perfcl::{self, PerfclApp};
 use kernel_perforation::data::synth;
 use kernel_perforation::gpu_sim::{
-    Device, DeviceConfig, ExecMode, LaunchReport, NdRange, SimError,
+    Device, DeviceConfig, ExecMode, LaunchReport, NdRange, OptLevel, SimError,
 };
 use kernel_perforation::ir::{
     ast::KernelDef,
@@ -45,6 +47,14 @@ const LAUNCHES: [Launch; 5] = [
     Launch::Parallel(0),
 ];
 
+/// The three execution strategies every case runs under: tree walk,
+/// as-lowered bytecode, optimized bytecode.
+const STRATEGIES: [(ExecMode, OptLevel); 3] = [
+    (ExecMode::Interpreted, OptLevel::Full), // opt level ignored
+    (ExecMode::Compiled, OptLevel::None),
+    (ExecMode::Compiled, OptLevel::Full),
+];
+
 /// Everything observable from one launch, in comparable form.
 #[derive(Debug, Clone, PartialEq)]
 struct Outcome {
@@ -68,11 +78,12 @@ fn run_case(
     aux: &[f32],
     (w, h): (usize, usize),
     group: (usize, usize),
-    mode: ExecMode,
+    (mode, opt): (ExecMode, OptLevel),
     launch: Launch,
 ) -> Outcome {
     let mut cfg = DeviceConfig::firepro_w5100();
     cfg.exec_mode = mode;
+    cfg.opt_level = opt;
     if let Launch::Parallel(threads) = launch {
         cfg.parallelism = threads;
     }
@@ -139,15 +150,16 @@ fn assert_matrix_identical(
         &aux,
         (w, h),
         group,
-        ExecMode::Compiled,
+        (ExecMode::Compiled, OptLevel::Full),
         Launch::Serial,
     );
-    for mode in [ExecMode::Compiled, ExecMode::Interpreted] {
+    for strategy in STRATEGIES {
         for launch in LAUNCHES {
-            let outcome = run_case(def, app, &data, &aux, (w, h), group, mode, launch);
+            let outcome = run_case(def, app, &data, &aux, (w, h), group, strategy, launch);
             assert_eq!(
                 outcome, reference,
-                "{label}: {mode} / {launch:?} diverges from compiled serial"
+                "{label}: {:?} / {launch:?} diverges from optimized-compiled serial",
+                strategy
             );
         }
     }
@@ -238,7 +250,7 @@ fn fault_logs_are_identical_across_modes_and_launches() {
         &data,
         (24, 16),
         (8, 8),
-        ExecMode::Compiled,
+        (ExecMode::Compiled, OptLevel::Full),
         Launch::Serial,
     );
     match outcome.error {
@@ -279,7 +291,7 @@ fn runtime_errors_are_identical_across_modes_and_launches() {
         &data,
         (24, 16),
         (8, 8),
-        ExecMode::Interpreted,
+        (ExecMode::Interpreted, OptLevel::Full),
         Launch::Parallel(2),
     );
     let err = outcome.runtime_error.expect("division must be reported");
