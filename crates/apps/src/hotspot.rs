@@ -184,7 +184,8 @@ mod tests {
         let temp = input.temperature.as_slice().to_vec();
         let power = input.power.as_slice().to_vec();
         let params = HotspotParams::rodinia();
-        assert_kernel_matches_reference(&Hotspot::new(), &temp, Some(&power), 32, 32, |t, p| {
+        static APP: Hotspot = Hotspot::new();
+        assert_kernel_matches_reference(&APP, &temp, Some(&power), 32, 32, |t, p| {
             reference_step(&params, t, p.unwrap(), 32, 32)
         });
     }

@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::CoreError;
 use crate::metrics::ErrorMetric;
-use crate::pipeline::StencilApp;
+use crate::pipeline::AppRef;
 use crate::runner::{ImageInput, RunSpec};
 use crate::tuner::{sweep, SweepContext, SweepOutcome};
 
@@ -53,7 +53,7 @@ pub fn best_under_budget(outcomes: &[SweepOutcome], budget: f64) -> Option<&Swee
 /// Propagates sweep errors; returns [`CoreError::Input`] if
 /// `calibration_inputs` is empty.
 pub fn select_with_budget(
-    app: &dyn StencilApp,
+    app: AppRef,
     calibration_inputs: &[ImageInput<'_>],
     specs: &[RunSpec],
     metric: ErrorMetric,
@@ -109,7 +109,7 @@ pub fn select_with_budget(
 mod tests {
     use super::*;
     use crate::config::ApproxConfig;
-    use crate::pipeline::Window;
+    use crate::pipeline::{StencilApp, Window};
     use crate::tuner::fig8_specs;
 
     struct Blur;

@@ -17,7 +17,7 @@
 use kp_gpu_sim::{ItemCtx, Kernel, NdRange, NdRangeError};
 use serde::{Deserialize, Serialize};
 
-use crate::pipeline::{ImageBinding, StencilApp};
+use crate::pipeline::{AppRef, ImageBinding, StencilApp};
 use crate::tile::clamp_coord;
 
 /// Aggressiveness of the output approximation.
@@ -118,16 +118,25 @@ impl std::fmt::Display for ParaproxScheme {
 
 /// Output-approximation kernel: each work item computes one element and
 /// broadcasts it to its band.
-#[derive(Debug)]
-pub struct ParaproxKernel<'a, A: ?Sized> {
-    app: &'a A,
+pub struct ParaproxKernel {
+    app: AppRef,
     img: ImageBinding,
     scheme: ParaproxScheme,
 }
 
-impl<'a, A: StencilApp + ?Sized> ParaproxKernel<'a, A> {
+impl std::fmt::Debug for ParaproxKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParaproxKernel")
+            .field("app", &self.app.name())
+            .field("img", &self.img)
+            .field("scheme", &self.scheme)
+            .finish()
+    }
+}
+
+impl ParaproxKernel {
     /// Wraps `app` with the given output-approximation scheme.
-    pub fn new(app: &'a A, img: ImageBinding, scheme: ParaproxScheme) -> Self {
+    pub fn new(app: AppRef, img: ImageBinding, scheme: ParaproxScheme) -> Self {
         Self { app, img, scheme }
     }
 
@@ -137,9 +146,13 @@ impl<'a, A: StencilApp + ?Sized> ParaproxKernel<'a, A> {
     }
 }
 
-impl<A: StencilApp + ?Sized> Kernel for ParaproxKernel<'_, A> {
+impl Kernel for ParaproxKernel {
     fn name(&self) -> &str {
         self.app.name()
+    }
+
+    fn buffer_usage(&self) -> Option<kp_gpu_sim::BufferUse> {
+        Some(self.img.buffer_usage())
     }
 
     fn run_phase(&self, _phase: usize, ctx: &mut ItemCtx<'_>) {

@@ -17,12 +17,23 @@
 //! Because all three share the same `compute` body, output differences are
 //! purely due to perforation — exactly how the paper measures error.
 
-use kp_gpu_sim::{BufferId, ElemKind, ItemCtx, Kernel, LocalId, LocalSpec};
+use kp_gpu_sim::{BufferId, BufferUse, ElemKind, ItemCtx, Kernel, LocalId, LocalSpec};
 
 use crate::config::ApproxConfig;
 use crate::reconstruction::reconstruct_element;
 use crate::scheme::PerforationScheme;
 use crate::tile::{clamp_coord, TileGeometry};
+
+/// A shared reference to a stencil application.
+///
+/// Kernel variants built from an app are submitted to the simulator's
+/// command queues, whose commands must be `'static` + `Send` — so the
+/// kernels hold `'static` app references rather than scoped borrows. In
+/// practice apps are stateless registry entries (`kp_apps::suite` keeps
+/// them in `static`s) or unit structs, for which `&App` promotes to
+/// `&'static App` automatically at the call site; dynamically configured
+/// apps can use `Box::leak`.
+pub type AppRef = &'static (dyn StencilApp + Send + Sync);
 
 /// A data-parallel application: one output element per work item, computed
 /// from a `(2·halo+1)²` window of the primary input (plus optionally a
@@ -252,25 +263,50 @@ impl ImageBinding {
         let y = ctx.global_id(1);
         (x < self.width && y < self.height).then_some((x, y))
     }
+
+    /// Declared buffer usage of every kernel variant over this binding:
+    /// the inputs are read, the output is written. This is what lets the
+    /// command-queue scheduler overlap launches over disjoint bindings
+    /// (e.g. a tuner sweep's candidates, which share the input buffer but
+    /// write distinct outputs).
+    pub(crate) fn buffer_usage(&self) -> BufferUse {
+        let mut reads = vec![self.input];
+        if let Some(aux) = self.aux {
+            reads.push(aux);
+        }
+        BufferUse::new(reads, vec![self.output])
+    }
 }
 
 /// Accurate kernel reading its window directly from global memory.
-#[derive(Debug)]
-pub struct AccurateGlobalKernel<'a, A: ?Sized> {
-    app: &'a A,
+pub struct AccurateGlobalKernel {
+    app: AppRef,
     img: ImageBinding,
 }
 
-impl<'a, A: StencilApp + ?Sized> AccurateGlobalKernel<'a, A> {
+impl std::fmt::Debug for AccurateGlobalKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AccurateGlobalKernel")
+            .field("app", &self.app.name())
+            .field("img", &self.img)
+            .finish()
+    }
+}
+
+impl AccurateGlobalKernel {
     /// Wraps `app` over the given buffers.
-    pub fn new(app: &'a A, img: ImageBinding) -> Self {
+    pub fn new(app: AppRef, img: ImageBinding) -> Self {
         Self { app, img }
     }
 }
 
-impl<A: StencilApp + ?Sized> Kernel for AccurateGlobalKernel<'_, A> {
+impl Kernel for AccurateGlobalKernel {
     fn name(&self) -> &str {
         self.app.name()
+    }
+
+    fn buffer_usage(&self) -> Option<BufferUse> {
+        Some(self.img.buffer_usage())
     }
 
     fn run_phase(&self, _phase: usize, ctx: &mut ItemCtx<'_>) {
@@ -408,16 +444,25 @@ fn tile_compute<A: StencilApp + ?Sized>(
 
 /// Best-practice accurate kernel: cooperative tile prefetch into local
 /// memory, then compute (2 phases).
-#[derive(Debug)]
-pub struct AccurateLocalKernel<'a, A: ?Sized> {
-    app: &'a A,
+pub struct AccurateLocalKernel {
+    app: AppRef,
     img: ImageBinding,
     tiles: Tiles,
 }
 
-impl<'a, A: StencilApp + ?Sized> AccurateLocalKernel<'a, A> {
+impl std::fmt::Debug for AccurateLocalKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AccurateLocalKernel")
+            .field("app", &self.app.name())
+            .field("img", &self.img)
+            .field("tiles", &self.tiles)
+            .finish()
+    }
+}
+
+impl AccurateLocalKernel {
     /// Wraps `app` with a tile sized for work groups of `group`.
-    pub fn new(app: &'a A, img: ImageBinding, group: (usize, usize)) -> Self {
+    pub fn new(app: AppRef, img: ImageBinding, group: (usize, usize)) -> Self {
         let tiles = Tiles::new(app, group);
         Self { app, img, tiles }
     }
@@ -426,7 +471,7 @@ impl<'a, A: StencilApp + ?Sized> AccurateLocalKernel<'a, A> {
 const TILE: LocalId = LocalId(0);
 const AUX_TILE: LocalId = LocalId(1);
 
-impl<A: StencilApp + ?Sized> Kernel for AccurateLocalKernel<'_, A> {
+impl Kernel for AccurateLocalKernel {
     fn name(&self) -> &str {
         self.app.name()
     }
@@ -437,6 +482,10 @@ impl<A: StencilApp + ?Sized> Kernel for AccurateLocalKernel<'_, A> {
 
     fn local_buffers(&self) -> Vec<LocalSpec> {
         self.tiles.local_specs()
+    }
+
+    fn buffer_usage(&self) -> Option<BufferUse> {
+        Some(self.img.buffer_usage())
     }
 
     fn run_phase(&self, phase: usize, ctx: &mut ItemCtx<'_>) {
@@ -451,15 +500,24 @@ impl<A: StencilApp + ?Sized> Kernel for AccurateLocalKernel<'_, A> {
 
 /// The paper's local memory-aware perforated kernel: perforated load,
 /// local reconstruction, compute (3 phases).
-#[derive(Debug)]
-pub struct PerforatedKernel<'a, A: ?Sized> {
-    app: &'a A,
+pub struct PerforatedKernel {
+    app: AppRef,
     img: ImageBinding,
     tiles: Tiles,
     config: ApproxConfig,
 }
 
-impl<'a, A: StencilApp + ?Sized> PerforatedKernel<'a, A> {
+impl std::fmt::Debug for PerforatedKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PerforatedKernel")
+            .field("app", &self.app.name())
+            .field("img", &self.img)
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PerforatedKernel {
     /// Wraps `app` with the given perforation configuration. All input
     /// buffers are perforated: the primary input through the halo-padded
     /// tile and, when the app uses one, the auxiliary input through a
@@ -470,7 +528,7 @@ impl<'a, A: StencilApp + ?Sized> PerforatedKernel<'a, A> {
     /// Returns [`crate::CoreError::IllegalConfig`] if the configuration is
     /// invalid for the app's halo (see [`ApproxConfig::validate`]).
     pub fn new(
-        app: &'a A,
+        app: AppRef,
         img: ImageBinding,
         config: ApproxConfig,
     ) -> Result<Self, crate::CoreError> {
@@ -490,7 +548,7 @@ impl<'a, A: StencilApp + ?Sized> PerforatedKernel<'a, A> {
     }
 }
 
-impl<A: StencilApp + ?Sized> Kernel for PerforatedKernel<'_, A> {
+impl Kernel for PerforatedKernel {
     fn name(&self) -> &str {
         self.app.name()
     }
@@ -501,6 +559,10 @@ impl<A: StencilApp + ?Sized> Kernel for PerforatedKernel<'_, A> {
 
     fn local_buffers(&self) -> Vec<LocalSpec> {
         self.tiles.local_specs()
+    }
+
+    fn buffer_usage(&self) -> Option<BufferUse> {
+        Some(self.img.buffer_usage())
     }
 
     fn run_phase(&self, phase: usize, ctx: &mut ItemCtx<'_>) {

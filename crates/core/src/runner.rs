@@ -1,16 +1,25 @@
 //! End-to-end execution: allocate buffers, build the requested kernel
-//! variant, launch, and collect output + report.
+//! variant, enqueue it on a command queue, and collect output + report.
 //!
 //! This is the glue the tuner, the error-budget helper, the benchmark
-//! harness and the examples all share.
+//! harness and the examples all share. Two entry points:
+//!
+//! * [`run_app`] — one variant, enqueue + wait (blocking convenience);
+//! * [`run_specs_batched`] — many variants of one app submitted as a
+//!   single command stream: all launches share the input buffer (reads
+//!   never conflict) and write distinct outputs, so the queue scheduler
+//!   overlaps them across worker threads. Results are bit-identical to
+//!   running the specs one at a time, in order.
 
-use kp_gpu_sim::{Device, LaunchReport, NdRange};
+use std::sync::Arc;
+
+use kp_gpu_sim::{Device, Event, Kernel, LaunchReport, NdRange, Queue};
 
 use crate::config::ApproxConfig;
 use crate::error::CoreError;
 use crate::paraprox::{ParaproxKernel, ParaproxScheme};
 use crate::pipeline::{
-    AccurateGlobalKernel, AccurateLocalKernel, ImageBinding, PerforatedKernel, StencilApp,
+    AccurateGlobalKernel, AccurateLocalKernel, AppRef, ImageBinding, PerforatedKernel,
 };
 
 /// One input to an application: a row-major `f32` image plus an optional
@@ -94,7 +103,7 @@ pub enum RunSpec {
         group: (usize, usize),
     },
     /// The app's best-practice accurate baseline:
-    /// [`StencilApp::baseline_uses_local`] picks global or local.
+    /// [`crate::StencilApp::baseline_uses_local`] picks global or local.
     Baseline {
         /// Work-group size.
         group: (usize, usize),
@@ -151,7 +160,102 @@ fn image_range(width: usize, height: usize, group: (usize, usize)) -> Result<NdR
     NdRange::new_2d((gx, gy), group).map_err(|e| CoreError::Sim(e.into()))
 }
 
-/// Executes one variant of `app` on `input` using `dev`.
+/// Builds the kernel variant a spec describes, plus its launch range.
+/// The kernel comes back type-erased and shareable — exactly what
+/// [`Queue::enqueue_launch`] stores in the command stream.
+fn build_kernel(
+    app: AppRef,
+    img: &ImageBinding,
+    spec: &RunSpec,
+) -> Result<(Arc<dyn Kernel + Send + Sync>, NdRange), CoreError> {
+    Ok(match *spec {
+        RunSpec::AccurateGlobal { group } => {
+            let range = image_range(img.width, img.height, group)?;
+            (Arc::new(AccurateGlobalKernel::new(app, *img)), range)
+        }
+        RunSpec::AccurateLocal { group } => {
+            let range = image_range(img.width, img.height, group)?;
+            (Arc::new(AccurateLocalKernel::new(app, *img, group)), range)
+        }
+        RunSpec::Baseline { group } => {
+            let range = image_range(img.width, img.height, group)?;
+            if app.baseline_uses_local() {
+                (Arc::new(AccurateLocalKernel::new(app, *img, group)), range)
+            } else {
+                (Arc::new(AccurateGlobalKernel::new(app, *img)), range)
+            }
+        }
+        RunSpec::Perforated(config) => {
+            let range = image_range(img.width, img.height, config.group)?;
+            (Arc::new(PerforatedKernel::new(app, *img, config)?), range)
+        }
+        RunSpec::Paraprox { scheme, group } => {
+            let range = scheme
+                .launch_range(img.width, img.height, group)
+                .map_err(|e| CoreError::Sim(e.into()))?;
+            (Arc::new(ParaproxKernel::new(app, *img, scheme)), range)
+        }
+    })
+}
+
+/// One spec's buffers plus its in-flight events.
+struct InFlight {
+    img: ImageBinding,
+    launch: Event,
+    read: Event,
+}
+
+/// Allocates a spec's output buffer, builds its kernel and enqueues
+/// launch + read-back on `queue`.
+fn submit_spec(
+    dev: &mut Device,
+    queue: &Queue,
+    app: AppRef,
+    input: (kp_gpu_sim::BufferId, Option<kp_gpu_sim::BufferId>),
+    (width, height): (usize, usize),
+    spec: &RunSpec,
+) -> Result<InFlight, CoreError> {
+    let out_buf = dev.create_buffer::<f32>("output", width * height)?;
+    let img = ImageBinding {
+        input: input.0,
+        aux: input.1,
+        output: out_buf,
+        width,
+        height,
+    };
+    let (kernel, range) = match build_kernel(app, &img, spec) {
+        Ok(k) => k,
+        Err(e) => {
+            let _ = dev.release_buffer(out_buf);
+            return Err(e);
+        }
+    };
+    let enqueue = || -> Result<(Event, Event), kp_gpu_sim::SimError> {
+        let launch = queue.enqueue_launch(kernel, range, &[])?;
+        // The read is hazard-ordered after the launch already; the
+        // explicit wait-list documents the intent.
+        let read = queue.enqueue_read::<f32>(img.output, std::slice::from_ref(&launch))?;
+        Ok((launch, read))
+    };
+    match enqueue() {
+        Ok((launch, read)) => Ok(InFlight { img, launch, read }),
+        Err(e) => {
+            let _ = dev.release_buffer(out_buf);
+            Err(e.into())
+        }
+    }
+}
+
+/// Reaps one in-flight spec: waits for its events and collects the result.
+fn reap(job: &InFlight) -> Result<RunResult, CoreError> {
+    let report = job.launch.wait_report()?;
+    let output = job.read.wait_read::<f32>()?;
+    Ok(RunResult { output, report })
+}
+
+/// Executes one variant of `app` on `input` using `dev` — enqueue + wait
+/// on a fresh command queue (see [`run_specs_batched`] for submitting
+/// many variants as one overlappable stream).
 ///
 /// Buffers are allocated on entry and released before returning, so a
 /// single device can serve arbitrarily many runs.
@@ -162,77 +266,95 @@ fn image_range(width: usize, height: usize, group: (usize, usize)) -> Result<NdR
 /// errors ([`CoreError::IllegalConfig`]).
 pub fn run_app(
     dev: &mut Device,
-    app: &dyn StencilApp,
+    app: AppRef,
     input: &ImageInput<'_>,
     spec: &RunSpec,
 ) -> Result<RunResult, CoreError> {
-    let n = input.width * input.height;
+    let mut results = run_specs_batched(dev, app, input, std::slice::from_ref(spec))?;
+    Ok(results.remove(0))
+}
+
+/// Executes many variants of one app as a **batched command stream**: one
+/// queue, one shared input buffer (plus aux), one output buffer per spec.
+/// Launches over disjoint outputs have no hazards between them, so the
+/// scheduler overlaps them across worker threads
+/// ([`kp_gpu_sim::DeviceConfig::parallelism`] is the budget); results are
+/// returned in spec order and are bit-identical to running the specs one
+/// at a time.
+///
+/// All buffers are released before returning, even on error.
+///
+/// # Errors
+///
+/// Fails on the first spec that cannot be built or enqueued, and on the
+/// first reaped launch that failed ([`CoreError::Sim`]).
+pub fn run_specs_batched(
+    dev: &mut Device,
+    app: AppRef,
+    input: &ImageInput<'_>,
+    specs: &[RunSpec],
+) -> Result<Vec<RunResult>, CoreError> {
     let in_buf = dev.create_buffer_from("input", input.data)?;
     let aux_buf = match input.aux {
-        Some(aux) => Some(dev.create_buffer_from("aux", aux)?),
+        Some(aux) => match dev.create_buffer_from("aux", aux) {
+            Ok(id) => Some(id),
+            Err(e) => {
+                let _ = dev.release_buffer(in_buf);
+                return Err(e.into());
+            }
+        },
         None => None,
     };
-    let out_buf = dev.create_buffer::<f32>("output", n)?;
-    let img = ImageBinding {
-        input: in_buf,
-        aux: aux_buf,
-        output: out_buf,
-        width: input.width,
-        height: input.height,
-    };
 
-    let result = launch_spec(dev, app, &img, spec);
+    let queue = dev.create_queue();
+    let mut jobs: Vec<InFlight> = Vec::with_capacity(specs.len());
+    let mut failure: Option<CoreError> = None;
+    for spec in specs {
+        match submit_spec(
+            dev,
+            &queue,
+            app,
+            (in_buf, aux_buf),
+            (input.width, input.height),
+            spec,
+        ) {
+            Ok(job) => jobs.push(job),
+            Err(e) => {
+                failure = Some(e);
+                break;
+            }
+        }
+    }
 
-    // Release buffers regardless of launch outcome.
+    // Reap in spec order (events may complete in any order internally).
+    let mut results = Vec::with_capacity(jobs.len());
+    if failure.is_none() {
+        for job in &jobs {
+            match reap(job) {
+                Ok(r) => results.push(r),
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+    }
+
+    // Finish whatever the error paths left pending, then release all
+    // buffers regardless of outcome.
+    let _ = queue.finish();
+    drop(queue);
+    for job in &jobs {
+        let _ = dev.release_buffer(job.img.output);
+    }
     let _ = dev.release_buffer(in_buf);
     if let Some(aux) = aux_buf {
         let _ = dev.release_buffer(aux);
     }
-    let outcome = match result {
-        Ok((output, report)) => Ok(RunResult { output, report }),
-        Err(e) => Err(e),
-    };
-    let _ = dev.release_buffer(out_buf);
-    outcome
-}
-
-fn launch_spec(
-    dev: &mut Device,
-    app: &dyn StencilApp,
-    img: &ImageBinding,
-    spec: &RunSpec,
-) -> Result<(Vec<f32>, LaunchReport), CoreError> {
-    let report = match *spec {
-        RunSpec::AccurateGlobal { group } => {
-            let range = image_range(img.width, img.height, group)?;
-            dev.launch(&AccurateGlobalKernel::new(app, *img), range)?
-        }
-        RunSpec::AccurateLocal { group } => {
-            let range = image_range(img.width, img.height, group)?;
-            dev.launch(&AccurateLocalKernel::new(app, *img, group), range)?
-        }
-        RunSpec::Baseline { group } => {
-            let range = image_range(img.width, img.height, group)?;
-            if app.baseline_uses_local() {
-                dev.launch(&AccurateLocalKernel::new(app, *img, group), range)?
-            } else {
-                dev.launch(&AccurateGlobalKernel::new(app, *img), range)?
-            }
-        }
-        RunSpec::Perforated(config) => {
-            let range = image_range(img.width, img.height, config.group)?;
-            let kernel = PerforatedKernel::new(app, *img, config)?;
-            dev.launch(&kernel, range)?
-        }
-        RunSpec::Paraprox { scheme, group } => {
-            let range = scheme
-                .launch_range(img.width, img.height, group)
-                .map_err(|e| CoreError::Sim(e.into()))?;
-            dev.launch(&ParaproxKernel::new(app, *img, scheme), range)?
-        }
-    };
-    let output = dev.read_buffer::<f32>(img.output)?;
-    Ok((output, report))
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(results),
+    }
 }
 
 /// Runs `iterations` ping-pong steps of an iterative solver (e.g. Hotspot):
@@ -245,7 +367,7 @@ fn launch_spec(
 /// As [`run_app`]; additionally [`CoreError::Input`] if `iterations == 0`.
 pub fn run_iterative(
     dev: &mut Device,
-    app: &dyn StencilApp,
+    app: AppRef,
     input: &ImageInput<'_>,
     spec: &RunSpec,
     iterations: usize,
@@ -276,7 +398,7 @@ pub fn run_iterative(
 mod tests {
     use super::*;
     use crate::paraprox::ParaproxLevel;
-    use crate::pipeline::Window;
+    use crate::pipeline::{StencilApp, Window};
     use kp_gpu_sim::DeviceConfig;
 
     struct Blur;

@@ -4,34 +4,38 @@
 //! A sweep runs a list of kernel variants against one input, measures each
 //! variant's simulated runtime and output error (against the accurate
 //! output), and reports speedups relative to a chosen baseline variant.
-//! Variants are evaluated in parallel on per-thread devices — functional
-//! results are deterministic, so parallelism cannot change any number.
-//! The worker plumbing lives in [`crate::par`]; each variant's launches
-//! run with in-launch parallelism pinned to 1 so the sweep, not the
-//! simulator, saturates the cores.
 //!
-//! Every per-variant device is cloned from the context's
-//! [`DeviceConfig`], so its [`kp_gpu_sim::ExecMode`] — compiled bytecode
-//! vs. tree-walking reference for IR-backed kernels — threads through the
-//! whole sweep unchanged; the two modes are bit-identical by contract, so
-//! switching it can only change sweep wall-clock time, never a result.
+//! All candidate variants of a sweep are submitted as **one batched
+//! command stream** on one device ([`crate::run_specs_batched`]): every
+//! candidate's launch + read-back is enqueued up front, the queue
+//! scheduler overlaps independent candidates across worker threads
+//! (they share the read-only input buffer and write disjoint outputs, so
+//! the inferred hazard DAG has no edges between them), and events are
+//! reaped in spec order. Functional results are deterministic — the
+//! command stream is bit-identical to in-order execution — so concurrency
+//! cannot change any number. [`kp_gpu_sim::DeviceConfig::parallelism`]
+//! (default: all cores) is the concurrency budget.
+//!
+//! The context's [`DeviceConfig`] also threads [`kp_gpu_sim::ExecMode`] —
+//! compiled bytecode vs. tree-walking reference for IR-backed kernels —
+//! through the whole sweep unchanged; the two modes are bit-identical by
+//! contract, so switching it can only change sweep wall-clock time, never
+//! a result.
 
 use kp_gpu_sim::{Device, DeviceConfig};
 use serde::{Deserialize, Serialize};
-
-use crate::par::parallel_ordered_map;
 
 use crate::config::ApproxConfig;
 use crate::error::CoreError;
 use crate::metrics::ErrorMetric;
 use crate::pareto::{pareto_front, TradeOff};
-use crate::pipeline::StencilApp;
-use crate::runner::{run_app, ImageInput, RunSpec};
+use crate::pipeline::AppRef;
+use crate::runner::{run_app, run_specs_batched, ImageInput, RunSpec};
 
 /// Everything a sweep needs besides the variant list.
 pub struct SweepContext<'a> {
     /// The application under test.
-    pub app: &'a dyn StencilApp,
+    pub app: AppRef,
     /// The input image.
     pub input: ImageInput<'a>,
     /// Error metric (per paper Table 1).
@@ -79,7 +83,10 @@ impl SweepOutcome {
 }
 
 /// Runs `specs` against the context and returns one outcome per spec, in
-/// order.
+/// order. All candidates go through one batched command stream (see the
+/// module docs); the accurate reference and the baseline timing run first
+/// on their own devices so candidate overlap cannot even share a queue
+/// with them.
 ///
 /// # Errors
 ///
@@ -105,39 +112,27 @@ pub fn sweep(ctx: &SweepContext<'_>, specs: &[RunSpec]) -> Result<Vec<SweepOutco
         .report
         .seconds;
 
-    // One sweep worker per core regardless of the context's in-launch
-    // parallelism knob: the two widths are independent (a config pinning
-    // launches to one thread for reproducibility must not serialize the
-    // sweep itself).
-    parallel_ordered_map(specs, 0, |_, spec| {
-        evaluate_one(ctx, &reference, baseline_seconds, spec)
-    })
-    .into_iter()
-    .collect()
-}
-
-fn evaluate_one(
-    ctx: &SweepContext<'_>,
-    reference: &[f32],
-    baseline_seconds: f64,
-    spec: &RunSpec,
-) -> Result<SweepOutcome, CoreError> {
-    // One device per evaluation; launches stay single-threaded because the
-    // sweep itself runs one worker per core.
-    let mut cfg = ctx.device.clone();
-    cfg.parallelism = 1;
-    let mut dev = Device::new(cfg)?;
-    let run = run_app(&mut dev, ctx.app, &ctx.input, spec)?;
-    let error = ctx.metric.evaluate(reference, &run.output);
-    let seconds = run.report.seconds;
-    Ok(SweepOutcome {
-        label: spec.label(),
-        group: spec.group(),
-        seconds,
-        speedup: baseline_seconds / seconds,
-        error,
-        read_transactions: run.report.stats.global_read_transactions,
-    })
+    // Candidates: one queue, all launches enqueued before the first event
+    // is reaped, overlap decided by the hazard DAG (none between
+    // candidates) and the device's parallelism budget.
+    let mut dev = Device::new(ctx.device.clone())?;
+    let runs = run_specs_batched(&mut dev, ctx.app, &ctx.input, specs)?;
+    Ok(specs
+        .iter()
+        .zip(runs)
+        .map(|(spec, run)| {
+            let error = ctx.metric.evaluate(&reference, &run.output);
+            let seconds = run.report.seconds;
+            SweepOutcome {
+                label: spec.label(),
+                group: spec.group(),
+                seconds,
+                speedup: baseline_seconds / seconds,
+                error,
+                read_transactions: run.report.stats.global_read_transactions,
+            }
+        })
+        .collect())
 }
 
 /// Returns the indices of the Pareto-optimal outcomes (by speedup/error).
@@ -183,7 +178,7 @@ pub fn fig9_shapes() -> Vec<(usize, usize)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::Window;
+    use crate::pipeline::{StencilApp, Window};
 
     struct Blur;
 

@@ -1,42 +1,128 @@
-//! The simulated device: buffer lifecycle and the launch frontends.
+//! The simulated device: buffer lifecycle, command queues and the
+//! blocking launch shims.
 //!
-//! The execution machinery itself lives in [`crate::engine`]; this module
-//! owns the buffers and exposes the two launch entry points:
+//! The execution machinery lives in [`crate::engine`]; command scheduling
+//! lives in [`crate::queue`]. This module owns the shared device state
+//! (buffer table, configuration, command stream) and exposes:
 //!
-//! * [`Device::launch`] — the parallel deterministic engine (default),
-//! * [`Device::launch_serial`] — the legacy one-group-at-a-time path, kept
-//!   for differential testing and for kernels that cannot be shared across
-//!   threads.
+//! * [`Device::create_queue`] — the asynchronous command-stream API
+//!   ([`crate::Queue`] / [`crate::Event`]), the primary interface;
+//! * [`Device::launch`] / [`Device::launch_serial`] — thin blocking shims,
+//!   semantically `enqueue_launch` + wait, kept for the many call sites
+//!   that run one kernel at a time (and, for `launch_serial`, for kernels
+//!   that are not [`Sync`]);
+//! * blocking buffer operations ([`Device::read_buffer`],
+//!   [`Device::write_buffer`], [`Device::copy_buffer`]) — shims over the
+//!   corresponding enqueued commands: each drains the pending command
+//!   stream first, so it observes exactly the state an in-order execution
+//!   would have produced.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 use crate::buffer::{BufferId, ElemKind, RawBuffer, Scalar};
 use crate::config::DeviceConfig;
-use crate::engine::{resolve_parallelism, GroupOutcome, PlanCache, WorkerScratch};
+use crate::engine::{self, resolve_parallelism, BufTable, LaunchPlan, LaunchSetup, PlanCache};
 use crate::error::SimError;
-use crate::kernel::{FaultLog, Kernel};
+use crate::kernel::Kernel;
 use crate::local::LocalSpec;
 use crate::ndrange::NdRange;
-use crate::stats::{LaunchReport, LaunchStats, Occupancy, TimingBreakdown};
+use crate::queue::{drain_all, Queue, Sched};
+use crate::stats::LaunchReport;
 use crate::timing;
+
+/// Device state shared between the [`Device`] handle, its queues and its
+/// events. Queues and events hold [`std::sync::Weak`] references: dropping
+/// the `Device` frees the state and turns every leftover handle into
+/// [`SimError::DeviceLost`].
+pub(crate) struct DeviceShared {
+    pub(crate) state: Mutex<DeviceState>,
+    /// Signalled whenever a command completes or is cancelled; drains
+    /// block on it while other threads execute their dependencies.
+    pub(crate) cv: Condvar,
+    /// Origin of every [`crate::EventTiming`] timestamp.
+    pub(crate) epoch: Instant,
+}
+
+impl std::fmt::Debug for DeviceShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeviceShared").finish_non_exhaustive()
+    }
+}
+
+/// The mutable device state behind the lock.
+pub(crate) struct DeviceState {
+    pub(crate) cfg: DeviceConfig,
+    pub(crate) bufs: BufTable,
+    pub(crate) next_addr: u64,
+    pub(crate) used_bytes: usize,
+    pub(crate) profiling: bool,
+    pub(crate) plans: PlanCache,
+    pub(crate) sched: Sched,
+}
+
+/// Validates a launch against device limits and captures its immutable
+/// setup (plan, occupancy, local specs). Shared by the blocking shims and
+/// [`crate::Queue::enqueue_launch`], so a queued launch fails at enqueue
+/// time with exactly the error its blocking twin would return.
+pub(crate) fn prepare_launch(
+    st: &mut DeviceState,
+    name: &str,
+    phases: usize,
+    local_specs: Vec<LocalSpec>,
+    range: NdRange,
+) -> Result<(Arc<LaunchPlan>, LaunchSetup), SimError> {
+    let local_bytes = local_specs.iter().map(LocalSpec::bytes).sum();
+    if range.group_size_total() > st.cfg.max_work_group_size {
+        return Err(SimError::Launch(format!(
+            "work group of {} items exceeds device limit {}",
+            range.group_size_total(),
+            st.cfg.max_work_group_size
+        )));
+    }
+    if local_bytes > st.cfg.local_mem_bytes {
+        return Err(SimError::Launch(format!(
+            "kernel '{name}' uses {local_bytes} bytes of local memory, device limit is {}",
+            st.cfg.local_mem_bytes
+        )));
+    }
+    if phases == 0 {
+        return Err(SimError::Launch(format!(
+            "kernel '{name}' declares zero phases"
+        )));
+    }
+    let occ = timing::occupancy(&st.cfg, range.group_size_total(), local_bytes);
+    let plan = st.plans.get(&st.cfg, range);
+    Ok((
+        plan,
+        LaunchSetup {
+            local_specs,
+            phases,
+            occ,
+        },
+    ))
+}
 
 /// A simulated GPU device.
 ///
-/// Owns global-memory buffers and executes [`Kernel`]s over [`NdRange`]s.
-/// Execution is deterministic: results are bit-identical across runs,
-/// platforms and worker-thread counts (work groups execute against a
-/// global-memory snapshot and their writes are applied in row-major group
-/// order; see the crate-level "Execution model" documentation).
+/// Owns global-memory buffers and executes [`Kernel`]s over [`NdRange`]s,
+/// either through enqueued command streams ([`Device::create_queue`]) or
+/// through the blocking shims ([`Device::launch`]). Execution is
+/// deterministic: results are bit-identical across runs, platforms,
+/// worker-thread counts *and command schedules* (see the crate-level
+/// "Execution model" documentation and [`crate::Queue`]).
 ///
 /// # Examples
 ///
-/// See [`Kernel`] for an end-to-end example.
+/// See [`crate::Queue`] for the command-stream API and [`Kernel`] for a
+/// blocking end-to-end example.
 #[derive(Debug)]
 pub struct Device {
+    shared: Arc<DeviceShared>,
+    /// Host-side copies of the locked configuration, kept in sync by the
+    /// `&mut self` setters so [`Device::config`] can hand out references.
     cfg: DeviceConfig,
-    bufs: Vec<Option<RawBuffer>>,
-    next_addr: u64,
-    used_bytes: usize,
     profiling: bool,
-    plans: PlanCache,
 }
 
 impl Device {
@@ -48,22 +134,58 @@ impl Device {
     pub fn new(cfg: DeviceConfig) -> Result<Self, SimError> {
         cfg.validate().map_err(SimError::Config)?;
         Ok(Self {
+            shared: Arc::new(DeviceShared {
+                state: Mutex::new(DeviceState {
+                    cfg: cfg.clone(),
+                    bufs: Vec::new(),
+                    next_addr: 0,
+                    used_bytes: 0,
+                    profiling: true,
+                    plans: PlanCache::default(),
+                    sched: Sched::default(),
+                }),
+                cv: Condvar::new(),
+                epoch: Instant::now(),
+            }),
             cfg,
-            bufs: Vec::new(),
-            next_addr: 0,
-            used_bytes: 0,
             profiling: true,
-            plans: PlanCache::default(),
         })
     }
 
-    /// Sets the number of worker threads the launch engine uses for work
-    /// groups (`0` = one per available core). For kernels whose groups are
-    /// independent within one launch — the OpenCL contract, see the
+    fn state(&self) -> std::sync::MutexGuard<'_, DeviceState> {
+        self.shared.state.lock().expect("device state poisoned")
+    }
+
+    /// Creates a command queue on this device (see [`Queue`]).
+    ///
+    /// Any number of queues may coexist; they share one command stream
+    /// (one global enqueue order) and exist as grouping/lifetime scopes —
+    /// commands on different queues overlap exactly as freely as commands
+    /// on one queue, ordering comes from events and buffer hazards alone.
+    pub fn create_queue(&self) -> Queue {
+        let id = self.state().sched.new_queue();
+        Queue {
+            shared: Arc::downgrade(&self.shared),
+            id,
+        }
+    }
+
+    /// Executes every pending enqueued command. Blocking operations call
+    /// this internally; it is public for host code that wants a full
+    /// barrier across all queues without tracking events.
+    pub fn finish(&self) {
+        drain_all(&self.shared);
+    }
+
+    /// Sets the number of worker threads the launch engine uses
+    /// (`0` = one per available core). The same budget bounds how many
+    /// enqueued commands execute concurrently. For kernels whose groups
+    /// are independent within one launch — the OpenCL contract, see the
     /// crate-level "Execution model" docs — results are identical for
     /// every value; only wall-clock time changes.
     pub fn set_parallelism(&mut self, threads: usize) {
         self.cfg.parallelism = threads;
+        self.state().cfg.parallelism = threads;
     }
 
     /// Sets the execution strategy for kernels that carry both a bytecode
@@ -72,6 +194,7 @@ impl Device {
     /// slow differential reference.
     pub fn set_exec_mode(&mut self, mode: crate::ExecMode) {
         self.cfg.exec_mode = mode;
+        self.state().cfg.exec_mode = mode;
     }
 
     /// Sets the bytecode optimization level for kernels that carry both an
@@ -80,6 +203,7 @@ impl Device {
     /// differential reference.
     pub fn set_opt_level(&mut self, level: crate::OptLevel) {
         self.cfg.opt_level = level;
+        self.state().cfg.opt_level = level;
     }
 
     /// The device configuration.
@@ -90,9 +214,13 @@ impl Device {
     /// Enables or disables profiling. With profiling off, launches skip
     /// transaction/bank/op accounting and the report contains zeros for
     /// stats and timing — useful when only the functional result matters
-    /// (error measurements are roughly twice as fast).
+    /// (error measurements are roughly twice as fast). The flag is
+    /// captured per command at enqueue time; per-event wall-clock
+    /// timestamps ([`crate::Event::timing`]) are always available,
+    /// independent of this knob.
     pub fn set_profiling(&mut self, enabled: bool) {
         self.profiling = enabled;
+        self.state().profiling = enabled;
     }
 
     /// Whether profiling is currently enabled.
@@ -102,10 +230,13 @@ impl Device {
 
     /// Bytes of global memory currently allocated.
     pub fn used_global_bytes(&self) -> usize {
-        self.used_bytes
+        self.state().used_bytes
     }
 
     /// Allocates an uninitialized (zeroed) buffer of `len` elements.
+    ///
+    /// Allocation is immediate (host order) and never waits on pending
+    /// commands — a fresh buffer cannot conflict with any of them.
     ///
     /// # Errors
     ///
@@ -134,6 +265,7 @@ impl Device {
     }
 
     fn alloc(&mut self, kind: ElemKind, label: &str, data: Vec<u64>) -> Result<BufferId, SimError> {
+        let mut st = self.state();
         // The launch engine packs element indices into 32 bits (write-log
         // entries); cap per-buffer length so that packing can never
         // truncate, whatever global_mem_bytes a custom config allows.
@@ -147,14 +279,14 @@ impl Device {
         // Slots are packed into 24 bits alongside the 40-bit element index
         // in write-log keys, and released slots are never reused, so cap
         // the lifetime allocation count symmetrically.
-        if self.bufs.len() >= (1 << 24) {
+        if st.bufs.len() >= (1 << 24) {
             return Err(SimError::Launch(format!(
                 "buffer '{label}' exceeds the device's lifetime limit of {} allocations",
                 1 << 24
             )));
         }
         let bytes = data.len() * kind.bytes();
-        let available = self.cfg.global_mem_bytes.saturating_sub(self.used_bytes);
+        let available = st.cfg.global_mem_bytes.saturating_sub(st.used_bytes);
         if bytes > available {
             return Err(SimError::OutOfMemory {
                 requested: bytes,
@@ -163,45 +295,44 @@ impl Device {
         }
         // Align each buffer to a transaction boundary so two buffers never
         // share a coalescing block.
-        let txn = self.cfg.transaction_bytes as u64;
-        let base_addr = self.next_addr.div_ceil(txn) * txn;
-        self.next_addr = base_addr + bytes as u64;
-        self.used_bytes += bytes;
-        let id = BufferId(self.bufs.len() as u32);
-        self.bufs.push(Some(RawBuffer {
+        let txn = st.cfg.transaction_bytes as u64;
+        let base_addr = st.next_addr.div_ceil(txn) * txn;
+        st.next_addr = base_addr + bytes as u64;
+        st.used_bytes += bytes;
+        let id = BufferId(st.bufs.len() as u32);
+        st.bufs.push(Some(Arc::new(RawBuffer {
             kind,
             data,
             base_addr,
             label: label.to_owned(),
-        }));
+        })));
         Ok(id)
     }
 
-    /// Releases a buffer, making its bytes available again. The handle
-    /// becomes invalid; later use is an error (host) or fault (kernel).
+    /// Releases a buffer, making its bytes available again. Pending
+    /// enqueued commands are drained first, so every command that could
+    /// reference the buffer has completed. The handle becomes invalid;
+    /// later use is an error (host) or fault (kernel).
     ///
     /// # Errors
     ///
     /// Returns [`SimError::UnknownBuffer`] if the handle is invalid.
     pub fn release_buffer(&mut self, id: BufferId) -> Result<(), SimError> {
-        let slot = self
+        self.finish();
+        let mut st = self.state();
+        let slot = st
             .bufs
             .get_mut(id.index())
             .ok_or(SimError::UnknownBuffer(id))?;
         match slot.take() {
             Some(raw) => {
-                self.used_bytes -= raw.byte_len();
+                let bytes = raw.byte_len();
+                drop(raw);
+                st.used_bytes -= bytes;
                 Ok(())
             }
             None => Err(SimError::UnknownBuffer(id)),
         }
-    }
-
-    fn raw(&self, id: BufferId) -> Result<&RawBuffer, SimError> {
-        self.bufs
-            .get(id.index())
-            .and_then(Option::as_ref)
-            .ok_or(SimError::UnknownBuffer(id))
     }
 
     /// Number of elements in a buffer.
@@ -210,7 +341,12 @@ impl Device {
     ///
     /// Returns [`SimError::UnknownBuffer`] if the handle is invalid.
     pub fn buffer_len(&self, id: BufferId) -> Result<usize, SimError> {
-        Ok(self.raw(id)?.len())
+        let st = self.state();
+        st.bufs
+            .get(id.index())
+            .and_then(Option::as_ref)
+            .map(|raw| raw.len())
+            .ok_or(SimError::UnknownBuffer(id))
     }
 
     /// Element kind of a buffer.
@@ -219,7 +355,12 @@ impl Device {
     ///
     /// Returns [`SimError::UnknownBuffer`] if the handle is invalid.
     pub fn buffer_kind(&self, id: BufferId) -> Result<ElemKind, SimError> {
-        Ok(self.raw(id)?.kind)
+        let st = self.state();
+        st.bufs
+            .get(id.index())
+            .and_then(Option::as_ref)
+            .map(|raw| raw.kind)
+            .ok_or(SimError::UnknownBuffer(id))
     }
 
     /// The label given to a buffer at creation time.
@@ -227,17 +368,30 @@ impl Device {
     /// # Errors
     ///
     /// Returns [`SimError::UnknownBuffer`] if the handle is invalid.
-    pub fn buffer_label(&self, id: BufferId) -> Result<&str, SimError> {
-        Ok(&self.raw(id)?.label)
+    pub fn buffer_label(&self, id: BufferId) -> Result<String, SimError> {
+        let st = self.state();
+        st.bufs
+            .get(id.index())
+            .and_then(Option::as_ref)
+            .map(|raw| raw.label.clone())
+            .ok_or(SimError::UnknownBuffer(id))
     }
 
-    /// Copies a buffer's contents to the host.
+    /// Copies a buffer's contents to the host — the blocking shim over
+    /// [`Queue::enqueue_read`]: pending commands are drained first, so the
+    /// data is exactly what in-order execution would have produced.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::UnknownBuffer`] or [`SimError::BufferKind`].
     pub fn read_buffer<T: Scalar>(&self, id: BufferId) -> Result<Vec<T>, SimError> {
-        let raw = self.raw(id)?;
+        self.finish();
+        let st = self.state();
+        let raw = st
+            .bufs
+            .get(id.index())
+            .and_then(Option::as_ref)
+            .ok_or(SimError::UnknownBuffer(id))?;
         if raw.kind != T::KIND {
             return Err(SimError::BufferKind {
                 buffer: id,
@@ -248,14 +402,17 @@ impl Device {
         Ok(raw.data.iter().map(|&b| T::from_bits64(b)).collect())
     }
 
-    /// Overwrites a buffer's contents from the host.
+    /// Overwrites a buffer's contents from the host — the blocking shim
+    /// over [`Queue::enqueue_write`] (pending commands drain first).
     ///
     /// # Errors
     ///
     /// Returns [`SimError::UnknownBuffer`], [`SimError::BufferKind`] or
     /// [`SimError::SizeMismatch`].
     pub fn write_buffer<T: Scalar>(&mut self, id: BufferId, data: &[T]) -> Result<(), SimError> {
-        let raw = self
+        self.finish();
+        let mut st = self.state();
+        let raw = st
             .bufs
             .get_mut(id.index())
             .and_then(Option::as_mut)
@@ -267,30 +424,38 @@ impl Device {
                 actual: raw.kind,
             });
         }
-        if raw.data.len() != data.len() {
+        if raw.len() != data.len() {
             return Err(SimError::SizeMismatch {
                 buffer: id,
-                buffer_len: raw.data.len(),
+                buffer_len: raw.len(),
                 data_len: data.len(),
             });
         }
+        let raw = Arc::make_mut(raw);
         for (slot, v) in raw.data.iter_mut().zip(data) {
             *slot = v.to_bits64();
         }
         Ok(())
     }
 
-    /// Copies the contents of buffer `src` into buffer `dst` (device-side
-    /// `clEnqueueCopyBuffer` equivalent; not charged by the timing model).
+    /// Copies the contents of buffer `src` into buffer `dst` — the
+    /// blocking shim over [`Queue::enqueue_copy`] (pending commands drain
+    /// first; not charged by the timing model).
     ///
     /// # Errors
     ///
     /// Returns [`SimError::UnknownBuffer`], [`SimError::BufferKind`] or
     /// [`SimError::SizeMismatch`].
     pub fn copy_buffer(&mut self, src: BufferId, dst: BufferId) -> Result<(), SimError> {
-        let src_raw = self.raw(src)?;
+        self.finish();
+        let mut st = self.state();
+        let src_raw = st
+            .bufs
+            .get(src.index())
+            .and_then(Option::as_ref)
+            .ok_or(SimError::UnknownBuffer(src))?;
         let (kind, data) = (src_raw.kind, src_raw.data.clone());
-        let dst_raw = self
+        let dst_raw = st
             .bufs
             .get_mut(dst.index())
             .and_then(Option::as_mut)
@@ -302,126 +467,49 @@ impl Device {
                 actual: dst_raw.kind,
             });
         }
-        if dst_raw.data.len() != data.len() {
+        if dst_raw.len() != data.len() {
             return Err(SimError::SizeMismatch {
                 buffer: dst,
-                buffer_len: dst_raw.data.len(),
+                buffer_len: dst_raw.len(),
                 data_len: data.len(),
             });
         }
-        dst_raw.data = data;
+        Arc::make_mut(dst_raw).data = data;
         Ok(())
     }
 
-    fn validate_launch(
-        &self,
-        name: &str,
-        phases: usize,
-        range: &NdRange,
-        local_bytes: usize,
-    ) -> Result<(), SimError> {
-        if range.group_size_total() > self.cfg.max_work_group_size {
-            return Err(SimError::Launch(format!(
-                "work group of {} items exceeds device limit {}",
-                range.group_size_total(),
-                self.cfg.max_work_group_size
-            )));
-        }
-        if local_bytes > self.cfg.local_mem_bytes {
-            return Err(SimError::Launch(format!(
-                "kernel '{name}' uses {local_bytes} bytes of local memory, device limit is {}",
-                self.cfg.local_mem_bytes
-            )));
-        }
-        if phases == 0 {
-            return Err(SimError::Launch(format!(
-                "kernel '{name}' declares zero phases"
-            )));
-        }
-        Ok(())
-    }
-
-    /// Validates a launch and computes its shared setup.
-    fn prepare_launch<K: Kernel + ?Sized>(
+    /// Captures everything a blocking launch needs from the locked state.
+    fn prepare_blocking<K: Kernel + ?Sized>(
         &mut self,
         kernel: &K,
         range: NdRange,
-    ) -> Result<LaunchSetup, SimError> {
-        let local_specs = kernel.local_buffers();
-        let local_bytes = local_specs.iter().map(LocalSpec::bytes).sum();
-        let phases = kernel.phases();
-        self.validate_launch(kernel.name(), phases, &range, local_bytes)?;
-        let occ = timing::occupancy(&self.cfg, range.group_size_total(), local_bytes);
-        Ok(LaunchSetup {
-            local_specs,
-            phases,
-            occ,
-        })
+    ) -> Result<(Arc<LaunchPlan>, LaunchSetup, BufTable, bool), SimError> {
+        let mut st = self.state();
+        let (plan, setup) = prepare_launch(
+            &mut st,
+            kernel.name(),
+            kernel.phases(),
+            kernel.local_buffers(),
+            range,
+        )?;
+        let snapshot = st.bufs.clone();
+        let profiling = st.profiling;
+        Ok((plan, setup, snapshot, profiling))
     }
 
-    /// Folds per-group outcomes (visited in row-major group order) into the
-    /// final report, or the fault error. Write application is the caller's
-    /// business — the serial frontend applies after every group, the
-    /// parallel one after all of them.
-    fn reduce_outcomes<K: Kernel + ?Sized>(
-        &self,
-        kernel: &K,
-        range: NdRange,
-        setup: &LaunchSetup,
-        outcomes: impl IntoIterator<Item = GroupOutcome>,
-    ) -> Result<LaunchReport, SimError> {
-        let mut stats = LaunchStats::default();
-        let mut breakdown = TimingBreakdown::default();
-        let mut faults = FaultLog::default();
-        let mut groups = 0usize;
-        for outcome in outcomes {
-            groups += 1;
-            stats.accumulate(&outcome.stats);
-            breakdown.memory_cycles += outcome.timing.memory_cycles;
-            breakdown.compute_cycles += outcome.timing.compute_cycles;
-            breakdown.overhead_cycles += outcome.timing.overhead_cycles;
-            breakdown.group_cycles_total += outcome.timing.group_cycles_total;
-            faults.merge(outcome.faults);
-        }
-        debug_assert_eq!(groups, range.num_groups_total());
-
-        if self.profiling {
-            breakdown.device_cycles =
-                timing::device_cycles(&self.cfg, &setup.occ, breakdown.group_cycles_total);
-        } else {
-            // Without profiling no memory/ALU accounting happened, so a
-            // partial cycle count would be misleading; report zero time —
-            // but keep the uninitialized-read counter, which is a
-            // correctness signal tracked independently of profiling.
-            let uninit = stats.uninit_local_reads;
-            stats = LaunchStats::default();
-            stats.uninit_local_reads = uninit;
-            breakdown = TimingBreakdown::default();
-        }
-
-        if !faults.is_empty() {
-            return Err(SimError::KernelFaults {
-                kernel: kernel.name().to_owned(),
-                faults: faults.faults,
-                total: faults.total,
-            });
-        }
-
-        let mut report = LaunchReport {
-            kernel: kernel.name().to_owned(),
-            groups,
-            phases: setup.phases,
-            profiled: self.profiling,
-            stats,
-            timing: breakdown,
-            occupancy: setup.occ,
-            seconds: 0.0,
-        };
-        report.finalize(&self.cfg);
-        Ok(report)
+    /// Applies a finished launch's writes to the backing buffers.
+    fn apply_blocking(&mut self, entries: &[engine::WriteEntry]) {
+        let mut st = self.state();
+        engine::apply_writes(entries, &mut st.bufs);
     }
 
-    /// Executes a kernel over the given range and returns its report.
+    /// Executes a kernel over the given range and returns its report —
+    /// the blocking shim: semantically [`Queue::enqueue_launch`]
+    /// immediately followed by [`crate::Event::wait_report`]. Pending
+    /// enqueued commands are drained first (preserving enqueue-order
+    /// semantics); the kernel itself is borrowed for the call, which is
+    /// why the shim exists — the command stream proper stores only
+    /// `'static` kernels.
     ///
     /// Work groups execute on the parallel launch engine: sharded across
     /// up to [`DeviceConfig::parallelism`] scoped worker threads, each
@@ -447,67 +535,45 @@ impl Device {
         kernel: &K,
         range: NdRange,
     ) -> Result<LaunchReport, SimError> {
-        let setup = self.prepare_launch(kernel, range)?;
-        let plan = self.plans.get(&self.cfg, range);
+        self.finish();
+        let (plan, setup, mut snapshot, profiling) = self.prepare_blocking(kernel, range)?;
         let workers = resolve_parallelism(self.cfg.parallelism).min(plan.group_coords.len());
-        if workers <= 1 {
-            return self.run_groups_serially(kernel, range, &setup);
-        }
-
-        // Contiguous shards keep the group -> worker assignment, and thus
-        // every worker-local accumulation, independent of scheduling.
-        let groups = &plan.group_coords;
-        let chunk = groups.len().div_ceil(workers);
-        let (cfg, bufs, profiling) = (&self.cfg, &self.bufs, self.profiling);
-        let phases = setup.phases;
-        let mut outcomes: Vec<Vec<GroupOutcome>> = std::thread::scope(|s| {
-            let handles: Vec<_> = groups
-                .chunks(chunk)
-                .map(|shard| {
-                    let plan = &plan;
-                    let local_specs = &setup.local_specs;
-                    s.spawn(move || {
-                        let mut scratch =
-                            WorkerScratch::new(local_specs, setup.occ.waves_per_group, profiling);
-                        shard
-                            .iter()
-                            .map(|&group| {
-                                crate::engine::run_group(
-                                    kernel,
-                                    phases,
-                                    cfg,
-                                    plan,
-                                    bufs,
-                                    group,
-                                    &mut scratch,
-                                )
-                            })
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("launch worker panicked"))
-                .collect()
-        });
-
-        // Apply every group's writes in row-major group order: identical
-        // replay order to the serial path for independent groups.
-        for outcome in outcomes.iter_mut().flatten() {
-            crate::engine::apply_writes(&std::mem::take(&mut outcome.writes), &mut self.bufs);
-        }
-        self.reduce_outcomes(kernel, range, &setup, outcomes.into_iter().flatten())
+        let (outcomes, entries) = if workers <= 1 {
+            engine::execute_groups_serial(
+                kernel,
+                &self.cfg,
+                &plan,
+                &setup,
+                &mut snapshot,
+                profiling,
+                None,
+            )
+        } else {
+            engine::execute_groups_parallel(
+                kernel, &self.cfg, &plan, &setup, &snapshot, profiling, workers, None,
+            )
+        };
+        // Drop the snapshot before applying so unshared buffers are
+        // written in place rather than copy-on-write.
+        drop(snapshot);
+        self.apply_blocking(&entries);
+        engine::reduce_outcomes(
+            kernel.name(),
+            &self.cfg,
+            profiling,
+            &range,
+            &setup,
+            outcomes,
+        )
     }
 
     /// Executes a kernel one work group at a time on the calling thread.
     ///
     /// Semantics match pre-engine serial execution exactly: each group's
-    /// writes are applied to global memory before the next group runs, so
-    /// even (non-deterministic on real hardware) cross-group dependencies
-    /// observe the row-major order. Kept as the differential-testing
-    /// reference for [`Device::launch`] and for kernels that are not
-    /// [`Sync`].
+    /// writes are visible to the next group, so even (non-deterministic on
+    /// real hardware) cross-group dependencies observe the row-major
+    /// order. Kept as the differential-testing reference for
+    /// [`Device::launch`] and for kernels that are not [`Sync`].
     ///
     /// # Errors
     ///
@@ -517,47 +583,28 @@ impl Device {
         kernel: &K,
         range: NdRange,
     ) -> Result<LaunchReport, SimError> {
-        let setup = self.prepare_launch(kernel, range)?;
-        self.run_groups_serially(kernel, range, &setup)
-    }
-
-    /// Shared single-threaded driver: run each group, apply its writes
-    /// immediately, collect its outcome.
-    fn run_groups_serially<K: Kernel + ?Sized>(
-        &mut self,
-        kernel: &K,
-        range: NdRange,
-        setup: &LaunchSetup,
-    ) -> Result<LaunchReport, SimError> {
-        let plan = self.plans.get(&self.cfg, range);
-        let mut scratch = WorkerScratch::new(
-            &setup.local_specs,
-            setup.occ.waves_per_group,
-            self.profiling,
+        self.finish();
+        let (plan, setup, mut snapshot, profiling) = self.prepare_blocking(kernel, range)?;
+        let (outcomes, entries) = engine::execute_groups_serial(
+            kernel,
+            &self.cfg,
+            &plan,
+            &setup,
+            &mut snapshot,
+            profiling,
+            None,
         );
-        let mut outcomes = Vec::with_capacity(plan.group_coords.len());
-        for &group in &plan.group_coords {
-            let mut outcome = crate::engine::run_group(
-                kernel,
-                setup.phases,
-                &self.cfg,
-                &plan,
-                &self.bufs,
-                group,
-                &mut scratch,
-            );
-            crate::engine::apply_writes(&std::mem::take(&mut outcome.writes), &mut self.bufs);
-            outcomes.push(outcome);
-        }
-        self.reduce_outcomes(kernel, range, setup, outcomes)
+        drop(snapshot);
+        self.apply_blocking(&entries);
+        engine::reduce_outcomes(
+            kernel.name(),
+            &self.cfg,
+            profiling,
+            &range,
+            &setup,
+            outcomes,
+        )
     }
-}
-
-/// Validated, precomputed launch parameters shared by both frontends.
-struct LaunchSetup {
-    local_specs: Vec<crate::local::LocalSpec>,
-    phases: usize,
-    occ: Occupancy,
 }
 
 #[cfg(test)]

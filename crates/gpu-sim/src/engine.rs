@@ -26,11 +26,18 @@ use std::sync::Arc;
 
 use crate::buffer::RawBuffer;
 use crate::config::DeviceConfig;
-use crate::kernel::{FaultLog, ItemCtx, Kernel, KernelScratch, PhaseProfile};
-use crate::local::LocalArena;
+use crate::error::SimError;
+use crate::kernel::{AccessMask, FaultLog, ItemCtx, Kernel, KernelScratch, PhaseProfile};
+use crate::local::{LocalArena, LocalSpec};
 use crate::ndrange::NdRange;
-use crate::stats::{LaunchStats, TimingBreakdown};
+use crate::stats::{LaunchReport, LaunchStats, Occupancy, TimingBreakdown};
 use crate::timing;
+
+/// The device's buffer table: one slot per lifetime allocation. Slots hold
+/// `Arc`s so that launches can execute against a cheap snapshot (a clone of
+/// the table, not of the data) while the device stays free to apply other
+/// commands' writes copy-on-write.
+pub(crate) type BufTable = Vec<Option<Arc<RawBuffer>>>;
 
 /// Precomputed per-launch geometry, cached per [`NdRange`].
 #[derive(Debug)]
@@ -197,12 +204,16 @@ impl WriteLog {
 
 /// Replays logged stores into the backing buffers, in program order (later
 /// entries overwrite earlier ones, reproducing serial last-write-wins).
-pub(crate) fn apply_writes(entries: &[WriteEntry], bufs: &mut [Option<RawBuffer>]) {
+///
+/// Targets are written copy-on-write: a buffer whose `Arc` is still shared
+/// (a concurrently executing command holds it in its snapshot) is cloned
+/// once, so snapshots never observe partial replays.
+pub(crate) fn apply_writes(entries: &[WriteEntry], bufs: &mut BufTable) {
     for e in entries {
-        bufs[e.slot as usize]
+        let slot = bufs[e.slot as usize]
             .as_mut()
-            .expect("write target validated at record time")
-            .data[e.index as usize] = e.bits;
+            .expect("write target validated at record time");
+        Arc::make_mut(slot).data[e.index as usize] = e.bits;
     }
 }
 
@@ -248,15 +259,19 @@ impl WorkerScratch {
 /// returning its write log, statistics and cycle accounting.
 ///
 /// This is the single execution path shared by the serial and parallel
-/// frontends in [`crate::Device`]: the only difference between them is
-/// *when* the returned write log is applied to the backing buffers.
+/// frontends in [`crate::Device`] and by the command-queue scheduler: the
+/// only difference between them is *when* the returned write log is applied
+/// to the backing buffers. `mask` carries the launch's declared buffer
+/// usage, if any — accesses outside it fault deterministically (see
+/// [`crate::Kernel::buffer_usage`]).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_group<K: Kernel + ?Sized>(
     kernel: &K,
     phases: usize,
     cfg: &DeviceConfig,
     plan: &LaunchPlan,
-    bufs: &[Option<RawBuffer>],
+    bufs: &BufTable,
+    mask: Option<&AccessMask>,
     group: [usize; 3],
     scratch: &mut WorkerScratch,
 ) -> GroupOutcome {
@@ -281,6 +296,7 @@ pub(crate) fn run_group<K: Kernel + ?Sized>(
                 wavefront: plan.wf_of[li],
                 granule: plan.granule_of[li],
                 bufs,
+                access: mask,
                 writes: &mut scratch.log,
                 arena: &mut scratch.arena,
                 profile: scratch.profile.as_mut(),
@@ -334,11 +350,199 @@ pub(crate) fn run_group<K: Kernel + ?Sized>(
     }
 }
 
+/// Validated, precomputed launch parameters shared by every launch
+/// frontend: the blocking shims, the serial reference and the queue
+/// scheduler.
+#[derive(Debug)]
+pub(crate) struct LaunchSetup {
+    pub local_specs: Vec<LocalSpec>,
+    pub phases: usize,
+    pub occ: Occupancy,
+}
+
+/// Runs every group of a launch one at a time on the calling thread,
+/// applying each group's writes to the (private) `snapshot` before the
+/// next group starts. This reproduces the legacy serial semantics exactly:
+/// even (non-deterministic on real hardware) cross-group dependencies
+/// observe the row-major order. Returns the per-group outcomes plus the
+/// concatenated write entries, ready to replay onto the device's backing
+/// buffers.
+pub(crate) fn execute_groups_serial<K: Kernel + ?Sized>(
+    kernel: &K,
+    cfg: &DeviceConfig,
+    plan: &LaunchPlan,
+    setup: &LaunchSetup,
+    snapshot: &mut BufTable,
+    profiling: bool,
+    mask: Option<&AccessMask>,
+) -> (Vec<GroupOutcome>, Vec<WriteEntry>) {
+    let mut scratch = WorkerScratch::new(&setup.local_specs, setup.occ.waves_per_group, profiling);
+    let mut outcomes = Vec::with_capacity(plan.group_coords.len());
+    let mut entries = Vec::new();
+    for &group in &plan.group_coords {
+        let mut outcome = run_group(
+            kernel,
+            setup.phases,
+            cfg,
+            plan,
+            snapshot,
+            mask,
+            group,
+            &mut scratch,
+        );
+        let writes = std::mem::take(&mut outcome.writes);
+        apply_writes(&writes, snapshot);
+        entries.extend(writes);
+        outcomes.push(outcome);
+    }
+    (outcomes, entries)
+}
+
+/// Runs the groups of a launch sharded over `workers` scoped threads, all
+/// against the same read-only `snapshot`. Outcomes and write entries come
+/// back in row-major group order, so replaying the entries produces the
+/// exact buffers a serial execution of independent groups would.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn execute_groups_parallel<K: Kernel + Sync + ?Sized>(
+    kernel: &K,
+    cfg: &DeviceConfig,
+    plan: &LaunchPlan,
+    setup: &LaunchSetup,
+    snapshot: &BufTable,
+    profiling: bool,
+    workers: usize,
+    mask: Option<&AccessMask>,
+) -> (Vec<GroupOutcome>, Vec<WriteEntry>) {
+    let groups = &plan.group_coords;
+    // Contiguous shards keep the group -> worker assignment, and thus
+    // every worker-local accumulation, independent of scheduling.
+    let chunk = groups.len().div_ceil(workers.max(1));
+    let phases = setup.phases;
+    let sharded: Vec<Vec<GroupOutcome>> = std::thread::scope(|s| {
+        let handles: Vec<_> = groups
+            .chunks(chunk)
+            .map(|shard| {
+                let local_specs = &setup.local_specs;
+                s.spawn(move || {
+                    let mut scratch =
+                        WorkerScratch::new(local_specs, setup.occ.waves_per_group, profiling);
+                    shard
+                        .iter()
+                        .map(|&group| {
+                            run_group(
+                                kernel,
+                                phases,
+                                cfg,
+                                plan,
+                                snapshot,
+                                mask,
+                                group,
+                                &mut scratch,
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("launch worker panicked"))
+            .collect()
+    });
+    let mut outcomes = Vec::with_capacity(groups.len());
+    let mut entries = Vec::new();
+    for mut outcome in sharded.into_iter().flatten() {
+        entries.extend(std::mem::take(&mut outcome.writes));
+        outcomes.push(outcome);
+    }
+    (outcomes, entries)
+}
+
+/// Folds per-group outcomes (visited in row-major group order) into the
+/// final report, or the fault error. Write application is the caller's
+/// business — buffers may be partially written when this returns
+/// [`SimError::KernelFaults`], matching real-GPU behavior.
+pub(crate) fn reduce_outcomes(
+    kernel_name: &str,
+    cfg: &DeviceConfig,
+    profiling: bool,
+    range: &NdRange,
+    setup: &LaunchSetup,
+    outcomes: impl IntoIterator<Item = GroupOutcome>,
+) -> Result<LaunchReport, SimError> {
+    let mut stats = LaunchStats::default();
+    let mut breakdown = TimingBreakdown::default();
+    let mut faults = FaultLog::default();
+    let mut groups = 0usize;
+    for outcome in outcomes {
+        groups += 1;
+        stats.accumulate(&outcome.stats);
+        breakdown.memory_cycles += outcome.timing.memory_cycles;
+        breakdown.compute_cycles += outcome.timing.compute_cycles;
+        breakdown.overhead_cycles += outcome.timing.overhead_cycles;
+        breakdown.group_cycles_total += outcome.timing.group_cycles_total;
+        faults.merge(outcome.faults);
+    }
+    debug_assert_eq!(groups, range.num_groups_total());
+
+    if profiling {
+        breakdown.device_cycles =
+            timing::device_cycles(cfg, &setup.occ, breakdown.group_cycles_total);
+    } else {
+        // Without profiling no memory/ALU accounting happened, so a
+        // partial cycle count would be misleading; report zero time —
+        // but keep the uninitialized-read counter, which is a
+        // correctness signal tracked independently of profiling.
+        let uninit = stats.uninit_local_reads;
+        stats = LaunchStats::default();
+        stats.uninit_local_reads = uninit;
+        breakdown = TimingBreakdown::default();
+    }
+
+    if !faults.is_empty() {
+        return Err(SimError::KernelFaults {
+            kernel: kernel_name.to_owned(),
+            faults: faults.faults,
+            total: faults.total,
+        });
+    }
+
+    let mut report = LaunchReport {
+        kernel: kernel_name.to_owned(),
+        groups,
+        phases: setup.phases,
+        profiled: profiling,
+        stats,
+        timing: breakdown,
+        occupancy: setup.occ,
+        seconds: 0.0,
+    };
+    report.finalize(cfg);
+    Ok(report)
+}
+
 /// Resolves a parallelism knob to a concrete worker count
-/// (`0` = one per available core). Shared policy for the launch engine
-/// and host-side harnesses (`kp_core::par` delegates here).
+/// (`0` = one per available core). Shared policy for the launch engine,
+/// the command-queue scheduler and host-side harnesses (`kp_core::par`
+/// delegates here).
+///
+/// The `KP_SIM_PARALLELISM` environment variable, when set to a positive
+/// integer, overrides the *auto* resolution (`requested == 0`) only — CI
+/// uses it to force wide queue/engine schedules onto single-core runners
+/// so scheduling races cannot hide there. Explicit worker counts are never
+/// overridden.
 pub fn resolve_parallelism(requested: usize) -> usize {
     if requested == 0 {
+        static OVERRIDE: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+        let forced = OVERRIDE.get_or_init(|| {
+            std::env::var("KP_SIM_PARALLELISM")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+        });
+        if let Some(n) = forced {
+            return *n;
+        }
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
@@ -379,12 +583,12 @@ mod tests {
         log.reset(1);
         log.record(0, 1, 11);
         log.record(0, 1, 22); // later store wins
-        let mut bufs = vec![Some(RawBuffer {
+        let mut bufs: BufTable = vec![Some(Arc::new(RawBuffer {
             kind: crate::buffer::ElemKind::F32,
             data: vec![0; 4],
             base_addr: 0,
             label: String::new(),
-        })];
+        }))];
         apply_writes(&log.take_entries(), &mut bufs);
         assert_eq!(bufs[0].as_ref().unwrap().data[1], 22);
     }

@@ -50,6 +50,28 @@ pub enum SimError {
         /// Total number of faults, possibly larger than `faults.len()`.
         total: usize,
     },
+    /// A queue or event operation referenced a [`crate::Device`] that has
+    /// been dropped. Queues and events hold weak device handles, so the
+    /// device owner is never kept alive by leftover command-stream
+    /// handles; using them afterwards is this error, not a panic.
+    DeviceLost,
+    /// The queue that owned this command was released while the command
+    /// was still pending; the command was cancelled and never executed.
+    /// Release queues only after `finish()` (or after waiting every event)
+    /// to guarantee execution.
+    QueueReleased {
+        /// Id of the released queue (see [`crate::Queue::id`]).
+        queue: u64,
+    },
+    /// An event-result accessor did not match the command kind (e.g.
+    /// `wait_read` on a launch event, or a read result that was already
+    /// taken by an earlier `wait_read`).
+    EventResult {
+        /// What the accessor expected (`"read"`, `"launch report"`, …).
+        expected: &'static str,
+        /// What the event actually holds.
+        actual: &'static str,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -78,6 +100,18 @@ impl std::fmt::Display for SimError {
                 }
                 Ok(())
             }
+            SimError::DeviceLost => {
+                write!(f, "the device behind this queue/event has been dropped")
+            }
+            SimError::QueueReleased { queue } => write!(
+                f,
+                "queue #{queue} was released while this command was still pending; \
+                 the command was cancelled"
+            ),
+            SimError::EventResult { expected, actual } => write!(
+                f,
+                "event holds a {actual} result, but a {expected} was requested"
+            ),
         }
     }
 }
@@ -134,6 +168,12 @@ mod tests {
                     phase: 0,
                 }],
                 total: 3,
+            },
+            SimError::DeviceLost,
+            SimError::QueueReleased { queue: 4 },
+            SimError::EventResult {
+                expected: "read",
+                actual: "launch report",
             },
         ];
         for e in errs {

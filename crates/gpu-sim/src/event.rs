@@ -1,0 +1,236 @@
+//! Events: completion handles for enqueued commands.
+//!
+//! Every `enqueue_*` call on a [`crate::Queue`] returns an [`Event`].
+//! Events serve three purposes, mirroring OpenCL's `cl_event`:
+//!
+//! * **synchronization** — [`Event::wait`] blocks until (and triggers —
+//!   execution is demand-driven) the command's completion;
+//! * **ordering** — events go into the wait-lists of later `enqueue_*`
+//!   calls, adding explicit edges to the scheduler's dependency DAG on top
+//!   of the inferred buffer hazards;
+//! * **results & profiling** — [`Event::wait_report`] /
+//!   [`Event::wait_read`] retrieve a launch's [`LaunchReport`] or a read's
+//!   data, and [`Event::timing`] exposes per-command queued/start/end
+//!   timestamps (host wall clock, relative to device creation) without any
+//!   device-wide profiling toggles.
+//!
+//! Events are cheap to clone and hold only a weak device handle: they
+//! never keep a dropped [`crate::Device`] alive, and using one afterwards
+//! yields [`SimError::DeviceLost`] rather than a panic.
+
+use std::sync::Weak;
+use std::time::Duration;
+
+use crate::buffer::Scalar;
+use crate::device::DeviceShared;
+use crate::error::SimError;
+use crate::queue::{drain, CommandResult};
+use crate::stats::LaunchReport;
+
+/// Per-command wall-clock timestamps, relative to device creation.
+///
+/// These profile the *host-side scheduler* (when the command was enqueued,
+/// picked up and completed), complementing the simulated-GPU cycle model
+/// in [`LaunchReport`]. They are real wall-clock measurements and — unlike
+/// every functional result — are **not** part of the determinism contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventTiming {
+    /// When the command was enqueued.
+    pub queued: Duration,
+    /// When a worker picked the command up for execution.
+    pub started: Duration,
+    /// When the command completed.
+    pub ended: Duration,
+}
+
+impl EventTiming {
+    /// Time the command spent waiting in the stream (dependencies,
+    /// scheduling, laziness of demand-driven execution).
+    pub fn queue_delay(&self) -> Duration {
+        self.started.saturating_sub(self.queued)
+    }
+
+    /// Host wall-clock time the command spent executing.
+    pub fn execution(&self) -> Duration {
+        self.ended.saturating_sub(self.started)
+    }
+}
+
+/// Completion handle for one enqueued command (see the module docs).
+///
+/// Handles are counted: a command's stored result (report or read-back
+/// snapshot) is freed when its last event clone drops, so reusing one
+/// device for millions of commands does not accumulate results.
+#[derive(Debug)]
+pub struct Event {
+    pub(crate) shared: Weak<DeviceShared>,
+    pub(crate) seq: u64,
+    pub(crate) queue: u64,
+}
+
+impl Clone for Event {
+    fn clone(&self) -> Self {
+        if let Some(shared) = self.shared.upgrade() {
+            let mut st = shared.state.lock().expect("device state poisoned");
+            st.sched.retain_event(self.seq);
+        }
+        Self {
+            shared: self.shared.clone(),
+            seq: self.seq,
+            queue: self.queue,
+        }
+    }
+}
+
+impl Drop for Event {
+    fn drop(&mut self) {
+        if let Some(shared) = self.shared.upgrade() {
+            let mut st = shared.state.lock().expect("device state poisoned");
+            st.sched.release_event(self.seq);
+        }
+    }
+}
+
+impl Event {
+    /// The command's device-wide sequence number (its position in enqueue
+    /// order) — useful in logs.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Id of the queue this command was enqueued on.
+    pub fn queue_id(&self) -> u64 {
+        self.queue
+    }
+
+    fn complete(&self) -> Result<std::sync::Arc<DeviceShared>, SimError> {
+        let shared = self.shared.upgrade().ok_or(SimError::DeviceLost)?;
+        drain(&shared, [self.seq]);
+        Ok(shared)
+    }
+
+    /// Waits for the command to complete (executing it, and its
+    /// dependencies, if they have not run yet).
+    ///
+    /// Execution is demand-driven but *opportunistic*: while satisfying
+    /// this wait, idle worker slots may pick up other ready commands of
+    /// the same device, and the wait returns after the whole wave — so a
+    /// wait can take up to one unrelated command-duration longer than
+    /// the strict dependency chain. This is the batching that lets
+    /// "enqueue A; enqueue B; wait A" overlap B with A.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::DeviceLost`], [`SimError::QueueReleased`] if the
+    /// owning queue was released before the command ran, or the command's
+    /// own failure (e.g. [`SimError::KernelFaults`]).
+    pub fn wait(&self) -> Result<(), SimError> {
+        let shared = self.complete()?;
+        let st = shared.state.lock().expect("device state poisoned");
+        match st.sched.event_slot(self.seq) {
+            Some(slot) => slot.result.as_ref().map(|_| ()).map_err(Clone::clone),
+            None => Err(SimError::DeviceLost),
+        }
+    }
+
+    /// Waits for a launch command and returns its [`LaunchReport`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Event::wait`]; additionally [`SimError::EventResult`] if this
+    /// event does not belong to a launch.
+    pub fn wait_report(&self) -> Result<LaunchReport, SimError> {
+        let shared = self.complete()?;
+        let st = shared.state.lock().expect("device state poisoned");
+        match st.sched.event_slot(self.seq) {
+            Some(slot) => match &slot.result {
+                Ok(CommandResult::Launch(report)) => Ok((**report).clone()),
+                Ok(other) => Err(SimError::EventResult {
+                    expected: "launch report",
+                    actual: other.describe(),
+                }),
+                Err(e) => Err(e.clone()),
+            },
+            None => Err(SimError::DeviceLost),
+        }
+    }
+
+    /// Waits for a read command and returns its data.
+    ///
+    /// The data is *moved out* of the event on the first call (large
+    /// read-backs are not retained for the device's lifetime); a second
+    /// `wait_read` on the same command returns [`SimError::EventResult`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Event::wait`]; additionally [`SimError::EventResult`] for a
+    /// non-read event or an already-taken result and
+    /// [`SimError::BufferKind`] if `T` does not match the buffer.
+    pub fn wait_read<T: Scalar>(&self) -> Result<Vec<T>, SimError> {
+        let shared = self.complete()?;
+        let snapshot = {
+            let mut st = shared.state.lock().expect("device state poisoned");
+            match st.sched.event_slot_mut(self.seq) {
+                Some(slot) => match &mut slot.result {
+                    Ok(CommandResult::Read { buffer, snapshot }) => {
+                        if snapshot.as_deref().is_some_and(|raw| raw.kind != T::KIND) {
+                            return Err(SimError::BufferKind {
+                                buffer: *buffer,
+                                expected: T::KIND,
+                                actual: snapshot.as_deref().expect("checked above").kind,
+                            });
+                        }
+                        match snapshot.take() {
+                            Some(raw) => raw,
+                            None => {
+                                return Err(SimError::EventResult {
+                                    expected: "read",
+                                    actual: "read (already taken)",
+                                })
+                            }
+                        }
+                    }
+                    Ok(other) => {
+                        return Err(SimError::EventResult {
+                            expected: "read",
+                            actual: other.describe(),
+                        })
+                    }
+                    Err(e) => return Err(e.clone()),
+                },
+                None => return Err(SimError::DeviceLost),
+            }
+        };
+        // Materialize the host vector outside the device lock — the
+        // snapshot `Arc` is immutable (later writers copy-on-write).
+        Ok(snapshot.data.iter().map(|&b| T::from_bits64(b)).collect())
+    }
+
+    /// Waits for the command and returns its scheduler timestamps.
+    /// Available for failed commands too (the timing of a faulting launch
+    /// is still meaningful).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::DeviceLost`].
+    pub fn timing(&self) -> Result<EventTiming, SimError> {
+        let shared = self.complete()?;
+        let st = shared.state.lock().expect("device state poisoned");
+        match st.sched.event_slot(self.seq) {
+            Some(slot) => Ok(slot.timing),
+            None => Err(SimError::DeviceLost),
+        }
+    }
+
+    /// Whether the command has already completed (without triggering
+    /// execution).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::DeviceLost`].
+    pub fn is_complete(&self) -> Result<bool, SimError> {
+        let shared = self.shared.upgrade().ok_or(SimError::DeviceLost)?;
+        let st = shared.state.lock().expect("device state poisoned");
+        Ok(st.sched.event_slot(self.seq).is_some())
+    }
+}

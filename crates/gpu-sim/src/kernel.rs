@@ -13,7 +13,7 @@
 
 use std::any::Any;
 
-use crate::buffer::{BufferId, ElemKind, RawBuffer, Scalar};
+use crate::buffer::{BufferId, ElemKind, Scalar};
 use crate::coalesce::{CoalesceTracker, Dir};
 use crate::config::DeviceConfig;
 use crate::engine::WriteLog;
@@ -67,8 +67,96 @@ pub trait Kernel {
         Vec::new()
     }
 
+    /// The global buffers this kernel may touch, split into read and write
+    /// sets — the command-queue scheduler's hazard-inference input (see
+    /// [`crate::Queue`]).
+    ///
+    /// `None` (the default) means "unknown": an enqueued launch is then
+    /// ordered after *every* earlier command and before every later one,
+    /// which is always correct but never overlaps. Kernels that declare
+    /// their usage can overlap with commands touching disjoint buffers;
+    /// in exchange, the declaration is **enforced** — a queued launch that
+    /// accesses an undeclared buffer faults deterministically
+    /// ([`FaultKind::UndeclaredBuffer`]) instead of reading
+    /// schedule-dependent data. Reading a buffer that is only in the write
+    /// set is allowed (its pre-launch contents are hazard-ordered too).
+    ///
+    /// Blocking launches ([`crate::Device::launch`]) ignore the
+    /// declaration entirely.
+    fn buffer_usage(&self) -> Option<crate::queue::BufferUse> {
+        None
+    }
+
     /// Executes one phase for one work item.
     fn run_phase(&self, phase: usize, ctx: &mut ItemCtx<'_>);
+}
+
+/// Forwarding impl so shared kernels (`Arc<K>`, `Arc<dyn Kernel + ..>`)
+/// can be enqueued while the caller keeps a handle for post-run
+/// inspection (e.g. `IrKernel::opt_stats`).
+impl<K: Kernel + ?Sized> Kernel for std::sync::Arc<K> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn phases(&self) -> usize {
+        (**self).phases()
+    }
+
+    fn local_buffers(&self) -> Vec<LocalSpec> {
+        (**self).local_buffers()
+    }
+
+    fn buffer_usage(&self) -> Option<crate::queue::BufferUse> {
+        (**self).buffer_usage()
+    }
+
+    fn run_phase(&self, phase: usize, ctx: &mut ItemCtx<'_>) {
+        (**self).run_phase(phase, ctx);
+    }
+}
+
+/// Per-launch access-control mask compiled from a kernel's declared
+/// [`Kernel::buffer_usage`]: which buffer slots the launch may read and
+/// write. Enforced on queued launches only — it is what lets the scheduler
+/// prove that overlapping two launches cannot change their results.
+#[derive(Debug, Clone)]
+pub(crate) struct AccessMask {
+    read_ok: Vec<bool>,
+    write_ok: Vec<bool>,
+}
+
+impl AccessMask {
+    /// Builds the mask over `nbufs` slots. Reads are allowed on the read
+    /// *and* write sets (a declared output's pre-launch contents are
+    /// hazard-ordered, so reading them back is deterministic); writes only
+    /// on the write set.
+    pub fn new(nbufs: usize, reads: &[usize], writes: &[usize]) -> Self {
+        let mut read_ok = vec![false; nbufs];
+        let mut write_ok = vec![false; nbufs];
+        for &s in reads {
+            if let Some(r) = read_ok.get_mut(s) {
+                *r = true;
+            }
+        }
+        for &s in writes {
+            if let Some(w) = write_ok.get_mut(s) {
+                *w = true;
+            }
+            if let Some(r) = read_ok.get_mut(s) {
+                *r = true;
+            }
+        }
+        Self { read_ok, write_ok }
+    }
+
+    fn allows(&self, slot: usize, dir: Dir) -> bool {
+        let table = match dir {
+            Dir::Read => &self.read_ok,
+            Dir::Write => &self.write_ok,
+        };
+        table.get(slot).copied().unwrap_or(false)
+    }
 }
 
 /// What went wrong inside a kernel. Faulting accesses return
@@ -121,6 +209,16 @@ pub enum FaultKind {
         /// Length of the array.
         len: usize,
     },
+    /// A queued launch accessed a buffer outside its declared
+    /// [`Kernel::buffer_usage`]. Raised instead of returning
+    /// schedule-dependent data, so declared launches stay bit-identical to
+    /// in-order execution no matter how the scheduler overlaps them.
+    UndeclaredBuffer {
+        /// The offending handle.
+        buffer: BufferId,
+        /// Whether the access was a write (`true`) or a read (`false`).
+        write: bool,
+    },
 }
 
 impl std::fmt::Display for FaultKind {
@@ -157,6 +255,11 @@ impl std::fmt::Display for FaultKind {
                 f,
                 "local access to #{}[{index}] out of bounds (len {len})",
                 local.0
+            ),
+            FaultKind::UndeclaredBuffer { buffer, write } => write!(
+                f,
+                "{} of {buffer} outside the launch's declared buffer usage",
+                if *write { "write" } else { "read" }
             ),
         }
     }
@@ -308,7 +411,9 @@ pub struct ItemCtx<'a> {
     /// Memory coalescing granule id (quarter-wavefront on GCN-class
     /// configurations).
     pub(crate) granule: u32,
-    pub(crate) bufs: &'a [Option<RawBuffer>],
+    pub(crate) bufs: &'a crate::engine::BufTable,
+    /// Declared-usage mask of a queued launch, if any (see [`AccessMask`]).
+    pub(crate) access: Option<&'a AccessMask>,
     pub(crate) writes: &'a mut WriteLog,
     pub(crate) arena: &'a mut LocalArena,
     pub(crate) profile: Option<&'a mut PhaseProfile>,
@@ -456,6 +561,15 @@ impl<'a> ItemCtx<'a> {
         dir: Dir,
     ) -> Option<usize> {
         let slot = buffer.index();
+        if let Some(mask) = self.access {
+            if !mask.allows(slot, dir) {
+                self.fault(FaultKind::UndeclaredBuffer {
+                    buffer,
+                    write: matches!(dir, Dir::Write),
+                });
+                return None;
+            }
+        }
         let raw = match self.bufs.get(slot).and_then(Option::as_ref) {
             Some(raw) => raw,
             None => {
@@ -632,6 +746,10 @@ mod tests {
                 local: LocalId(0),
                 index: 8,
                 len: 8,
+            },
+            FaultKind::UndeclaredBuffer {
+                buffer: BufferId(1),
+                write: true,
             },
         ];
         for kind in cases {

@@ -57,6 +57,26 @@
 //! the device, so parameter sweeps re-launching the same shape skip that
 //! setup entirely.
 //!
+//! ## Command queues: enqueue, overlap, stay deterministic
+//!
+//! The primary host API is OpenCL-style **command streams**:
+//! [`Device::create_queue`] returns a [`Queue`] whose
+//! `enqueue_launch` / `enqueue_read` / `enqueue_write` / `enqueue_copy`
+//! methods append commands and return [`Event`]s immediately. Commands
+//! declare wait-lists (events), the scheduler additionally infers buffer
+//! read/write hazards from each kernel's declared
+//! [`Kernel::buffer_usage`], and everything whose dependencies are
+//! satisfied may execute **out of order and concurrently** — while every
+//! observable result stays bit-identical to executing the stream one
+//! command at a time in enqueue order. See the [`queue`][Queue] docs for
+//! the full determinism argument, and [`Event::timing`] for per-command
+//! profiling timestamps.
+//!
+//! The blocking API remains as documented shims over the stream:
+//! [`Device::launch`] ≡ enqueue + wait, [`Device::read_buffer`] ≡
+//! `enqueue_read` + wait, and so on — each drains pending commands first,
+//! so mixing the two styles preserves enqueue-order semantics.
+//!
 //! ## Kernel execution: compile once, execute per item
 //!
 //! Hand-written Rust kernels are plain `run_phase` implementations and the
@@ -121,8 +141,10 @@ mod config;
 mod device;
 mod engine;
 mod error;
+mod event;
 mod kernel;
 mod ndrange;
+mod queue;
 mod stats;
 
 pub mod coalesce;
@@ -134,7 +156,9 @@ pub use config::{DeviceConfig, ExecMode, OptLevel};
 pub use device::Device;
 pub use engine::resolve_parallelism;
 pub use error::SimError;
+pub use event::{Event, EventTiming};
 pub use kernel::{Fault, FaultKind, ItemCtx, Kernel, KernelScratch};
 pub use local::{LocalId, LocalSpec};
 pub use ndrange::{NdRange, NdRangeError};
+pub use queue::{BufferUse, Queue};
 pub use stats::{LaunchReport, LaunchStats, Occupancy, TimingBreakdown};

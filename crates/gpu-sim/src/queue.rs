@@ -1,0 +1,1018 @@
+//! Command queues: the asynchronous, overlappable host API.
+//!
+//! OpenCL hosts do not *call* kernels — they **enqueue** commands (kernel
+//! launches, buffer reads/writes/copies) on command queues and order them
+//! with events. This module brings that model to the simulator:
+//!
+//! * [`Queue::enqueue_launch`] / [`Queue::enqueue_read`] /
+//!   [`Queue::enqueue_write`] / [`Queue::enqueue_copy`] append commands to
+//!   the device's command stream and return an [`Event`](crate::Event)
+//!   immediately;
+//! * commands may declare explicit wait-lists (events), and the scheduler
+//!   additionally **infers buffer hazards**: a command that reads buffer
+//!   `B` is ordered after the last earlier command that writes `B`
+//!   (read-after-write), a writer after earlier readers and writers
+//!   (write-after-read, write-after-write);
+//! * commands whose dependencies are satisfied execute **out of order and
+//!   concurrently** across worker threads — yet every observable result
+//!   (buffers, launch reports, fault logs, read data) is **bit-identical
+//!   to executing the commands one at a time in enqueue order**.
+//!
+//! # The determinism argument
+//!
+//! Execution is demand-driven: waiting on an event (or `finish`) runs the
+//! needed dependency-closed subgraph. Each launch executes against a
+//! snapshot of the buffer table taken when all its hazard predecessors
+//! have completed, so every buffer it is *allowed* to touch holds exactly
+//! the bytes in-order execution would have produced. Buffers outside a
+//! launch's declared [`crate::Kernel::buffer_usage`] are unreachable — the
+//! engine faults such accesses deterministically instead of returning
+//! schedule-dependent data. Kernels that do not declare usage are treated
+//! as touching everything and simply never overlap. Within one launch the
+//! engine's snapshot/write-log discipline applies unchanged, and write
+//! logs are replayed in row-major group order, so a queued launch is
+//! bit-identical to [`crate::Device::launch`] of the same kernel.
+//!
+//! Multiple queues on one device share a single command stream (one global
+//! enqueue order); queues are grouping/lifetime scopes, not ordering
+//! domains — ordering comes *only* from events and hazards, which is what
+//! lets independent commands overlap even on a single queue.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::{Arc, MutexGuard, Weak};
+use std::time::Duration;
+
+use crate::buffer::{BufferId, Scalar};
+use crate::config::DeviceConfig;
+use crate::device::{DeviceShared, DeviceState};
+use crate::engine::{
+    self, execute_groups_parallel, resolve_parallelism, BufTable, LaunchPlan, LaunchSetup,
+};
+use crate::error::SimError;
+use crate::event::{Event, EventTiming};
+use crate::kernel::{AccessMask, Kernel};
+use crate::ndrange::NdRange;
+use crate::stats::LaunchReport;
+
+/// Declared global-buffer usage of one kernel launch: the hazard-inference
+/// input of the command-queue scheduler (see [`Kernel::buffer_usage`]).
+#[derive(Debug, Clone, Default)]
+pub struct BufferUse {
+    /// Buffers the kernel may read.
+    pub reads: Vec<BufferId>,
+    /// Buffers the kernel may write (reading them back is allowed too).
+    pub writes: Vec<BufferId>,
+}
+
+impl BufferUse {
+    /// Convenience constructor.
+    pub fn new(reads: impl Into<Vec<BufferId>>, writes: impl Into<Vec<BufferId>>) -> Self {
+        Self {
+            reads: reads.into(),
+            writes: writes.into(),
+        }
+    }
+}
+
+/// Resolved per-command access sets, in buffer-slot space. `None` means
+/// "may touch anything" (undeclared usage): such a command serializes
+/// against every other command.
+#[derive(Debug, Clone)]
+enum Access {
+    All,
+    Declared {
+        reads: Vec<usize>,
+        writes: Vec<usize>,
+    },
+}
+
+/// One enqueued command.
+pub(crate) struct Command {
+    queue: u64,
+    /// Unsatisfied-at-enqueue-time dependencies (seq numbers). A dep is
+    /// satisfied once its seq leaves the pending map.
+    deps: Vec<u64>,
+    access: Access,
+    kind: CommandKind,
+    queued_at: Duration,
+    profiling: bool,
+}
+
+enum CommandKind {
+    Launch {
+        kernel: Arc<dyn Kernel + Send + Sync>,
+        range: NdRange,
+        plan: Arc<LaunchPlan>,
+        setup: LaunchSetup,
+    },
+    Read {
+        buffer: BufferId,
+    },
+    Write {
+        slot: usize,
+        bits: Vec<u64>,
+    },
+    Copy {
+        src: usize,
+        dst: usize,
+    },
+}
+
+impl CommandKind {
+    fn is_launch(&self) -> bool {
+        matches!(self, CommandKind::Launch { .. })
+    }
+}
+
+/// What a completed command produced. Slots live only as long as an
+/// [`Event`] handle for the command exists — the last event drop frees
+/// the result, so long-lived devices do not accumulate reports.
+#[derive(Debug, Clone)]
+pub(crate) enum CommandResult {
+    /// A launch's report (boxed: reports are an order of magnitude
+    /// larger than the other variants).
+    Launch(Box<LaunchReport>),
+    /// A buffer read. `snapshot` is an O(1) handle to the buffer version
+    /// at execution time (later writers copy-on-write around it); it is
+    /// taken by the first `wait_read`, which materializes the host vector
+    /// outside the device lock.
+    Read {
+        buffer: BufferId,
+        snapshot: Option<Arc<crate::buffer::RawBuffer>>,
+    },
+    /// A buffer write completed.
+    Write,
+    /// A buffer copy completed.
+    Copy,
+}
+
+impl CommandResult {
+    pub(crate) fn describe(&self) -> &'static str {
+        match self {
+            CommandResult::Launch(_) => "launch report",
+            CommandResult::Read {
+                snapshot: Some(_), ..
+            } => "read",
+            CommandResult::Read { snapshot: None, .. } => "read (already taken)",
+            CommandResult::Write => "write completion",
+            CommandResult::Copy => "copy completion",
+        }
+    }
+}
+
+/// Completion record of one command, reachable through its [`Event`].
+pub(crate) struct EventSlot {
+    pub result: Result<CommandResult, SimError>,
+    pub timing: EventTiming,
+}
+
+/// The device's command-stream scheduler state.
+#[derive(Default)]
+pub(crate) struct Sched {
+    next_seq: u64,
+    next_queue: u64,
+    /// Commands not yet completed (including currently running ones).
+    pending: BTreeMap<u64, Command>,
+    /// Seqs currently executing on some thread.
+    running: BTreeSet<u64>,
+    /// Completed (or cancelled) commands, keyed by seq. Entries exist
+    /// only while `event_refs` holds a live handle count for the seq.
+    finished: HashMap<u64, EventSlot>,
+    /// Live [`Event`] handle count per command. Enqueue starts at 1;
+    /// event clones/drops adjust it; at 0 the command's `finished` slot
+    /// (if any) is discarded, bounding result memory by live handles
+    /// instead of device lifetime.
+    event_refs: HashMap<u64, usize>,
+    /// Per-slot seq of the last enqueued writer.
+    last_writer: HashMap<usize, u64>,
+    /// Per-slot seqs of readers enqueued since the last writer.
+    readers: HashMap<usize, Vec<u64>>,
+    /// Seq of the last enqueued undeclared-usage command, if any.
+    last_universal: Option<u64>,
+}
+
+impl Sched {
+    pub(crate) fn new_queue(&mut self) -> u64 {
+        let id = self.next_queue;
+        self.next_queue += 1;
+        id
+    }
+
+    pub(crate) fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    pub(crate) fn event_slot(&self, seq: u64) -> Option<&EventSlot> {
+        self.finished.get(&seq)
+    }
+
+    pub(crate) fn event_slot_mut(&mut self, seq: u64) -> Option<&mut EventSlot> {
+        self.finished.get_mut(&seq)
+    }
+
+    /// Hazard + explicit dependencies of a new command, pruned to
+    /// still-incomplete seqs.
+    fn collect_deps(&mut self, access: &Access, explicit: &[u64]) -> Vec<u64> {
+        let mut deps: Vec<u64> = explicit.to_vec();
+        match access {
+            Access::All => deps.extend(self.pending.keys().copied()),
+            Access::Declared { reads, writes } => {
+                if let Some(u) = self.last_universal {
+                    deps.push(u);
+                }
+                for s in reads {
+                    if let Some(&w) = self.last_writer.get(s) {
+                        deps.push(w);
+                    }
+                }
+                for s in writes {
+                    if let Some(&w) = self.last_writer.get(s) {
+                        deps.push(w);
+                    }
+                    if let Some(rs) = self.readers.get(s) {
+                        deps.extend(rs.iter().copied());
+                    }
+                }
+            }
+        }
+        deps.sort_unstable();
+        deps.dedup();
+        deps.retain(|d| self.pending.contains_key(d));
+        deps
+    }
+
+    /// Records a new command's access sets in the hazard ledgers.
+    fn record_access(&mut self, seq: u64, access: &Access) {
+        match access {
+            Access::All => self.last_universal = Some(seq),
+            Access::Declared { reads, writes } => {
+                for &s in writes {
+                    self.last_writer.insert(s, seq);
+                    self.readers.remove(&s);
+                }
+                for &s in reads {
+                    self.readers.entry(s).or_default().push(seq);
+                }
+            }
+        }
+    }
+
+    fn insert(&mut self, cmd: Command) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.record_access(seq, &cmd.access);
+        self.pending.insert(seq, cmd);
+        seq
+    }
+
+    /// Pending-ancestor closure of `roots` (the subgraph a drain must
+    /// execute).
+    fn closure(&self, roots: impl IntoIterator<Item = u64>) -> BTreeSet<u64> {
+        let mut needed = BTreeSet::new();
+        let mut stack: Vec<u64> = roots
+            .into_iter()
+            .filter(|s| self.pending.contains_key(s))
+            .collect();
+        while let Some(seq) = stack.pop() {
+            if !needed.insert(seq) {
+                continue;
+            }
+            if let Some(cmd) = self.pending.get(&seq) {
+                stack.extend(
+                    cmd.deps
+                        .iter()
+                        .copied()
+                        .filter(|d| self.pending.contains_key(d)),
+                );
+            }
+        }
+        needed
+    }
+
+    fn is_ready(&self, seq: u64, cmd: &Command) -> bool {
+        !self.running.contains(&seq) && cmd.deps.iter().all(|d| !self.pending.contains_key(d))
+    }
+
+    fn complete(&mut self, seq: u64, slot: EventSlot) {
+        self.pending.remove(&seq);
+        self.running.remove(&seq);
+        // No live event handle means nobody can ever observe the result.
+        if self.event_refs.contains_key(&seq) {
+            self.finished.insert(seq, slot);
+        }
+    }
+
+    /// Registers the first [`Event`] handle of a fresh command.
+    fn track_event(&mut self, seq: u64) {
+        self.event_refs.insert(seq, 1);
+    }
+
+    /// Called by [`Event::clone`].
+    pub(crate) fn retain_event(&mut self, seq: u64) {
+        if let Some(n) = self.event_refs.get_mut(&seq) {
+            *n += 1;
+        }
+    }
+
+    /// Called by [`Event`]'s drop: the last handle going away frees the
+    /// command's stored result.
+    pub(crate) fn release_event(&mut self, seq: u64) {
+        if let Some(n) = self.event_refs.get_mut(&seq) {
+            *n -= 1;
+            if *n == 0 {
+                self.event_refs.remove(&seq);
+                self.finished.remove(&seq);
+            }
+        }
+    }
+
+    /// Cancels every not-yet-running pending command of `queue`,
+    /// resolving their events to [`SimError::QueueReleased`]. Running
+    /// commands complete normally. Dependents of a cancelled command are
+    /// *not* cancelled — a cancelled dependency counts as satisfied.
+    pub(crate) fn cancel_queue(&mut self, queue: u64, now: Duration) {
+        let doomed: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(seq, cmd)| cmd.queue == queue && !self.running.contains(seq))
+            .map(|(&seq, _)| seq)
+            .collect();
+        for seq in doomed {
+            let cmd = self.pending.remove(&seq).expect("collected above");
+            let slot = EventSlot {
+                result: Err(SimError::QueueReleased { queue }),
+                timing: EventTiming {
+                    queued: cmd.queued_at,
+                    started: now,
+                    ended: now,
+                },
+            };
+            if self.event_refs.contains_key(&seq) {
+                self.finished.insert(seq, slot);
+            }
+        }
+    }
+}
+
+/// A command queue on a [`crate::Device`].
+///
+/// Created with [`crate::Device::create_queue`]; any number of queues may
+/// coexist on one device and their commands may overlap (subject to event
+/// and hazard ordering — see the module docs). The queue holds only a
+/// *weak* device handle: commands enqueued after the device is dropped
+/// fail with [`SimError::DeviceLost`].
+///
+/// Dropping (or [`Queue::release`]-ing) a queue **cancels** its pending
+/// commands — call [`Queue::finish`] or wait on the events first if the
+/// work must run.
+///
+/// # Examples
+///
+/// ```
+/// use kp_gpu_sim::{BufferId, BufferUse, Device, DeviceConfig, ItemCtx, Kernel, NdRange};
+///
+/// struct Double { src: BufferId, dst: BufferId }
+///
+/// impl Kernel for Double {
+///     fn name(&self) -> &str { "double" }
+///     fn buffer_usage(&self) -> Option<BufferUse> {
+///         Some(BufferUse::new([self.src], [self.dst]))
+///     }
+///     fn run_phase(&self, _phase: usize, ctx: &mut ItemCtx<'_>) {
+///         let i = ctx.global_id(0);
+///         let v: f32 = ctx.read_global(self.src, i);
+///         ctx.write_global(self.dst, i, 2.0 * v);
+///         ctx.ops(1);
+///     }
+/// }
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut dev = Device::new(DeviceConfig::test_tiny())?;
+/// let src = dev.create_buffer_from("src", &[1.0f32, 2.0, 3.0, 4.0])?;
+/// let dst = dev.create_buffer::<f32>("dst", 4)?;
+///
+/// let q = dev.create_queue();
+/// let launch = q.enqueue_launch(Double { src, dst }, NdRange::new_1d(4, 4)?, &[])?;
+/// // The read is hazard-ordered after the launch automatically; the
+/// // explicit wait-list is optional documentation.
+/// let read = q.enqueue_read::<f32>(dst, &[launch.clone()])?;
+///
+/// let report = launch.wait_report()?;
+/// assert_eq!(read.wait_read::<f32>()?, vec![2.0, 4.0, 6.0, 8.0]);
+/// assert_eq!(report.groups, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Queue {
+    pub(crate) shared: Weak<DeviceShared>,
+    pub(crate) id: u64,
+}
+
+impl Queue {
+    /// This queue's device-unique id (used in [`SimError::QueueReleased`]).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    fn upgrade(&self) -> Result<Arc<DeviceShared>, SimError> {
+        self.shared.upgrade().ok_or(SimError::DeviceLost)
+    }
+
+    fn check_wait_list(&self, wait: &[Event]) -> Result<Vec<u64>, SimError> {
+        let mut seqs = Vec::with_capacity(wait.len());
+        for e in wait {
+            if !Weak::ptr_eq(&e.shared, &self.shared) {
+                return Err(SimError::Launch(
+                    "wait-list event belongs to a different device".into(),
+                ));
+            }
+            seqs.push(e.seq);
+        }
+        Ok(seqs)
+    }
+
+    fn event(&self, seq: u64) -> Event {
+        Event {
+            shared: self.shared.clone(),
+            seq,
+            queue: self.id,
+        }
+    }
+
+    /// Enqueues a kernel launch and returns its event. The launch is
+    /// validated (geometry, resources, declared buffers) immediately;
+    /// execution is deferred until an event is waited on, the queue is
+    /// finished, or a blocking [`crate::Device`] operation drains the
+    /// stream.
+    ///
+    /// If the kernel declares [`Kernel::buffer_usage`], the launch may
+    /// overlap with commands touching disjoint buffers; otherwise it is
+    /// conservatively ordered against everything.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::DeviceLost`], [`SimError::Launch`] for geometry or
+    /// resource violations, [`SimError::UnknownBuffer`] for a declared
+    /// buffer that does not exist. Kernel faults surface later, through
+    /// the event.
+    pub fn enqueue_launch<K>(
+        &self,
+        kernel: K,
+        range: NdRange,
+        wait: &[Event],
+    ) -> Result<Event, SimError>
+    where
+        K: Kernel + Send + Sync + 'static,
+    {
+        let shared = self.upgrade()?;
+        let explicit = self.check_wait_list(wait)?;
+        let mut st = shared.state.lock().expect("device state poisoned");
+        let access = match kernel.buffer_usage() {
+            None => Access::All,
+            Some(u) => {
+                let resolve = |ids: &[BufferId]| -> Result<Vec<usize>, SimError> {
+                    let mut slots = Vec::with_capacity(ids.len());
+                    for &id in ids {
+                        if st.bufs.get(id.index()).and_then(Option::as_ref).is_none() {
+                            return Err(SimError::UnknownBuffer(id));
+                        }
+                        slots.push(id.index());
+                    }
+                    Ok(slots)
+                };
+                Access::Declared {
+                    reads: resolve(&u.reads)?,
+                    writes: resolve(&u.writes)?,
+                }
+            }
+        };
+        let (plan, setup) = crate::device::prepare_launch(
+            &mut st,
+            kernel.name(),
+            kernel.phases(),
+            kernel.local_buffers(),
+            range,
+        )?;
+        let seq = self.insert_command(
+            &shared,
+            &mut st,
+            access,
+            explicit,
+            CommandKind::Launch {
+                kernel: Arc::new(kernel),
+                range,
+                plan,
+                setup,
+            },
+        );
+        Ok(self.event(seq))
+    }
+
+    /// Enqueues a read of `buffer` into host memory; the data is retrieved
+    /// with [`Event::wait_read`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::DeviceLost`], [`SimError::UnknownBuffer`],
+    /// [`SimError::BufferKind`].
+    pub fn enqueue_read<T: Scalar>(
+        &self,
+        buffer: BufferId,
+        wait: &[Event],
+    ) -> Result<Event, SimError> {
+        let shared = self.upgrade()?;
+        let explicit = self.check_wait_list(wait)?;
+        let mut st = shared.state.lock().expect("device state poisoned");
+        let raw = st
+            .bufs
+            .get(buffer.index())
+            .and_then(Option::as_ref)
+            .ok_or(SimError::UnknownBuffer(buffer))?;
+        if raw.kind != T::KIND {
+            return Err(SimError::BufferKind {
+                buffer,
+                expected: T::KIND,
+                actual: raw.kind,
+            });
+        }
+        let access = Access::Declared {
+            reads: vec![buffer.index()],
+            writes: vec![],
+        };
+        let seq = self.insert_command(
+            &shared,
+            &mut st,
+            access,
+            explicit,
+            CommandKind::Read { buffer },
+        );
+        Ok(self.event(seq))
+    }
+
+    /// Enqueues an overwrite of `buffer` with `data` (copied out
+    /// immediately, like OpenCL's blocking-write of the host pointer).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::DeviceLost`], [`SimError::UnknownBuffer`],
+    /// [`SimError::BufferKind`], [`SimError::SizeMismatch`].
+    pub fn enqueue_write<T: Scalar>(
+        &self,
+        buffer: BufferId,
+        data: &[T],
+        wait: &[Event],
+    ) -> Result<Event, SimError> {
+        let shared = self.upgrade()?;
+        let explicit = self.check_wait_list(wait)?;
+        let mut st = shared.state.lock().expect("device state poisoned");
+        let raw = st
+            .bufs
+            .get(buffer.index())
+            .and_then(Option::as_ref)
+            .ok_or(SimError::UnknownBuffer(buffer))?;
+        if raw.kind != T::KIND {
+            return Err(SimError::BufferKind {
+                buffer,
+                expected: T::KIND,
+                actual: raw.kind,
+            });
+        }
+        if raw.len() != data.len() {
+            return Err(SimError::SizeMismatch {
+                buffer,
+                buffer_len: raw.len(),
+                data_len: data.len(),
+            });
+        }
+        let access = Access::Declared {
+            reads: vec![],
+            writes: vec![buffer.index()],
+        };
+        let bits = data.iter().map(|v| v.to_bits64()).collect();
+        let seq = self.insert_command(
+            &shared,
+            &mut st,
+            access,
+            explicit,
+            CommandKind::Write {
+                slot: buffer.index(),
+                bits,
+            },
+        );
+        Ok(self.event(seq))
+    }
+
+    /// Enqueues a device-side copy of `src` into `dst`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::DeviceLost`], [`SimError::UnknownBuffer`],
+    /// [`SimError::BufferKind`], [`SimError::SizeMismatch`].
+    pub fn enqueue_copy(
+        &self,
+        src: BufferId,
+        dst: BufferId,
+        wait: &[Event],
+    ) -> Result<Event, SimError> {
+        let shared = self.upgrade()?;
+        let explicit = self.check_wait_list(wait)?;
+        let mut st = shared.state.lock().expect("device state poisoned");
+        let src_raw = st
+            .bufs
+            .get(src.index())
+            .and_then(Option::as_ref)
+            .ok_or(SimError::UnknownBuffer(src))?;
+        let (src_kind, src_len) = (src_raw.kind, src_raw.len());
+        let dst_raw = st
+            .bufs
+            .get(dst.index())
+            .and_then(Option::as_ref)
+            .ok_or(SimError::UnknownBuffer(dst))?;
+        if dst_raw.kind != src_kind {
+            return Err(SimError::BufferKind {
+                buffer: dst,
+                expected: src_kind,
+                actual: dst_raw.kind,
+            });
+        }
+        if dst_raw.len() != src_len {
+            return Err(SimError::SizeMismatch {
+                buffer: dst,
+                buffer_len: dst_raw.len(),
+                data_len: src_len,
+            });
+        }
+        let access = Access::Declared {
+            reads: vec![src.index()],
+            writes: vec![dst.index()],
+        };
+        let seq = self.insert_command(
+            &shared,
+            &mut st,
+            access,
+            explicit,
+            CommandKind::Copy {
+                src: src.index(),
+                dst: dst.index(),
+            },
+        );
+        Ok(self.event(seq))
+    }
+
+    fn insert_command(
+        &self,
+        shared: &Arc<DeviceShared>,
+        st: &mut MutexGuard<'_, DeviceState>,
+        access: Access,
+        explicit: Vec<u64>,
+        kind: CommandKind,
+    ) -> u64 {
+        let deps = st.sched.collect_deps(&access, &explicit);
+        let profiling = st.profiling;
+        let seq = st.sched.insert(Command {
+            queue: self.id,
+            deps,
+            access,
+            kind,
+            queued_at: shared.epoch.elapsed(),
+            profiling,
+        });
+        st.sched.track_event(seq);
+        seq
+    }
+
+    /// Executes every still-pending command of this queue (plus whatever
+    /// commands of other queues they depend on) and returns when they have
+    /// all completed. Per-command outcomes — including kernel faults —
+    /// stay on the individual events.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::DeviceLost`].
+    pub fn finish(&self) -> Result<(), SimError> {
+        let shared = self.upgrade()?;
+        let roots: Vec<u64> = {
+            let st = shared.state.lock().expect("device state poisoned");
+            st.sched
+                .pending
+                .iter()
+                .filter(|(_, cmd)| cmd.queue == self.id)
+                .map(|(&seq, _)| seq)
+                .collect()
+        };
+        drain(&shared, roots);
+        Ok(())
+    }
+
+    /// Releases the queue, cancelling its pending commands (their events
+    /// resolve to [`SimError::QueueReleased`]). Equivalent to dropping it;
+    /// provided for explicitness at call sites.
+    pub fn release(self) {}
+}
+
+impl Drop for Queue {
+    fn drop(&mut self) {
+        if let Some(shared) = self.shared.upgrade() {
+            let now = shared.epoch.elapsed();
+            let mut st = shared.state.lock().expect("device state poisoned");
+            st.sched.cancel_queue(self.id, now);
+            drop(st);
+            shared.cv.notify_all();
+        }
+    }
+}
+
+/// Everything a worker needs to run one launch command without holding
+/// the device lock.
+struct LaunchRun {
+    seq: u64,
+    kernel: Arc<dyn Kernel + Send + Sync>,
+    range: NdRange,
+    plan: Arc<LaunchPlan>,
+    setup: LaunchSetup,
+    snapshot: BufTable,
+    mask: Option<AccessMask>,
+    cfg: DeviceConfig,
+    profiling: bool,
+    workers: usize,
+    queued_at: Duration,
+    started: Duration,
+}
+
+/// Executes the pending-ancestor closure of `roots` to completion,
+/// cooperating with any other threads draining the same device. Commands
+/// outside the closure are left pending (lazy execution).
+pub(crate) fn drain(shared: &Arc<DeviceShared>, roots: impl IntoIterator<Item = u64>) {
+    let mut needed: BTreeSet<u64> = {
+        let st = shared.state.lock().expect("device state poisoned");
+        st.sched.closure(roots)
+    };
+    loop {
+        enum Work {
+            Done,
+            Inline(Box<LaunchRun>),
+            Wave(Vec<LaunchRun>),
+        }
+        let work = {
+            let mut st = shared.state.lock().expect("device state poisoned");
+            loop {
+                needed.retain(|s| st.sched.pending.contains_key(s));
+                if needed.is_empty() {
+                    break Work::Done;
+                }
+                // Host-side commands (reads/writes/copies) are cheap:
+                // execute every ready one right here under the lock —
+                // including commands outside the demanded subgraph, so a
+                // stream's uploads/read-backs never pile up behind one
+                // wait.
+                let mut progressed = false;
+                let instant_ready: Vec<u64> = st
+                    .sched
+                    .pending
+                    .iter()
+                    .filter(|(&s, cmd)| !cmd.kind.is_launch() && st.sched.is_ready(s, cmd))
+                    .map(|(&s, _)| s)
+                    .collect();
+                for seq in instant_ready {
+                    execute_instant(shared, &mut st, seq);
+                    progressed = true;
+                }
+                if progressed {
+                    shared.cv.notify_all();
+                    continue;
+                }
+                let ready_needed: Vec<u64> = needed
+                    .iter()
+                    .copied()
+                    .filter(|&s| st.sched.is_ready(s, &st.sched.pending[&s]))
+                    .collect();
+                if ready_needed.is_empty() {
+                    // Every runnable demanded command is already executing
+                    // on some thread (ours or another drain's); wait for
+                    // progress. A cycle is impossible: dependencies always
+                    // point at strictly earlier sequence numbers.
+                    st = shared.cv.wait(st).expect("device state poisoned");
+                    continue;
+                }
+                // Opportunistic overlap: ready commands *outside* the
+                // demanded subgraph fill whatever worker slots the wave
+                // has left — this is what lets "enqueue A; enqueue B;
+                // wait A" run B concurrently instead of leaving it queued.
+                let ready_extra: Vec<u64> = st
+                    .sched
+                    .pending
+                    .iter()
+                    .filter(|(&s, cmd)| !needed.contains(&s) && st.sched.is_ready(s, cmd))
+                    .map(|(&s, _)| s)
+                    .collect();
+                let workers = resolve_parallelism(st.cfg.parallelism);
+                if ready_needed.len() == 1 && ready_extra.is_empty() && st.sched.running.is_empty()
+                {
+                    // Nothing to overlap with: give the single launch the
+                    // full in-launch worker budget, exactly like the
+                    // blocking frontends.
+                    let run = prepare_launch_run(shared, &mut st, ready_needed[0], workers);
+                    break Work::Inline(Box::new(run));
+                }
+                // Overlap mode: demanded commands first, up to the
+                // budget, and the in-launch worker budget divided across
+                // the wave so overlapping two launches on an 8-worker
+                // device still shards each over 4 threads (never slower
+                // than serializing them at 8). A wave of one (budget
+                // exhausted or nothing else ready) runs on the calling
+                // thread — no point paying a thread spawn for zero
+                // concurrency.
+                let seqs: Vec<u64> = ready_needed
+                    .into_iter()
+                    .chain(ready_extra)
+                    .take(workers.max(1))
+                    .collect();
+                let share = (workers / seqs.len()).max(1);
+                let mut wave: Vec<LaunchRun> = seqs
+                    .into_iter()
+                    .map(|seq| prepare_launch_run(shared, &mut st, seq, share))
+                    .collect();
+                if wave.len() == 1 {
+                    break Work::Inline(Box::new(wave.remove(0)));
+                }
+                break Work::Wave(wave);
+            }
+        };
+        match work {
+            Work::Done => return,
+            Work::Inline(run) => execute_launch(shared, *run),
+            Work::Wave(wave) => {
+                std::thread::scope(|s| {
+                    for run in wave {
+                        s.spawn(move || execute_launch(shared, run));
+                    }
+                });
+            }
+        }
+    }
+}
+
+/// Marks a ready launch as running and captures everything its execution
+/// needs: kernel handle, plan, a snapshot of the buffer table, and the
+/// access mask compiled from its declared usage.
+fn prepare_launch_run(
+    shared: &Arc<DeviceShared>,
+    st: &mut MutexGuard<'_, DeviceState>,
+    seq: u64,
+    workers: usize,
+) -> LaunchRun {
+    st.sched.running.insert(seq);
+    let cmd = st.sched.pending.get(&seq).expect("picked from pending");
+    let mask = match &cmd.access {
+        Access::All => None,
+        Access::Declared { reads, writes } => Some(AccessMask::new(st.bufs.len(), reads, writes)),
+    };
+    let CommandKind::Launch {
+        kernel,
+        range,
+        plan,
+        setup,
+    } = &cmd.kind
+    else {
+        unreachable!("prepare_launch_run called on a non-launch command")
+    };
+    LaunchRun {
+        seq,
+        kernel: Arc::clone(kernel),
+        range: *range,
+        plan: Arc::clone(plan),
+        setup: LaunchSetup {
+            local_specs: setup.local_specs.clone(),
+            phases: setup.phases,
+            occ: setup.occ,
+        },
+        snapshot: st.bufs.clone(),
+        mask: mask.clone(),
+        cfg: st.cfg.clone(),
+        profiling: cmd.profiling,
+        workers: workers.min(plan.group_coords.len()).max(1),
+        queued_at: cmd.queued_at,
+        started: shared.epoch.elapsed(),
+    }
+}
+
+/// Runs one launch command (device lock *not* held), then applies its
+/// writes and publishes its event under the lock.
+fn execute_launch(shared: &Arc<DeviceShared>, mut run: LaunchRun) {
+    let (outcomes, entries) = if run.workers <= 1 {
+        engine::execute_groups_serial(
+            &*run.kernel,
+            &run.cfg,
+            &run.plan,
+            &run.setup,
+            &mut run.snapshot,
+            run.profiling,
+            run.mask.as_ref(),
+        )
+    } else {
+        execute_groups_parallel(
+            &*run.kernel,
+            &run.cfg,
+            &run.plan,
+            &run.setup,
+            &run.snapshot,
+            run.profiling,
+            run.workers,
+            run.mask.as_ref(),
+        )
+    };
+    let result = engine::reduce_outcomes(
+        run.kernel.name(),
+        &run.cfg,
+        run.profiling,
+        &run.range,
+        &run.setup,
+        outcomes,
+    )
+    .map(|report| CommandResult::Launch(Box::new(report)));
+    // Drop the private snapshot before applying so unshared buffers are
+    // written in place rather than copy-on-write.
+    drop(run.snapshot);
+    let mut st = shared.state.lock().expect("device state poisoned");
+    engine::apply_writes(&entries, &mut st.bufs);
+    st.sched.complete(
+        run.seq,
+        EventSlot {
+            result,
+            timing: EventTiming {
+                queued: run.queued_at,
+                started: run.started,
+                ended: shared.epoch.elapsed(),
+            },
+        },
+    );
+    drop(st);
+    shared.cv.notify_all();
+}
+
+/// Executes a host-side command (read/write/copy) under the device lock.
+fn execute_instant(shared: &Arc<DeviceShared>, st: &mut MutexGuard<'_, DeviceState>, seq: u64) {
+    let started = shared.epoch.elapsed();
+    let cmd = st.sched.pending.remove(&seq).expect("picked from pending");
+    let result = match cmd.kind {
+        CommandKind::Read { buffer } => {
+            // O(1) under the lock: keep an `Arc` to the buffer version at
+            // execution time. Later writers copy-on-write around it, so
+            // the snapshot stays exact; `wait_read` materializes the host
+            // vector outside the lock.
+            let raw = st.bufs[buffer.index()]
+                .as_ref()
+                .expect("validated at enqueue; releases drain first");
+            Ok(CommandResult::Read {
+                buffer,
+                snapshot: Some(Arc::clone(raw)),
+            })
+        }
+        CommandKind::Write { slot, bits } => {
+            let raw = st.bufs[slot]
+                .as_mut()
+                .expect("validated at enqueue; releases drain first");
+            Arc::make_mut(raw).data = bits;
+            Ok(CommandResult::Write)
+        }
+        CommandKind::Copy { src, dst } => {
+            let data = st.bufs[src]
+                .as_ref()
+                .expect("validated at enqueue; releases drain first")
+                .data
+                .clone();
+            let raw = st.bufs[dst]
+                .as_mut()
+                .expect("validated at enqueue; releases drain first");
+            Arc::make_mut(raw).data = data;
+            Ok(CommandResult::Copy)
+        }
+        CommandKind::Launch { .. } => unreachable!("launches are not instant commands"),
+    };
+    st.sched.running.remove(&seq);
+    let slot = EventSlot {
+        result,
+        timing: EventTiming {
+            queued: cmd.queued_at,
+            started,
+            ended: shared.epoch.elapsed(),
+        },
+    };
+    if st.sched.event_refs.contains_key(&seq) {
+        st.sched.finished.insert(seq, slot);
+    }
+}
+
+/// Drains every pending command of the device (used by the blocking
+/// `Device` shims before they touch buffers directly).
+pub(crate) fn drain_all(shared: &Arc<DeviceShared>) {
+    let roots: Vec<u64> = {
+        let st = shared.state.lock().expect("device state poisoned");
+        if !st.sched.has_pending() {
+            return;
+        }
+        st.sched.pending.keys().copied().collect()
+    };
+    drain(shared, roots);
+}

@@ -67,13 +67,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ("height", ArgValue::Int(size as i64)),
         ]
     };
+    // Both kernels go through one command queue. An `IrKernel` cannot
+    // declare which buffers its generated code touches, so the scheduler
+    // conservatively orders the two launches — but the enqueue/event API
+    // is identical, and the reads ride the same stream.
+    let queue = dev.create_queue();
     let accurate = IrKernel::new(accurate_def.clone(), &bind(out_a))?;
-    let r_acc = dev.launch(&accurate, range)?;
+    let e_acc = queue.enqueue_launch(accurate, range, &[])?;
     let perforated = IrKernel::new(perforated_def, &bind(out_p))?;
-    let r_perf = dev.launch(&perforated, range)?;
+    let e_perf = queue.enqueue_launch(perforated, range, &[])?;
+    let read_a = queue.enqueue_read::<f32>(out_a, std::slice::from_ref(&e_acc))?;
+    let read_p = queue.enqueue_read::<f32>(out_p, std::slice::from_ref(&e_perf))?;
 
-    let a = dev.read_buffer::<f32>(out_a)?;
-    let p = dev.read_buffer::<f32>(out_p)?;
+    let r_acc = e_acc.wait_report()?;
+    let r_perf = e_perf.wait_report()?;
+    let a = read_a.wait_read::<f32>()?;
+    let p = read_p.wait_read::<f32>()?;
     let mre = kernel_perforation::core::mean_relative_error(&a, &p);
 
     println!(

@@ -26,20 +26,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         size,
     )?;
 
-    let app = Hotspot::new();
+    // Apps handed to the runner are `'static` (queued commands outlive the
+    // call); `Hotspot::new` is const, so a static fits naturally.
+    static APP: Hotspot = Hotspot::new();
+    let app = &APP;
     let mut dev = Device::new(DeviceConfig::firepro_w5100())?;
 
     println!("hotspot {size}x{size}, {steps} explicit steps");
     let accurate = run_iterative(
         &mut dev,
-        &app,
+        app,
         &input,
         &RunSpec::Baseline { group: (16, 16) },
         steps,
     )?;
     let perforated = run_iterative(
         &mut dev,
-        &app,
+        app,
         &input,
         &RunSpec::Perforated(ApproxConfig::rows1_nn((16, 16))),
         steps,
