@@ -133,7 +133,9 @@ pub(crate) struct RawBuffer {
     /// Starting byte address of this buffer in the flat global address
     /// space. Used so that distinct buffers never share a coalescing block.
     pub base_addr: u64,
-    pub label: String,
+    /// Shared label handle: cloning a buffer snapshot (or handing the
+    /// label to diagnostics) bumps a refcount instead of allocating.
+    pub label: std::sync::Arc<str>,
 }
 
 impl RawBuffer {
@@ -195,7 +197,7 @@ mod tests {
             kind: ElemKind::F32,
             data: vec![0; 8],
             base_addr: 1024,
-            label: String::new(),
+            label: "".into(),
         };
         assert_eq!(raw.elem_addr(0), 1024);
         assert_eq!(raw.elem_addr(3), 1024 + 12);

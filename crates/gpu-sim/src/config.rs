@@ -140,12 +140,15 @@ pub struct DeviceConfig {
     pub max_groups_per_cu: usize,
     /// Core clock in MHz, used to convert cycles to seconds.
     pub clock_mhz: f64,
-    /// Host threads used by the parallel launch engine to execute work
-    /// groups: `0` = one per available core, `1` = single-threaded, `n` =
-    /// exactly `n` workers. For kernels whose groups are independent
-    /// within one launch (the OpenCL contract), functional results and
-    /// reports are identical for every value (see the crate-level
-    /// "Execution model" docs).
+    /// Host threads used to execute simulated work: `0` = one per
+    /// available core, `1` = single-threaded, `n` = exactly `n` workers.
+    /// This single budget sizes both the in-launch sharding of the
+    /// parallel launch engine and the device's **persistent command-queue
+    /// worker pool** (spawned lazily on first enqueue; enqueued commands
+    /// start eagerly on it, before any wait). For kernels whose groups
+    /// are independent within one launch (the OpenCL contract),
+    /// functional results and reports are identical for every value (see
+    /// the crate-level "Execution model" docs).
     pub parallelism: usize,
     /// Execution strategy for kernels that carry both a bytecode compiler
     /// and a reference interpreter (see [`ExecMode`]). Both strategies are

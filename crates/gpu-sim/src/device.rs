@@ -59,6 +59,13 @@ pub(crate) struct DeviceState {
     pub(crate) profiling: bool,
     pub(crate) plans: PlanCache,
     pub(crate) sched: Sched,
+    /// Set by [`Device`]'s drop: workers exit instead of picking new
+    /// commands, and blocked waits return [`SimError::DeviceLost`].
+    pub(crate) shutdown: bool,
+    /// Join handles of the persistent worker pool (spawned lazily on
+    /// first enqueue; joined by [`Device`]'s drop). Workers never touch
+    /// this field themselves.
+    pub(crate) workers: Vec<std::thread::JoinHandle<()>>,
 }
 
 /// Validates a launch against device limits and captures its immutable
@@ -143,6 +150,8 @@ impl Device {
                     profiling: true,
                     plans: PlanCache::default(),
                     sched: Sched::default(),
+                    shutdown: false,
+                    workers: Vec::new(),
                 }),
                 cv: Condvar::new(),
                 epoch: Instant::now(),
@@ -170,19 +179,26 @@ impl Device {
         }
     }
 
-    /// Executes every pending enqueued command. Blocking operations call
-    /// this internally; it is public for host code that wants a full
-    /// barrier across all queues without tracking events.
+    /// Blocks until every pending enqueued command has completed.
+    /// Execution itself is eager — the persistent worker pool starts
+    /// commands as soon as their dependencies clear — so this is a pure
+    /// join, not a trigger. Blocking operations call it internally; it is
+    /// public for host code that wants a full barrier across all queues
+    /// without tracking events.
     pub fn finish(&self) {
         drain_all(&self.shared);
     }
 
     /// Sets the number of worker threads the launch engine uses
     /// (`0` = one per available core). The same budget bounds how many
-    /// enqueued commands execute concurrently. For kernels whose groups
-    /// are independent within one launch — the OpenCL contract, see the
-    /// crate-level "Execution model" docs — results are identical for
-    /// every value; only wall-clock time changes.
+    /// enqueued commands execute concurrently: the persistent worker
+    /// pool grows lazily on enqueue (and its threads persist until the
+    /// device drops), but workers only *pick* commands while fewer than
+    /// the current budget are running — so lowering the knob takes
+    /// effect immediately, surplus workers simply park. For kernels
+    /// whose groups are independent within one launch — the OpenCL
+    /// contract, see the crate-level "Execution model" docs — results
+    /// are identical for every value; only wall-clock time changes.
     pub fn set_parallelism(&mut self, threads: usize) {
         self.cfg.parallelism = threads;
         self.state().cfg.parallelism = threads;
@@ -304,7 +320,7 @@ impl Device {
             kind,
             data,
             base_addr,
-            label: label.to_owned(),
+            label: label.into(),
         })));
         Ok(id)
     }
@@ -363,17 +379,19 @@ impl Device {
             .ok_or(SimError::UnknownBuffer(id))
     }
 
-    /// The label given to a buffer at creation time.
+    /// The label given to a buffer at creation time. Returned as a shared
+    /// `Arc<str>` handle — a refcount bump, not an allocation — so
+    /// diagnostics can query labels on hot paths freely.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::UnknownBuffer`] if the handle is invalid.
-    pub fn buffer_label(&self, id: BufferId) -> Result<String, SimError> {
+    pub fn buffer_label(&self, id: BufferId) -> Result<Arc<str>, SimError> {
         let st = self.state();
         st.bufs
             .get(id.index())
             .and_then(Option::as_ref)
-            .map(|raw| raw.label.clone())
+            .map(|raw| Arc::clone(&raw.label))
             .ok_or(SimError::UnknownBuffer(id))
     }
 
@@ -604,6 +622,32 @@ impl Device {
             &setup,
             outcomes,
         )
+    }
+}
+
+impl Drop for Device {
+    /// Shuts the persistent command-queue worker pool down cleanly: sets
+    /// the shutdown flag (workers finish the command they are executing,
+    /// then exit instead of picking another) and joins every worker — no
+    /// thread outlives its device. Commands still pending at this point
+    /// never run; their events observe [`SimError::DeviceLost`] once the
+    /// shared state is freed, and any thread blocked in a `wait` is woken
+    /// and gets the same typed error.
+    fn drop(&mut self) {
+        let workers = {
+            // Tolerate a poisoned lock here: drop must still join the
+            // surviving workers even if one panicked.
+            let mut st = match self.shared.state.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            st.shutdown = true;
+            std::mem::take(&mut st.workers)
+        };
+        self.shared.cv.notify_all();
+        for worker in workers {
+            let _ = worker.join();
+        }
     }
 }
 
@@ -1102,7 +1146,11 @@ mod more_tests {
     fn buffer_labels_are_kept() {
         let mut dev = device();
         let id = dev.create_buffer::<f32>("my-label", 1).unwrap();
-        assert_eq!(dev.buffer_label(id).unwrap(), "my-label");
+        assert_eq!(&*dev.buffer_label(id).unwrap(), "my-label");
+        // Repeated queries share one allocation (refcounted handle).
+        let a = dev.buffer_label(id).unwrap();
+        let b = dev.buffer_label(id).unwrap();
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
     }
 
     /// Regression: each group reads local memory it never wrote, and the

@@ -523,8 +523,8 @@ pub(crate) fn reduce_outcomes(
 
 /// Resolves a parallelism knob to a concrete worker count
 /// (`0` = one per available core). Shared policy for the launch engine,
-/// the command-queue scheduler and host-side harnesses (`kp_core::par`
-/// delegates here).
+/// the persistent command-queue worker pool and host-side harnesses
+/// (`kp_core::par` delegates here).
 ///
 /// The `KP_SIM_PARALLELISM` environment variable, when set to a positive
 /// integer, overrides the *auto* resolution (`requested == 0`) only — CI
@@ -587,7 +587,7 @@ mod tests {
             kind: crate::buffer::ElemKind::F32,
             data: vec![0; 4],
             base_addr: 0,
-            label: String::new(),
+            label: "".into(),
         }))];
         apply_writes(&log.take_entries(), &mut bufs);
         assert_eq!(bufs[0].as_ref().unwrap().data[1], 22);

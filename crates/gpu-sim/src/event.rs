@@ -3,8 +3,10 @@
 //! Every `enqueue_*` call on a [`crate::Queue`] returns an [`Event`].
 //! Events serve three purposes, mirroring OpenCL's `cl_event`:
 //!
-//! * **synchronization** — [`Event::wait`] blocks until (and triggers —
-//!   execution is demand-driven) the command's completion;
+//! * **synchronization** — [`Event::wait`] blocks until the command has
+//!   completed (execution is eager: the device's persistent worker pool
+//!   starts commands as soon as their dependencies clear, so a wait is a
+//!   pure join, never a trigger);
 //! * **ordering** — events go into the wait-lists of later `enqueue_*`
 //!   calls, adding explicit edges to the scheduler's dependency DAG on top
 //!   of the inferred buffer hazards;
@@ -24,7 +26,7 @@ use std::time::Duration;
 use crate::buffer::Scalar;
 use crate::device::DeviceShared;
 use crate::error::SimError;
-use crate::queue::{drain, CommandResult};
+use crate::queue::{wait_seq, CommandResult};
 use crate::stats::LaunchReport;
 
 /// Per-command wall-clock timestamps, relative to device creation.
@@ -44,8 +46,9 @@ pub struct EventTiming {
 }
 
 impl EventTiming {
-    /// Time the command spent waiting in the stream (dependencies,
-    /// scheduling, laziness of demand-driven execution).
+    /// Time the command spent waiting in the stream (dependencies and
+    /// worker availability — with the eager pool this is pure scheduling
+    /// delay, not laziness).
     pub fn queue_delay(&self) -> Duration {
         self.started.saturating_sub(self.queued)
     }
@@ -105,19 +108,16 @@ impl Event {
 
     fn complete(&self) -> Result<std::sync::Arc<DeviceShared>, SimError> {
         let shared = self.shared.upgrade().ok_or(SimError::DeviceLost)?;
-        drain(&shared, [self.seq]);
+        wait_seq(&shared, self.seq);
         Ok(shared)
     }
 
-    /// Waits for the command to complete (executing it, and its
-    /// dependencies, if they have not run yet).
-    ///
-    /// Execution is demand-driven but *opportunistic*: while satisfying
-    /// this wait, idle worker slots may pick up other ready commands of
-    /// the same device, and the wait returns after the whole wave — so a
-    /// wait can take up to one unrelated command-duration longer than
-    /// the strict dependency chain. This is the batching that lets
-    /// "enqueue A; enqueue B; wait A" overlap B with A.
+    /// Waits for the command to complete — a pure blocking join.
+    /// Execution is eager: the device's persistent worker pool started
+    /// the command (and its dependencies) the moment they became ready,
+    /// so by the time host code waits, the work is typically already in
+    /// flight or done. The [`Event::timing`] timestamps record exactly
+    /// that schedule.
     ///
     /// # Errors
     ///
@@ -222,8 +222,9 @@ impl Event {
         }
     }
 
-    /// Whether the command has already completed (without triggering
-    /// execution).
+    /// Whether the command has already completed (a non-blocking poll;
+    /// with eager execution this flips to `true` on its own, without any
+    /// wait).
     ///
     /// # Errors
     ///

@@ -66,16 +66,19 @@
 //! declare wait-lists (events), the scheduler additionally infers buffer
 //! read/write hazards from each kernel's declared
 //! [`Kernel::buffer_usage`], and everything whose dependencies are
-//! satisfied may execute **out of order and concurrently** — while every
-//! observable result stays bit-identical to executing the stream one
-//! command at a time in enqueue order. See the [`queue`][Queue] docs for
-//! the full determinism argument, and [`Event::timing`] for per-command
-//! profiling timestamps.
+//! satisfied executes **eagerly, out of order and concurrently** on a
+//! persistent per-device worker pool — commands start *before* the first
+//! wait, so host code between enqueue and wait overlaps with the device,
+//! and [`Queue::set_priority`] steers which ready command a free worker
+//! picks first. Every observable result stays bit-identical to executing
+//! the stream one command at a time in enqueue order. See the
+//! [`queue`][Queue] docs for the pool lifecycle and the full determinism
+//! argument, and [`Event::timing`] for per-command profiling timestamps.
 //!
 //! The blocking API remains as documented shims over the stream:
 //! [`Device::launch`] ≡ enqueue + wait, [`Device::read_buffer`] ≡
-//! `enqueue_read` + wait, and so on — each drains pending commands first,
-//! so mixing the two styles preserves enqueue-order semantics.
+//! `enqueue_read` + wait, and so on — each joins the pending stream
+//! first, so mixing the two styles preserves enqueue-order semantics.
 //!
 //! ## Kernel execution: compile once, execute per item
 //!

@@ -18,20 +18,46 @@
 //!   (buffers, launch reports, fault logs, read data) is **bit-identical
 //!   to executing the commands one at a time in enqueue order**.
 //!
+//! # Eager execution: the persistent worker pool
+//!
+//! Execution is **eager**: every device owns a persistent pool of
+//! [`crate::resolve_parallelism`]`(parallelism)` background workers,
+//! spawned lazily on the first enqueue and parked on the device's
+//! Mutex+Condvar state. A worker picks a ready command — all hazard and
+//! wait-list predecessors complete — the moment one exists, so commands
+//! **start before the first `wait`**: host code between enqueue and wait
+//! runs concurrently with the device (observable through the per-event
+//! `queued`/`started`/`ended` timestamps, [`crate::Event::timing`]).
+//! `wait`/`finish` are pure blocking joins on completion; they never
+//! execute commands themselves.
+//!
+//! When several commands are ready at once, workers pick them in a
+//! **deterministic ready-list order**: descending queue priority
+//! ([`Queue::set_priority`], captured per command at enqueue time), then
+//! ascending enqueue sequence. Priorities steer latency only — they can
+//! never change results, because results are schedule-independent (below).
+//!
+//! Dropping the [`crate::Device`] shuts the pool down cleanly: workers
+//! finish the command they are executing and exit; no thread outlives the
+//! device, and leftover events resolve to typed
+//! [`SimError::DeviceLost`] errors instead of hanging.
+//!
 //! # The determinism argument
 //!
-//! Execution is demand-driven: waiting on an event (or `finish`) runs the
-//! needed dependency-closed subgraph. Each launch executes against a
-//! snapshot of the buffer table taken when all its hazard predecessors
-//! have completed, so every buffer it is *allowed* to touch holds exactly
-//! the bytes in-order execution would have produced. Buffers outside a
-//! launch's declared [`crate::Kernel::buffer_usage`] are unreachable — the
-//! engine faults such accesses deterministically instead of returning
+//! Each launch executes against a snapshot of the buffer table taken when
+//! all its hazard predecessors have completed, so every buffer it is
+//! *allowed* to touch holds exactly the bytes in-order execution would
+//! have produced. Buffers outside a launch's declared
+//! [`crate::Kernel::buffer_usage`] are unreachable — the engine faults
+//! such accesses deterministically instead of returning
 //! schedule-dependent data. Kernels that do not declare usage are treated
 //! as touching everything and simply never overlap. Within one launch the
 //! engine's snapshot/write-log discipline applies unchanged, and write
 //! logs are replayed in row-major group order, so a queued launch is
-//! bit-identical to [`crate::Device::launch`] of the same kernel.
+//! bit-identical to [`crate::Device::launch`] of the same kernel. None of
+//! this depends on *when* a ready command starts, which is why the eager
+//! pool (and any priority assignment) preserves bit-identical results,
+//! reports and fault logs at every worker count.
 //!
 //! Multiple queues on one device share a single command stream (one global
 //! enqueue order); queues are grouping/lifetime scopes, not ordering
@@ -96,6 +122,10 @@ pub(crate) struct Command {
     kind: CommandKind,
     queued_at: Duration,
     profiling: bool,
+    /// Scheduling priority, captured from the owning queue at enqueue
+    /// time (higher = picked earlier among simultaneously ready
+    /// commands). Latency steering only — never affects results.
+    priority: u8,
 }
 
 enum CommandKind {
@@ -189,6 +219,9 @@ pub(crate) struct Sched {
     readers: HashMap<usize, Vec<u64>>,
     /// Seq of the last enqueued undeclared-usage command, if any.
     last_universal: Option<u64>,
+    /// Per-queue scheduling priority (see [`Queue::set_priority`]);
+    /// absent means the default, 0.
+    queue_prio: HashMap<u64, u8>,
 }
 
 impl Sched {
@@ -265,32 +298,38 @@ impl Sched {
         seq
     }
 
-    /// Pending-ancestor closure of `roots` (the subgraph a drain must
-    /// execute).
-    fn closure(&self, roots: impl IntoIterator<Item = u64>) -> BTreeSet<u64> {
-        let mut needed = BTreeSet::new();
-        let mut stack: Vec<u64> = roots
-            .into_iter()
-            .filter(|s| self.pending.contains_key(s))
-            .collect();
-        while let Some(seq) = stack.pop() {
-            if !needed.insert(seq) {
-                continue;
-            }
-            if let Some(cmd) = self.pending.get(&seq) {
-                stack.extend(
-                    cmd.deps
-                        .iter()
-                        .copied()
-                        .filter(|d| self.pending.contains_key(d)),
-                );
-            }
-        }
-        needed
-    }
-
     fn is_ready(&self, seq: u64, cmd: &Command) -> bool {
         !self.running.contains(&seq) && cmd.deps.iter().all(|d| !self.pending.contains_key(d))
+    }
+
+    /// Scheduling priority of a queue (default 0).
+    fn queue_priority(&self, queue: u64) -> u8 {
+        self.queue_prio.get(&queue).copied().unwrap_or(0)
+    }
+
+    /// Every ready host-side (non-launch) command, in deterministic
+    /// ready-list order: descending priority, then enqueue sequence.
+    /// Ready commands are pairwise hazard-independent, so this order only
+    /// decides who gets their event resolved first.
+    fn ready_host_commands(&self) -> Vec<u64> {
+        let mut ready: Vec<(std::cmp::Reverse<u8>, u64)> = self
+            .pending
+            .iter()
+            .filter(|(&seq, cmd)| !cmd.kind.is_launch() && self.is_ready(seq, cmd))
+            .map(|(&seq, cmd)| (std::cmp::Reverse(cmd.priority), seq))
+            .collect();
+        ready.sort_unstable();
+        ready.into_iter().map(|(_, seq)| seq).collect()
+    }
+
+    /// The ready launch a free worker should pick next: highest priority
+    /// first, enqueue order within one priority.
+    fn pick_ready_launch(&self) -> Option<u64> {
+        self.pending
+            .iter()
+            .filter(|(&seq, cmd)| cmd.kind.is_launch() && self.is_ready(seq, cmd))
+            .min_by_key(|(&seq, cmd)| (std::cmp::Reverse(cmd.priority), seq))
+            .map(|(&seq, _)| seq)
     }
 
     fn complete(&mut self, seq: u64, slot: EventSlot) {
@@ -442,9 +481,9 @@ impl Queue {
 
     /// Enqueues a kernel launch and returns its event. The launch is
     /// validated (geometry, resources, declared buffers) immediately;
-    /// execution is deferred until an event is waited on, the queue is
-    /// finished, or a blocking [`crate::Device`] operation drains the
-    /// stream.
+    /// execution starts **eagerly** — a background pool worker picks the
+    /// command up as soon as its dependencies have completed, typically
+    /// long before anything is waited on (see the module docs).
     ///
     /// If the kernel declares [`Kernel::buffer_usage`], the launch may
     /// overlap with commands touching disjoint buffers; otherwise it is
@@ -670,6 +709,7 @@ impl Queue {
     ) -> u64 {
         let deps = st.sched.collect_deps(&access, &explicit);
         let profiling = st.profiling;
+        let priority = st.sched.queue_priority(self.id);
         let seq = st.sched.insert(Command {
             queue: self.id,
             deps,
@@ -677,31 +717,68 @@ impl Queue {
             kind,
             queued_at: shared.epoch.elapsed(),
             profiling,
+            priority,
         });
         st.sched.track_event(seq);
+        // Eager execution: make sure the worker pool exists and wake it —
+        // the command starts as soon as its dependencies are done, not
+        // when somebody waits.
+        ensure_workers(shared, st);
+        shared.cv.notify_all();
         seq
     }
 
-    /// Executes every still-pending command of this queue (plus whatever
-    /// commands of other queues they depend on) and returns when they have
-    /// all completed. Per-command outcomes — including kernel faults —
-    /// stay on the individual events.
+    /// Sets this queue's scheduling priority (default 0; higher runs
+    /// earlier). When several commands are ready at the same time, pool
+    /// workers pick them in descending priority, then enqueue order — a
+    /// deterministic ready-list order. The priority is captured per
+    /// command **at enqueue time**: changing it affects commands enqueued
+    /// afterwards, not ones already in the stream.
+    ///
+    /// Priorities steer latency only. Results, reports and fault logs are
+    /// bit-identical for every priority assignment (see the module docs'
+    /// determinism argument).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::DeviceLost`].
+    pub fn set_priority(&self, priority: u8) -> Result<(), SimError> {
+        let shared = self.upgrade()?;
+        let mut st = shared.state.lock().expect("device state poisoned");
+        st.sched.queue_prio.insert(self.id, priority);
+        Ok(())
+    }
+
+    /// This queue's current scheduling priority (see
+    /// [`Queue::set_priority`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::DeviceLost`].
+    pub fn priority(&self) -> Result<u8, SimError> {
+        let shared = self.upgrade()?;
+        let st = shared.state.lock().expect("device state poisoned");
+        Ok(st.sched.queue_priority(self.id))
+    }
+
+    /// Blocks until every still-pending command of this queue has
+    /// completed (their dependencies on other queues complete first by
+    /// construction). A pure join — the worker pool is already executing
+    /// eagerly. Per-command outcomes — including kernel faults — stay on
+    /// the individual events.
     ///
     /// # Errors
     ///
     /// [`SimError::DeviceLost`].
     pub fn finish(&self) -> Result<(), SimError> {
         let shared = self.upgrade()?;
-        let roots: Vec<u64> = {
-            let st = shared.state.lock().expect("device state poisoned");
-            st.sched
-                .pending
-                .iter()
-                .filter(|(_, cmd)| cmd.queue == self.id)
-                .map(|(&seq, _)| seq)
-                .collect()
-        };
-        drain(&shared, roots);
+        let mut st = shared.state.lock().expect("device state poisoned");
+        while !st.shutdown && st.sched.pending.values().any(|cmd| cmd.queue == self.id) {
+            st = shared.cv.wait(st).expect("device state poisoned");
+        }
+        if st.shutdown {
+            return Err(SimError::DeviceLost);
+        }
         Ok(())
     }
 
@@ -740,116 +817,104 @@ struct LaunchRun {
     started: Duration,
 }
 
-/// Executes the pending-ancestor closure of `roots` to completion,
-/// cooperating with any other threads draining the same device. Commands
-/// outside the closure are left pending (lazy execution).
-pub(crate) fn drain(shared: &Arc<DeviceShared>, roots: impl IntoIterator<Item = u64>) {
-    let mut needed: BTreeSet<u64> = {
-        let st = shared.state.lock().expect("device state poisoned");
-        st.sched.closure(roots)
-    };
+/// Tops the device's persistent worker pool up to
+/// [`resolve_parallelism`]`(cfg.parallelism)` threads. Called on every
+/// enqueue (so the pool appears lazily, on first use, and grows if
+/// [`crate::Device::set_parallelism`] raised the budget); it never
+/// shrinks — surplus workers just park until the device drops.
+pub(crate) fn ensure_workers(shared: &Arc<DeviceShared>, st: &mut MutexGuard<'_, DeviceState>) {
+    if st.shutdown {
+        return;
+    }
+    let target = resolve_parallelism(st.cfg.parallelism).max(1);
+    while st.workers.len() < target {
+        let shared = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name("kp-sim-worker".into())
+            .spawn(move || worker_loop(&shared))
+            .expect("spawn command-queue worker");
+        st.workers.push(handle);
+    }
+}
+
+/// Body of one persistent pool worker: park on the device condvar until
+/// a command is ready, execute it, publish its event, repeat — until the
+/// device shuts down. Host-side commands (reads/writes/copies) are
+/// executed in batches under the lock; launches release the lock for the
+/// duration of kernel execution.
+fn worker_loop(shared: &Arc<DeviceShared>) {
+    let mut st = shared.state.lock().expect("device state poisoned");
     loop {
-        enum Work {
-            Done,
-            Inline(Box<LaunchRun>),
-            Wave(Vec<LaunchRun>),
+        if st.shutdown {
+            return;
         }
-        let work = {
-            let mut st = shared.state.lock().expect("device state poisoned");
-            loop {
-                needed.retain(|s| st.sched.pending.contains_key(s));
-                if needed.is_empty() {
-                    break Work::Done;
-                }
-                // Host-side commands (reads/writes/copies) are cheap:
-                // execute every ready one right here under the lock —
-                // including commands outside the demanded subgraph, so a
-                // stream's uploads/read-backs never pile up behind one
-                // wait.
-                let mut progressed = false;
-                let instant_ready: Vec<u64> = st
+        // Host-side commands are cheap: resolve every ready one right
+        // here, in ready-list order, before considering launches — they
+        // never pile up behind a launch while any worker is free (with
+        // every worker mid-launch they wait for the first to retire;
+        // waits are pure joins and never execute commands themselves).
+        let ready_host = st.sched.ready_host_commands();
+        if !ready_host.is_empty() {
+            for seq in ready_host {
+                execute_instant(shared, &mut st, seq);
+            }
+            // Completions may have unblocked dependents (and waiters).
+            shared.cv.notify_all();
+            continue;
+        }
+        // The *current* parallelism knob bounds how many commands run
+        // concurrently — enforced here, not by pool size, so lowering
+        // the knob after the pool has grown still takes effect (surplus
+        // workers park until a running launch retires).
+        let budget = resolve_parallelism(st.cfg.parallelism).max(1);
+        if st.sched.running.len() >= budget {
+            st = shared.cv.wait(st).expect("device state poisoned");
+            continue;
+        }
+        match st.sched.pick_ready_launch() {
+            Some(seq) => {
+                // Divide the in-launch sharding budget across the
+                // launches currently running AND the ones other workers
+                // are about to pick (the still-ready set, which includes
+                // this one), so overlapping two simultaneously ready
+                // launches on an 8-worker device shards each over 4
+                // threads — never slower than serializing them at 8. A
+                // lone launch gets the full budget, exactly like the
+                // blocking frontends; a launch enqueued *later*, while a
+                // wide one is already running, may transiently
+                // oversubscribe the budget until the wide launch
+                // retires (results are unaffected; only scheduling
+                // noise).
+                let ready_launches = st
                     .sched
                     .pending
                     .iter()
-                    .filter(|(&s, cmd)| !cmd.kind.is_launch() && st.sched.is_ready(s, cmd))
-                    .map(|(&s, _)| s)
-                    .collect();
-                for seq in instant_ready {
-                    execute_instant(shared, &mut st, seq);
-                    progressed = true;
-                }
-                if progressed {
-                    shared.cv.notify_all();
-                    continue;
-                }
-                let ready_needed: Vec<u64> = needed
-                    .iter()
-                    .copied()
-                    .filter(|&s| st.sched.is_ready(s, &st.sched.pending[&s]))
-                    .collect();
-                if ready_needed.is_empty() {
-                    // Every runnable demanded command is already executing
-                    // on some thread (ours or another drain's); wait for
-                    // progress. A cycle is impossible: dependencies always
-                    // point at strictly earlier sequence numbers.
-                    st = shared.cv.wait(st).expect("device state poisoned");
-                    continue;
-                }
-                // Opportunistic overlap: ready commands *outside* the
-                // demanded subgraph fill whatever worker slots the wave
-                // has left — this is what lets "enqueue A; enqueue B;
-                // wait A" run B concurrently instead of leaving it queued.
-                let ready_extra: Vec<u64> = st
-                    .sched
-                    .pending
-                    .iter()
-                    .filter(|(&s, cmd)| !needed.contains(&s) && st.sched.is_ready(s, cmd))
-                    .map(|(&s, _)| s)
-                    .collect();
-                let workers = resolve_parallelism(st.cfg.parallelism);
-                if ready_needed.len() == 1 && ready_extra.is_empty() && st.sched.running.is_empty()
-                {
-                    // Nothing to overlap with: give the single launch the
-                    // full in-launch worker budget, exactly like the
-                    // blocking frontends.
-                    let run = prepare_launch_run(shared, &mut st, ready_needed[0], workers);
-                    break Work::Inline(Box::new(run));
-                }
-                // Overlap mode: demanded commands first, up to the
-                // budget, and the in-launch worker budget divided across
-                // the wave so overlapping two launches on an 8-worker
-                // device still shards each over 4 threads (never slower
-                // than serializing them at 8). A wave of one (budget
-                // exhausted or nothing else ready) runs on the calling
-                // thread — no point paying a thread spawn for zero
-                // concurrency.
-                let seqs: Vec<u64> = ready_needed
-                    .into_iter()
-                    .chain(ready_extra)
-                    .take(workers.max(1))
-                    .collect();
-                let share = (workers / seqs.len()).max(1);
-                let mut wave: Vec<LaunchRun> = seqs
-                    .into_iter()
-                    .map(|seq| prepare_launch_run(shared, &mut st, seq, share))
-                    .collect();
-                if wave.len() == 1 {
-                    break Work::Inline(Box::new(wave.remove(0)));
-                }
-                break Work::Wave(wave);
+                    .filter(|(&s, cmd)| cmd.kind.is_launch() && st.sched.is_ready(s, cmd))
+                    .count();
+                let inflight = st.sched.running.len() + ready_launches.max(1);
+                let share = (budget / inflight).max(1);
+                let run = prepare_launch_run(shared, &mut st, seq, share);
+                drop(st);
+                execute_launch(shared, run);
+                st = shared.state.lock().expect("device state poisoned");
             }
-        };
-        match work {
-            Work::Done => return,
-            Work::Inline(run) => execute_launch(shared, *run),
-            Work::Wave(wave) => {
-                std::thread::scope(|s| {
-                    for run in wave {
-                        s.spawn(move || execute_launch(shared, run));
-                    }
-                });
-            }
+            // Nothing ready: park until an enqueue, a completion or
+            // shutdown changes that. A lost-progress deadlock is
+            // impossible — dependencies always point at strictly earlier
+            // sequence numbers, so some pending command is always ready
+            // or running.
+            None => st = shared.cv.wait(st).expect("device state poisoned"),
         }
+    }
+}
+
+/// Blocks until command `seq` has left the pending map (completed or
+/// cancelled) or the device shut down. Pure join: execution is the
+/// worker pool's job.
+pub(crate) fn wait_seq(shared: &Arc<DeviceShared>, seq: u64) {
+    let mut st = shared.state.lock().expect("device state poisoned");
+    while !st.shutdown && st.sched.pending.contains_key(&seq) {
+        st = shared.cv.wait(st).expect("device state poisoned");
     }
 }
 
@@ -899,50 +964,69 @@ fn prepare_launch_run(
 
 /// Runs one launch command (device lock *not* held), then applies its
 /// writes and publishes its event under the lock.
-fn execute_launch(shared: &Arc<DeviceShared>, mut run: LaunchRun) {
-    let (outcomes, entries) = if run.workers <= 1 {
-        engine::execute_groups_serial(
-            &*run.kernel,
+///
+/// A panicking kernel must not kill the pool worker executing it (a dead
+/// worker would strand every waiter), so execution is wrapped in
+/// `catch_unwind`: the panic becomes a typed [`SimError::Launch`] on the
+/// event, no writes are applied, and the worker lives on.
+fn execute_launch(shared: &Arc<DeviceShared>, run: LaunchRun) {
+    let (seq, queued_at, started) = (run.seq, run.queued_at, run.started);
+    let executed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        let mut run = run;
+        let (outcomes, entries) = if run.workers <= 1 {
+            engine::execute_groups_serial(
+                &*run.kernel,
+                &run.cfg,
+                &run.plan,
+                &run.setup,
+                &mut run.snapshot,
+                run.profiling,
+                run.mask.as_ref(),
+            )
+        } else {
+            execute_groups_parallel(
+                &*run.kernel,
+                &run.cfg,
+                &run.plan,
+                &run.setup,
+                &run.snapshot,
+                run.profiling,
+                run.workers,
+                run.mask.as_ref(),
+            )
+        };
+        let result = engine::reduce_outcomes(
+            run.kernel.name(),
             &run.cfg,
-            &run.plan,
-            &run.setup,
-            &mut run.snapshot,
             run.profiling,
-            run.mask.as_ref(),
-        )
-    } else {
-        execute_groups_parallel(
-            &*run.kernel,
-            &run.cfg,
-            &run.plan,
+            &run.range,
             &run.setup,
-            &run.snapshot,
-            run.profiling,
-            run.workers,
-            run.mask.as_ref(),
+            outcomes,
         )
+        .map(|report| CommandResult::Launch(Box::new(report)));
+        // Drop the private snapshot before applying so unshared buffers
+        // are written in place rather than copy-on-write.
+        drop(run.snapshot);
+        (result, entries)
+    }));
+    let (result, entries) = match executed {
+        Ok((result, entries)) => (result, entries),
+        Err(_) => (
+            Err(SimError::Launch(
+                "kernel panicked during a queued launch; no writes were applied".into(),
+            )),
+            Vec::new(),
+        ),
     };
-    let result = engine::reduce_outcomes(
-        run.kernel.name(),
-        &run.cfg,
-        run.profiling,
-        &run.range,
-        &run.setup,
-        outcomes,
-    )
-    .map(|report| CommandResult::Launch(Box::new(report)));
-    // Drop the private snapshot before applying so unshared buffers are
-    // written in place rather than copy-on-write.
-    drop(run.snapshot);
     let mut st = shared.state.lock().expect("device state poisoned");
     engine::apply_writes(&entries, &mut st.bufs);
     st.sched.complete(
-        run.seq,
+        seq,
         EventSlot {
             result,
             timing: EventTiming {
-                queued: run.queued_at,
-                started: run.started,
+                queued: queued_at,
+                started,
                 ended: shared.epoch.elapsed(),
             },
         },
@@ -1004,15 +1088,12 @@ fn execute_instant(shared: &Arc<DeviceShared>, st: &mut MutexGuard<'_, DeviceSta
     }
 }
 
-/// Drains every pending command of the device (used by the blocking
-/// `Device` shims before they touch buffers directly).
+/// Blocks until every pending command of the device has completed (used
+/// by the blocking `Device` shims before they touch buffers directly).
+/// Pure join: the worker pool is already executing eagerly.
 pub(crate) fn drain_all(shared: &Arc<DeviceShared>) {
-    let roots: Vec<u64> = {
-        let st = shared.state.lock().expect("device state poisoned");
-        if !st.sched.has_pending() {
-            return;
-        }
-        st.sched.pending.keys().copied().collect()
-    };
-    drain(shared, roots);
+    let mut st = shared.state.lock().expect("device state poisoned");
+    while !st.shutdown && st.sched.has_pending() {
+        st = shared.cv.wait(st).expect("device state poisoned");
+    }
 }

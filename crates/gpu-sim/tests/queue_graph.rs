@@ -11,12 +11,52 @@
 //! offline, so no `proptest`): every failing case reproduces from the
 //! seed in the assertion message.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
 use kp_gpu_sim::{
     BufferId, BufferUse, Device, DeviceConfig, Event, FaultKind, ItemCtx, Kernel, LaunchReport,
     NdRange, Queue, SimError,
 };
 
 const BUF_LEN: usize = 64;
+
+/// Spins until the test flips the gate, then writes its buffer. Used to
+/// hold pool workers busy at a point the test controls — the only way to
+/// make "this command was still pending when X happened" deterministic
+/// now that execution is eager.
+struct Gated {
+    buf: BufferId,
+    gate: Arc<AtomicBool>,
+}
+
+impl Kernel for Gated {
+    fn name(&self) -> &str {
+        "gated"
+    }
+
+    fn buffer_usage(&self) -> Option<BufferUse> {
+        Some(BufferUse::new([], [self.buf]))
+    }
+
+    fn run_phase(&self, _phase: usize, ctx: &mut ItemCtx<'_>) {
+        while !self.gate.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+        ctx.write_global(self.buf, ctx.global_id(0), 1.0f32);
+    }
+}
+
+/// Opens a gate when dropped — including during unwinding — so a failed
+/// assertion can never leave a worker spinning and hang the test binary.
+struct OpenOnDrop(Arc<AtomicBool>);
+
+impl Drop for OpenOnDrop {
+    fn drop(&mut self) {
+        self.0.store(true, Ordering::Release);
+    }
+}
 
 /// `dst[i] = a * x[i] + y[i]` with declared usage — overlappable.
 struct Saxpy {
@@ -231,18 +271,24 @@ fn make_buffers(dev: &mut Device, nbufs: usize) -> Vec<BufferId> {
 
 /// Runs a generated graph on `queues` queues. When `in_order` is set,
 /// every event is awaited immediately after its enqueue — the reference
-/// schedule. Returns the per-command observations plus the final contents
-/// of every buffer.
+/// schedule. Queue `i` gets priority `prios[i]` when provided (priorities
+/// may steer the pool's pick order but must never change results).
+/// Returns the per-command observations plus the final contents of every
+/// buffer.
 fn run_graph(
     graph: &[(Cmd, Vec<usize>)],
     parallelism: usize,
     nbufs: usize,
     queues: usize,
     in_order: bool,
+    prios: &[u8],
 ) -> (Vec<Observed>, Vec<Vec<f32>>) {
     let mut dev = device(parallelism);
     let bufs = make_buffers(&mut dev, nbufs);
     let qs: Vec<Queue> = (0..queues).map(|_| dev.create_queue()).collect();
+    for (q, &p) in qs.iter().zip(prios) {
+        q.set_priority(p).unwrap();
+    }
     let mut events: Vec<(Event, bool)> = Vec::with_capacity(graph.len()); // (event, is_read)
     for (i, (cmd, deps)) in graph.iter().enumerate() {
         let wait: Vec<Event> = deps.iter().map(|&d| events[d].0.clone()).collect();
@@ -353,10 +399,10 @@ fn random_graphs_match_in_order_replay_at_every_worker_count() {
     for seed in 0..6u64 {
         let mut rng = XorShift::new(seed);
         let graph = random_graph(&mut rng, 24, 5, false);
-        let (ref_obs, ref_bufs) = run_graph(&graph, 1, 5, 1, true);
+        let (ref_obs, ref_bufs) = run_graph(&graph, 1, 5, 1, true, &[]);
         for parallelism in [1, 2, 8, 0] {
             for queues in [1, 2, 3] {
-                let (obs, bufs) = run_graph(&graph, parallelism, 5, queues, false);
+                let (obs, bufs) = run_graph(&graph, parallelism, 5, queues, false, &[]);
                 assert_eq!(
                     obs, ref_obs,
                     "observations diverged (seed {seed}, p={parallelism}, q={queues})"
@@ -375,12 +421,12 @@ fn faulting_graphs_keep_fault_logs_bit_identical() {
     for seed in 100..104u64 {
         let mut rng = XorShift::new(seed);
         let graph = random_graph(&mut rng, 20, 4, true);
-        let (ref_obs, ref_bufs) = run_graph(&graph, 1, 4, 1, true);
+        let (ref_obs, ref_bufs) = run_graph(&graph, 1, 4, 1, true, &[]);
         // The generator with `faults` emits OOB scales and Sneaky
         // launches; make sure at least one seed actually faults so this
         // test keeps meaning something if the generator changes.
         for parallelism in [1, 8, 0] {
-            let (obs, bufs) = run_graph(&graph, parallelism, 4, 2, false);
+            let (obs, bufs) = run_graph(&graph, parallelism, 4, 2, false, &[]);
             assert_eq!(obs, ref_obs, "seed {seed}, p={parallelism}");
             assert_eq!(bufs, ref_bufs, "seed {seed}, p={parallelism}");
         }
@@ -391,7 +437,7 @@ fn faulting_graphs_keep_fault_logs_bit_identical() {
 fn generator_emits_faulting_commands() {
     let mut rng = XorShift::new(101);
     let graph = random_graph(&mut rng, 20, 4, true);
-    let (obs, _) = run_graph(&graph, 1, 4, 1, true);
+    let (obs, _) = run_graph(&graph, 1, 4, 1, true, &[]);
     assert!(
         obs.iter()
             .any(|o| matches!(o, Observed::Launch(Err(SimError::KernelFaults { .. })))),
@@ -515,6 +561,22 @@ fn wait_on_event_from_released_queue_is_typed_error() {
     let mut dev = device(1);
     let src = dev.create_buffer_from("s", &[1.0f32; BUF_LEN]).unwrap();
     let dst = dev.create_buffer::<f32>("d", BUF_LEN).unwrap();
+    let gbuf = dev.create_buffer::<f32>("g", 1).unwrap();
+    let gate = Arc::new(AtomicBool::new(false));
+    let _open = OpenOnDrop(Arc::clone(&gate));
+    // Eager execution would otherwise run the command before the release:
+    // chain it behind a gated blocker so it is provably still pending.
+    let q_gate = dev.create_queue();
+    let blocker = q_gate
+        .enqueue_launch(
+            Gated {
+                buf: gbuf,
+                gate: Arc::clone(&gate),
+            },
+            NdRange::new_1d(1, 1).unwrap(),
+            &[],
+        )
+        .unwrap();
     let q = dev.create_queue();
     let qid = q.id();
     let ev = q
@@ -526,10 +588,12 @@ fn wait_on_event_from_released_queue_is_typed_error() {
                 oob: false,
             },
             NdRange::new_1d(BUF_LEN, 16).unwrap(),
-            &[],
+            std::slice::from_ref(&blocker),
         )
         .unwrap();
-    q.release(); // pending command cancelled
+    q.release(); // pending (dep-blocked) command cancelled
+    gate.store(true, Ordering::Release);
+    blocker.wait().unwrap();
     match ev.wait() {
         Err(SimError::QueueReleased { queue }) => assert_eq!(queue, qid),
         other => panic!("expected QueueReleased, got {other:?}"),
@@ -688,4 +752,303 @@ fn blocking_shims_drain_pending_commands_first() {
     )
     .unwrap();
     assert_eq!(dev.read_buffer::<f32>(dst).unwrap(), vec![10.0; BUF_LEN]);
+}
+
+/// The eager-start contract: enqueued commands run to completion with
+/// **no** wait of any kind — only non-triggering `is_complete` polls —
+/// and their `started` timestamps predate the first `wait` call.
+///
+/// The timestamp bound is sound without access to the device epoch:
+/// `t0` is taken *before* `Device::new`, so `epoch >= t0` and every
+/// epoch-relative event timestamp is `<=` the same instant measured
+/// relative to `t0`. A `started` below `t0.elapsed()`-at-first-wait
+/// therefore proves the command started strictly before the wait.
+#[test]
+fn commands_execute_eagerly_without_any_wait() {
+    let t0 = Instant::now();
+    let mut dev = device(2);
+    let x1 = dev.create_buffer_from("x1", &[1.0f32; BUF_LEN]).unwrap();
+    let x2 = dev.create_buffer_from("x2", &[2.0f32; BUF_LEN]).unwrap();
+    let d1 = dev.create_buffer::<f32>("d1", BUF_LEN).unwrap();
+    let d2 = dev.create_buffer::<f32>("d2", BUF_LEN).unwrap();
+    let q = dev.create_queue();
+    let range = NdRange::new_1d(BUF_LEN, 16).unwrap();
+    let e1 = q
+        .enqueue_launch(
+            Scale {
+                src: x1,
+                dst: d1,
+                factor: 3.0,
+                oob: false,
+            },
+            range,
+            &[],
+        )
+        .unwrap();
+    let e2 = q
+        .enqueue_launch(
+            Scale {
+                src: x2,
+                dst: d2,
+                factor: 0.5,
+                oob: false,
+            },
+            range,
+            &[],
+        )
+        .unwrap();
+    // Poll only. Demand-driven execution would never complete these.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !(e1.is_complete().unwrap() && e2.is_complete().unwrap()) {
+        assert!(
+            Instant::now() < deadline,
+            "enqueued commands did not start without a wait"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let before_first_wait = t0.elapsed();
+    e1.wait().unwrap();
+    e2.wait().unwrap();
+    for (name, ev) in [("e1", &e1), ("e2", &e2)] {
+        let t = ev.timing().unwrap();
+        assert!(
+            t.started < before_first_wait,
+            "{name} started at {:?}, first wait was at {:?} — not eager",
+            t.started,
+            before_first_wait
+        );
+        assert!(t.ended < before_first_wait, "{name} ended after the wait");
+    }
+    assert_eq!(dev.read_buffer::<f32>(d1).unwrap(), vec![3.0; BUF_LEN]);
+    assert_eq!(dev.read_buffer::<f32>(d2).unwrap(), vec![1.0; BUF_LEN]);
+}
+
+/// Host-side commands (reads) complete eagerly too, without a wait.
+#[test]
+fn host_commands_execute_eagerly_without_any_wait() {
+    let mut dev = device(1);
+    let buf = dev.create_buffer_from("b", &[7.0f32; BUF_LEN]).unwrap();
+    let q = dev.create_queue();
+    let read = q.enqueue_read::<f32>(buf, &[]).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !read.is_complete().unwrap() {
+        assert!(
+            Instant::now() < deadline,
+            "enqueued read did not execute without a wait"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(read.wait_read::<f32>().unwrap(), vec![7.0; BUF_LEN]);
+}
+
+/// With one pool worker, simultaneously ready commands must start in the
+/// deterministic ready-list order: descending queue priority, then
+/// enqueue sequence. A gated blocker holds the worker so all four
+/// commands are released at one instant.
+#[test]
+fn priorities_order_simultaneously_ready_commands() {
+    let mut dev = device(1);
+    let gbuf = dev.create_buffer::<f32>("g", 1).unwrap();
+    let gate = Arc::new(AtomicBool::new(false));
+    let _open = OpenOnDrop(Arc::clone(&gate));
+    let q_gate = dev.create_queue();
+    let blocker = q_gate
+        .enqueue_launch(
+            Gated {
+                buf: gbuf,
+                gate: Arc::clone(&gate),
+            },
+            NdRange::new_1d(1, 1).unwrap(),
+            &[],
+        )
+        .unwrap();
+    // (priority, expected start position): equal priorities fall back to
+    // enqueue order.
+    let prios: [u8; 4] = [0, 200, 50, 200];
+    let range = NdRange::new_1d(BUF_LEN, 16).unwrap();
+    let mut events = Vec::new();
+    let mut queues = Vec::new(); // keep queues alive until their commands ran
+    for (k, &prio) in prios.iter().enumerate() {
+        let src = dev
+            .create_buffer_from(&format!("s{k}"), &[k as f32 + 1.0; BUF_LEN])
+            .unwrap();
+        let dst = dev.create_buffer::<f32>(&format!("d{k}"), BUF_LEN).unwrap();
+        let q = dev.create_queue();
+        q.set_priority(prio).unwrap();
+        assert_eq!(q.priority().unwrap(), prio);
+        let ev = q
+            .enqueue_launch(
+                Scale {
+                    src,
+                    dst,
+                    factor: 2.0,
+                    oob: false,
+                },
+                range,
+                std::slice::from_ref(&blocker),
+            )
+            .unwrap();
+        events.push((ev, dst, k as f32 + 1.0));
+        queues.push(q);
+    }
+    gate.store(true, Ordering::Release);
+    for (ev, dst, input) in &events {
+        ev.wait().unwrap();
+        assert_eq!(
+            dev.read_buffer::<f32>(*dst).unwrap(),
+            vec![input * 2.0; BUF_LEN]
+        );
+    }
+    // Expected start order: prio 200 (enqueue #1), prio 200 (enqueue #3),
+    // prio 50 (#2), prio 0 (#0).
+    let expected = [1usize, 3, 2, 0];
+    let starts: Vec<_> = events
+        .iter()
+        .map(|(ev, _, _)| ev.timing().unwrap().started)
+        .collect();
+    for pair in expected.windows(2) {
+        assert!(
+            starts[pair[0]] <= starts[pair[1]],
+            "ready-list order violated: command {} (prio {}) started at {:?}, \
+             command {} (prio {}) at {:?}",
+            pair[0],
+            prios[pair[0]],
+            starts[pair[0]],
+            pair[1],
+            prios[pair[1]],
+            starts[pair[1]]
+        );
+    }
+}
+
+/// Priorities steer the schedule, never the results: seeded random graphs
+/// with random per-queue priorities stay bit-identical to the in-order
+/// replay at every worker count.
+#[test]
+fn random_graphs_with_priorities_match_in_order_replay() {
+    for seed in 200..204u64 {
+        let mut rng = XorShift::new(seed);
+        let graph = random_graph(&mut rng, 24, 5, false);
+        let prios: Vec<u8> = (0..3).map(|_| (rng.next() % 256) as u8).collect();
+        let (ref_obs, ref_bufs) = run_graph(&graph, 1, 5, 1, true, &[]);
+        for parallelism in [1, 2, 8, 0] {
+            let (obs, bufs) = run_graph(&graph, parallelism, 5, 3, false, &prios);
+            assert_eq!(
+                obs, ref_obs,
+                "observations diverged (seed {seed}, p={parallelism}, prios {prios:?})"
+            );
+            assert_eq!(
+                bufs, ref_bufs,
+                "buffers diverged (seed {seed}, p={parallelism}, prios {prios:?})"
+            );
+        }
+    }
+}
+
+/// A kernel that panics mid-launch must not kill the pool worker: the
+/// event resolves to a typed error, no writes are applied, and the
+/// device keeps executing subsequent commands.
+#[test]
+fn panicking_kernel_resolves_to_typed_error_and_pool_survives() {
+    struct Panicker {
+        dst: BufferId,
+    }
+    impl Kernel for Panicker {
+        fn name(&self) -> &str {
+            "panicker"
+        }
+        fn buffer_usage(&self) -> Option<BufferUse> {
+            Some(BufferUse::new([], [self.dst]))
+        }
+        fn run_phase(&self, _phase: usize, _ctx: &mut ItemCtx<'_>) {
+            panic!("deliberate test panic");
+        }
+    }
+    let mut dev = device(1);
+    let dst = dev.create_buffer::<f32>("d", BUF_LEN).unwrap();
+    let q = dev.create_queue();
+    let range = NdRange::new_1d(BUF_LEN, 16).unwrap();
+    let bad = q.enqueue_launch(Panicker { dst }, range, &[]).unwrap();
+    assert!(matches!(bad.wait(), Err(SimError::Launch(_))));
+    assert_eq!(dev.read_buffer::<f32>(dst).unwrap(), vec![0.0; BUF_LEN]);
+    // The worker that caught the panic still executes later commands.
+    let src = dev.create_buffer_from("s", &[4.0f32; BUF_LEN]).unwrap();
+    let ok = q
+        .enqueue_launch(
+            Scale {
+                src,
+                dst,
+                factor: 0.25,
+                oob: false,
+            },
+            range,
+            &[],
+        )
+        .unwrap();
+    ok.wait().unwrap();
+    assert_eq!(dev.read_buffer::<f32>(dst).unwrap(), vec![1.0; BUF_LEN]);
+}
+
+/// Lowering the parallelism knob after the pool has grown still bounds
+/// concurrency: surplus workers park, and with a budget of 1 every
+/// launch interval is disjoint from the next (each `started` stamp is
+/// taken under the lock only after the previous launch's `ended`).
+#[test]
+fn lowered_parallelism_serializes_launches_despite_wide_pool() {
+    let mut dev = device(8);
+    let warm_src = dev.create_buffer_from("w", &[1.0f32; BUF_LEN]).unwrap();
+    let warm_dst = dev.create_buffer::<f32>("wd", BUF_LEN).unwrap();
+    let range = NdRange::new_1d(BUF_LEN, 16).unwrap();
+    let q = dev.create_queue();
+    // Grow the pool to 8 workers, then lower the budget to 1.
+    q.enqueue_launch(
+        Scale {
+            src: warm_src,
+            dst: warm_dst,
+            factor: 1.0,
+            oob: false,
+        },
+        range,
+        &[],
+    )
+    .unwrap()
+    .wait()
+    .unwrap();
+    dev.set_parallelism(1);
+    let mut events = Vec::new();
+    for k in 0..4 {
+        let src = dev
+            .create_buffer_from(&format!("s{k}"), &[1.0f32; BUF_LEN])
+            .unwrap();
+        let dst = dev.create_buffer::<f32>(&format!("d{k}"), BUF_LEN).unwrap();
+        events.push(
+            q.enqueue_launch(
+                Scale {
+                    src,
+                    dst,
+                    factor: 2.0,
+                    oob: false,
+                },
+                range,
+                &[],
+            )
+            .unwrap(),
+        );
+    }
+    let mut timings: Vec<_> = events
+        .iter()
+        .map(|ev| {
+            ev.wait().unwrap();
+            ev.timing().unwrap()
+        })
+        .collect();
+    timings.sort_by_key(|t| t.started);
+    for pair in timings.windows(2) {
+        assert!(
+            pair[1].started >= pair[0].ended,
+            "launches overlapped ({:?} then {:?}) despite a budget of 1",
+            pair[0],
+            pair[1]
+        );
+    }
 }

@@ -1,0 +1,119 @@
+//! Worker-pool thread hygiene.
+//!
+//! The persistent command-queue pool spawns up to
+//! `resolve_parallelism(cfg.parallelism)` threads per device, lazily on
+//! first enqueue, and `Device`'s drop must join every one of them — a
+//! pool shutdown bug shows up here as a thread-count delta. The test
+//! lives in its own integration-test binary so no concurrently running
+//! test can perturb the process thread count.
+//!
+//! Counting uses `/proc/self/task` (Linux — the platform CI runs on);
+//! elsewhere the test is a no-op.
+
+use kp_gpu_sim::{BufferId, BufferUse, Device, DeviceConfig, ItemCtx, Kernel, NdRange};
+
+const BUF_LEN: usize = 64;
+
+fn thread_count() -> Option<usize> {
+    Some(std::fs::read_dir("/proc/self/task").ok()?.count())
+}
+
+struct Scale {
+    src: BufferId,
+    dst: BufferId,
+}
+
+impl Kernel for Scale {
+    fn name(&self) -> &str {
+        "scale"
+    }
+
+    fn buffer_usage(&self) -> Option<BufferUse> {
+        Some(BufferUse::new([self.src], [self.dst]))
+    }
+
+    fn run_phase(&self, _phase: usize, ctx: &mut ItemCtx<'_>) {
+        let i = ctx.global_id(0);
+        let v: f32 = ctx.read_global(self.src, i);
+        ctx.write_global(self.dst, i, 2.0 * v);
+        ctx.ops(1);
+    }
+}
+
+fn busy_device(parallelism: usize, wait_before_drop: bool) {
+    let mut cfg = DeviceConfig::test_tiny();
+    cfg.parallelism = parallelism;
+    let mut dev = Device::new(cfg).unwrap();
+    let src = dev.create_buffer_from("s", &[1.0f32; BUF_LEN]).unwrap();
+    let dst = dev.create_buffer::<f32>("d", BUF_LEN).unwrap();
+    let q = dev.create_queue();
+    let range = NdRange::new_1d(BUF_LEN, 16).unwrap();
+    let mut events = Vec::new();
+    for _ in 0..4 {
+        events.push(q.enqueue_launch(Scale { src, dst }, range, &[]).unwrap());
+    }
+    if wait_before_drop {
+        for ev in &events {
+            ev.wait().unwrap();
+        }
+    }
+    // Otherwise: drop with commands possibly still pending/running — the
+    // queue drop cancels what has not started, the device drop joins the
+    // pool either way.
+}
+
+#[test]
+fn device_drop_joins_every_pool_worker() {
+    let Some(baseline) = thread_count() else {
+        eprintln!("skipping: /proc/self/task not available on this platform");
+        return;
+    };
+
+    // Sequential churn: many short-lived devices, waited and unwaited,
+    // at several pool sizes (0 = auto, subject to KP_SIM_PARALLELISM in
+    // CI).
+    for round in 0..8 {
+        for parallelism in [1, 2, 4, 0] {
+            busy_device(parallelism, round % 2 == 0);
+        }
+    }
+    let after_churn = thread_count().unwrap();
+    assert_eq!(
+        after_churn, baseline,
+        "worker threads leaked after sequential device churn"
+    );
+
+    // Many devices alive at once, each with a live queue and enqueued
+    // work, then dropped together.
+    let mut live = Vec::new();
+    for k in 0..6 {
+        let mut cfg = DeviceConfig::test_tiny();
+        cfg.parallelism = 2;
+        let mut dev = Device::new(cfg).unwrap();
+        let src = dev
+            .create_buffer_from(&format!("s{k}"), &[1.0f32; BUF_LEN])
+            .unwrap();
+        let dst = dev.create_buffer::<f32>("d", BUF_LEN).unwrap();
+        let q = dev.create_queue();
+        let ev = q
+            .enqueue_launch(
+                Scale { src, dst },
+                NdRange::new_1d(BUF_LEN, 16).unwrap(),
+                &[],
+            )
+            .unwrap();
+        live.push((dev, q, ev));
+    }
+    let with_pools = thread_count().unwrap();
+    assert!(
+        with_pools >= baseline + 6,
+        "expected at least one pool worker per live device \
+         (baseline {baseline}, with 6 live devices {with_pools})"
+    );
+    drop(live);
+    let after_drop = thread_count().unwrap();
+    assert_eq!(
+        after_drop, baseline,
+        "worker threads leaked after dropping devices with live queues"
+    );
+}
