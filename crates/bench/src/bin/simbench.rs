@@ -14,6 +14,10 @@
 //! * the same kernel at both bytecode optimization levels — as-lowered
 //!   (`O0`) vs. the full pass pipeline (`O2`) — recording the
 //!   optimized-over-unoptimized speedup in an `ir_optimizer` section;
+//! * an `ir_vector` section: the same optimized kernel on the scalar
+//!   bytecode VM vs. the lane-batched VM at 4 and 8 lanes — lane
+//!   batching amortizes instruction dispatch across a wave, so the
+//!   speedup is expected on any host, including a single core;
 //! * a `queue_overlap` section: two independent perforated launches
 //!   enqueued on two command queues and reaped together, vs. the same two
 //!   launches serialized (enqueue + wait each), at 1/2/8 workers — the
@@ -34,6 +38,9 @@
 //!   --check     exit non-zero on a regression (CI gates):
 //!               - compiled IR throughput below interpreted
 //!               - optimized bytecode throughput below unoptimized
+//!               - best lane-batched (vectorized) throughput below 1.2x
+//!                 the scalar VM — dispatch amortization is core-count
+//!                 independent, so this gate applies on any host
 //!               - queue_overlap below 0.95x serialized in any run (the
 //!                 overhead bound); on a >= 4-core host the best
 //!                 multi-worker run that fits the cores must additionally
@@ -496,6 +503,35 @@ fn main() {
         optimized.groups_per_sec(),
     );
 
+    // Vectorized workload: same optimized kernel, scalar VM vs. the
+    // lane-batched VM at two wavefront widths (single engine worker, so
+    // the ratio isolates executor throughput, not core count).
+    let vector_lanes = [4usize, 8];
+    let vector_runs: Vec<(usize, Measurement)> = vector_lanes
+        .iter()
+        .map(|&lanes| {
+            let m = measure_ir(
+                &ir_def,
+                ir_data,
+                ir_size,
+                ExecMode::Vectorized { lanes },
+                OptLevel::Full,
+                reps,
+            );
+            eprintln!(
+                "  vectorized({lanes})   : {:8.3} s  ({:9.0} groups/s, {:.2}x vs scalar O2)",
+                m.seconds,
+                m.groups_per_sec(),
+                m.groups_per_sec() / optimized.groups_per_sec(),
+            );
+            (lanes, m)
+        })
+        .collect();
+    let vector_speedup = vector_runs
+        .iter()
+        .map(|(_, m)| m.groups_per_sec() / optimized.groups_per_sec())
+        .fold(f64::MIN, f64::max);
+
     // Queue-overlap workload: two independent perforated launches on two
     // queues, overlapped vs. serialized, per worker count.
     eprintln!(
@@ -616,6 +652,39 @@ fn main() {
     );
     let _ = writeln!(json, "    \"optimized_speedup\": {optimized_speedup:.3}");
     json.push_str("  },\n");
+    json.push_str("  \"ir_vector\": {\n");
+    let _ = writeln!(json, "    \"app\": \"gaussian\",");
+    let _ = writeln!(json, "    \"config\": \"Rows1:NN @ 16x16, O2\",");
+    let _ = writeln!(json, "    \"image_size\": {ir_size},");
+    let _ = writeln!(json, "    \"host_cores\": {cores},");
+    let _ = writeln!(
+        json,
+        "    \"scalar\": {{ \"seconds\": {:.6}, \"groups\": {}, \"groups_per_sec\": {:.1} }},",
+        optimized.seconds,
+        optimized.groups,
+        optimized.groups_per_sec()
+    );
+    json.push_str("    \"vectorized\": [\n");
+    for (i, (lanes, m)) in vector_runs.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{ \"lanes\": {}, \"seconds\": {:.6}, \"groups\": {}, \
+             \"groups_per_sec\": {:.1}, \"speedup_vs_scalar\": {:.3} }}",
+            lanes,
+            m.seconds,
+            m.groups,
+            m.groups_per_sec(),
+            m.groups_per_sec() / optimized.groups_per_sec()
+        );
+        json.push_str(if i + 1 < vector_runs.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("    ],\n");
+    let _ = writeln!(json, "    \"vector_speedup\": {vector_speedup:.3}");
+    json.push_str("  },\n");
     json.push_str("  \"queue_overlap\": {\n");
     let _ = writeln!(json, "    \"app\": \"gaussian\",");
     let _ = writeln!(json, "    \"config\": \"2x Rows1:NN @ 16x16, two queues\",");
@@ -676,6 +745,16 @@ fn main() {
                  unoptimized ({:.0} groups/s)",
                 optimized.groups_per_sec(),
                 compiled.groups_per_sec()
+            );
+            failed = true;
+        }
+        // Lane batching amortizes opcode dispatch across a wave — a
+        // single-worker, single-core win — so the gate applies on any
+        // host, unlike the core-gated concurrency checks below.
+        if vector_speedup < 1.2 {
+            eprintln!(
+                "check FAILED: best lane-batched throughput is {vector_speedup:.2}x the \
+                 scalar VM (must reach >= 1.20x on any host)"
             );
             failed = true;
         }

@@ -25,9 +25,11 @@ use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
 
 use crate::buffer::RawBuffer;
-use crate::config::DeviceConfig;
+use crate::config::{DeviceConfig, ExecMode};
 use crate::error::SimError;
-use crate::kernel::{AccessMask, FaultLog, ItemCtx, Kernel, KernelScratch, PhaseProfile};
+use crate::kernel::{
+    AccessMask, FaultLog, ItemCtx, Kernel, KernelScratch, LaneSlot, PhaseProfile, WaveCtx,
+};
 use crate::local::{LocalArena, LocalSpec};
 use crate::ndrange::NdRange;
 use crate::stats::{LaunchReport, LaunchStats, Occupancy, TimingBreakdown};
@@ -281,36 +283,57 @@ pub(crate) fn run_group<K: Kernel + ?Sized>(
 
     scratch.arena.reset();
     scratch.log.reset(bufs.len());
+    // In vectorized mode work items run in lockstep wavefront batches of
+    // `lanes` items; otherwise one item at a time (the scalar reference).
+    let lanes = match cfg.exec_mode {
+        ExecMode::Vectorized { lanes } => resolve_lanes(lanes),
+        _ => 0,
+    };
     let mut group_cycles = cfg.group_dispatch_cycles;
     for phase in 0..phases {
         if let Some(p) = scratch.profile.as_mut() {
             p.reset_phase();
         }
-        for (li, &local) in plan.local_coords.iter().enumerate() {
-            let mut ctx = ItemCtx {
-                range: &plan.range,
-                cfg,
-                group,
-                local,
+        if lanes > 0 {
+            run_phase_waves(
+                kernel,
                 phase,
-                wavefront: plan.wf_of[li],
-                granule: plan.granule_of[li],
+                lanes,
+                cfg,
+                plan,
                 bufs,
-                access: mask,
-                writes: &mut scratch.log,
-                arena: &mut scratch.arena,
-                profile: scratch.profile.as_mut(),
-                faults: &mut faults,
-                scratch: &mut scratch.kernel,
-                local_seq: 0,
-                global_seq: 0,
-                item_ops: 0,
-            };
-            kernel.run_phase(phase, &mut ctx);
-            let item_ops = ctx.item_ops;
-            if let Some(p) = scratch.profile.as_mut() {
-                let wf = plan.wf_of[li] as usize;
-                p.wf_max_ops[wf] = p.wf_max_ops[wf].max(item_ops);
+                mask,
+                group,
+                scratch,
+                &mut faults,
+            );
+        } else {
+            for (li, &local) in plan.local_coords.iter().enumerate() {
+                let mut ctx = ItemCtx {
+                    range: &plan.range,
+                    cfg,
+                    group,
+                    local,
+                    phase,
+                    wavefront: plan.wf_of[li],
+                    granule: plan.granule_of[li],
+                    bufs,
+                    access: mask,
+                    writes: &mut scratch.log,
+                    arena: &mut scratch.arena,
+                    profile: scratch.profile.as_mut(),
+                    faults: &mut faults,
+                    scratch: &mut scratch.kernel,
+                    local_seq: 0,
+                    global_seq: 0,
+                    item_ops: 0,
+                };
+                kernel.run_phase(phase, &mut ctx);
+                let item_ops = ctx.item_ops;
+                if let Some(p) = scratch.profile.as_mut() {
+                    let wf = plan.wf_of[li] as usize;
+                    p.wf_max_ops[wf] = p.wf_max_ops[wf].max(item_ops);
+                }
             }
         }
         if let Some(p) = scratch.profile.as_mut() {
@@ -347,6 +370,61 @@ pub(crate) fn run_group<K: Kernel + ?Sized>(
         stats,
         timing: breakdown,
         faults,
+    }
+}
+
+/// Runs one phase of one group in lockstep wavefront batches of `lanes`
+/// work items (the [`ExecMode::Vectorized`] execution path of
+/// [`run_group`]). Waves cover the group's flat item ids in row-major
+/// chunks — the last wave is a shorter *tail* when the group size is not a
+/// multiple of `lanes` — and after each wave the per-lane fault buffers
+/// are merged into the group log in lane order, so the log is identical
+/// to the one the scalar item loop records.
+#[allow(clippy::too_many_arguments)]
+fn run_phase_waves<K: Kernel + ?Sized>(
+    kernel: &K,
+    phase: usize,
+    lanes: usize,
+    cfg: &DeviceConfig,
+    plan: &LaunchPlan,
+    bufs: &BufTable,
+    mask: Option<&AccessMask>,
+    group: [usize; 3],
+    scratch: &mut WorkerScratch,
+    faults: &mut FaultLog,
+) {
+    let mut slots: Vec<LaneSlot> = Vec::with_capacity(lanes);
+    for (wave_idx, chunk) in plan.local_coords.chunks(lanes).enumerate() {
+        let base = wave_idx * lanes;
+        slots.clear();
+        slots.extend(chunk.iter().enumerate().map(|(j, &local)| LaneSlot {
+            local,
+            wavefront: plan.wf_of[base + j],
+            granule: plan.granule_of[base + j],
+            ..LaneSlot::default()
+        }));
+        let mut wave = WaveCtx {
+            range: &plan.range,
+            cfg,
+            group,
+            phase,
+            bufs,
+            access: mask,
+            writes: &mut scratch.log,
+            arena: &mut scratch.arena,
+            profile: scratch.profile.as_mut(),
+            scratch: &mut scratch.kernel,
+            slots: &mut slots,
+            base_flat: base,
+        };
+        kernel.run_phase_wave(phase, &mut wave);
+        for (j, slot) in slots.iter_mut().enumerate() {
+            faults.merge(std::mem::take(&mut slot.faults));
+            if let Some(p) = scratch.profile.as_mut() {
+                let wf = plan.wf_of[base + j] as usize;
+                p.wf_max_ops[wf] = p.wf_max_ops[wf].max(slot.item_ops);
+            }
+        }
     }
 }
 
@@ -534,12 +612,8 @@ pub(crate) fn reduce_outcomes(
 pub fn resolve_parallelism(requested: usize) -> usize {
     if requested == 0 {
         static OVERRIDE: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
-        let forced = OVERRIDE.get_or_init(|| {
-            std::env::var("KP_SIM_PARALLELISM")
-                .ok()
-                .and_then(|v| v.parse::<usize>().ok())
-                .filter(|&n| n > 0)
-        });
+        let forced =
+            OVERRIDE.get_or_init(|| parse_env_override(std::env::var("KP_SIM_PARALLELISM").ok()));
         if let Some(n) = forced {
             return *n;
         }
@@ -549,6 +623,38 @@ pub fn resolve_parallelism(requested: usize) -> usize {
     } else {
         requested
     }
+}
+
+/// The lane count [`resolve_lanes`] picks when nothing overrides it: wide
+/// enough to amortize instruction dispatch across a wave, narrow enough
+/// that divergence scans stay cheap on small test groups.
+pub const DEFAULT_LANES: usize = 8;
+
+/// Resolves an [`ExecMode::Vectorized`] lane-count knob to a concrete
+/// wavefront batch width (`0` = auto).
+///
+/// The `KP_SIM_LANES` environment variable, when set to a positive
+/// integer, overrides the *auto* resolution (`lanes == 0`) only — the
+/// exact policy [`resolve_parallelism`] applies to `KP_SIM_PARALLELISM`.
+/// Explicit lane counts are never overridden. Without an override, auto
+/// resolves to [`DEFAULT_LANES`].
+pub fn resolve_lanes(requested: usize) -> usize {
+    if requested == 0 {
+        static OVERRIDE: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+        let forced =
+            OVERRIDE.get_or_init(|| parse_env_override(std::env::var("KP_SIM_LANES").ok()));
+        forced.unwrap_or(DEFAULT_LANES)
+    } else {
+        requested
+    }
+}
+
+/// Shared parse policy behind the `KP_SIM_PARALLELISM` and `KP_SIM_LANES`
+/// environment overrides: a positive integer wins, anything else (unset,
+/// non-numeric, zero) is ignored. Split out of the `OnceLock` wrappers so
+/// precedence is unit-testable without mutating the process environment.
+fn parse_env_override(raw: Option<String>) -> Option<usize> {
+    raw.and_then(|v| v.parse::<usize>().ok()).filter(|&n| n > 0)
 }
 
 #[cfg(test)]
@@ -617,5 +723,30 @@ mod tests {
     fn resolve_parallelism_zero_is_auto() {
         assert!(resolve_parallelism(0) >= 1);
         assert_eq!(resolve_parallelism(5), 5);
+    }
+
+    #[test]
+    fn resolve_lanes_zero_is_auto() {
+        assert!(resolve_lanes(0) >= 1);
+        assert_eq!(resolve_lanes(4), 4);
+    }
+
+    /// Pins the precedence contract of the `KP_SIM_PARALLELISM` /
+    /// `KP_SIM_LANES` overrides: an explicit `DeviceConfig` knob is never
+    /// overridden (the `requested != 0` arm never consults the
+    /// environment), and the override itself only accepts positive
+    /// integers. The parse policy is tested directly because the resolver
+    /// caches the environment in a `OnceLock` at first use.
+    #[test]
+    fn env_override_parse_policy() {
+        assert_eq!(parse_env_override(Some("6".into())), Some(6));
+        assert_eq!(parse_env_override(Some("0".into())), None);
+        assert_eq!(parse_env_override(Some("-2".into())), None);
+        assert_eq!(parse_env_override(Some("eight".into())), None);
+        assert_eq!(parse_env_override(Some("".into())), None);
+        assert_eq!(parse_env_override(None), None);
+        // Explicit knobs win regardless of what the environment says.
+        assert_eq!(resolve_parallelism(3), 3);
+        assert_eq!(resolve_lanes(7), 7);
     }
 }

@@ -89,6 +89,21 @@ pub trait Kernel {
 
     /// Executes one phase for one work item.
     fn run_phase(&self, phase: usize, ctx: &mut ItemCtx<'_>);
+
+    /// Executes one phase for a lockstep wavefront batch of work items
+    /// (see [`crate::ExecMode::Vectorized`]).
+    ///
+    /// The engine calls this instead of [`Kernel::run_phase`] when the
+    /// device executes in vectorized mode. The default implementation runs
+    /// each lane through `run_phase` one at a time — always correct, no
+    /// faster. Kernels with a genuinely lane-batched path (the `kp-ir`
+    /// bytecode VM) override it and dispatch each instruction once for the
+    /// whole wave.
+    fn run_phase_wave(&self, phase: usize, wave: &mut WaveCtx<'_>) {
+        for lane in 0..wave.lanes() {
+            wave.with_lane(lane, |ctx| self.run_phase(phase, ctx));
+        }
+    }
 }
 
 /// Forwarding impl so shared kernels (`Arc<K>`, `Arc<dyn Kernel + ..>`)
@@ -113,6 +128,10 @@ impl<K: Kernel + ?Sized> Kernel for std::sync::Arc<K> {
 
     fn run_phase(&self, phase: usize, ctx: &mut ItemCtx<'_>) {
         (**self).run_phase(phase, ctx);
+    }
+
+    fn run_phase_wave(&self, phase: usize, wave: &mut WaveCtx<'_>) {
+        (**self).run_phase_wave(phase, wave);
     }
 }
 
@@ -668,6 +687,150 @@ impl<'a> ItemCtx<'a> {
     /// (SIMD lockstep), so divergent lanes slow their whole wavefront.
     pub fn ops(&mut self, n: u64) {
         self.item_ops += n;
+    }
+}
+
+/// Per-lane state of a [`WaveCtx`]: the slice of an [`ItemCtx`] that is
+/// private to one work item of a wavefront batch.
+#[derive(Debug, Default)]
+pub(crate) struct LaneSlot {
+    /// Local work-item coordinate of this lane.
+    pub local: [usize; 3],
+    /// Hardware wavefront id (timing model), not the batch id.
+    pub wavefront: u32,
+    /// Memory coalescing granule id.
+    pub granule: u32,
+    pub local_seq: u32,
+    pub global_seq: u32,
+    pub item_ops: u64,
+    /// Per-lane fault buffer; the engine merges these into the group log
+    /// in lane order at the end of each wave's phase, reproducing exactly
+    /// the item order a scalar execution records.
+    pub faults: FaultLog,
+}
+
+/// Execution context handed to a kernel for one lockstep wavefront batch of
+/// work items in one phase (see [`crate::ExecMode::Vectorized`]).
+///
+/// A wave bundles the state shared by its lanes (group coordinates, buffer
+/// table, write log, local arena, profiling accumulators) plus one
+/// `LaneSlot` per lane holding what is private to a work item: local
+/// coordinates, profiling sequence counters, op charges and a fault
+/// buffer. Kernels without a lane-batched path use [`WaveCtx::with_lane`]
+/// to materialize a full per-item [`ItemCtx`] for one lane at a time;
+/// vectorized kernels dispatch each instruction once for the whole wave
+/// and drop down to `with_lane` only for memory traffic and builtins.
+pub struct WaveCtx<'a> {
+    pub(crate) range: &'a NdRange,
+    pub(crate) cfg: &'a DeviceConfig,
+    pub(crate) group: [usize; 3],
+    pub(crate) phase: usize,
+    pub(crate) bufs: &'a crate::engine::BufTable,
+    pub(crate) access: Option<&'a AccessMask>,
+    pub(crate) writes: &'a mut WriteLog,
+    pub(crate) arena: &'a mut LocalArena,
+    pub(crate) profile: Option<&'a mut PhaseProfile>,
+    pub(crate) scratch: &'a mut KernelScratch,
+    pub(crate) slots: &'a mut [LaneSlot],
+    /// Flat local id of lane 0; lane `j` is flat item `base_flat + j`.
+    pub(crate) base_flat: usize,
+}
+
+impl std::fmt::Debug for WaveCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WaveCtx")
+            .field("group", &self.group)
+            .field("phase", &self.phase)
+            .field("base_flat", &self.base_flat)
+            .field("lanes", &self.slots.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> WaveCtx<'a> {
+    /// Number of lanes in this wave. The last wave of a group may be a
+    /// shorter *tail* wave when the group size is not a multiple of the
+    /// configured lane count.
+    pub fn lanes(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The current phase index.
+    pub fn phase(&self) -> usize {
+        self.phase
+    }
+
+    /// Flat local id (within the group) of lane 0; lane `j` of this wave
+    /// is the work item with flat local id `first_flat_id() + j`.
+    pub fn first_flat_id(&self) -> usize {
+        self.base_flat
+    }
+
+    /// Work-group id in dimension `d` (OpenCL `get_group_id`).
+    pub fn group_id(&self, d: usize) -> usize {
+        self.group.get(d).copied().unwrap_or(0)
+    }
+
+    /// Total number of work items in the group.
+    pub fn group_size(&self) -> usize {
+        self.range.group_size_total()
+    }
+
+    /// The device's execution strategy (see [`crate::ExecMode`]).
+    pub fn exec_mode(&self) -> crate::ExecMode {
+        self.cfg.exec_mode
+    }
+
+    /// The device's bytecode optimization level (see [`crate::OptLevel`]).
+    pub fn opt_level(&self) -> crate::OptLevel {
+        self.cfg.opt_level
+    }
+
+    /// The engine-owned per-worker scratch store (see [`KernelScratch`]).
+    /// Shared by all lanes — one wave is always executed by one worker.
+    pub fn kernel_scratch(&mut self) -> &mut KernelScratch {
+        self.scratch
+    }
+
+    /// Charges `n` ALU operations to one lane without materializing an
+    /// [`ItemCtx`] (equivalent to [`ItemCtx::ops`] on that lane).
+    pub fn lane_ops(&mut self, lane: usize, n: u64) {
+        self.slots[lane].item_ops += n;
+    }
+
+    /// Runs `f` with a full per-item [`ItemCtx`] for one lane, then folds
+    /// the context's counters back into the lane's slot. This is how
+    /// non-lockstep work (memory accesses, builtins, whole scalar
+    /// fallbacks) executes inside a wave: the materialized context is
+    /// indistinguishable from the one a scalar execution would have built
+    /// for the same item at the same point.
+    pub fn with_lane<R>(&mut self, lane: usize, f: impl FnOnce(&mut ItemCtx<'_>) -> R) -> R {
+        let slot = &mut self.slots[lane];
+        let mut ctx = ItemCtx {
+            range: self.range,
+            cfg: self.cfg,
+            group: self.group,
+            local: slot.local,
+            phase: self.phase,
+            wavefront: slot.wavefront,
+            granule: slot.granule,
+            bufs: self.bufs,
+            access: self.access,
+            writes: &mut *self.writes,
+            arena: &mut *self.arena,
+            profile: self.profile.as_deref_mut(),
+            faults: &mut slot.faults,
+            scratch: &mut *self.scratch,
+            local_seq: slot.local_seq,
+            global_seq: slot.global_seq,
+            item_ops: slot.item_ops,
+        };
+        let out = f(&mut ctx);
+        let (local_seq, global_seq, item_ops) = (ctx.local_seq, ctx.global_seq, ctx.item_ops);
+        slot.local_seq = local_seq;
+        slot.global_seq = global_seq;
+        slot.item_ops = item_ops;
+        out
     }
 }
 

@@ -157,10 +157,10 @@ pub mod timing;
 pub use buffer::{BufferId, ElemKind, Scalar};
 pub use config::{DeviceConfig, ExecMode, OptLevel};
 pub use device::Device;
-pub use engine::resolve_parallelism;
+pub use engine::{resolve_lanes, resolve_parallelism, DEFAULT_LANES};
 pub use error::SimError;
 pub use event::{Event, EventTiming};
-pub use kernel::{Fault, FaultKind, ItemCtx, Kernel, KernelScratch};
+pub use kernel::{Fault, FaultKind, ItemCtx, Kernel, KernelScratch, WaveCtx};
 pub use local::{LocalId, LocalSpec};
 pub use ndrange::{NdRange, NdRangeError};
 pub use queue::{BufferUse, Queue};

@@ -1052,3 +1052,121 @@ fn lowered_parallelism_serializes_launches_despite_wide_pool() {
         );
     }
 }
+
+/// Starvation: a priority-0 command must still complete while a stream
+/// of priority-255 enqueues keeps arriving. The scheduler is strict
+/// priority with FIFO tie-break and no aging, so eventual completion
+/// relies on the gaps a real submit→wait→submit stream always has: the
+/// moment a high-priority launch retires and before the host has
+/// enqueued the next one, the low-priority command is the only ready
+/// launch and the worker must take it. The loop is capped, and the
+/// assertion demands completion *while the stream is still arriving* —
+/// a scheduler that only ran the low-priority command after the stream
+/// dried up would trip the cap.
+#[test]
+fn low_priority_command_completes_under_sustained_high_priority_stream() {
+    const STREAM_CAP: usize = 200;
+    let mut dev = device(1);
+    let range = NdRange::new_1d(BUF_LEN, 16).unwrap();
+    let gate = Arc::new(AtomicBool::new(false));
+    let _open = OpenOnDrop(Arc::clone(&gate));
+    let gbuf = dev.create_buffer::<f32>("g", 1).unwrap();
+    let q_gate = dev.create_queue();
+    let blocker = q_gate
+        .enqueue_launch(
+            Gated {
+                buf: gbuf,
+                gate: Arc::clone(&gate),
+            },
+            NdRange::new_1d(1, 1).unwrap(),
+            &[],
+        )
+        .unwrap();
+
+    let q_low = dev.create_queue();
+    q_low.set_priority(0).unwrap();
+    let q_high = dev.create_queue();
+    q_high.set_priority(255).unwrap();
+
+    let low_src = dev.create_buffer_from("ls", &[3.0f32; BUF_LEN]).unwrap();
+    let low_dst = dev.create_buffer::<f32>("ld", BUF_LEN).unwrap();
+    let low = q_low
+        .enqueue_launch(
+            Scale {
+                src: low_src,
+                dst: low_dst,
+                factor: 2.0,
+                oob: false,
+            },
+            range,
+            std::slice::from_ref(&blocker),
+        )
+        .unwrap();
+
+    // An initial burst is already pending when the gate opens: those
+    // commands are simultaneously ready with the low-priority one and
+    // must all start before it (checked below) — the pressure is real.
+    let high_src = dev.create_buffer_from("hs", &[1.0f32; BUF_LEN]).unwrap();
+    let high_dst = dev.create_buffer::<f32>("hd", BUF_LEN).unwrap();
+    let burst: Vec<Event> = (0..4)
+        .map(|_| {
+            q_high
+                .enqueue_launch(
+                    Scale {
+                        src: high_src,
+                        dst: high_dst,
+                        factor: 1.0,
+                        oob: false,
+                    },
+                    range,
+                    std::slice::from_ref(&blocker),
+                )
+                .unwrap()
+        })
+        .collect();
+
+    gate.store(true, Ordering::Release);
+
+    // Sustained closed-loop stream: submit a high-priority launch, wait
+    // for it, submit the next — the pattern a latency-sensitive client
+    // actually runs. Stop as soon as the low-priority command got
+    // through (or at the cap, which fails the test below).
+    let mut streamed = 0usize;
+    while !low.is_complete().unwrap() && streamed < STREAM_CAP {
+        q_high
+            .enqueue_launch(
+                Scale {
+                    src: high_src,
+                    dst: high_dst,
+                    factor: 1.0,
+                    oob: false,
+                },
+                range,
+                &[],
+            )
+            .unwrap()
+            .wait()
+            .unwrap();
+        streamed += 1;
+    }
+    assert!(
+        streamed < STREAM_CAP,
+        "low-priority command starved: still pending after {STREAM_CAP} \
+         high-priority submissions completed around it"
+    );
+    low.wait().unwrap();
+    assert_eq!(dev.read_buffer::<f32>(low_dst).unwrap(), vec![6.0; BUF_LEN]);
+
+    // The initial burst was simultaneously ready with the low-priority
+    // command, so strict priority ordering must have started every one
+    // of its commands first.
+    let low_start = low.timing().unwrap().started;
+    for (k, ev) in burst.iter().enumerate() {
+        ev.wait().unwrap();
+        assert!(
+            ev.timing().unwrap().started <= low_start,
+            "burst command {k} (priority 255) started after the \
+             priority-0 command"
+        );
+    }
+}

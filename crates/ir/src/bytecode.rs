@@ -173,6 +173,51 @@ pub enum Inst {
         /// Register holding the value to store.
         src: Reg,
     },
+    /// Fused global load feeding one binary operation:
+    /// `m = buf[regs[idx]]; regs[dst] = m op regs[other]` (or
+    /// `regs[other] op m` when `m_left` is false). Emitted only by the
+    /// optimizer's fusion pass, for a [`Inst::LoadGlobal`] whose
+    /// destination dies immediately into the next [`Inst::Bin`] — the
+    /// load goes through the same `load_global` primitive and the
+    /// operation through the same `apply_bin`, so faults, coalescing
+    /// records, results and errors are bit-identical to the unfused
+    /// pair; only the dispatch cost is halved. `other` is guaranteed
+    /// distinct from the fused-away intermediate register.
+    LoadGlobalBin {
+        /// The binary operator applied to the loaded value.
+        op: BinOp,
+        /// Destination register.
+        dst: Reg,
+        /// Pre-bound buffer handle.
+        buf: BufferId,
+        /// Element type of the buffer.
+        elem: ScalarTy,
+        /// Register holding the element index.
+        idx: Reg,
+        /// The operation's independent operand.
+        other: Reg,
+        /// Whether the loaded value is the operation's *left* operand.
+        m_left: bool,
+    },
+    /// Fused local load feeding one binary operation — the local-memory
+    /// counterpart of [`Inst::LoadGlobalBin`] (bank-tracked through the
+    /// same `load_local` primitive).
+    LoadLocalBin {
+        /// The binary operator applied to the loaded value.
+        op: BinOp,
+        /// Destination register.
+        dst: Reg,
+        /// Pre-bound local array handle.
+        arr: LocalId,
+        /// Element type of the array.
+        elem: ScalarTy,
+        /// Register holding the element index.
+        idx: Reg,
+        /// The operation's independent operand.
+        other: Reg,
+        /// Whether the loaded value is the operation's *left* operand.
+        m_left: bool,
+    },
     /// `regs[dst] = arr[regs[idx]]` — local-memory read (bank-tracked).
     LoadLocal {
         /// Destination register.
@@ -402,6 +447,20 @@ pub(crate) fn execute_phase(
                     regs[src as usize],
                 );
             }
+            Inst::LoadGlobalBin {
+                op,
+                dst,
+                buf,
+                elem,
+                idx,
+                other,
+                m_left,
+            } => {
+                let m = load_global(ctx, buf, elem, regs[idx as usize].as_i64());
+                let o = regs[other as usize];
+                let (a, b) = if m_left { (m, o) } else { (o, m) };
+                regs[dst as usize] = apply_bin(op, a, b).map_err(str::to_owned)?;
+            }
             Inst::LoadLocal {
                 dst,
                 arr,
@@ -409,6 +468,20 @@ pub(crate) fn execute_phase(
                 idx,
             } => {
                 regs[dst as usize] = load_local(ctx, arr, elem, regs[idx as usize].as_i64());
+            }
+            Inst::LoadLocalBin {
+                op,
+                dst,
+                arr,
+                elem,
+                idx,
+                other,
+                m_left,
+            } => {
+                let m = load_local(ctx, arr, elem, regs[idx as usize].as_i64());
+                let o = regs[other as usize];
+                let (a, b) = if m_left { (m, o) } else { (o, m) };
+                regs[dst as usize] = apply_bin(op, a, b).map_err(str::to_owned)?;
             }
             Inst::StoreLocal {
                 arr,

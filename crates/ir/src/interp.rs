@@ -9,7 +9,9 @@
 use std::collections::HashMap;
 use std::sync::Mutex;
 
-use kp_gpu_sim::{BufferId, ElemKind, ExecMode, ItemCtx, Kernel, LocalId, LocalSpec, OptLevel};
+use kp_gpu_sim::{
+    BufferId, ElemKind, ExecMode, ItemCtx, Kernel, LocalId, LocalSpec, OptLevel, WaveCtx,
+};
 
 use crate::ast::{BinOp, Expr, KernelDef, ParamTy, ScalarTy, Stmt, UnOp};
 use crate::builtins::Builtin;
@@ -411,7 +413,8 @@ impl Kernel for IrKernel {
         // cannot touch memory, charge ops, fault, error or change item
         // state, so skip it without even touching the scratch. Phase 0 is
         // exempt — it must still reset the per-item state below.
-        if phase != 0 && mode == ExecMode::Compiled && bytecode.phase(phase).is_empty() {
+        if phase != 0 && !matches!(mode, ExecMode::Interpreted) && bytecode.phase(phase).is_empty()
+        {
             return;
         }
         let flat = ctx.flat_local_id();
@@ -431,16 +434,19 @@ impl Kernel for IrKernel {
             state.returned = false;
             state.vars.clear();
             match mode {
-                ExecMode::Compiled if state.regs.len() == bytecode.reg_count() => {
+                ExecMode::Interpreted => {}
+                _ if state.regs.len() == bytecode.reg_count() => {
                     state.regs.copy_from_slice(&bytecode.reg_init);
                 }
-                ExecMode::Compiled => state.regs = bytecode.fresh_regs(),
-                ExecMode::Interpreted => {}
+                _ => state.regs = bytecode.fresh_regs(),
             }
         }
         if !state.returned {
             let result = match mode {
-                ExecMode::Compiled => {
+                // A `Vectorized` device normally drives `run_phase_wave`,
+                // but per-item dispatch (e.g. a custom engine) degrades to
+                // the scalar VM — same bytecode, same results.
+                ExecMode::Compiled | ExecMode::Vectorized { .. } => {
                     if state.regs.len() != bytecode.reg_count() {
                         state.regs = bytecode.fresh_regs();
                     }
@@ -464,6 +470,44 @@ impl Kernel for IrKernel {
             }
         }
         ctx.kernel_scratch().get_or_default::<GroupStates>().items[flat] = state;
+    }
+
+    fn run_phase_wave(&self, phase: usize, wave: &mut WaveCtx<'_>) {
+        // The engine only batches lanes under `ExecMode::Vectorized`; any
+        // other caller degrades to per-lane scalar dispatch (the trait
+        // default), which is bit-identical by the differential contract.
+        if !matches!(wave.exec_mode(), ExecMode::Vectorized { .. }) {
+            for lane in 0..wave.lanes() {
+                wave.with_lane(lane, |ctx| self.run_phase(phase, ctx));
+            }
+            return;
+        }
+        let bytecode = match wave.opt_level() {
+            OptLevel::Full => &self.optimized,
+            OptLevel::None => &self.compiled,
+        };
+        // Dead-phase elimination, as in `run_phase`.
+        if phase != 0 && bytecode.phase(phase).is_empty() {
+            return;
+        }
+        let group = [wave.group_id(0), wave.group_id(1), wave.group_id(2)];
+        // Take the slabs out of the scratch so the vector VM can hand the
+        // scratch to per-lane memory/builtin contexts while it executes.
+        let mut states: crate::vector::VectorStates =
+            std::mem::take(wave.kernel_scratch().get_or_default());
+        states.ensure(wave.group_size(), bytecode.reg_count());
+        if phase == 0 {
+            states.reset_lanes(bytecode, wave.first_flat_id(), wave.lanes());
+        }
+        let errors = crate::vector::execute_phase_wave(bytecode, phase, &mut states, wave);
+        *wave
+            .kernel_scratch()
+            .get_or_default::<crate::vector::VectorStates>() = states;
+        // Lane order is item order: recording in this order makes the kept
+        // (first) error of the group match scalar execution exactly.
+        for (_lane, msg) in errors {
+            self.record_error(group, IrError::Eval(format!("{}: {msg}", self.def.name)));
+        }
     }
 }
 

@@ -63,6 +63,7 @@ pub mod pretty;
 pub mod token;
 pub mod transform;
 pub mod typeck;
+mod vector;
 
 pub use error::IrError;
 pub use interp::{ArgValue, IrKernel, Value};

@@ -13,7 +13,7 @@
 //!    any phase ever writes (scalar parameters like `width`, plus loop
 //!    guards before their reset) hold their initial-register-file value
 //!    for the whole launch and are treated as compile-time constants.
-//! 2. **Local value numbering** over each basic block, which carries
+//! 2. **Value numbering** over the phase's dominator tree, which carries
 //!    three rewrites at once:
 //!    * **constant folding** — an instruction whose operands are all
 //!      known constants is replaced by [`Inst::Const`]. Folding uses
@@ -34,9 +34,13 @@
 //!      recompute a value some live register already holds become
 //!      register copies. Memory instructions are **never** CSE'd or
 //!      reordered: every load and store is observable in the simulator's
-//!      coalescing statistics and fault logs. Value numbers are local to
-//!      a basic block and phases are compiled independently, so CSE can
-//!      never merge computations across a `barrier()`.
+//!      coalescing statistics and fault logs. Each block inherits the
+//!      value-number state of its immediate dominator, pruned of every
+//!      register that a block executing in between (a branch arm before
+//!      its join, the loop body around a back edge) may redefine — so
+//!      values survive branches and joins but never leak across loop
+//!      iterations. Phases are compiled independently, so CSE can never
+//!      merge computations across a `barrier()`.
 //! 3. **Dead-code elimination** — a backward liveness pass over the
 //!    phase's control-flow graph removes pure, non-faulting instructions
 //!    whose destination is never read again (named registers count as
@@ -52,12 +56,30 @@
 //!    [`Inst::Const`] after the passes above move into dedicated
 //!    registers appended to the initial register file, so literals inside
 //!    loops cost zero instructions per iteration.
-//! 6. **Dead-phase elimination** — a phase whose instruction sequence
+//! 6. **Fusion peepholes** — a `Copy` that immediately consumes a dying
+//!    definition retargets the definition ([`OptStats::fused`]); adjacent
+//!    dependent `Bin` pairs whose intermediate dies collapse into one
+//!    [`Inst::Bin2`] dispatch; and a global/local load dying into the
+//!    next `Bin` collapses into one [`Inst::LoadGlobalBin`] /
+//!    [`Inst::LoadLocalBin`] — the `acc = acc + in[i]` shape of reduction
+//!    inner loops ([`OptStats::load_fused`]).
+//! 7. **Dead-phase elimination** — a phase whose instruction sequence
 //!    became empty (a trailing `barrier();`, a `return;`-only epilogue)
 //!    provably cannot touch memory, charge ALU ops, fault, or change
 //!    per-item state, and the interpreter skips it wholesale at run time.
 //!    The *number* of phases is preserved — per-phase barrier costs in
 //!    the launch report must not change.
+//! 8. **Loop-invariant code motion** — pure, total instruction chains
+//!    sitting on a loop's dominating spine move to a preheader spliced at
+//!    the loop header; the back edge is retargeted past it, so the chain
+//!    runs once per loop *entry* instead of once per iteration
+//!    ([`OptStats::licm_hoisted`]). Inner-loop preheaders migrate outward
+//!    round by round. Charges ([`Inst::Ops`]) and anything that can
+//!    fault, error, or panic stay in place, so timing and error behavior
+//!    are untouched; the only caveat is that a hoisted chain executes
+//!    even when the loop would run zero iterations, which is why only
+//!    total shapes (no `Div`/`Rem`, no `abs`, `clamp` only with provably
+//!    sane constant bounds) are eligible.
 //!
 //! The contract mirrors the rest of the execution stack: the optimizer
 //! may only remove **host-side** interpretation work, never change what
@@ -95,6 +117,12 @@ pub struct OptStats {
     /// Instruction pairs collapsed by the fusion peepholes (copy fusion
     /// and [`Inst::Bin2`] formation).
     pub fused: usize,
+    /// Load+arithmetic pairs collapsed into [`Inst::LoadGlobalBin`] /
+    /// [`Inst::LoadLocalBin`] by the load-fusion peephole.
+    pub load_fused: usize,
+    /// Loop-invariant instructions hoisted out of loops (each leaves a
+    /// [`Inst::Copy`] behind at its original position).
+    pub licm_hoisted: usize,
     /// Phases whose instruction sequence became empty (skipped at run
     /// time; the phase *count* is preserved for the timing model).
     pub dead_phases: usize,
@@ -321,7 +349,9 @@ fn dst_of(inst: &Inst) -> Option<Reg> {
         | Inst::Bin { dst, .. }
         | Inst::Bin2 { dst, .. }
         | Inst::LoadGlobal { dst, .. }
+        | Inst::LoadGlobalBin { dst, .. }
         | Inst::LoadLocal { dst, .. }
+        | Inst::LoadLocalBin { dst, .. }
         | Inst::Call { dst, .. } => Some(dst),
         Inst::GuardReset { guard } | Inst::GuardBump { guard, .. } => Some(guard),
         _ => None,
@@ -344,6 +374,9 @@ fn read_regs(inst: &Inst, out: &mut Vec<Reg>) {
             lhs, rhs, other, ..
         } => out.extend([lhs, rhs, other]),
         Inst::LoadGlobal { idx, .. } | Inst::LoadLocal { idx, .. } => out.push(idx),
+        Inst::LoadGlobalBin { idx, other, .. } | Inst::LoadLocalBin { idx, other, .. } => {
+            out.extend([idx, other]);
+        }
         Inst::StoreGlobal { idx, src, .. } | Inst::StoreLocal { idx, src, .. } => {
             out.extend([idx, src]);
         }
@@ -380,6 +413,10 @@ fn rewrite_reads(inst: &mut Inst, mut f: impl FnMut(&mut Reg)) {
             f(other);
         }
         Inst::LoadGlobal { idx, .. } | Inst::LoadLocal { idx, .. } => f(idx),
+        Inst::LoadGlobalBin { idx, other, .. } | Inst::LoadLocalBin { idx, other, .. } => {
+            f(idx);
+            f(other);
+        }
         Inst::StoreGlobal { idx, src, .. } | Inst::StoreLocal { idx, src, .. } => {
             f(idx);
             f(src);
@@ -408,7 +445,9 @@ fn set_dst(inst: &mut Inst, new: Reg) {
         | Inst::Bin { dst, .. }
         | Inst::Bin2 { dst, .. }
         | Inst::LoadGlobal { dst, .. }
+        | Inst::LoadGlobalBin { dst, .. }
         | Inst::LoadLocal { dst, .. }
+        | Inst::LoadLocalBin { dst, .. }
         | Inst::Call { dst, .. } => *dst = new,
         other => unreachable!("cannot redirect destination of {other:?}"),
     }
@@ -450,6 +489,9 @@ fn can_abort(inst: &Inst) -> bool {
             matches!(op1, BinOp::Div | BinOp::Rem) || matches!(op2, BinOp::Div | BinOp::Rem)
         }
         Inst::Un { op, .. } => op == UnOp::Neg, // bool negation errors
+        Inst::LoadGlobalBin { op, .. } | Inst::LoadLocalBin { op, .. } => {
+            matches!(op, BinOp::Div | BinOp::Rem)
+        }
         Inst::GuardBump { .. } => true,
         _ => false,
     }
@@ -596,6 +638,28 @@ fn infer_reg_types(kernel: &CompiledKernel, frozen: &HashMap<Reg, Value>) -> Vec
                     Inst::LoadGlobal { dst, elem, .. } | Inst::LoadLocal { dst, elem, .. } => {
                         join(&mut lat, dst, TyLat::Ty(elem));
                     }
+                    Inst::LoadGlobalBin {
+                        op,
+                        dst,
+                        elem,
+                        other,
+                        m_left,
+                        ..
+                    }
+                    | Inst::LoadLocalBin {
+                        op,
+                        dst,
+                        elem,
+                        other,
+                        m_left,
+                        ..
+                    } => {
+                        let m = TyLat::Ty(elem);
+                        let o = cur(&lat, other);
+                        let (a, b) = if m_left { (m, o) } else { (o, m) };
+                        let t = bin_ty(op, a, b);
+                        join(&mut lat, dst, t);
+                    }
                     Inst::Call {
                         builtin,
                         dst,
@@ -644,11 +708,13 @@ fn infer_reg_types(kernel: &CompiledKernel, frozen: &HashMap<Reg, Value>) -> Vec
 // Local value numbering.
 // ---------------------------------------------------------------------
 
-/// Per-block value-numbering state. Reset at every basic-block boundary:
-/// value numbers never flow across branches, which is what makes the
-/// analysis trivially sound under arbitrary control flow (and guarantees
-/// CSE can never cross a barrier, since phases are separate instruction
-/// sequences to begin with).
+/// Per-block value-numbering state. Blocks inherit the state of their
+/// immediate dominator (minus registers redefined on any path in
+/// between, see the pass in [`optimize`]) rather than resetting, so
+/// folding, CSE and branch folding see straight-line and diamond facts
+/// across block boundaries. Value numbers still never cross a barrier:
+/// phases are separate instruction sequences to begin with.
+#[derive(Clone)]
 struct Lvn<'a> {
     /// Registers no instruction in any phase writes: compile-time
     /// constants holding their initial-register-file value.
@@ -722,6 +788,15 @@ impl<'a> Lvn<'a> {
         self.holder.entry(vn).or_insert(r);
     }
 
+    /// Forgets everything about a register: its value binding and any
+    /// holder role. Later reads see a fresh unknown, and CSE can no
+    /// longer redirect other registers to it. Used when inheriting state
+    /// across blocks for registers a path in between may redefine.
+    fn kill(&mut self, r: Reg) {
+        self.reg_vn.remove(&r);
+        self.holder.retain(|_, h| *h != r);
+    }
+
     fn konst(&self, vn: Vn) -> Option<Value> {
         self.infos[vn as usize].konst
     }
@@ -757,6 +832,15 @@ impl<'a> Lvn<'a> {
                 self.set_reg(dst, vn);
                 return (inst, vn);
             }
+            // Computed before, but no live register holds it any more
+            // (the holder was overwritten — statement temporaries are
+            // reused aggressively). Keep the recompute but reuse the
+            // value number: the key's operand numbers pin the operand
+            // values, so the result is the same value, and downstream
+            // expressions keyed on it still match.
+            let inst = make(self);
+            self.set_reg(dst, vn);
+            return (Some(inst), vn);
         }
         let inst = make(self);
         let vn = self.fresh(ty);
@@ -911,6 +995,334 @@ fn liveness(
 }
 
 // ---------------------------------------------------------------------
+// Whole-CFG analyses, shared by dominator-tree value numbering and
+// loop-invariant code motion.
+// ---------------------------------------------------------------------
+
+/// Successor/predecessor lists plus reachability and dominator relations
+/// of a phase CFG. The relation matrices are flattened row-major: entry
+/// `[b * n + j]` describes blocks `b` and `j`.
+struct Cfg {
+    n: usize,
+    succs: Vec<Vec<usize>>,
+    preds: Vec<Vec<usize>>,
+    /// `reach[b * n + j]`: a (possibly empty) path from `b` to `j` exists.
+    reach: Vec<bool>,
+    /// `dom[b * n + j]`: `j` dominates `b`, with block 0 as the entry.
+    /// Rows of blocks unreachable from the entry are meaningless (and
+    /// left all-true, the dataflow lattice top).
+    dom: Vec<bool>,
+}
+
+fn analyze_cfg(blocks: &Blocks, code: &[Option<Inst>]) -> Cfg {
+    let n = blocks.bounds.len();
+    let succs: Vec<Vec<usize>> = (0..n).map(|b| blocks.successors(b, code)).collect();
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (b, ss) in succs.iter().enumerate() {
+        for &s in ss {
+            preds[s].push(b);
+        }
+    }
+    // Reflexive-transitive reachability, iterated to a fixpoint.
+    let mut reach = vec![false; n * n];
+    for b in 0..n {
+        reach[b * n + b] = true;
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 0..n {
+            for s in succs[b].clone() {
+                for j in 0..n {
+                    if reach[s * n + j] && !reach[b * n + j] {
+                        reach[b * n + j] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    // Dominators: `dom(entry) = {entry}`, `dom(b) = {b} ∪ ⋂ dom(preds)`,
+    // over blocks reachable from the entry.
+    let mut dom = vec![true; n * n];
+    for (j, slot) in dom.iter_mut().enumerate().take(n) {
+        *slot = j == 0;
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 1..n {
+            if !reach[b] {
+                continue; // unreachable from entry
+            }
+            let mut row = vec![true; n];
+            for &p in preds[b].iter().filter(|&&p| reach[p]) {
+                for (j, slot) in row.iter_mut().enumerate() {
+                    *slot &= dom[p * n + j];
+                }
+            }
+            for (j, slot) in row.iter_mut().enumerate() {
+                if j == b {
+                    *slot = true;
+                }
+                if *slot != dom[b * n + j] {
+                    dom[b * n + j] = *slot;
+                    changed = true;
+                }
+            }
+        }
+    }
+    Cfg {
+        n,
+        succs,
+        preds,
+        reach,
+        dom,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Loop-invariant code motion.
+// ---------------------------------------------------------------------
+
+/// Whether an instruction may move to a loop preheader: pure register
+/// arithmetic (no memory traffic, no [`Inst::Ops`] charge, no guard) that
+/// is *total* — it cannot fault, error, or panic on any operand values
+/// the zero-trip path could feed it.
+fn hoistable_shape(inst: &Inst, const_regs: &HashMap<Reg, Value>) -> bool {
+    // Div/Rem report division by zero; And/Or are excluded as
+    // conservatively non-total on shadow-leaked operand types.
+    const fn total_bin(op: BinOp) -> bool {
+        matches!(
+            op,
+            BinOp::Add
+                | BinOp::Sub
+                | BinOp::Mul
+                | BinOp::Eq
+                | BinOp::Ne
+                | BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+        )
+    }
+    match *inst {
+        Inst::Bin { op, .. } => total_bin(op),
+        Inst::Bin2 { op1, op2, .. } => total_bin(op1) && total_bin(op2),
+        Inst::Call {
+            builtin,
+            args,
+            argc,
+            ..
+        } => match builtin {
+            Builtin::Sqrt
+            | Builtin::Fabs
+            | Builtin::Floor
+            | Builtin::Exp
+            | Builtin::Log
+            | Builtin::Sin
+            | Builtin::Cos
+            | Builtin::Pow
+            | Builtin::ToFloat
+            | Builtin::ToInt
+            | Builtin::Min
+            | Builtin::Max
+            | Builtin::GlobalId
+            | Builtin::LocalId
+            | Builtin::GroupId
+            | Builtin::GlobalSize
+            | Builtin::LocalSize
+            | Builtin::NumGroups => true,
+            // `clamp` panics when lo > hi (or a bound is NaN): hoist only
+            // when both bounds are known constants that are sane under
+            // both the integer and the float reading of the call.
+            Builtin::Clamp => {
+                argc == 3
+                    && match (const_regs.get(&args[1]), const_regs.get(&args[2])) {
+                        (Some(&l), Some(&h)) => {
+                            l.as_i64() <= h.as_i64() && l.as_f32() <= h.as_f32()
+                        }
+                        _ => false,
+                    }
+            }
+            // `abs(i64::MIN)` panics in debug builds; keep it in place.
+            Builtin::Abs => false,
+        },
+        _ => false,
+    }
+}
+
+/// One round of loop-invariant code motion: finds the first loop (in
+/// ascending latch order, so inner loops hoist first and their hoisted
+/// prefixes migrate outward in later rounds) with a non-empty hoistable
+/// set, moves that set to a preheader spliced at the loop header, and
+/// rewrites the moved instructions' uses to fresh registers. Returns
+/// whether anything moved.
+///
+/// An instruction is hoisted when its shape is total
+/// ([`hoistable_shape`]), it sits in a block that dominates the latch
+/// (executes exactly once per complete iteration), and every register it
+/// reads is either never defined inside the loop or is the single
+/// definition of an already-hoisted instruction (chains hoist together
+/// through their fresh registers). The back edge is retargeted past the
+/// spliced prefix, so after the round the prefix is its own preheader
+/// block *outside* the natural loop — re-entry from outside still runs
+/// it, keeping the fresh registers correct on every loop entry.
+fn licm_round(
+    code: &mut Vec<Inst>,
+    next_reg: &mut usize,
+    hoist_init: &mut Vec<Value>,
+    const_regs: &HashMap<Reg, Value>,
+    stats: &mut OptStats,
+) -> bool {
+    let blocks = find_blocks(code);
+    let slots: Vec<Option<Inst>> = code.iter().copied().map(Some).collect();
+    let cfg = analyze_cfg(&blocks, &slots);
+    let n = cfg.n;
+    let mut reads = Vec::new();
+    for lb in 0..n {
+        let (ls, le) = blocks.bounds[lb];
+        let Some(&Inst::Jump { target }) = code[ls..le].last() else {
+            continue;
+        };
+        let h = target as usize;
+        if h > ls {
+            continue; // forward jump, not a latch
+        }
+        let Some(hb) = blocks.bounds.iter().position(|&(bs, _)| bs == h) else {
+            continue;
+        };
+        if !cfg.reach[lb] || !cfg.reach[hb] || !cfg.dom[lb * n + hb] {
+            continue; // unreachable or irreducible; leave alone
+        }
+        // Natural loop: latch, header, and every block that reaches the
+        // latch backward without passing through the header.
+        let mut in_loop = vec![false; n];
+        in_loop[hb] = true;
+        let mut work = vec![lb];
+        while let Some(b) = work.pop() {
+            if in_loop[b] {
+                continue;
+            }
+            in_loop[b] = true;
+            for &p in &cfg.preds[b] {
+                if !in_loop[p] {
+                    work.push(p);
+                }
+            }
+        }
+        // Definition counts inside the loop; the position is meaningful
+        // only for single-definition registers.
+        let mut def_count: HashMap<Reg, (usize, usize)> = HashMap::new();
+        for (b, &(bs, be)) in blocks.bounds.iter().enumerate() {
+            if !in_loop[b] {
+                continue;
+            }
+            for (i, inst) in code.iter().enumerate().take(be).skip(bs) {
+                if let Some(d) = dst_of(inst) {
+                    let e = def_count.entry(d).or_insert((0, i));
+                    e.0 += 1;
+                    e.1 = i;
+                }
+            }
+        }
+        // Build the hoist set in position order (= execution order along
+        // the dominating spine of the loop body).
+        let mut fresh_of: HashMap<Reg, Reg> = HashMap::new();
+        let mut hoisted: Vec<Inst> = Vec::new();
+        let mut replace: Vec<(usize, Inst)> = Vec::new();
+        'grow: for (b, &(bs, be)) in blocks.bounds.iter().enumerate() {
+            if !in_loop[b] || !cfg.dom[lb * n + b] {
+                continue;
+            }
+            for (i, &inst) in code.iter().enumerate().take(be).skip(bs) {
+                if !hoistable_shape(&inst, const_regs) {
+                    continue;
+                }
+                read_regs(&inst, &mut reads);
+                let movable = reads.iter().all(|r| match def_count.get(r) {
+                    None => true,
+                    Some(&(1, _)) => fresh_of.contains_key(r),
+                    Some(_) => false,
+                });
+                if !movable {
+                    continue;
+                }
+                let Some(dst) = dst_of(&inst) else { continue };
+                let Ok(fresh) = Reg::try_from(*next_reg) else {
+                    break 'grow; // register file full — hoist what we have
+                };
+                let mut lifted = inst;
+                rewrite_reads(&mut lifted, |r| {
+                    if let Some(&f) = fresh_of.get(r) {
+                        *r = f;
+                    }
+                });
+                set_dst(&mut lifted, fresh);
+                hoisted.push(lifted);
+                replace.push((i, Inst::Copy { dst, src: fresh }));
+                if def_count.get(&dst) == Some(&(1, i)) {
+                    fresh_of.insert(dst, fresh);
+                }
+                *next_reg += 1;
+                hoist_init.push(Value::Int(0));
+            }
+        }
+        let k = hoisted.len();
+        if k == 0 {
+            continue;
+        }
+        for &(i, c) in &replace {
+            code[i] = c;
+        }
+        // Retarget jumps: everything at or past the header start shifts
+        // by `k`; back edges from inside the loop additionally skip the
+        // hoisted prefix, while entries from outside fall into it.
+        let pos_in_loop = |i: usize| {
+            blocks
+                .bounds
+                .iter()
+                .enumerate()
+                .any(|(b, &(bs, be))| in_loop[b] && i >= bs && i < be)
+        };
+        for (i, inst) in code.iter_mut().enumerate() {
+            let target = match inst {
+                Inst::Jump { target }
+                | Inst::JumpIfFalse { target, .. }
+                | Inst::JumpIfTrue { target, .. } => target,
+                _ => continue,
+            };
+            let t = *target as usize;
+            if t > h || (t == h && pos_in_loop(i)) {
+                *target += k as u32;
+            }
+        }
+        code.splice(h..h, hoisted);
+        stats.licm_hoisted += k;
+        return true;
+    }
+    false
+}
+
+/// Runs [`licm_round`] over one phase to a fixpoint: each round hoists
+/// from one loop, and inner-loop prefixes become hoistable from their
+/// enclosing loop on the next round. The bound is a safety net — the sum
+/// of loop depths strictly decreases every round.
+fn licm_phase(
+    code: &mut Vec<Inst>,
+    next_reg: &mut usize,
+    hoist_init: &mut Vec<Value>,
+    const_regs: &HashMap<Reg, Value>,
+    stats: &mut OptStats,
+) {
+    for _ in 0..64 {
+        if !licm_round(code, next_reg, hoist_init, const_regs, stats) {
+            break;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // The pipeline.
 // ---------------------------------------------------------------------
 
@@ -996,11 +1408,80 @@ pub fn optimize(kernel: &CompiledKernel) -> (CompiledKernel, OptStats) {
         let blocks = find_blocks(original);
 
         // Pass: value numbering (fold + algebraic + CSE + branch fold).
-        for &(s, e) in &blocks.bounds {
-            let mut lvn = Lvn::new(&frozen, &global_ty);
-            for slot in code[s..e].iter_mut() {
-                let Some(inst) = *slot else { continue };
-                *slot = lvn_inst(&mut lvn, inst, &mut stats);
+        //
+        // Blocks inherit the entry state of their immediate dominator, so
+        // values computed before a branch stay available in both arms and
+        // past the join. Inheritance is pruned conservatively: entering
+        // child `c`, every register defined in a block that can execute
+        // between the dominator and `c` (including `c` itself around a
+        // back edge) is killed. The CFG is taken from the pre-pass code —
+        // branch folding only *removes* edges, so the analysis sees a
+        // superset of the final paths and the kills err safe.
+        {
+            let cfg = analyze_cfg(&blocks, &code);
+            let n = cfg.n;
+            // Immediate dominator = the strict dominator dominated by all
+            // the others, i.e. the one with the largest dominator set.
+            let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+            for b in 1..n {
+                if !cfg.reach[b] {
+                    continue;
+                }
+                let idom = (0..n)
+                    .filter(|&j| j != b && cfg.dom[b * n + j])
+                    .max_by_key(|&j| (0..n).filter(|&k| cfg.dom[j * n + k]).count());
+                if let Some(p) = idom {
+                    children[p].push(b);
+                }
+            }
+            // Preorder over the dominator tree; `usize::MAX` marks the
+            // root (no parent, no kills). Kills are applied when a block
+            // is *popped*, not when it is pushed: sibling subtrees that
+            // sort earlier (e.g. both branch arms before their join) have
+            // been rewritten by then, so the kill set reflects the defs
+            // that actually survived value numbering in them. Blocks not
+            // yet processed (a loop body below its header) contribute
+            // their pre-pass defs — a conservative superset either way.
+            let mut stack: Vec<(usize, usize, Lvn)> =
+                vec![(0, usize::MAX, Lvn::new(&frozen, &global_ty))];
+            while let Some((b, parent, mut lvn)) = stack.pop() {
+                if parent != usize::MAX {
+                    // Kill everything a block that can execute between the
+                    // immediate dominator and `b` (including `b` itself
+                    // around a back edge) may redefine.
+                    for mid in 0..n {
+                        let after_p = cfg.succs[parent].iter().any(|&x| cfg.reach[x * n + mid]);
+                        let before_b = cfg.succs[mid].iter().any(|&x| cfg.reach[x * n + b]);
+                        if after_p && before_b {
+                            let (ms, me) = blocks.bounds[mid];
+                            for r in code[ms..me].iter().flatten().filter_map(dst_of) {
+                                lvn.kill(r);
+                            }
+                        }
+                    }
+                }
+                let (bs, be) = blocks.bounds[b];
+                for slot in code[bs..be].iter_mut() {
+                    let Some(inst) = *slot else { continue };
+                    *slot = lvn_inst(&mut lvn, inst, &mut stats);
+                }
+                // Reverse push + pop = children process in ascending order.
+                for &c in children[b].iter().rev() {
+                    stack.push((c, b, lvn.clone()));
+                }
+            }
+            // Blocks unreachable from the entry are not in the dominator
+            // tree; they still get fresh-state folding.
+            for b in 1..n {
+                if cfg.reach[b] {
+                    continue;
+                }
+                let (bs, be) = blocks.bounds[b];
+                let mut lvn = Lvn::new(&frozen, &global_ty);
+                for slot in code[bs..be].iter_mut() {
+                    let Some(inst) = *slot else { continue };
+                    *slot = lvn_inst(&mut lvn, inst, &mut stats);
+                }
             }
         }
 
@@ -1220,6 +1701,63 @@ pub fn optimize(kernel: &CompiledKernel) -> (CompiledKernel, OptStats) {
                 }
                 prev = Some(k);
             }
+            // Load fusion: a global/local load whose result feeds exactly
+            // one operand of the adjacent `Bin` and dies immediately
+            // collapses into one load-and-apply dispatch — the
+            // `acc = acc + in[i]` shape of reduction inner loops (charge
+            // coalescing already ran, so the pair really is adjacent).
+            let mut prev: Option<usize> = None;
+            for k in 0..width {
+                let Some(inst) = code[s + k] else { continue };
+                if let (Inst::Bin { op, dst, lhs, rhs }, Some(pk)) = (inst, prev) {
+                    let fuse = |t: Reg| {
+                        let consumes_once = (lhs == t) ^ (rhs == t);
+                        let m_left = lhs == t;
+                        let other = if m_left { rhs } else { lhs };
+                        (consumes_once && other != t && !live_after[k][t as usize])
+                            .then_some((m_left, other))
+                    };
+                    let fused = match code[s + pk] {
+                        Some(Inst::LoadGlobal {
+                            dst: t,
+                            buf,
+                            elem,
+                            idx,
+                        }) => fuse(t).map(|(m_left, other)| Inst::LoadGlobalBin {
+                            op,
+                            dst,
+                            buf,
+                            elem,
+                            idx,
+                            other,
+                            m_left,
+                        }),
+                        Some(Inst::LoadLocal {
+                            dst: t,
+                            arr,
+                            elem,
+                            idx,
+                        }) => fuse(t).map(|(m_left, other)| Inst::LoadLocalBin {
+                            op,
+                            dst,
+                            arr,
+                            elem,
+                            idx,
+                            other,
+                            m_left,
+                        }),
+                        _ => None,
+                    };
+                    if let Some(f) = fused {
+                        code[s + pk] = None;
+                        code[s + k] = Some(f);
+                        stats.load_fused += 1;
+                        prev = Some(k);
+                        continue;
+                    }
+                }
+                prev = Some(k);
+            }
         }
 
         // Cleanup: delete jumps whose target is the next kept instruction,
@@ -1274,9 +1812,35 @@ pub fn optimize(kernel: &CompiledKernel) -> (CompiledKernel, OptStats) {
         new_phases.push(compacted);
     }
 
-    let reg_count = kernel.reg_count + pool_values.len();
+    // Pass: loop-invariant code motion, once the constant pool is final
+    // (pooled registers count as known constants for the clamp-bounds
+    // sanity check). Hoisted values live in fresh registers appended
+    // after the pool; their initial value is immaterial — every loop
+    // entry runs the preheader that defines them.
+    let const_regs: HashMap<Reg, Value> = frozen
+        .iter()
+        .map(|(&r, &v)| (r, v))
+        .chain(pool_values.iter().enumerate().map(|(i, &v)| {
+            let r = Reg::try_from(kernel.reg_count + i).expect("pool registers were allocated");
+            (r, v)
+        }))
+        .collect();
+    let mut next_reg = kernel.reg_count + pool_values.len();
+    let mut hoist_init: Vec<Value> = Vec::new();
+    for code in &mut new_phases {
+        licm_phase(
+            code,
+            &mut next_reg,
+            &mut hoist_init,
+            &const_regs,
+            &mut stats,
+        );
+    }
+
+    let reg_count = kernel.reg_count + pool_values.len() + hoist_init.len();
     let mut reg_init = kernel.reg_init.clone();
     reg_init.extend(pool_values);
+    reg_init.extend(hoist_init);
     let optimized = CompiledKernel {
         phases: new_phases,
         reg_count,
@@ -1504,7 +2068,9 @@ fn lvn_inst(lvn: &mut Lvn<'_>, inst: Inst, stats: &mut OptStats) -> Option<Inst>
             );
             inst
         }
-        Inst::Bin2 { dst, .. } => {
+        Inst::Bin2 { dst, .. }
+        | Inst::LoadGlobalBin { dst, .. }
+        | Inst::LoadLocalBin { dst, .. } => {
             // Only the fusion pass (which runs after value numbering)
             // emits these; when re-optimizing, keep them opaque.
             let vn = lvn.fresh(None);
@@ -2111,6 +2677,126 @@ mod tests {
             1,
             "the dead abs() call must survive DCE"
         );
+    }
+
+    #[test]
+    fn values_stay_available_across_branches_and_joins() {
+        // `(i + 3) * (w + 5)` is computed before the branch, inside both
+        // arms, and past the join. Block-local value numbering kept four
+        // multiplies; dominator-tree inheritance reduces them to one (the
+        // arms and the join all inherit the entry block's state).
+        let src = "kernel k(global float* dst, int w) {
+            int i = get_global_id(0);
+            int a = (i + 3) * (w + 5);
+            float v = 0.0;
+            if (i % 2 == 0) { v = float((i + 3) * (w + 5)); }
+            else { v = float((i + 3) * (w + 5) + 1); }
+            dst[i] = v + float((i + 3) * (w + 5));
+        }";
+        assert_levels_identical(src, 4, &[("w", 2)]);
+        let mut dev = Device::new(DeviceConfig::test_tiny()).unwrap();
+        let (kernel, _) = kernel_with(&mut dev, src, 4, &[("w", 2)]);
+        let muls = count_insts(kernel.optimized(), |i| match i {
+            Inst::Bin { op: BinOp::Mul, .. } => true,
+            Inst::Bin2 { op1, op2, .. } => *op1 == BinOp::Mul || *op2 == BinOp::Mul,
+            _ => false,
+        });
+        assert_eq!(muls, 1, "the common multiply must be computed once");
+        assert!(kernel.opt_stats().cse_reused >= 3);
+    }
+
+    #[test]
+    fn loop_carried_values_are_not_merged_across_the_back_edge() {
+        // `t * t` depends on the loop induction variable: the back edge
+        // must kill its value number (and LICM must leave it in place),
+        // or every iteration would reuse the first iteration's square.
+        let src = "kernel k(global float* dst) {
+            int i = get_global_id(0);
+            float acc = 0.0;
+            for (int t = 0; t < 4; t = t + 1) {
+                acc = acc + float(t * t);
+            }
+            dst[i] = acc;
+        }";
+        let (out, _, _) = assert_levels_identical(src, 4, &[]);
+        assert_eq!(out, vec![14.0; 4]); // 0 + 1 + 4 + 9
+    }
+
+    #[test]
+    fn licm_hoists_invariant_chains_to_a_preheader() {
+        // Everything feeding the accumulation except the accumulation
+        // itself is invariant in `i` and `w`, but not a compile-time
+        // constant — the whole chain (adds, conversions, sqrt, multiply)
+        // moves to the preheader and the loop keeps only the add.
+        let src = "kernel k(global float* dst, int w) {
+            int i = get_global_id(0);
+            float acc = 0.0;
+            for (int t = 0; t < 8; t = t + 1) {
+                acc = acc + float(i * 7 + 3) * sqrt(float(w + i));
+            }
+            dst[i] = acc;
+        }";
+        let (out, _, _) = assert_levels_identical(src, 4, &[("w", 16)]);
+        for (i, &v) in out.iter().enumerate() {
+            let x = ((i * 7 + 3) as f32) * ((16 + i) as f32).sqrt();
+            let mut acc = 0.0f32;
+            for _ in 0..8 {
+                acc += x;
+            }
+            assert_eq!(v.to_bits(), acc.to_bits(), "item {i}");
+        }
+        let mut dev = Device::new(DeviceConfig::test_tiny()).unwrap();
+        let (kernel, _) = kernel_with(&mut dev, src, 4, &[("w", 16)]);
+        assert!(
+            kernel.opt_stats().licm_hoisted >= 4,
+            "expected the invariant chain to hoist, stats: {:?}",
+            kernel.opt_stats()
+        );
+    }
+
+    #[test]
+    fn licm_leaves_loop_carried_computation_alone() {
+        // The only arithmetic in the loop reads its own previous value;
+        // nothing is invariant, so nothing may move.
+        let src = "kernel k(global float* dst) {
+            int i = get_global_id(0);
+            float acc = 1.5;
+            for (int t = 0; t < 6; t = t + 1) {
+                acc = acc * 0.5;
+            }
+            dst[i] = acc;
+        }";
+        let (out, _, _) = assert_levels_identical(src, 4, &[]);
+        assert_eq!(out, vec![1.5 * 0.5f32.powi(6); 4]);
+        let mut dev = Device::new(DeviceConfig::test_tiny()).unwrap();
+        let (kernel, _) = kernel_with(&mut dev, src, 4, &[]);
+        assert_eq!(kernel.opt_stats().licm_hoisted, 0);
+    }
+
+    #[test]
+    fn reduction_loads_fuse_with_their_consumer() {
+        // The `acc = acc + buf[t]` reduction shape: the load's value dies
+        // into the add, so the pair collapses into one fused dispatch.
+        let src = "kernel k(global float* dst, int n) {
+            int i = get_global_id(0);
+            float acc = 0.0;
+            for (int t = 0; t < n; t = t + 1) {
+                acc = acc + dst[t];
+            }
+            dst[i] = acc + float(i + 1);
+        }";
+        assert_levels_identical(src, 4, &[("n", 4)]);
+        let mut dev = Device::new(DeviceConfig::test_tiny()).unwrap();
+        let (kernel, _) = kernel_with(&mut dev, src, 4, &[("n", 4)]);
+        assert!(
+            count_insts(kernel.optimized(), |i| matches!(
+                i,
+                Inst::LoadGlobalBin { .. }
+            )) >= 1,
+            "expected a fused load, stats: {:?}",
+            kernel.opt_stats()
+        );
+        assert!(kernel.opt_stats().load_fused >= 1);
     }
 
     #[test]

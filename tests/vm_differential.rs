@@ -9,8 +9,8 @@
 //! once, app by app: **outputs (bit for bit), launch reports (statistics
 //! + timing), runtime errors and fault logs must be identical** across
 //!
-//! * all three execution strategies — tree walk, unoptimized VM,
-//!   optimized VM — and
+//! * all execution strategies — tree walk, unoptimized VM, optimized VM,
+//!   and the lane-batched vector VM at wavefront widths 1, 4 and 8 — and
 //! * both launch frontends — serial reference and parallel engine at
 //!   worker counts 1, 2, 8 and auto —
 //!
@@ -47,12 +47,18 @@ const LAUNCHES: [Launch; 5] = [
     Launch::Parallel(0),
 ];
 
-/// The three execution strategies every case runs under: tree walk,
-/// as-lowered bytecode, optimized bytecode.
-const STRATEGIES: [(ExecMode, OptLevel); 3] = [
+/// The execution strategies every case runs under: tree walk, as-lowered
+/// bytecode, optimized bytecode, and the lane-batched vector VM at three
+/// wavefront widths (1 = degenerate lockstep; 4 divides the 8-wide test
+/// groups evenly; 8 covers full-width waves). Group sizes that are not
+/// lane multiples exercise the tail wave via the perforated 40×24 cases.
+const STRATEGIES: [(ExecMode, OptLevel); 6] = [
     (ExecMode::Interpreted, OptLevel::Full), // opt level ignored
     (ExecMode::Compiled, OptLevel::None),
     (ExecMode::Compiled, OptLevel::Full),
+    (ExecMode::Vectorized { lanes: 1 }, OptLevel::Full),
+    (ExecMode::Vectorized { lanes: 4 }, OptLevel::None),
+    (ExecMode::Vectorized { lanes: 8 }, OptLevel::Full),
 ];
 
 /// Everything observable from one launch, in comparable form.
@@ -218,6 +224,105 @@ fn linear_interpolation_variant_is_identical_too() {
     };
     let perforated = perforate_kernel(&def, &pass).unwrap();
     assert_matrix_identical("gaussian Rows1:LI", &perforated, &app, (32, 24), (8, 8));
+}
+
+#[test]
+fn tail_wavefronts_with_column_divergence_are_identical() {
+    // Group (6, 3) = 18 work-items: not a multiple of either vector
+    // width, so every group runs two full 8-wide waves plus a 2-lane
+    // tail (and four full 4-wide waves plus a 2-lane tail). ColsHalf
+    // perforation branches on the *x* coordinate — adjacent lanes of one
+    // wave take opposite sides of the sparse-load branch, the closest
+    // thing the pass offers to per-lane random divergence.
+    let app = perfcl::by_name("gaussian").unwrap();
+    let def = parse(app.source).unwrap().kernels.remove(0);
+    let pass = PassConfig {
+        scheme: IrScheme::ColsHalf,
+        reconstruction: IrRecon::NearestNeighbor,
+        tile_w: 6,
+        tile_h: 3,
+    };
+    let perforated = perforate_kernel(&def, &pass).unwrap();
+    assert_matrix_identical(
+        "gaussian Cols1:NN tail-wave",
+        &perforated,
+        &app,
+        (36, 15),
+        (6, 3),
+    );
+}
+
+#[test]
+fn stencil_scheme_divergence_is_identical_across_lanes() {
+    // The Stencil scheme's sparse-load predicate depends on both local
+    // coordinates (interior vs halo ring), and its reconstruction phase
+    // runs only on the ring items — heavy intra-wave divergence across
+    // all three phases.
+    let app = perfcl::by_name("gaussian").unwrap();
+    let def = parse(app.source).unwrap().kernels.remove(0);
+    let pass = PassConfig {
+        scheme: IrScheme::Stencil,
+        reconstruction: IrRecon::NearestNeighbor,
+        tile_w: 8,
+        tile_h: 8,
+    };
+    let perforated = perforate_kernel(&def, &pass).unwrap();
+    assert_matrix_identical("gaussian Stencil1:NN", &perforated, &app, (40, 24), (8, 8));
+}
+
+#[test]
+fn shadow_leaked_lane_registers_are_identical() {
+    // Every third lane dynamically retypes `v` (float → int) through a
+    // shadow leak: the vector VM's per-lane tag bytes must track each
+    // lane independently, in full and tail wavefronts alike. 22×14 pads
+    // up to 24×15, so the border guard retires some lanes early too.
+    let app = PerfclApp {
+        name: "shadow",
+        source: "",
+        halo: 0,
+        needs_aux: false,
+        extra_args: &[],
+    };
+    let src = "kernel shadow(global const float* in, global float* out, int width, int height) {
+        int x = get_global_id(0);
+        int y = get_global_id(1);
+        if (x >= width || y >= height) { return; }
+        float v = in[y * width + x];
+        if (x % 3 == 0) { int v = x + 1; }
+        v = v + 1;
+        out[y * width + x] = float(v) * 0.5;
+    }";
+    let def = parse(src).unwrap().kernels.remove(0);
+    assert_matrix_identical("shadow-leak", &def, &app, (22, 14), (6, 3));
+}
+
+#[test]
+fn mid_phase_per_lane_faults_are_identical() {
+    // Faults raised *after* a barrier (phase 1) on a lane-dependent
+    // predicate: every lane with x ≡ 1 (mod 4) reads its local tile out
+    // of bounds mid-phase while sibling lanes keep running. Fault logs,
+    // totals and partial outputs must match the scalar reference.
+    let app = PerfclApp {
+        name: "midfault",
+        source: "",
+        halo: 0,
+        needs_aux: false,
+        extra_args: &[],
+    };
+    let src = "kernel midfault(global const float* in, global float* out, int width, int height) {
+        local float tile[18];
+        int x = get_global_id(0);
+        int y = get_global_id(1);
+        int li = get_local_id(1) * 6 + get_local_id(0);
+        tile[li] = float(li) * 0.25;
+        barrier();
+        if (x >= width || y >= height) { return; }
+        int idx = li;
+        if (x % 4 == 1) { idx = li + 100; }
+        out[y * width + x] = in[y * width + x] + tile[idx];
+    }";
+    let def = parse(src).unwrap().kernels.remove(0);
+    assert_matrix_identical("mid-phase faults", &def, &app, (24, 15), (6, 3));
 }
 
 #[test]
