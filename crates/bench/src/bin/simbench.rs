@@ -26,7 +26,12 @@
 //!   calibrated slab of host-side work, scheduled host-work-first (the
 //!   total a demand-driven scheduler that only starts at the first wait
 //!   cannot beat) vs. enqueue-first (the persistent pool executes while
-//!   the host works) — the regression gate for eager start.
+//!   the host works) — the regression gate for eager start;
+//! * a `multi_device` section: the perforated Gaussian launch sharded
+//!   across a [`DeviceGroup`] of 1/2/4 members (one engine worker per
+//!   member, so the fleet size is the concurrency lever) against a plain
+//!   single device, plus the tuner sweep's wall time when routed through
+//!   a 1/2/4-member fleet — the regression gate for the group runtime.
 //!
 //! ```text
 //! Usage: simbench [--out FILE] [--size N] [--reps N] [--check]
@@ -48,6 +53,15 @@
 //!               - eager_vs_demand below 0.9x (overhead bound; on a
 //!                 multi-core host eager must reach >= 1.05x, i.e.
 //!                 eager start must actually beat demand-driven drain)
+//!               - a 1-member sharded launch below 0.9x the plain
+//!                 single-device launch (the group-runtime overhead
+//!                 bound); on a >= 4-core host the best multi-member
+//!                 fleet must additionally reach >= 1.1x the 1-member
+//!                 fleet — sharding must extract real concurrency
+//!               - a multi-device tuner sweep slower than 1/0.8x the
+//!                 single-device sweep wall time (overhead bound only:
+//!                 the reference and baseline runs are serial, so
+//!                 Amdahl caps the sweep-level win)
 //! ```
 
 use std::fmt::Write as _;
@@ -56,9 +70,10 @@ use std::time::Instant;
 use kp_apps::suite;
 use kp_bench::util::{ir_gaussian_rows1, run_ir_gaussian};
 use kp_core::{
-    fig8_specs, run_app, AppRef, ApproxConfig, ImageBinding, ImageInput, PerforatedKernel, RunSpec,
+    fig8_specs, run_app, sweep, AppRef, ApproxConfig, ErrorMetric, ImageBinding, ImageInput,
+    PerforatedKernel, RunSpec, SweepContext,
 };
-use kp_gpu_sim::{Device, DeviceConfig, ExecMode, NdRange, OptLevel};
+use kp_gpu_sim::{Device, DeviceConfig, DeviceGroup, ExecMode, NdRange, OptLevel};
 
 struct Measurement {
     threads: usize,
@@ -376,6 +391,88 @@ fn measure_eager_vs_demand(
     }
 }
 
+/// One `multi_device` sharded-launch measurement: the perforated Gaussian
+/// launch sharded across a fleet of `devices` members, each with a
+/// single-worker engine — so the fleet size, not the per-member pool, is
+/// the concurrency lever.
+struct ShardedMeasurement {
+    devices: usize,
+    seconds: f64,
+    groups: usize,
+}
+
+impl ShardedMeasurement {
+    fn groups_per_sec(&self) -> f64 {
+        self.groups as f64 / self.seconds
+    }
+}
+
+/// Launches the perforated Gaussian `rounds` times on an n-member group
+/// (or, with `devices == 0`, on a plain single device as the no-group
+/// reference) and returns (wall seconds, groups simulated).
+fn run_sharded(app: AppRef, data: &[f32], size: usize, devices: usize) -> (f64, usize) {
+    let mut cfg = DeviceConfig::firepro_w5100();
+    cfg.parallelism = 1;
+    let range = NdRange::new_2d((size, size), (16, 16)).unwrap();
+    let rounds = 4usize;
+    let config = ApproxConfig::rows1_nn((16, 16));
+    let mut groups = 0usize;
+    if devices == 0 {
+        let mut dev = Device::new(cfg).unwrap();
+        let input = dev.create_buffer_from("in", data).unwrap();
+        let output = dev.create_buffer::<f32>("out", size * size).unwrap();
+        let img = ImageBinding {
+            input,
+            aux: None,
+            output,
+            width: size,
+            height: size,
+        };
+        let kernel = PerforatedKernel::new(app, img, config).unwrap();
+        let started = Instant::now();
+        for _ in 0..rounds {
+            groups += dev.launch(&kernel, range).unwrap().groups;
+        }
+        (started.elapsed().as_secs_f64(), groups)
+    } else {
+        let mut group = DeviceGroup::with_devices(cfg, devices).unwrap();
+        let input = group.create_buffer_from("in", data).unwrap();
+        let output = group.create_buffer::<f32>("out", size * size).unwrap();
+        let img = ImageBinding {
+            input,
+            aux: None,
+            output,
+            width: size,
+            height: size,
+        };
+        let kernel = PerforatedKernel::new(app, img, config).unwrap();
+        let started = Instant::now();
+        for _ in 0..rounds {
+            groups += group.launch_sharded(&kernel, range).unwrap().groups;
+        }
+        (started.elapsed().as_secs_f64(), groups)
+    }
+}
+
+/// Wall seconds of one tuner sweep (fig8 specs) routed through a fleet of
+/// `devices` members, each with a single-worker engine.
+fn run_sweep(app: AppRef, data: &[f32], size: usize, devices: usize) -> (f64, usize) {
+    let mut cfg = DeviceConfig::firepro_w5100();
+    cfg.parallelism = 1;
+    cfg.devices = devices;
+    let ctx = SweepContext {
+        app,
+        input: ImageInput::new(data, size, size).unwrap(),
+        metric: ErrorMetric::MeanRelative,
+        device: cfg,
+        baseline: RunSpec::Baseline { group: (16, 16) },
+    };
+    let specs = fig8_specs((16, 16), app.halo());
+    let started = Instant::now();
+    let outcomes = sweep(&ctx, &specs).expect("sweep failed");
+    (started.elapsed().as_secs_f64(), outcomes.len())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out = "BENCH_simulator.json".to_owned();
@@ -580,6 +677,46 @@ fn main() {
         eager.passes
     );
 
+    // Multi-device workload: the same perforated launch sharded across a
+    // DeviceGroup at several member counts (single-worker members), vs. a
+    // plain device; then the tuner sweep routed through the same fleets.
+    eprintln!("simbench: multi-device, sharded perforated gaussian {ir_size}x{ir_size}");
+    let (plain_seconds, plain_groups) = best_of(reps, || {
+        run_sharded(app.app, ir_image.as_slice(), ir_size, 0)
+    });
+    let plain_gps = plain_groups as f64 / plain_seconds;
+    eprintln!("  plain device    : {plain_seconds:8.3} s  ({plain_gps:9.0} groups/s)");
+    let sharded_runs: Vec<ShardedMeasurement> = [1usize, 2, 4]
+        .iter()
+        .map(|&devices| {
+            let (seconds, groups) = best_of(reps, || {
+                run_sharded(app.app, ir_image.as_slice(), ir_size, devices)
+            });
+            let m = ShardedMeasurement {
+                devices,
+                seconds,
+                groups,
+            };
+            eprintln!(
+                "  {devices:2} member(s)    : {:8.3} s  ({:9.0} groups/s, {:.2}x vs plain)",
+                m.seconds,
+                m.groups_per_sec(),
+                m.groups_per_sec() / plain_gps
+            );
+            m
+        })
+        .collect();
+    let sweep_runs: Vec<(usize, f64, usize)> = [1usize, 2, 4]
+        .iter()
+        .map(|&devices| {
+            let (seconds, specs) = best_of(reps, || {
+                run_sweep(app.app, ir_image.as_slice(), ir_size, devices)
+            });
+            eprintln!("  sweep, {devices} member(s): {seconds:8.3} s wall ({specs} candidates)");
+            (devices, seconds, specs)
+        })
+        .collect();
+
     // Hand-rolled JSON (the workspace is offline; no serializer crates).
     let mut json = String::new();
     json.push_str("{\n");
@@ -723,7 +860,54 @@ fn main() {
     let _ = writeln!(json, "    \"demand_seconds\": {:.6},", eager.demand_seconds);
     let _ = writeln!(json, "    \"eager_seconds\": {:.6},", eager.eager_seconds);
     let _ = writeln!(json, "    \"eager_ratio\": {:.3}", eager.ratio());
-    json.push_str("  }\n}\n");
+    json.push_str("  },\n");
+    json.push_str("  \"multi_device\": {\n");
+    let _ = writeln!(json, "    \"app\": \"gaussian\",");
+    let _ = writeln!(
+        json,
+        "    \"config\": \"Rows1:NN @ 16x16, parallelism 1 per member\","
+    );
+    let _ = writeln!(json, "    \"image_size\": {ir_size},");
+    let _ = writeln!(json, "    \"host_cores\": {cores},");
+    let _ = writeln!(
+        json,
+        "    \"plain\": {{ \"seconds\": {plain_seconds:.6}, \"groups\": {plain_groups}, \
+         \"groups_per_sec\": {plain_gps:.1} }},"
+    );
+    json.push_str("    \"sharded\": [\n");
+    for (i, m) in sharded_runs.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{ \"devices\": {}, \"seconds\": {:.6}, \"groups\": {}, \
+             \"groups_per_sec\": {:.1}, \"speedup_vs_plain\": {:.3} }}",
+            m.devices,
+            m.seconds,
+            m.groups,
+            m.groups_per_sec(),
+            m.groups_per_sec() / plain_gps
+        );
+        json.push_str(if i + 1 < sharded_runs.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("    ],\n");
+    json.push_str("    \"tuner_sweep\": [\n");
+    for (i, &(devices, seconds, specs)) in sweep_runs.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{ \"devices\": {devices}, \"seconds\": {seconds:.6}, \
+             \"candidates\": {specs}, \"speedup_vs_single\": {:.3} }}",
+            sweep_runs[0].1 / seconds
+        );
+        json.push_str(if i + 1 < sweep_runs.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("    ]\n  }\n}\n");
 
     std::fs::write(&out, &json).expect("write benchmark json");
     eprintln!("wrote {out}");
@@ -803,6 +987,50 @@ fn main() {
                 eager.ratio()
             );
             failed = true;
+        }
+        // A 1-member fleet runs the exact single-device span path plus
+        // the group bookkeeping (coherence checks, scoped-thread spawn,
+        // write-gather): that overhead must stay under ~10% on any host.
+        let sharded_one = sharded_runs
+            .iter()
+            .find(|m| m.devices == 1)
+            .expect("1-member run measured");
+        let group_overhead = sharded_one.groups_per_sec() / plain_gps;
+        if group_overhead < 0.90 {
+            eprintln!(
+                "check FAILED: 1-member sharded launch is {group_overhead:.2}x the plain \
+                 single-device launch (group overhead must stay >= 0.90x)"
+            );
+            failed = true;
+        }
+        // With real cores behind them, the member devices execute their
+        // spans concurrently — the fleet must buy real throughput.
+        if cores >= 4 {
+            let best_fleet = sharded_runs
+                .iter()
+                .filter(|m| m.devices >= 2 && m.devices <= cores)
+                .map(ShardedMeasurement::groups_per_sec)
+                .fold(f64::MIN, f64::max);
+            let fleet_speedup = best_fleet / sharded_one.groups_per_sec();
+            if fleet_speedup < 1.10 {
+                eprintln!(
+                    "check FAILED: best multi-member sharded launch is {fleet_speedup:.2}x \
+                     the 1-member fleet on this {cores}-core host (must reach >= 1.10x)"
+                );
+                failed = true;
+            }
+        }
+        // The sweep's reference and baseline runs stay serial (Amdahl),
+        // so multi-device routing is gated as an overhead bound only.
+        for &(devices, seconds, _) in &sweep_runs {
+            let ratio = sweep_runs[0].1 / seconds;
+            if ratio < 0.80 {
+                eprintln!(
+                    "check FAILED: the {devices}-member tuner sweep is {ratio:.2}x the \
+                     single-device sweep wall time (must stay >= 0.80x)"
+                );
+                failed = true;
+            }
         }
         if failed {
             std::process::exit(1);

@@ -16,13 +16,22 @@
 //! cannot change any number. [`kp_gpu_sim::DeviceConfig::parallelism`]
 //! (default: all cores) is the concurrency budget.
 //!
+//! When the device model asks for a fleet
+//! ([`kp_gpu_sim::DeviceConfig::devices`] > 1, or the `KP_SIM_DEVICES`
+//! environment variable), candidates are instead routed through a
+//! [`DeviceGroup`]: each spec goes to the least-loaded member (a
+//! deterministic round-robin over idle, identically configured devices)
+//! and the members run their batches concurrently. Every member sees the
+//! same config, so simulated seconds, errors and reports are identical to
+//! the single-device sweep — only host wall-clock changes.
+//!
 //! The context's [`DeviceConfig`] also threads [`kp_gpu_sim::ExecMode`] —
 //! compiled bytecode vs. tree-walking reference for IR-backed kernels —
 //! through the whole sweep unchanged; the two modes are bit-identical by
 //! contract, so switching it can only change sweep wall-clock time, never
 //! a result.
 
-use kp_gpu_sim::{Device, DeviceConfig};
+use kp_gpu_sim::{resolve_devices, Device, DeviceConfig, DeviceGroup};
 use serde::{Deserialize, Serialize};
 
 use crate::config::ApproxConfig;
@@ -114,9 +123,15 @@ pub fn sweep(ctx: &SweepContext<'_>, specs: &[RunSpec]) -> Result<Vec<SweepOutco
 
     // Candidates: one queue, all launches enqueued before the first event
     // is reaped, overlap decided by the hazard DAG (none between
-    // candidates) and the device's parallelism budget.
-    let mut dev = Device::new(ctx.device.clone())?;
-    let runs = run_specs_batched(&mut dev, ctx.app, &ctx.input, specs)?;
+    // candidates) and the device's parallelism budget. With a multi-device
+    // config the batch is split across a DeviceGroup's members instead.
+    let runs = match resolve_devices(ctx.device.devices) {
+        0 | 1 => {
+            let mut dev = Device::new(ctx.device.clone())?;
+            run_specs_batched(&mut dev, ctx.app, &ctx.input, specs)?
+        }
+        n => run_specs_grouped(ctx, specs, n)?,
+    };
     Ok(specs
         .iter()
         .zip(runs)
@@ -132,6 +147,52 @@ pub fn sweep(ctx: &SweepContext<'_>, specs: &[RunSpec]) -> Result<Vec<SweepOutco
                 read_transactions: run.report.stats.global_read_transactions,
             }
         })
+        .collect())
+}
+
+/// Runs the candidate batch on an `n`-member [`DeviceGroup`]: each spec is
+/// placed on the least-loaded member (round-robin, since members start
+/// idle and every spec counts as one unit of load), each member runs its
+/// shard as one batched command stream, and results are stitched back in
+/// spec order. Members are identically configured, so every per-spec
+/// number is bit-identical to the single-device batch.
+fn run_specs_grouped(
+    ctx: &SweepContext<'_>,
+    specs: &[RunSpec],
+    n: usize,
+) -> Result<Vec<crate::runner::RunResult>, CoreError> {
+    let mut group = DeviceGroup::with_devices(ctx.device.clone(), n)?;
+    // Placement first (it needs &mut group), then the member split.
+    let mut shards: Vec<Vec<(usize, RunSpec)>> = vec![Vec::new(); group.device_count()];
+    for (i, &spec) in specs.iter().enumerate() {
+        shards[group.place()].push((i, spec));
+    }
+    let shard_runs: Vec<Result<_, CoreError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = group
+            .members_mut()
+            .iter_mut()
+            .zip(&shards)
+            .map(|(dev, shard)| {
+                s.spawn(move || {
+                    let mine: Vec<RunSpec> = shard.iter().map(|&(_, spec)| spec).collect();
+                    run_specs_batched(dev, ctx.app, &ctx.input, &mine)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep shard thread panicked"))
+            .collect()
+    });
+    let mut runs = vec![None; specs.len()];
+    for (shard, result) in shards.iter().zip(shard_runs) {
+        for (&(i, _), run) in shard.iter().zip(result?) {
+            runs[i] = Some(run);
+        }
+    }
+    Ok(runs
+        .into_iter()
+        .map(|r| r.expect("every spec was placed on exactly one member"))
         .collect())
 }
 
@@ -257,6 +318,27 @@ mod tests {
             assert_eq!(x.label, y.label);
             assert_eq!(x.seconds, y.seconds);
             assert_eq!(x.error, y.error);
+        }
+    }
+
+    #[test]
+    fn sweep_through_device_group_matches_single_device() {
+        let (w, h) = (48, 48);
+        let data = noisy_image(w, h);
+        let single = context(&data, w, h);
+        let specs = fig8_specs((16, 16), 1);
+        let a = sweep(&single, &specs).unwrap();
+        for n in [2, 3] {
+            let mut fleet = context(&data, w, h);
+            fleet.device.devices = n;
+            let b = sweep(&fleet, &specs).unwrap();
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.label, y.label, "{n} devices");
+                assert_eq!(x.seconds, y.seconds, "{n} devices: {}", x.label);
+                assert_eq!(x.error, y.error, "{n} devices: {}", x.label);
+                assert_eq!(x.read_transactions, y.read_transactions);
+            }
         }
     }
 

@@ -138,6 +138,67 @@ pub(crate) struct RawBuffer {
     pub label: std::sync::Arc<str>,
 }
 
+/// Coherence state of one group-level buffer across the member devices of
+/// a [`crate::DeviceGroup`].
+///
+/// Every member device holds its own allocation for the buffer (created in
+/// identical order on each member, so slot indices and base addresses
+/// agree fleet-wide). `copies[d]` says whether device `d`'s allocation
+/// currently holds the latest contents; `latest_source` names one device
+/// that is guaranteed valid (the last writer, or the creation device for
+/// a fresh buffer). Migration is on demand: a device's copy is refreshed
+/// from `latest_source` only when a launch or host access actually needs
+/// it there — the MSI-flavored protocol described in
+/// `docs/ARCHITECTURE.md`.
+#[derive(Debug, Clone)]
+pub(crate) struct GroupBuffer {
+    /// The per-device handle — identical on every member by construction.
+    pub id: BufferId,
+    /// Element kind, kept for migration byte accounting.
+    pub kind: ElemKind,
+    /// Element count, kept for migration byte accounting.
+    pub len: usize,
+    /// `copies[d]` is true when member device `d` holds the latest bits.
+    pub copies: Vec<bool>,
+    /// A member index whose copy is always valid.
+    pub latest_source: usize,
+}
+
+impl GroupBuffer {
+    /// A freshly created buffer: every member was initialized with the
+    /// same contents, so all copies start valid and no migration is ever
+    /// needed until the first write diverges them.
+    pub fn fresh(id: BufferId, kind: ElemKind, len: usize, devices: usize) -> Self {
+        Self {
+            id,
+            kind,
+            len,
+            copies: vec![true; devices],
+            latest_source: 0,
+        }
+    }
+
+    /// Byte size of one full copy (what a migration moves).
+    pub fn byte_len(&self) -> usize {
+        self.len * self.kind.bytes()
+    }
+
+    /// Records that device `writer` produced new contents: its copy is the
+    /// single valid one and every other member's copy is stale.
+    pub fn mark_written(&mut self, writer: usize) {
+        for (d, valid) in self.copies.iter_mut().enumerate() {
+            *valid = d == writer;
+        }
+        self.latest_source = writer;
+    }
+
+    /// Records that device `dest` received a copy of the latest contents
+    /// (its copy becomes valid alongside the source's).
+    pub fn mark_migrated(&mut self, dest: usize) {
+        self.copies[dest] = true;
+    }
+}
+
 impl RawBuffer {
     pub fn len(&self) -> usize {
         self.data.len()
@@ -208,5 +269,24 @@ mod tests {
     fn display_formats() {
         assert_eq!(BufferId(7).to_string(), "buf#7");
         assert_eq!(ElemKind::F32.to_string(), "float");
+    }
+
+    #[test]
+    fn group_buffer_fresh_is_valid_everywhere() {
+        let gb = GroupBuffer::fresh(BufferId(0), ElemKind::F32, 16, 3);
+        assert!(gb.copies.iter().all(|&v| v));
+        assert_eq!(gb.latest_source, 0);
+        assert_eq!(gb.byte_len(), 64);
+    }
+
+    #[test]
+    fn group_buffer_write_invalidates_others() {
+        let mut gb = GroupBuffer::fresh(BufferId(1), ElemKind::U8, 8, 3);
+        gb.mark_written(2);
+        assert_eq!(gb.copies, vec![false, false, true]);
+        assert_eq!(gb.latest_source, 2);
+        gb.mark_migrated(0);
+        assert_eq!(gb.copies, vec![true, false, true]);
+        assert_eq!(gb.latest_source, 2);
     }
 }

@@ -167,6 +167,13 @@ pub struct DeviceConfig {
     /// functional results and reports are identical for every value (see
     /// the crate-level "Execution model" docs).
     pub parallelism: usize,
+    /// Member-device count a [`crate::DeviceGroup`] built from this
+    /// configuration owns: `0` = auto (the `KP_SIM_DEVICES` environment
+    /// variable, else 1 — see [`crate::resolve_devices`]), `n` = exactly
+    /// `n` devices. A plain [`crate::Device`] ignores the knob; host
+    /// harnesses that route work through groups (the `kp-core` tuner)
+    /// consult it so one `DeviceConfig` describes the whole fleet.
+    pub devices: usize,
     /// Execution strategy for kernels that carry both a bytecode compiler
     /// and a reference interpreter (see [`ExecMode`]). Both strategies are
     /// bit-identical by contract; this selects speed vs. reference.
@@ -207,6 +214,7 @@ impl DeviceConfig {
             max_groups_per_cu: 16,
             clock_mhz: 930.0,
             parallelism: 0,
+            devices: 0,
             exec_mode: ExecMode::Compiled,
             opt_level: OptLevel::Full,
         }
@@ -239,6 +247,7 @@ impl DeviceConfig {
             max_groups_per_cu: 16,
             clock_mhz: 1000.0,
             parallelism: 1,
+            devices: 0,
             exec_mode: ExecMode::Compiled,
             opt_level: OptLevel::Full,
         }

@@ -13,9 +13,14 @@
 //!   that are not [`Sync`]);
 //! * blocking buffer operations ([`Device::read_buffer`],
 //!   [`Device::write_buffer`], [`Device::copy_buffer`]) — shims over the
-//!   corresponding enqueued commands: each drains the pending command
-//!   stream first, so it observes exactly the state an in-order execution
-//!   would have produced.
+//!   corresponding enqueued commands: each first waits for every pending
+//!   command to complete (execution is eager, so this is a pure join), and
+//!   therefore observes exactly the state an in-order execution would have
+//!   produced.
+//!
+//! Fleets of devices are managed by [`crate::DeviceGroup`], which shards
+//! launches across members and keeps buffers coherent; this module only
+//! provides the single-device primitives it builds on.
 
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
@@ -64,8 +69,13 @@ pub(crate) struct DeviceState {
     pub(crate) shutdown: bool,
     /// Join handles of the persistent worker pool (spawned lazily on
     /// first enqueue; joined by [`Device`]'s drop). Workers never touch
-    /// this field themselves.
+    /// this field themselves. Pool sizing counts `workers.len()`, so
+    /// only pool threads may live here — bridges go in `bridges`.
     pub(crate) workers: Vec<std::thread::JoinHandle<()>>,
+    /// Join handles of one-shot cross-device bridge threads (spawned per
+    /// foreign wait-list event; joined by [`Device`]'s drop). Kept apart
+    /// from `workers` so they never count toward the pool target.
+    pub(crate) bridges: Vec<std::thread::JoinHandle<()>>,
 }
 
 /// Validates a launch against device limits and captures its immutable
@@ -152,6 +162,7 @@ impl Device {
                     sched: Sched::default(),
                     shutdown: false,
                     workers: Vec::new(),
+                    bridges: Vec::new(),
                 }),
                 cv: Condvar::new(),
                 epoch: Instant::now(),
@@ -325,10 +336,10 @@ impl Device {
         Ok(id)
     }
 
-    /// Releases a buffer, making its bytes available again. Pending
-    /// enqueued commands are drained first, so every command that could
-    /// reference the buffer has completed. The handle becomes invalid;
-    /// later use is an error (host) or fault (kernel).
+    /// Releases a buffer, making its bytes available again. Completion of
+    /// every pending enqueued command is awaited first, so every command
+    /// that could reference the buffer has finished. The handle becomes
+    /// invalid; later use is an error (host) or fault (kernel).
     ///
     /// # Errors
     ///
@@ -396,8 +407,9 @@ impl Device {
     }
 
     /// Copies a buffer's contents to the host — the blocking shim over
-    /// [`Queue::enqueue_read`]: pending commands are drained first, so the
-    /// data is exactly what in-order execution would have produced.
+    /// [`Queue::enqueue_read`]: it waits for the (eagerly executing)
+    /// pending commands to complete first, so the data is exactly what
+    /// in-order execution would have produced.
     ///
     /// # Errors
     ///
@@ -421,7 +433,7 @@ impl Device {
     }
 
     /// Overwrites a buffer's contents from the host — the blocking shim
-    /// over [`Queue::enqueue_write`] (pending commands drain first).
+    /// over [`Queue::enqueue_write`] (pending commands complete first).
     ///
     /// # Errors
     ///
@@ -457,8 +469,8 @@ impl Device {
     }
 
     /// Copies the contents of buffer `src` into buffer `dst` — the
-    /// blocking shim over [`Queue::enqueue_copy`] (pending commands drain
-    /// first; not charged by the timing model).
+    /// blocking shim over [`Queue::enqueue_copy`] (pending commands
+    /// complete first; not charged by the timing model).
     ///
     /// # Errors
     ///
@@ -523,11 +535,11 @@ impl Device {
 
     /// Executes a kernel over the given range and returns its report —
     /// the blocking shim: semantically [`Queue::enqueue_launch`]
-    /// immediately followed by [`crate::Event::wait_report`]. Pending
-    /// enqueued commands are drained first (preserving enqueue-order
-    /// semantics); the kernel itself is borrowed for the call, which is
-    /// why the shim exists — the command stream proper stores only
-    /// `'static` kernels.
+    /// immediately followed by [`crate::Event::wait_report`]. Completion
+    /// of pending enqueued commands is awaited first (preserving
+    /// enqueue-order semantics); the kernel itself is borrowed for the
+    /// call, which is why the shim exists — the command stream proper
+    /// stores only `'static` kernels.
     ///
     /// Work groups execute on the parallel launch engine: sharded across
     /// up to [`DeviceConfig::parallelism`] scoped worker threads, each
@@ -585,6 +597,83 @@ impl Device {
         )
     }
 
+    /// Executes the row-major span `lo..hi` of a launch's work groups and
+    /// returns the *unreduced* per-group outcomes plus their concatenated
+    /// write entries — the member-device primitive behind
+    /// [`crate::DeviceGroup::launch_sharded`]. Nothing is applied to this
+    /// device's buffers: the group concatenates every member's spans in
+    /// device order (restoring full row-major order), applies the writes
+    /// on the gather device and reduces the outcomes exactly once, so a
+    /// sharded launch's report and fault log are bit-identical to a
+    /// single-device run.
+    pub(crate) fn launch_span<K: Kernel + Sync + ?Sized>(
+        &mut self,
+        kernel: &K,
+        range: NdRange,
+        lo: usize,
+        hi: usize,
+    ) -> Result<
+        (
+            LaunchSetup,
+            Vec<engine::GroupOutcome>,
+            Vec<engine::WriteEntry>,
+        ),
+        SimError,
+    > {
+        self.finish();
+        let (plan, setup, snapshot, profiling) = self.prepare_blocking(kernel, range)?;
+        let workers = resolve_parallelism(self.cfg.parallelism)
+            .min(hi.saturating_sub(lo))
+            .max(1);
+        let (outcomes, entries) = engine::execute_groups_span(
+            kernel, &self.cfg, &plan, &setup, &snapshot, profiling, workers, None, lo, hi,
+        );
+        Ok((setup, outcomes, entries))
+    }
+
+    /// Applies write entries produced by another member's span to this
+    /// device's backing buffers (slot indices agree fleet-wide because
+    /// group members allocate in identical order).
+    pub(crate) fn apply_entries(&mut self, entries: &[engine::WriteEntry]) {
+        self.apply_blocking(entries);
+    }
+
+    /// Raw bit patterns of a buffer, for inter-device migration. Waits
+    /// for pending commands like [`Device::read_buffer`] but skips the
+    /// element-type conversion — a migration moves bits, not values.
+    pub(crate) fn read_buffer_bits(&self, id: BufferId) -> Result<Vec<u64>, SimError> {
+        self.finish();
+        let st = self.state();
+        st.bufs
+            .get(id.index())
+            .and_then(Option::as_ref)
+            .map(|raw| raw.data.clone())
+            .ok_or(SimError::UnknownBuffer(id))
+    }
+
+    /// Overwrites a buffer with raw bit patterns, for inter-device
+    /// migration. The caller (the group's coherence layer) guarantees the
+    /// source buffer has the same kind and length.
+    pub(crate) fn write_buffer_bits(&mut self, id: BufferId, bits: &[u64]) -> Result<(), SimError> {
+        self.finish();
+        let mut st = self.state();
+        let raw = st
+            .bufs
+            .get_mut(id.index())
+            .and_then(Option::as_mut)
+            .ok_or(SimError::UnknownBuffer(id))?;
+        debug_assert_eq!(raw.len(), bits.len(), "migration size mismatch");
+        Arc::make_mut(raw).data = bits.to_vec();
+        Ok(())
+    }
+
+    /// Number of enqueued commands not yet completed (pending + running).
+    /// The load signal behind [`crate::DeviceGroup`]'s least-loaded
+    /// placement.
+    pub(crate) fn pending_commands(&self) -> usize {
+        self.state().sched.pending_len()
+    }
+
     /// Executes a kernel one work group at a time on the calling thread.
     ///
     /// Semantics match pre-engine serial execution exactly: each group's
@@ -634,7 +723,7 @@ impl Drop for Device {
     /// shared state is freed, and any thread blocked in a `wait` is woken
     /// and gets the same typed error.
     fn drop(&mut self) {
-        let workers = {
+        let (workers, bridges) = {
             // Tolerate a poisoned lock here: drop must still join the
             // surviving workers even if one panicked.
             let mut st = match self.shared.state.lock() {
@@ -642,10 +731,13 @@ impl Drop for Device {
                 Err(poisoned) => poisoned.into_inner(),
             };
             st.shutdown = true;
-            std::mem::take(&mut st.workers)
+            (
+                std::mem::take(&mut st.workers),
+                std::mem::take(&mut st.bridges),
+            )
         };
         self.shared.cv.notify_all();
-        for worker in workers {
+        for worker in workers.into_iter().chain(bridges) {
             let _ = worker.join();
         }
     }

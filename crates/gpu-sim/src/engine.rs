@@ -491,10 +491,45 @@ pub(crate) fn execute_groups_parallel<K: Kernel + Sync + ?Sized>(
     workers: usize,
     mask: Option<&AccessMask>,
 ) -> (Vec<GroupOutcome>, Vec<WriteEntry>) {
-    let groups = &plan.group_coords;
+    execute_groups_span(
+        kernel,
+        cfg,
+        plan,
+        setup,
+        snapshot,
+        profiling,
+        workers,
+        mask,
+        0,
+        plan.group_coords.len(),
+    )
+}
+
+/// Runs the row-major span `lo..hi` of a launch's groups, sharded over
+/// `workers` scoped threads against the read-only `snapshot`. This is the
+/// primitive a [`crate::DeviceGroup`] shards one launch across member
+/// devices with: each member executes a contiguous span, and concatenating
+/// the spans in device order restores full row-major group order —
+/// bit-identical to [`execute_groups_parallel`] over `0..n` on one device,
+/// because per-group execution never observes which span (or device) it
+/// ran in.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn execute_groups_span<K: Kernel + Sync + ?Sized>(
+    kernel: &K,
+    cfg: &DeviceConfig,
+    plan: &LaunchPlan,
+    setup: &LaunchSetup,
+    snapshot: &BufTable,
+    profiling: bool,
+    workers: usize,
+    mask: Option<&AccessMask>,
+    lo: usize,
+    hi: usize,
+) -> (Vec<GroupOutcome>, Vec<WriteEntry>) {
+    let groups = &plan.group_coords[lo..hi];
     // Contiguous shards keep the group -> worker assignment, and thus
     // every worker-local accumulation, independent of scheduling.
-    let chunk = groups.len().div_ceil(workers.max(1));
+    let chunk = groups.len().div_ceil(workers.max(1)).max(1);
     let phases = setup.phases;
     let sharded: Vec<Vec<GroupOutcome>> = std::thread::scope(|s| {
         let handles: Vec<_> = groups
@@ -649,10 +684,32 @@ pub fn resolve_lanes(requested: usize) -> usize {
     }
 }
 
-/// Shared parse policy behind the `KP_SIM_PARALLELISM` and `KP_SIM_LANES`
-/// environment overrides: a positive integer wins, anything else (unset,
-/// non-numeric, zero) is ignored. Split out of the `OnceLock` wrappers so
-/// precedence is unit-testable without mutating the process environment.
+/// Resolves a [`crate::DeviceConfig::devices`] group-size knob to a
+/// concrete member-device count (`0` = auto).
+///
+/// The `KP_SIM_DEVICES` environment variable, when set to a positive
+/// integer, overrides the *auto* resolution (`requested == 0`) only — the
+/// exact policy [`resolve_parallelism`] applies to `KP_SIM_PARALLELISM`.
+/// Explicit counts are never overridden. Without an override, auto
+/// resolves to **1** (a single device), not the core count: member
+/// devices each own a worker pool already, so defaulting the fleet size
+/// to the host width would square the thread count.
+pub fn resolve_devices(requested: usize) -> usize {
+    if requested == 0 {
+        static OVERRIDE: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+        let forced =
+            OVERRIDE.get_or_init(|| parse_env_override(std::env::var("KP_SIM_DEVICES").ok()));
+        forced.unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Shared parse policy behind the `KP_SIM_PARALLELISM`, `KP_SIM_LANES`
+/// and `KP_SIM_DEVICES` environment overrides: a positive integer wins,
+/// anything else (unset, non-numeric, zero) is ignored. Split out of the
+/// `OnceLock` wrappers so precedence is unit-testable without mutating
+/// the process environment.
 fn parse_env_override(raw: Option<String>) -> Option<usize> {
     raw.and_then(|v| v.parse::<usize>().ok()).filter(|&n| n > 0)
 }
@@ -748,5 +805,14 @@ mod tests {
         // Explicit knobs win regardless of what the environment says.
         assert_eq!(resolve_parallelism(3), 3);
         assert_eq!(resolve_lanes(7), 7);
+        assert_eq!(resolve_devices(5), 5);
+    }
+
+    #[test]
+    fn resolve_devices_zero_is_auto() {
+        // Auto defaults to a single device (or the KP_SIM_DEVICES
+        // override in CI's multi-device legs) — never zero.
+        assert!(resolve_devices(0) >= 1);
+        assert_eq!(resolve_devices(2), 2);
     }
 }

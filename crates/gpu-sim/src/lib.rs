@@ -80,6 +80,21 @@
 //! `enqueue_read` + wait, and so on — each joins the pending stream
 //! first, so mixing the two styles preserves enqueue-order semantics.
 //!
+//! ## Multi-device: `DeviceGroup`
+//!
+//! [`DeviceGroup`] owns a fleet of N identically configured devices
+//! behind one handle (fleet size: [`DeviceConfig::devices`], the
+//! `KP_SIM_DEVICES` environment variable, or
+//! [`DeviceGroup::with_devices`]). One large launch shards across the
+//! members by contiguous row-major group ranges with bit-identical
+//! outputs, reports and fault logs at any member count
+//! ([`DeviceGroup::launch_sharded`]); independent commands go to the
+//! least-loaded member ([`DeviceGroup::place`] /
+//! [`DeviceGroup::launch_on`]); and group buffers keep one copy per
+//! member with on-demand migration, counted and priced in
+//! [`GroupStats`]. Events may cross devices in wait-lists — see
+//! [`Queue`]'s "Cross-device waits" docs.
+//!
 //! ## Kernel execution: compile once, execute per item
 //!
 //! Hand-written Rust kernels are plain `run_phase` implementations and the
@@ -145,6 +160,7 @@ mod device;
 mod engine;
 mod error;
 mod event;
+mod group;
 mod kernel;
 mod ndrange;
 mod queue;
@@ -157,11 +173,12 @@ pub mod timing;
 pub use buffer::{BufferId, ElemKind, Scalar};
 pub use config::{DeviceConfig, ExecMode, OptLevel};
 pub use device::Device;
-pub use engine::{resolve_lanes, resolve_parallelism, DEFAULT_LANES};
+pub use engine::{resolve_devices, resolve_lanes, resolve_parallelism, DEFAULT_LANES};
 pub use error::SimError;
 pub use event::{Event, EventTiming};
+pub use group::DeviceGroup;
 pub use kernel::{Fault, FaultKind, ItemCtx, Kernel, KernelScratch, WaveCtx};
 pub use local::{LocalId, LocalSpec};
 pub use ndrange::{NdRange, NdRangeError};
 pub use queue::{BufferUse, Queue};
-pub use stats::{LaunchReport, LaunchStats, Occupancy, TimingBreakdown};
+pub use stats::{GroupStats, LaunchReport, LaunchStats, Occupancy, TimingBreakdown};

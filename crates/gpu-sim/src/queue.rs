@@ -63,6 +63,16 @@
 //! enqueue order); queues are grouping/lifetime scopes, not ordering
 //! domains — ordering comes *only* from events and hazards, which is what
 //! lets independent commands overlap even on a single queue.
+//!
+//! # Cross-device waits
+//!
+//! Wait-lists may contain events from **other** devices (e.g. other
+//! members of a [`crate::DeviceGroup`]). Such a foreign event does not
+//! enter the local hazard DAG; instead a bridge thread waits for it to
+//! settle on its own device and then marks the local command's foreign
+//! dependency satisfied. Any settled outcome — success, failure,
+//! cancellation, or the foreign device being dropped — counts, mirroring
+//! the local rule that a cancelled dependency is a satisfied one.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::{Arc, MutexGuard, Weak};
@@ -118,6 +128,10 @@ pub(crate) struct Command {
     /// Unsatisfied-at-enqueue-time dependencies (seq numbers). A dep is
     /// satisfied once its seq leaves the pending map.
     deps: Vec<u64>,
+    /// Count of wait-list events that live on *other* devices and have
+    /// not yet settled. Decremented by the bridge threads spawned at
+    /// enqueue time; the command is not ready until it reaches zero.
+    foreign_pending: usize,
     access: Access,
     kind: CommandKind,
     queued_at: Duration,
@@ -299,7 +313,15 @@ impl Sched {
     }
 
     fn is_ready(&self, seq: u64, cmd: &Command) -> bool {
-        !self.running.contains(&seq) && cmd.deps.iter().all(|d| !self.pending.contains_key(d))
+        !self.running.contains(&seq)
+            && cmd.foreign_pending == 0
+            && cmd.deps.iter().all(|d| !self.pending.contains_key(d))
+    }
+
+    /// Commands not yet completed (pending + running) — the load signal
+    /// behind [`crate::DeviceGroup`]'s least-loaded placement.
+    pub(crate) fn pending_len(&self) -> usize {
+        self.pending.len()
     }
 
     /// Scheduling priority of a queue (default 0).
@@ -458,17 +480,22 @@ impl Queue {
         self.shared.upgrade().ok_or(SimError::DeviceLost)
     }
 
-    fn check_wait_list(&self, wait: &[Event]) -> Result<Vec<u64>, SimError> {
+    /// Splits a wait-list into same-device dependencies (seq numbers, fed
+    /// to the hazard scheduler directly) and foreign events (events on
+    /// *other* devices — e.g. other members of a [`crate::DeviceGroup`]).
+    /// Each foreign event gets a bridge thread at enqueue time that waits
+    /// for it to settle and then unblocks the command.
+    fn check_wait_list(&self, wait: &[Event]) -> (Vec<u64>, Vec<Event>) {
         let mut seqs = Vec::with_capacity(wait.len());
+        let mut foreign = Vec::new();
         for e in wait {
-            if !Weak::ptr_eq(&e.shared, &self.shared) {
-                return Err(SimError::Launch(
-                    "wait-list event belongs to a different device".into(),
-                ));
+            if Weak::ptr_eq(&e.shared, &self.shared) {
+                seqs.push(e.seq);
+            } else {
+                foreign.push(e.clone());
             }
-            seqs.push(e.seq);
         }
-        Ok(seqs)
+        (seqs, foreign)
     }
 
     fn event(&self, seq: u64) -> Event {
@@ -505,7 +532,7 @@ impl Queue {
         K: Kernel + Send + Sync + 'static,
     {
         let shared = self.upgrade()?;
-        let explicit = self.check_wait_list(wait)?;
+        let (explicit, foreign) = self.check_wait_list(wait);
         let mut st = shared.state.lock().expect("device state poisoned");
         let access = match kernel.buffer_usage() {
             None => Access::All,
@@ -538,6 +565,7 @@ impl Queue {
             &mut st,
             access,
             explicit,
+            foreign,
             CommandKind::Launch {
                 kernel: Arc::new(kernel),
                 range,
@@ -561,7 +589,7 @@ impl Queue {
         wait: &[Event],
     ) -> Result<Event, SimError> {
         let shared = self.upgrade()?;
-        let explicit = self.check_wait_list(wait)?;
+        let (explicit, foreign) = self.check_wait_list(wait);
         let mut st = shared.state.lock().expect("device state poisoned");
         let raw = st
             .bufs
@@ -584,6 +612,7 @@ impl Queue {
             &mut st,
             access,
             explicit,
+            foreign,
             CommandKind::Read { buffer },
         );
         Ok(self.event(seq))
@@ -603,7 +632,7 @@ impl Queue {
         wait: &[Event],
     ) -> Result<Event, SimError> {
         let shared = self.upgrade()?;
-        let explicit = self.check_wait_list(wait)?;
+        let (explicit, foreign) = self.check_wait_list(wait);
         let mut st = shared.state.lock().expect("device state poisoned");
         let raw = st
             .bufs
@@ -634,6 +663,7 @@ impl Queue {
             &mut st,
             access,
             explicit,
+            foreign,
             CommandKind::Write {
                 slot: buffer.index(),
                 bits,
@@ -655,7 +685,7 @@ impl Queue {
         wait: &[Event],
     ) -> Result<Event, SimError> {
         let shared = self.upgrade()?;
-        let explicit = self.check_wait_list(wait)?;
+        let (explicit, foreign) = self.check_wait_list(wait);
         let mut st = shared.state.lock().expect("device state poisoned");
         let src_raw = st
             .bufs
@@ -691,6 +721,7 @@ impl Queue {
             &mut st,
             access,
             explicit,
+            foreign,
             CommandKind::Copy {
                 src: src.index(),
                 dst: dst.index(),
@@ -705,6 +736,7 @@ impl Queue {
         st: &mut MutexGuard<'_, DeviceState>,
         access: Access,
         explicit: Vec<u64>,
+        foreign: Vec<Event>,
         kind: CommandKind,
     ) -> u64 {
         let deps = st.sched.collect_deps(&access, &explicit);
@@ -713,6 +745,7 @@ impl Queue {
         let seq = st.sched.insert(Command {
             queue: self.id,
             deps,
+            foreign_pending: foreign.len(),
             access,
             kind,
             queued_at: shared.epoch.elapsed(),
@@ -720,6 +753,34 @@ impl Queue {
             priority,
         });
         st.sched.track_event(seq);
+        // Cross-device waits: one bridge thread per foreign event waits
+        // for the event to settle on its own device, then unblocks this
+        // command. *Any* settled outcome counts as satisfied — completion,
+        // cancellation, or a lost device — matching the cancelled-dep
+        // semantics of same-device waits. Bridges go in the dedicated
+        // bridge list (NOT `workers`: `ensure_workers` sizes the pool by
+        // that list's length) so `Device::drop` reaps them; no deadlock
+        // is possible because the cross-device wait graph only points at
+        // already-created events (a DAG) and every device's drop/shutdown
+        // wakes its waiters.
+        for e in foreign {
+            let local = Arc::clone(shared);
+            let handle = std::thread::Builder::new()
+                .name("kp-sim-bridge".into())
+                .spawn(move || {
+                    if let Some(theirs) = e.shared.upgrade() {
+                        wait_seq(&theirs, e.seq);
+                    }
+                    let mut st = local.state.lock().expect("device state poisoned");
+                    if let Some(cmd) = st.sched.pending.get_mut(&seq) {
+                        cmd.foreign_pending -= 1;
+                    }
+                    drop(st);
+                    local.cv.notify_all();
+                })
+                .expect("spawn cross-device bridge");
+            st.bridges.push(handle);
+        }
         // Eager execution: make sure the worker pool exists and wake it —
         // the command starts as soon as its dependencies are done, not
         // when somebody waits.

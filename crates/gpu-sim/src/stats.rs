@@ -108,6 +108,44 @@ impl Default for Occupancy {
     }
 }
 
+/// Aggregated multi-device counters of one [`crate::DeviceGroup`].
+///
+/// Kept separate from [`LaunchReport`] on purpose: a sharded launch's
+/// report must stay bit-identical to the single-device run at any member
+/// count, so fleet-level costs (buffer migrations over the interconnect)
+/// accumulate here instead of inside per-launch timing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupStats {
+    /// Whole-buffer copies moved between member devices.
+    pub migrations: u64,
+    /// Bytes those migrations transferred.
+    pub migrated_bytes: u64,
+    /// Interconnect cycles the charge model prices those transfers at
+    /// (see [`GroupStats::migration_cost_cycles`]).
+    pub migration_cycles: u64,
+    /// Launches sharded across members by group ranges.
+    pub sharded_launches: u64,
+    /// Launches placed whole on a single member device.
+    pub placed_launches: u64,
+}
+
+impl GroupStats {
+    /// Prices one migration of `bytes` with the same DMA-flavored charge
+    /// model the launch engine uses for global memory: the transfer moves
+    /// `ceil(bytes / transaction_bytes)` bus transactions, each costing
+    /// one global issue slot. Latency is ignored (migrations are bulk
+    /// transfers, fully pipelined).
+    pub fn migration_cost_cycles(cfg: &DeviceConfig, bytes: usize) -> u64 {
+        bytes.div_ceil(cfg.transaction_bytes) as u64 * cfg.global_issue_cycles
+    }
+
+    pub(crate) fn record_migration(&mut self, cfg: &DeviceConfig, bytes: usize) {
+        self.migrations += 1;
+        self.migrated_bytes += bytes as u64;
+        self.migration_cycles += Self::migration_cost_cycles(cfg, bytes);
+    }
+}
+
 /// Full report of one kernel launch: functional side effects live in the
 /// device's buffers; this captures the performance model's view.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

@@ -678,18 +678,24 @@ fn event_result_accessors_are_typed() {
 }
 
 #[test]
-fn cross_device_events_are_rejected_in_wait_lists() {
+fn cross_device_events_bridge_in_wait_lists() {
+    // A wait-list event from another device is bridged: the dependent
+    // command waits for the foreign event to settle, then runs normally.
     let mut dev_a = device(1);
     let mut dev_b = device(1);
     let buf_a = dev_a.create_buffer_from("a", &[1.0f32; 4]).unwrap();
-    let buf_b = dev_b.create_buffer_from("b", &[1.0f32; 4]).unwrap();
+    let buf_b = dev_b.create_buffer_from("b", &[2.0f32; 4]).unwrap();
     let qa = dev_a.create_queue();
     let qb = dev_b.create_queue();
     let ea = qa.enqueue_read::<f32>(buf_a, &[]).unwrap();
-    assert!(matches!(
-        qb.enqueue_read::<f32>(buf_b, &[ea]),
-        Err(SimError::Launch(_))
-    ));
+    let eb = qb
+        .enqueue_read::<f32>(buf_b, std::slice::from_ref(&ea))
+        .unwrap();
+    assert_eq!(eb.wait_read::<f32>().unwrap(), vec![2.0; 4]);
+    let ta = ea.timing().unwrap();
+    let tb = eb.timing().unwrap();
+    // The bridged dependency holds B's command back until A's settled.
+    assert!(tb.started >= ta.ended);
 }
 
 #[test]

@@ -10,7 +10,9 @@
 //! Counting uses `/proc/self/task` (Linux — the platform CI runs on);
 //! elsewhere the test is a no-op.
 
-use kp_gpu_sim::{BufferId, BufferUse, Device, DeviceConfig, ItemCtx, Kernel, NdRange};
+use kp_gpu_sim::{
+    BufferId, BufferUse, Device, DeviceConfig, DeviceGroup, ItemCtx, Kernel, NdRange, SimError,
+};
 
 const BUF_LEN: usize = 64;
 
@@ -115,5 +117,53 @@ fn device_drop_joins_every_pool_worker() {
     assert_eq!(
         after_drop, baseline,
         "worker threads leaked after dropping devices with live queues"
+    );
+}
+
+/// `DeviceGroup` churn: N pooled member devices per group, sharded
+/// launches, plus a cross-member wait (which spawns a one-shot bridge
+/// thread) — construction and drop must leave the process thread count
+/// untouched, and events held across the drop must resolve to the typed
+/// [`SimError::DeviceLost`], never hang or panic.
+#[test]
+fn device_group_drop_joins_member_pools_and_bridges() {
+    let Some(baseline) = thread_count() else {
+        eprintln!("skipping: /proc/self/task not available on this platform");
+        return;
+    };
+
+    let range = NdRange::new_1d(BUF_LEN, 16).unwrap();
+    for round in 0..4 {
+        for n in [1, 2, 4] {
+            let mut cfg = DeviceConfig::test_tiny();
+            cfg.parallelism = 2;
+            let mut group = DeviceGroup::with_devices(cfg, n).unwrap();
+            let src = group.create_buffer_from("s", &[1.0f32; BUF_LEN]).unwrap();
+            let dst = group.create_buffer::<f32>("d", BUF_LEN).unwrap();
+            group.launch_sharded(&Scale { src, dst }, range).unwrap();
+
+            // A wait-list edge from the first member to the last spawns a
+            // cross-device bridge thread when n > 1; drop must join it.
+            let qa = group.create_queue(0);
+            let qb = group.create_queue(n - 1);
+            let ea = qa.enqueue_read::<f32>(src, &[]).unwrap();
+            let eb = qb.enqueue_read::<f32>(src, &[ea]).unwrap();
+            if round % 2 == 0 {
+                // Half the rounds wait, half drop with commands possibly
+                // still in flight.
+                eb.wait().unwrap();
+            }
+            let held = eb.clone();
+            drop((group, qa, qb, eb));
+            assert!(
+                matches!(held.wait(), Err(SimError::DeviceLost)),
+                "event on a dropped group must resolve to DeviceLost"
+            );
+        }
+    }
+    assert_eq!(
+        thread_count().unwrap(),
+        baseline,
+        "threads leaked after DeviceGroup churn"
     );
 }
