@@ -1,0 +1,274 @@
+//! Completion multiplexing: [`CompletionQueue`] — many in-flight events,
+//! one drainable ready-stream.
+//!
+//! A serving loop that admits thousands of concurrent commands cannot
+//! afford one parked thread per [`Event`]. [`CompletionQueue::watch`]
+//! attaches a completion callback (see [`Event::on_complete`]) that
+//! pushes a [`Completion`] record into a shared ready-queue the moment
+//! the command settles; the loop then harvests finished work with
+//! [`CompletionQueue::drain`] (non-blocking) or [`CompletionQueue::next`]
+//! (parks only the *drainer*, never a request thread, and only when
+//! nothing is ready).
+//!
+//! One queue may watch events from any number of devices — completions
+//! from every member of a [`crate::DeviceGroup`] funnel into the same
+//! stream, which is exactly what a least-loaded serving loop wants.
+//!
+//! **Ordering & determinism.** Completions arrive in the order commands
+//! actually settle, which depends on worker count and scheduling — the
+//! stream order is *not* deterministic. Every functional outcome in it
+//! is: each [`Completion::result`] is bit-identical to what a blocking
+//! [`Event::wait`] on the same command would have returned, and reports
+//! or read-back data retrieved through the retained [`Event`] afterwards
+//! are unchanged (see the crate docs' determinism argument).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::error::SimError;
+use crate::event::Event;
+
+/// One settled command, as drained from a [`CompletionQueue`].
+#[derive(Debug, Clone)]
+pub struct Completion {
+    /// The caller-chosen token passed to [`CompletionQueue::watch`] —
+    /// typically a request id that maps back to per-request state.
+    pub token: u64,
+    /// The command's device-wide sequence number (see [`Event::seq`]).
+    pub seq: u64,
+    /// Id of the queue the command was enqueued on.
+    pub queue: u64,
+    /// The command's settled outcome — exactly what [`Event::poll`] /
+    /// [`Event::wait`] report: `Ok(())`, the command's own failure,
+    /// [`SimError::QueueReleased`] or [`SimError::DeviceLost`].
+    pub result: Result<(), SimError>,
+}
+
+#[derive(Default)]
+struct CqState {
+    ready: VecDeque<Completion>,
+    /// Watched commands that have not yet reached `ready` — the signal
+    /// that lets [`CompletionQueue::next`] distinguish "drained dry, more
+    /// coming" from "nothing outstanding at all".
+    outstanding: usize,
+}
+
+struct CqInner {
+    state: Mutex<CqState>,
+    cv: Condvar,
+}
+
+/// Multiplexes many [`Event`]s into one drainable ready-stream.
+///
+/// Cheap to clone (a shared handle): a serving loop typically keeps one
+/// clone for watching and one for draining, possibly on different
+/// threads. See the module docs for ordering guarantees.
+///
+/// # Examples
+///
+/// ```
+/// use kp_gpu_sim::{BufferId, BufferUse, CompletionQueue, Device, DeviceConfig, ItemCtx, Kernel,
+///                  NdRange};
+///
+/// struct Double { src: BufferId, dst: BufferId }
+///
+/// impl Kernel for Double {
+///     fn name(&self) -> &str { "double" }
+///     fn buffer_usage(&self) -> Option<BufferUse> {
+///         Some(BufferUse::new([self.src], [self.dst]))
+///     }
+///     fn run_phase(&self, _phase: usize, ctx: &mut ItemCtx<'_>) {
+///         let i = ctx.global_id(0);
+///         let v: f32 = ctx.read_global(self.src, i);
+///         ctx.write_global(self.dst, i, 2.0 * v);
+///         ctx.ops(1);
+///     }
+/// }
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut dev = Device::new(DeviceConfig::test_tiny())?;
+/// let src = dev.create_buffer_from("src", &[1.0f32; 64])?;
+/// let dst = dev.create_buffer::<f32>("dst", 64)?;
+/// let queue = dev.create_queue();
+/// let cq = CompletionQueue::new();
+/// for token in 0..4u64 {
+///     let ev = queue.enqueue_launch(Double { src, dst }, NdRange::new_1d(64, 4)?, &[])?;
+///     cq.watch(&ev, token);
+/// }
+/// let mut done = 0;
+/// while let Some(completion) = cq.next() {
+///     completion.result?;
+///     done += 1;
+/// }
+/// assert_eq!(done, 4);
+/// # Ok(())
+/// # }
+/// ```
+pub struct CompletionQueue {
+    inner: Arc<CqInner>,
+}
+
+impl std::fmt::Debug for CompletionQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.inner.state.lock().expect("completion queue poisoned");
+        f.debug_struct("CompletionQueue")
+            .field("ready", &st.ready.len())
+            .field("outstanding", &st.outstanding)
+            .finish()
+    }
+}
+
+impl Clone for CompletionQueue {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl Default for CompletionQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CompletionQueue {
+    /// Creates an empty completion queue.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(CqInner {
+                state: Mutex::new(CqState::default()),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Watches `event`: when its command settles, a [`Completion`]
+    /// carrying `token` becomes drainable from this queue — exactly
+    /// once, including for commands that already settled (or whose
+    /// device is already gone: the completion then carries
+    /// [`SimError::DeviceLost`]). The queue does not retain the event
+    /// handle — keep a clone if the report or read-back data is needed
+    /// after the completion is drained.
+    pub fn watch(&self, event: &Event, token: u64) {
+        let inner = Arc::clone(&self.inner);
+        let (seq, queue) = (event.seq(), event.queue_id());
+        {
+            let mut st = self.inner.state.lock().expect("completion queue poisoned");
+            st.outstanding += 1;
+        }
+        event.on_complete(move |result| {
+            let mut st = inner.state.lock().expect("completion queue poisoned");
+            st.outstanding -= 1;
+            st.ready.push_back(Completion {
+                token,
+                seq,
+                queue,
+                result,
+            });
+            drop(st);
+            inner.cv.notify_all();
+        });
+    }
+
+    /// Takes every completion currently ready, without blocking. Returns
+    /// an empty vector when nothing has settled since the last drain.
+    pub fn drain(&self) -> Vec<Completion> {
+        let mut st = self.inner.state.lock().expect("completion queue poisoned");
+        st.ready.drain(..).collect()
+    }
+
+    /// Takes one ready completion without blocking, `None` if nothing is
+    /// ready right now (watched commands may still be in flight — see
+    /// [`CompletionQueue::outstanding`]).
+    pub fn try_next(&self) -> Option<Completion> {
+        let mut st = self.inner.state.lock().expect("completion queue poisoned");
+        st.ready.pop_front()
+    }
+
+    /// Takes the next completion, parking the calling thread until one
+    /// is ready. Returns `None` only when nothing is ready **and** no
+    /// watched command is still outstanding — the natural termination of
+    /// a `while let Some(c) = cq.next()` drain loop. Only the drainer
+    /// ever parks here; threads enqueueing and watching new work never
+    /// do.
+    pub fn next(&self) -> Option<Completion> {
+        let mut st = self.inner.state.lock().expect("completion queue poisoned");
+        loop {
+            if let Some(c) = st.ready.pop_front() {
+                return Some(c);
+            }
+            if st.outstanding == 0 {
+                return None;
+            }
+            st = self.inner.cv.wait(st).expect("completion queue poisoned");
+        }
+    }
+
+    /// Watched commands that have not yet produced a drainable
+    /// completion.
+    pub fn outstanding(&self) -> usize {
+        self.inner
+            .state
+            .lock()
+            .expect("completion queue poisoned")
+            .outstanding
+    }
+
+    /// Completions settled but not yet drained.
+    pub fn ready_len(&self) -> usize {
+        self.inner
+            .state
+            .lock()
+            .expect("completion queue poisoned")
+            .ready
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceConfig;
+    use crate::device::Device;
+
+    #[test]
+    fn drain_empty_queue_is_empty() {
+        let cq = CompletionQueue::new();
+        assert!(cq.drain().is_empty());
+        assert!(cq.try_next().is_none());
+        assert_eq!(cq.outstanding(), 0);
+        assert!(cq.next().is_none());
+    }
+
+    #[test]
+    fn watch_settled_event_is_immediately_ready() {
+        let mut dev = Device::new(DeviceConfig::test_tiny()).unwrap();
+        let buf = dev.create_buffer::<f32>("b", 8).unwrap();
+        let queue = dev.create_queue();
+        let ev = queue.enqueue_write(buf, &[1.0f32; 8], &[]).unwrap();
+        ev.wait().unwrap();
+        let cq = CompletionQueue::new();
+        cq.watch(&ev, 7);
+        let c = cq.try_next().expect("settled watch is ready at once");
+        assert_eq!(c.token, 7);
+        assert_eq!(c.seq, ev.seq());
+        assert!(c.result.is_ok());
+        assert_eq!(cq.outstanding(), 0);
+    }
+
+    #[test]
+    fn watch_after_device_drop_yields_device_lost() {
+        let mut dev = Device::new(DeviceConfig::test_tiny()).unwrap();
+        let buf = dev.create_buffer::<f32>("b", 8).unwrap();
+        let queue = dev.create_queue();
+        let ev = queue.enqueue_write(buf, &[2.0f32; 8], &[]).unwrap();
+        drop(queue);
+        drop(dev);
+        let cq = CompletionQueue::new();
+        cq.watch(&ev, 3);
+        let c = cq.try_next().expect("lost device settles immediately");
+        assert_eq!(c.token, 3);
+        assert!(matches!(c.result, Err(SimError::DeviceLost)));
+    }
+}

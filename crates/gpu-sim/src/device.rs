@@ -721,7 +721,12 @@ impl Drop for Device {
     /// thread outlives its device. Commands still pending at this point
     /// never run; their events observe [`SimError::DeviceLost`] once the
     /// shared state is freed, and any thread blocked in a `wait` is woken
-    /// and gets the same typed error.
+    /// and gets the same typed error. Completion callbacks
+    /// ([`crate::Event::on_complete`]) still registered for those
+    /// never-to-run commands fire exactly once with
+    /// [`SimError::DeviceLost`] — after the workers have been joined, so
+    /// commands that were mid-execution resolve their callbacks through
+    /// the normal completion path first.
     fn drop(&mut self) {
         let (workers, bridges) = {
             // Tolerate a poisoned lock here: drop must still join the
@@ -740,6 +745,19 @@ impl Drop for Device {
         for worker in workers.into_iter().chain(bridges) {
             let _ = worker.join();
         }
+        // With the pool gone, whatever callbacks remain belong to
+        // commands that will never run. Take them under the lock, fire
+        // them outside it (the registration path checks `shutdown` under
+        // this same lock, so a late `on_complete` either lands in this
+        // batch or self-fires — never both, never neither).
+        let leftover = {
+            let mut st = match self.shared.state.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            st.sched.take_all_callbacks()
+        };
+        crate::queue::fire_callbacks(leftover, &Err(SimError::DeviceLost));
     }
 }
 

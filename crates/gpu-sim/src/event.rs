@@ -26,7 +26,7 @@ use std::time::Duration;
 use crate::buffer::Scalar;
 use crate::device::DeviceShared;
 use crate::error::SimError;
-use crate::queue::{wait_seq, CommandResult};
+use crate::queue::{fire_callbacks, wait_seq, CommandResult, CompletionCallback};
 use crate::stats::LaunchReport;
 
 /// Per-command wall-clock timestamps, relative to device creation.
@@ -233,5 +233,80 @@ impl Event {
         let shared = self.shared.upgrade().ok_or(SimError::DeviceLost)?;
         let st = shared.state.lock().expect("device state poisoned");
         Ok(st.sched.event_slot(self.seq).is_some())
+    }
+
+    /// Non-parking readiness check: `None` while the command is still
+    /// pending (queued or executing), `Some(outcome)` once it has
+    /// settled — `Ok(())` for success, or the command's own failure
+    /// (e.g. [`SimError::KernelFaults`]), [`SimError::QueueReleased`]
+    /// for a cancelled command, [`SimError::DeviceLost`] if the device
+    /// was (or is being) dropped first.
+    ///
+    /// `poll` never blocks beyond the device mutex: with eager execution
+    /// the worker pool drives the command on its own, so a poll loop
+    /// observes the same outcome a blocking [`Event::wait`] would —
+    /// bit-identically, just without parking the calling thread.
+    /// Completion *order* across events is scheduling-dependent;
+    /// outcomes are not.
+    pub fn poll(&self) -> Option<Result<(), SimError>> {
+        let Some(shared) = self.shared.upgrade() else {
+            return Some(Err(SimError::DeviceLost));
+        };
+        let st = shared.state.lock().expect("device state poisoned");
+        if let Some(slot) = st.sched.event_slot(self.seq) {
+            Some(slot.result.as_ref().map(|_| ()).map_err(Clone::clone))
+        } else if st.shutdown || !st.sched.is_pending(self.seq) {
+            // Shutdown in progress (the command will never run), or the
+            // result slot was already discarded — either way the command
+            // cannot be usefully observed anymore.
+            Some(Err(SimError::DeviceLost))
+        } else {
+            None
+        }
+    }
+
+    /// Registers `callback` to run **exactly once** when this command
+    /// settles, receiving the same outcome [`Event::poll`] would report.
+    ///
+    /// Delivery:
+    ///
+    /// * A command that settles later fires the callback from the
+    ///   resolving pool worker (or the thread dropping the queue/device),
+    ///   with the device lock **not held** — the callback may enqueue
+    ///   follow-up commands, wait on other events, or take its own locks
+    ///   without deadlocking.
+    /// * A command that has *already* settled (including on a dropped
+    ///   device — the callback then gets [`SimError::DeviceLost`]) fires
+    ///   the callback immediately on the calling thread, before
+    ///   `on_complete` returns.
+    /// * A panicking callback is caught: it never kills the resolving
+    ///   worker, and remaining callbacks still fire.
+    ///
+    /// Callback *order* across commands follows the actual completion
+    /// schedule and is not deterministic; every functional outcome it
+    /// can observe is (see the crate docs' determinism argument).
+    pub fn on_complete<F>(&self, callback: F)
+    where
+        F: FnOnce(Result<(), SimError>) + Send + 'static,
+    {
+        let cb: CompletionCallback = Box::new(callback);
+        let Some(shared) = self.shared.upgrade() else {
+            fire_callbacks(vec![cb], &Err(SimError::DeviceLost));
+            return;
+        };
+        let immediate = {
+            let mut st = shared.state.lock().expect("device state poisoned");
+            if !st.shutdown && st.sched.is_pending(self.seq) {
+                st.sched.add_callback(self.seq, cb);
+                None
+            } else if let Some(slot) = st.sched.event_slot(self.seq) {
+                Some((cb, slot.result.as_ref().map(|_| ()).map_err(Clone::clone)))
+            } else {
+                Some((cb, Err(SimError::DeviceLost)))
+            }
+        };
+        if let Some((cb, outcome)) = immediate {
+            fire_callbacks(vec![cb], &outcome);
+        }
     }
 }

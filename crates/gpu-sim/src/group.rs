@@ -429,6 +429,37 @@ impl DeviceGroup {
         engine::reduce_outcomes(kernel.name(), &cfg, profiling, &range, &setup, outcomes)
     }
 
+    /// Ensures member `member` holds the latest bits of group buffer
+    /// `id`, migrating from the latest source if (and only if) that
+    /// member's copy is stale — counted and priced in [`GroupStats`]
+    /// like every other migration.
+    ///
+    /// This is the serving-loop building block for *enqueued* placement:
+    /// [`DeviceGroup::launch_on`] migrates and blocks, but a loop that
+    /// enqueues on a member queue ([`DeviceGroup::create_queue`]) and
+    /// harvests through a [`crate::CompletionQueue`] must make shared
+    /// inputs resident itself before enqueueing. Migration is a host-side
+    /// copy through the member devices' blocking buffer paths, so call it
+    /// from the admission path (where it is a no-op whenever the copy is
+    /// already valid), not from a completion callback.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownBuffer`] if `id` does not name a live
+    /// group buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `member` is out of range.
+    pub fn prefetch(&mut self, id: BufferId, member: usize) -> Result<(), SimError> {
+        let slot = id.index();
+        if self.buffers.get(slot).and_then(Option::as_ref).is_none() {
+            return Err(SimError::UnknownBuffer(id));
+        }
+        assert!(member < self.devices.len(), "member index out of range");
+        self.migrate_to(slot, member)
+    }
+
     /// The member index least-loaded right now: smallest live queue depth
     /// plus [`DeviceGroup::place`]-assigned count, ties broken by the
     /// lowest index (deterministic).
@@ -598,6 +629,30 @@ mod tests {
         ));
         assert!(matches!(
             g.release_buffer(id),
+            Err(SimError::UnknownBuffer(_))
+        ));
+    }
+
+    #[test]
+    fn prefetch_migrates_stale_copies_only() {
+        let mut g = group(2);
+        let src = g.create_buffer_from("src", &[1.0f32; 16]).unwrap();
+        // Fresh buffers are valid fleet-wide: prefetch is a no-op.
+        g.prefetch(src, 1).unwrap();
+        assert_eq!(g.stats().migrations, 0);
+        // A host write leaves only the latest source valid; prefetching
+        // to the other member migrates exactly once, and again is a
+        // no-op once resident.
+        g.write_buffer(src, &[9.0f32; 16]).unwrap();
+        g.prefetch(src, 1).unwrap();
+        g.prefetch(src, 1).unwrap();
+        assert_eq!(g.stats().migrations, 1);
+        assert_eq!(g.member(1).read_buffer::<f32>(src).unwrap(), [9.0f32; 16]);
+        // Unknown handles are rejected.
+        let bogus = g.create_buffer::<f32>("tmp", 4).unwrap();
+        g.release_buffer(bogus).unwrap();
+        assert!(matches!(
+            g.prefetch(bogus, 0),
             Err(SimError::UnknownBuffer(_))
         ));
     }

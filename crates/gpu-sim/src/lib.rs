@@ -80,6 +80,20 @@
 //! `enqueue_read` + wait, and so on — each joins the pending stream
 //! first, so mixing the two styles preserves enqueue-order semantics.
 //!
+//! ## Non-blocking completion: poll, callbacks, completion queues
+//!
+//! A serving loop with thousands of commands in flight never parks on
+//! individual events. [`Event::poll`] is a non-parking readiness check
+//! returning the settled outcome; [`Event::on_complete`] registers a
+//! callback fired exactly once from the resolving worker with the device
+//! lock released; and a [`CompletionQueue`] multiplexes any number of
+//! events — across all devices of a [`DeviceGroup`] — into one drainable
+//! ready-stream ([`CompletionQueue::drain`] / [`CompletionQueue::next`]).
+//! Completion *order* follows the actual schedule and is not
+//! deterministic, but every outcome, report and fault log observed
+//! through these paths is bit-identical to blocking waits — the
+//! `queue_graph` differential suite pins this at several worker counts.
+//!
 //! ## Multi-device: `DeviceGroup`
 //!
 //! [`DeviceGroup`] owns a fleet of N identically configured devices
@@ -155,6 +169,7 @@
 #![warn(missing_debug_implementations)]
 
 mod buffer;
+mod completion;
 mod config;
 mod device;
 mod engine;
@@ -171,6 +186,7 @@ pub mod local;
 pub mod timing;
 
 pub use buffer::{BufferId, ElemKind, Scalar};
+pub use completion::{Completion, CompletionQueue};
 pub use config::{DeviceConfig, ExecMode, OptLevel};
 pub use device::Device;
 pub use engine::{resolve_devices, resolve_lanes, resolve_parallelism, DEFAULT_LANES};

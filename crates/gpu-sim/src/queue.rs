@@ -140,7 +140,21 @@ pub(crate) struct Command {
     /// time (higher = picked earlier among simultaneously ready
     /// commands). Latency steering only — never affects results.
     priority: u8,
+    /// Times this command was ready but a pool worker picked another
+    /// one. At [`STARVATION_AGE`] the command jumps the priority order —
+    /// the starvation bypass that keeps a closed-loop high-priority
+    /// client from starving low-priority work forever.
+    skipped: u32,
 }
+
+/// Completions a ready launch may be passed over before it is picked
+/// regardless of priority. Strict priority order holds below this age,
+/// so a burst of simultaneously ready high-priority commands still runs
+/// first; a *sustained* stream stops cutting the line after this many
+/// picks. Bounds low-priority completion latency to `STARVATION_AGE + 1`
+/// picks without giving up results determinism (pick order never affects
+/// outcomes — see the determinism tests).
+const STARVATION_AGE: u32 = 64;
 
 enum CommandKind {
     Launch {
@@ -210,6 +224,29 @@ pub(crate) struct EventSlot {
     pub timing: EventTiming,
 }
 
+/// A completion callback registered through [`Event::on_complete`] (or,
+/// indirectly, [`crate::CompletionQueue::watch`]). Receives the command's
+/// settled outcome: `Ok(())`, the command's own failure, or
+/// [`SimError::QueueReleased`] / [`SimError::DeviceLost`] if it was
+/// cancelled / the device dropped first.
+pub(crate) type CompletionCallback = Box<dyn FnOnce(Result<(), SimError>) + Send>;
+
+/// Invokes a batch of completion callbacks with the command's settled
+/// outcome. The caller must **not** hold the device lock — this is the
+/// single choke point behind the documented no-lock-held guarantee, and
+/// every completion path releases the lock before calling it.
+///
+/// A panicking callback must not kill the resolving pool worker (a dead
+/// worker would strand every waiter), so each invocation is wrapped in
+/// `catch_unwind` — mirroring the treatment of panicking kernels in
+/// [`execute_launch`]. Remaining callbacks in the batch still run.
+pub(crate) fn fire_callbacks(callbacks: Vec<CompletionCallback>, outcome: &Result<(), SimError>) {
+    for cb in callbacks {
+        let outcome = outcome.clone();
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || cb(outcome)));
+    }
+}
+
 /// The device's command-stream scheduler state.
 #[derive(Default)]
 pub(crate) struct Sched {
@@ -236,6 +273,11 @@ pub(crate) struct Sched {
     /// Per-queue scheduling priority (see [`Queue::set_priority`]);
     /// absent means the default, 0.
     queue_prio: HashMap<u64, u8>,
+    /// Completion callbacks of still-pending commands, keyed by seq.
+    /// Taken (exactly once) by whichever path settles the command —
+    /// execution, queue cancellation, or device shutdown — and fired
+    /// *after* the device lock is released (see [`fire_callbacks`]).
+    callbacks: HashMap<u64, Vec<CompletionCallback>>,
 }
 
 impl Sched {
@@ -247,6 +289,11 @@ impl Sched {
 
     pub(crate) fn has_pending(&self) -> bool {
         !self.pending.is_empty()
+    }
+
+    /// Whether command `seq` is still pending (queued or running).
+    pub(crate) fn is_pending(&self, seq: u64) -> bool {
+        self.pending.contains_key(&seq)
     }
 
     pub(crate) fn event_slot(&self, seq: u64) -> Option<&EventSlot> {
@@ -345,13 +392,36 @@ impl Sched {
     }
 
     /// The ready launch a free worker should pick next: highest priority
-    /// first, enqueue order within one priority.
-    fn pick_ready_launch(&self) -> Option<u64> {
-        self.pending
+    /// first, enqueue order within one priority — unless a ready command
+    /// has been passed over [`STARVATION_AGE`] times, in which case the
+    /// oldest such command wins outright (anti-starvation aging). Every
+    /// ready launch that loses this pick ages by one.
+    fn pick_ready_launch(&mut self) -> Option<u64> {
+        // BTreeMap iteration order: `ready` is ascending by seq.
+        let ready: Vec<(u64, u8)> = self
+            .pending
             .iter()
             .filter(|(&seq, cmd)| cmd.kind.is_launch() && self.is_ready(seq, cmd))
-            .min_by_key(|(&seq, cmd)| (std::cmp::Reverse(cmd.priority), seq))
-            .map(|(&seq, _)| seq)
+            .map(|(&seq, cmd)| (seq, cmd.priority))
+            .collect();
+        let aged = ready
+            .iter()
+            .find(|&&(seq, _)| self.pending[&seq].skipped >= STARVATION_AGE)
+            .map(|&(seq, _)| seq);
+        let winner = aged.or_else(|| {
+            ready
+                .iter()
+                .min_by_key(|&&(seq, prio)| (std::cmp::Reverse(prio), seq))
+                .map(|&(seq, _)| seq)
+        })?;
+        for &(seq, _) in &ready {
+            if seq != winner {
+                if let Some(cmd) = self.pending.get_mut(&seq) {
+                    cmd.skipped += 1;
+                }
+            }
+        }
+        Some(winner)
     }
 
     fn complete(&mut self, seq: u64, slot: EventSlot) {
@@ -361,6 +431,29 @@ impl Sched {
         if self.event_refs.contains_key(&seq) {
             self.finished.insert(seq, slot);
         }
+    }
+
+    /// Registers a completion callback for a still-pending command. The
+    /// caller ([`Event::on_complete`]) has already verified `seq` is
+    /// pending and the device is not shutting down — callbacks for
+    /// settled commands fire immediately on the registering thread
+    /// instead of going through this ledger.
+    pub(crate) fn add_callback(&mut self, seq: u64, cb: CompletionCallback) {
+        self.callbacks.entry(seq).or_default().push(cb);
+    }
+
+    /// Takes the callbacks of a command that just settled (empty for
+    /// most commands). Exactly-once: whichever completion path gets here
+    /// first owns the batch.
+    pub(crate) fn take_callbacks(&mut self, seq: u64) -> Vec<CompletionCallback> {
+        self.callbacks.remove(&seq).unwrap_or_default()
+    }
+
+    /// Takes every remaining callback — the device-shutdown path, where
+    /// pending commands will never run and their callbacks must fire
+    /// with [`SimError::DeviceLost`].
+    pub(crate) fn take_all_callbacks(&mut self) -> Vec<CompletionCallback> {
+        self.callbacks.drain().flat_map(|(_, cbs)| cbs).collect()
     }
 
     /// Registers the first [`Event`] handle of a fresh command.
@@ -391,15 +484,21 @@ impl Sched {
     /// resolving their events to [`SimError::QueueReleased`]. Running
     /// commands complete normally. Dependents of a cancelled command are
     /// *not* cancelled — a cancelled dependency counts as satisfied.
-    pub(crate) fn cancel_queue(&mut self, queue: u64, now: Duration) {
+    ///
+    /// Returns the cancelled commands' completion callbacks; the caller
+    /// fires them with [`SimError::QueueReleased`] after releasing the
+    /// device lock.
+    pub(crate) fn cancel_queue(&mut self, queue: u64, now: Duration) -> Vec<CompletionCallback> {
         let doomed: Vec<u64> = self
             .pending
             .iter()
             .filter(|(seq, cmd)| cmd.queue == queue && !self.running.contains(seq))
             .map(|(&seq, _)| seq)
             .collect();
+        let mut callbacks = Vec::new();
         for seq in doomed {
             let cmd = self.pending.remove(&seq).expect("collected above");
+            callbacks.extend(self.take_callbacks(seq));
             let slot = EventSlot {
                 result: Err(SimError::QueueReleased { queue }),
                 timing: EventTiming {
@@ -412,6 +511,7 @@ impl Sched {
                 self.finished.insert(seq, slot);
             }
         }
+        callbacks
     }
 }
 
@@ -751,6 +851,7 @@ impl Queue {
             queued_at: shared.epoch.elapsed(),
             profiling,
             priority,
+            skipped: 0,
         });
         st.sched.track_event(seq);
         // Cross-device waits: one bridge thread per foreign event waits
@@ -792,7 +893,11 @@ impl Queue {
     /// Sets this queue's scheduling priority (default 0; higher runs
     /// earlier). When several commands are ready at the same time, pool
     /// workers pick them in descending priority, then enqueue order — a
-    /// deterministic ready-list order. The priority is captured per
+    /// deterministic ready-list order. Priorities are strict but not
+    /// starving: a ready command passed over often enough jumps the
+    /// order (anti-starvation aging), so a sustained stream of
+    /// high-priority work delays low-priority commands by a bounded
+    /// number of picks instead of forever. The priority is captured per
     /// command **at enqueue time**: changing it affects commands enqueued
     /// afterwards, not ones already in the stream.
     ///
@@ -854,9 +959,10 @@ impl Drop for Queue {
         if let Some(shared) = self.shared.upgrade() {
             let now = shared.epoch.elapsed();
             let mut st = shared.state.lock().expect("device state poisoned");
-            st.sched.cancel_queue(self.id, now);
+            let callbacks = st.sched.cancel_queue(self.id, now);
             drop(st);
             shared.cv.notify_all();
+            fire_callbacks(callbacks, &Err(SimError::QueueReleased { queue: self.id }));
         }
     }
 }
@@ -916,11 +1022,23 @@ fn worker_loop(shared: &Arc<DeviceShared>) {
         // waits are pure joins and never execute commands themselves).
         let ready_host = st.sched.ready_host_commands();
         if !ready_host.is_empty() {
+            let mut settled = Vec::new();
             for seq in ready_host {
-                execute_instant(shared, &mut st, seq);
+                if let Some(batch) = execute_instant(shared, &mut st, seq) {
+                    settled.push(batch);
+                }
             }
             // Completions may have unblocked dependents (and waiters).
             shared.cv.notify_all();
+            // Completion callbacks fire with the lock released (the
+            // no-lock-held guarantee), after waiters were notified.
+            if !settled.is_empty() {
+                drop(st);
+                for (callbacks, outcome) in settled {
+                    fire_callbacks(callbacks, &outcome);
+                }
+                st = shared.state.lock().expect("device state poisoned");
+            }
             continue;
         }
         // The *current* parallelism knob bounds how many commands run
@@ -1081,6 +1199,8 @@ fn execute_launch(shared: &Arc<DeviceShared>, run: LaunchRun) {
     };
     let mut st = shared.state.lock().expect("device state poisoned");
     engine::apply_writes(&entries, &mut st.bufs);
+    let outcome = result.as_ref().map(|_| ()).map_err(Clone::clone);
+    let callbacks = st.sched.take_callbacks(seq);
     st.sched.complete(
         seq,
         EventSlot {
@@ -1094,10 +1214,21 @@ fn execute_launch(shared: &Arc<DeviceShared>, run: LaunchRun) {
     );
     drop(st);
     shared.cv.notify_all();
+    // The no-lock-held guarantee of `Event::on_complete`: callbacks run
+    // on the resolving worker *after* the lock is released and waiters
+    // are notified, so a callback may freely enqueue follow-up commands
+    // or wait on other events without deadlocking.
+    fire_callbacks(callbacks, &outcome);
 }
 
 /// Executes a host-side command (read/write/copy) under the device lock.
-fn execute_instant(shared: &Arc<DeviceShared>, st: &mut MutexGuard<'_, DeviceState>, seq: u64) {
+/// Returns the command's completion callbacks (if any) paired with its
+/// outcome — the caller fires them once the lock is released.
+fn execute_instant(
+    shared: &Arc<DeviceShared>,
+    st: &mut MutexGuard<'_, DeviceState>,
+    seq: u64,
+) -> Option<(Vec<CompletionCallback>, Result<(), SimError>)> {
     let started = shared.epoch.elapsed();
     let cmd = st.sched.pending.remove(&seq).expect("picked from pending");
     let result = match cmd.kind {
@@ -1136,6 +1267,8 @@ fn execute_instant(shared: &Arc<DeviceShared>, st: &mut MutexGuard<'_, DeviceSta
         CommandKind::Launch { .. } => unreachable!("launches are not instant commands"),
     };
     st.sched.running.remove(&seq);
+    let outcome = result.as_ref().map(|_| ()).map_err(Clone::clone);
+    let callbacks = st.sched.take_callbacks(seq);
     let slot = EventSlot {
         result,
         timing: EventTiming {
@@ -1146,6 +1279,11 @@ fn execute_instant(shared: &Arc<DeviceShared>, st: &mut MutexGuard<'_, DeviceSta
     };
     if st.sched.event_refs.contains_key(&seq) {
         st.sched.finished.insert(seq, slot);
+    }
+    if callbacks.is_empty() {
+        None
+    } else {
+        Some((callbacks, outcome))
     }
 }
 

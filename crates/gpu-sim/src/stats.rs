@@ -144,6 +144,17 @@ impl GroupStats {
         self.migrated_bytes += bytes as u64;
         self.migration_cycles += Self::migration_cost_cycles(cfg, bytes);
     }
+
+    /// The accumulated [`GroupStats::migration_cycles`] expressed in
+    /// simulated seconds at `cfg`'s clock — the fleet-level cost term a
+    /// serving loop adds on top of the per-launch
+    /// [`LaunchReport::seconds`] when it breaks down what a request
+    /// stream actually paid. Kept out of the per-launch reports
+    /// themselves so sharded/placed reports stay bit-identical to
+    /// single-device runs (see the struct docs).
+    pub fn migration_seconds(&self, cfg: &DeviceConfig) -> f64 {
+        cfg.cycles_to_seconds(self.migration_cycles)
+    }
 }
 
 /// Full report of one kernel launch: functional side effects live in the
@@ -284,5 +295,23 @@ mod tests {
         r.finalize(&cfg);
         assert!((r.seconds - 1e-3).abs() < 1e-12);
         assert!((r.millis() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn migration_seconds_folds_priced_cycles_into_simulated_time() {
+        let cfg = DeviceConfig::test_tiny(); // 1000 MHz
+        let mut s = GroupStats::default();
+        assert_eq!(s.migration_seconds(&cfg), 0.0);
+        s.record_migration(&cfg, 4096);
+        s.record_migration(&cfg, 1); // partial transaction still pays one
+        let expected_cycles = GroupStats::migration_cost_cycles(&cfg, 4096)
+            + GroupStats::migration_cost_cycles(&cfg, 1);
+        assert_eq!(s.migration_cycles, expected_cycles);
+        // The simulated-time view is exactly the priced cycles at the
+        // configured clock — the same conversion LaunchReport::finalize
+        // applies to device cycles.
+        let expected = cfg.cycles_to_seconds(expected_cycles);
+        assert!((s.migration_seconds(&cfg) - expected).abs() < 1e-18);
+        assert!(s.migration_seconds(&cfg) > 0.0);
     }
 }

@@ -16,8 +16,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use kp_gpu_sim::{
-    BufferId, BufferUse, Device, DeviceConfig, Event, FaultKind, ItemCtx, Kernel, LaunchReport,
-    NdRange, Queue, SimError,
+    BufferId, BufferUse, CompletionQueue, Device, DeviceConfig, Event, FaultKind, ItemCtx, Kernel,
+    LaunchReport, NdRange, Queue, SimError,
 };
 
 const BUF_LEN: usize = 64;
@@ -269,18 +269,35 @@ fn make_buffers(dev: &mut Device, nbufs: usize) -> Vec<BufferId> {
         .collect()
 }
 
-/// Runs a generated graph on `queues` queues. When `in_order` is set,
-/// every event is awaited immediately after its enqueue — the reference
-/// schedule. Queue `i` gets priority `prios[i]` when provided (priorities
-/// may steer the pool's pick order but must never change results).
-/// Returns the per-command observations plus the final contents of every
-/// buffer.
+/// How a run learns that its commands finished. Every mode must produce
+/// bit-identical observations — completion plumbing is pure signalling
+/// and never steers execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Reap {
+    /// Await every event right after its enqueue — the reference
+    /// schedule.
+    InOrder,
+    /// Enqueue everything, then park on the blocking `wait_*` calls.
+    Blocking,
+    /// Enqueue everything, then spin on `Event::poll` (never parks)
+    /// until every event reports a settled outcome.
+    Polling,
+    /// Enqueue everything, watch every event on one `CompletionQueue`,
+    /// and drain it until each callback has fired exactly once.
+    Callbacks,
+}
+
+/// Runs a generated graph on `queues` queues, completing it in the
+/// requested [`Reap`] mode. Queue `i` gets priority `prios[i]` when
+/// provided (priorities may steer the pool's pick order but must never
+/// change results). Returns the per-command observations plus the final
+/// contents of every buffer.
 fn run_graph(
     graph: &[(Cmd, Vec<usize>)],
     parallelism: usize,
     nbufs: usize,
     queues: usize,
-    in_order: bool,
+    reap: Reap,
     prios: &[u8],
 ) -> (Vec<Observed>, Vec<Vec<f32>>) {
     let mut dev = device(parallelism);
@@ -357,10 +374,46 @@ fn run_graph(
             }
             Cmd::Read { src } => (q.enqueue_read::<f32>(bufs[src], &wait).unwrap(), true),
         };
-        if in_order {
+        if reap == Reap::InOrder {
             let _ = event.wait();
         }
         events.push((event, is_read));
+    }
+
+    // Drive completion without parking first when asked: the blocking
+    // `wait_*` reaps below then degrade to pure result lookups.
+    match reap {
+        Reap::InOrder | Reap::Blocking => {}
+        Reap::Polling => {
+            let mut outcomes: Vec<Option<Result<(), SimError>>> = vec![None; events.len()];
+            while outcomes.iter().any(Option::is_none) {
+                for ((event, _), slot) in events.iter().zip(outcomes.iter_mut()) {
+                    if slot.is_none() {
+                        *slot = event.poll();
+                    }
+                }
+                std::thread::yield_now();
+            }
+            // A settled poll outcome must agree with the blocking wait.
+            for ((event, _), outcome) in events.iter().zip(&outcomes) {
+                assert_eq!(event.wait().is_ok(), outcome.as_ref().unwrap().is_ok());
+            }
+        }
+        Reap::Callbacks => {
+            let cq = CompletionQueue::new();
+            for (i, (event, _)) in events.iter().enumerate() {
+                cq.watch(event, i as u64);
+            }
+            let mut fired = vec![0u32; events.len()];
+            while let Some(c) = cq.next() {
+                fired[c.token as usize] += 1;
+                assert_eq!(events[c.token as usize].0.wait().is_ok(), c.result.is_ok());
+            }
+            assert!(
+                fired.iter().all(|&n| n == 1),
+                "every callback fires exactly once: {fired:?}"
+            );
+        }
     }
 
     // Reap everything (out-of-order path executes here).
@@ -399,10 +452,10 @@ fn random_graphs_match_in_order_replay_at_every_worker_count() {
     for seed in 0..6u64 {
         let mut rng = XorShift::new(seed);
         let graph = random_graph(&mut rng, 24, 5, false);
-        let (ref_obs, ref_bufs) = run_graph(&graph, 1, 5, 1, true, &[]);
+        let (ref_obs, ref_bufs) = run_graph(&graph, 1, 5, 1, Reap::InOrder, &[]);
         for parallelism in [1, 2, 8, 0] {
             for queues in [1, 2, 3] {
-                let (obs, bufs) = run_graph(&graph, parallelism, 5, queues, false, &[]);
+                let (obs, bufs) = run_graph(&graph, parallelism, 5, queues, Reap::Blocking, &[]);
                 assert_eq!(
                     obs, ref_obs,
                     "observations diverged (seed {seed}, p={parallelism}, q={queues})"
@@ -421,14 +474,41 @@ fn faulting_graphs_keep_fault_logs_bit_identical() {
     for seed in 100..104u64 {
         let mut rng = XorShift::new(seed);
         let graph = random_graph(&mut rng, 20, 4, true);
-        let (ref_obs, ref_bufs) = run_graph(&graph, 1, 4, 1, true, &[]);
+        let (ref_obs, ref_bufs) = run_graph(&graph, 1, 4, 1, Reap::InOrder, &[]);
         // The generator with `faults` emits OOB scales and Sneaky
         // launches; make sure at least one seed actually faults so this
         // test keeps meaning something if the generator changes.
         for parallelism in [1, 8, 0] {
-            let (obs, bufs) = run_graph(&graph, parallelism, 4, 2, false, &[]);
+            let (obs, bufs) = run_graph(&graph, parallelism, 4, 2, Reap::Blocking, &[]);
             assert_eq!(obs, ref_obs, "seed {seed}, p={parallelism}");
             assert_eq!(bufs, ref_bufs, "seed {seed}, p={parallelism}");
+        }
+    }
+}
+
+#[test]
+fn poll_and_callback_completion_match_blocking_waits() {
+    // The non-blocking completion layer is pure signalling: finishing the
+    // same graph via `poll()` spin loops or `on_complete` callbacks (one
+    // CompletionQueue over all events) must yield outputs, reports and
+    // fault logs bit-identical to blocking waits — at 1, 2 and 8 workers,
+    // on clean and faulting graphs alike.
+    for (seed, faults) in [(11u64, false), (12, false), (102, true), (103, true)] {
+        let mut rng = XorShift::new(seed);
+        let graph = random_graph(&mut rng, 24, 5, faults);
+        let (ref_obs, ref_bufs) = run_graph(&graph, 1, 5, 1, Reap::InOrder, &[]);
+        for parallelism in [1, 2, 8] {
+            for reap in [Reap::Blocking, Reap::Polling, Reap::Callbacks] {
+                let (obs, bufs) = run_graph(&graph, parallelism, 5, 2, reap, &[]);
+                assert_eq!(
+                    obs, ref_obs,
+                    "observations diverged (seed {seed}, p={parallelism}, {reap:?})"
+                );
+                assert_eq!(
+                    bufs, ref_bufs,
+                    "buffers diverged (seed {seed}, p={parallelism}, {reap:?})"
+                );
+            }
         }
     }
 }
@@ -437,7 +517,7 @@ fn faulting_graphs_keep_fault_logs_bit_identical() {
 fn generator_emits_faulting_commands() {
     let mut rng = XorShift::new(101);
     let graph = random_graph(&mut rng, 20, 4, true);
-    let (obs, _) = run_graph(&graph, 1, 4, 1, true, &[]);
+    let (obs, _) = run_graph(&graph, 1, 4, 1, Reap::InOrder, &[]);
     assert!(
         obs.iter()
             .any(|o| matches!(o, Observed::Launch(Err(SimError::KernelFaults { .. })))),
@@ -936,9 +1016,9 @@ fn random_graphs_with_priorities_match_in_order_replay() {
         let mut rng = XorShift::new(seed);
         let graph = random_graph(&mut rng, 24, 5, false);
         let prios: Vec<u8> = (0..3).map(|_| (rng.next() % 256) as u8).collect();
-        let (ref_obs, ref_bufs) = run_graph(&graph, 1, 5, 1, true, &[]);
+        let (ref_obs, ref_bufs) = run_graph(&graph, 1, 5, 1, Reap::InOrder, &[]);
         for parallelism in [1, 2, 8, 0] {
-            let (obs, bufs) = run_graph(&graph, parallelism, 5, 3, false, &prios);
+            let (obs, bufs) = run_graph(&graph, parallelism, 5, 3, Reap::Blocking, &prios);
             assert_eq!(
                 obs, ref_obs,
                 "observations diverged (seed {seed}, p={parallelism}, prios {prios:?})"
@@ -1174,5 +1254,96 @@ fn low_priority_command_completes_under_sustained_high_priority_stream() {
             "burst command {k} (priority 255) started after the \
              priority-0 command"
         );
+    }
+}
+
+#[test]
+fn serve_loop_low_priority_requests_complete_within_bounded_completions() {
+    // Scales the starvation check above to the serving pattern: a
+    // latency-sensitive high-priority client runs closed-loop through a
+    // CompletionQueue (next launch submitted only after the previous
+    // completion drains) while low-priority requests are admitted
+    // alongside it. Strict priorities steer the pool's pick order but
+    // must not starve: every admitted low-priority request completes
+    // within a bounded number of drained completions.
+    const LOW_REQUESTS: usize = 6;
+    const BOUND: usize = 400;
+    const HIGH: u64 = u64::MAX; // completion token of every high launch
+    let mut dev = device(1);
+    let range = NdRange::new_1d(BUF_LEN, 16).unwrap();
+
+    let q_low = dev.create_queue();
+    q_low.set_priority(0).unwrap();
+    let q_high = dev.create_queue();
+    q_high.set_priority(255).unwrap();
+
+    let high_src = dev.create_buffer_from("hs", &[1.0f32; BUF_LEN]).unwrap();
+    let high_dst = dev.create_buffer::<f32>("hd", BUF_LEN).unwrap();
+    let low_src = dev.create_buffer_from("ls", &[3.0f32; BUF_LEN]).unwrap();
+    let low_dsts: Vec<BufferId> = (0..LOW_REQUESTS)
+        .map(|i| {
+            dev.create_buffer::<f32>(&format!("ld{i}"), BUF_LEN)
+                .unwrap()
+        })
+        .collect();
+
+    let cq = CompletionQueue::new();
+    let launch_high = || {
+        let ev = q_high
+            .enqueue_launch(
+                Scale {
+                    src: high_src,
+                    dst: high_dst,
+                    factor: 1.0,
+                    oob: false,
+                },
+                range,
+                &[],
+            )
+            .unwrap();
+        cq.watch(&ev, HIGH);
+    };
+
+    launch_high(); // prime the closed loop
+    for (i, &dst) in low_dsts.iter().enumerate() {
+        let low_ev = q_low
+            .enqueue_launch(
+                Scale {
+                    src: low_src,
+                    dst,
+                    factor: 2.0,
+                    oob: false,
+                },
+                range,
+                &[],
+            )
+            .unwrap();
+        cq.watch(&low_ev, i as u64);
+        let mut drained = 0usize;
+        loop {
+            let c = cq.next().expect("work in flight");
+            c.result.as_ref().unwrap();
+            drained += 1;
+            if c.token == HIGH {
+                assert!(
+                    drained <= BOUND,
+                    "low-priority request {i} starved: {drained} completions \
+                     drained without it finishing"
+                );
+                launch_high(); // closed loop: resubmit after the drain
+            } else {
+                assert_eq!(c.token, i as u64, "tokens map back to requests");
+                break;
+            }
+        }
+    }
+    // Stop resubmitting; next() drains the in-flight tail and then
+    // reports dry.
+    while let Some(c) = cq.next() {
+        assert_eq!(c.token, HIGH);
+        c.result.unwrap();
+    }
+    for &dst in &low_dsts {
+        assert_eq!(dev.read_buffer::<f32>(dst).unwrap(), vec![6.0; BUF_LEN]);
     }
 }

@@ -10,11 +10,50 @@
 //! Counting uses `/proc/self/task` (Linux — the platform CI runs on);
 //! elsewhere the test is a no-op.
 
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
 use kp_gpu_sim::{
-    BufferId, BufferUse, Device, DeviceConfig, DeviceGroup, ItemCtx, Kernel, NdRange, SimError,
+    BufferId, BufferUse, CompletionQueue, Device, DeviceConfig, DeviceGroup, ItemCtx, Kernel,
+    NdRange, SimError,
 };
 
 const BUF_LEN: usize = 64;
+
+/// Spins until the test flips the gate, then writes its buffer — pins a
+/// pool worker at a point the test controls so "registered while
+/// pending" is deterministic.
+struct Gated {
+    buf: BufferId,
+    gate: Arc<AtomicBool>,
+}
+
+impl Kernel for Gated {
+    fn name(&self) -> &str {
+        "gated"
+    }
+
+    fn buffer_usage(&self) -> Option<BufferUse> {
+        Some(BufferUse::new([], [self.buf]))
+    }
+
+    fn run_phase(&self, _phase: usize, ctx: &mut ItemCtx<'_>) {
+        while !self.gate.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+        ctx.write_global(self.buf, ctx.global_id(0), 1.0f32);
+    }
+}
+
+/// Opens a gate when dropped — including during unwinding — so a failed
+/// assertion can never leave a worker spinning and hang the test binary.
+struct OpenOnDrop(Arc<AtomicBool>);
+
+impl Drop for OpenOnDrop {
+    fn drop(&mut self) {
+        self.0.store(true, Ordering::Release);
+    }
+}
 
 fn thread_count() -> Option<usize> {
     Some(std::fs::read_dir("/proc/self/task").ok()?.count())
@@ -165,5 +204,163 @@ fn device_group_drop_joins_member_pools_and_bridges() {
         thread_count().unwrap(),
         baseline,
         "threads leaked after DeviceGroup churn"
+    );
+}
+
+/// Serve-loop churn with the non-blocking completion layer: completion
+/// queues watching in-flight events, devices dropped mid-flight — the
+/// process thread count must come back to baseline, and every watched
+/// event must surface exactly one completion (`Ok` or the typed
+/// [`SimError::DeviceLost`]), never zero and never two.
+#[test]
+fn serve_loop_churn_with_callbacks_leaves_no_threads() {
+    let Some(baseline) = thread_count() else {
+        eprintln!("skipping: /proc/self/task not available on this platform");
+        return;
+    };
+
+    let range = NdRange::new_1d(BUF_LEN, 16).unwrap();
+    for round in 0..6 {
+        let mut cfg = DeviceConfig::test_tiny();
+        cfg.parallelism = 2;
+        let mut dev = Device::new(cfg).unwrap();
+        let src = dev.create_buffer_from("s", &[1.0f32; BUF_LEN]).unwrap();
+        let dst = dev.create_buffer::<f32>("d", BUF_LEN).unwrap();
+        let q = dev.create_queue();
+        let cq = CompletionQueue::new();
+        let mut events = Vec::new();
+        for i in 0..8u64 {
+            let ev = q.enqueue_launch(Scale { src, dst }, range, &[]).unwrap();
+            cq.watch(&ev, i);
+            events.push(ev);
+        }
+        if round % 2 == 0 {
+            // Drain to dry, then drop the device.
+            let mut seen = 0;
+            while let Some(c) = cq.next() {
+                c.result.unwrap();
+                seen += 1;
+            }
+            assert_eq!(seen, 8);
+            drop((dev, q, events));
+        } else {
+            // Drop mid-flight: the device-drop path must fire every
+            // leftover callback (with DeviceLost), so the queue still
+            // drains to exactly one completion per watched event.
+            drop((dev, q, events));
+            let mut seen = 0;
+            while let Some(c) = cq.next() {
+                assert!(
+                    c.result.is_ok() || matches!(c.result, Err(SimError::DeviceLost)),
+                    "unexpected completion outcome: {:?}",
+                    c.result
+                );
+                seen += 1;
+            }
+            assert_eq!(
+                seen, 8,
+                "every watched event surfaces exactly one completion \
+                 across a mid-flight device drop"
+            );
+        }
+    }
+    assert_eq!(
+        thread_count().unwrap(),
+        baseline,
+        "threads leaked after serve-loop churn with callbacks"
+    );
+}
+
+/// A callback registered *after* the device dropped fires exactly once,
+/// synchronously on the registering thread, with [`SimError::DeviceLost`].
+#[test]
+fn callback_registered_after_device_drop_fires_once_with_device_lost() {
+    let mut cfg = DeviceConfig::test_tiny();
+    cfg.parallelism = 1;
+    let mut dev = Device::new(cfg).unwrap();
+    let src = dev.create_buffer_from("s", &[1.0f32; BUF_LEN]).unwrap();
+    let dst = dev.create_buffer::<f32>("d", BUF_LEN).unwrap();
+    let q = dev.create_queue();
+    let ev = q
+        .enqueue_launch(
+            Scale { src, dst },
+            NdRange::new_1d(BUF_LEN, 16).unwrap(),
+            &[],
+        )
+        .unwrap();
+    drop((dev, q));
+
+    let fired = Arc::new(AtomicUsize::new(0));
+    let lost = Arc::new(AtomicBool::new(false));
+    let (fired2, lost2) = (Arc::clone(&fired), Arc::clone(&lost));
+    ev.on_complete(move |outcome| {
+        fired2.fetch_add(1, Ordering::SeqCst);
+        if matches!(outcome, Err(SimError::DeviceLost)) {
+            lost2.store(true, Ordering::SeqCst);
+        }
+    });
+    assert_eq!(fired.load(Ordering::SeqCst), 1, "fires exactly once");
+    assert!(lost.load(Ordering::SeqCst), "fires with DeviceLost");
+}
+
+/// A panicking `on_complete` callback is caught on the resolving worker:
+/// the pool survives, later commands on the same (single-worker) device
+/// still complete, and the callback still counts as fired exactly once.
+#[test]
+fn panicking_callback_does_not_kill_the_worker_pool() {
+    let Some(baseline) = thread_count() else {
+        eprintln!("skipping: /proc/self/task not available on this platform");
+        return;
+    };
+    {
+        let mut cfg = DeviceConfig::test_tiny();
+        cfg.parallelism = 1; // one worker: a dead pool would hang below
+        let mut dev = Device::new(cfg).unwrap();
+        let src = dev.create_buffer_from("s", &[1.0f32; BUF_LEN]).unwrap();
+        let dst = dev.create_buffer::<f32>("d", BUF_LEN).unwrap();
+        let gbuf = dev.create_buffer::<f32>("g", 1).unwrap();
+        let q = dev.create_queue();
+        let range = NdRange::new_1d(BUF_LEN, 16).unwrap();
+
+        // Pin the lone worker so the callback is registered while the
+        // watched command is still pending — it then fires on the worker.
+        let gate = Arc::new(AtomicBool::new(false));
+        let _open = OpenOnDrop(Arc::clone(&gate));
+        let blocker = q
+            .enqueue_launch(
+                Gated {
+                    buf: gbuf,
+                    gate: Arc::clone(&gate),
+                },
+                NdRange::new_1d(1, 1).unwrap(),
+                &[],
+            )
+            .unwrap();
+        let ev = q
+            .enqueue_launch(Scale { src, dst }, range, std::slice::from_ref(&blocker))
+            .unwrap();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let fired2 = Arc::clone(&fired);
+        ev.on_complete(move |outcome| {
+            fired2.fetch_add(1, Ordering::SeqCst);
+            outcome.unwrap();
+            panic!("callback exploded on purpose");
+        });
+
+        gate.store(true, Ordering::Release);
+        ev.wait().unwrap();
+        // The worker that caught the panic must still execute commands.
+        let ev2 = q.enqueue_launch(Scale { src, dst }, range, &[]).unwrap();
+        ev2.wait().unwrap();
+        while fired.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "fires exactly once");
+        assert_eq!(dev.read_buffer::<f32>(dst).unwrap(), vec![2.0; BUF_LEN]);
+    }
+    assert_eq!(
+        thread_count().unwrap(),
+        baseline,
+        "panicking callback killed or leaked pool threads"
     );
 }
