@@ -22,6 +22,14 @@
 //! [`kp_gpu_sim::GroupStats::migration_seconds`] folds in), and the
 //! request mix.
 //!
+//! With `--tuning-cache <path>`, admission consults the persistent
+//! [`TuneDb`] instead of the static tier table: the first request per
+//! app × size class pays one calibration sweep, every later request is
+//! an exact cache hit, and nonzero-budget tiers route through per-cell
+//! [`AdaptController`]s walking the cached Pareto ladder under their
+//! tier's SLA. The JSON gains a `"tuning"` section (cache hit rate,
+//! adaptation step counts).
+//!
 //! `--check` gates (CI bench-smoke):
 //!
 //! * every admitted request completes, with zero errors;
@@ -33,13 +41,15 @@
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::time::Instant;
 
 use kp_apps::suite;
-use kp_core::{ApproxConfig, ImageBinding, PerforatedKernel};
+use kp_core::{ApproxConfig, ImageBinding, ImageInput, PerforatedKernel, RunSpec, SweepContext};
 use kp_gpu_sim::{
     resolve_parallelism, BufferId, CompletionQueue, DeviceConfig, DeviceGroup, Event, NdRange,
 };
+use kp_tune::{sweep_cached, AdaptController, Sla, TuneDb, WarmStart};
 
 /// Deterministic request-mix generator (the workspace is offline — no
 /// rand crate on the bench path; same generator the gpu-sim test suites
@@ -95,6 +105,30 @@ const TIERS: [BudgetTier; 4] = [
     },
 ];
 
+/// Maps a cached rung label back to the scheme constructor admission
+/// launches with. Covers exactly the serve candidate family.
+fn config_for_label(label: &str) -> fn((usize, usize)) -> ApproxConfig {
+    match label {
+        "Accurate" => ApproxConfig::accurate,
+        "Rows1:LI" => ApproxConfig::rows1_li,
+        "Rows1:NN" => ApproxConfig::rows1_nn,
+        "Rows2:NN" => ApproxConfig::rows2_nn,
+        other => unreachable!("rung label '{other}' outside the serve candidate family"),
+    }
+}
+
+/// Tuning-cache + online-adaptation state (present only under
+/// `--tuning-cache`).
+struct Tuning {
+    db: TuneDb,
+    /// The serve candidate family: one spec per budget tier's scheme.
+    specs: Vec<RunSpec>,
+    /// One controller per app × tier × size-class mix cell with a
+    /// nonzero budget, created on that cell's first admission from the
+    /// cached sweep outcomes.
+    controllers: Vec<Option<AdaptController>>,
+}
+
 /// Everything the harvest side needs about one in-flight request.
 struct Pending {
     event: Event,
@@ -102,6 +136,10 @@ struct Pending {
     member: usize,
     slot: BufferId,
     mix_index: usize,
+    /// Under adaptation: the mix cell's controller index plus the
+    /// calibrated error of the rung this request ran on, observed (with
+    /// the launch's simulated seconds) at completion.
+    adapt: Option<(usize, f64)>,
 }
 
 /// Aggregate per mix cell (app × tier × size), for the JSON mix table.
@@ -127,6 +165,7 @@ fn main() {
     let mut devices = 2usize;
     let mut size = 128usize;
     let mut check = false;
+    let mut tuning_cache: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut grab = |name: &str| {
@@ -155,6 +194,7 @@ fn main() {
                     .expect("--devices must be a number")
             }
             "--size" => size = grab("--size").parse().expect("--size must be a number"),
+            "--tuning-cache" => tuning_cache = Some(PathBuf::from(grab("--tuning-cache"))),
             "--check" => check = true,
             other => {
                 eprintln!("unknown option '{other}'");
@@ -183,8 +223,9 @@ fn main() {
          inflight {inflight_cap}, sizes {large}/{small}, host cores: {cores}"
     );
 
-    let mut group = DeviceGroup::with_devices(DeviceConfig::firepro_w5100(), devices)
-        .expect("create device group");
+    let device_cfg = DeviceConfig::firepro_w5100();
+    let mut group =
+        DeviceGroup::with_devices(device_cfg.clone(), devices).expect("create device group");
 
     // Shared input frames: one group buffer per size class, valid
     // fleet-wide at creation. Periodic host refreshes re-land them on
@@ -233,6 +274,23 @@ fn main() {
 
     let mix_cells = apps.len() * TIERS.len() * sizes.len();
     let mut mix = vec![MixCell::default(); mix_cells];
+    // Under --tuning-cache, admission consults the persistent store
+    // instead of the static tier → scheme table: the first request per
+    // app × size class pays one calibration sweep (a miss), every later
+    // request is an exact hit served with zero simulated launches, and
+    // nonzero-budget tiers route through a per-cell SLA controller that
+    // walks the cached Pareto ladder.
+    let mut tuning: Option<Tuning> = tuning_cache.as_ref().map(|path| {
+        eprintln!("  tuning cache   : {}", path.display());
+        Tuning {
+            db: TuneDb::open(path),
+            specs: TIERS
+                .iter()
+                .map(|t| RunSpec::Perforated((t.config)((16, 16))))
+                .collect(),
+            controllers: vec![None; mix_cells],
+        }
+    });
     let mut rng = XorShift(0x5EED_CAFE);
     let mut pending: HashMap<u64, Pending> = HashMap::new();
     let mut latencies_ms: Vec<f64> = Vec::with_capacity(requests);
@@ -275,9 +333,44 @@ fn main() {
                 width: sizes[class],
                 height: sizes[class],
             };
-            let kernel =
-                PerforatedKernel::new(apps[app_i].app, img, (TIERS[tier_i].config)((16, 16)))
-                    .expect("valid config for app halo");
+            let (config, adapt) = match tuning.as_mut() {
+                Some(t) => {
+                    let input = ImageInput::new(&frames[class], sizes[class], sizes[class])
+                        .expect("frame is well-formed");
+                    let ctx = SweepContext {
+                        app: apps[app_i].app,
+                        input,
+                        metric: apps[app_i].metric,
+                        device: device_cfg.clone(),
+                        baseline: RunSpec::Baseline { group: (16, 16) },
+                    };
+                    let outcomes =
+                        sweep_cached(&ctx, &t.specs, &mut t.db, "serve", WarmStart::Trust)
+                            .expect("calibration sweep");
+                    if TIERS[tier_i].budget > 0.0 {
+                        let ctl = t.controllers[mix_index].get_or_insert_with(|| {
+                            AdaptController::from_outcomes(
+                                &outcomes,
+                                Sla::with_budget(TIERS[tier_i].budget),
+                            )
+                            .expect("cached ladder has finite rungs")
+                        });
+                        let (label, rung_error) = {
+                            let rung = ctl.current();
+                            (rung.label.clone(), rung.error)
+                        };
+                        (
+                            (config_for_label(&label))((16, 16)),
+                            Some((mix_index, rung_error)),
+                        )
+                    } else {
+                        (ApproxConfig::accurate((16, 16)), None)
+                    }
+                }
+                None => ((TIERS[tier_i].config)((16, 16)), None),
+            };
+            let kernel = PerforatedKernel::new(apps[app_i].app, img, config)
+                .expect("valid config for app halo");
             let event = queues[member]
                 .enqueue_launch(kernel, ranges[class], &[])
                 .expect("enqueue request");
@@ -290,6 +383,7 @@ fn main() {
                     member,
                     slot,
                     mix_index,
+                    adapt,
                 },
             );
         }
@@ -309,6 +403,15 @@ fn main() {
                     let cell = &mut mix[p.mix_index];
                     cell.requests += 1;
                     cell.sim_seconds += report.seconds;
+                    // Feed the tenant's controller: calibrated rung error
+                    // (deterministic) + this launch's simulated seconds.
+                    if let Some((ci, rung_error)) = p.adapt {
+                        if let Some(t) = tuning.as_mut() {
+                            if let Some(ctl) = t.controllers[ci].as_mut() {
+                                ctl.observe(rung_error, report.seconds);
+                            }
+                        }
+                    }
                 }
                 Err(e) => {
                     eprintln!("request {} failed: {e}", completion.token);
@@ -342,6 +445,54 @@ fn main() {
         stats.migrations,
         stats.migrated_bytes
     );
+
+    // Tuning summary: persist the store, then fold every controller's
+    // accounting into fleet-level step/violation totals.
+    struct TuningSummary {
+        cache: kp_tune::TuneStats,
+        controllers: usize,
+        steps_up: u64,
+        steps_down: u64,
+        violations: u64,
+        adapt_observations: u64,
+    }
+    let tuning_summary = tuning.as_mut().map(|t| {
+        t.db.save().expect("persist tuning store");
+        let mut s = TuningSummary {
+            cache: t.db.stats(),
+            controllers: 0,
+            steps_up: 0,
+            steps_down: 0,
+            violations: 0,
+            adapt_observations: 0,
+        };
+        for ctl in t.controllers.iter().flatten() {
+            let a = ctl.stats();
+            s.controllers += 1;
+            s.steps_up += a.steps_up;
+            s.steps_down += a.steps_down;
+            s.violations += a.violations;
+            s.adapt_observations += a.observations;
+        }
+        s
+    });
+    if let Some(s) = &tuning_summary {
+        eprintln!(
+            "  tuning          : {} lookups, {} exact hits (rate {:.3}), {} misses, \
+             {} sim launches, {} avoided",
+            s.cache.lookups,
+            s.cache.exact_hits,
+            s.cache.hit_rate(),
+            s.cache.misses,
+            s.cache.sim_launches,
+            s.cache.launches_avoided
+        );
+        eprintln!(
+            "  adaptation      : {} controller(s), {} up / {} down / {} violations over {} \
+             observations",
+            s.controllers, s.steps_up, s.steps_down, s.violations, s.adapt_observations
+        );
+    }
 
     // Hand-rolled JSON (the workspace is offline; no serializer crates).
     let mut json = String::new();
@@ -394,6 +545,29 @@ fn main() {
         migration_seconds / completed.max(1) as f64
     );
     json.push_str("  },\n");
+    if let Some(s) = &tuning_summary {
+        json.push_str("  \"tuning\": {\n");
+        let _ = writeln!(json, "    \"cache_lookups\": {},", s.cache.lookups);
+        let _ = writeln!(json, "    \"cache_exact_hits\": {},", s.cache.exact_hits);
+        let _ = writeln!(json, "    \"cache_misses\": {},", s.cache.misses);
+        let _ = writeln!(json, "    \"cache_hit_rate\": {:.4},", s.cache.hit_rate());
+        let _ = writeln!(json, "    \"sim_launches\": {},", s.cache.sim_launches);
+        let _ = writeln!(
+            json,
+            "    \"launches_avoided\": {},",
+            s.cache.launches_avoided
+        );
+        let _ = writeln!(json, "    \"controllers\": {},", s.controllers);
+        let _ = writeln!(json, "    \"adaptation_steps_up\": {},", s.steps_up);
+        let _ = writeln!(json, "    \"adaptation_steps_down\": {},", s.steps_down);
+        let _ = writeln!(json, "    \"adaptation_violations\": {},", s.violations);
+        let _ = writeln!(
+            json,
+            "    \"adaptation_observations\": {}",
+            s.adapt_observations
+        );
+        json.push_str("  },\n");
+    }
     json.push_str("  \"mix\": [\n");
     let mut first_cell = true;
     for (app_i, app) in apps.iter().enumerate() {
@@ -463,6 +637,36 @@ fn main() {
                 stats.migrations, stats.migration_cycles
             );
             failed = true;
+        }
+        // Tuning-path gates: the cache must actually serve admission
+        // (one cold sweep per app × size class, everything else exact
+        // hits) and adaptation must never blow a tenant's error budget
+        // (controllers only climb onto rungs whose calibrated error
+        // fits under the hysteresis high-water mark).
+        if let Some(s) = &tuning_summary {
+            let cold_cells = (apps.len() * sizes.len()) as u64;
+            if s.cache.misses > cold_cells {
+                eprintln!(
+                    "check FAILED: {} cache misses exceed the {cold_cells} app x size cells",
+                    s.cache.misses
+                );
+                failed = true;
+            }
+            if s.cache.hit_rate() < 0.9 {
+                eprintln!(
+                    "check FAILED: tuning-cache hit rate {:.3} below 0.9 over {} lookups",
+                    s.cache.hit_rate(),
+                    s.cache.lookups
+                );
+                failed = true;
+            }
+            if s.violations != 0 {
+                eprintln!(
+                    "check FAILED: adaptation recorded {} error-budget violation(s)",
+                    s.violations
+                );
+                failed = true;
+            }
         }
         if failed {
             std::process::exit(1);

@@ -1,0 +1,401 @@
+//! `tunebench` — cold-vs-warm autotuning sweep benchmark.
+//!
+//! Runs the fig8 candidate sweep for a small app × size matrix twice
+//! against one persistent [`TuneDb`]:
+//!
+//! * **cold** — the cache file is removed first, so every sweep misses,
+//!   measures all candidates in the simulator, and records its outcomes;
+//! * **warm** — the store is reopened from disk by a fresh handle, so
+//!   every sweep is an exact hit served from the cache with **zero**
+//!   simulated launches, bit-identical to the cold outcomes.
+//!
+//! A third section replays a deterministic request trace through the
+//! online [`AdaptController`] per error-budget tier, reporting steps,
+//! budget accounting and the simulated-cost reduction versus pinning
+//! every request to the most-accurate rung.
+//!
+//! Output: `BENCH_tuning.json` with per-pass wall time, launch/hit
+//! counters and the adaptation table.
+//!
+//! `--check` gates (CI bench-smoke):
+//!
+//! * the warm pass performs **zero** simulated launches (every lookup is
+//!   an exact hit) and returns outcomes bit-identical to the cold pass;
+//! * on hosts with ≥ 2 cores, warm wall time is at most half the cold
+//!   wall time (the cache must actually amortize the sweeps);
+//! * adaptation keeps every tier within its error budget while reducing
+//!   simulated cost whenever a faster rung fits the budget.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use kp_apps::suite;
+use kp_core::{fig8_specs, ApproxConfig, RunSpec, SweepContext, SweepOutcome};
+use kp_gpu_sim::DeviceConfig;
+use kp_tune::{
+    outcomes_bit_equal, resolve_cache_path, sweep_cached, AdaptController, Sla, TuneDb, WarmStart,
+};
+
+/// Deterministic jitter source for the adaptation replay (the workspace
+/// is offline — no rand crate on the bench path).
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Uniform-ish jitter in `[0.9, 1.1]`.
+    fn jitter(&mut self) -> f64 {
+        0.9 + 0.2 * (self.next() % 1000) as f64 / 999.0
+    }
+}
+
+/// One sweep of the bench matrix, plus everything the adaptation replay
+/// needs afterwards.
+struct SweepCase {
+    app: &'static str,
+    size: usize,
+    outcomes: Vec<SweepOutcome>,
+}
+
+/// Result of replaying one budget tier through the controller.
+struct AdaptRow {
+    budget: f64,
+    requests: usize,
+    steps_up: u64,
+    steps_down: u64,
+    violations: u64,
+    mean_error: f64,
+    final_rung: String,
+    adapted_seconds: f64,
+    accurate_seconds: f64,
+}
+
+fn run_pass(
+    apps: &[suite::AppEntry],
+    sizes: &[usize],
+    specs: &[RunSpec],
+    db: &mut TuneDb,
+    device: &DeviceConfig,
+) -> Vec<SweepCase> {
+    let mut cases = Vec::new();
+    for entry in apps {
+        for &size in sizes {
+            let image = kp_data::synth::photo_like(size, size, 0x7E57 + size as u64);
+            let input = kp_core::ImageInput::new(image.as_slice(), size, size)
+                .expect("synth image is well-formed");
+            let ctx = SweepContext {
+                app: entry.app,
+                input,
+                metric: entry.metric,
+                device: device.clone(),
+                baseline: RunSpec::Baseline { group: (16, 16) },
+            };
+            let outcomes = sweep_cached(&ctx, specs, db, "fig8", WarmStart::Trust)
+                .expect("sweep succeeds on bench matrix");
+            cases.push(SweepCase {
+                app: entry.name,
+                size,
+                outcomes,
+            });
+        }
+    }
+    cases
+}
+
+fn replay_tier(outcomes: &[SweepOutcome], budget: f64, requests: usize) -> AdaptRow {
+    let controller =
+        AdaptController::from_outcomes(outcomes, Sla::with_budget(budget)).expect("finite ladder");
+    let accurate_per_request = controller.ladder()[0].seconds;
+    let mut controller = controller;
+    let mut rng = XorShift(0x5EED ^ budget.to_bits());
+    let mut adapted_seconds = 0.0;
+    for _ in 0..requests {
+        let rung = controller.current();
+        let (err, sec) = (rung.error * rng.jitter(), rung.seconds);
+        adapted_seconds += sec;
+        controller.observe(err, sec);
+    }
+    let stats = *controller.stats();
+    AdaptRow {
+        budget,
+        requests,
+        steps_up: stats.steps_up,
+        steps_down: stats.steps_down,
+        violations: stats.violations,
+        mean_error: stats.mean_error(),
+        final_rung: controller.current().label.clone(),
+        adapted_seconds,
+        accurate_seconds: accurate_per_request * requests as f64,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = "BENCH_tuning.json".to_owned();
+    let mut cache_arg: Option<PathBuf> = None;
+    let mut size = 96usize;
+    let mut requests = 512usize;
+    let mut check = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut grab = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{name} needs an argument");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match a.as_str() {
+            "--out" => out = grab("--out"),
+            "--cache" => cache_arg = Some(PathBuf::from(grab("--cache"))),
+            "--size" => size = grab("--size").parse().expect("--size must be a number"),
+            "--requests" => {
+                requests = grab("--requests")
+                    .parse()
+                    .expect("--requests must be a number")
+            }
+            "--check" => check = true,
+            other => {
+                eprintln!("unknown option '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    let cache_path = resolve_cache_path(cache_arg.as_deref());
+    // A cold pass must be cold: drop any store left behind by earlier
+    // runs before opening.
+    let _ = std::fs::remove_file(&cache_path);
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let apps = [
+        suite::by_name("gaussian").expect("gaussian registered"),
+        suite::by_name("sobel3").expect("sobel3 registered"),
+    ];
+    let large = (size / 16).max(2) * 16;
+    let small = (large / 2).max(16);
+    let sizes = [large, small];
+    let device = DeviceConfig::firepro_w5100();
+    // Same candidate family everywhere: every app in the matrix has
+    // halo 1, so one fig8 spec list (plus the accurate anchor for the
+    // adaptation ladder) serves all sweeps.
+    let mut specs = vec![RunSpec::Perforated(ApproxConfig::accurate((16, 16)))];
+    specs.extend(fig8_specs((16, 16), 1));
+    let sweeps = apps.len() * sizes.len();
+
+    eprintln!(
+        "tunebench: {sweeps} sweeps x {} candidates, sizes {large}/{small}, cache {}, \
+         host cores: {cores}",
+        specs.len(),
+        cache_path.display()
+    );
+
+    // Cold pass: fresh store, every sweep misses and measures.
+    let mut db = TuneDb::open(&cache_path);
+    let cold_started = Instant::now();
+    let cold_cases = run_pass(&apps, &sizes, &specs, &mut db, &device);
+    let cold_wall = cold_started.elapsed().as_secs_f64();
+    let cold_stats = db.stats();
+    db.save().expect("persist tuning store");
+    drop(db);
+
+    // Warm pass: a brand-new handle re-reads the file, so the warm wall
+    // time includes the load — that is the cost a real rerun pays.
+    let warm_started = Instant::now();
+    let mut db = TuneDb::open(&cache_path);
+    let warm_cases = run_pass(&apps, &sizes, &specs, &mut db, &device);
+    let warm_wall = warm_started.elapsed().as_secs_f64();
+    let warm_stats = db.stats();
+
+    let bit_identical = cold_cases.len() == warm_cases.len()
+        && cold_cases.iter().zip(&warm_cases).all(|(c, w)| {
+            c.outcomes.len() == w.outcomes.len()
+                && c.outcomes
+                    .iter()
+                    .zip(&w.outcomes)
+                    .all(|(a, b)| outcomes_bit_equal(a, b))
+        });
+
+    eprintln!(
+        "  cold : {cold_wall:9.3} s wall, {} sim launches, {} misses",
+        cold_stats.sim_launches, cold_stats.misses
+    );
+    eprintln!(
+        "  warm : {warm_wall:9.3} s wall, {} sim launches, {} exact hits \
+         (hit rate {:.2}, {} launches avoided), bit-identical: {bit_identical}",
+        warm_stats.sim_launches,
+        warm_stats.exact_hits,
+        warm_stats.hit_rate(),
+        warm_stats.launches_avoided
+    );
+
+    // Adaptation replay over the first case's ladder, one row per
+    // serving error-budget tier (the servebench tiers, minus the
+    // zero-budget one the controller would never leave rung 0 for).
+    let tiers = [0.025, 0.05, 0.10];
+    let adapt_rows: Vec<AdaptRow> = tiers
+        .iter()
+        .map(|&b| replay_tier(&cold_cases[0].outcomes, b, requests))
+        .collect();
+    for row in &adapt_rows {
+        eprintln!(
+            "  adapt budget {:5.3}: {} up / {} down / {} violations, mean err {:.5}, \
+             final rung {}, sim cost {:.6} s vs accurate {:.6} s",
+            row.budget,
+            row.steps_up,
+            row.steps_down,
+            row.violations,
+            row.mean_error,
+            row.final_rung,
+            row.adapted_seconds,
+            row.accurate_seconds
+        );
+    }
+
+    // Hand-rolled JSON (the workspace is offline; no serializer crates).
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"tuning cache cold-vs-warm\",");
+    let _ = writeln!(json, "  \"apps\": [\"gaussian\", \"sobel3\"],");
+    let _ = writeln!(json, "  \"sizes\": [{large}, {small}],");
+    let _ = writeln!(json, "  \"host_cores\": {cores},");
+    let _ = writeln!(json, "  \"sweeps\": {sweeps},");
+    let _ = writeln!(json, "  \"candidates_per_sweep\": {},", specs.len());
+    let _ = writeln!(
+        json,
+        "  \"cache_path\": \"{}\",",
+        cache_path.display().to_string().replace('\\', "/")
+    );
+    let _ = writeln!(json, "  \"bit_identical\": {bit_identical},");
+    let _ = writeln!(json, "  \"cold\": {{");
+    let _ = writeln!(json, "    \"wall_seconds\": {cold_wall:.6},");
+    let _ = writeln!(json, "    \"sim_launches\": {},", cold_stats.sim_launches);
+    let _ = writeln!(json, "    \"misses\": {},", cold_stats.misses);
+    let _ = writeln!(json, "    \"exact_hits\": {}", cold_stats.exact_hits);
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"warm\": {{");
+    let _ = writeln!(json, "    \"wall_seconds\": {warm_wall:.6},");
+    let _ = writeln!(json, "    \"sim_launches\": {},", warm_stats.sim_launches);
+    let _ = writeln!(json, "    \"exact_hits\": {},", warm_stats.exact_hits);
+    let _ = writeln!(json, "    \"hit_rate\": {:.4},", warm_stats.hit_rate());
+    let _ = writeln!(
+        json,
+        "    \"launches_avoided\": {}",
+        warm_stats.launches_avoided
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(
+        json,
+        "  \"warm_over_cold_wall\": {:.4},",
+        if cold_wall > 0.0 {
+            warm_wall / cold_wall
+        } else {
+            0.0
+        }
+    );
+    json.push_str("  \"matrix\": [\n");
+    for (i, case) in cold_cases.iter().enumerate() {
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        let front = kp_core::pareto_outcomes(&case.outcomes).len();
+        let _ = write!(
+            json,
+            "    {{ \"app\": \"{}\", \"size\": {}, \"candidates\": {}, \"pareto_front\": {front} }}",
+            case.app,
+            case.size,
+            case.outcomes.len()
+        );
+    }
+    json.push_str("\n  ],\n");
+    json.push_str("  \"adaptation\": [\n");
+    for (i, row) in adapt_rows.iter().enumerate() {
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        let _ = write!(
+            json,
+            "    {{ \"error_budget\": {:.3}, \"requests\": {}, \"steps_up\": {}, \
+             \"steps_down\": {}, \"violations\": {}, \"mean_error\": {:.6}, \
+             \"final_rung\": \"{}\", \"adapted_sim_seconds\": {:.6}, \
+             \"accurate_sim_seconds\": {:.6} }}",
+            row.budget,
+            row.requests,
+            row.steps_up,
+            row.steps_down,
+            row.violations,
+            row.mean_error,
+            row.final_rung,
+            row.adapted_seconds,
+            row.accurate_seconds
+        );
+    }
+    json.push_str("\n  ]\n}\n");
+
+    std::fs::write(&out, &json).expect("write benchmark json");
+    eprintln!("wrote {out}");
+
+    if check {
+        let mut failed = false;
+        if warm_stats.sim_launches != 0 {
+            eprintln!(
+                "check FAILED: warm pass performed {} simulated launches (expected 0)",
+                warm_stats.sim_launches
+            );
+            failed = true;
+        }
+        if warm_stats.exact_hits != sweeps as u64 {
+            eprintln!(
+                "check FAILED: warm pass had {} exact hits, expected {sweeps}",
+                warm_stats.exact_hits
+            );
+            failed = true;
+        }
+        if !bit_identical {
+            eprintln!("check FAILED: warm outcomes are not bit-identical to cold outcomes");
+            failed = true;
+        }
+        // Wall-clock gate only where the host is not fully serialized;
+        // 0.5x is deliberately loose — a warm pass that re-measures
+        // anything costs many times the cached lookup.
+        if cores >= 2 && cold_wall > 0.0 && warm_wall > 0.5 * cold_wall {
+            eprintln!(
+                "check FAILED: warm wall {warm_wall:.3} s exceeds half the cold wall \
+                 {cold_wall:.3} s on this {cores}-core host"
+            );
+            failed = true;
+        }
+        for row in &adapt_rows {
+            if row.mean_error > row.budget {
+                eprintln!(
+                    "check FAILED: budget {:.3} tier ran at mean error {:.6}",
+                    row.budget, row.mean_error
+                );
+                failed = true;
+            }
+            // A tier whose controller left rung 0 must have banked the
+            // saved simulated time.
+            if row.steps_up > 0 && row.adapted_seconds >= row.accurate_seconds {
+                eprintln!(
+                    "check FAILED: budget {:.3} tier stepped up but saved nothing \
+                     ({:.6} s vs {:.6} s)",
+                    row.budget, row.adapted_seconds, row.accurate_seconds
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+}

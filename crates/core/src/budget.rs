@@ -33,12 +33,14 @@ pub struct BudgetSelection {
 /// Picks the fastest outcome whose error is within `budget`.
 ///
 /// Returns `None` if no outcome meets the budget — callers should then fall
-/// back to the accurate kernel.
+/// back to the accurate kernel. Outcomes with non-finite error or speedup
+/// never qualify (a NaN measurement must not win a selection or poison
+/// the ordering), and a NaN budget admits nothing; no input panics.
 pub fn best_under_budget(outcomes: &[SweepOutcome], budget: f64) -> Option<&SweepOutcome> {
     outcomes
         .iter()
-        .filter(|o| o.error <= budget)
-        .max_by(|a, b| a.speedup.partial_cmp(&b.speedup).expect("NaN speedup"))
+        .filter(|o| o.error.is_finite() && o.speedup.is_finite() && o.error <= budget)
+        .max_by(|a, b| a.speedup.total_cmp(&b.speedup))
 }
 
 /// Calibrates `specs` over several sample inputs and picks the fastest
@@ -85,15 +87,14 @@ pub fn select_with_budget(
     let n = calibration_inputs.len() as f64;
     let candidate_errors: Vec<f64> = error_sums.iter().map(|e| e / n).collect();
 
+    // Same non-finite guards as `best_under_budget`: a NaN mean error or
+    // speedup disqualifies the candidate instead of panicking the
+    // selection.
     let chosen = candidate_errors
         .iter()
         .enumerate()
-        .filter(|(_, &e)| e <= budget)
-        .max_by(|(i, _), (j, _)| {
-            speedups[*i]
-                .partial_cmp(&speedups[*j])
-                .expect("NaN speedup")
-        })
+        .filter(|(i, &e)| e.is_finite() && e <= budget && speedups[*i].is_finite())
+        .max_by(|(i, _), (j, _)| speedups[*i].total_cmp(&speedups[*j]))
         .map(|(i, _)| i);
 
     Ok(chosen.map(|index| BudgetSelection {
@@ -161,6 +162,52 @@ mod tests {
     fn best_under_budget_none_when_unreachable() {
         let outcomes = vec![mk_outcome("sloppy", 3.0, 0.5)];
         assert!(best_under_budget(&outcomes, 0.01).is_none());
+    }
+
+    #[test]
+    fn best_under_budget_empty_set_is_none() {
+        assert!(best_under_budget(&[], 1.0).is_none());
+        assert!(best_under_budget(&[], f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn best_under_budget_budget_below_every_outcome() {
+        let outcomes = vec![
+            mk_outcome("a", 1.5, 0.10),
+            mk_outcome("b", 2.0, 0.20),
+            mk_outcome("c", 3.0, 0.30),
+        ];
+        assert!(best_under_budget(&outcomes, 0.05).is_none());
+        // Exactly at the smallest error: inclusive comparison admits it.
+        assert_eq!(best_under_budget(&outcomes, 0.10).unwrap().label, "a");
+    }
+
+    #[test]
+    fn best_under_budget_guards_non_finite_values() {
+        // NaN/inf errors never qualify; NaN speedups never win and never
+        // panic the ordering.
+        let outcomes = vec![
+            mk_outcome("nan-error", 9.0, f64::NAN),
+            mk_outcome("inf-error", 9.0, f64::INFINITY),
+            mk_outcome("nan-speedup", f64::NAN, 0.01),
+            mk_outcome("inf-speedup", f64::INFINITY, 0.01),
+            mk_outcome("sane", 2.0, 0.02),
+        ];
+        assert_eq!(best_under_budget(&outcomes, 0.05).unwrap().label, "sane");
+        // Only poisoned candidates in budget: selection is None, not a
+        // panic.
+        let poisoned = vec![
+            mk_outcome("nan-error", 9.0, f64::NAN),
+            mk_outcome("nan-speedup", f64::NAN, 0.01),
+        ];
+        assert!(best_under_budget(&poisoned, 0.05).is_none());
+        // NaN budget admits nothing.
+        assert!(best_under_budget(&outcomes, f64::NAN).is_none());
+        // An infinite budget admits everything finite.
+        assert_eq!(
+            best_under_budget(&outcomes, f64::INFINITY).unwrap().label,
+            "sane"
+        );
     }
 
     #[test]

@@ -304,6 +304,59 @@ impl DeviceConfig {
     pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
         cycles as f64 / (self.clock_mhz * 1.0e6)
     }
+
+    /// A stable 64-bit fingerprint of every parameter that can change a
+    /// *simulated* number (transaction counts, cycles, seconds, errors).
+    ///
+    /// Persistent tuning caches key their entries by this value: an entry
+    /// recorded on one device model must never be served for another.
+    /// Parameters that are bit-identical by contract are deliberately
+    /// **excluded**, so one cache entry serves every host configuration:
+    ///
+    /// * `name` — display only;
+    /// * `parallelism` and `devices` — host-side execution budgets
+    ///   (results are identical at any worker/member count);
+    /// * `exec_mode` and `opt_level` — execution strategies for IR
+    ///   kernels, bit-identical by contract (differentially tested).
+    ///
+    /// Floats are hashed by bit pattern, so any representable change to
+    /// e.g. `latency_hiding` changes the fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over a canonical, versioned rendering of the timing
+        // parameters. Bump the leading tag when the timing model itself
+        // changes meaning (it invalidates every cache).
+        let canon = format!(
+            "kp-device-v1|cu={}|wf={}|wg={}|lmem={}|gmem={}|tx={}|gic={}|l1c={}|wcf={:016x}\
+             |cw={}|glat={}|lh={:016x}|lic={}|banks={}|alu={}|bar={}|disp={}|waves={}|groups={}\
+             |clk={:016x}",
+            self.compute_units,
+            self.wavefront_size,
+            self.max_work_group_size,
+            self.local_mem_bytes,
+            self.global_mem_bytes,
+            self.transaction_bytes,
+            self.global_issue_cycles,
+            self.l1_issue_cycles,
+            self.global_write_cost_factor.to_bits(),
+            self.coalesce_width,
+            self.global_latency_cycles,
+            self.latency_hiding.to_bits(),
+            self.local_issue_cycles,
+            self.local_banks,
+            self.alu_cycles_per_op,
+            self.barrier_cycles,
+            self.group_dispatch_cycles,
+            self.max_waves_per_cu,
+            self.max_groups_per_cu,
+            self.clock_mhz.to_bits(),
+        );
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in canon.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
 }
 
 impl Default for DeviceConfig {
@@ -376,6 +429,48 @@ mod tests {
         assert_eq!(DeviceConfig::test_tiny().opt_level, OptLevel::Full);
         assert_eq!(OptLevel::None.to_string(), "O0");
         assert_eq!(OptLevel::Full.to_string(), "O2");
+    }
+
+    #[test]
+    fn fingerprint_ignores_host_side_knobs() {
+        let base = DeviceConfig::firepro_w5100();
+        let fp = base.fingerprint();
+        let mut cfg = base.clone();
+        cfg.name = "renamed".into();
+        cfg.parallelism = 7;
+        cfg.devices = 3;
+        cfg.exec_mode = ExecMode::Interpreted;
+        cfg.opt_level = OptLevel::None;
+        assert_eq!(
+            cfg.fingerprint(),
+            fp,
+            "bit-identical knobs must not fragment the cache"
+        );
+    }
+
+    #[test]
+    fn fingerprint_tracks_timing_parameters() {
+        let base = DeviceConfig::firepro_w5100();
+        let fp = base.fingerprint();
+        let mut cfg = base.clone();
+        cfg.global_issue_cycles += 1;
+        assert_ne!(cfg.fingerprint(), fp);
+        let mut cfg = base.clone();
+        cfg.latency_hiding += 1e-9;
+        assert_ne!(cfg.fingerprint(), fp, "float params hash by bit pattern");
+        let mut cfg = base.clone();
+        cfg.clock_mhz *= 2.0;
+        assert_ne!(cfg.fingerprint(), fp);
+        assert_ne!(
+            DeviceConfig::firepro_w5100().fingerprint(),
+            DeviceConfig::test_tiny().fingerprint()
+        );
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_calls() {
+        let cfg = DeviceConfig::test_tiny();
+        assert_eq!(cfg.fingerprint(), cfg.fingerprint());
     }
 
     #[test]

@@ -1,0 +1,440 @@
+//! Online SLA-driven scheme adaptation for the serving path.
+//!
+//! One [`AdaptController`] per tenant walks a **ladder** of perforation
+//! schemes — the cached Pareto front of a sweep, ordered from most
+//! accurate (rung 0) to most aggressive — and steps up or down based on
+//! the errors and simulated latencies it *observes* per request
+//! (calibrated outcome errors at admission, [`LaunchReport`] seconds at
+//! completion; the controller does not care which, it only sees
+//! numbers).
+//!
+//! ## Determinism
+//!
+//! A controller is a pure fold over its observation sequence: no clocks,
+//! no randomness. Replaying the same request trace through the same
+//! ladder and [`Sla`] reproduces the same step sequence exactly.
+//!
+//! ## Hysteresis & bounded step rate
+//!
+//! Decisions happen only at window boundaries (every [`Sla::window`]
+//! observations) and move **at most one rung** — the bounded step rate.
+//! Stepping down (toward accuracy) triggers when the window's mean error
+//! crosses `high_water × error_budget`; stepping up (toward speed)
+//! additionally requires the *next* rung's calibrated error to fit under
+//! the same high-water mark, so the controller cannot oscillate onto a
+//! rung it would immediately have to leave: the `[low_water, high_water]`
+//! gap is the hysteresis band.
+//!
+//! [`LaunchReport`]: kp_gpu_sim::LaunchReport
+
+use kp_core::{pareto_outcomes, SweepOutcome};
+
+use crate::error::TuneError;
+
+/// The per-tenant service-level agreement the controller enforces.
+#[derive(Debug, Clone, Copy)]
+pub struct Sla {
+    /// Mean observed per-request error must stay at or below this.
+    pub error_budget: f64,
+    /// Step **down** (more accurate) when a window's mean error exceeds
+    /// `high_water × error_budget`; a candidate rung must fit under the
+    /// same mark to be stepped **up** to. In `(0, 1]`.
+    pub high_water: f64,
+    /// Step **up** (more aggressive) only when the window's mean error is
+    /// at or below `low_water × error_budget`. In `[0, high_water)`.
+    pub low_water: f64,
+    /// Observations per decision window (the inverse step-rate bound:
+    /// at most one rung step per `window` requests).
+    pub window: usize,
+}
+
+impl Sla {
+    /// A reasonable default shape around a given error budget: decide
+    /// every 16 requests, step down above 90% budget utilization, step
+    /// up below 60%.
+    pub fn with_budget(error_budget: f64) -> Self {
+        Self {
+            error_budget,
+            high_water: 0.9,
+            low_water: 0.6,
+            window: 16,
+        }
+    }
+
+    fn validate(&self) -> Result<(), TuneError> {
+        if !self.error_budget.is_finite() || self.error_budget < 0.0 {
+            return Err(TuneError::Config(format!(
+                "error_budget must be finite and >= 0, got {}",
+                self.error_budget
+            )));
+        }
+        if !(0.0 < self.high_water && self.high_water <= 1.0) {
+            return Err(TuneError::Config(format!(
+                "high_water must be in (0, 1], got {}",
+                self.high_water
+            )));
+        }
+        if !(0.0..1.0).contains(&self.low_water) || self.low_water >= self.high_water {
+            return Err(TuneError::Config(format!(
+                "low_water must be in [0, high_water), got {} (high {})",
+                self.low_water, self.high_water
+            )));
+        }
+        if self.window == 0 {
+            return Err(TuneError::Config("window must be >= 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// One rung of the adaptation ladder: a scheme with its calibrated
+/// numbers.
+#[derive(Debug, Clone)]
+pub struct Rung {
+    /// Scheme label (matches the [`SweepOutcome`] it came from).
+    pub label: String,
+    /// Work-group size of the scheme.
+    pub group: (usize, usize),
+    /// Calibrated error of the scheme (from the sweep).
+    pub error: f64,
+    /// Calibrated simulated seconds per request.
+    pub seconds: f64,
+    /// Calibrated speedup over the sweep baseline.
+    pub speedup: f64,
+}
+
+/// A step the controller took at a window boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Moved one rung toward speed (more aggressive perforation).
+    Up,
+    /// Moved one rung toward accuracy.
+    Down,
+}
+
+/// Aggregate accounting of one controller (per tenant).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AdaptStats {
+    /// Observations folded in.
+    pub observations: u64,
+    /// Steps toward speed.
+    pub steps_up: u64,
+    /// Steps toward accuracy.
+    pub steps_down: u64,
+    /// Sum of observed errors (budget accounting: the consumed error).
+    pub error_sum: f64,
+    /// Sum of observed simulated seconds (the latency/cost side).
+    pub seconds_sum: f64,
+    /// Windows whose mean error exceeded the full budget (SLA
+    /// violations — the controller steps down, but the window already
+    /// happened).
+    pub violations: u64,
+}
+
+impl AdaptStats {
+    /// Mean observed error so far (0 when nothing observed).
+    pub fn mean_error(&self) -> f64 {
+        if self.observations == 0 {
+            0.0
+        } else {
+            self.error_sum / self.observations as f64
+        }
+    }
+}
+
+/// Online per-tenant scheme selector over a cached Pareto ladder.
+#[derive(Debug, Clone)]
+pub struct AdaptController {
+    ladder: Vec<Rung>,
+    sla: Sla,
+    current: usize,
+    window_error: f64,
+    window_count: usize,
+    stats: AdaptStats,
+}
+
+impl AdaptController {
+    /// Builds a controller from sweep outcomes: keeps the **Pareto
+    /// front** (no rung is both slower and less accurate than another),
+    /// drops non-finite rows, orders rungs from most accurate to most
+    /// aggressive, and starts at rung 0 (most accurate — the controller
+    /// earns speed, it never assumes it).
+    ///
+    /// # Errors
+    ///
+    /// [`TuneError::Config`] when the SLA is malformed or no usable rung
+    /// remains.
+    pub fn from_outcomes(outcomes: &[SweepOutcome], sla: Sla) -> Result<Self, TuneError> {
+        sla.validate()?;
+        let finite: Vec<SweepOutcome> = outcomes
+            .iter()
+            .filter(|o| o.error.is_finite() && o.seconds.is_finite() && o.speedup.is_finite())
+            .cloned()
+            .collect();
+        let mut ladder: Vec<Rung> = pareto_outcomes(&finite)
+            .into_iter()
+            .map(|i| Rung {
+                label: finite[i].label.clone(),
+                group: finite[i].group,
+                error: finite[i].error,
+                seconds: finite[i].seconds,
+                speedup: finite[i].speedup,
+            })
+            .collect();
+        // Most accurate first; ties broken by cost then label so the
+        // ladder is deterministic for any input order.
+        ladder.sort_by(|a, b| {
+            a.error
+                .total_cmp(&b.error)
+                .then(a.seconds.total_cmp(&b.seconds))
+                .then(a.label.cmp(&b.label))
+        });
+        if ladder.is_empty() {
+            return Err(TuneError::Config(
+                "adaptation ladder needs at least one finite outcome".into(),
+            ));
+        }
+        Ok(Self {
+            ladder,
+            sla,
+            current: 0,
+            window_error: 0.0,
+            window_count: 0,
+            stats: AdaptStats::default(),
+        })
+    }
+
+    /// The rung currently selected for new requests.
+    pub fn current(&self) -> &Rung {
+        &self.ladder[self.current]
+    }
+
+    /// Index of the current rung (0 = most accurate).
+    pub fn current_index(&self) -> usize {
+        self.current
+    }
+
+    /// The full ladder, most accurate first.
+    pub fn ladder(&self) -> &[Rung] {
+        &self.ladder
+    }
+
+    /// The SLA under enforcement.
+    pub fn sla(&self) -> &Sla {
+        &self.sla
+    }
+
+    /// Accounting so far.
+    pub fn stats(&self) -> &AdaptStats {
+        &self.stats
+    }
+
+    /// Folds one request observation (its error and simulated seconds)
+    /// into the controller. Returns the step taken, if this observation
+    /// closed a decision window that demanded one.
+    ///
+    /// Non-finite observations are treated as worst-case (a full budget's
+    /// worth of error), so a broken signal drives the controller toward
+    /// accuracy instead of poisoning the arithmetic.
+    pub fn observe(&mut self, error: f64, sim_seconds: f64) -> Option<Step> {
+        let error = if error.is_finite() {
+            error
+        } else {
+            self.sla.error_budget
+        };
+        self.stats.observations += 1;
+        self.stats.error_sum += error;
+        if sim_seconds.is_finite() {
+            self.stats.seconds_sum += sim_seconds;
+        }
+        self.window_error += error;
+        self.window_count += 1;
+        if self.window_count < self.sla.window {
+            return None;
+        }
+        let mean = self.window_error / self.window_count as f64;
+        self.window_error = 0.0;
+        self.window_count = 0;
+        self.decide(mean)
+    }
+
+    fn decide(&mut self, window_mean: f64) -> Option<Step> {
+        let budget = self.sla.error_budget;
+        if window_mean > budget {
+            self.stats.violations += 1;
+        }
+        if window_mean > self.sla.high_water * budget {
+            if self.current > 0 {
+                self.current -= 1;
+                self.stats.steps_down += 1;
+                return Some(Step::Down);
+            }
+            return None;
+        }
+        if window_mean <= self.sla.low_water * budget {
+            if let Some(next) = self.ladder.get(self.current + 1) {
+                // Hysteresis: only climb onto a rung that fits under the
+                // step-down threshold, otherwise we would bounce.
+                if next.error <= self.sla.high_water * budget {
+                    self.current += 1;
+                    self.stats.steps_up += 1;
+                    return Some(Step::Up);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(label: &str, speedup: f64, error: f64) -> SweepOutcome {
+        SweepOutcome {
+            label: label.into(),
+            group: (16, 16),
+            seconds: 1.0 / speedup,
+            speedup,
+            error,
+            read_transactions: 0,
+        }
+    }
+
+    fn ladder() -> Vec<SweepOutcome> {
+        vec![
+            outcome("accurate", 1.0, 0.0),
+            outcome("mild", 1.6, 0.02),
+            outcome("aggressive", 2.5, 0.08),
+        ]
+    }
+
+    fn sla() -> Sla {
+        Sla {
+            error_budget: 0.05,
+            high_water: 0.9,
+            low_water: 0.6,
+            window: 4,
+        }
+    }
+
+    #[test]
+    fn ladder_is_pareto_sorted_and_starts_accurate() {
+        let mut outcomes = ladder();
+        outcomes.push(outcome("dominated", 1.1, 0.07)); // slower & worse than mild
+        outcomes.push(outcome("nan", f64::NAN, 0.01));
+        let c = AdaptController::from_outcomes(&outcomes, sla()).unwrap();
+        let labels: Vec<&str> = c.ladder().iter().map(|r| r.label.as_str()).collect();
+        assert_eq!(labels, ["accurate", "mild", "aggressive"]);
+        assert_eq!(c.current().label, "accurate");
+    }
+
+    #[test]
+    fn steps_up_only_into_rungs_that_fit() {
+        let mut c = AdaptController::from_outcomes(&ladder(), sla()).unwrap();
+        // Window of zero-error observations: climb to "mild"
+        // (0.02 <= 0.9*0.05).
+        for _ in 0..3 {
+            assert_eq!(c.observe(0.0, 1.0), None);
+        }
+        assert_eq!(c.observe(0.0, 1.0), Some(Step::Up));
+        assert_eq!(c.current().label, "mild");
+        // "aggressive" (0.08) exceeds high_water*budget (0.045): even a
+        // perfect window must not climb onto it.
+        for _ in 0..4 {
+            c.observe(0.0, 1.0);
+        }
+        assert_eq!(c.current().label, "mild", "hysteresis guard");
+        assert_eq!(c.stats().steps_up, 1);
+    }
+
+    #[test]
+    fn steps_down_on_high_water_and_counts_violations() {
+        let mut c = AdaptController::from_outcomes(&ladder(), sla()).unwrap();
+        for _ in 0..4 {
+            c.observe(0.0, 1.0); // climb to mild
+        }
+        assert_eq!(c.current().label, "mild");
+        // A hot window (mean 0.06 > budget): violation + step down.
+        let mut stepped = None;
+        for _ in 0..4 {
+            stepped = c.observe(0.06, 0.6);
+        }
+        assert_eq!(stepped, Some(Step::Down));
+        assert_eq!(c.current().label, "accurate");
+        assert_eq!(c.stats().violations, 1);
+        assert_eq!(c.stats().steps_down, 1);
+        // At the bottom, a hot window cannot step further.
+        for _ in 0..4 {
+            stepped = c.observe(0.06, 1.0);
+        }
+        assert_eq!(stepped, None);
+        assert_eq!(c.current_index(), 0);
+    }
+
+    #[test]
+    fn at_most_one_step_per_window() {
+        let mut c = AdaptController::from_outcomes(&ladder(), sla()).unwrap();
+        let mut steps = 0;
+        for _ in 0..16 {
+            if c.observe(0.0, 1.0).is_some() {
+                steps += 1;
+            }
+        }
+        // 16 observations = 4 windows: bounded step rate regardless of
+        // how eager the signal is.
+        assert!(steps <= 4);
+    }
+
+    #[test]
+    fn non_finite_observations_push_toward_accuracy() {
+        let mut c = AdaptController::from_outcomes(&ladder(), sla()).unwrap();
+        for _ in 0..4 {
+            c.observe(0.0, 1.0); // climb to mild
+        }
+        assert_eq!(c.current().label, "mild");
+        let mut last = None;
+        for _ in 0..4 {
+            last = c.observe(f64::NAN, f64::INFINITY);
+        }
+        assert_eq!(last, Some(Step::Down), "NaN treated as worst-case error");
+        assert!(c.stats().mean_error().is_finite());
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let trace: Vec<(f64, f64)> = (0..64)
+            .map(|i| ((i % 7) as f64 * 0.01, 1.0 / (1.0 + (i % 3) as f64)))
+            .collect();
+        let run = || {
+            let mut c = AdaptController::from_outcomes(&ladder(), sla()).unwrap();
+            let steps: Vec<Option<Step>> = trace.iter().map(|&(e, s)| c.observe(e, s)).collect();
+            (steps, c.current_index(), *c.stats())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn rejects_malformed_slas_and_empty_ladders() {
+        let bad_budget = Sla {
+            error_budget: f64::NAN,
+            ..sla()
+        };
+        assert!(AdaptController::from_outcomes(&ladder(), bad_budget).is_err());
+        let bad_waters = Sla {
+            low_water: 0.95,
+            ..sla()
+        };
+        assert!(AdaptController::from_outcomes(&ladder(), bad_waters).is_err());
+        let bad_window = Sla { window: 0, ..sla() };
+        assert!(AdaptController::from_outcomes(&ladder(), bad_window).is_err());
+        assert!(AdaptController::from_outcomes(&[], sla()).is_err());
+        let all_nan = vec![outcome("nan", f64::NAN, f64::NAN)];
+        assert!(AdaptController::from_outcomes(&all_nan, sla()).is_err());
+    }
+
+    #[test]
+    fn with_budget_default_is_valid() {
+        assert!(Sla::with_budget(0.05).validate().is_ok());
+    }
+}

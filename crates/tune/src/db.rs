@@ -1,0 +1,517 @@
+//! The persistent tuning database: a versioned, deterministic on-disk
+//! store of ranked sweep outcomes.
+//!
+//! ## Format
+//!
+//! A plain whitespace-tokenized text file:
+//!
+//! ```text
+//! kp-tune-db v1
+//! entry <canonical key — see TuneKey::canonical>
+//! outcome <label> <gx> <gy> <seconds-bits> <speedup-bits> <error-bits> <read-transactions>
+//! ...
+//! end
+//! ```
+//!
+//! Floats are stored as hexadecimal `f64::to_bits` patterns, so a
+//! save/load round-trip is **lossless**: a cache hit returns outcomes
+//! bit-identical to the sweep that produced them. Entries are written
+//! sorted by canonical key, so the same logical store always serializes
+//! to the same bytes (diff-able, rsync-friendly).
+//!
+//! ## Degradation rules
+//!
+//! Loading never fails and never panics. A missing file, a foreign format
+//! version, or any unparseable line degrades to an **empty or partial
+//! store** — the next lookup misses and the caller re-sweeps cold. A
+//! stale hit is impossible by construction: entries for a different
+//! device model or different input data live under different keys
+//! (fingerprint and content digest are part of [`TuneKey`]).
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use kp_core::SweepOutcome;
+
+use crate::key::{outcome_identity, TuneKey};
+use crate::TUNE_FORMAT_VERSION;
+
+/// File magic; the version suffix gates the whole file.
+const MAGIC: &str = "kp-tune-db";
+
+/// What [`TuneDb::open`] found on disk (diagnostics; the store itself
+/// silently degrades to cold sweeps).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Entries successfully loaded.
+    pub entries: usize,
+    /// File existed but carried a foreign format version (whole file
+    /// ignored).
+    pub version_mismatch: bool,
+    /// Number of entry blocks dropped because a line failed to parse.
+    pub corrupt_entries: usize,
+    /// File was absent (a fresh store).
+    pub missing: bool,
+}
+
+/// Hit/miss/staleness counters of one [`TuneDb`] handle.
+///
+/// `sim_launches` counts simulated kernel launches actually performed on
+/// behalf of cached sweeps (including each inner sweep's accurate
+/// reference + baseline run); `launches_avoided` counts candidate
+/// launches served from cache instead of the simulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TuneStats {
+    /// Cache consultations.
+    pub lookups: u64,
+    /// Lookups fully served from cache (zero simulated launches).
+    pub exact_hits: u64,
+    /// Lookups partially served from cache (warm starts: only missing
+    /// candidates or Pareto-winner re-validations were launched).
+    pub warm_hits: u64,
+    /// Lookups with no usable entry (cold sweeps).
+    pub misses: u64,
+    /// Entries evicted because a re-validation produced different
+    /// numbers than the stored ones (environment changed under us).
+    pub stale: u64,
+    /// Simulated launches performed despite the cache.
+    pub sim_launches: u64,
+    /// Candidate launches served from cache.
+    pub launches_avoided: u64,
+}
+
+impl TuneStats {
+    /// Fraction of lookups served at least partially from cache, in
+    /// `[0, 1]`; zero when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            return 0.0;
+        }
+        (self.exact_hits + self.warm_hits) as f64 / self.lookups as f64
+    }
+}
+
+/// One stored sweep: the key plus its outcomes in sweep order.
+#[derive(Debug, Clone)]
+pub struct TuneEntry {
+    /// The question this sweep answered.
+    pub key: TuneKey,
+    /// Measured outcomes, bit-exact.
+    pub outcomes: Vec<SweepOutcome>,
+}
+
+impl TuneEntry {
+    /// Index of the stored outcome matching `(label, group)`, if any.
+    pub fn find(&self, label: &str, group: (usize, usize)) -> Option<usize> {
+        self.outcomes
+            .iter()
+            .position(|o| o.label == label && o.group == group)
+    }
+}
+
+/// The persistent tuning database.
+///
+/// All mutation is in-memory; [`TuneDb::save`] serializes the store
+/// deterministically (atomic rename). Counters in [`TuneDb::stats`] are
+/// per-handle, not persisted.
+#[derive(Debug)]
+pub struct TuneDb {
+    path: Option<PathBuf>,
+    entries: BTreeMap<String, TuneEntry>,
+    load: LoadReport,
+    pub(crate) stats: TuneStats,
+}
+
+impl TuneDb {
+    /// An empty store with no backing file ([`TuneDb::save`] is a no-op).
+    pub fn in_memory() -> Self {
+        Self {
+            path: None,
+            entries: BTreeMap::new(),
+            load: LoadReport {
+                missing: true,
+                ..LoadReport::default()
+            },
+            stats: TuneStats::default(),
+        }
+    }
+
+    /// Opens (or initializes) the store at `path`. Never fails: missing,
+    /// corrupt or foreign-version files degrade to an empty store — see
+    /// the module docs and [`TuneDb::load_report`].
+    pub fn open(path: impl Into<PathBuf>) -> Self {
+        let path = path.into();
+        let (entries, load) = match std::fs::read_to_string(&path) {
+            Ok(text) => parse_store(&text),
+            Err(_) => (
+                BTreeMap::new(),
+                LoadReport {
+                    missing: true,
+                    ..LoadReport::default()
+                },
+            ),
+        };
+        Self {
+            path: Some(path),
+            entries,
+            load,
+            stats: TuneStats::default(),
+        }
+    }
+
+    /// The backing file path, if any.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// What [`TuneDb::open`] found on disk.
+    pub fn load_report(&self) -> LoadReport {
+        self.load
+    }
+
+    /// Hit/miss counters accumulated through this handle.
+    pub fn stats(&self) -> TuneStats {
+        self.stats
+    }
+
+    /// Resets the per-handle counters (e.g. between a cold and a warm
+    /// benchmark pass).
+    pub fn reset_stats(&mut self) {
+        self.stats = TuneStats::default();
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up the entry for `key`.
+    pub fn entry(&self, key: &TuneKey) -> Option<&TuneEntry> {
+        self.entries.get(&key.canonical())
+    }
+
+    /// Inserts or merges outcomes under `key`: existing `(label, group)`
+    /// rows are replaced, new ones appended — the entry accumulates the
+    /// union of every sweep ever stored under the key.
+    pub fn record(&mut self, key: &TuneKey, outcomes: &[SweepOutcome]) {
+        let canonical = key.canonical();
+        let entry = self.entries.entry(canonical).or_insert_with(|| TuneEntry {
+            key: key.clone(),
+            outcomes: Vec::new(),
+        });
+        for outcome in outcomes {
+            let (label, group) = outcome_identity(outcome);
+            match entry.find(&label, group) {
+                Some(i) => entry.outcomes[i] = outcome.clone(),
+                None => entry.outcomes.push(outcome.clone()),
+            }
+        }
+    }
+
+    /// Drops the entry for `key` (used when re-validation detects stale
+    /// numbers).
+    pub fn evict(&mut self, key: &TuneKey) -> bool {
+        self.entries.remove(&key.canonical()).is_some()
+    }
+
+    /// Serializes the store to its backing file (deterministic bytes,
+    /// atomic rename). No-op for in-memory stores.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (permissions, full disk, …).
+    pub fn save(&self) -> std::io::Result<()> {
+        let Some(path) = &self.path else {
+            return Ok(());
+        };
+        let mut text = format!("{MAGIC} v{TUNE_FORMAT_VERSION}\n");
+        for entry in self.entries.values() {
+            text.push_str("entry ");
+            text.push_str(&entry.key.canonical());
+            text.push('\n');
+            for o in &entry.outcomes {
+                text.push_str(&format!(
+                    "outcome {} {} {} {:016x} {:016x} {:016x} {}\n",
+                    o.label,
+                    o.group.0,
+                    o.group.1,
+                    o.seconds.to_bits(),
+                    o.speedup.to_bits(),
+                    o.error.to_bits(),
+                    o.read_transactions,
+                ));
+            }
+            text.push_str("end\n");
+        }
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(text.as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+}
+
+fn parse_outcome(line: &str) -> Option<SweepOutcome> {
+    let mut it = line.split_ascii_whitespace();
+    let label = it.next()?.to_owned();
+    let gx = it.next()?.parse().ok()?;
+    let gy = it.next()?.parse().ok()?;
+    let seconds = f64::from_bits(u64::from_str_radix(it.next()?, 16).ok()?);
+    let speedup = f64::from_bits(u64::from_str_radix(it.next()?, 16).ok()?);
+    let error = f64::from_bits(u64::from_str_radix(it.next()?, 16).ok()?);
+    let read_transactions = it.next()?.parse().ok()?;
+    if it.next().is_some() {
+        return None;
+    }
+    Some(SweepOutcome {
+        label,
+        group: (gx, gy),
+        seconds,
+        speedup,
+        error,
+        read_transactions,
+    })
+}
+
+fn parse_store(text: &str) -> (BTreeMap<String, TuneEntry>, LoadReport) {
+    let mut report = LoadReport::default();
+    let mut entries = BTreeMap::new();
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(header) if header.trim() == format!("{MAGIC} v{TUNE_FORMAT_VERSION}") => {}
+        Some(_) => {
+            report.version_mismatch = true;
+            return (entries, report);
+        }
+        None => {
+            // Empty file: treat as a fresh store.
+            return (entries, report);
+        }
+    }
+    let mut current: Option<TuneEntry> = None;
+    let mut current_broken = false;
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("entry ") {
+            if current.take().is_some() {
+                // Previous entry never saw its `end`: drop it.
+                report.corrupt_entries += 1;
+            }
+            current_broken = false;
+            match TuneKey::parse(rest) {
+                Some(key) => {
+                    current = Some(TuneEntry {
+                        key,
+                        outcomes: Vec::new(),
+                    })
+                }
+                None => {
+                    report.corrupt_entries += 1;
+                    current_broken = true;
+                }
+            }
+        } else if let Some(rest) = line.strip_prefix("outcome ") {
+            match (&mut current, parse_outcome(rest)) {
+                (Some(entry), Some(outcome)) => entry.outcomes.push(outcome),
+                (Some(_), None) => {
+                    // Poison the whole entry: partial outcome lists must
+                    // not masquerade as complete sweeps.
+                    current = None;
+                    report.corrupt_entries += 1;
+                }
+                (None, _) => {
+                    if !current_broken {
+                        report.corrupt_entries += 1;
+                        current_broken = true;
+                    }
+                }
+            }
+        } else if line == "end" {
+            if let Some(entry) = current.take() {
+                entries.insert(entry.key.canonical(), entry);
+                report.entries += 1;
+            }
+            current_broken = false;
+        } else {
+            report.corrupt_entries += 1;
+            current = None;
+            current_broken = true;
+        }
+    }
+    if current.is_some() {
+        report.corrupt_entries += 1;
+    }
+    (entries, report)
+}
+
+/// Resolves the cache path: an explicit path wins, else the
+/// `KP_TUNE_CACHE` environment variable, else `.kp-tune-cache.db` in the
+/// current directory.
+pub fn resolve_cache_path(explicit: Option<&Path>) -> PathBuf {
+    if let Some(p) = explicit {
+        return p.to_path_buf();
+    }
+    match std::env::var("KP_TUNE_CACHE") {
+        Ok(p) if !p.trim().is_empty() => PathBuf::from(p),
+        _ => PathBuf::from(".kp-tune-cache.db"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::BUDGET_ANY;
+
+    fn key(app: &str) -> TuneKey {
+        TuneKey {
+            app: app.into(),
+            family: "fam".into(),
+            width: 64,
+            height: 64,
+            group: (16, 16),
+            metric: "MeanRelative".into(),
+            baseline: "Baseline".into(),
+            budget_bits: BUDGET_ANY.to_bits(),
+            input_digest: 42,
+            fingerprint: 7,
+        }
+    }
+
+    fn outcome(label: &str, seconds: f64, error: f64) -> SweepOutcome {
+        SweepOutcome {
+            label: label.into(),
+            group: (16, 16),
+            seconds,
+            speedup: 1.0 / seconds,
+            error,
+            read_transactions: 123,
+        }
+    }
+
+    #[test]
+    fn record_merges_by_identity() {
+        let mut db = TuneDb::in_memory();
+        db.record(&key("a"), &[outcome("x", 1.0, 0.1), outcome("y", 2.0, 0.2)]);
+        db.record(&key("a"), &[outcome("x", 3.0, 0.3), outcome("z", 4.0, 0.4)]);
+        let e = db.entry(&key("a")).unwrap();
+        assert_eq!(e.outcomes.len(), 3);
+        assert_eq!(e.outcomes[e.find("x", (16, 16)).unwrap()].seconds, 3.0);
+        assert!(db.evict(&key("a")));
+        assert!(!db.evict(&key("a")));
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn save_load_round_trip_is_bit_exact() {
+        let dir = std::env::temp_dir().join("kp_tune_db_roundtrip");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("cache.db");
+        let _ = std::fs::remove_file(&path);
+        let mut db = TuneDb::open(&path);
+        assert!(db.load_report().missing);
+        // Awkward but representable floats must survive exactly.
+        let gnarly = outcome("g", 0.1 + 0.2, f64::MIN_POSITIVE);
+        db.record(&key("a"), &[gnarly.clone(), outcome("x", 1.0, 0.25)]);
+        db.record(&key("b"), &[outcome("y", 2.0, 0.5)]);
+        db.save().unwrap();
+
+        let db2 = TuneDb::open(&path);
+        assert_eq!(db2.load_report().entries, 2);
+        assert!(!db2.load_report().version_mismatch);
+        let e = db2.entry(&key("a")).unwrap();
+        let g = &e.outcomes[e.find("g", (16, 16)).unwrap()];
+        assert_eq!(g.seconds.to_bits(), gnarly.seconds.to_bits());
+        assert_eq!(g.error.to_bits(), gnarly.error.to_bits());
+        assert_eq!(g.speedup.to_bits(), gnarly.speedup.to_bits());
+        assert_eq!(g.read_transactions, gnarly.read_transactions);
+
+        // Deterministic bytes: saving the reloaded store reproduces the
+        // file exactly.
+        let bytes_a = std::fs::read(&path).unwrap();
+        db2.save().unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), bytes_a);
+    }
+
+    #[test]
+    fn version_mismatch_degrades_to_empty() {
+        let dir = std::env::temp_dir().join("kp_tune_db_version");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("cache.db");
+        std::fs::write(&path, "kp-tune-db v999\nentry whatever\nend\n").unwrap();
+        let db = TuneDb::open(&path);
+        assert!(db.is_empty());
+        assert!(db.load_report().version_mismatch);
+    }
+
+    #[test]
+    fn corrupt_lines_drop_only_their_entry() {
+        let dir = std::env::temp_dir().join("kp_tune_db_corrupt");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("cache.db");
+        let mut db = TuneDb::open(&path);
+        db.record(&key("a"), &[outcome("x", 1.0, 0.1)]);
+        db.record(&key("b"), &[outcome("y", 2.0, 0.2)]);
+        db.save().unwrap();
+        // Mangle entry a's outcome line.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mangled = text.replace("outcome x 16 16", "outcome x sixteen 16");
+        std::fs::write(&path, mangled).unwrap();
+        let db2 = TuneDb::open(&path);
+        assert_eq!(db2.load_report().entries, 1);
+        assert!(db2.load_report().corrupt_entries >= 1);
+        assert!(db2.entry(&key("a")).is_none(), "poisoned entry must miss");
+        assert!(db2.entry(&key("b")).is_some());
+        // Pure garbage: empty store, no panic.
+        std::fs::write(&path, "kp-tune-db v1\n\u{1F980} total garbage\n").unwrap();
+        let db3 = TuneDb::open(&path);
+        assert!(db3.is_empty());
+        assert!(db3.load_report().corrupt_entries >= 1);
+    }
+
+    #[test]
+    fn truncated_entry_is_dropped() {
+        let dir = std::env::temp_dir().join("kp_tune_db_trunc");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("cache.db");
+        let mut db = TuneDb::open(&path);
+        db.record(&key("a"), &[outcome("x", 1.0, 0.1)]);
+        db.save().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let truncated = text.trim_end_matches("end\n");
+        std::fs::write(&path, truncated).unwrap();
+        let db2 = TuneDb::open(&path);
+        assert!(db2.is_empty());
+        assert_eq!(db2.load_report().corrupt_entries, 1);
+    }
+
+    #[test]
+    fn hit_rate_arithmetic() {
+        let mut s = TuneStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        s.lookups = 4;
+        s.exact_hits = 1;
+        s.warm_hits = 1;
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resolve_cache_path_precedence() {
+        let explicit = PathBuf::from("/tmp/explicit.db");
+        assert_eq!(resolve_cache_path(Some(&explicit)), explicit);
+        // No env set in tests by default: falls back to the cwd default.
+        if std::env::var("KP_TUNE_CACHE").is_err() {
+            assert_eq!(resolve_cache_path(None), PathBuf::from(".kp-tune-cache.db"));
+        }
+    }
+}

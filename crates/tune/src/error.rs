@@ -1,0 +1,65 @@
+//! Error type of the autotuning subsystem.
+
+use kp_core::CoreError;
+
+/// Errors returned by the tuning cache and adaptation controller.
+#[derive(Debug)]
+pub enum TuneError {
+    /// A sweep behind a cache miss failed.
+    Core(CoreError),
+    /// Persisting the store failed.
+    Io(std::io::Error),
+    /// A controller or SLA parameter is malformed.
+    Config(String),
+}
+
+impl std::fmt::Display for TuneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TuneError::Core(e) => write!(f, "sweep error: {e}"),
+            TuneError::Io(e) => write!(f, "tuning-store i/o error: {e}"),
+            TuneError::Config(msg) => write!(f, "invalid tuning configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TuneError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TuneError::Core(e) => Some(e),
+            TuneError::Io(e) => Some(e),
+            TuneError::Config(_) => None,
+        }
+    }
+}
+
+impl From<CoreError> for TuneError {
+    fn from(e: CoreError) -> Self {
+        TuneError::Core(e)
+    }
+}
+
+impl From<std::io::Error> for TuneError {
+    fn from(e: std::io::Error) -> Self {
+        TuneError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        use std::error::Error as _;
+        let c = TuneError::from(CoreError::Input("bad".into()));
+        assert!(c.to_string().contains("bad"));
+        assert!(c.source().is_some());
+        let i = TuneError::from(std::io::Error::other("disk"));
+        assert!(i.to_string().contains("disk"));
+        assert!(i.source().is_some());
+        let cfg = TuneError::Config("window".into());
+        assert!(cfg.to_string().contains("window"));
+        assert!(cfg.source().is_none());
+    }
+}

@@ -1,0 +1,230 @@
+//! Cache keys: everything that must match for a stored sweep to be
+//! reusable.
+//!
+//! A [`TuneKey`] pins the *question* a sweep answered: which app, which
+//! candidate family, which input (size **and content digest** — error is
+//! strongly data-dependent, paper §6.2), which tile, which metric and
+//! baseline, which error budget the family was assembled for, and which
+//! device model ([`kp_gpu_sim::DeviceConfig::fingerprint`]). Two runs
+//! agreeing on the whole key are guaranteed — by the simulator's
+//! determinism contract — to reproduce bit-identical [`SweepOutcome`]s,
+//! which is what makes serving cached outcomes safe.
+
+use kp_core::{SweepContext, SweepOutcome};
+
+use crate::TUNE_FORMAT_VERSION;
+
+/// Budget tag for sweeps whose outcomes are budget-independent (a plain
+/// candidate sweep measures every candidate; budgets apply at selection
+/// time). Stored in the key as the bit pattern of `+∞`.
+pub const BUDGET_ANY: f64 = f64::INFINITY;
+
+/// FNV-1a, the same construction [`kp_gpu_sim::DeviceConfig::fingerprint`]
+/// uses; stable across platforms and runs.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in bytes {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Content digest of a sweep input: the bit patterns of the primary (and
+/// auxiliary, when present) image data. Same data ⇒ same digest, so a
+/// re-run on identical input hits; any content change misses.
+pub fn digest_input(input: &kp_core::ImageInput<'_>) -> u64 {
+    let mut bytes: Vec<u8> = Vec::with_capacity(4 * (input.data.len() + 1));
+    for v in input.data {
+        bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    match input.aux {
+        Some(aux) => {
+            bytes.push(1);
+            for v in aux {
+                bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+        None => bytes.push(0),
+    }
+    fnv1a(&bytes)
+}
+
+/// Keys may not contain whitespace (the on-disk format is
+/// whitespace-tokenized); offending characters are replaced.
+fn sanitize(token: &str) -> String {
+    let cleaned: String = token
+        .chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .collect();
+    if cleaned.is_empty() {
+        "_".to_owned()
+    } else {
+        cleaned
+    }
+}
+
+/// The full lookup key of one cached sweep.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TuneKey {
+    /// Application name ([`kp_core::StencilApp::name`]).
+    pub app: String,
+    /// Logical candidate-family name (e.g. `"fig8"`, `"serve"`): sweeps
+    /// of different families never alias even at identical geometry.
+    pub family: String,
+    /// Input image width in elements.
+    pub width: usize,
+    /// Input image height in rows.
+    pub height: usize,
+    /// Work-group (tile) size of the sweep's baseline.
+    pub group: (usize, usize),
+    /// Error-metric name (`"MeanRelative"` / `"MeanAbsolute"`).
+    pub metric: String,
+    /// Baseline variant label speedups are measured against.
+    pub baseline: String,
+    /// Bit pattern of the error budget the family was assembled for;
+    /// [`BUDGET_ANY`]'s bits for budget-independent candidate sweeps.
+    pub budget_bits: u64,
+    /// Content digest of the input data ([`digest_input`]).
+    pub input_digest: u64,
+    /// Device-model fingerprint
+    /// ([`kp_gpu_sim::DeviceConfig::fingerprint`]).
+    pub fingerprint: u64,
+}
+
+impl TuneKey {
+    /// Builds the key a [`SweepContext`] + family names. The budget is
+    /// tagged [`BUDGET_ANY`] — candidate sweeps measure every candidate;
+    /// budget filtering happens at selection time.
+    pub fn for_sweep(ctx: &SweepContext<'_>, family: &str) -> Self {
+        Self {
+            app: sanitize(ctx.app.name()),
+            family: sanitize(family),
+            width: ctx.input.width,
+            height: ctx.input.height,
+            group: ctx.baseline.group(),
+            metric: format!("{:?}", ctx.metric),
+            baseline: sanitize(&ctx.baseline.label()),
+            budget_bits: BUDGET_ANY.to_bits(),
+            input_digest: digest_input(&ctx.input),
+            fingerprint: ctx.device.fingerprint(),
+        }
+    }
+
+    /// Canonical single-line rendering — the on-disk identity and the
+    /// deterministic sort key of the store.
+    pub fn canonical(&self) -> String {
+        format!(
+            "v{} {} {} {} {} {} {} {} {} {:016x} {:016x} {:016x}",
+            TUNE_FORMAT_VERSION,
+            self.app,
+            self.family,
+            self.width,
+            self.height,
+            self.group.0,
+            self.group.1,
+            self.metric,
+            self.baseline,
+            self.budget_bits,
+            self.input_digest,
+            self.fingerprint,
+        )
+    }
+
+    /// Parses a [`Self::canonical`] rendering; `None` on any token
+    /// mismatch (callers treat that as a corrupt entry).
+    pub fn parse(line: &str) -> Option<Self> {
+        let mut it = line.split_ascii_whitespace();
+        let version = it.next()?;
+        if version != format!("v{TUNE_FORMAT_VERSION}") {
+            return None;
+        }
+        let app = it.next()?.to_owned();
+        let family = it.next()?.to_owned();
+        let width = it.next()?.parse().ok()?;
+        let height = it.next()?.parse().ok()?;
+        let gx = it.next()?.parse().ok()?;
+        let gy = it.next()?.parse().ok()?;
+        let metric = it.next()?.to_owned();
+        let baseline = it.next()?.to_owned();
+        let budget_bits = u64::from_str_radix(it.next()?, 16).ok()?;
+        let input_digest = u64::from_str_radix(it.next()?, 16).ok()?;
+        let fingerprint = u64::from_str_radix(it.next()?, 16).ok()?;
+        if it.next().is_some() {
+            return None;
+        }
+        Some(Self {
+            app,
+            family,
+            width,
+            height,
+            group: (gx, gy),
+            metric,
+            baseline,
+            budget_bits,
+            input_digest,
+            fingerprint,
+        })
+    }
+}
+
+/// Identity of one candidate inside an entry: label + group (labels alone
+/// do not carry the work-group shape, and mixed-shape sweeps exist —
+/// Fig. 9).
+pub(crate) fn outcome_identity(outcome: &SweepOutcome) -> (String, (usize, usize)) {
+    (outcome.label.clone(), outcome.group)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> TuneKey {
+        TuneKey {
+            app: "gaussian".into(),
+            family: "fig8".into(),
+            width: 128,
+            height: 96,
+            group: (16, 16),
+            metric: "MeanRelative".into(),
+            baseline: "Baseline".into(),
+            budget_bits: BUDGET_ANY.to_bits(),
+            input_digest: 0xDEAD_BEEF,
+            fingerprint: 0x1234_5678_9ABC_DEF0,
+        }
+    }
+
+    #[test]
+    fn canonical_round_trips() {
+        let k = key();
+        assert_eq!(TuneKey::parse(&k.canonical()), Some(k));
+    }
+
+    #[test]
+    fn parse_rejects_foreign_versions_and_garbage() {
+        let k = key();
+        let line = k.canonical().replacen("v1", "v0", 1);
+        assert!(TuneKey::parse(&line).is_none());
+        assert!(TuneKey::parse("not a key").is_none());
+        assert!(TuneKey::parse(&format!("{} extra", key().canonical())).is_none());
+        assert!(TuneKey::parse("").is_none());
+    }
+
+    #[test]
+    fn digest_tracks_content_and_aux() {
+        let a = [1.0f32, 2.0, 3.0, 4.0];
+        let b = [1.0f32, 2.0, 3.0, 5.0];
+        let ia = kp_core::ImageInput::new(&a, 2, 2).unwrap();
+        let ib = kp_core::ImageInput::new(&b, 2, 2).unwrap();
+        let iaux = kp_core::ImageInput::with_aux(&a, Some(&b), 2, 2).unwrap();
+        assert_eq!(digest_input(&ia), digest_input(&ia));
+        assert_ne!(digest_input(&ia), digest_input(&ib));
+        assert_ne!(digest_input(&ia), digest_input(&iaux));
+    }
+
+    #[test]
+    fn sanitize_strips_whitespace() {
+        assert_eq!(sanitize("a b\tc"), "a_b_c");
+        assert_eq!(sanitize(""), "_");
+    }
+}

@@ -1,0 +1,111 @@
+//! # kp-tune — persistent cross-run tuning cache + online SLA adaptation
+//!
+//! The [`kp_core`] tuner re-measures every candidate configuration from
+//! scratch on each invocation. This crate amortizes that cost across
+//! runs and adapts selections online while serving:
+//!
+//! * **[`TuneDb`]** — a versioned, deterministic on-disk store of sweep
+//!   outcomes, keyed by *(app, candidate family, image size + content
+//!   digest, tile, metric, baseline, error budget, device fingerprint)*
+//!   ([`TuneKey`]). Floats persist as bit patterns, so a hit returns
+//!   outcomes **bit-identical** to the sweep that produced them. Missing,
+//!   corrupt, foreign-version or foreign-device stores degrade to clean
+//!   cold sweeps — never a panic, never a stale hit.
+//! * **[`sweep_cached`]** — the cache-aware entry point over
+//!   [`kp_core::sweep`]: exact hits skip the sweep entirely (zero
+//!   simulated launches under [`WarmStart::Trust`], Pareto-winner
+//!   re-validation under [`WarmStart::Validate`]), partial hits sweep
+//!   only the missing candidates. Hit/miss/stale counters surface in
+//!   [`TuneStats`].
+//! * **[`AdaptController`]** — per-tenant online adaptation for the
+//!   serving path: walks the cached Pareto ladder under a declared
+//!   [`Sla`] (error budget + hysteresis band + decision window), purely
+//!   as a function of the observed request stream — deterministic given
+//!   the same trace.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use kp_core::{ErrorMetric, ImageInput, RunSpec, SweepContext, fig8_specs};
+//! use kp_gpu_sim::DeviceConfig;
+//! use kp_tune::{sweep_cached, TuneDb, WarmStart};
+//! # use kp_core::{StencilApp, Window};
+//! # struct Blur;
+//! # impl StencilApp for Blur {
+//! #     fn name(&self) -> &str { "blur" }
+//! #     fn halo(&self) -> usize { 1 }
+//! #     fn compute(&self, win: &mut Window<'_, '_>) -> f32 {
+//! #         let mut acc = 0.0;
+//! #         for dy in -1..=1 { for dx in -1..=1 { acc += win.at(dx, dy); } }
+//! #         win.ops(9);
+//! #         acc / 9.0
+//! #     }
+//! # }
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let data = vec![0.5f32; 64 * 64];
+//! let ctx = SweepContext {
+//!     app: &Blur,
+//!     input: ImageInput::new(&data, 64, 64)?,
+//!     metric: ErrorMetric::MeanRelative,
+//!     device: DeviceConfig::firepro_w5100(),
+//!     baseline: RunSpec::Baseline { group: (16, 16) },
+//! };
+//! let specs = fig8_specs((16, 16), 1);
+//!
+//! let mut db = TuneDb::in_memory(); // TuneDb::open(path) persists
+//! let cold = sweep_cached(&ctx, &specs, &mut db, "fig8", WarmStart::Trust)?;
+//! let warm = sweep_cached(&ctx, &specs, &mut db, "fig8", WarmStart::Trust)?;
+//! assert_eq!(db.stats().exact_hits, 1);
+//! assert_eq!(cold[0].seconds.to_bits(), warm[0].seconds.to_bits());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod adapt;
+mod db;
+mod error;
+mod key;
+mod sweep;
+
+/// On-disk format version; foreign versions are ignored wholesale (the
+/// next sweep is cold and overwrites on save).
+pub const TUNE_FORMAT_VERSION: u32 = 1;
+
+pub use adapt::{AdaptController, AdaptStats, Rung, Sla, Step};
+pub use db::{resolve_cache_path, LoadReport, TuneDb, TuneEntry, TuneStats};
+pub use error::TuneError;
+pub use key::{digest_input, TuneKey, BUDGET_ANY};
+pub use sweep::{outcomes_bit_equal, select_with_budget_cached, sweep_cached, WarmStart};
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use kp_core::{StencilApp, Window};
+
+    /// The 3×3 box blur every crate-local test suite uses.
+    pub struct Blur;
+
+    impl StencilApp for Blur {
+        fn name(&self) -> &str {
+            "blur"
+        }
+
+        fn halo(&self) -> usize {
+            1
+        }
+
+        fn compute(&self, win: &mut Window<'_, '_>) -> f32 {
+            let mut acc = 0.0;
+            for dy in -1..=1 {
+                for dx in -1..=1 {
+                    acc += win.at(dx, dy);
+                }
+            }
+            win.ops(9);
+            acc / 9.0
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Cache-aware sweeps: warm-start or skip [`kp_core::sweep`] runs using
+//! the persistent store.
+//!
+//! Three lookup outcomes (counted in [`TuneStats`]):
+//!
+//! * **exact hit** — the entry covers every requested candidate. Under
+//!   [`WarmStart::Trust`] the sweep is skipped outright: zero simulated
+//!   launches, outcomes served bit-identical from the store. Under
+//!   [`WarmStart::Validate`] only the cached **Pareto winners** are
+//!   re-measured and compared bit-for-bit; a match serves the full cached
+//!   set, a mismatch evicts the entry (counted `stale`) and re-sweeps
+//!   cold.
+//! * **warm hit** — the entry covers part of the request: only the
+//!   missing candidates are swept (the cached ones are served as-is).
+//!   Per-candidate numbers are independent by construction — each sweep
+//!   re-measures its own reference and baseline deterministically — so
+//!   the merge is bit-identical to a cold sweep of the full list.
+//! * **miss** — no usable entry (absent, corrupt, foreign version,
+//!   foreign device fingerprint or input digest): a clean cold sweep,
+//!   then the entry is recorded.
+//!
+//! [`TuneStats`]: crate::TuneStats
+
+use kp_core::{
+    pareto_outcomes, sweep, BudgetSelection, CoreError, ErrorMetric, ImageInput, RunSpec,
+    SweepContext, SweepOutcome,
+};
+use kp_gpu_sim::DeviceConfig;
+
+use crate::db::TuneDb;
+use crate::key::TuneKey;
+
+/// How much to trust a fresh exact hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WarmStart {
+    /// Serve exact hits without any simulated work (the production
+    /// default: the key already pins device model, input content and
+    /// candidate family, and the simulator is deterministic).
+    #[default]
+    Trust,
+    /// Re-measure only the cached Pareto winners and require bit-for-bit
+    /// agreement before serving the rest from cache; on mismatch, evict
+    /// and re-sweep cold. The paranoid mode for migrated cache files.
+    Validate,
+}
+
+/// Identity of a candidate inside a sweep: `(label, group)`.
+fn spec_identity(spec: &RunSpec) -> (String, (usize, usize)) {
+    (spec.label(), spec.group())
+}
+
+/// Cache-aware variant of [`kp_core::sweep`]: consults (and updates)
+/// `db` under the key derived from `ctx` + `family`, and only simulates
+/// what the cache cannot answer. Returned outcomes are **bit-identical**
+/// to a cold [`kp_core::sweep`] of the same context and specs, in the
+/// same order.
+///
+/// # Errors
+///
+/// Propagates sweep errors ([`CoreError`]). Database I/O never fails the
+/// sweep: persistence is explicit via [`TuneDb::save`].
+pub fn sweep_cached(
+    ctx: &SweepContext<'_>,
+    specs: &[RunSpec],
+    db: &mut TuneDb,
+    family: &str,
+    warm: WarmStart,
+) -> Result<Vec<SweepOutcome>, CoreError> {
+    if specs.is_empty() {
+        return Ok(Vec::new());
+    }
+    let key = TuneKey::for_sweep(ctx, family);
+    db.stats.lookups += 1;
+
+    let wanted: Vec<(String, (usize, usize))> = specs.iter().map(spec_identity).collect();
+    let cached: Option<Vec<Option<usize>>> = db
+        .entry(&key)
+        .map(|entry| wanted.iter().map(|(l, g)| entry.find(l, *g)).collect());
+
+    match cached {
+        Some(slots) if slots.iter().all(Option::is_some) => {
+            let serve = |db: &TuneDb| -> Vec<SweepOutcome> {
+                let entry = db.entry(&key).expect("entry just found");
+                slots
+                    .iter()
+                    .map(|s| entry.outcomes[s.expect("all present")].clone())
+                    .collect()
+            };
+            match warm {
+                WarmStart::Trust => {
+                    db.stats.exact_hits += 1;
+                    db.stats.launches_avoided += specs.len() as u64;
+                    Ok(serve(db))
+                }
+                WarmStart::Validate => {
+                    let cached_now = serve(db);
+                    let winners = pareto_outcomes(&cached_now);
+                    let winner_specs: Vec<RunSpec> = winners.iter().map(|&i| specs[i]).collect();
+                    let fresh = sweep(ctx, &winner_specs)?;
+                    db.stats.sim_launches += 2 + winner_specs.len() as u64;
+                    let valid = winners
+                        .iter()
+                        .zip(&fresh)
+                        .all(|(&i, f)| outcomes_bit_equal(&cached_now[i], f));
+                    if valid {
+                        db.stats.warm_hits += 1;
+                        db.stats.launches_avoided += (specs.len() - winner_specs.len()) as u64;
+                        Ok(cached_now)
+                    } else {
+                        // The environment changed under the cache: the
+                        // stored numbers no longer reproduce. Evict and
+                        // answer cold.
+                        db.stats.stale += 1;
+                        db.stats.misses += 1;
+                        db.evict(&key);
+                        let outcomes = sweep(ctx, specs)?;
+                        db.stats.sim_launches += 2 + specs.len() as u64;
+                        db.record(&key, &outcomes);
+                        Ok(outcomes)
+                    }
+                }
+            }
+        }
+        Some(slots) => {
+            // Partial coverage: sweep only the missing candidates and
+            // splice the cached ones back in request order.
+            let missing: Vec<RunSpec> = slots
+                .iter()
+                .zip(specs)
+                .filter(|(s, _)| s.is_none())
+                .map(|(_, spec)| *spec)
+                .collect();
+            let fresh = sweep(ctx, &missing)?;
+            db.stats.warm_hits += 1;
+            db.stats.sim_launches += 2 + missing.len() as u64;
+            db.stats.launches_avoided += (specs.len() - missing.len()) as u64;
+            db.record(&key, &fresh);
+            let entry = db.entry(&key).expect("entry just recorded");
+            let merged = wanted
+                .iter()
+                .map(|(l, g)| {
+                    let i = entry.find(l, *g).expect("cached or just recorded");
+                    entry.outcomes[i].clone()
+                })
+                .collect();
+            Ok(merged)
+        }
+        None => {
+            let outcomes = sweep(ctx, specs)?;
+            db.stats.misses += 1;
+            db.stats.sim_launches += 2 + specs.len() as u64;
+            db.record(&key, &outcomes);
+            Ok(outcomes)
+        }
+    }
+}
+
+/// Bit-level equality of two outcomes (floats compared by bit pattern —
+/// the re-validation contract is *exact* reproduction, not tolerance).
+pub fn outcomes_bit_equal(a: &SweepOutcome, b: &SweepOutcome) -> bool {
+    a.label == b.label
+        && a.group == b.group
+        && a.seconds.to_bits() == b.seconds.to_bits()
+        && a.speedup.to_bits() == b.speedup.to_bits()
+        && a.error.to_bits() == b.error.to_bits()
+        && a.read_transactions == b.read_transactions
+}
+
+/// Cache-aware variant of [`kp_core::select_with_budget`]: calibrates
+/// `specs` over the calibration set through [`sweep_cached`] (one store
+/// entry per calibration input — the content digest is part of the key)
+/// and picks the fastest candidate whose mean error meets `budget`.
+///
+/// Selection semantics mirror [`kp_core::select_with_budget`], including
+/// the non-finite guards: candidates whose mean error or speedup is NaN
+/// or infinite never qualify.
+///
+/// # Errors
+///
+/// Propagates sweep errors; [`CoreError::Input`] if the calibration set
+/// is empty.
+#[allow(clippy::too_many_arguments)]
+pub fn select_with_budget_cached(
+    app: kp_core::AppRef,
+    calibration_inputs: &[ImageInput<'_>],
+    specs: &[RunSpec],
+    metric: ErrorMetric,
+    device: &DeviceConfig,
+    baseline: RunSpec,
+    budget: f64,
+    db: &mut TuneDb,
+    family: &str,
+) -> Result<Option<BudgetSelection>, CoreError> {
+    if calibration_inputs.is_empty() {
+        return Err(CoreError::Input("calibration set must not be empty".into()));
+    }
+    let mut error_sums = vec![0.0f64; specs.len()];
+    let mut speedups = vec![0.0f64; specs.len()];
+    for (k, input) in calibration_inputs.iter().enumerate() {
+        let ctx = SweepContext {
+            app,
+            input: *input,
+            metric,
+            device: device.clone(),
+            baseline,
+        };
+        let outcomes = sweep_cached(&ctx, specs, db, family, WarmStart::Trust)?;
+        for (i, o) in outcomes.iter().enumerate() {
+            error_sums[i] += o.error;
+            if k == 0 {
+                speedups[i] = o.speedup;
+            }
+        }
+    }
+    let n = calibration_inputs.len() as f64;
+    let candidate_errors: Vec<f64> = error_sums.iter().map(|e| e / n).collect();
+    let chosen = candidate_errors
+        .iter()
+        .enumerate()
+        .filter(|(i, &e)| e.is_finite() && e <= budget && speedups[*i].is_finite())
+        .max_by(|(i, _), (j, _)| speedups[*i].total_cmp(&speedups[*j]))
+        .map(|(i, _)| i);
+    Ok(chosen.map(|index| BudgetSelection {
+        label: specs[index].label(),
+        index,
+        mean_error: candidate_errors[index],
+        speedup: speedups[index],
+        candidate_errors,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_equality_is_exact() {
+        let a = SweepOutcome {
+            label: "x".into(),
+            group: (16, 16),
+            seconds: 0.1,
+            speedup: 2.0,
+            error: 0.01,
+            read_transactions: 5,
+        };
+        let mut b = a.clone();
+        assert!(outcomes_bit_equal(&a, &b));
+        b.seconds = 0.1 + f64::EPSILON;
+        assert!(!outcomes_bit_equal(&a, &b));
+    }
+
+    #[test]
+    fn empty_spec_list_never_touches_the_store() {
+        let mut db = TuneDb::in_memory();
+        let data = vec![0.5f32; 32 * 32];
+        let ctx = SweepContext {
+            app: &crate::testutil::Blur,
+            input: ImageInput::new(&data, 32, 32).unwrap(),
+            metric: ErrorMetric::MeanRelative,
+            device: DeviceConfig::firepro_w5100(),
+            baseline: RunSpec::Baseline { group: (16, 16) },
+        };
+        let out = sweep_cached(&ctx, &[], &mut db, "empty", WarmStart::Trust).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(db.stats().lookups, 0);
+        assert_eq!(db.stats().sim_launches, 0);
+    }
+}

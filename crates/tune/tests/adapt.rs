@@ -1,0 +1,188 @@
+//! Online-adaptation acceptance: replaying a fixed request trace through
+//! per-tenant controllers keeps **every** tenant inside its error budget
+//! while **strictly reducing** total simulated launch cost versus serving
+//! without adaptation (every request on the most-accurate scheme), and
+//! the whole replay is deterministic.
+
+use kp_core::{
+    fig8_specs, ApproxConfig, ErrorMetric, ImageInput, RunSpec, StencilApp, SweepContext, Window,
+};
+use kp_gpu_sim::DeviceConfig;
+use kp_tune::{sweep_cached, AdaptController, Rung, Sla, TuneDb, WarmStart};
+
+struct Blur;
+
+impl StencilApp for Blur {
+    fn name(&self) -> &str {
+        "blur"
+    }
+
+    fn halo(&self) -> usize {
+        1
+    }
+
+    fn compute(&self, win: &mut Window<'_, '_>) -> f32 {
+        let mut acc = 0.0;
+        for dy in -1..=1 {
+            for dx in -1..=1 {
+                acc += win.at(dx, dy);
+            }
+        }
+        win.ops(9);
+        acc / 9.0
+    }
+}
+
+/// The deterministic request-trace generator the bench suites use.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Uniform-ish jitter in `[0.9, 1.1]`.
+    fn jitter(&mut self) -> f64 {
+        0.9 + 0.2 * (self.next() % 1000) as f64 / 999.0
+    }
+}
+
+fn ladder_from_cached_sweep() -> Vec<kp_core::SweepOutcome> {
+    let (w, h) = (48, 48);
+    let data: Vec<f32> = (0..w * h)
+        .map(|i| {
+            let (x, y) = (i % w, i / w);
+            0.5 + 0.3 * ((x as f32 * 0.7).sin() * (y as f32 * 0.3).cos())
+        })
+        .collect();
+    let ctx = SweepContext {
+        app: &Blur,
+        input: ImageInput::new(&data, w, h).unwrap(),
+        metric: ErrorMetric::MeanRelative,
+        device: DeviceConfig::firepro_w5100(),
+        baseline: RunSpec::Baseline { group: (16, 16) },
+    };
+    // The accurate local-memory config anchors rung 0; fig8 provides the
+    // perforated rungs.
+    let mut specs = vec![RunSpec::Perforated(ApproxConfig::accurate((16, 16)))];
+    specs.extend(fig8_specs((16, 16), 1));
+    let mut db = TuneDb::in_memory();
+    sweep_cached(&ctx, &specs, &mut db, "adapt", WarmStart::Trust).unwrap()
+}
+
+/// Replays `requests` through one tenant controller. Observed error is
+/// the chosen rung's calibrated error under deterministic ±10% jitter;
+/// observed cost is the rung's calibrated simulated seconds. Returns
+/// (adapted cost, no-adaptation cost, controller).
+fn replay(
+    outcomes: &[kp_core::SweepOutcome],
+    sla: Sla,
+    requests: usize,
+    seed: u64,
+) -> (f64, f64, AdaptController) {
+    let mut controller = AdaptController::from_outcomes(outcomes, sla).unwrap();
+    let accurate_seconds = controller.ladder()[0].seconds;
+    let mut rng = XorShift(seed);
+    let mut adapted_cost = 0.0;
+    for _ in 0..requests {
+        let rung: &Rung = controller.current();
+        let (err, sec) = (rung.error * rng.jitter(), rung.seconds);
+        adapted_cost += sec;
+        controller.observe(err, sec);
+    }
+    (adapted_cost, accurate_seconds * requests as f64, controller)
+}
+
+#[test]
+fn every_tenant_meets_its_budget_while_total_cost_strictly_drops() {
+    let outcomes = ladder_from_cached_sweep();
+    let ladder_probe = AdaptController::from_outcomes(&outcomes, Sla::with_budget(1.0)).unwrap();
+    assert!(
+        ladder_probe.ladder().len() >= 2,
+        "need at least one perforated rung to adapt into"
+    );
+    // Budgets derived from the measured ladder so the test tracks the
+    // simulator instead of hard-coding error magnitudes: one tenant that
+    // can just afford rung 1, one that can afford the whole ladder, one
+    // that can afford nothing but accuracy.
+    let e1 = ladder_probe.ladder()[1].error;
+    let e_max = ladder_probe
+        .ladder()
+        .iter()
+        .map(|r| r.error)
+        .fold(0.0, f64::max);
+    let tenants = [
+        ("just-rung1", Sla::with_budget(e1 * 1.2)),
+        ("everything", Sla::with_budget(e_max * 1.3)),
+        ("accurate-only", Sla::with_budget(e1 * 0.5)),
+    ];
+
+    let requests = 640;
+    let mut total_adapted = 0.0;
+    let mut total_baseline = 0.0;
+    let mut any_stepped = false;
+    for (i, (name, sla)) in tenants.iter().enumerate() {
+        let (adapted, baseline, controller) = replay(&outcomes, *sla, requests, 0x5EED + i as u64);
+        total_adapted += adapted;
+        total_baseline += baseline;
+        let stats = controller.stats();
+        // Budget accounting: mean observed error within the declared
+        // budget, and no decision window ever blew through it.
+        assert!(
+            stats.mean_error() <= sla.error_budget,
+            "tenant {name}: mean error {} exceeds budget {}",
+            stats.mean_error(),
+            sla.error_budget
+        );
+        assert_eq!(
+            stats.violations, 0,
+            "tenant {name}: {} window(s) violated the budget",
+            stats.violations
+        );
+        assert_eq!(stats.observations, requests as u64);
+        any_stepped |= stats.steps_up > 0;
+        if *name == "accurate-only" {
+            assert_eq!(
+                controller.current_index(),
+                0,
+                "tenant {name} must never leave the accurate rung"
+            );
+            assert!((adapted - baseline).abs() < 1e-12);
+        } else {
+            assert!(
+                controller.current_index() > 0,
+                "tenant {name} should have earned a faster rung"
+            );
+            assert!(
+                adapted < baseline,
+                "tenant {name}: adapted cost {adapted} not below baseline {baseline}"
+            );
+        }
+    }
+    assert!(any_stepped, "adaptation never engaged");
+    assert!(
+        total_adapted < total_baseline,
+        "total adapted cost {total_adapted} not strictly below no-adaptation {total_baseline}"
+    );
+}
+
+#[test]
+fn replaying_the_same_trace_is_deterministic() {
+    let outcomes = ladder_from_cached_sweep();
+    let e1 = AdaptController::from_outcomes(&outcomes, Sla::with_budget(1.0))
+        .unwrap()
+        .ladder()[1]
+        .error;
+    let sla = Sla::with_budget(e1 * 1.2);
+    let (cost_a, base_a, ca) = replay(&outcomes, sla, 320, 42);
+    let (cost_b, base_b, cb) = replay(&outcomes, sla, 320, 42);
+    assert_eq!(cost_a.to_bits(), cost_b.to_bits());
+    assert_eq!(base_a.to_bits(), base_b.to_bits());
+    assert_eq!(ca.current_index(), cb.current_index());
+    assert_eq!(ca.stats(), cb.stats());
+}

@@ -1,0 +1,306 @@
+//! Differential guarantees of the persistent tuning cache:
+//!
+//! * cached, warm-started and re-validated sweeps return **bit-identical**
+//!   [`SweepOutcome`] rankings to a cold [`kp_core::sweep`];
+//! * corrupt files, version mismatches and foreign device fingerprints
+//!   degrade to a clean cold sweep — never a panic, never a stale hit;
+//! * exact hits perform **zero** simulated launches.
+
+use kp_core::{
+    fig8_specs, pareto_outcomes, sweep, ErrorMetric, ImageInput, RunSpec, StencilApp, SweepContext,
+    SweepOutcome, Window,
+};
+use kp_gpu_sim::DeviceConfig;
+use kp_tune::{outcomes_bit_equal, sweep_cached, TuneDb, TuneKey, WarmStart};
+
+use std::path::PathBuf;
+
+struct Blur;
+
+impl StencilApp for Blur {
+    fn name(&self) -> &str {
+        "blur"
+    }
+
+    fn halo(&self) -> usize {
+        1
+    }
+
+    fn compute(&self, win: &mut Window<'_, '_>) -> f32 {
+        let mut acc = 0.0;
+        for dy in -1..=1 {
+            for dx in -1..=1 {
+                acc += win.at(dx, dy);
+            }
+        }
+        win.ops(9);
+        acc / 9.0
+    }
+}
+
+fn noisy_image(w: usize, h: usize) -> Vec<f32> {
+    (0..w * h)
+        .map(|i| {
+            let (x, y) = (i % w, i / w);
+            0.5 + 0.3 * ((x as f32 * 0.7).sin() * (y as f32 * 0.3).cos())
+        })
+        .collect()
+}
+
+fn context<'a>(data: &'a [f32], w: usize, h: usize) -> SweepContext<'a> {
+    SweepContext {
+        app: &Blur,
+        input: ImageInput::new(data, w, h).unwrap(),
+        metric: ErrorMetric::MeanRelative,
+        device: DeviceConfig::firepro_w5100(),
+        baseline: RunSpec::Baseline { group: (16, 16) },
+    }
+}
+
+fn assert_bit_identical(a: &[SweepOutcome], b: &[SweepOutcome], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length");
+    for (x, y) in a.iter().zip(b) {
+        assert!(
+            outcomes_bit_equal(x, y),
+            "{what}: outcome diverged: {x:?} vs {y:?}"
+        );
+    }
+}
+
+fn temp_db(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("kp_tune_cache_tests");
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join(name);
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+#[test]
+fn exact_hit_is_bit_identical_and_launch_free() {
+    let (w, h) = (48, 48);
+    let data = noisy_image(w, h);
+    let ctx = context(&data, w, h);
+    let specs = fig8_specs((16, 16), 1);
+
+    let cold = sweep(&ctx, &specs).unwrap();
+
+    let mut db = TuneDb::in_memory();
+    let miss = sweep_cached(&ctx, &specs, &mut db, "fig8", WarmStart::Trust).unwrap();
+    assert_bit_identical(&cold, &miss, "cold-miss");
+    assert_eq!(db.stats().misses, 1);
+
+    db.reset_stats();
+    let hit = sweep_cached(&ctx, &specs, &mut db, "fig8", WarmStart::Trust).unwrap();
+    assert_bit_identical(&cold, &hit, "exact-hit");
+    assert_eq!(db.stats().exact_hits, 1);
+    assert_eq!(db.stats().sim_launches, 0, "exact hits must not simulate");
+    assert_eq!(db.stats().launches_avoided, specs.len() as u64);
+
+    // Rankings (Pareto fronts) are identical too — same bits, same order.
+    assert_eq!(pareto_outcomes(&cold), pareto_outcomes(&hit));
+}
+
+#[test]
+fn warm_start_partial_hit_matches_cold_sweep() {
+    let (w, h) = (48, 48);
+    let data = noisy_image(w, h);
+    let ctx = context(&data, w, h);
+    let full = fig8_specs((16, 16), 1);
+    let subset = &full[..2];
+
+    let cold_full = sweep(&ctx, &full).unwrap();
+
+    // Seed the cache with only a subset, then ask for the full list: the
+    // store serves the subset, sweeps the rest, and the merge must be
+    // bit-identical to the cold full sweep.
+    let mut db = TuneDb::in_memory();
+    sweep_cached(&ctx, subset, &mut db, "fig8", WarmStart::Trust).unwrap();
+    db.reset_stats();
+    let warm = sweep_cached(&ctx, &full, &mut db, "fig8", WarmStart::Trust).unwrap();
+    assert_bit_identical(&cold_full, &warm, "partial-warm");
+    assert_eq!(db.stats().warm_hits, 1);
+    assert_eq!(db.stats().launches_avoided, subset.len() as u64);
+    assert_eq!(
+        db.stats().sim_launches,
+        2 + (full.len() - subset.len()) as u64,
+        "only the missing candidates (+ reference & baseline) simulate"
+    );
+}
+
+#[test]
+fn validate_mode_revalidates_winners_and_stays_bit_identical() {
+    let (w, h) = (48, 48);
+    let data = noisy_image(w, h);
+    let ctx = context(&data, w, h);
+    let specs = fig8_specs((16, 16), 1);
+
+    let cold = sweep(&ctx, &specs).unwrap();
+    let winners = pareto_outcomes(&cold).len() as u64;
+
+    let mut db = TuneDb::in_memory();
+    sweep_cached(&ctx, &specs, &mut db, "fig8", WarmStart::Validate).unwrap();
+    db.reset_stats();
+    let validated = sweep_cached(&ctx, &specs, &mut db, "fig8", WarmStart::Validate).unwrap();
+    assert_bit_identical(&cold, &validated, "validate-warm");
+    assert_eq!(db.stats().warm_hits, 1);
+    assert_eq!(db.stats().stale, 0);
+    assert_eq!(
+        db.stats().sim_launches,
+        2 + winners,
+        "validate re-measures exactly the Pareto winners"
+    );
+    assert_eq!(db.stats().launches_avoided, specs.len() as u64 - winners);
+}
+
+#[test]
+fn validate_mode_evicts_stale_entries_and_resweeps_cold() {
+    let (w, h) = (48, 48);
+    let data = noisy_image(w, h);
+    let ctx = context(&data, w, h);
+    let specs = fig8_specs((16, 16), 1);
+
+    let mut db = TuneDb::in_memory();
+    sweep_cached(&ctx, &specs, &mut db, "fig8", WarmStart::Trust).unwrap();
+
+    // Poison the stored numbers: a re-validation must detect the
+    // mismatch, evict, and answer with a fresh cold sweep.
+    let key = TuneKey::for_sweep(&ctx, "fig8");
+    let mut poisoned = db.entry(&key).unwrap().outcomes.clone();
+    for o in &mut poisoned {
+        o.seconds *= 2.0;
+        o.speedup /= 2.0;
+    }
+    db.evict(&key);
+    db.record(&key, &poisoned);
+
+    db.reset_stats();
+    let cold = sweep(&ctx, &specs).unwrap();
+    let recovered = sweep_cached(&ctx, &specs, &mut db, "fig8", WarmStart::Validate).unwrap();
+    assert_bit_identical(&cold, &recovered, "stale-recovery");
+    assert_eq!(db.stats().stale, 1);
+    assert_eq!(db.stats().misses, 1);
+    // The store now holds the fresh numbers: a Trust hit serves them.
+    db.reset_stats();
+    let hit = sweep_cached(&ctx, &specs, &mut db, "fig8", WarmStart::Trust).unwrap();
+    assert_bit_identical(&cold, &hit, "post-recovery-hit");
+    assert_eq!(db.stats().exact_hits, 1);
+}
+
+#[test]
+fn persisted_store_serves_bit_identical_outcomes_across_handles() {
+    let (w, h) = (48, 48);
+    let data = noisy_image(w, h);
+    let ctx = context(&data, w, h);
+    let specs = fig8_specs((16, 16), 1);
+    let path = temp_db("persist.db");
+
+    let cold = {
+        let mut db = TuneDb::open(&path);
+        let out = sweep_cached(&ctx, &specs, &mut db, "fig8", WarmStart::Trust).unwrap();
+        db.save().unwrap();
+        out
+    };
+
+    // A brand-new handle (fresh process, conceptually) hits warm.
+    let mut db = TuneDb::open(&path);
+    assert_eq!(db.load_report().entries, 1);
+    let warm = sweep_cached(&ctx, &specs, &mut db, "fig8", WarmStart::Trust).unwrap();
+    assert_bit_identical(&cold, &warm, "cross-handle");
+    assert_eq!(db.stats().exact_hits, 1);
+    assert_eq!(db.stats().sim_launches, 0);
+}
+
+#[test]
+fn corrupt_version_mismatch_and_foreign_fingerprint_degrade_to_cold() {
+    let (w, h) = (32, 32);
+    let data = noisy_image(w, h);
+    let ctx = context(&data, w, h);
+    let specs = fig8_specs((16, 16), 1);
+    let cold = sweep(&ctx, &specs).unwrap();
+
+    // Corrupt file.
+    let path = temp_db("corrupt.db");
+    std::fs::write(
+        &path,
+        "kp-tune-db v1\nentry total nonsense\nhalf an outcome",
+    )
+    .unwrap();
+    let mut db = TuneDb::open(&path);
+    let out = sweep_cached(&ctx, &specs, &mut db, "fig8", WarmStart::Trust).unwrap();
+    assert_bit_identical(&cold, &out, "corrupt-file");
+    assert_eq!(db.stats().misses, 1);
+
+    // Version mismatch.
+    let path = temp_db("version.db");
+    std::fs::write(&path, "kp-tune-db v999\nentry whatever\nend\n").unwrap();
+    let mut db = TuneDb::open(&path);
+    assert!(db.load_report().version_mismatch);
+    let out = sweep_cached(&ctx, &specs, &mut db, "fig8", WarmStart::Trust).unwrap();
+    assert_bit_identical(&cold, &out, "version-mismatch");
+    assert_eq!(db.stats().misses, 1);
+    // Saving rewrites the store at the current version; the next handle
+    // loads it cleanly and hits.
+    db.save().unwrap();
+    let mut db = TuneDb::open(&path);
+    assert!(!db.load_report().version_mismatch);
+    let out = sweep_cached(&ctx, &specs, &mut db, "fig8", WarmStart::Trust).unwrap();
+    assert_bit_identical(&cold, &out, "rewritten-store");
+    assert_eq!(db.stats().exact_hits, 1);
+
+    // Foreign device fingerprint: entries recorded for one device model
+    // are invisible to another (different key), so the sweep is cold —
+    // and records under the new fingerprint without clobbering the old.
+    let path = temp_db("foreign.db");
+    let mut db = TuneDb::open(&path);
+    sweep_cached(&ctx, &specs, &mut db, "fig8", WarmStart::Trust).unwrap();
+    assert_eq!(db.len(), 1);
+    let mut foreign_ctx = context(&data, w, h);
+    foreign_ctx.device.global_issue_cycles += 1;
+    db.reset_stats();
+    let foreign_cold = sweep(&foreign_ctx, &specs).unwrap();
+    let out = sweep_cached(&foreign_ctx, &specs, &mut db, "fig8", WarmStart::Trust).unwrap();
+    assert_bit_identical(&foreign_cold, &out, "foreign-fingerprint");
+    assert_eq!(db.stats().misses, 1);
+    assert_eq!(db.stats().exact_hits, 0);
+    assert_eq!(db.len(), 2, "both device models coexist in the store");
+    // The two entries hold genuinely different numbers (the timing
+    // parameter changed), proving the miss was mandatory.
+    assert!(cold
+        .iter()
+        .zip(&foreign_cold)
+        .any(|(a, b)| a.seconds.to_bits() != b.seconds.to_bits()));
+}
+
+#[test]
+fn different_input_content_misses_despite_identical_shape() {
+    let (w, h) = (32, 32);
+    let data_a = noisy_image(w, h);
+    let mut data_b = data_a.clone();
+    data_b[0] += 0.25; // same size, different content
+    let ctx_a = context(&data_a, w, h);
+    let ctx_b = context(&data_b, w, h);
+    let specs = fig8_specs((16, 16), 1);
+
+    let mut db = TuneDb::in_memory();
+    sweep_cached(&ctx_a, &specs, &mut db, "fig8", WarmStart::Trust).unwrap();
+    db.reset_stats();
+    let cold_b = sweep(&ctx_b, &specs).unwrap();
+    let out = sweep_cached(&ctx_b, &specs, &mut db, "fig8", WarmStart::Trust).unwrap();
+    assert_bit_identical(&cold_b, &out, "content-miss");
+    assert_eq!(db.stats().misses, 1, "content digest must key the entry");
+}
+
+#[test]
+fn families_do_not_alias() {
+    let (w, h) = (32, 32);
+    let data = noisy_image(w, h);
+    let ctx = context(&data, w, h);
+    let specs = fig8_specs((16, 16), 1);
+
+    let mut db = TuneDb::in_memory();
+    sweep_cached(&ctx, &specs, &mut db, "fig8", WarmStart::Trust).unwrap();
+    db.reset_stats();
+    sweep_cached(&ctx, &specs, &mut db, "other-family", WarmStart::Trust).unwrap();
+    assert_eq!(db.stats().misses, 1, "families are distinct cache keys");
+    assert_eq!(db.len(), 2);
+}

@@ -3,16 +3,24 @@
 //! calibration error stays within the user's budget — the runtime-helper
 //! loop the paper inherits from Paraprox, at three budgets.
 //!
+//! Calibration runs through the persistent tuning cache
+//! ([`kernel_perforation::tune`]): the first pass sweeps every candidate
+//! in the simulator and records the outcomes; the second pass answers
+//! every budget from the store — bit-identical selections, zero
+//! simulated launches.
+//!
 //! ```sh
 //! cargo run --release --example autotune_budget
 //! ```
+//!
+//! Set `KP_TUNE_CACHE=/path/to/store.db` to persist the calibration
+//! across invocations (the second *run* then starts warm too).
 
 use kernel_perforation::apps::Gaussian3;
-use kernel_perforation::core::{
-    select_with_budget, ApproxConfig, ErrorMetric, ImageInput, RunSpec,
-};
+use kernel_perforation::core::{ApproxConfig, ErrorMetric, ImageInput, RunSpec};
 use kernel_perforation::data::synth;
 use kernel_perforation::gpu_sim::DeviceConfig;
+use kernel_perforation::tune::{resolve_cache_path, select_with_budget_cached, TuneDb};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let size = 256;
@@ -34,9 +42,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         RunSpec::Perforated(ApproxConfig::rows1_nn(group)),
         RunSpec::Perforated(ApproxConfig::rows2_nn(group)),
     ];
+    let budgets = [0.005, 0.03, 0.10];
 
-    for budget in [0.005, 0.03, 0.10] {
-        let selection = select_with_budget(
+    // Honors KP_TUNE_CACHE; defaults to .kp-tune-cache.db in the
+    // working directory.
+    let cache_path = resolve_cache_path(None);
+    let mut db = TuneDb::open(&cache_path);
+
+    let select = |db: &mut TuneDb, budget: f64| {
+        select_with_budget_cached(
             &Gaussian3,
             &calibration,
             &specs,
@@ -44,21 +58,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &DeviceConfig::firepro_w5100(),
             RunSpec::Baseline { group },
             budget,
-        )?;
-        match selection {
-            Some(s) => println!(
-                "budget {:>5.1}% -> {:<12} (speedup {:.2}x, calibrated error {:.3}%)",
-                budget * 100.0,
-                s.label,
-                s.speedup,
-                s.mean_error * 100.0
-            ),
-            None => println!(
-                "budget {:>5.1}% -> no perforated configuration qualifies; stay accurate",
-                budget * 100.0
-            ),
+            db,
+            "autotune",
+        )
+    };
+
+    for pass in ["cold", "warm"] {
+        println!("{pass} pass (cache: {}):", cache_path.display());
+        for budget in budgets {
+            match select(&mut db, budget)? {
+                Some(s) => println!(
+                    "  budget {:>5.1}% -> {:<12} (speedup {:.2}x, calibrated error {:.3}%)",
+                    budget * 100.0,
+                    s.label,
+                    s.speedup,
+                    s.mean_error * 100.0
+                ),
+                None => println!(
+                    "  budget {:>5.1}% -> no perforated configuration qualifies; stay accurate",
+                    budget * 100.0
+                ),
+            }
         }
+        let stats = db.stats();
+        println!(
+            "  cache: {} lookups, {} exact hits (rate {:.2}), {} misses, {} simulated \
+             launches avoided\n",
+            stats.lookups,
+            stats.exact_hits,
+            stats.hit_rate(),
+            stats.misses,
+            stats.launches_avoided,
+        );
+        db.reset_stats();
     }
-    println!("\n(tighter budgets pick conservative schemes; looser ones buy more speed)");
+    db.save()?;
+
+    println!("(tighter budgets pick conservative schemes; looser ones buy more speed;");
+    println!(" outcomes are cached per calibration image, so only the first pass sweeps)");
     Ok(())
 }

@@ -16,6 +16,7 @@
 //! | [`apps`] | the six evaluation applications (Gaussian, Median, Hotspot, Inversion, Sobel3/5) |
 //! | [`data`] | synthetic input-data substrate (images, Hotspot grids, PGM I/O) |
 //! | [`ir`] | PerfCL kernel language + the automatic perforation compiler pass |
+//! | [`tune`] | persistent cross-run tuning cache + online SLA-driven scheme adaptation |
 //!
 //! Architecture notes live in `docs/ARCHITECTURE.md`; the PerfCL
 //! bytecode instruction set is documented in `docs/BYTECODE.md`.
@@ -136,3 +137,4 @@ pub use kp_core as core;
 pub use kp_data as data;
 pub use kp_gpu_sim as gpu_sim;
 pub use kp_ir as ir;
+pub use kp_tune as tune;
