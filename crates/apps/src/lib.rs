@@ -13,6 +13,16 @@
 //! | [`Sobel3`] | Image processing | Mean error | 1 |
 //! | [`Sobel5`] | Image processing | Mean error | 2 |
 //!
+//! Beyond the paper's six, the crate ships two **non-stencil** workloads
+//! that implement [`kp_core::Workload`] directly (per-group outputs rather
+//! than one output per window center), composing the perforated prefetch
+//! via [`kp_core::TilePrefetch`]:
+//!
+//! | Workload | Domain | Output | Halo |
+//! |---|---|---|---|
+//! | [`RegionSum`] | Data analytics | 1 element per work group | 0 |
+//! | [`RegionHistogram`] | Data analytics | 16 bins per work group | 0 |
+//!
 //! Every app ships an independent CPU reference implementation; unit tests
 //! assert the simulated kernels match the references exactly. The
 //! [`suite`] module is the registry the benchmark harness iterates over.
@@ -29,7 +39,7 @@
 //! let image = vec![0.25f32; 64 * 64];
 //! let input = ImageInput::new(&image, 64, 64)?;
 //! let mut dev = Device::new(DeviceConfig::firepro_w5100())?;
-//! let run = run_app(&mut dev, entry.app, &input,
+//! let run = run_app(&mut dev, entry.workload, &input,
 //!     &RunSpec::Perforated(entry.fig6_config((16, 16))))?;
 //! assert_eq!(run.output.len(), 64 * 64);
 //! # Ok(())
@@ -44,6 +54,7 @@ pub mod hotspot;
 pub mod inversion;
 pub mod median;
 pub mod perfcl;
+pub mod regional;
 pub mod sobel;
 pub mod suite;
 
@@ -54,5 +65,11 @@ pub use gaussian::Gaussian3;
 pub use hotspot::{Hotspot, HotspotParams};
 pub use inversion::Inversion;
 pub use median::{Median3, Median3Exact};
+pub use regional::{
+    region_histogram_reference, region_sum_reference, RegionHistogram, RegionSum, HISTOGRAM_BINS,
+};
 pub use sobel::{Sobel3, Sobel5};
-pub use suite::{by_name, evaluation_apps, extension_apps, AppEntry, ParetoScheme};
+pub use suite::{
+    by_name, evaluation_apps, extension_apps, extension_workloads, workload_by_name, AppEntry,
+    ParetoScheme, WorkloadEntry,
+};

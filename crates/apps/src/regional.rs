@@ -1,0 +1,518 @@
+//! Non-stencil workloads: per-region reduction and histogram.
+//!
+//! These are the first workloads that break the one-output-per-window-center
+//! assumption of [`kp_core::StencilApp`]: they implement
+//! [`kp_core::Workload`] directly, produce **per-work-group** outputs, and
+//! compose the paper's perforated prefetch via [`kp_core::TilePrefetch`] —
+//! phase 0 sparse cooperative load (honoring the full
+//! [`kp_core::PrefetchLayout`] axis), phase 1 local reconstruction, then
+//! their own group-level accumulation instead of a stencil compute phase.
+//!
+//! * [`RegionSum`] — sums each work group's region of the image; one output
+//!   element per group. With one ALU op per loaded element it is firmly
+//!   bandwidth-bound, which makes it the reference app for measuring the
+//!   burst-friendly tiled layout against the strided row-major prefetch.
+//! * [`RegionHistogram`] — a 16-bin histogram of each group's region
+//!   (values bucketed over `[0, 1)`); 16 output elements per group.
+//!
+//! The simulator's write-log snapshot model has no atomics, so both
+//! workloads accumulate in local memory and let one item per group write
+//! the result — the classic two-level GPU reduction shape.
+
+use std::sync::Arc;
+
+use kp_core::{
+    CoreError, ImageBinding, PerforationScheme, Reconstruction, RunSpec, SchemeSpec, TilePrefetch,
+    Workload,
+};
+use kp_gpu_sim::{BufferUse, ElemKind, ItemCtx, Kernel, LocalId, LocalSpec, NdRange};
+
+/// Number of histogram buckets of [`RegionHistogram`], covering `[0, 1)`
+/// uniformly (values outside clamp into the end buckets).
+pub const HISTOGRAM_BINS: usize = 16;
+
+/// Local buffer holding per-column partial sums ([`RegionSum`] phase 2).
+/// `LocalId(0)` is [`TilePrefetch::TILE`].
+const PARTIALS: LocalId = LocalId(1);
+
+/// Per-group sum reduction: output element `g` is the sum of the input
+/// elements covered by work group `g` (groups in row-major group order).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RegionSum;
+
+/// Per-group 16-bin histogram: output elements `[16g, 16g + 16)` count how
+/// many of group `g`'s input elements fall into each `[0, 1)` bucket.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RegionHistogram;
+
+/// Number of groups the launch grid has along each axis.
+fn group_counts(width: usize, height: usize, group: (usize, usize)) -> (usize, usize) {
+    (width.div_ceil(group.0), height.div_ceil(group.1))
+}
+
+/// Full-image launch geometry (global sizes padded to group multiples),
+/// same convention as the stencil pipeline.
+fn region_range(width: usize, height: usize, group: (usize, usize)) -> Result<NdRange, CoreError> {
+    let gx = width.div_ceil(group.0) * group.0;
+    let gy = height.div_ceil(group.1) * group.1;
+    NdRange::new_2d((gx, gy), group).map_err(|e| CoreError::Sim(e.into()))
+}
+
+/// Resolves a [`RunSpec`] into the prefetch scheme + reconstruction the
+/// region kernels run with. The accurate variants coincide for per-group
+/// reductions (there is no global-window formulation that can combine
+/// without local memory), so `AccurateGlobal`, `AccurateLocal` and
+/// `Baseline` all map to an unperforated cooperative prefetch.
+fn resolve_spec(spec: &RunSpec) -> Result<(SchemeSpec, Reconstruction), CoreError> {
+    match *spec {
+        RunSpec::AccurateGlobal { .. }
+        | RunSpec::AccurateLocal { .. }
+        | RunSpec::Baseline { .. } => Ok((
+            SchemeSpec::new(PerforationScheme::None),
+            Reconstruction::None,
+        )),
+        RunSpec::Perforated(cfg) => {
+            cfg.validate(0)?;
+            Ok((cfg.scheme, cfg.reconstruction))
+        }
+        RunSpec::Paraprox { .. } => Err(CoreError::IllegalConfig(
+            "Paraprox output approximation assumes image-shaped outputs; \
+             region workloads produce per-group outputs"
+                .into(),
+        )),
+    }
+}
+
+/// The flat output index of this work group (row-major group order).
+fn group_linear(ctx: &ItemCtx<'_>) -> usize {
+    ctx.group_id(1) * ctx.num_groups(0) + ctx.group_id(0)
+}
+
+/// Whether padded tile coordinate `(px, py)` maps to an in-image element
+/// for this group (edge groups cover partial regions; the tile's
+/// clamp-to-edge duplicates must not be accumulated).
+fn in_image(
+    ctx: &ItemCtx<'_>,
+    prefetch: &TilePrefetch,
+    px: usize,
+    py: usize,
+    width: usize,
+    height: usize,
+) -> bool {
+    let group = (ctx.group_id(0), ctx.group_id(1));
+    let (gx, gy) = prefetch.geometry().global_of(group, px, py);
+    gx >= 0 && gy >= 0 && (gx as usize) < width && (gy as usize) < height
+}
+
+/// The 4-phase region-sum kernel: load, reconstruct, per-column partial
+/// sums, final accumulation by item (0,0).
+struct RegionSumKernel {
+    img: ImageBinding,
+    prefetch: TilePrefetch,
+    scheme: SchemeSpec,
+    recon: Reconstruction,
+    group: (usize, usize),
+}
+
+impl Kernel for RegionSumKernel {
+    fn name(&self) -> &str {
+        "regionsum"
+    }
+
+    fn phases(&self) -> usize {
+        4
+    }
+
+    fn local_buffers(&self) -> Vec<LocalSpec> {
+        let mut specs = self.prefetch.local_specs();
+        specs.push(LocalSpec::new(ElemKind::F32, self.group.0));
+        specs
+    }
+
+    fn buffer_usage(&self) -> Option<BufferUse> {
+        Some(self.img.buffer_usage())
+    }
+
+    fn run_phase(&self, phase: usize, ctx: &mut ItemCtx<'_>) {
+        match phase {
+            0 => self.prefetch.load(ctx, &self.img, &self.scheme),
+            1 => self.prefetch.reconstruct(ctx, &self.scheme, self.recon),
+            // Tree step: the first tile row's items each sum their column,
+            // so the serial tail below folds group.0 partials instead of
+            // the whole tile.
+            2 => {
+                if ctx.local_id(1) != 0 {
+                    return;
+                }
+                let px = ctx.local_id(0);
+                let mut acc = 0.0f32;
+                for py in 0..self.group.1 {
+                    if in_image(ctx, &self.prefetch, px, py, self.img.width, self.img.height) {
+                        acc += self.prefetch.read(ctx, px, py);
+                        ctx.ops(1);
+                    }
+                }
+                ctx.write_local(PARTIALS, px, acc);
+            }
+            _ => {
+                if ctx.local_id(0) != 0 || ctx.local_id(1) != 0 {
+                    return;
+                }
+                let mut acc = 0.0f32;
+                for px in 0..self.group.0 {
+                    acc += ctx.read_local::<f32>(PARTIALS, px);
+                    ctx.ops(1);
+                }
+                let out = group_linear(ctx);
+                ctx.write_global(self.img.output, out, acc);
+            }
+        }
+    }
+}
+
+/// The 3-phase region-histogram kernel: load, reconstruct, then item (0,0)
+/// buckets the tile and writes its group's 16 counts.
+struct RegionHistogramKernel {
+    img: ImageBinding,
+    prefetch: TilePrefetch,
+    scheme: SchemeSpec,
+    recon: Reconstruction,
+    group: (usize, usize),
+}
+
+impl Kernel for RegionHistogramKernel {
+    fn name(&self) -> &str {
+        "regionhist"
+    }
+
+    fn phases(&self) -> usize {
+        3
+    }
+
+    fn local_buffers(&self) -> Vec<LocalSpec> {
+        self.prefetch.local_specs()
+    }
+
+    fn buffer_usage(&self) -> Option<BufferUse> {
+        Some(self.img.buffer_usage())
+    }
+
+    fn run_phase(&self, phase: usize, ctx: &mut ItemCtx<'_>) {
+        match phase {
+            0 => self.prefetch.load(ctx, &self.img, &self.scheme),
+            1 => self.prefetch.reconstruct(ctx, &self.scheme, self.recon),
+            _ => {
+                if ctx.local_id(0) != 0 || ctx.local_id(1) != 0 {
+                    return;
+                }
+                let mut counts = [0u32; HISTOGRAM_BINS];
+                for py in 0..self.group.1 {
+                    for px in 0..self.group.0 {
+                        if !in_image(ctx, &self.prefetch, px, py, self.img.width, self.img.height) {
+                            continue;
+                        }
+                        let v = self.prefetch.read(ctx, px, py);
+                        counts[bucket(v)] += 1;
+                        ctx.ops(2);
+                    }
+                }
+                let base = group_linear(ctx) * HISTOGRAM_BINS;
+                for (b, &count) in counts.iter().enumerate() {
+                    ctx.write_global(self.img.output, base + b, count as f32);
+                }
+            }
+        }
+    }
+}
+
+/// Bucket of a value over `[0, 1)`; out-of-range values clamp into the end
+/// buckets (NaN lands in bucket 0).
+fn bucket(v: f32) -> usize {
+    let b = (v * HISTOGRAM_BINS as f32).floor();
+    if b.is_nan() || b < 0.0 {
+        0
+    } else {
+        (b as usize).min(HISTOGRAM_BINS - 1)
+    }
+}
+
+impl Workload for RegionSum {
+    fn name(&self) -> &str {
+        "regionsum"
+    }
+
+    fn halo(&self) -> usize {
+        0
+    }
+
+    fn baseline_uses_local(&self) -> bool {
+        true
+    }
+
+    fn output_len(&self, width: usize, height: usize, group: (usize, usize)) -> usize {
+        let (ngx, ngy) = group_counts(width, height, group);
+        ngx * ngy
+    }
+
+    fn build_kernel(
+        &'static self,
+        img: &ImageBinding,
+        spec: &RunSpec,
+    ) -> Result<(Arc<dyn Kernel + Send + Sync>, NdRange), CoreError> {
+        let (scheme, recon) = resolve_spec(spec)?;
+        let group = spec.group();
+        let range = region_range(img.width, img.height, group)?;
+        Ok((
+            Arc::new(RegionSumKernel {
+                img: *img,
+                prefetch: TilePrefetch::new(group, 0),
+                scheme,
+                recon,
+                group,
+            }),
+            range,
+        ))
+    }
+}
+
+impl Workload for RegionHistogram {
+    fn name(&self) -> &str {
+        "regionhist"
+    }
+
+    fn halo(&self) -> usize {
+        0
+    }
+
+    fn baseline_uses_local(&self) -> bool {
+        true
+    }
+
+    fn output_len(&self, width: usize, height: usize, group: (usize, usize)) -> usize {
+        let (ngx, ngy) = group_counts(width, height, group);
+        ngx * ngy * HISTOGRAM_BINS
+    }
+
+    fn build_kernel(
+        &'static self,
+        img: &ImageBinding,
+        spec: &RunSpec,
+    ) -> Result<(Arc<dyn Kernel + Send + Sync>, NdRange), CoreError> {
+        let (scheme, recon) = resolve_spec(spec)?;
+        let group = spec.group();
+        let range = region_range(img.width, img.height, group)?;
+        Ok((
+            Arc::new(RegionHistogramKernel {
+                img: *img,
+                prefetch: TilePrefetch::new(group, 0),
+                scheme,
+                recon,
+                group,
+            }),
+            range,
+        ))
+    }
+}
+
+/// CPU reference for [`RegionSum`].
+pub fn region_sum_reference(
+    data: &[f32],
+    width: usize,
+    height: usize,
+    group: (usize, usize),
+) -> Vec<f32> {
+    let (ngx, ngy) = group_counts(width, height, group);
+    let mut out = vec![0.0f32; ngx * ngy];
+    for y in 0..height {
+        for x in 0..width {
+            out[(y / group.1) * ngx + x / group.0] += data[y * width + x];
+        }
+    }
+    out
+}
+
+/// CPU reference for [`RegionHistogram`].
+pub fn region_histogram_reference(
+    data: &[f32],
+    width: usize,
+    height: usize,
+    group: (usize, usize),
+) -> Vec<f32> {
+    let (ngx, ngy) = group_counts(width, height, group);
+    let mut out = vec![0.0f32; ngx * ngy * HISTOGRAM_BINS];
+    for y in 0..height {
+        for x in 0..width {
+            let g = (y / group.1) * ngx + x / group.0;
+            out[g * HISTOGRAM_BINS + bucket(data[y * width + x])] += 1.0;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kp_core::{run_app, ApproxConfig, ImageInput, PrefetchLayout};
+    use kp_gpu_sim::{Device, DeviceConfig};
+
+    fn image(w: usize, h: usize) -> Vec<f32> {
+        (0..w * h).map(|i| ((i * 31) % 97) as f32 / 96.0).collect()
+    }
+
+    fn dev() -> Device {
+        Device::new(DeviceConfig::firepro_w5100()).unwrap()
+    }
+
+    #[test]
+    fn region_sum_accurate_matches_cpu_reference() {
+        // 40x24 with 16x16 groups: partial edge groups exercise masking.
+        let (w, h) = (40, 24);
+        let data = image(w, h);
+        let input = ImageInput::new(&data, w, h).unwrap();
+        let r = run_app(
+            &mut dev(),
+            &RegionSum,
+            &input,
+            &RunSpec::Baseline { group: (16, 16) },
+        )
+        .unwrap();
+        let expect = region_sum_reference(&data, w, h, (16, 16));
+        assert_eq!(r.output.len(), expect.len());
+        for (i, (a, b)) in r.output.iter().zip(&expect).enumerate() {
+            assert!((a - b).abs() < 1e-3, "group {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn region_sum_perforated_approximates_with_fewer_reads() {
+        let (w, h) = (64, 64);
+        // Smooth input: row perforation + NN reconstruction stays close.
+        let data: Vec<f32> = (0..w * h)
+            .map(|i| 0.5 + 0.4 * (((i / w) as f32) / h as f32))
+            .collect();
+        let input = ImageInput::new(&data, w, h).unwrap();
+        let mut device = dev();
+        let accurate = run_app(
+            &mut device,
+            &RegionSum,
+            &input,
+            &RunSpec::Baseline { group: (16, 16) },
+        )
+        .unwrap();
+        let perf = run_app(
+            &mut device,
+            &RegionSum,
+            &input,
+            &RunSpec::Perforated(ApproxConfig::rows1_nn((16, 16))),
+        )
+        .unwrap();
+        assert!(
+            perf.report.stats.global_read_transactions
+                < accurate.report.stats.global_read_transactions
+        );
+        for (a, p) in accurate.output.iter().zip(&perf.output) {
+            let rel = (a - p).abs() / a.abs().max(1.0);
+            assert!(rel < 0.05, "{a} vs {p}");
+        }
+    }
+
+    #[test]
+    fn region_sum_burst_layout_is_bit_identical() {
+        let (w, h) = (48, 32);
+        let data = image(w, h);
+        let input = ImageInput::new(&data, w, h).unwrap();
+        let mut device = dev();
+        let cfg = ApproxConfig::rows1_nn((16, 16));
+        let row_major =
+            run_app(&mut device, &RegionSum, &input, &RunSpec::Perforated(cfg)).unwrap();
+        let burst = run_app(
+            &mut device,
+            &RegionSum,
+            &input,
+            &RunSpec::Perforated(cfg.with_layout(PrefetchLayout::BurstTiled)),
+        )
+        .unwrap();
+        assert_eq!(row_major.output, burst.output);
+    }
+
+    #[test]
+    fn region_sum_rejects_paraprox_and_systolic() {
+        let (w, h) = (32, 32);
+        let data = image(w, h);
+        let input = ImageInput::new(&data, w, h).unwrap();
+        let mut device = dev();
+        // Halo-0 workload: the systolic shift has nothing to hand off.
+        let systolic = ApproxConfig::rows1_nn((16, 16)).with_layout(PrefetchLayout::SystolicShift);
+        assert!(run_app(
+            &mut device,
+            &RegionSum,
+            &input,
+            &RunSpec::Perforated(systolic)
+        )
+        .is_err());
+        let paraprox = RunSpec::Paraprox {
+            scheme: kp_core::paraprox::ParaproxScheme::Rows(kp_core::paraprox::ParaproxLevel::One),
+            group: (16, 16),
+        };
+        assert!(run_app(&mut device, &RegionSum, &input, &paraprox).is_err());
+    }
+
+    #[test]
+    fn histogram_accurate_matches_cpu_reference() {
+        let (w, h) = (40, 24);
+        let data = image(w, h);
+        let input = ImageInput::new(&data, w, h).unwrap();
+        let r = run_app(
+            &mut dev(),
+            &RegionHistogram,
+            &input,
+            &RunSpec::Baseline { group: (16, 8) },
+        )
+        .unwrap();
+        let expect = region_histogram_reference(&data, w, h, (16, 8));
+        assert_eq!(r.output, expect);
+    }
+
+    #[test]
+    fn histogram_counts_sum_to_region_sizes() {
+        let (w, h) = (40, 24);
+        let data = image(w, h);
+        let input = ImageInput::new(&data, w, h).unwrap();
+        let r = run_app(
+            &mut dev(),
+            &RegionHistogram,
+            &input,
+            &RunSpec::Baseline { group: (16, 16) },
+        )
+        .unwrap();
+        // Group (0,0) covers 16x16 fully; group (2,0) only 8 columns;
+        // group (0,1) only 8 rows; group (2,1) is 8x8.
+        let totals: Vec<f32> = r
+            .output
+            .chunks(HISTOGRAM_BINS)
+            .map(|c| c.iter().sum())
+            .collect();
+        assert_eq!(totals, vec![256.0, 256.0, 128.0, 128.0, 128.0, 64.0]);
+    }
+
+    #[test]
+    fn bucket_clamps_and_covers_the_unit_interval() {
+        assert_eq!(bucket(-1.0), 0);
+        assert_eq!(bucket(0.0), 0);
+        assert_eq!(bucket(0.999), HISTOGRAM_BINS - 1);
+        assert_eq!(bucket(1.0), HISTOGRAM_BINS - 1);
+        assert_eq!(bucket(7.5), HISTOGRAM_BINS - 1);
+        assert_eq!(bucket(f32::NAN), 0);
+        assert_eq!(bucket(0.5), HISTOGRAM_BINS / 2);
+    }
+
+    #[test]
+    fn output_lengths_follow_group_counts() {
+        assert_eq!(Workload::output_len(&RegionSum, 64, 64, (16, 16)), 16);
+        assert_eq!(Workload::output_len(&RegionSum, 40, 24, (16, 16)), 6);
+        assert_eq!(
+            Workload::output_len(&RegionHistogram, 40, 24, (16, 16)),
+            6 * HISTOGRAM_BINS
+        );
+    }
+}

@@ -1,13 +1,15 @@
 //! The evaluation suite: registry of the paper's six applications
 //! (Table 1) with their domains, error metrics and Pareto-optimal
-//! perforation configurations (§6.2).
+//! perforation configurations (§6.2), plus the non-stencil extension
+//! workloads (per-region reduction and histogram).
 
-use kp_core::{ApproxConfig, ErrorMetric, StencilApp};
+use kp_core::{ApproxConfig, ErrorMetric, StencilApp, WorkloadRef};
 
 use crate::gaussian::Gaussian3;
 use crate::hotspot::Hotspot;
 use crate::inversion::Inversion;
 use crate::median::{Median3, Median3Exact};
+use crate::regional::{RegionHistogram, RegionSum};
 use crate::sobel::{Sobel3, Sobel5};
 
 /// Static app instances (the apps are stateless or const-constructible).
@@ -18,6 +20,8 @@ static MEDIAN_EXACT: Median3Exact = Median3Exact;
 static HOTSPOT: Hotspot = Hotspot::new();
 static SOBEL3: Sobel3 = Sobel3;
 static SOBEL5: Sobel5 = Sobel5;
+static REGION_SUM: RegionSum = RegionSum;
+static REGION_HISTOGRAM: RegionHistogram = RegionHistogram;
 
 /// Which perforation scheme is Pareto-optimal for an app (paper §6.2:
 /// "For Hotspot and Inversion row scheme 1 was used. For the other
@@ -41,6 +45,10 @@ pub struct AppEntry {
     pub metric: ErrorMetric,
     /// The kernel body.
     pub app: &'static (dyn StencilApp + Send + Sync),
+    /// The same app as an executable [`kp_core::Workload`] (what
+    /// [`kp_core::run_app`] and the tuner consume; a `dyn StencilApp`
+    /// reference does not coerce, so the registry carries both).
+    pub workload: WorkloadRef,
     /// Whether the app consumes the auxiliary input (Hotspot's power grid).
     pub needs_aux: bool,
     /// The Pareto-optimal scheme used for the Fig. 6 study.
@@ -79,6 +87,7 @@ pub fn evaluation_apps() -> Vec<AppEntry> {
             domain: "Image processing",
             metric: ErrorMetric::MeanRelative,
             app: &GAUSSIAN,
+            workload: &GAUSSIAN,
             needs_aux: false,
             pareto: ParetoScheme::Stencil1,
         },
@@ -87,6 +96,7 @@ pub fn evaluation_apps() -> Vec<AppEntry> {
             domain: "Medical imaging",
             metric: ErrorMetric::MeanRelative,
             app: &MEDIAN,
+            workload: &MEDIAN,
             needs_aux: false,
             pareto: ParetoScheme::Stencil1,
         },
@@ -95,6 +105,7 @@ pub fn evaluation_apps() -> Vec<AppEntry> {
             domain: "Physics simulation",
             metric: ErrorMetric::MeanRelative,
             app: &HOTSPOT,
+            workload: &HOTSPOT,
             needs_aux: true,
             pareto: ParetoScheme::Rows1,
         },
@@ -103,6 +114,7 @@ pub fn evaluation_apps() -> Vec<AppEntry> {
             domain: "Image processing",
             metric: ErrorMetric::MeanRelative,
             app: &INVERSION,
+            workload: &INVERSION,
             needs_aux: false,
             pareto: ParetoScheme::Rows1,
         },
@@ -111,6 +123,7 @@ pub fn evaluation_apps() -> Vec<AppEntry> {
             domain: "Image processing",
             metric: ErrorMetric::MeanAbsolute,
             app: &SOBEL3,
+            workload: &SOBEL3,
             needs_aux: false,
             pareto: ParetoScheme::Stencil1,
         },
@@ -119,6 +132,7 @@ pub fn evaluation_apps() -> Vec<AppEntry> {
             domain: "Image processing",
             metric: ErrorMetric::MeanAbsolute,
             app: &SOBEL5,
+            workload: &SOBEL5,
             needs_aux: false,
             pareto: ParetoScheme::Stencil1,
         },
@@ -132,6 +146,7 @@ pub fn extension_apps() -> Vec<AppEntry> {
         domain: "Medical imaging",
         metric: ErrorMetric::MeanRelative,
         app: &MEDIAN_EXACT,
+        workload: &MEDIAN_EXACT,
         needs_aux: false,
         pareto: ParetoScheme::Stencil1,
     }]
@@ -143,6 +158,63 @@ pub fn by_name(name: &str) -> Option<AppEntry> {
         .into_iter()
         .chain(extension_apps())
         .find(|e| e.name == name)
+}
+
+/// A registry row for workloads that are **not** stencil apps (no dense
+/// window, no one-output-per-window-center contract) — the suite's
+/// reduction and histogram extensions.
+#[derive(Clone, Copy)]
+pub struct WorkloadEntry {
+    /// Canonical lowercase name (`"regionsum"`, `"regionhist"`).
+    pub name: &'static str,
+    /// Application domain.
+    pub domain: &'static str,
+    /// Error metric used when sweeping the workload.
+    pub metric: ErrorMetric,
+    /// The executable workload.
+    pub workload: WorkloadRef,
+}
+
+impl std::fmt::Debug for WorkloadEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkloadEntry")
+            .field("name", &self.name)
+            .field("domain", &self.domain)
+            .field("metric", &self.metric)
+            .finish()
+    }
+}
+
+/// The non-stencil extension workloads (per-group reduction + histogram).
+pub fn extension_workloads() -> Vec<WorkloadEntry> {
+    vec![
+        WorkloadEntry {
+            name: "regionsum",
+            domain: "Data analytics",
+            metric: ErrorMetric::MeanRelative,
+            workload: &REGION_SUM,
+        },
+        WorkloadEntry {
+            name: "regionhist",
+            domain: "Data analytics",
+            metric: ErrorMetric::MeanAbsolute,
+            workload: &REGION_HISTOGRAM,
+        },
+    ]
+}
+
+/// Looks up any executable workload — stencil apps and non-stencil
+/// workloads alike — by its canonical name.
+pub fn workload_by_name(name: &str) -> Option<WorkloadEntry> {
+    if let Some(entry) = by_name(name) {
+        return Some(WorkloadEntry {
+            name: entry.name,
+            domain: entry.domain,
+            metric: entry.metric,
+            workload: entry.workload,
+        });
+    }
+    extension_workloads().into_iter().find(|e| e.name == name)
 }
 
 #[cfg(test)]
@@ -210,6 +282,31 @@ mod tests {
         assert!(by_name("gaussian").is_some());
         assert!(by_name("median-exact").is_some());
         assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn workload_registry_covers_apps_and_extensions() {
+        // Stencil apps resolve through the unified workload lookup...
+        let gaussian = workload_by_name("gaussian").unwrap();
+        assert_eq!(gaussian.workload.name(), "gaussian");
+        // ...and so do the non-stencil workloads, which have no AppEntry.
+        for name in ["regionsum", "regionhist"] {
+            assert!(by_name(name).is_none(), "{name} is not a stencil app");
+            let entry = workload_by_name(name).unwrap();
+            assert_eq!(entry.workload.name(), name);
+        }
+        assert!(workload_by_name("nope").is_none());
+        let s = format!("{:?}", workload_by_name("regionsum").unwrap());
+        assert!(s.contains("regionsum"));
+    }
+
+    #[test]
+    fn entry_workload_matches_app() {
+        for entry in evaluation_apps().into_iter().chain(extension_apps()) {
+            assert_eq!(entry.workload.name(), entry.app.name());
+            assert_eq!(entry.workload.halo(), entry.app.halo());
+            assert_eq!(entry.workload.uses_aux(), entry.app.uses_aux());
+        }
     }
 
     #[test]

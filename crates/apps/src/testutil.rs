@@ -1,6 +1,6 @@
 //! Shared helpers for the app unit tests.
 
-use kp_core::{run_app, AppRef, ImageInput, RunSpec};
+use kp_core::{run_app, ImageInput, RunSpec, WorkloadRef};
 use kp_gpu_sim::{Device, DeviceConfig};
 
 /// Deterministic pseudo-random image in `[0, 1]` (xorshift-based; no rand
@@ -20,7 +20,7 @@ pub fn random_image(width: usize, height: usize, seed: u64) -> Vec<f32> {
 /// Asserts that the accurate GPU kernels (global *and* local-memory
 /// variants) produce exactly the CPU reference.
 pub fn assert_kernel_matches_reference(
-    app: AppRef,
+    app: WorkloadRef,
     input: &[f32],
     aux: Option<&[f32]>,
     width: usize,

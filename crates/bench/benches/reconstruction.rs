@@ -2,7 +2,9 @@
 //! perforated tile (the ablation behind the paper's §5.1 choice).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use kp_core::{reconstruct_element, PerforationScheme, Reconstruction, SkipLevel, TileGeometry};
+use kp_core::{
+    reconstruct_element, LoadQuery, PerforationScheme, Reconstruction, SkipLevel, TileGeometry,
+};
 
 fn bench_reconstruction(c: &mut Criterion) {
     let tile = TileGeometry::new(64, 64, 1);
@@ -22,7 +24,11 @@ fn bench_reconstruction(c: &mut Criterion) {
                 for py in 0..tile.padded_h() {
                     for px in 0..tile.padded_w() {
                         let (gx, gy) = tile.global_of((0, 0), px, py);
-                        if !scheme.loads(&tile, px, py, gx, gy) {
+                        if !scheme.loads(LoadQuery {
+                            tile: &tile,
+                            padded: (px, py),
+                            global: (gx, gy),
+                        }) {
                             let mut read = |x: usize, y: usize| data[tile.index(x, y)];
                             let mut ops = |_| {};
                             acc += reconstruct_element(

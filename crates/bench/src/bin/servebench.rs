@@ -2,7 +2,9 @@
 //!
 //! A closed-loop request generator admits a sustained stream of
 //! perforation jobs (mixed apps, mixed image sizes, per-request error
-//! budgets mapped to perforation schemes) against a [`DeviceGroup`]:
+//! budgets mapped to perforation schemes — including a burst-tiled
+//! prefetch-layout tier priced by the fleet's DRAM burst discount)
+//! against a [`DeviceGroup`]:
 //!
 //! * every request is **placed** on the least-loaded member
 //!   ([`DeviceGroup::place`]) and **enqueued** on that member's command
@@ -45,7 +47,10 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use kp_apps::suite;
-use kp_core::{ApproxConfig, ImageBinding, ImageInput, PerforatedKernel, RunSpec, SweepContext};
+use kp_core::{
+    pack_tiled, ApproxConfig, ImageBinding, ImageInput, PerforatedKernel, PrefetchLayout, RunSpec,
+    SweepContext, TileGeometry,
+};
 use kp_gpu_sim::{
     resolve_parallelism, BufferId, CompletionQueue, DeviceConfig, DeviceGroup, Event, NdRange,
 };
@@ -82,7 +87,7 @@ struct BudgetTier {
     config: fn((usize, usize)) -> ApproxConfig,
 }
 
-const TIERS: [BudgetTier; 4] = [
+const TIERS: [BudgetTier; 5] = [
     BudgetTier {
         budget: 0.0,
         scheme: "accurate",
@@ -99,11 +104,24 @@ const TIERS: [BudgetTier; 4] = [
         config: ApproxConfig::rows1_nn,
     },
     BudgetTier {
+        budget: 0.075,
+        scheme: "Cols1:NN@burst",
+        config: cols1_nn_burst,
+    },
+    BudgetTier {
         budget: 0.10,
         scheme: "Rows2:NN",
         config: ApproxConfig::rows2_nn,
     },
 ];
+
+/// The mix's layout-axis tier: column selection through the burst-tiled
+/// prefetch copy. Columns touch every tile row, so the tiled copy turns
+/// the whole prefetch into contiguous DRAM block runs — priced by the
+/// burst discount the serving device opts into below.
+fn cols1_nn_burst(group: (usize, usize)) -> ApproxConfig {
+    ApproxConfig::cols1_nn(group).with_layout(PrefetchLayout::BurstTiled)
+}
 
 /// Maps a cached rung label back to the scheme constructor admission
 /// launches with. Covers exactly the serve candidate family.
@@ -112,6 +130,7 @@ fn config_for_label(label: &str) -> fn((usize, usize)) -> ApproxConfig {
         "Accurate" => ApproxConfig::accurate,
         "Rows1:LI" => ApproxConfig::rows1_li,
         "Rows1:NN" => ApproxConfig::rows1_nn,
+        "Cols1:NN@burst" => cols1_nn_burst,
         "Rows2:NN" => ApproxConfig::rows2_nn,
         other => unreachable!("rung label '{other}' outside the serve candidate family"),
     }
@@ -223,7 +242,10 @@ fn main() {
          inflight {inflight_cap}, sizes {large}/{small}, host cores: {cores}"
     );
 
-    let device_cfg = DeviceConfig::firepro_w5100();
+    // The serving fleet opts into the DRAM burst discount so the mix's
+    // burst-tiled tier is actually cheaper in simulated time, not just a
+    // different label (presets keep burst pricing neutral by default).
+    let device_cfg = DeviceConfig::firepro_w5100().with_burst_discount(8);
     let mut group =
         DeviceGroup::with_devices(device_cfg.clone(), devices).expect("create device group");
 
@@ -252,6 +274,24 @@ fn main() {
     let ranges: Vec<NdRange> = sizes
         .iter()
         .map(|&s| NdRange::new_2d((s, s), (16, 16)).expect("valid range"))
+        .collect();
+    // Burst-tiled prefetch copies of the frames, one per size class, for
+    // the mix's layout tier. Both serve apps are halo-1 stencils, so one
+    // packing geometry covers the whole mix; the copies are refreshed
+    // (and re-staled) together with their row-major frames.
+    assert!(
+        apps.iter().all(|a| a.app.halo() == 1),
+        "tiled packing below assumes the serve mix is halo-1 stencils"
+    );
+    let tile_geom = TileGeometry::new(16, 16, 1);
+    let tileds: Vec<BufferId> = sizes
+        .iter()
+        .zip(&frames)
+        .map(|(&s, frame)| {
+            group
+                .create_buffer_from("frame-tiled", &pack_tiled(frame, s, s, &tile_geom))
+                .expect("tiled frame fits")
+        })
         .collect();
 
     // Per-member output-slot pools: device-local buffers sized for the
@@ -316,6 +356,10 @@ fn main() {
                 group
                     .write_buffer(inputs[class], &frames[class])
                     .expect("refresh frame");
+                let s = sizes[class];
+                group
+                    .write_buffer(tileds[class], &pack_tiled(&frames[class], s, s, &tile_geom))
+                    .expect("refresh tiled frame");
             }
             let app_i = rng.below(apps.len() as u64) as usize;
             let tier_i = rng.below(TIERS.len() as u64) as usize;
@@ -326,19 +370,12 @@ fn main() {
                 .prefetch(inputs[class], member)
                 .expect("prefetch frame");
             let slot = slots[member].pop().expect("pool sized to in-flight cap");
-            let img = ImageBinding {
-                input: inputs[class],
-                aux: None,
-                output: slot,
-                width: sizes[class],
-                height: sizes[class],
-            };
             let (config, adapt) = match tuning.as_mut() {
                 Some(t) => {
                     let input = ImageInput::new(&frames[class], sizes[class], sizes[class])
                         .expect("frame is well-formed");
                     let ctx = SweepContext {
-                        app: apps[app_i].app,
+                        app: apps[app_i].workload,
                         input,
                         metric: apps[app_i].metric,
                         device: device_cfg.clone(),
@@ -368,6 +405,23 @@ fn main() {
                     }
                 }
                 None => ((TIERS[tier_i].config)((16, 16)), None),
+            };
+            // The layout tier prefetches from the burst-tiled copy, so
+            // that copy must also be resident on the placed member (its
+            // migration is counted and priced like any other).
+            let tiled = (config.scheme.layout == PrefetchLayout::BurstTiled).then(|| {
+                group
+                    .prefetch(tileds[class], member)
+                    .expect("prefetch tiled frame");
+                tileds[class]
+            });
+            let img = ImageBinding {
+                input: inputs[class],
+                aux: None,
+                output: slot,
+                tiled,
+                width: sizes[class],
+                height: sizes[class],
             };
             let kernel = PerforatedKernel::new(apps[app_i].app, img, config)
                 .expect("valid config for app halo");

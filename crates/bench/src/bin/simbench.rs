@@ -71,7 +71,7 @@ use kp_apps::suite;
 use kp_bench::util::{ir_gaussian_rows1, run_ir_gaussian};
 use kp_core::{
     fig8_specs, run_app, sweep, AppRef, ApproxConfig, ErrorMetric, ImageBinding, ImageInput,
-    PerforatedKernel, RunSpec, SweepContext,
+    PerforatedKernel, PrefetchLayout, RunSpec, SweepContext, WorkloadRef,
 };
 use kp_gpu_sim::{Device, DeviceConfig, DeviceGroup, ExecMode, NdRange, OptLevel};
 
@@ -103,7 +103,7 @@ fn run_workload(
     let started = Instant::now();
     let mut groups = 0usize;
     for spec in specs {
-        let result = run_app(&mut dev, app.app, &input, spec).expect("workload run failed");
+        let result = run_app(&mut dev, app.workload, &input, spec).expect("workload run failed");
         groups += result.report.groups;
     }
     (started.elapsed().as_secs_f64(), groups)
@@ -193,6 +193,7 @@ fn launch_pair(data_a: &[f32], data_b: &[f32], size: usize, parallelism: usize) 
             input,
             aux: None,
             output,
+            tiled: None,
             width: size,
             height: size,
         }
@@ -399,6 +400,12 @@ struct ShardedMeasurement {
     devices: usize,
     seconds: f64,
     groups: usize,
+    /// Simulated seconds of coherence migrations the fleet paid on top of
+    /// the (bit-identical) launch reports — [`GroupStats::migration_seconds`]
+    /// surfaced per run so the stream-level cost is visible in the JSON.
+    ///
+    /// [`GroupStats::migration_seconds`]: kp_gpu_sim::GroupStats::migration_seconds
+    migration_seconds: f64,
 }
 
 impl ShardedMeasurement {
@@ -409,8 +416,9 @@ impl ShardedMeasurement {
 
 /// Launches the perforated Gaussian `rounds` times on an n-member group
 /// (or, with `devices == 0`, on a plain single device as the no-group
-/// reference) and returns (wall seconds, groups simulated).
-fn run_sharded(app: AppRef, data: &[f32], size: usize, devices: usize) -> (f64, usize) {
+/// reference) and returns (wall seconds, groups simulated, simulated
+/// migration seconds the fleet paid on top of the launch reports).
+fn run_sharded(app: AppRef, data: &[f32], size: usize, devices: usize) -> (f64, usize, f64) {
     let mut cfg = DeviceConfig::firepro_w5100();
     cfg.parallelism = 1;
     let range = NdRange::new_2d((size, size), (16, 16)).unwrap();
@@ -425,6 +433,7 @@ fn run_sharded(app: AppRef, data: &[f32], size: usize, devices: usize) -> (f64, 
             input,
             aux: None,
             output,
+            tiled: None,
             width: size,
             height: size,
         };
@@ -433,15 +442,16 @@ fn run_sharded(app: AppRef, data: &[f32], size: usize, devices: usize) -> (f64, 
         for _ in 0..rounds {
             groups += dev.launch(&kernel, range).unwrap().groups;
         }
-        (started.elapsed().as_secs_f64(), groups)
+        (started.elapsed().as_secs_f64(), groups, 0.0)
     } else {
-        let mut group = DeviceGroup::with_devices(cfg, devices).unwrap();
+        let mut group = DeviceGroup::with_devices(cfg.clone(), devices).unwrap();
         let input = group.create_buffer_from("in", data).unwrap();
         let output = group.create_buffer::<f32>("out", size * size).unwrap();
         let img = ImageBinding {
             input,
             aux: None,
             output,
+            tiled: None,
             width: size,
             height: size,
         };
@@ -450,13 +460,77 @@ fn run_sharded(app: AppRef, data: &[f32], size: usize, devices: usize) -> (f64, 
         for _ in 0..rounds {
             groups += group.launch_sharded(&kernel, range).unwrap().groups;
         }
-        (started.elapsed().as_secs_f64(), groups)
+        let wall = started.elapsed().as_secs_f64();
+        (wall, groups, group.stats().migration_seconds(&cfg))
+    }
+}
+
+/// One prefetch-layout comparison: the same selection scheme under the
+/// row-major strided layout vs the burst-tiled layout, compared in
+/// **simulated** seconds on a burst-discounted device. The simulator is
+/// deterministic, so a single run per layout is exact — no reps, no
+/// wall-clock noise, and the outputs must be bit-identical (layouts change
+/// *where* elements are fetched from, never their values).
+struct LayoutPair {
+    config: String,
+    strided_seconds: f64,
+    burst_seconds: f64,
+    bit_identical: bool,
+}
+
+impl LayoutPair {
+    /// Strided-over-burst simulated-time ratio (> 1 means the burst
+    /// layout's DRAM continuations bought real simulated bandwidth).
+    fn ratio(&self) -> f64 {
+        self.strided_seconds / self.burst_seconds
+    }
+}
+
+/// Runs one perforated variant and returns (simulated seconds, output,
+/// shifted halo elements).
+fn run_layout(
+    workload: WorkloadRef,
+    data: &[f32],
+    size: usize,
+    cfg: &DeviceConfig,
+    config: ApproxConfig,
+) -> (f64, Vec<f32>, u64) {
+    let mut dev = Device::new(cfg.clone()).unwrap();
+    let input = ImageInput::new(data, size, size).unwrap();
+    let run = run_app(&mut dev, workload, &input, &RunSpec::Perforated(config)).unwrap();
+    (
+        run.report.seconds,
+        run.output,
+        run.report.stats.shifted_elements,
+    )
+}
+
+fn measure_layout_pair(
+    workload: WorkloadRef,
+    data: &[f32],
+    size: usize,
+    cfg: &DeviceConfig,
+    config: ApproxConfig,
+) -> LayoutPair {
+    let (strided_seconds, strided_out, _) = run_layout(workload, data, size, cfg, config);
+    let (burst_seconds, burst_out, _) = run_layout(
+        workload,
+        data,
+        size,
+        cfg,
+        config.with_layout(PrefetchLayout::BurstTiled),
+    );
+    LayoutPair {
+        config: RunSpec::Perforated(config).label(),
+        strided_seconds,
+        burst_seconds,
+        bit_identical: strided_out == burst_out,
     }
 }
 
 /// Wall seconds of one tuner sweep (fig8 specs) routed through a fleet of
 /// `devices` members, each with a single-worker engine.
-fn run_sweep(app: AppRef, data: &[f32], size: usize, devices: usize) -> (f64, usize) {
+fn run_sweep(app: WorkloadRef, data: &[f32], size: usize, devices: usize) -> (f64, usize) {
     let mut cfg = DeviceConfig::firepro_w5100();
     cfg.parallelism = 1;
     cfg.devices = devices;
@@ -681,27 +755,42 @@ fn main() {
     // DeviceGroup at several member counts (single-worker members), vs. a
     // plain device; then the tuner sweep routed through the same fleets.
     eprintln!("simbench: multi-device, sharded perforated gaussian {ir_size}x{ir_size}");
-    let (plain_seconds, plain_groups) = best_of(reps, || {
-        run_sharded(app.app, ir_image.as_slice(), ir_size, 0)
-    });
+    let (plain_seconds, plain_groups, _) = {
+        let mut best: Option<(f64, usize, f64)> = None;
+        for _ in 0..reps {
+            let r = run_sharded(app.app, ir_image.as_slice(), ir_size, 0);
+            if best.is_none_or(|(b, _, _)| r.0 < b) {
+                best = Some(r);
+            }
+        }
+        best.expect("reps >= 1")
+    };
     let plain_gps = plain_groups as f64 / plain_seconds;
     eprintln!("  plain device    : {plain_seconds:8.3} s  ({plain_gps:9.0} groups/s)");
     let sharded_runs: Vec<ShardedMeasurement> = [1usize, 2, 4]
         .iter()
         .map(|&devices| {
-            let (seconds, groups) = best_of(reps, || {
-                run_sharded(app.app, ir_image.as_slice(), ir_size, devices)
-            });
+            let mut best: Option<(f64, usize, f64)> = None;
+            for _ in 0..reps {
+                let r = run_sharded(app.app, ir_image.as_slice(), ir_size, devices);
+                if best.is_none_or(|(b, _, _)| r.0 < b) {
+                    best = Some(r);
+                }
+            }
+            let (seconds, groups, migration_seconds) = best.expect("reps >= 1");
             let m = ShardedMeasurement {
                 devices,
                 seconds,
                 groups,
+                migration_seconds,
             };
             eprintln!(
-                "  {devices:2} member(s)    : {:8.3} s  ({:9.0} groups/s, {:.2}x vs plain)",
+                "  {devices:2} member(s)    : {:8.3} s  ({:9.0} groups/s, {:.2}x vs plain, \
+                 {:.6} s simulated migration)",
                 m.seconds,
                 m.groups_per_sec(),
-                m.groups_per_sec() / plain_gps
+                m.groups_per_sec() / plain_gps,
+                m.migration_seconds
             );
             m
         })
@@ -710,12 +799,70 @@ fn main() {
         .iter()
         .map(|&devices| {
             let (seconds, specs) = best_of(reps, || {
-                run_sweep(app.app, ir_image.as_slice(), ir_size, devices)
+                run_sweep(app.workload, ir_image.as_slice(), ir_size, devices)
             });
             eprintln!("  sweep, {devices} member(s): {seconds:8.3} s wall ({specs} candidates)");
             (devices, seconds, specs)
         })
         .collect();
+
+    // Layout workload: the burst-tiled prefetch layout vs the row-major
+    // strided default, priced by the DRAM burst-continuation discount, on
+    // the bandwidth-bound RegionSum reduction (per-group sums: the load
+    // phase dominates, so layout moves the bottom line). Column selection
+    // touches every tile row, so its burst-tiled copy is one contiguous
+    // block run; a row scheme at 16-wide tiles would skip whole 64 B
+    // blocks and leave nothing to burst. All numbers are *simulated*
+    // seconds — deterministic, so these are exact, not wall-clock.
+    eprintln!("simbench: prefetch layouts, regionsum {ir_size}x{ir_size}, burst discount 8");
+    let regionsum = suite::workload_by_name("regionsum")
+        .expect("regionsum registered")
+        .workload;
+    let burst_cfg = DeviceConfig::firepro_w5100().with_burst_discount(8);
+    let layout_pairs: Vec<LayoutPair> = [
+        ApproxConfig::accurate((16, 16)),
+        ApproxConfig::cols1_nn((16, 16)),
+    ]
+    .iter()
+    .map(|&config| {
+        let p = measure_layout_pair(regionsum, ir_image.as_slice(), ir_size, &burst_cfg, config);
+        eprintln!(
+            "  {:<12}    : strided {:.6} s, burst {:.6} s simulated ({:.2}x, bit-identical: {})",
+            p.config,
+            p.strided_seconds,
+            p.burst_seconds,
+            p.ratio(),
+            p.bit_identical
+        );
+        p
+    })
+    .collect();
+    // Systolic differential: the shift-reuse layout on the gaussian
+    // stencil (halo 1) must hand halo rows across group boundaries
+    // (shifted_elements > 0) and still produce bit-identical output —
+    // the same-snapshot contract makes a shifted halo row equal to a
+    // re-fetched one.
+    let sys_config = ApproxConfig::rows1_nn((16, 16));
+    let plain_dev = DeviceConfig::firepro_w5100();
+    let (sys_strided_seconds, sys_strided_out, _) = run_layout(
+        app.workload,
+        ir_image.as_slice(),
+        ir_size,
+        &plain_dev,
+        sys_config,
+    );
+    let (sys_seconds, sys_out, shifted_elements) = run_layout(
+        app.workload,
+        ir_image.as_slice(),
+        ir_size,
+        &plain_dev,
+        sys_config.with_layout(PrefetchLayout::SystolicShift),
+    );
+    let sys_identical = sys_strided_out == sys_out;
+    eprintln!(
+        "  Rows1:NN@systolic: strided {sys_strided_seconds:.6} s, systolic {sys_seconds:.6} s \
+         simulated, {shifted_elements} shifted halo elements, bit-identical: {sys_identical}"
+    );
 
     // Hand-rolled JSON (the workspace is offline; no serializer crates).
     let mut json = String::new();
@@ -879,12 +1026,14 @@ fn main() {
         let _ = write!(
             json,
             "      {{ \"devices\": {}, \"seconds\": {:.6}, \"groups\": {}, \
-             \"groups_per_sec\": {:.1}, \"speedup_vs_plain\": {:.3} }}",
+             \"groups_per_sec\": {:.1}, \"speedup_vs_plain\": {:.3}, \
+             \"migration_seconds\": {:.9} }}",
             m.devices,
             m.seconds,
             m.groups,
             m.groups_per_sec(),
-            m.groups_per_sec() / plain_gps
+            m.groups_per_sec() / plain_gps,
+            m.migration_seconds
         );
         json.push_str(if i + 1 < sharded_runs.len() {
             ",\n"
@@ -907,7 +1056,41 @@ fn main() {
             "\n"
         });
     }
-    json.push_str("    ]\n  }\n}\n");
+    json.push_str("    ]\n  },\n");
+    json.push_str("  \"layout\": {\n");
+    let _ = writeln!(json, "    \"app\": \"regionsum\",");
+    let _ = writeln!(
+        json,
+        "    \"device\": \"firepro_w5100 + burst discount 8\","
+    );
+    let _ = writeln!(json, "    \"image_size\": {ir_size},");
+    json.push_str("    \"pairs\": [\n");
+    for (i, p) in layout_pairs.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{ \"config\": \"{}\", \"strided_seconds\": {:.9}, \
+             \"burst_seconds\": {:.9}, \"burst_ratio\": {:.3}, \"bit_identical\": {} }}",
+            p.config,
+            p.strided_seconds,
+            p.burst_seconds,
+            p.ratio(),
+            p.bit_identical
+        );
+        json.push_str(if i + 1 < layout_pairs.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("    ],\n");
+    json.push_str("    \"systolic\": {\n");
+    let _ = writeln!(json, "      \"app\": \"gaussian\",");
+    let _ = writeln!(json, "      \"config\": \"Rows1:NN@systolic\",");
+    let _ = writeln!(json, "      \"strided_seconds\": {sys_strided_seconds:.9},");
+    let _ = writeln!(json, "      \"systolic_seconds\": {sys_seconds:.9},");
+    let _ = writeln!(json, "      \"shifted_elements\": {shifted_elements},");
+    let _ = writeln!(json, "      \"bit_identical\": {sys_identical}");
+    json.push_str("    }\n  }\n}\n");
 
     std::fs::write(&out, &json).expect("write benchmark json");
     eprintln!("wrote {out}");
@@ -1031,6 +1214,53 @@ fn main() {
                 );
                 failed = true;
             }
+        }
+        // Layout gates are on *simulated* seconds — fully deterministic,
+        // so they hold on any host regardless of core count or noise.
+        for p in &layout_pairs {
+            if !p.bit_identical {
+                eprintln!(
+                    "check FAILED: burst-tiled output diverged from the strided layout for \
+                     {} (layouts must be bit-identical)",
+                    p.config
+                );
+                failed = true;
+            }
+        }
+        let accurate_pair = &layout_pairs[0];
+        if accurate_pair.ratio() < 1.10 {
+            eprintln!(
+                "check FAILED: burst-tiled prefetch is {:.2}x the strided layout on the \
+                 bandwidth-bound {} regionsum (must reach >= 1.10x under the burst discount)",
+                accurate_pair.ratio(),
+                accurate_pair.config
+            );
+            failed = true;
+        }
+        for p in &layout_pairs[1..] {
+            if p.ratio() < 1.0 {
+                eprintln!(
+                    "check FAILED: burst-tiled prefetch is {:.2}x the strided layout for \
+                     {} (burst must never be slower in simulated time)",
+                    p.ratio(),
+                    p.config
+                );
+                failed = true;
+            }
+        }
+        if !sys_identical {
+            eprintln!(
+                "check FAILED: systolic-shift output diverged from the strided layout \
+                 (shifted halo rows must be bit-identical to re-fetched ones)"
+            );
+            failed = true;
+        }
+        if shifted_elements == 0 {
+            eprintln!(
+                "check FAILED: the systolic layout shifted no halo elements — the \
+                 neighbor-handoff path never ran"
+            );
+            failed = true;
         }
         if failed {
             std::process::exit(1);

@@ -92,7 +92,7 @@ fn run_pass(
             let input = kp_core::ImageInput::new(image.as_slice(), size, size)
                 .expect("synth image is well-formed");
             let ctx = SweepContext {
-                app: entry.app,
+                app: entry.workload,
                 input,
                 metric: entry.metric,
                 device: device.clone(),

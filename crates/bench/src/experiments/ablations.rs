@@ -59,7 +59,8 @@ pub fn random_scheme_ablation(ctx: &Ctx) -> String {
                 scheme: PerforationScheme::Random {
                     keep_fraction: 0.5,
                     seed: 42,
-                },
+                }
+                .into(),
                 reconstruction: Reconstruction::NearestNeighbor,
                 group,
             },
@@ -122,7 +123,7 @@ pub fn reconstruction_ladder(ctx: &Ctx) -> String {
         Reconstruction::LinearInterpolation,
     ] {
         let config = ApproxConfig {
-            scheme: PerforationScheme::Rows(SkipLevel::Half),
+            scheme: PerforationScheme::Rows(SkipLevel::Half).into(),
             reconstruction: recon,
             group,
         };

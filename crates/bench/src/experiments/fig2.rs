@@ -8,7 +8,8 @@
 
 use crate::util::Ctx;
 use kp_core::{
-    psnr, reconstruct_element, PerforationScheme, Reconstruction, SkipLevel, TileGeometry,
+    psnr, reconstruct_element, LoadQuery, PerforationScheme, Reconstruction, SkipLevel,
+    TileGeometry,
 };
 use kp_data::{pgm, synth, Image};
 
@@ -23,7 +24,11 @@ pub fn perforate_image(image: &Image, scheme: &PerforationScheme, recon: Reconst
     for py in 0..h {
         for px in 0..w {
             let (gx, gy) = tile.global_of(group, px, py);
-            if scheme.loads(&tile, px, py, gx, gy) {
+            if scheme.loads(LoadQuery {
+                tile: &tile,
+                padded: (px, py),
+                global: (gx, gy),
+            }) {
                 out.set(px, py, image.get(px, py));
             }
         }
@@ -33,7 +38,11 @@ pub fn perforate_image(image: &Image, scheme: &PerforationScheme, recon: Reconst
     for py in 0..h {
         for px in 0..w {
             let (gx, gy) = tile.global_of(group, px, py);
-            if !scheme.loads(&tile, px, py, gx, gy) {
+            if !scheme.loads(LoadQuery {
+                tile: &tile,
+                padded: (px, py),
+                global: (gx, gy),
+            }) {
                 let mut read = |x: usize, y: usize| snapshot.get(x, y);
                 let mut ops = |_n: u64| {};
                 let v =

@@ -182,7 +182,7 @@ pub fn run_once_at(
     cfg.parallelism = parallelism;
     let mut dev = Device::new(cfg)?;
     dev.set_profiling(profiling);
-    run_app(&mut dev, entry.app, &input.as_input(), spec)
+    run_app(&mut dev, entry.workload, &input.as_input(), spec)
 }
 
 /// The perforated PerfCL Gaussian kernel (`Rows1:NN`) specialized for

@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::CoreError;
 use crate::metrics::ErrorMetric;
-use crate::pipeline::AppRef;
+use crate::pipeline::WorkloadRef;
 use crate::runner::{ImageInput, RunSpec};
 use crate::tuner::{sweep, SweepContext, SweepOutcome};
 
@@ -55,7 +55,7 @@ pub fn best_under_budget(outcomes: &[SweepOutcome], budget: f64) -> Option<&Swee
 /// Propagates sweep errors; returns [`CoreError::Input`] if
 /// `calibration_inputs` is empty.
 pub fn select_with_budget(
-    app: AppRef,
+    app: WorkloadRef,
     calibration_inputs: &[ImageInput<'_>],
     specs: &[RunSpec],
     metric: ErrorMetric,

@@ -4,7 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::CoreError;
 use crate::reconstruction::Reconstruction;
-use crate::scheme::{PerforationScheme, SkipLevel};
+use crate::scheme::{PerforationScheme, PrefetchLayout, SchemeSpec, SkipLevel};
 use crate::tile::TileGeometry;
 
 /// A complete perforation configuration for one kernel launch.
@@ -24,8 +24,9 @@ use crate::tile::TileGeometry;
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ApproxConfig {
-    /// Which tile elements are loaded from global memory.
-    pub scheme: PerforationScheme,
+    /// Which tile elements are loaded from global memory, and how the
+    /// loads reach local memory (selection × prefetch layout).
+    pub scheme: SchemeSpec,
     /// How skipped elements are filled in local memory.
     pub reconstruction: Reconstruction,
     /// Work-group (tile) size `(x, y)`.
@@ -36,7 +37,7 @@ impl ApproxConfig {
     /// The accurate local-memory configuration (no perforation).
     pub fn accurate(group: (usize, usize)) -> Self {
         Self {
-            scheme: PerforationScheme::None,
+            scheme: PerforationScheme::None.into(),
             reconstruction: Reconstruction::None,
             group,
         }
@@ -45,7 +46,7 @@ impl ApproxConfig {
     /// `Rows1:NN` — skip every other row, nearest-neighbor reconstruction.
     pub fn rows1_nn(group: (usize, usize)) -> Self {
         Self {
-            scheme: PerforationScheme::Rows(SkipLevel::Half),
+            scheme: PerforationScheme::Rows(SkipLevel::Half).into(),
             reconstruction: Reconstruction::NearestNeighbor,
             group,
         }
@@ -54,7 +55,7 @@ impl ApproxConfig {
     /// `Rows2:NN` — skip 3 of 4 rows, nearest-neighbor reconstruction.
     pub fn rows2_nn(group: (usize, usize)) -> Self {
         Self {
-            scheme: PerforationScheme::Rows(SkipLevel::ThreeQuarters),
+            scheme: PerforationScheme::Rows(SkipLevel::ThreeQuarters).into(),
             reconstruction: Reconstruction::NearestNeighbor,
             group,
         }
@@ -63,7 +64,7 @@ impl ApproxConfig {
     /// `Rows1:LI` — skip every other row, linear interpolation.
     pub fn rows1_li(group: (usize, usize)) -> Self {
         Self {
-            scheme: PerforationScheme::Rows(SkipLevel::Half),
+            scheme: PerforationScheme::Rows(SkipLevel::Half).into(),
             reconstruction: Reconstruction::LinearInterpolation,
             group,
         }
@@ -72,7 +73,7 @@ impl ApproxConfig {
     /// `Cols1:NN` — skip every other column, nearest-neighbor.
     pub fn cols1_nn(group: (usize, usize)) -> Self {
         Self {
-            scheme: PerforationScheme::Columns(SkipLevel::Half),
+            scheme: PerforationScheme::Columns(SkipLevel::Half).into(),
             reconstruction: Reconstruction::NearestNeighbor,
             group,
         }
@@ -81,19 +82,29 @@ impl ApproxConfig {
     /// `Stencil1:NN` — skip the halo ring, nearest-neighbor.
     pub fn stencil1_nn(group: (usize, usize)) -> Self {
         Self {
-            scheme: PerforationScheme::Stencil,
+            scheme: PerforationScheme::Stencil.into(),
             reconstruction: Reconstruction::NearestNeighbor,
             group,
         }
     }
 
-    /// Compact label in the paper's notation, e.g. `"Rows1:NN"`.
-    /// The accurate configuration is labeled `"Accurate"`.
+    /// Returns the configuration with its prefetch layout replaced.
+    #[must_use]
+    pub fn with_layout(mut self, layout: PrefetchLayout) -> Self {
+        self.scheme = self.scheme.with_layout(layout);
+        self
+    }
+
+    /// Compact label in the paper's notation, e.g. `"Rows1:NN"`, with the
+    /// layout suffix appended for non-default layouts (`"Rows1:NN@burst"`).
+    /// The accurate row-major configuration is labeled `"Accurate"`.
     pub fn label(&self) -> String {
-        if !self.scheme.perforates() {
-            return "Accurate".to_owned();
-        }
-        format!("{}:{}", self.scheme, self.reconstruction)
+        let base = if !self.scheme.perforates() {
+            "Accurate".to_owned()
+        } else {
+            format!("{}:{}", self.scheme.select, self.reconstruction)
+        };
+        format!("{base}{}", self.scheme.layout.label_suffix())
     }
 
     /// The tile geometry induced by this configuration for a stencil of
@@ -121,7 +132,7 @@ impl ApproxConfig {
         let tile = self.tile(halo);
         self.scheme.validate(&tile)?;
         if self.scheme.perforates() {
-            self.reconstruction.validate(&self.scheme)?;
+            self.reconstruction.validate(&self.scheme.select)?;
         }
         Ok(())
     }
@@ -148,6 +159,37 @@ mod tests {
     }
 
     #[test]
+    fn layout_suffix_distinguishes_labels() {
+        let rows = ApproxConfig::rows1_nn((16, 16));
+        assert_eq!(rows.label(), "Rows1:NN");
+        assert_eq!(
+            rows.with_layout(PrefetchLayout::BurstTiled).label(),
+            "Rows1:NN@burst"
+        );
+        assert_eq!(
+            rows.with_layout(PrefetchLayout::SystolicShift).label(),
+            "Rows1:NN@systolic"
+        );
+        assert_eq!(
+            ApproxConfig::accurate((16, 16))
+                .with_layout(PrefetchLayout::BurstTiled)
+                .label(),
+            "Accurate@burst"
+        );
+    }
+
+    #[test]
+    fn layout_validated_against_tile() {
+        // Systolic shift needs a halo: rejected for a halo-0 app.
+        let cfg = ApproxConfig::rows1_nn((16, 16)).with_layout(PrefetchLayout::SystolicShift);
+        assert!(cfg.validate(0).is_err());
+        assert!(cfg.validate(1).is_ok());
+        // Burst tiling is geometry-agnostic.
+        let cfg = ApproxConfig::rows1_nn((16, 16)).with_layout(PrefetchLayout::BurstTiled);
+        assert!(cfg.validate(0).is_ok());
+    }
+
+    #[test]
     fn display_includes_group() {
         let c = ApproxConfig::rows1_nn((32, 8));
         assert_eq!(c.to_string(), "Rows1:NN @ 32x8");
@@ -162,7 +204,7 @@ mod tests {
     #[test]
     fn li_invalid_with_stencil() {
         let cfg = ApproxConfig {
-            scheme: PerforationScheme::Stencil,
+            scheme: PerforationScheme::Stencil.into(),
             reconstruction: Reconstruction::LinearInterpolation,
             group: (16, 16),
         };
@@ -179,7 +221,7 @@ mod tests {
     fn accurate_with_any_reconstruction_is_valid() {
         // Reconstruction is irrelevant when nothing is perforated.
         let cfg = ApproxConfig {
-            scheme: PerforationScheme::None,
+            scheme: PerforationScheme::None.into(),
             reconstruction: Reconstruction::LinearInterpolation,
             group: (8, 8),
         };

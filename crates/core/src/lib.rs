@@ -83,11 +83,13 @@ pub use metrics::{
 pub use par::{parallel_ordered_map, resolve_threads};
 pub use pareto::{pareto_front, TradeOff};
 pub use pipeline::{
-    AccurateGlobalKernel, AccurateLocalKernel, AppRef, ImageBinding, PerforatedKernel, StencilApp,
-    Window,
+    pack_tiled, AccurateGlobalKernel, AccurateLocalKernel, AppRef, ImageBinding, PerforatedKernel,
+    StencilApp, TilePrefetch, Window, Workload, WorkloadRef,
 };
 pub use reconstruction::{reconstruct_element, Reconstruction};
 pub use runner::{run_app, run_iterative, run_specs_batched, ImageInput, RunResult, RunSpec};
-pub use scheme::{PerforationScheme, SkipLevel};
+pub use scheme::{LoadQuery, PerforationScheme, PrefetchLayout, SchemeSpec, SkipLevel};
 pub use tile::{clamp_coord, TileGeometry};
-pub use tuner::{fig8_specs, fig9_shapes, pareto_outcomes, sweep, SweepContext, SweepOutcome};
+pub use tuner::{
+    fig8_specs, fig9_shapes, layout_specs, pareto_outcomes, sweep, SweepContext, SweepOutcome,
+};

@@ -240,6 +240,7 @@ mod tests {
         let img = ImageBinding {
             input,
             aux: None,
+            tiled: None,
             output,
             width: w,
             height: h,

@@ -17,11 +17,15 @@
 //! Because all three share the same `compute` body, output differences are
 //! purely due to perforation — exactly how the paper measures error.
 
-use kp_gpu_sim::{BufferId, BufferUse, ElemKind, ItemCtx, Kernel, LocalId, LocalSpec};
+use std::sync::Arc;
+
+use kp_gpu_sim::{BufferId, BufferUse, ElemKind, ItemCtx, Kernel, LocalId, LocalSpec, NdRange};
 
 use crate::config::ApproxConfig;
-use crate::reconstruction::reconstruct_element;
-use crate::scheme::PerforationScheme;
+use crate::error::CoreError;
+use crate::reconstruction::{reconstruct_element, Reconstruction};
+use crate::runner::RunSpec;
+use crate::scheme::{LoadQuery, PerforationScheme, PrefetchLayout, SchemeSpec};
 use crate::tile::{clamp_coord, TileGeometry};
 
 /// A shared reference to a stencil application.
@@ -61,6 +65,140 @@ pub trait StencilApp: Sync {
 
     /// Computes the output element at the window's center.
     fn compute(&self, win: &mut Window<'_, '_>) -> f32;
+}
+
+/// A shared reference to a workload.
+///
+/// Same `'static` requirement and promotion rules as [`AppRef`]. Note that
+/// a `dyn StencilApp` reference does **not** coerce to a `WorkloadRef`
+/// (there is no dyn-to-dyn upcast through the blanket impl); convert from
+/// the concrete app value instead.
+pub type WorkloadRef = &'static (dyn Workload + Send + Sync);
+
+/// The executable surface the runner, tuner and benches actually need —
+/// a named computation that can build its kernel variants over an
+/// [`ImageBinding`].
+///
+/// [`StencilApp`] keeps its dense-window, one-output-per-element contract
+/// and every (`Sized`) stencil app is a `Workload` via a blanket impl; new
+/// workload shapes (reductions, histograms — anything whose output is not
+/// image-shaped) implement this trait directly and report their own
+/// [`Workload::output_len`].
+pub trait Workload: Sync {
+    /// Workload name (used in reports, tuning keys and harness tables).
+    fn name(&self) -> &str;
+
+    /// Stencil radius of the input window ([`TileGeometry::halo`]); `0`
+    /// for pointwise or reduction-style workloads.
+    fn halo(&self) -> usize;
+
+    /// Whether the workload reads the auxiliary input buffer.
+    fn uses_aux(&self) -> bool {
+        false
+    }
+
+    /// Whether the best-practice accurate baseline prefetches into local
+    /// memory (see [`StencilApp::baseline_uses_local`]).
+    fn baseline_uses_local(&self) -> bool;
+
+    /// Number of output elements produced for a `width × height` input at
+    /// the given work-group size. Stencil apps produce `width × height`;
+    /// e.g. a per-group reduction produces one element per work group.
+    fn output_len(&self, width: usize, height: usize, group: (usize, usize)) -> usize;
+
+    /// Builds the kernel variant `spec` describes over `img`, plus its
+    /// launch range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::IllegalConfig`] for spec/workload mismatches
+    /// (e.g. an invalid perforation config, or a variant the workload does
+    /// not support).
+    fn build_kernel(
+        &'static self,
+        img: &ImageBinding,
+        spec: &RunSpec,
+    ) -> Result<(Arc<dyn Kernel + Send + Sync>, NdRange), CoreError>;
+}
+
+/// Full-image launch geometry: global sizes padded up to group multiples
+/// (kernels guard the remainder).
+pub(crate) fn image_range(
+    width: usize,
+    height: usize,
+    group: (usize, usize),
+) -> Result<NdRange, CoreError> {
+    let gx = width.div_ceil(group.0) * group.0;
+    let gy = height.div_ceil(group.1) * group.1;
+    NdRange::new_2d((gx, gy), group).map_err(|e| CoreError::Sim(e.into()))
+}
+
+impl<T: StencilApp + Send + Sync> Workload for T {
+    fn name(&self) -> &str {
+        StencilApp::name(self)
+    }
+
+    fn halo(&self) -> usize {
+        StencilApp::halo(self)
+    }
+
+    fn uses_aux(&self) -> bool {
+        StencilApp::uses_aux(self)
+    }
+
+    fn baseline_uses_local(&self) -> bool {
+        StencilApp::baseline_uses_local(self)
+    }
+
+    fn output_len(&self, width: usize, height: usize, _group: (usize, usize)) -> usize {
+        width * height
+    }
+
+    fn build_kernel(
+        &'static self,
+        img: &ImageBinding,
+        spec: &RunSpec,
+    ) -> Result<(Arc<dyn Kernel + Send + Sync>, NdRange), CoreError> {
+        let app: AppRef = self;
+        Ok(match *spec {
+            RunSpec::AccurateGlobal { group } => {
+                let range = image_range(img.width, img.height, group)?;
+                (
+                    Arc::new(AccurateGlobalKernel::new(app, *img)) as Arc<dyn Kernel + Send + Sync>,
+                    range,
+                )
+            }
+            RunSpec::AccurateLocal { group } => {
+                let range = image_range(img.width, img.height, group)?;
+                (Arc::new(AccurateLocalKernel::new(app, *img, group)), range)
+            }
+            RunSpec::Baseline { group } => {
+                let range = image_range(img.width, img.height, group)?;
+                if StencilApp::baseline_uses_local(self) {
+                    (
+                        Arc::new(AccurateLocalKernel::new(app, *img, group))
+                            as Arc<dyn Kernel + Send + Sync>,
+                        range,
+                    )
+                } else {
+                    (Arc::new(AccurateGlobalKernel::new(app, *img)), range)
+                }
+            }
+            RunSpec::Perforated(config) => {
+                let range = image_range(img.width, img.height, config.group)?;
+                (Arc::new(PerforatedKernel::new(app, *img, config)?), range)
+            }
+            RunSpec::Paraprox { scheme, group } => {
+                let range = scheme
+                    .launch_range(img.width, img.height, group)
+                    .map_err(|e| CoreError::Sim(e.into()))?;
+                (
+                    Arc::new(crate::paraprox::ParaproxKernel::new(app, *img, scheme)),
+                    range,
+                )
+            }
+        })
+    }
 }
 
 /// Where a [`Window`] sources the primary input from.
@@ -249,7 +387,13 @@ pub struct ImageBinding {
     pub input: BufferId,
     /// Optional auxiliary input (same shape), e.g. Hotspot's power grid.
     pub aux: Option<BufferId>,
-    /// Output buffer (`width × height` f32).
+    /// Optional burst-friendly tiled copy of the primary input (see
+    /// [`pack_tiled`]): group-major, each group's padded tile contiguous.
+    /// Kernels launched with [`PrefetchLayout::BurstTiled`] read their tile
+    /// from here and fall back to the strided `input` when `None`.
+    pub tiled: Option<BufferId>,
+    /// Output buffer (f32; `width × height` for stencil apps, or whatever
+    /// [`Workload::output_len`] reports for other workload shapes).
     pub output: BufferId,
     /// Image width in elements.
     pub width: usize,
@@ -268,11 +412,15 @@ impl ImageBinding {
     /// the inputs are read, the output is written. This is what lets the
     /// command-queue scheduler overlap launches over disjoint bindings
     /// (e.g. a tuner sweep's candidates, which share the input buffer but
-    /// write distinct outputs).
-    pub(crate) fn buffer_usage(&self) -> BufferUse {
+    /// write distinct outputs). Public so custom [`Workload`] kernels can
+    /// declare the same usage.
+    pub fn buffer_usage(&self) -> BufferUse {
         let mut reads = vec![self.input];
         if let Some(aux) = self.aux {
             reads.push(aux);
+        }
+        if let Some(tiled) = self.tiled {
+            reads.push(tiled);
         }
         BufferUse::new(reads, vec![self.output])
     }
@@ -328,29 +476,99 @@ impl Kernel for AccurateGlobalKernel {
     }
 }
 
+/// Packs a row-major image into the group-major tiled layout that
+/// [`PrefetchLayout::BurstTiled`] kernels read from: one contiguous
+/// `padded_len` segment per work group (groups in row-major group order),
+/// holding the group's padded tile in row-major order with clamp-to-edge
+/// already applied.
+///
+/// Because each group's entire prefetch is one contiguous region, the
+/// cooperative load turns into a single long DRAM block run per tile —
+/// open-row bursts the simulator prices at
+/// `DeviceConfig::burst_issue_cycles`. The local tile contents are
+/// bit-identical to a strided load, so outputs never change with layout.
+pub fn pack_tiled(data: &[f32], width: usize, height: usize, geom: &TileGeometry) -> Vec<f32> {
+    let ngx = width.div_ceil(geom.tile_w);
+    let ngy = height.div_ceil(geom.tile_h);
+    let mut out = Vec::with_capacity(ngx * ngy * geom.padded_len());
+    for group_y in 0..ngy {
+        for group_x in 0..ngx {
+            for k in 0..geom.padded_len() {
+                let (px, py) = geom.coords(k);
+                let (gx, gy) = geom.global_of((group_x, group_y), px, py);
+                let cx = clamp_coord(gx, width);
+                let cy = clamp_coord(gy, height);
+                out.push(data[cy * width + cx]);
+            }
+        }
+    }
+    out
+}
+
+/// Whether a systolic-shift kernel sources the padded row `py` from a
+/// vertical neighbor group's resident tile instead of DRAM: top halo rows
+/// shift down from the group above, bottom halo rows shift up from the
+/// group below. Edge groups with no neighbor on that side fall back to a
+/// DRAM fetch. Horizontal halo columns always fetch (row-major halo
+/// columns are cheap; rows are where re-fetch traffic lives).
+///
+/// Neighbor possession is guaranteed by the selection schemes being keyed
+/// on *global* coordinates ("the schemes match each other", §4.4): if this
+/// group's scheme loads a halo element, the neighbor's scheme loads the
+/// same global element into its own tile.
+fn shifts_from_neighbor(ctx: &ItemCtx<'_>, geom: &TileGeometry, py: usize) -> bool {
+    let group_y = ctx.group_id(1);
+    (py < geom.halo && group_y > 0)
+        || (py >= geom.halo + geom.tile_h && group_y + 1 < ctx.num_groups(1))
+}
+
 /// Cooperative tile load shared by the accurate-local and perforated
 /// kernels: the group's work items stride over the padded tile in flat
 /// row-major order (consecutive items load consecutive elements, which
-/// coalesces perfectly for the loaded rows).
+/// coalesces perfectly for the loaded rows). The scheme's selection axis
+/// decides *which* elements load; its layout axis decides *where from*:
+/// the strided row-major image, a burst-friendly tiled copy, or (for halo
+/// rows under systolic shift) the neighboring group's resident tile.
 fn cooperative_load(
     ctx: &mut ItemCtx<'_>,
     buffer: kp_gpu_sim::BufferId,
-    width: usize,
-    height: usize,
+    tiled: Option<kp_gpu_sim::BufferId>,
+    (width, height): (usize, usize),
     tile: LocalId,
     geom: &TileGeometry,
-    scheme: &PerforationScheme,
+    scheme: &SchemeSpec,
 ) {
     let group = (ctx.group_id(0), ctx.group_id(1));
     let stride = ctx.group_size();
     let mut k = ctx.flat_local_id();
     while k < geom.padded_len() {
         let (px, py) = geom.coords(k);
-        let (gx, gy) = geom.global_of(group, px, py);
-        if scheme.loads(geom, px, py, gx, gy) {
+        let global = geom.global_of(group, px, py);
+        let query = LoadQuery {
+            tile: geom,
+            padded: (px, py),
+            global,
+        };
+        if scheme.select.loads(query) {
+            let (gx, gy) = global;
             let cx = clamp_coord(gx, width);
             let cy = clamp_coord(gy, height);
-            let v = ctx.read_global::<f32>(buffer, cy * width + cx);
+            let v = match scheme.layout {
+                PrefetchLayout::BurstTiled if tiled.is_some() => {
+                    // The tiled copy is group-major with clamp-to-edge
+                    // applied at pack time, so the flat tile index k is
+                    // also the offset within this group's segment.
+                    let group_linear = group.1 * ctx.num_groups(0) + group.0;
+                    ctx.read_global::<f32>(
+                        tiled.unwrap_or(buffer),
+                        group_linear * geom.padded_len() + k,
+                    )
+                }
+                PrefetchLayout::SystolicShift if shifts_from_neighbor(ctx, geom, py) => {
+                    ctx.read_shifted::<f32>(buffer, cy * width + cx)
+                }
+                _ => ctx.read_global::<f32>(buffer, cy * width + cx),
+            };
             ctx.write_local(tile, k, v);
             ctx.ops(1);
         }
@@ -359,23 +577,29 @@ fn cooperative_load(
 }
 
 /// Loads the primary tile (and the aux tile, if any) with the given scheme.
-fn load_tiles(
-    ctx: &mut ItemCtx<'_>,
-    img: &ImageBinding,
-    tiles: &Tiles,
-    scheme: &PerforationScheme,
-) {
+/// The aux tile has no tiled copy and always loads row-major strided (it is
+/// a halo-0 point read per element; there is no re-fetch to save).
+fn load_tiles(ctx: &mut ItemCtx<'_>, img: &ImageBinding, tiles: &Tiles, scheme: &SchemeSpec) {
     cooperative_load(
         ctx,
         img.input,
-        img.width,
-        img.height,
+        img.tiled,
+        (img.width, img.height),
         TILE,
         &tiles.geom,
         scheme,
     );
     if let (Some(aux_geom), Some(aux)) = (tiles.aux_geom, img.aux) {
-        cooperative_load(ctx, aux, img.width, img.height, AUX_TILE, &aux_geom, scheme);
+        let aux_scheme = SchemeSpec::new(scheme.select);
+        cooperative_load(
+            ctx,
+            aux,
+            None,
+            (img.width, img.height),
+            AUX_TILE,
+            &aux_geom,
+            &aux_scheme,
+        );
     }
 }
 
@@ -392,8 +616,12 @@ fn reconstruct_tile(
     let mut k = ctx.flat_local_id();
     while k < geom.padded_len() {
         let (px, py) = geom.coords(k);
-        let (gx, gy) = geom.global_of(group, px, py);
-        if !scheme.loads(geom, px, py, gx, gy) {
+        let global = geom.global_of(group, px, py);
+        if !scheme.loads(LoadQuery {
+            tile: geom,
+            padded: (px, py),
+            global,
+        }) {
             let mut extra_ops = 0u64;
             let value = {
                 let mut read =
@@ -405,6 +633,75 @@ fn reconstruct_tile(
             ctx.ops(extra_ops);
         }
         k += stride;
+    }
+}
+
+/// Building block for custom [`Workload`] kernels that want the stencil
+/// pipeline's perforated prefetch without its one-output-per-window-center
+/// compute phase (reductions, histograms, …).
+///
+/// Wraps the same cooperative load / local reconstruction the
+/// [`PerforatedKernel`] phases use — including the full
+/// [`PrefetchLayout`] axis — over local tile [`TilePrefetch::TILE`].
+/// Custom kernels call [`TilePrefetch::load`] in phase 0,
+/// [`TilePrefetch::reconstruct`] in phase 1 (a no-op for non-perforating
+/// schemes), and then read the tile with [`TilePrefetch::read`] in their
+/// own compute phase.
+#[derive(Debug, Clone, Copy)]
+pub struct TilePrefetch {
+    geom: TileGeometry,
+}
+
+impl TilePrefetch {
+    /// The local-memory id the tile is loaded into (`LocalId(0)`); custom
+    /// kernels must not reuse it for other local arrays.
+    pub const TILE: LocalId = TILE;
+
+    /// A prefetch helper for work groups of `group` and stencil radius
+    /// `halo`.
+    pub fn new(group: (usize, usize), halo: usize) -> Self {
+        Self {
+            geom: TileGeometry::new(group.0, group.1, halo),
+        }
+    }
+
+    /// The padded tile geometry.
+    pub fn geometry(&self) -> TileGeometry {
+        self.geom
+    }
+
+    /// The local-buffer declaration a kernel using this helper must return
+    /// from [`Kernel::local_buffers`].
+    pub fn local_specs(&self) -> Vec<LocalSpec> {
+        vec![LocalSpec::new(ElemKind::F32, self.geom.padded_len())]
+    }
+
+    /// Phase 0: cooperatively loads the scheme-selected elements of this
+    /// group's padded tile from `img` (honoring the scheme's prefetch
+    /// layout).
+    pub fn load(&self, ctx: &mut ItemCtx<'_>, img: &ImageBinding, scheme: &SchemeSpec) {
+        cooperative_load(
+            ctx,
+            img.input,
+            img.tiled,
+            (img.width, img.height),
+            TILE,
+            &self.geom,
+            scheme,
+        );
+    }
+
+    /// Phase 1: reconstructs the skipped elements in local memory.
+    pub fn reconstruct(&self, ctx: &mut ItemCtx<'_>, scheme: &SchemeSpec, recon: Reconstruction) {
+        if scheme.perforates() {
+            reconstruct_tile(ctx, TILE, &self.geom, &scheme.select, recon);
+        }
+    }
+
+    /// Reads the (loaded or reconstructed) tile element at padded
+    /// coordinate `(px, py)`.
+    pub fn read(&self, ctx: &mut ItemCtx<'_>, px: usize, py: usize) -> f32 {
+        ctx.read_local::<f32>(TILE, self.geom.index(px, py))
     }
 }
 
@@ -492,7 +789,12 @@ impl Kernel for AccurateLocalKernel {
         debug_assert_eq!(ctx.local_size(0), self.tiles.geom.tile_w);
         debug_assert_eq!(ctx.local_size(1), self.tiles.geom.tile_h);
         match phase {
-            0 => load_tiles(ctx, &self.img, &self.tiles, &PerforationScheme::None),
+            0 => load_tiles(
+                ctx,
+                &self.img,
+                &self.tiles,
+                &SchemeSpec::new(PerforationScheme::None),
+            ),
             _ => tile_compute(self.app, ctx, &self.img, &self.tiles),
         }
     }
@@ -577,7 +879,7 @@ impl Kernel for PerforatedKernel {
                     ctx,
                     TILE,
                     &self.tiles.geom,
-                    &self.config.scheme,
+                    &self.config.scheme.select,
                     self.config.reconstruction,
                 );
                 if let Some(aux_geom) = self.tiles.aux_geom {
@@ -585,7 +887,7 @@ impl Kernel for PerforatedKernel {
                         ctx,
                         AUX_TILE,
                         &aux_geom,
-                        &self.config.scheme,
+                        &self.config.scheme.select,
                         self.config.reconstruction,
                     );
                 }
@@ -679,6 +981,7 @@ mod tests {
             img: ImageBinding {
                 input,
                 aux,
+                tiled: None,
                 output,
                 width: w,
                 height: h,
@@ -870,7 +1173,7 @@ mod tests {
         let mut bed = bed(&data, Some(&aux), w, h);
         let range = NdRange::new_2d((w, h), (16, 8)).unwrap();
         let cfg = ApproxConfig {
-            scheme: PerforationScheme::Rows(SkipLevel::Half),
+            scheme: PerforationScheme::Rows(SkipLevel::Half).into(),
             reconstruction: Reconstruction::NearestNeighbor,
             group: (16, 8),
         };
@@ -912,7 +1215,7 @@ mod tests {
         let data = vec![1.0f32; w * h];
         let mut bed = bed(&data, None, w, h);
         let cfg = ApproxConfig {
-            scheme: PerforationScheme::Rows(SkipLevel::Half),
+            scheme: PerforationScheme::Rows(SkipLevel::Half).into(),
             reconstruction: Reconstruction::None,
             group: (16, 16),
         };

@@ -106,7 +106,11 @@ fn is_loaded(
     py: usize,
 ) -> bool {
     let (gx, gy) = tile.global_of(group, px, py);
-    scheme.loads(tile, px, py, gx, gy)
+    scheme.loads(crate::scheme::LoadQuery {
+        tile,
+        padded: (px, py),
+        global: (gx, gy),
+    })
 }
 
 /// Finds the nearest loaded row above/below `(px, py)` (for row schemes) in
@@ -295,7 +299,11 @@ mod tests {
         for py in 0..tile.padded_h() {
             for px in 0..tile.padded_w() {
                 let (gx, gy) = tile.global_of(group, px, py);
-                if scheme.loads(tile, px, py, gx, gy) {
+                if scheme.loads(crate::scheme::LoadQuery {
+                    tile,
+                    padded: (px, py),
+                    global: (gx, gy),
+                }) {
                     data[tile.index(px, py)] = f(gx, gy);
                 }
             }
@@ -305,7 +313,11 @@ mod tests {
         for py in 0..tile.padded_h() {
             for px in 0..tile.padded_w() {
                 let (gx, gy) = tile.global_of(group, px, py);
-                if !scheme.loads(tile, px, py, gx, gy) {
+                if !scheme.loads(crate::scheme::LoadQuery {
+                    tile,
+                    padded: (px, py),
+                    global: (gx, gy),
+                }) {
                     let mut read = |x: usize, y: usize| snapshot[tile.index(x, y)];
                     let mut ops = |n: u64| op_count += n;
                     data[tile.index(px, py)] = reconstruct_element(

@@ -11,16 +11,14 @@
 //!   overlaps them across worker threads. Results are bit-identical to
 //!   running the specs one at a time, in order.
 
-use std::sync::Arc;
-
-use kp_gpu_sim::{Device, Event, Kernel, LaunchReport, NdRange, Queue};
+use kp_gpu_sim::{Device, Event, LaunchReport, Queue};
 
 use crate::config::ApproxConfig;
 use crate::error::CoreError;
-use crate::paraprox::{ParaproxKernel, ParaproxScheme};
-use crate::pipeline::{
-    AccurateGlobalKernel, AccurateLocalKernel, AppRef, ImageBinding, PerforatedKernel,
-};
+use crate::paraprox::ParaproxScheme;
+use crate::pipeline::{pack_tiled, ImageBinding, WorkloadRef};
+use crate::scheme::PrefetchLayout;
+use crate::tile::TileGeometry;
 
 /// One input to an application: a row-major `f32` image plus an optional
 /// same-shaped auxiliary image (e.g. Hotspot's power grid).
@@ -152,50 +150,13 @@ pub struct RunResult {
     pub report: LaunchReport,
 }
 
-/// Full-image launch geometry: global sizes padded up to group multiples
-/// (kernels guard the remainder).
-fn image_range(width: usize, height: usize, group: (usize, usize)) -> Result<NdRange, CoreError> {
-    let gx = width.div_ceil(group.0) * group.0;
-    let gy = height.div_ceil(group.1) * group.1;
-    NdRange::new_2d((gx, gy), group).map_err(|e| CoreError::Sim(e.into()))
-}
-
-/// Builds the kernel variant a spec describes, plus its launch range.
-/// The kernel comes back type-erased and shareable — exactly what
-/// [`Queue::enqueue_launch`] stores in the command stream.
-fn build_kernel(
-    app: AppRef,
-    img: &ImageBinding,
-    spec: &RunSpec,
-) -> Result<(Arc<dyn Kernel + Send + Sync>, NdRange), CoreError> {
-    Ok(match *spec {
-        RunSpec::AccurateGlobal { group } => {
-            let range = image_range(img.width, img.height, group)?;
-            (Arc::new(AccurateGlobalKernel::new(app, *img)), range)
-        }
-        RunSpec::AccurateLocal { group } => {
-            let range = image_range(img.width, img.height, group)?;
-            (Arc::new(AccurateLocalKernel::new(app, *img, group)), range)
-        }
-        RunSpec::Baseline { group } => {
-            let range = image_range(img.width, img.height, group)?;
-            if app.baseline_uses_local() {
-                (Arc::new(AccurateLocalKernel::new(app, *img, group)), range)
-            } else {
-                (Arc::new(AccurateGlobalKernel::new(app, *img)), range)
-            }
-        }
-        RunSpec::Perforated(config) => {
-            let range = image_range(img.width, img.height, config.group)?;
-            (Arc::new(PerforatedKernel::new(app, *img, config)?), range)
-        }
-        RunSpec::Paraprox { scheme, group } => {
-            let range = scheme
-                .launch_range(img.width, img.height, group)
-                .map_err(|e| CoreError::Sim(e.into()))?;
-            (Arc::new(ParaproxKernel::new(app, *img, scheme)), range)
-        }
-    })
+/// Whether a spec prefetches from a burst-friendly tiled copy, which the
+/// host must pack and bind ([`pack_tiled`]).
+fn needs_tiled(spec: &RunSpec) -> bool {
+    matches!(
+        spec,
+        RunSpec::Perforated(cfg) if cfg.scheme.layout == PrefetchLayout::BurstTiled
+    )
 }
 
 /// One spec's buffers plus its in-flight events.
@@ -205,28 +166,53 @@ struct InFlight {
     read: Event,
 }
 
-/// Allocates a spec's output buffer, builds its kernel and enqueues
-/// launch + read-back on `queue`.
+/// Allocates a spec's output buffer (sized by the workload's
+/// [`crate::Workload::output_len`]) plus, for burst-tiled specs, a packed
+/// tiled copy of the input; builds its kernel and enqueues launch +
+/// read-back on `queue`.
 fn submit_spec(
     dev: &mut Device,
     queue: &Queue,
-    app: AppRef,
-    input: (kp_gpu_sim::BufferId, Option<kp_gpu_sim::BufferId>),
-    (width, height): (usize, usize),
+    app: WorkloadRef,
+    input: &ImageInput<'_>,
+    bufs: (kp_gpu_sim::BufferId, Option<kp_gpu_sim::BufferId>),
     spec: &RunSpec,
 ) -> Result<InFlight, CoreError> {
-    let out_buf = dev.create_buffer::<f32>("output", width * height)?;
+    let (width, height) = (input.width, input.height);
+    let out_len = app.output_len(width, height, spec.group());
+    let out_buf = dev.create_buffer::<f32>("output", out_len)?;
+    let tiled = if needs_tiled(spec) {
+        let group = spec.group();
+        let geom = TileGeometry::new(group.0, group.1, app.halo());
+        let packed = pack_tiled(input.data, width, height, &geom);
+        match dev.create_buffer_from("tiled", &packed) {
+            Ok(id) => Some(id),
+            Err(e) => {
+                let _ = dev.release_buffer(out_buf);
+                return Err(e.into());
+            }
+        }
+    } else {
+        None
+    };
     let img = ImageBinding {
-        input: input.0,
-        aux: input.1,
+        input: bufs.0,
+        aux: bufs.1,
+        tiled,
         output: out_buf,
         width,
         height,
     };
-    let (kernel, range) = match build_kernel(app, &img, spec) {
+    let release_all = |dev: &mut Device| {
+        let _ = dev.release_buffer(out_buf);
+        if let Some(t) = tiled {
+            let _ = dev.release_buffer(t);
+        }
+    };
+    let (kernel, range) = match app.build_kernel(&img, spec) {
         Ok(k) => k,
         Err(e) => {
-            let _ = dev.release_buffer(out_buf);
+            release_all(dev);
             return Err(e);
         }
     };
@@ -240,7 +226,7 @@ fn submit_spec(
     match enqueue() {
         Ok((launch, read)) => Ok(InFlight { img, launch, read }),
         Err(e) => {
-            let _ = dev.release_buffer(out_buf);
+            release_all(dev);
             Err(e.into())
         }
     }
@@ -266,7 +252,7 @@ fn reap(job: &InFlight) -> Result<RunResult, CoreError> {
 /// errors ([`CoreError::IllegalConfig`]).
 pub fn run_app(
     dev: &mut Device,
-    app: AppRef,
+    app: WorkloadRef,
     input: &ImageInput<'_>,
     spec: &RunSpec,
 ) -> Result<RunResult, CoreError> {
@@ -290,7 +276,7 @@ pub fn run_app(
 /// first reaped launch that failed ([`CoreError::Sim`]).
 pub fn run_specs_batched(
     dev: &mut Device,
-    app: AppRef,
+    app: WorkloadRef,
     input: &ImageInput<'_>,
     specs: &[RunSpec],
 ) -> Result<Vec<RunResult>, CoreError> {
@@ -310,14 +296,7 @@ pub fn run_specs_batched(
     let mut jobs: Vec<InFlight> = Vec::with_capacity(specs.len());
     let mut failure: Option<CoreError> = None;
     for spec in specs {
-        match submit_spec(
-            dev,
-            &queue,
-            app,
-            (in_buf, aux_buf),
-            (input.width, input.height),
-            spec,
-        ) {
+        match submit_spec(dev, &queue, app, input, (in_buf, aux_buf), spec) {
             Ok(job) => jobs.push(job),
             Err(e) => {
                 failure = Some(e);
@@ -346,6 +325,9 @@ pub fn run_specs_batched(
     drop(queue);
     for job in &jobs {
         let _ = dev.release_buffer(job.img.output);
+        if let Some(tiled) = job.img.tiled {
+            let _ = dev.release_buffer(tiled);
+        }
     }
     let _ = dev.release_buffer(in_buf);
     if let Some(aux) = aux_buf {
@@ -364,16 +346,25 @@ pub fn run_specs_batched(
 ///
 /// # Errors
 ///
-/// As [`run_app`]; additionally [`CoreError::Input`] if `iterations == 0`.
+/// As [`run_app`]; additionally [`CoreError::Input`] if `iterations == 0`
+/// or the workload's output is not image-shaped (ping-pong feeds the
+/// output back as the next step's input, so the shapes must match).
 pub fn run_iterative(
     dev: &mut Device,
-    app: AppRef,
+    app: WorkloadRef,
     input: &ImageInput<'_>,
     spec: &RunSpec,
     iterations: usize,
 ) -> Result<RunResult, CoreError> {
     if iterations == 0 {
         return Err(CoreError::Input("iterations must be >= 1".into()));
+    }
+    if app.output_len(input.width, input.height, spec.group()) != input.width * input.height {
+        return Err(CoreError::Input(format!(
+            "iterative runs need an image-shaped output to ping-pong, but workload '{}' \
+             produces a different output length",
+            app.name()
+        )));
     }
     let mut current: Vec<f32> = input.data.to_vec();
     let mut reports = Vec::with_capacity(iterations);

@@ -46,8 +46,177 @@ impl SkipLevel {
     }
 }
 
-/// An input perforation scheme.
+/// One element of a padded tile, as seen by [`PerforationScheme::loads`].
+///
+/// Bundles the tile geometry, the element's padded tile coordinate and its
+/// (unclamped) global coordinate, replacing the old five-argument
+/// positional signature where the two coordinate pairs were easy to swap
+/// silently.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadQuery<'a> {
+    /// Geometry of the tile the element belongs to.
+    pub tile: &'a TileGeometry,
+    /// Padded tile coordinate `(px, py)`, `0 ≤ px < padded_w`.
+    pub padded: (usize, usize),
+    /// Unclamped global coordinate `(gx, gy)`; halo elements of edge tiles
+    /// can be negative or beyond the image.
+    pub global: (i64, i64),
+}
+
+/// How a work group's tile is *fetched* into local memory — the second,
+/// orthogonal scheme axis. Element selection (which elements load) and
+/// prefetch layout (how the loads hit DRAM) compose freely in a
+/// [`SchemeSpec`].
+///
+/// All layouts produce bit-identical local tiles and therefore bit-identical
+/// outputs; they differ only in simulated cost. Marked `#[non_exhaustive]`:
+/// match with a wildcard arm or key on [`PrefetchLayout::family_label`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum PrefetchLayout {
+    /// Fetch straight from the row-major image: each tile row is a separate
+    /// strided DRAM block run (the layout every scheme used before this
+    /// axis existed).
+    #[default]
+    RowMajor,
+    /// Fetch from a tiled copy of the image in which each group's padded
+    /// tile is contiguous, so the whole prefetch is one long burst run
+    /// (open-row DRAM transfers priced at
+    /// `DeviceConfig::burst_issue_cycles`). Requires the host to pack the
+    /// tiled copy; falls back to row-major when no tiled buffer is bound.
+    BurstTiled,
+    /// Load only the tile body from DRAM and *shift in* vertical halo rows
+    /// from the neighboring group's resident tile instead of re-fetching
+    /// them (software-systolic reuse). Shifted elements are priced on the
+    /// local/exchange pipeline, not the memory pipeline.
+    SystolicShift,
+}
+
+impl PrefetchLayout {
+    /// Stable short name of the layout family, for logs, tuning keys and
+    /// downstream dispatch without matching the `#[non_exhaustive]` enum.
+    pub fn family_label(self) -> &'static str {
+        match self {
+            PrefetchLayout::RowMajor => "row-major",
+            PrefetchLayout::BurstTiled => "burst-tiled",
+            PrefetchLayout::SystolicShift => "systolic-shift",
+        }
+    }
+
+    /// Suffix appended to scheme labels (`""`, `"@burst"`, `"@systolic"`).
+    /// Row-major is unsuffixed so pre-existing labels are unchanged.
+    pub fn label_suffix(self) -> &'static str {
+        match self {
+            PrefetchLayout::RowMajor => "",
+            PrefetchLayout::BurstTiled => "@burst",
+            PrefetchLayout::SystolicShift => "@systolic",
+        }
+    }
+
+    /// Validates the layout against a tile geometry.
+    ///
+    /// # Errors
+    ///
+    /// `SystolicShift` needs `1 ≤ halo ≤ tile_h`: with no halo there is
+    /// nothing to shift, and with `halo > tile_h` the halo rows a group
+    /// would shift in extend past its neighbor's resident tile rows.
+    pub fn validate(self, tile: &TileGeometry) -> Result<(), CoreError> {
+        match self {
+            PrefetchLayout::SystolicShift => {
+                if tile.halo == 0 {
+                    Err(CoreError::IllegalConfig(
+                        "systolic shift layout needs a stencil halo (halo >= 1); \
+                         with no halo there are no rows to shift"
+                            .into(),
+                    ))
+                } else if tile.halo > tile.tile_h {
+                    Err(CoreError::IllegalConfig(format!(
+                        "systolic shift layout needs halo <= tile height so the vertical \
+                         halo fits in one neighbor's tile, got halo {} > tile_h {}",
+                        tile.halo, tile.tile_h
+                    )))
+                } else {
+                    Ok(())
+                }
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+impl std::fmt::Display for PrefetchLayout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.family_label())
+    }
+}
+
+/// A complete perforation scheme: *which* elements load ([`PerforationScheme`])
+/// × *how* they are fetched ([`PrefetchLayout`]).
+///
+/// The closed selection enum stays available as a compat constructor:
+/// `SchemeSpec::from(scheme)` (or `scheme.into()`) picks the row-major
+/// layout, which reproduces the pre-axis behavior exactly.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchemeSpec {
+    /// Element-selection axis: which tile elements load from global memory.
+    pub select: PerforationScheme,
+    /// Prefetch-layout axis: how the loads reach local memory.
+    pub layout: PrefetchLayout,
+}
+
+impl SchemeSpec {
+    /// A spec with the default row-major layout.
+    pub fn new(select: PerforationScheme) -> Self {
+        SchemeSpec {
+            select,
+            layout: PrefetchLayout::default(),
+        }
+    }
+
+    /// Returns the spec with its layout replaced.
+    #[must_use]
+    pub fn with_layout(mut self, layout: PrefetchLayout) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// Validates both axes against a tile geometry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PerforationScheme::validate`] and
+    /// [`PrefetchLayout::validate`] failures.
+    pub fn validate(&self, tile: &TileGeometry) -> Result<(), CoreError> {
+        self.select.validate(tile)?;
+        self.layout.validate(tile)
+    }
+
+    /// True if the selection axis actually skips anything. Layouts never
+    /// change *what* is resident, only how it arrives.
+    pub fn perforates(&self) -> bool {
+        self.select.perforates()
+    }
+}
+
+impl From<PerforationScheme> for SchemeSpec {
+    fn from(select: PerforationScheme) -> Self {
+        SchemeSpec::new(select)
+    }
+}
+
+impl std::fmt::Display for SchemeSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}{}", self.select, self.layout.label_suffix())
+    }
+}
+
+/// An input perforation scheme (the element-selection axis).
+///
+/// Marked `#[non_exhaustive]`: new selection families may be added without
+/// a breaking change. External code should match with a wildcard arm or
+/// dispatch on [`PerforationScheme::family_label`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub enum PerforationScheme {
     /// Load everything (the accurate local-memory baseline).
     None,
@@ -94,10 +263,13 @@ fn hash_coord(gx: i64, gy: i64, seed: u64) -> u64 {
 }
 
 impl PerforationScheme {
-    /// Whether the element at padded tile coordinate `(px, py)` — whose
-    /// (unclamped) global coordinate is `(gx, gy)` — is loaded from global
-    /// memory.
-    pub fn loads(&self, tile: &TileGeometry, px: usize, py: usize, gx: i64, gy: i64) -> bool {
+    /// Whether the queried element is loaded from global memory.
+    pub fn loads(&self, query: LoadQuery<'_>) -> bool {
+        let LoadQuery {
+            tile,
+            padded: (px, py),
+            global: (gx, gy),
+        } = query;
         match *self {
             PerforationScheme::None => true,
             PerforationScheme::Rows(level) => gy.rem_euclid(level.period()) == 0,
@@ -120,6 +292,17 @@ impl PerforationScheme {
         }
     }
 
+    /// The old five-argument positional form of [`PerforationScheme::loads`],
+    /// kept as a migration shim.
+    #[deprecated(note = "use loads(LoadQuery { tile, padded, global }) instead")]
+    pub fn loads_at(&self, tile: &TileGeometry, px: usize, py: usize, gx: i64, gy: i64) -> bool {
+        self.loads(LoadQuery {
+            tile,
+            padded: (px, py),
+            global: (gx, gy),
+        })
+    }
+
     /// Exact fraction of the padded tile loaded for the work group at
     /// `group` (the row/column pattern is global, so edge groups can differ
     /// slightly from interior ones).
@@ -127,13 +310,29 @@ impl PerforationScheme {
         let mut loaded = 0usize;
         for py in 0..tile.padded_h() {
             for px in 0..tile.padded_w() {
-                let (gx, gy) = tile.global_of(group, px, py);
-                if self.loads(tile, px, py, gx, gy) {
+                let global = tile.global_of(group, px, py);
+                if self.loads(LoadQuery {
+                    tile,
+                    padded: (px, py),
+                    global,
+                }) {
                     loaded += 1;
                 }
             }
         }
         loaded as f64 / tile.padded_len() as f64
+    }
+
+    /// Stable short name of the selection family, for logs, tuning keys and
+    /// downstream dispatch without matching the `#[non_exhaustive]` enum.
+    pub fn family_label(&self) -> &'static str {
+        match *self {
+            PerforationScheme::None => "accurate",
+            PerforationScheme::Rows(_) => "rows",
+            PerforationScheme::Columns(_) => "cols",
+            PerforationScheme::Stencil => "stencil",
+            PerforationScheme::Random { .. } => "random",
+        }
     }
 
     /// Validates the scheme against a tile geometry.
@@ -230,6 +429,21 @@ mod tests {
         TileGeometry::new(16, 16, 1)
     }
 
+    fn loads(
+        s: &PerforationScheme,
+        tile: &TileGeometry,
+        px: usize,
+        py: usize,
+        gx: i64,
+        gy: i64,
+    ) -> bool {
+        s.loads(LoadQuery {
+            tile,
+            padded: (px, py),
+            global: (gx, gy),
+        })
+    }
+
     #[test]
     fn none_loads_everything() {
         let t = tile();
@@ -243,7 +457,11 @@ mod tests {
         let s = PerforationScheme::Rows(SkipLevel::Half);
         for py in 0..t.padded_h() {
             let (gx, gy) = t.global_of((0, 0), 0, py);
-            assert_eq!(s.loads(&t, 0, py, gx, gy), gy.rem_euclid(2) == 0, "py={py}");
+            assert_eq!(
+                loads(&s, &t, 0, py, gx, gy),
+                gy.rem_euclid(2) == 0,
+                "py={py}"
+            );
         }
     }
 
@@ -273,7 +491,10 @@ mod tests {
         let (gx1, gy1) = t.global_of((0, 1), 5, 1);
         assert_eq!(gy0, 16);
         assert_eq!(gy1, 16);
-        assert_eq!(s.loads(&t, 5, 17, gx0, gy0), s.loads(&t, 5, 1, gx1, gy1));
+        assert_eq!(
+            loads(&s, &t, 5, 17, gx0, gy0),
+            loads(&s, &t, 5, 1, gx1, gy1)
+        );
     }
 
     #[test]
@@ -282,7 +503,7 @@ mod tests {
         let s = PerforationScheme::Columns(SkipLevel::Half);
         for px in 0..t.padded_w() {
             let (gx, gy) = t.global_of((0, 0), px, 0);
-            assert_eq!(s.loads(&t, px, 0, gx, gy), gx.rem_euclid(2) == 0);
+            assert_eq!(loads(&s, &t, px, 0, gx, gy), gx.rem_euclid(2) == 0);
         }
     }
 
@@ -294,7 +515,7 @@ mod tests {
         for py in 0..t.padded_h() {
             for px in 0..t.padded_w() {
                 let (gx, gy) = t.global_of((0, 0), px, py);
-                if s.loads(&t, px, py, gx, gy) {
+                if loads(&s, &t, px, py, gx, gy) {
                     assert!(t.is_interior(px, py));
                     loaded += 1;
                 }
@@ -327,14 +548,14 @@ mod tests {
             .map(|i| {
                 let (px, py) = t.coords(i);
                 let (gx, gy) = t.global_of((0, 0), px, py);
-                s.loads(&t, px, py, gx, gy)
+                loads(&s, &t, px, py, gx, gy)
             })
             .collect();
         let b: Vec<bool> = (0..t.padded_len())
             .map(|i| {
                 let (px, py) = t.coords(i);
                 let (gx, gy) = t.global_of((0, 0), px, py);
-                s.loads(&t, px, py, gx, gy)
+                loads(&s, &t, px, py, gx, gy)
             })
             .collect();
         assert_eq!(a, b);
@@ -345,9 +566,9 @@ mod tests {
         let t = tile();
         let s = PerforationScheme::Rows(SkipLevel::Half);
         // Row -1 (top halo of the first tile) is odd -> skipped.
-        assert!(!s.loads(&t, 0, 0, -1, -1));
+        assert!(!loads(&s, &t, 0, 0, -1, -1));
         // Row -2 would be even -> loaded.
-        assert!(s.loads(&t, 0, 0, 0, -2));
+        assert!(loads(&s, &t, 0, 0, 0, -2));
     }
 
     #[test]
@@ -371,7 +592,8 @@ mod tests {
             // The hole this closes, demonstrated: alignment gy ∈ {1,2,3}.
             if tile_h == 3 {
                 let loaded_in_group_row = |gy0: i64| {
-                    (0..t.padded_h() as i64).any(|dy| rows2.loads(&t, 0, dy as usize, 0, gy0 + dy))
+                    (0..t.padded_h() as i64)
+                        .any(|dy| loads(&rows2, &t, 0, dy as usize, 0, gy0 + dy))
                 };
                 assert!(loaded_in_group_row(0));
                 assert!(!loaded_in_group_row(1), "gy 1..3 holds no loaded row");
@@ -419,7 +641,7 @@ mod tests {
         for py in 0..t.padded_h() {
             for px in 0..t.padded_w() {
                 let (gx, gy) = t.global_of((0, 0), px, py);
-                pattern.push(if s.loads(&t, px, py, gx, gy) {
+                pattern.push(if loads(&s, &t, px, py, gx, gy) {
                     '#'
                 } else {
                     '.'
@@ -443,8 +665,8 @@ mod tests {
         let (gx2, gy2) = t.global_of((1, 0), 1, 2);
         assert_eq!((gx, gy), (gx2, gy2));
         assert_eq!(
-            s.loads(&t, 5, 2, gx, gy),
-            s.loads(&t, 1, 2, gx2, gy2),
+            loads(&s, &t, 5, 2, gx, gy),
+            loads(&s, &t, 1, 2, gx2, gy2),
             "shared coordinate must agree across groups"
         );
     }
@@ -503,5 +725,85 @@ mod tests {
         assert_eq!(SkipLevel::Half.max_gap(), 1);
         assert_eq!(SkipLevel::ThreeQuarters.period(), 4);
         assert_eq!(SkipLevel::ThreeQuarters.max_gap(), 2);
+    }
+
+    #[test]
+    fn deprecated_positional_shim_matches_load_query() {
+        #[allow(deprecated)]
+        fn shim(s: &PerforationScheme, t: &TileGeometry, px: usize, py: usize) -> bool {
+            let (gx, gy) = t.global_of((1, 1), px, py);
+            s.loads_at(t, px, py, gx, gy)
+        }
+        let t = tile();
+        let s = PerforationScheme::Rows(SkipLevel::ThreeQuarters);
+        for py in 0..t.padded_h() {
+            let (gx, gy) = t.global_of((1, 1), 0, py);
+            assert_eq!(shim(&s, &t, 0, py), loads(&s, &t, 0, py, gx, gy));
+        }
+    }
+
+    #[test]
+    fn scheme_spec_labels_append_layout_suffix() {
+        let rows = PerforationScheme::Rows(SkipLevel::Half);
+        let spec: SchemeSpec = rows.into();
+        assert_eq!(spec.layout, PrefetchLayout::RowMajor);
+        assert_eq!(spec.to_string(), "Rows1", "row-major keeps legacy labels");
+        assert_eq!(
+            spec.with_layout(PrefetchLayout::BurstTiled).to_string(),
+            "Rows1@burst"
+        );
+        assert_eq!(
+            spec.with_layout(PrefetchLayout::SystolicShift).to_string(),
+            "Rows1@systolic"
+        );
+    }
+
+    #[test]
+    fn layout_family_labels_are_distinct() {
+        let labels = [
+            PrefetchLayout::RowMajor.family_label(),
+            PrefetchLayout::BurstTiled.family_label(),
+            PrefetchLayout::SystolicShift.family_label(),
+        ];
+        for (i, a) in labels.iter().enumerate() {
+            for b in &labels[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        assert_eq!(PerforationScheme::Stencil.family_label(), "stencil");
+    }
+
+    #[test]
+    fn systolic_layout_requires_a_usable_halo() {
+        let sys = PrefetchLayout::SystolicShift;
+        assert!(sys.validate(&TileGeometry::new(16, 16, 0)).is_err());
+        assert!(sys.validate(&TileGeometry::new(16, 1, 2)).is_err());
+        assert!(sys.validate(&TileGeometry::new(16, 16, 1)).is_ok());
+        assert!(sys.validate(&TileGeometry::new(16, 2, 2)).is_ok());
+        // Other layouts are geometry-agnostic.
+        assert!(PrefetchLayout::RowMajor
+            .validate(&TileGeometry::new(16, 16, 0))
+            .is_ok());
+        assert!(PrefetchLayout::BurstTiled
+            .validate(&TileGeometry::new(16, 16, 0))
+            .is_ok());
+    }
+
+    #[test]
+    fn scheme_spec_validates_both_axes() {
+        let t = TileGeometry::new(16, 16, 0); // no halo
+        let ok = SchemeSpec::new(PerforationScheme::Rows(SkipLevel::Half));
+        assert!(ok.validate(&t).is_ok());
+        // Selection-axis failure propagates.
+        assert!(SchemeSpec::new(PerforationScheme::Stencil)
+            .validate(&t)
+            .is_err());
+        // Layout-axis failure propagates.
+        assert!(ok
+            .with_layout(PrefetchLayout::SystolicShift)
+            .validate(&t)
+            .is_err());
+        assert!(ok.perforates());
+        assert!(!SchemeSpec::new(PerforationScheme::None).perforates());
     }
 }

@@ -38,13 +38,14 @@ use crate::config::ApproxConfig;
 use crate::error::CoreError;
 use crate::metrics::ErrorMetric;
 use crate::pareto::{pareto_front, TradeOff};
-use crate::pipeline::AppRef;
+use crate::pipeline::WorkloadRef;
 use crate::runner::{run_app, run_specs_batched, ImageInput, RunSpec};
+use crate::scheme::PrefetchLayout;
 
 /// Everything a sweep needs besides the variant list.
 pub struct SweepContext<'a> {
-    /// The application under test.
-    pub app: AppRef,
+    /// The workload under test.
+    pub app: WorkloadRef,
     /// The input image.
     pub input: ImageInput<'a>,
     /// Error metric (per paper Table 1).
@@ -215,6 +216,29 @@ pub fn fig8_specs(group: (usize, usize), halo: usize) -> Vec<RunSpec> {
     ];
     if halo > 0 {
         specs.push(RunSpec::Perforated(ApproxConfig::stencil1_nn(group)));
+    }
+    specs
+}
+
+/// Layout-axis candidate family: the Fig. 8 selection × reconstruction
+/// configurations crossed with every prefetch layout valid for the given
+/// stencil radius and tile shape. Labels carry the layout suffix, so no
+/// two candidates alias ([`crate::PrefetchLayout::label_suffix`]).
+pub fn layout_specs(group: (usize, usize), halo: usize) -> Vec<RunSpec> {
+    let mut specs = Vec::new();
+    for base in fig8_specs(group, halo) {
+        let RunSpec::Perforated(cfg) = base else {
+            continue;
+        };
+        specs.push(RunSpec::Perforated(cfg));
+        specs.push(RunSpec::Perforated(
+            cfg.with_layout(PrefetchLayout::BurstTiled),
+        ));
+        if (1..=group.1).contains(&halo) {
+            specs.push(RunSpec::Perforated(
+                cfg.with_layout(PrefetchLayout::SystolicShift),
+            ));
+        }
     }
     specs
 }

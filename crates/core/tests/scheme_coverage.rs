@@ -13,8 +13,13 @@
 //! fallback because no validation can bound a hash pattern — but its
 //! `keep_fraction = 1.0` edge case (which `validate` explicitly permits)
 //! must load everything.
+//!
+//! With the prefetch-layout axis the suite sweeps full `SchemeSpec`s:
+//! layouts change where loads come *from*, never *which* elements are
+//! resident, so every `(select, layout, tile, alignment)` combination that
+//! `SchemeSpec::validate` accepts must satisfy the same neighbor property.
 
-use kp_core::{PerforationScheme, SkipLevel, TileGeometry};
+use kp_core::{LoadQuery, PerforationScheme, PrefetchLayout, SchemeSpec, SkipLevel, TileGeometry};
 
 /// Deterministic schemes whose reconstruction neighborhoods are exact.
 fn deterministic_schemes() -> Vec<PerforationScheme> {
@@ -25,6 +30,15 @@ fn deterministic_schemes() -> Vec<PerforationScheme> {
         PerforationScheme::Columns(SkipLevel::Half),
         PerforationScheme::Columns(SkipLevel::ThreeQuarters),
         PerforationScheme::Stencil,
+    ]
+}
+
+/// All prefetch layouts of the second scheme axis.
+fn layouts() -> Vec<PrefetchLayout> {
+    vec![
+        PrefetchLayout::RowMajor,
+        PrefetchLayout::BurstTiled,
+        PrefetchLayout::SystolicShift,
     ]
 }
 
@@ -43,6 +57,21 @@ fn tiles() -> Vec<TileGeometry> {
     tiles
 }
 
+fn loads_raw(
+    scheme: &PerforationScheme,
+    tile: &TileGeometry,
+    px: usize,
+    py: usize,
+    gx: i64,
+    gy: i64,
+) -> bool {
+    scheme.loads(LoadQuery {
+        tile,
+        padded: (px, py),
+        global: (gx, gy),
+    })
+}
+
 fn loads(
     scheme: &PerforationScheme,
     tile: &TileGeometry,
@@ -51,7 +80,7 @@ fn loads(
     py: usize,
 ) -> bool {
     let (gx, gy) = tile.global_of(g, px, py);
-    scheme.loads(tile, px, py, gx, gy)
+    loads_raw(scheme, tile, px, py, gx, gy)
 }
 
 /// Group coordinates covering every period alignment (periods divide 4,
@@ -67,6 +96,41 @@ fn groups() -> Vec<(usize, usize)> {
     v
 }
 
+/// The neighbor property for one accepted `(select, tile, group)` combo:
+/// every skipped element's reconstruction neighborhood holds a loaded one.
+fn assert_neighbors_covered(scheme: &PerforationScheme, tile: &TileGeometry, label: &str) {
+    for group in groups() {
+        for py in 0..tile.padded_h() {
+            for px in 0..tile.padded_w() {
+                if loads(scheme, tile, group, px, py) {
+                    continue;
+                }
+                // Skipped element: its reconstruction neighborhood must
+                // contain a loaded element. `family_label` dispatch keeps
+                // this compiling when new selection families appear
+                // (`PerforationScheme` is `#[non_exhaustive]`).
+                let ok = match scheme.family_label() {
+                    "accurate" => unreachable!("loads everything"),
+                    "rows" => (0..tile.padded_h()).any(|y| loads(scheme, tile, group, px, y)),
+                    "cols" => (0..tile.padded_w()).any(|x| loads(scheme, tile, group, x, py)),
+                    "stencil" => {
+                        let cx = px.clamp(tile.halo, tile.halo + tile.tile_w - 1);
+                        let cy = py.clamp(tile.halo, tile.halo + tile.tile_h - 1);
+                        loads(scheme, tile, group, cx, cy)
+                    }
+                    other => unreachable!("family {other} not swept"),
+                };
+                assert!(
+                    ok,
+                    "{label} on {}x{} halo {} group {:?}: skipped ({px},{py}) \
+                     has no loaded neighbor",
+                    tile.tile_w, tile.tile_h, tile.halo, group
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn every_validated_pair_has_a_loaded_neighbor_in_every_neighborhood() {
     for tile in tiles() {
@@ -74,38 +138,58 @@ fn every_validated_pair_has_a_loaded_neighbor_in_every_neighborhood() {
             if scheme.validate(&tile).is_err() {
                 continue;
             }
-            for group in groups() {
-                for py in 0..tile.padded_h() {
-                    for px in 0..tile.padded_w() {
-                        if loads(&scheme, &tile, group, px, py) {
-                            continue;
-                        }
-                        // Skipped element: its reconstruction neighborhood
-                        // must contain a loaded element.
-                        let ok =
-                            match scheme {
-                                PerforationScheme::None => unreachable!("loads everything"),
-                                PerforationScheme::Rows(_) => (0..tile.padded_h())
-                                    .any(|y| loads(&scheme, &tile, group, px, y)),
-                                PerforationScheme::Columns(_) => (0..tile.padded_w())
-                                    .any(|x| loads(&scheme, &tile, group, x, py)),
-                                PerforationScheme::Stencil => {
-                                    let cx = px.clamp(tile.halo, tile.halo + tile.tile_w - 1);
-                                    let cy = py.clamp(tile.halo, tile.halo + tile.tile_h - 1);
-                                    loads(&scheme, &tile, group, cx, cy)
-                                }
-                                PerforationScheme::Random { .. } => unreachable!("not swept"),
-                            };
-                        assert!(
-                            ok,
-                            "{scheme} on {}x{} halo {} group {:?}: skipped ({px},{py}) \
-                             has no loaded neighbor",
-                            tile.tile_w, tile.tile_h, tile.halo, group
-                        );
-                    }
+            assert_neighbors_covered(&scheme, &tile, &scheme.to_string());
+        }
+    }
+}
+
+#[test]
+fn every_validated_spec_keeps_the_neighbor_property_across_layouts() {
+    // Layouts never change element selection, so the neighbor property
+    // must hold for every accepted (select, layout, tile, alignment)
+    // combination exactly as it does for the bare selection scheme — and
+    // the layout axis must never *admit* a selection the bare scheme
+    // rejects.
+    for tile in tiles() {
+        for select in deterministic_schemes() {
+            for layout in layouts() {
+                let spec = SchemeSpec::new(select).with_layout(layout);
+                if spec.validate(&tile).is_err() {
+                    continue;
                 }
+                assert!(
+                    select.validate(&tile).is_ok(),
+                    "{spec} accepted but bare {select} rejected on {}x{} halo {}",
+                    tile.tile_w,
+                    tile.tile_h,
+                    tile.halo
+                );
+                assert_neighbors_covered(&select, &tile, &spec.to_string());
             }
         }
+    }
+}
+
+#[test]
+fn systolic_layout_only_validates_with_a_shiftable_halo() {
+    // The systolic handoff sources vertical halo rows from neighbor
+    // groups' resident tiles; that requires a halo to exist and to fit in
+    // one neighbor's tile height.
+    for tile in tiles() {
+        let spec = SchemeSpec::new(PerforationScheme::Rows(SkipLevel::Half))
+            .with_layout(PrefetchLayout::SystolicShift);
+        let layout_ok = tile.halo >= 1 && tile.halo <= tile.tile_h;
+        let select_ok = PerforationScheme::Rows(SkipLevel::Half)
+            .validate(&tile)
+            .is_ok();
+        assert_eq!(
+            spec.validate(&tile).is_ok(),
+            layout_ok && select_ok,
+            "{}x{} halo {}",
+            tile.tile_w,
+            tile.tile_h,
+            tile.halo
+        );
     }
 }
 
@@ -121,8 +205,8 @@ fn rejected_period_geometries_really_do_have_empty_alignments() {
             if rows.validate(&tile).is_err() && tile.padded_h() < period {
                 // Alignment starting just past a loaded row misses all of
                 // them: gy ∈ [1, 1 + padded_h) ⊆ [1, period).
-                let empty =
-                    (0..tile.padded_h()).all(|dy| !rows.loads(&tile, 0, dy, 0, 1 + dy as i64));
+                let empty = (0..tile.padded_h())
+                    .all(|dy| !loads_raw(&rows, &tile, 0, dy, 0, 1 + dy as i64));
                 assert!(
                     empty,
                     "{rows} rejected {}x{} halo {} but alignment gy=1 has loaded rows",
@@ -131,8 +215,8 @@ fn rejected_period_geometries_really_do_have_empty_alignments() {
             }
             let cols = PerforationScheme::Columns(level);
             if cols.validate(&tile).is_err() && tile.padded_w() < period {
-                let empty =
-                    (0..tile.padded_w()).all(|dx| !cols.loads(&tile, dx, 0, 1 + dx as i64, 0));
+                let empty = (0..tile.padded_w())
+                    .all(|dx| !loads_raw(&cols, &tile, dx, 0, 1 + dx as i64, 0));
                 assert!(empty);
             }
         }

@@ -64,6 +64,14 @@ pub struct CoalesceSummary {
     pub dram_read_transactions: u64,
     /// Unique DRAM (per-group) write transactions in this phase.
     pub dram_write_transactions: u64,
+    /// DRAM read transactions that *continue* a contiguous run: their block
+    /// is exactly one past the previous same-direction block touched by the
+    /// group this phase. The memory controller streams such runs as open-row
+    /// bursts; [`crate::DeviceConfig::burst_issue_cycles`] prices them.
+    /// Always `< dram_read_transactions` unless both are zero.
+    pub dram_read_burst_transactions: u64,
+    /// DRAM write transactions continuing a contiguous same-direction run.
+    pub dram_write_burst_transactions: u64,
     /// Bytes requested by kernel code (useful payload).
     pub bytes_requested: u64,
     /// Element-granular read count.
@@ -165,9 +173,15 @@ impl CoalesceTracker {
             }
         }
         // DRAM tier: strip granule and instruction ids, dedup
-        // (direction, block) pairs across the whole group.
+        // (direction, block) pairs across the whole group. The masked keys
+        // are sorted, so a transaction whose block is exactly one past the
+        // previous unique same-direction block continues a contiguous run —
+        // a burst the memory controller can stream without re-issuing a row
+        // activation. Run heads always pay full price.
         let mut dram_read_transactions = 0u64;
         let mut dram_write_transactions = 0u64;
+        let mut dram_read_burst_transactions = 0u64;
+        let mut dram_write_burst_transactions = 0u64;
         for k in self.keys.iter_mut() {
             *k &= DRAM_MASK; // keep dir|block only
         }
@@ -177,11 +191,14 @@ impl CoalesceTracker {
             if prev == Some(k) {
                 continue;
             }
+            let burst = prev.is_some_and(|p: u64| k == p + 1 && k >> DIR_SHIFT == p >> DIR_SHIFT);
             prev = Some(k);
             if (k >> DIR_SHIFT) & 1 == 0 {
                 dram_read_transactions += 1;
+                dram_read_burst_transactions += u64::from(burst);
             } else {
                 dram_write_transactions += 1;
+                dram_write_burst_transactions += u64::from(burst);
             }
         }
         let summary = CoalesceSummary {
@@ -189,6 +206,8 @@ impl CoalesceTracker {
             write_transactions,
             dram_read_transactions,
             dram_write_transactions,
+            dram_read_burst_transactions,
+            dram_write_burst_transactions,
             bytes_requested: self.bytes_requested,
             element_reads: self.element_reads,
             element_writes: self.element_writes,
@@ -301,6 +320,57 @@ mod tests {
         let s = t.finish_phase();
         assert_eq!(s.write_transactions, 2);
         assert_eq!(s.dram_write_transactions, 1);
+    }
+
+    #[test]
+    fn contiguous_blocks_count_as_burst_continuations() {
+        let mut t = CoalesceTracker::new();
+        // 8 consecutive 64 B blocks: one run head + 7 continuations.
+        for b in 0..8u64 {
+            t.record(0, 0, Dir::Read, b * 64, 4, TXN);
+        }
+        let s = t.finish_phase();
+        assert_eq!(s.dram_read_transactions, 8);
+        assert_eq!(s.dram_read_burst_transactions, 7);
+    }
+
+    #[test]
+    fn strided_blocks_have_no_burst_continuations() {
+        let mut t = CoalesceTracker::new();
+        // Every other block: all run heads.
+        for b in 0..8u64 {
+            t.record(0, 0, Dir::Read, b * 128, 4, TXN);
+        }
+        let s = t.finish_phase();
+        assert_eq!(s.dram_read_transactions, 8);
+        assert_eq!(s.dram_read_burst_transactions, 0);
+    }
+
+    #[test]
+    fn burst_runs_do_not_cross_directions() {
+        let mut t = CoalesceTracker::new();
+        t.record(0, 0, Dir::Read, 0, 4, TXN);
+        t.record(0, 0, Dir::Read, 64, 4, TXN);
+        t.record(0, 0, Dir::Write, 128, 4, TXN);
+        t.record(0, 0, Dir::Write, 192, 4, TXN);
+        let s = t.finish_phase();
+        assert_eq!(s.dram_read_burst_transactions, 1);
+        // The first write block is a run head even though its block number
+        // follows the last read block.
+        assert_eq!(s.dram_write_burst_transactions, 1);
+    }
+
+    #[test]
+    fn interleaved_granules_still_form_one_dram_burst_run() {
+        let mut t = CoalesceTracker::new();
+        // Two granules touching alternating blocks of one contiguous span:
+        // the DRAM tier sees the union as a single run.
+        for b in 0..8u64 {
+            t.record((b % 2) as u32, 0, Dir::Read, b * 64, 4, TXN);
+        }
+        let s = t.finish_phase();
+        assert_eq!(s.dram_read_transactions, 8);
+        assert_eq!(s.dram_read_burst_transactions, 7);
     }
 
     #[test]

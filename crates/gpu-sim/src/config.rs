@@ -122,6 +122,14 @@ pub struct DeviceConfig {
     /// Issue cost of one DRAM transaction (per-group unique block), in
     /// cycles. This is the off-chip bandwidth term.
     pub global_issue_cycles: u64,
+    /// Issue cost of a DRAM transaction that *continues* a contiguous
+    /// same-direction run of blocks (an open-row burst), in cycles. Run
+    /// heads always pay [`Self::global_issue_cycles`]. Must not exceed
+    /// `global_issue_cycles`; both presets default it **equal**, making
+    /// burst pricing neutral until a config opts into a discount (e.g. via
+    /// [`Self::with_burst_discount`]) — this is the charge-model half of
+    /// the burst-friendly prefetch layouts.
+    pub burst_issue_cycles: u64,
     /// Issue cost of one L1 transaction (per-granule unique block), in
     /// cycles. Models cache-port bandwidth: re-reads served by the cache
     /// still occupy the pipeline.
@@ -142,6 +150,11 @@ pub struct DeviceConfig {
     pub latency_hiding: f64,
     /// Cost of one local-memory access step per wavefront, in cycles.
     pub local_issue_cycles: u64,
+    /// Cost of shifting one halo element in from a neighboring work
+    /// group's resident tile (the software-systolic prefetch layout), in
+    /// cycles per element on the local/exchange pipeline. Shifted elements
+    /// pay this instead of contributing global-memory transactions.
+    pub shift_issue_cycles: u64,
     /// Number of local memory banks (bank conflicts serialize accesses).
     pub local_banks: usize,
     /// Cycles per ALU op per wavefront (GCN executes a 64-lane wavefront on
@@ -200,12 +213,14 @@ impl DeviceConfig {
             global_mem_bytes: 3_500_000_000,
             transaction_bytes: 64,
             global_issue_cycles: 48,
+            burst_issue_cycles: 48,
             l1_issue_cycles: 8,
             global_write_cost_factor: 0.35,
             coalesce_width: 16,
             global_latency_cycles: 400,
             latency_hiding: 0.95,
             local_issue_cycles: 1,
+            shift_issue_cycles: 1,
             local_banks: 32,
             alu_cycles_per_op: 2,
             barrier_cycles: 8,
@@ -233,12 +248,14 @@ impl DeviceConfig {
             global_mem_bytes: 64 * 1024 * 1024,
             transaction_bytes: 16,
             global_issue_cycles: 32,
+            burst_issue_cycles: 32,
             l1_issue_cycles: 0,
             global_write_cost_factor: 1.0,
             coalesce_width: 4,
             global_latency_cycles: 400,
             latency_hiding: 0.95,
             local_issue_cycles: 2,
+            shift_issue_cycles: 2,
             local_banks: 8,
             alu_cycles_per_op: 4,
             barrier_cycles: 16,
@@ -297,7 +314,25 @@ impl DeviceConfig {
         if self.clock_mhz <= 0.0 {
             return Err(format!("clock_mhz must be > 0, got {}", self.clock_mhz));
         }
+        if self.burst_issue_cycles > self.global_issue_cycles {
+            return Err(format!(
+                "burst_issue_cycles ({}) must not exceed global_issue_cycles ({}): \
+                 a burst continuation can never cost more than a run head",
+                self.burst_issue_cycles, self.global_issue_cycles
+            ));
+        }
         Ok(())
+    }
+
+    /// Returns this configuration with DRAM burst continuations priced at
+    /// `burst_issue_cycles` instead of the full per-transaction cost —
+    /// modeling a memory controller that streams contiguous blocks from an
+    /// open row. Strided access patterns are unaffected (all run heads);
+    /// contiguous layouts get cheaper.
+    #[must_use]
+    pub fn with_burst_discount(mut self, burst_issue_cycles: u64) -> Self {
+        self.burst_issue_cycles = burst_issue_cycles;
+        self
     }
 
     /// Converts a cycle count into seconds at this device's clock.
@@ -328,7 +363,7 @@ impl DeviceConfig {
         let canon = format!(
             "kp-device-v1|cu={}|wf={}|wg={}|lmem={}|gmem={}|tx={}|gic={}|l1c={}|wcf={:016x}\
              |cw={}|glat={}|lh={:016x}|lic={}|banks={}|alu={}|bar={}|disp={}|waves={}|groups={}\
-             |clk={:016x}",
+             |clk={:016x}|bic={}|sic={}",
             self.compute_units,
             self.wavefront_size,
             self.max_work_group_size,
@@ -349,6 +384,8 @@ impl DeviceConfig {
             self.max_waves_per_cu,
             self.max_groups_per_cu,
             self.clock_mhz.to_bits(),
+            self.burst_issue_cycles,
+            self.shift_issue_cycles,
         );
         let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
         for byte in canon.as_bytes() {
@@ -461,10 +498,27 @@ mod tests {
         let mut cfg = base.clone();
         cfg.clock_mhz *= 2.0;
         assert_ne!(cfg.fingerprint(), fp);
+        let cfg = base
+            .clone()
+            .with_burst_discount(base.burst_issue_cycles / 2);
+        assert_ne!(cfg.fingerprint(), fp, "burst pricing is a timing parameter");
+        let mut cfg = base.clone();
+        cfg.shift_issue_cycles += 1;
+        assert_ne!(cfg.fingerprint(), fp, "shift pricing is a timing parameter");
         assert_ne!(
             DeviceConfig::firepro_w5100().fingerprint(),
             DeviceConfig::test_tiny().fingerprint()
         );
+    }
+
+    #[test]
+    fn rejects_burst_cost_above_full_cost() {
+        let mut cfg = DeviceConfig::test_tiny();
+        cfg.burst_issue_cycles = cfg.global_issue_cycles + 1;
+        assert!(cfg.validate().is_err());
+        cfg.burst_issue_cycles = cfg.global_issue_cycles;
+        assert!(cfg.validate().is_ok());
+        assert!(cfg.with_burst_discount(0).validate().is_ok());
     }
 
     #[test]

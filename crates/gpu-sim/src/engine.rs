@@ -339,11 +339,14 @@ pub(crate) fn run_group<K: Kernel + ?Sized>(
         if let Some(p) = scratch.profile.as_mut() {
             let mem = p.coalesce.finish_phase();
             let banks = p.banks.finish_phase();
-            let cost = timing::phase_cost(cfg, &mem, &banks, &p.wf_max_ops);
+            let cost = timing::phase_cost(cfg, &mem, &banks, &p.wf_max_ops, p.shifted_elements);
             stats.global_read_transactions += mem.read_transactions;
             stats.global_write_transactions += mem.write_transactions;
             stats.dram_read_transactions += mem.dram_read_transactions;
             stats.dram_write_transactions += mem.dram_write_transactions;
+            stats.dram_read_burst_transactions += mem.dram_read_burst_transactions;
+            stats.dram_write_burst_transactions += mem.dram_write_burst_transactions;
+            stats.shifted_elements += p.shifted_elements;
             stats.global_bytes_requested += mem.bytes_requested;
             stats.global_bytes_transferred += mem.bytes_transferred(cfg.transaction_bytes);
             stats.global_element_reads += mem.element_reads;

@@ -180,7 +180,12 @@ impl AccessMask {
 
 /// What went wrong inside a kernel. Faulting accesses return
 /// `Default::default()` so execution can continue and collect more faults.
+///
+/// Marked `#[non_exhaustive]`: new fault categories may be added without a
+/// breaking change. External code should match with a wildcard arm or key
+/// on [`FaultKind::label`] instead of enumerating every variant.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum FaultKind {
     /// Access to a buffer handle this device never created (or released).
     UnknownBuffer {
@@ -238,6 +243,24 @@ pub enum FaultKind {
         /// Whether the access was a write (`true`) or a read (`false`).
         write: bool,
     },
+}
+
+impl FaultKind {
+    /// Stable short name of the fault category, for logs and counters.
+    ///
+    /// Downstream code that only needs to bucket faults should use this
+    /// instead of matching the `#[non_exhaustive]` enum exhaustively.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::UnknownBuffer { .. } => "unknown-buffer",
+            FaultKind::BufferKindMismatch { .. } => "buffer-kind-mismatch",
+            FaultKind::GlobalOutOfBounds { .. } => "global-out-of-bounds",
+            FaultKind::UnknownLocal { .. } => "unknown-local",
+            FaultKind::LocalKindMismatch { .. } => "local-kind-mismatch",
+            FaultKind::LocalOutOfBounds { .. } => "local-out-of-bounds",
+            FaultKind::UndeclaredBuffer { .. } => "undeclared-buffer",
+        }
+    }
 }
 
 impl std::fmt::Display for FaultKind {
@@ -393,6 +416,10 @@ pub(crate) struct PhaseProfile {
     pub banks: BankTracker,
     /// Per-wavefront maximum of per-lane op counts in the current phase.
     pub wf_max_ops: Vec<u64>,
+    /// Elements shifted in from a neighbor group's tile this phase
+    /// ([`ItemCtx::read_shifted`]); priced on the local/exchange pipeline
+    /// instead of producing coalesce traffic.
+    pub shifted_elements: u64,
 }
 
 impl PhaseProfile {
@@ -401,11 +428,13 @@ impl PhaseProfile {
             coalesce: CoalesceTracker::new(),
             banks: BankTracker::new(),
             wf_max_ops: vec![0; waves_per_group],
+            shifted_elements: 0,
         }
     }
 
     pub fn reset_phase(&mut self) {
         self.wf_max_ops.iter_mut().for_each(|v| *v = 0);
+        self.shifted_elements = 0;
     }
 }
 
@@ -540,7 +569,28 @@ impl<'a> ItemCtx<'a> {
     /// Faults (recorded, returns default): unknown buffer, element-kind
     /// mismatch, out-of-bounds index.
     pub fn read_global<T: Scalar>(&mut self, buffer: BufferId, index: usize) -> T {
-        match self.global_access(buffer, index, T::KIND, Dir::Read) {
+        match self.global_access(buffer, index, T::KIND, Dir::Read, false) {
+            Some(slot) => T::from_bits64(slot),
+            None => T::default(),
+        }
+    }
+
+    /// Reads one element from a global buffer as a **systolic shift** from
+    /// a neighboring work group's resident tile.
+    ///
+    /// The returned value is exactly what [`ItemCtx::read_global`] would
+    /// return (same snapshot-plus-write-log semantics, same fault rules) —
+    /// the neighbor's tile holds the same global data, so shifting is
+    /// bit-identical to re-fetching by construction. Only the accounting
+    /// differs: the access contributes **no** global-memory transactions
+    /// and is instead counted as one shifted element, priced at
+    /// [`DeviceConfig::shift_issue_cycles`] on the local/exchange pipeline.
+    ///
+    /// Callers are responsible for only shifting elements a neighboring
+    /// group actually holds (the perforation schemes guarantee this by
+    /// keying load decisions on global coordinates).
+    pub fn read_shifted<T: Scalar>(&mut self, buffer: BufferId, index: usize) -> T {
+        match self.global_access(buffer, index, T::KIND, Dir::Read, true) {
             Some(slot) => T::from_bits64(slot),
             None => T::default(),
         }
@@ -550,7 +600,7 @@ impl<'a> ItemCtx<'a> {
     /// [`ItemCtx::read_global`].
     pub fn write_global<T: Scalar>(&mut self, buffer: BufferId, index: usize, value: T) {
         let bits = value.to_bits64();
-        if let Some(slot) = self.check_global(buffer, index, T::KIND, Dir::Write) {
+        if let Some(slot) = self.check_global(buffer, index, T::KIND, Dir::Write, false) {
             self.writes.record(slot, index, bits);
         }
     }
@@ -561,8 +611,9 @@ impl<'a> ItemCtx<'a> {
         index: usize,
         kind: ElemKind,
         dir: Dir,
+        shifted: bool,
     ) -> Option<u64> {
-        let slot = self.check_global(buffer, index, kind, dir)?;
+        let slot = self.check_global(buffer, index, kind, dir, shifted)?;
         // The group's own stores shadow the launch-entry snapshot.
         Some(match self.writes.lookup(slot, index) {
             Some(bits) => bits,
@@ -570,14 +621,16 @@ impl<'a> ItemCtx<'a> {
         })
     }
 
-    /// Validates the access, records it for profiling, and returns the
-    /// buffer slot index if valid.
+    /// Validates the access, records it for profiling (as coalesce traffic,
+    /// or as one shifted element when `shifted`), and returns the buffer
+    /// slot index if valid.
     fn check_global(
         &mut self,
         buffer: BufferId,
         index: usize,
         kind: ElemKind,
         dir: Dir,
+        shifted: bool,
     ) -> Option<usize> {
         let slot = buffer.index();
         if let Some(mask) = self.access {
@@ -609,6 +662,15 @@ impl<'a> ItemCtx<'a> {
             let len = raw.len();
             self.fault(FaultKind::GlobalOutOfBounds { buffer, index, len });
             return None;
+        }
+        if shifted {
+            // A neighbor-tile shift: no coalesce traffic, no instruction
+            // slot on the global pipeline — one element on the exchange
+            // pipeline.
+            if let Some(p) = self.profile.as_deref_mut() {
+                p.shifted_elements += 1;
+            }
+            return Some(slot);
         }
         let addr = raw.elem_addr(index);
         let bytes = raw.kind.bytes() as u32;

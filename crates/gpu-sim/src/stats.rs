@@ -16,6 +16,14 @@ pub struct LaunchStats {
     pub dram_read_transactions: u64,
     /// DRAM (per-group footprint) write transactions.
     pub dram_write_transactions: u64,
+    /// DRAM read transactions that continued a contiguous block run (open-row
+    /// bursts, priced at [`DeviceConfig::burst_issue_cycles`]).
+    pub dram_read_burst_transactions: u64,
+    /// DRAM write transactions that continued a contiguous block run.
+    pub dram_write_burst_transactions: u64,
+    /// Halo elements shifted in from a neighboring group's tile (systolic
+    /// prefetch layout) instead of being re-fetched from global memory.
+    pub shifted_elements: u64,
     /// Bytes requested by kernel code (element loads/stores × size).
     pub global_bytes_requested: u64,
     /// Bytes moved over the memory bus (transactions × transaction size).
@@ -59,6 +67,9 @@ impl LaunchStats {
         self.global_write_transactions += other.global_write_transactions;
         self.dram_read_transactions += other.dram_read_transactions;
         self.dram_write_transactions += other.dram_write_transactions;
+        self.dram_read_burst_transactions += other.dram_read_burst_transactions;
+        self.dram_write_burst_transactions += other.dram_write_burst_transactions;
+        self.shifted_elements += other.shifted_elements;
         self.global_bytes_requested += other.global_bytes_requested;
         self.global_bytes_transferred += other.global_bytes_transferred;
         self.global_element_reads += other.global_element_reads;

@@ -40,19 +40,38 @@ impl PhaseCost {
 /// SIMD execution runs at the pace of the slowest lane (this is where
 /// data-dependent divergence, e.g. in the median's selection network,
 /// shows up).
+///
+/// `shifted_elements` counts halo elements shifted in from a neighboring
+/// group's tile (the systolic prefetch layout): they contribute no
+/// global-memory traffic and are charged on the local/exchange pipeline at
+/// [`DeviceConfig::shift_issue_cycles`] each.
+///
+/// DRAM transactions that continue a contiguous same-direction block run
+/// (`mem.dram_*_burst_transactions`) are discounted from
+/// [`DeviceConfig::global_issue_cycles`] down to
+/// [`DeviceConfig::burst_issue_cycles`]. With both prices equal (the
+/// preset default) the discount term is exactly zero and the cost is
+/// bit-identical to the pre-burst model.
 pub fn phase_cost(
     cfg: &DeviceConfig,
     mem: &CoalesceSummary,
     banks: &BankSummary,
     wf_max_ops: &[u64],
+    shifted_elements: u64,
 ) -> PhaseCost {
     let transactions = mem.transactions();
     let dram_weighted = mem.dram_read_transactions as f64
         + mem.dram_write_transactions as f64 * cfg.global_write_cost_factor;
     let l1_weighted =
         mem.read_transactions as f64 + mem.write_transactions as f64 * cfg.global_write_cost_factor;
+    let burst_weighted = mem.dram_read_burst_transactions as f64
+        + mem.dram_write_burst_transactions as f64 * cfg.global_write_cost_factor;
+    let burst_discount = cfg
+        .global_issue_cycles
+        .saturating_sub(cfg.burst_issue_cycles) as f64;
     let mut memory_cycles = (dram_weighted * cfg.global_issue_cycles as f64
-        + l1_weighted * cfg.l1_issue_cycles as f64)
+        + l1_weighted * cfg.l1_issue_cycles as f64
+        - burst_weighted * burst_discount)
         .round() as u64;
     if transactions > 0 {
         let exposed = (cfg.global_latency_cycles as f64 * (1.0 - cfg.latency_hiding)).round();
@@ -62,7 +81,8 @@ pub fn phase_cost(
         .iter()
         .map(|&ops| ops * cfg.alu_cycles_per_op)
         .sum();
-    let local_cycles = banks.steps * cfg.local_issue_cycles;
+    let local_cycles =
+        banks.steps * cfg.local_issue_cycles + shifted_elements * cfg.shift_issue_cycles;
     PhaseCost {
         memory_cycles,
         alu_cycles,
@@ -113,6 +133,7 @@ mod tests {
             &CoalesceSummary::default(),
             &BankSummary::default(),
             &[],
+            0,
         );
         assert_eq!(c, PhaseCost::default());
         assert_eq!(c.critical_path(), 0);
@@ -130,8 +151,8 @@ mod tests {
             dram_read_transactions: 20,
             ..Default::default()
         };
-        let c1 = phase_cost(&cfg(), &mem1, &BankSummary::default(), &[]);
-        let c2 = phase_cost(&cfg(), &mem2, &BankSummary::default(), &[]);
+        let c1 = phase_cost(&cfg(), &mem1, &BankSummary::default(), &[], 0);
+        let c2 = phase_cost(&cfg(), &mem2, &BankSummary::default(), &[], 0);
         // Both pay the same exposed latency; the issue cost doubles.
         let issue = cfg().global_issue_cycles;
         assert_eq!(c2.memory_cycles - c1.memory_cycles, 10 * issue);
@@ -144,7 +165,7 @@ mod tests {
             dram_read_transactions: 1,
             ..Default::default()
         };
-        let c = phase_cost(&cfg(), &mem, &BankSummary::default(), &[]);
+        let c = phase_cost(&cfg(), &mem, &BankSummary::default(), &[], 0);
         let exposed =
             (cfg().global_latency_cycles as f64 * (1.0 - cfg().latency_hiding)).round() as u64;
         assert_eq!(c.memory_cycles, cfg().global_issue_cycles + exposed);
@@ -157,8 +178,46 @@ mod tests {
             &CoalesceSummary::default(),
             &BankSummary::default(),
             &[10, 3],
+            0,
         );
         assert_eq!(c.alu_cycles, 13 * cfg().alu_cycles_per_op);
+    }
+
+    #[test]
+    fn burst_discount_neutral_when_prices_equal_and_active_when_cheaper() {
+        let mem = CoalesceSummary {
+            read_transactions: 10,
+            dram_read_transactions: 10,
+            dram_read_burst_transactions: 8,
+            ..Default::default()
+        };
+        let base = cfg(); // presets price bursts at full cost
+        assert_eq!(base.burst_issue_cycles, base.global_issue_cycles);
+        let neutral = phase_cost(&base, &mem, &BankSummary::default(), &[], 0);
+        let mut no_burst_info = mem;
+        no_burst_info.dram_read_burst_transactions = 0;
+        let reference = phase_cost(&base, &no_burst_info, &BankSummary::default(), &[], 0);
+        assert_eq!(neutral, reference, "equal prices must be bit-neutral");
+
+        let discounted = base
+            .clone()
+            .with_burst_discount(base.global_issue_cycles / 2);
+        let cheap = phase_cost(&discounted, &mem, &BankSummary::default(), &[], 0);
+        let saved = 8 * (base.global_issue_cycles - discounted.burst_issue_cycles);
+        assert_eq!(neutral.memory_cycles - cheap.memory_cycles, saved);
+    }
+
+    #[test]
+    fn shifted_elements_charge_the_local_pipeline() {
+        let c = phase_cost(
+            &cfg(),
+            &CoalesceSummary::default(),
+            &BankSummary::default(),
+            &[],
+            5,
+        );
+        assert_eq!(c.memory_cycles, 0, "shifts cost no global traffic");
+        assert_eq!(c.local_cycles, 5 * cfg().shift_issue_cycles);
     }
 
     #[test]

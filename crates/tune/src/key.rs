@@ -67,7 +67,7 @@ fn sanitize(token: &str) -> String {
 /// The full lookup key of one cached sweep.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TuneKey {
-    /// Application name ([`kp_core::StencilApp::name`]).
+    /// Workload name ([`kp_core::Workload::name`]).
     pub app: String,
     /// Logical candidate-family name (e.g. `"fig8"`, `"serve"`): sweeps
     /// of different families never alias even at identical geometry.

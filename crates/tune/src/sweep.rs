@@ -181,7 +181,7 @@ pub fn outcomes_bit_equal(a: &SweepOutcome, b: &SweepOutcome) -> bool {
 /// is empty.
 #[allow(clippy::too_many_arguments)]
 pub fn select_with_budget_cached(
-    app: kp_core::AppRef,
+    app: kp_core::WorkloadRef,
     calibration_inputs: &[ImageInput<'_>],
     specs: &[RunSpec],
     metric: ErrorMetric,

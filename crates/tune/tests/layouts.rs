@@ -1,0 +1,100 @@
+//! Layout axis through the tuning cache: candidates differing only in
+//! [`kp_core::PrefetchLayout`] must never alias a cache slot (their labels
+//! carry the layout suffix), and a non-stencil workload must tune through
+//! [`sweep_cached`] end to end.
+
+use kp_apps::RegionSum;
+use kp_core::{
+    layout_specs, ApproxConfig, ErrorMetric, ImageInput, PrefetchLayout, RunSpec, SweepContext,
+};
+use kp_gpu_sim::DeviceConfig;
+use kp_tune::{outcomes_bit_equal, sweep_cached, TuneDb, TuneKey, WarmStart};
+
+fn image(w: usize, h: usize) -> Vec<f32> {
+    (0..w * h).map(|i| ((i * 31) % 97) as f32 / 96.0).collect()
+}
+
+#[test]
+fn layout_candidates_never_alias_cache_slots() {
+    let (w, h) = (64, 64);
+    let data = image(w, h);
+    let ctx = SweepContext {
+        app: &RegionSum,
+        input: ImageInput::new(&data, w, h).unwrap(),
+        metric: ErrorMetric::MeanRelative,
+        // Burst pricing below the strided price, so the layouts differ in
+        // simulated seconds, not just in label.
+        device: DeviceConfig::firepro_w5100().with_burst_discount(8),
+        baseline: RunSpec::Baseline { group: (16, 16) },
+    };
+    // A column scheme touches every tile row, so the burst-tiled copy
+    // turns the whole prefetch into one contiguous block run; a row scheme
+    // at this tile width would skip entire 64 B blocks and leave no runs.
+    let cfg = ApproxConfig::cols1_nn((16, 16));
+    let specs = [
+        RunSpec::Perforated(cfg),
+        RunSpec::Perforated(cfg.with_layout(PrefetchLayout::BurstTiled)),
+    ];
+
+    let mut db = TuneDb::in_memory();
+    let cold = sweep_cached(&ctx, &specs, &mut db, "layout", WarmStart::Trust).unwrap();
+    assert_eq!(cold.len(), 2);
+    assert_eq!(cold[0].label, "Cols1:NN");
+    assert_eq!(cold[1].label, "Cols1:NN@burst");
+    // Same selection ⇒ same error; different layout ⇒ different seconds
+    // under the burst discount. If the labels aliased, the cache could
+    // serve one candidate's timing for the other.
+    assert_eq!(cold[0].error.to_bits(), cold[1].error.to_bits());
+    assert!(
+        cold[1].seconds < cold[0].seconds,
+        "burst {} vs strided {}",
+        cold[1].seconds,
+        cold[0].seconds
+    );
+
+    // A repeat lookup is an exact hit serving both slots bit-identically.
+    let launches_before = db.stats().sim_launches;
+    let warm = sweep_cached(&ctx, &specs, &mut db, "layout", WarmStart::Trust).unwrap();
+    assert_eq!(db.stats().sim_launches, launches_before);
+    assert_eq!(db.stats().exact_hits, 1);
+    for (c, w) in cold.iter().zip(&warm) {
+        assert!(outcomes_bit_equal(c, w));
+    }
+}
+
+#[test]
+fn non_stencil_workload_tunes_through_the_cache() {
+    let (w, h) = (48, 48);
+    let data = image(w, h);
+    let ctx = SweepContext {
+        app: &RegionSum,
+        input: ImageInput::new(&data, w, h).unwrap(),
+        metric: ErrorMetric::MeanRelative,
+        device: DeviceConfig::firepro_w5100().with_burst_discount(8),
+        baseline: RunSpec::Baseline { group: (16, 16) },
+    };
+    // The workload is halo-0, so the layout family holds row-major + burst
+    // variants of each fig8 config (systolic needs a halo).
+    let specs = layout_specs((16, 16), 0);
+    assert!(specs.len() >= 6);
+    assert!(specs.iter().all(|s| !s.label().contains("@systolic")));
+
+    let mut db = TuneDb::in_memory();
+    let outcomes = sweep_cached(&ctx, &specs, &mut db, "layout", WarmStart::Trust).unwrap();
+    assert_eq!(outcomes.len(), specs.len());
+    for o in &outcomes {
+        assert!(o.seconds > 0.0, "{}", o.label);
+        assert!(o.error.is_finite(), "{}", o.label);
+        assert!(o.speedup > 0.0, "{}", o.label);
+    }
+    // The key carries the workload's name, and the burst/shift prices are
+    // part of the device fingerprint: retuning under different burst
+    // pricing can never hit this entry.
+    let key = TuneKey::for_sweep(&ctx, "layout");
+    assert_eq!(key.app, "regionsum");
+    let other = TuneKey {
+        fingerprint: DeviceConfig::firepro_w5100().fingerprint(),
+        ..key.clone()
+    };
+    assert_ne!(key, other);
+}

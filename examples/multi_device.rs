@@ -58,6 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         input,
         aux: None,
         output,
+        tiled: None,
         width: size,
         height: size,
     };
@@ -84,6 +85,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "group stats: {} sharded launches, {} migrations ({} bytes, {} interconnect cycles)",
         stats.sharded_launches, stats.migrations, stats.migrated_bytes, stats.migration_cycles,
+    );
+    // Migration time is deliberately *not* folded into the per-launch
+    // report (sharded reports stay bit-identical to single-device runs);
+    // the stream-level cost lives here instead.
+    println!(
+        "  migration time: {:.6} ms simulated on top of the launch report",
+        stats.migration_seconds(&cfg) * 1e3,
     );
 
     // --- Least-loaded placement ----------------------------------------

@@ -51,6 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         input,
         aux: None,
         output,
+        tiled: None,
         width: SIZE,
         height: SIZE,
     };
@@ -79,6 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     input,
                     aux: None,
                     output,
+                    tiled: None,
                     width: SIZE,
                     height: SIZE,
                 },

@@ -86,6 +86,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             input: in_buf,
             aux: None,
             output: out_buf,
+            tiled: None,
             width: size,
             height: size,
         };

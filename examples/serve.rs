@@ -90,6 +90,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     input,
                     aux: None,
                     output: slot,
+                    tiled: None,
                     width: SIZE,
                     height: SIZE,
                 },

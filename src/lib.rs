@@ -42,7 +42,8 @@
 //! let mut dev = Device::new(DeviceConfig::firepro_w5100())?;
 //!
 //! let input = dev.create_buffer_from("input", image.as_slice())?;
-//! let bind = |output| ImageBinding { input, aux: None, output, width: 128, height: 128 };
+//! let bind = |output| ImageBinding {
+//!     input, aux: None, output, tiled: None, width: 128, height: 128 };
 //! let img_base = bind(dev.create_buffer::<f32>("baseline", 128 * 128)?);
 //! let img_perf = bind(dev.create_buffer::<f32>("perforated", 128 * 128)?);
 //!
@@ -65,7 +66,7 @@
 //! ```
 //!
 //! Prefer one-liners? The blocking shims are still there:
-//! `core::run_app(&mut dev, entry.app, &input, &spec)` is exactly
+//! `core::run_app(&mut dev, entry.workload, &input, &spec)` is exactly
 //! "enqueue + wait" (and `core::run_specs_batched` submits a whole sweep
 //! as one overlappable stream):
 //!
@@ -79,7 +80,7 @@
 //! let image = data::synth::photo_like(64, 64, 42);
 //! let input = ImageInput::new(image.as_slice(), 64, 64)?;
 //! let mut dev = Device::new(DeviceConfig::firepro_w5100())?;
-//! let perforated = run_app(&mut dev, entry.app, &input,
+//! let perforated = run_app(&mut dev, entry.workload, &input,
 //!     &RunSpec::Perforated(ApproxConfig::rows1_nn((16, 16))))?;
 //! assert_eq!(perforated.output.len(), 64 * 64);
 //! # Ok(())

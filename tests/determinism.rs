@@ -17,7 +17,7 @@ fn launches_are_fully_deterministic() {
 
     let run = || {
         let mut dev = Device::new(DeviceConfig::firepro_w5100()).unwrap();
-        run_app(&mut dev, entry.app, &input, &spec).unwrap()
+        run_app(&mut dev, entry.workload, &input, &spec).unwrap()
     };
     let a = run();
     let b = run();
@@ -26,8 +26,8 @@ fn launches_are_fully_deterministic() {
 
     // Same device, repeated runs.
     let mut dev = Device::new(DeviceConfig::firepro_w5100()).unwrap();
-    let c = run_app(&mut dev, entry.app, &input, &spec).unwrap();
-    let d = run_app(&mut dev, entry.app, &input, &spec).unwrap();
+    let c = run_app(&mut dev, entry.workload, &input, &spec).unwrap();
+    let d = run_app(&mut dev, entry.workload, &input, &spec).unwrap();
     assert_eq!(c.output, d.output);
     assert_eq!(c.report.timing, d.report.timing);
     assert_eq!(a.output, c.output);
@@ -49,7 +49,7 @@ fn repeated_runs_do_not_leak_device_memory() {
         } else {
             RunSpec::Perforated(ApproxConfig::rows1_nn((16, 16)))
         };
-        run_app(&mut dev, entry.app, &input, &spec).unwrap();
+        run_app(&mut dev, entry.workload, &input, &spec).unwrap();
         assert_eq!(
             dev.used_global_bytes(),
             baseline_bytes,
@@ -69,8 +69,8 @@ fn profiling_does_not_affect_results() {
         let mut dev_on = Device::new(DeviceConfig::firepro_w5100()).unwrap();
         let mut dev_off = Device::new(DeviceConfig::firepro_w5100()).unwrap();
         dev_off.set_profiling(false);
-        let on = run_app(&mut dev_on, entry.app, &input, &spec).unwrap();
-        let off = run_app(&mut dev_off, entry.app, &input, &spec).unwrap();
+        let on = run_app(&mut dev_on, entry.workload, &input, &spec).unwrap();
+        let off = run_app(&mut dev_off, entry.workload, &input, &spec).unwrap();
         assert_eq!(on.output, off.output, "{}", entry.name);
         assert!(on.report.profiled);
         assert!(!off.report.profiled);
@@ -91,7 +91,7 @@ fn timing_is_input_independent() {
         let img = synth::photo_like(w, h, seed);
         let input = ImageInput::new(img.as_slice(), w, h).unwrap();
         let mut dev = Device::new(DeviceConfig::firepro_w5100()).unwrap();
-        let run = run_app(&mut dev, entry.app, &input, &spec).unwrap();
+        let run = run_app(&mut dev, entry.workload, &input, &spec).unwrap();
         cycles.push(run.report.timing.device_cycles);
     }
     assert_eq!(cycles[0], cycles[1]);
@@ -114,7 +114,7 @@ fn median_timing_is_also_input_independent() {
     ] {
         let input = ImageInput::new(img.as_slice(), w, h).unwrap();
         let mut dev = Device::new(DeviceConfig::firepro_w5100()).unwrap();
-        let run = run_app(&mut dev, entry.app, &input, &spec).unwrap();
+        let run = run_app(&mut dev, entry.workload, &input, &spec).unwrap();
         cycles.push(run.report.timing.device_cycles);
     }
     assert_eq!(cycles[0], cycles[1]);

@@ -85,7 +85,7 @@ const NEGATE_SRC: &str = "kernel negate(global const float* in, global float* ou
 }";
 
 fn run_hand(
-    app: kernel_perforation::core::AppRef,
+    app: kernel_perforation::core::WorkloadRef,
     config: ApproxConfig,
     data: &[f32],
     w: usize,

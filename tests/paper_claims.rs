@@ -38,14 +38,14 @@ fn every_app_speeds_up() {
         let input = ImageInput::with_aux(&data, aux.as_deref(), SIZE, SIZE).unwrap();
         let baseline = run_app(
             &mut dev,
-            entry.app,
+            entry.workload,
             &input,
             &RunSpec::Baseline { group: (16, 16) },
         )
         .unwrap();
         let perforated = run_app(
             &mut dev,
-            entry.app,
+            entry.workload,
             &input,
             &RunSpec::Perforated(ApproxConfig::rows1_nn((16, 16))),
         )
@@ -63,7 +63,7 @@ fn every_app_speeds_up() {
 fn fig8_orderings_hold_for_gaussian() {
     let img = photo();
     let ctx = SweepContext {
-        app: apps::by_name("gaussian").unwrap().app,
+        app: apps::by_name("gaussian").unwrap().workload,
         input: ImageInput::new(img.as_slice(), SIZE, SIZE).unwrap(),
         metric: ErrorMetric::MeanRelative,
         device: DeviceConfig::firepro_w5100(),
@@ -93,7 +93,7 @@ fn ours_beats_paraprox_on_error() {
     let img = synth::scene(SIZE, SIZE, 77);
     let entry = apps::by_name("gaussian").unwrap();
     let ctx = SweepContext {
-        app: entry.app,
+        app: entry.workload,
         input: ImageInput::new(img.as_slice(), SIZE, SIZE).unwrap(),
         metric: ErrorMetric::MeanRelative,
         device: DeviceConfig::firepro_w5100(),
@@ -134,7 +134,7 @@ fn paraprox_cols_is_slower_than_rows_on_inversion() {
     let img = photo();
     let entry = apps::by_name("inversion").unwrap();
     let ctx = SweepContext {
-        app: entry.app,
+        app: entry.workload,
         input: ImageInput::new(img.as_slice(), SIZE, SIZE).unwrap(),
         metric: ErrorMetric::MeanRelative,
         device: DeviceConfig::firepro_w5100(),
@@ -168,7 +168,7 @@ fn wide_work_groups_beat_tall_ones() {
     let input = ImageInput::new(img.as_slice(), SIZE, SIZE).unwrap();
     let entry = apps::by_name("gaussian").unwrap();
     let time = |dev: &mut Device, spec: &RunSpec| {
-        run_app(dev, entry.app, &input, spec)
+        run_app(dev, entry.workload, &input, spec)
             .unwrap()
             .report
             .seconds
@@ -210,14 +210,14 @@ fn error_tracks_input_frequency() {
         let input = ImageInput::new(img.as_slice(), SIZE, SIZE).unwrap();
         let acc = run_app(
             &mut dev,
-            entry.app,
+            entry.workload,
             &input,
             &RunSpec::AccurateGlobal { group: (16, 16) },
         )
         .unwrap();
         let perf = run_app(
             &mut dev,
-            entry.app,
+            entry.workload,
             &input,
             &RunSpec::Perforated(ApproxConfig::rows1_nn((16, 16))),
         )
@@ -241,7 +241,7 @@ fn our_configs_reach_the_pareto_front() {
     let img = photo();
     let entry = apps::by_name("gaussian").unwrap();
     let ctx = SweepContext {
-        app: entry.app,
+        app: entry.workload,
         input: ImageInput::new(img.as_slice(), SIZE, SIZE).unwrap(),
         metric: ErrorMetric::MeanRelative,
         device: DeviceConfig::firepro_w5100(),
@@ -280,14 +280,14 @@ fn hotspot_errors_are_small_across_sizes() {
         .unwrap();
         let acc = run_app(
             &mut dev,
-            entry.app,
+            entry.workload,
             &input,
             &RunSpec::AccurateGlobal { group: (16, 16) },
         )
         .unwrap();
         let perf = run_app(
             &mut dev,
-            entry.app,
+            entry.workload,
             &input,
             &RunSpec::Perforated(ApproxConfig::rows1_nn((16, 16))),
         )
@@ -319,8 +319,8 @@ fn iterative_hotspot_error_stays_bounded() {
     let spec_perf = RunSpec::Perforated(ApproxConfig::rows1_nn((16, 16)));
     let mut prev_err = 0.0f64;
     for steps in [5, 20, 60] {
-        let acc = run_iterative(&mut dev, entry.app, &input, &spec_acc, steps).unwrap();
-        let perf = run_iterative(&mut dev, entry.app, &input, &spec_perf, steps).unwrap();
+        let acc = run_iterative(&mut dev, entry.workload, &input, &spec_acc, steps).unwrap();
+        let perf = run_iterative(&mut dev, entry.workload, &input, &spec_perf, steps).unwrap();
         let err = entry.metric.evaluate(&acc.output, &perf.output);
         // Error grows sub-linearly with steps (bounded by diffusion), far
         // from compounding exponentially.
@@ -346,7 +346,7 @@ fn budget_selection_behaves_monotonically() {
         RunSpec::Perforated(ApproxConfig::rows2_nn((16, 16))),
     ];
     let strict = select_with_budget(
-        entry.app,
+        entry.workload,
         &calibration,
         &specs,
         ErrorMetric::MeanRelative,
@@ -360,7 +360,7 @@ fn budget_selection_behaves_monotonically() {
         "nothing should fit an (almost) zero budget"
     );
     let loose = select_with_budget(
-        entry.app,
+        entry.workload,
         &calibration,
         &specs,
         ErrorMetric::MeanRelative,

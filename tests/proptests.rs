@@ -6,8 +6,8 @@
 //! and each property sees a few hundred distinct inputs.
 
 use kernel_perforation::core::{
-    pareto_front, reconstruct_element, Distribution, PerforationScheme, Reconstruction, SkipLevel,
-    TileGeometry, TradeOff,
+    pareto_front, reconstruct_element, Distribution, LoadQuery, PerforationScheme, Reconstruction,
+    SkipLevel, TileGeometry, TradeOff,
 };
 use kernel_perforation::data::{pgm, Image};
 use kernel_perforation::gpu_sim::coalesce::{CoalesceTracker, Dir};
@@ -65,7 +65,11 @@ fn reconstruction_never_extrapolates() {
         for py in 0..tile.padded_h() {
             for px in 0..tile.padded_w() {
                 let (gx, gy) = tile.global_of(group, px, py);
-                if scheme.loads(&tile, px, py, gx, gy) {
+                if scheme.loads(LoadQuery {
+                    tile: &tile,
+                    padded: (px, py),
+                    global: (gx, gy),
+                }) {
                     let h = seed
                         .wrapping_mul(0x9E3779B97F4A7C15)
                         .wrapping_add((py * tile.padded_w() + px) as u64);
@@ -82,7 +86,11 @@ fn reconstruction_never_extrapolates() {
         for py in 0..tile.padded_h() {
             for px in 0..tile.padded_w() {
                 let (gx, gy) = tile.global_of(group, px, py);
-                if !scheme.loads(&tile, px, py, gx, gy) {
+                if !scheme.loads(LoadQuery {
+                    tile: &tile,
+                    padded: (px, py),
+                    global: (gx, gy),
+                }) {
                     let mut read = |x: usize, y: usize| snapshot[tile.index(x, y)];
                     let mut ops = |_| {};
                     let v = reconstruct_element(
